@@ -1,0 +1,66 @@
+//! MAC-unit area breakdown (paper Fig. 3).
+
+/// Area of one MAC unit split into the three components Fig. 3 reports.
+/// Units are normalized (standard 8-bit MAC = 1.0 total).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Multiplier (AND array / adder tree) area.
+    pub multiplier: f64,
+    /// Shift-add logic for precision configurability.
+    pub shift_add: f64,
+    /// Pipeline/accumulator registers.
+    pub register: f64,
+}
+
+impl AreaBreakdown {
+    /// Builds a breakdown from a total and three fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions do not sum to ~1.
+    pub fn from_fractions(total: f64, mult: f64, shift_add: f64, register: f64) -> Self {
+        assert!((mult + shift_add + register - 1.0).abs() < 1e-6, "fractions must sum to 1");
+        Self { multiplier: total * mult, shift_add: total * shift_add, register: total * register }
+    }
+
+    /// Total unit area.
+    pub fn total(&self) -> f64 {
+        self.multiplier + self.shift_add + self.register
+    }
+
+    /// Fraction of area spent on shift-add logic (the paper's headline
+    /// bottleneck metric).
+    pub fn shift_add_fraction(&self) -> f64 {
+        self.shift_add / self.total()
+    }
+
+    /// Fraction of area spent on multipliers.
+    pub fn multiplier_fraction(&self) -> f64 {
+        self.multiplier / self.total()
+    }
+
+    /// Fraction of area spent on registers.
+    pub fn register_fraction(&self) -> f64 {
+        self.register / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_roundtrip() {
+        let b = AreaBreakdown::from_fractions(2.0, 0.25, 0.5, 0.25);
+        assert!((b.total() - 2.0).abs() < 1e-9);
+        assert!((b.shift_add_fraction() - 0.5).abs() < 1e-9);
+        assert!((b.multiplier_fraction() - 0.25).abs() < 1e-9);
+        assert!((b.register_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn fractions_validated() {
+        let _ = AreaBreakdown::from_fractions(1.0, 0.5, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! The data dispatcher (paper Fig. 6, left).
+//!
+//! The 2-in-1 Accelerator's dispatcher is a multiplexer that packs data for
+//! the MAC array, supporting 1/2/4/8-bit access granularities into the data
+//! buffer. Operands whose precision is not a supported granularity ride in
+//! the next wider lane (3-bit in a 4-bit lane, 5/6/7-bit in an 8-bit lane,
+//! >8-bit across two 8-bit lanes), wasting the difference. This module
+//! quantifies that packing efficiency; the cycle/energy predictor charges
+//! tightly packed traffic (charitable to every design equally), so the
+//! dispatcher figures here bound the extra cost of odd precisions.
+
+/// Buffer access granularities supported by the dispatcher multiplexer.
+pub const GRANULARITIES: [u8; 4] = [1, 2, 4, 8];
+
+/// A dispatcher configuration (lane granularities + buffer word width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatcher {
+    /// Buffer word width in bits (one access moves this many bits).
+    pub word_bits: u32,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Self {
+        // 64-bit buffer words, as a Bit Fusion-class global buffer port.
+        Self { word_bits: 64 }
+    }
+}
+
+impl Dispatcher {
+    /// The lane width used to store a `bits`-wide operand: the smallest
+    /// supported granularity (or pair of 8-bit lanes) that fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn lane_bits(&self, bits: u8) -> u8 {
+        assert!((1..=16).contains(&bits), "operand width 1..=16, got {}", bits);
+        for g in GRANULARITIES {
+            if bits <= g {
+                return g;
+            }
+        }
+        16 // two chained 8-bit lanes
+    }
+
+    /// Fraction of fetched bits that carry payload for a `bits`-wide
+    /// operand: `bits / lane_bits`.
+    pub fn packing_efficiency(&self, bits: u8) -> f64 {
+        bits as f64 / self.lane_bits(bits) as f64
+    }
+
+    /// Buffer accesses needed to stream `n` operands of `bits` width.
+    pub fn accesses(&self, n: u64, bits: u8) -> u64 {
+        let lane = self.lane_bits(bits) as u64;
+        let per_word = (self.word_bits as u64 / lane).max(1);
+        n.div_ceil(per_word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_selection_matches_fig6() {
+        let d = Dispatcher::default();
+        assert_eq!(d.lane_bits(1), 1);
+        assert_eq!(d.lane_bits(2), 2);
+        assert_eq!(d.lane_bits(3), 4);
+        assert_eq!(d.lane_bits(4), 4);
+        assert_eq!(d.lane_bits(5), 8);
+        assert_eq!(d.lane_bits(8), 8);
+        assert_eq!(d.lane_bits(12), 16);
+        assert_eq!(d.lane_bits(16), 16);
+    }
+
+    #[test]
+    fn packing_efficiency_bounds() {
+        let d = Dispatcher::default();
+        for b in 1..=16u8 {
+            let e = d.packing_efficiency(b);
+            assert!(e > 0.0 && e <= 1.0, "{}-bit efficiency {}", b, e);
+        }
+        // Native granularities pack perfectly.
+        for b in GRANULARITIES {
+            assert_eq!(d.packing_efficiency(b), 1.0);
+        }
+        // 3-bit is the worst sub-8 case: 75%.
+        assert!((d.packing_efficiency(3) - 0.75).abs() < 1e-9);
+        assert!((d.packing_efficiency(5) - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_counts() {
+        let d = Dispatcher { word_bits: 64 };
+        // 64 bits / 8-bit lanes = 8 operands per access.
+        assert_eq!(d.accesses(16, 8), 2);
+        assert_eq!(d.accesses(17, 8), 3);
+        // 2-bit lanes: 32 per access.
+        assert_eq!(d.accesses(64, 2), 2);
+        // 16-bit (two 8-bit lanes): 4 per access.
+        assert_eq!(d.accesses(8, 16), 2);
+        assert_eq!(d.accesses(0, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand width 1..=16")]
+    fn lane_validates() {
+        let _ = Dispatcher::default().lane_bits(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! DNNGuard (Wang et al., ASPLOS'20) baseline model for §4.3.2.
+//!
+//! DNNGuard is a robustness-aware accelerator that co-executes the target
+//! DNN with a *detection network* on an elastic heterogeneous array,
+//! catching adversarial inputs at inference time. Its cost is structural:
+//! the detector steals PE and buffer resources from the target network and
+//! the elastic orchestration adds control overhead — while the datapath is a
+//! conventional fixed-precision (8-bit) accelerator, so it gains nothing
+//! from RPS's low-precision execution.
+//!
+//! We model exactly those three published characteristics: fixed 8-bit
+//! execution on a standard MAC array, a detector workload sharing the array
+//! (the DNNGuard paper co-schedules detectors comparable to a ResNet-18
+//! head), and an orchestration area tax.
+
+/// Analytical DNNGuard throughput model.
+#[derive(Debug, Clone, Copy)]
+pub struct DnnGuardModel {
+    /// Fraction of PE resources consumed by the detection network while the
+    /// target DNN runs (elastic co-execution).
+    pub detector_share: f64,
+    /// Area overhead of the elastic management logic (fraction of the MAC
+    /// array area unavailable for MACs).
+    pub orchestration_tax: f64,
+}
+
+impl Default for DnnGuardModel {
+    fn default() -> Self {
+        // The DNNGuard paper co-runs detectors sized at a large fraction of
+        // the target network; half the array for the detector plus ~10%
+        // orchestration reproduces its published throughput class.
+        Self { detector_share: 0.5, orchestration_tax: 0.1 }
+    }
+}
+
+impl DnnGuardModel {
+    /// Effective MAC throughput (products/cycle) of a DNNGuard array with
+    /// `units` standard 8-bit MAC units (1 product/cycle each).
+    pub fn products_per_cycle(&self, units: usize) -> f64 {
+        units as f64 * (1.0 - self.detector_share) * (1.0 - self.orchestration_tax)
+    }
+
+    /// Units affordable under an area budget (standard MAC = 1.0 area).
+    pub fn units_for_area(&self, area_budget: f64) -> usize {
+        area_budget.max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_halves_throughput() {
+        let m = DnnGuardModel::default();
+        let t = m.products_per_cycle(1000);
+        assert!((t - 450.0).abs() < 1e-9); // 1000 * 0.5 * 0.9
+    }
+
+    #[test]
+    fn zero_overheads_recover_baseline() {
+        let m = DnnGuardModel { detector_share: 0.0, orchestration_tax: 0.0 };
+        assert_eq!(m.products_per_cycle(64), 64.0);
+    }
+
+    #[test]
+    fn units_for_area_floor() {
+        let m = DnnGuardModel::default();
+        assert_eq!(m.units_for_area(4505.6), 4505);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bandits: gradient-free (black-box) attack with a learned gradient prior
+//! (Ilyas, Engstrom & Madry, 2018 — "Prior convictions").
+//!
+//! The attacker never queries gradients — only loss values — so it is immune
+//! to gradient masking. The paper uses it (§4.2.2) to show RPS does not rely
+//! on obfuscated gradients. We implement the time-prior variant: a running
+//! prior `v` is refined by two-point finite-difference estimates along random
+//! exploration directions, and the adversarial example steps along
+//! `sign(v)`.
+
+use crate::model::{LossKind, TargetModel};
+use crate::{project, Attack};
+use tia_tensor::{SeededRng, Tensor};
+
+/// The Bandits-T black-box attack.
+#[derive(Debug, Clone, Copy)]
+pub struct Bandits {
+    eps: f32,
+    steps: usize,
+    /// Image step size.
+    alpha: f32,
+    /// Prior learning rate.
+    prior_lr: f32,
+    /// Finite-difference probe length.
+    fd_eta: f32,
+    /// Exploration magnitude around the prior.
+    delta: f32,
+}
+
+impl Bandits {
+    /// Creates a Bandits attack with `steps` loss-query rounds (two queries
+    /// per round) and defaults following the original paper's ℓ∞ settings.
+    pub fn new(eps: f32, steps: usize) -> Self {
+        Self { eps, steps, alpha: eps / 8.0, prior_lr: 0.1, fd_eta: 0.1, delta: 0.1 }
+    }
+
+    fn attack_single(
+        &self,
+        model: &mut dyn TargetModel,
+        x: &Tensor,
+        label: usize,
+        rng: &mut SeededRng,
+    ) -> Tensor {
+        let labels = [label];
+        let mut adv = x.clone();
+        let mut prior = Tensor::zeros(x.shape());
+        for _ in 0..self.steps {
+            // Exploration direction.
+            let u = Tensor::randn(x.shape(), 1.0, rng);
+            let un = u.norm().max(1e-8);
+            let q1 = prior.zip_with(&u, |p, uu| p + self.delta * uu / un);
+            let q2 = prior.zip_with(&u, |p, uu| p - self.delta * uu / un);
+            let probe = |q: &Tensor, adv: &Tensor| -> Tensor {
+                let qn = q.norm().max(1e-8);
+                let moved = adv.zip_with(q, |a, qv| a + self.fd_eta * qv / qn);
+                project(x, &moved, self.eps)
+            };
+            let l1 = model.loss_value(&probe(&q1, &adv), &labels, LossKind::CrossEntropy);
+            let l2 = model.loss_value(&probe(&q2, &adv), &labels, LossKind::CrossEntropy);
+            // Finite-difference estimate along u updates the prior.
+            let est = (l1 - l2) / (self.fd_eta * self.delta).max(1e-8);
+            prior = prior.zip_with(&u, |p, uu| p + self.prior_lr * est * uu / un);
+            // Step the image along the prior's sign.
+            let stepped = adv.zip_with(&prior, |a, p| a + self.alpha * p.signum());
+            adv = project(x, &stepped, self.eps);
+        }
+        adv
+    }
+}
+
+impl Attack for Bandits {
+    fn name(&self) -> String {
+        format!("Bandits-{}", self.steps)
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.eps
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn TargetModel,
+        x: &Tensor,
+        labels: &[usize],
+        rng: &mut SeededRng,
+    ) -> Tensor {
+        let n = x.shape()[0];
+        assert_eq!(n, labels.len(), "label count mismatch");
+        let mut out = Tensor::zeros(x.shape());
+        for i in 0..n {
+            let xi = x.index_axis0(i);
+            let mut shape = vec![1usize];
+            shape.extend_from_slice(xi.shape());
+            let xi = xi.reshape(&shape);
+            let adv = self.attack_single(model, &xi, labels[i], rng);
+            out.set_axis0(i, &adv.index_axis0(0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_nn::zoo;
+
+    const EPS: f32 = 16.0 / 255.0;
+
+    #[test]
+    fn bandits_stays_in_ball() {
+        let mut rng = SeededRng::new(3);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let adv = Bandits::new(EPS, 8).perturb(&mut net, &x, &[0, 1], &mut rng);
+        assert!(x.sub(&adv).abs_max() <= EPS + 1e-5);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bandits_increases_loss_without_gradients() {
+        let mut rng = SeededRng::new(4);
+        let mut net = zoo::preact_resnet18_lite(3, 6, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[3, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let labels = vec![0, 1, 2];
+        let clean = TargetModel::loss_value(&mut net, &x, &labels, LossKind::CrossEntropy);
+        let adv = Bandits::new(EPS, 30).perturb(&mut net, &x, &labels, &mut rng);
+        let attacked = TargetModel::loss_value(&mut net, &adv, &labels, LossKind::CrossEntropy);
+        assert!(attacked > clean, "Bandits should raise loss: {} -> {}", clean, attacked);
+    }
+
+    #[test]
+    fn name_includes_steps() {
+        assert_eq!(Bandits::new(EPS, 100).name(), "Bandits-100");
+    }
+}

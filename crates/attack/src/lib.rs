@@ -1,0 +1,95 @@
+//! # tia-attack
+//!
+//! Adversarial attacks used in the paper's evaluation: FGSM, FGSM-RS, PGD-k,
+//! CW-∞, APGD (the AutoAttack-lite white-box component), the Bandits
+//! gradient-free attack, and the paper's customized adaptive attack E-PGD
+//! (§4.2.3), which ensembles gradients over every candidate precision.
+//!
+//! All attacks operate under an ℓ∞ budget `ε` on inputs clamped to `[0, 1]`,
+//! matching the paper's `ε ∈ {8, 12, 16}/255` CIFAR settings and `4/255` for
+//! ImageNet.
+//!
+//! Attacks are generic over a [`TargetModel`], which exposes logits and input
+//! gradients (plus a precision switch so E-PGD and the RPS evaluation
+//! harness can re-quantize the model in place).
+//!
+//! # Example
+//!
+//! ```
+//! use tia_attack::{Attack, Pgd, TargetModel};
+//! use tia_nn::zoo;
+//! use tia_tensor::{SeededRng, Tensor};
+//!
+//! let mut rng = SeededRng::new(0);
+//! let mut net = zoo::preact_resnet18_lite(3, 4, 4, &mut rng);
+//! let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+//! let attack = Pgd::new(8.0 / 255.0, 20);
+//! let x_adv = attack.perturb(&mut net, &x, &[0, 1], &mut rng);
+//! assert!(x.sub(&x_adv).abs_max() <= 8.0 / 255.0 + 1e-6);
+//! ```
+
+mod apgd;
+mod bandits;
+mod epgd;
+mod gradient;
+mod model;
+mod square;
+
+pub use apgd::Apgd;
+pub use bandits::Bandits;
+pub use epgd::EPgd;
+pub use gradient::{CwInf, Fgsm, FgsmRs, Pgd};
+pub use model::{LossKind, TargetModel};
+pub use square::Square;
+
+use tia_tensor::{SeededRng, Tensor};
+
+/// A white-box or black-box adversarial attack under an ℓ∞ budget.
+pub trait Attack {
+    /// Human-readable name used in printed tables (e.g. `"PGD-20"`).
+    fn name(&self) -> String;
+
+    /// The ℓ∞ budget ε (in `[0,1]` pixel units).
+    fn epsilon(&self) -> f32;
+
+    /// Crafts adversarial examples for a batch `x` with true `labels`.
+    /// The result stays within `ε` of `x` in ℓ∞ and within `[0, 1]`.
+    fn perturb(
+        &self,
+        model: &mut dyn TargetModel,
+        x: &Tensor,
+        labels: &[usize],
+        rng: &mut SeededRng,
+    ) -> Tensor;
+}
+
+/// Projects `adv` onto the ℓ∞ ball of radius `eps` around `x`, then into
+/// `[0, 1]`.
+pub(crate) fn project(x: &Tensor, adv: &Tensor, eps: f32) -> Tensor {
+    let mut out = adv.clone();
+    for ((o, &xv), &av) in out.data_mut().iter_mut().zip(x.data()).zip(adv.data()) {
+        *o = av.clamp(xv - eps, xv + eps).clamp(0.0, 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_respects_ball_and_range() {
+        let x = Tensor::from_vec(vec![0.0, 0.5, 1.0], &[3]);
+        let adv = Tensor::from_vec(vec![0.4, 0.9, 0.2], &[3]);
+        let p = project(&x, &adv, 0.1);
+        assert_eq!(p.data(), &[0.1, 0.6, 0.9]);
+    }
+
+    #[test]
+    fn project_clamps_to_unit_interval() {
+        let x = Tensor::from_vec(vec![0.01, 0.99], &[2]);
+        let adv = Tensor::from_vec(vec![-0.5, 1.5], &[2]);
+        let p = project(&x, &adv, 1.0);
+        assert_eq!(p.data(), &[0.0, 1.0]);
+    }
+}

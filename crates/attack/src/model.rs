@@ -1,0 +1,134 @@
+//! The attack-facing model abstraction.
+
+use tia_nn::{cross_entropy, cw_margin_loss, Mode, Network};
+use tia_quant::Precision;
+use tia_tensor::Tensor;
+
+/// Which scalar loss an attack climbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Cross-entropy (FGSM/PGD/APGD/Bandits/E-PGD).
+    CrossEntropy,
+    /// Carlini-Wagner margin `max_{j≠y} z_j − z_y` (CW-∞).
+    CwMargin,
+}
+
+/// A model that attacks can query: logits, input gradients, and an in-situ
+/// precision switch.
+///
+/// Implemented for [`tia_nn::Network`]; the RPS harness in `tia-core` wraps
+/// networks through this trait so attacks never see training internals.
+/// All queries run in evaluation mode (frozen BN statistics), as attacks do
+/// at inference time.
+pub trait TargetModel {
+    /// Class logits for a batch.
+    fn logits(&mut self, x: &Tensor) -> Tensor;
+
+    /// `(loss, d loss / d x)` for the given loss kind.
+    fn loss_and_input_grad(&mut self, x: &Tensor, labels: &[usize], loss: LossKind)
+        -> (f32, Tensor);
+
+    /// Loss only (black-box attacks). Default routes through the gradient
+    /// path; implementations may override with something cheaper.
+    fn loss_value(&mut self, x: &Tensor, labels: &[usize], loss: LossKind) -> f32 {
+        self.loss_and_input_grad(x, labels, loss).0
+    }
+
+    /// Switches the execution precision (None = full precision).
+    fn set_precision(&mut self, p: Option<Precision>);
+
+    /// The currently active precision.
+    fn precision(&self) -> Option<Precision>;
+
+    /// Top-1 correct count on a batch (convenience for robust accuracy).
+    fn correct_count(&mut self, x: &Tensor, labels: &[usize]) -> usize {
+        let logits = self.logits(x);
+        let c = logits.shape()[1];
+        labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &y)| tia_tensor::argmax(&logits.data()[i * c..(i + 1) * c]) == y)
+            .count()
+    }
+}
+
+impl TargetModel for Network {
+    fn logits(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, Mode::Eval)
+    }
+
+    fn loss_and_input_grad(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        loss: LossKind,
+    ) -> (f32, Tensor) {
+        // Attacks must not pollute parameter gradients used by training.
+        self.zero_grad();
+        let logits = self.forward(x, Mode::Eval);
+        let lg = match loss {
+            LossKind::CrossEntropy => cross_entropy(&logits, labels),
+            LossKind::CwMargin => cw_margin_loss(&logits, labels),
+        };
+        let gx = self.backward(&lg.grad);
+        self.zero_grad();
+        (lg.loss, gx)
+    }
+
+    fn loss_value(&mut self, x: &Tensor, labels: &[usize], loss: LossKind) -> f32 {
+        let logits = self.forward(x, Mode::Eval);
+        match loss {
+            LossKind::CrossEntropy => cross_entropy(&logits, labels).loss,
+            LossKind::CwMargin => cw_margin_loss(&logits, labels).loss,
+        }
+    }
+
+    fn set_precision(&mut self, p: Option<Precision>) {
+        Network::set_precision(self, p);
+    }
+
+    fn precision(&self) -> Option<Precision> {
+        Network::precision(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_nn::zoo;
+    use tia_tensor::SeededRng;
+
+    #[test]
+    fn network_implements_target_model() {
+        let mut rng = SeededRng::new(1);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let m: &mut dyn TargetModel = &mut net;
+        let logits = m.logits(&x);
+        assert_eq!(logits.shape(), &[2, 3]);
+        let (loss, gx) = m.loss_and_input_grad(&x, &[0, 1], LossKind::CrossEntropy);
+        assert!(loss.is_finite());
+        assert_eq!(gx.shape(), x.shape());
+        assert!(m.correct_count(&x, &[0, 1]) <= 2);
+    }
+
+    #[test]
+    fn attack_grad_queries_leave_param_grads_clean() {
+        let mut rng = SeededRng::new(2);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let _ = TargetModel::loss_and_input_grad(&mut net, &x, &[0], LossKind::CrossEntropy);
+        let mut g = 0.0;
+        net.visit_params(&mut |p| g += p.grad.norm());
+        assert_eq!(g, 0.0, "attack queries must not leave parameter gradients");
+    }
+
+    #[test]
+    fn precision_switch_via_trait() {
+        let mut rng = SeededRng::new(3);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let m: &mut dyn TargetModel = &mut net;
+        m.set_precision(Some(Precision::new(4)));
+        assert_eq!(m.precision(), Some(Precision::new(4)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Square attack (Andriushchenko et al., ECCV 2020): the score-based
+//! random-search component of AutoAttack.
+//!
+//! At each round a random square patch is set to `±ε` per channel; the
+//! change is kept only if it raises the margin loss. Entirely loss-based, so
+//! — like Bandits — it is immune to gradient masking, and together with
+//! [`crate::Apgd`] it gives this reproduction both halves of the AutoAttack
+//! recipe (white-box APGD + black-box Square).
+
+use crate::model::{LossKind, TargetModel};
+use crate::{project, Attack};
+use tia_tensor::{SeededRng, Tensor};
+
+/// The Square random-search attack.
+#[derive(Debug, Clone, Copy)]
+pub struct Square {
+    eps: f32,
+    queries: usize,
+    /// Initial fraction of the image side used for the square patch.
+    p_init: f32,
+}
+
+impl Square {
+    /// Creates a Square attack with the given loss-query budget.
+    pub fn new(eps: f32, queries: usize) -> Self {
+        Self { eps, queries, p_init: 0.8 }
+    }
+
+    fn attack_single(
+        &self,
+        model: &mut dyn TargetModel,
+        x: &Tensor,
+        label: usize,
+        rng: &mut SeededRng,
+    ) -> Tensor {
+        let labels = [label];
+        let (c, h, w) = (x.shape()[1], x.shape()[2], x.shape()[3]);
+        // Initialize with vertical ±ε stripes (the paper's init).
+        let mut adv = x.clone();
+        for ci in 0..c {
+            for xi in 0..w {
+                let sign = rng.sign();
+                for yi in 0..h {
+                    *adv.at4_mut(0, ci, yi, xi) += sign * self.eps;
+                }
+            }
+        }
+        adv = project(x, &adv, self.eps);
+        let mut best_loss = model.loss_value(&adv, &labels, LossKind::CwMargin);
+        for q in 0..self.queries {
+            // Square side shrinks over the budget (piecewise schedule).
+            let frac = self.p_init * (1.0 - q as f32 / self.queries.max(1) as f32);
+            let side = ((frac * h.min(w) as f32).sqrt().round() as usize).clamp(1, h.min(w));
+            let oy = rng.below(h - side + 1);
+            let ox = rng.below(w - side + 1);
+            let mut cand = adv.clone();
+            for ci in 0..c {
+                let delta = rng.sign() * self.eps;
+                for yi in oy..oy + side {
+                    for xi in ox..ox + side {
+                        *cand.at4_mut(0, ci, yi, xi) = x.at4(0, ci, yi, xi) + delta;
+                    }
+                }
+            }
+            let cand = project(x, &cand, self.eps);
+            let l = model.loss_value(&cand, &labels, LossKind::CwMargin);
+            if l > best_loss {
+                best_loss = l;
+                adv = cand;
+            }
+        }
+        adv
+    }
+}
+
+impl Attack for Square {
+    fn name(&self) -> String {
+        format!("Square-{}", self.queries)
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.eps
+    }
+
+    fn perturb(
+        &self,
+        model: &mut dyn TargetModel,
+        x: &Tensor,
+        labels: &[usize],
+        rng: &mut SeededRng,
+    ) -> Tensor {
+        let n = x.shape()[0];
+        assert_eq!(n, labels.len(), "label count mismatch");
+        let mut out = Tensor::zeros(x.shape());
+        for i in 0..n {
+            let xi = x.index_axis0(i);
+            let mut shape = vec![1usize];
+            shape.extend_from_slice(xi.shape());
+            let xi = xi.reshape(&shape);
+            let adv = self.attack_single(model, &xi, labels[i], rng);
+            out.set_axis0(i, &adv.index_axis0(0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_nn::zoo;
+
+    const EPS: f32 = 16.0 / 255.0;
+
+    #[test]
+    fn square_stays_in_ball() {
+        let mut rng = SeededRng::new(1);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let adv = Square::new(EPS, 10).perturb(&mut net, &x, &[0, 1], &mut rng);
+        assert!(x.sub(&adv).abs_max() <= EPS + 1e-5);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn square_raises_margin_loss_without_gradients() {
+        let mut rng = SeededRng::new(2);
+        let mut net = zoo::preact_resnet18_lite(3, 6, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[3, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let labels = vec![0, 1, 2];
+        let clean = TargetModel::loss_value(&mut net, &x, &labels, LossKind::CwMargin);
+        let adv = Square::new(EPS, 40).perturb(&mut net, &x, &labels, &mut rng);
+        let attacked = TargetModel::loss_value(&mut net, &adv, &labels, LossKind::CwMargin);
+        assert!(attacked > clean, "Square should raise margin loss: {} -> {}", clean, attacked);
+    }
+
+    #[test]
+    fn name_and_eps() {
+        let s = Square::new(EPS, 100);
+        assert_eq!(s.name(), "Square-100");
+        assert_eq!(s.epsilon(), EPS);
+    }
+}

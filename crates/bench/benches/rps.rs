@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the algorithm substrate: quantization, forward/
+//! backward passes and one PGD attack step on the lite PreActResNet-18.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tia_attack::{Attack, Pgd};
+use tia_nn::{zoo, Mode};
+use tia_quant::{fake_quant_symmetric, Precision};
+use tia_tensor::{SeededRng, Tensor};
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let t = Tensor::randn(&[64 * 64 * 9], 1.0, &mut rng);
+    c.bench_function("fake_quant_symmetric_36k", |b| {
+        b.iter(|| fake_quant_symmetric(black_box(&t), Precision::new(8)))
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let mut net = zoo::preact_resnet18_lite(3, 6, 10, &mut rng);
+    let x = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    c.bench_function("resnet18_lite_fwd_bwd_b8", |b| {
+        b.iter(|| {
+            net.zero_grad();
+            net.loss_and_input_grad(black_box(&x), &labels, Mode::Train).0
+        })
+    });
+}
+
+fn bench_pgd_step(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let mut net = zoo::preact_resnet18_lite(3, 4, 10, &mut rng);
+    let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels = vec![0, 1, 2, 3];
+    let attack = Pgd::new(8.0 / 255.0, 1);
+    c.bench_function("pgd1_attack_b4", |b| {
+        b.iter(|| attack.perturb(&mut net, black_box(&x), &labels, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_quantize, bench_forward_backward, bench_pgd_step);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: the automated dataflow optimizer's contribution — the proposed
+//! MAC array with (1) full evolutionary search, (2) the restricted
+//! Bit-Fusion-style optimizer, (3) the fixed canonical dataflow.
+
+use tia_accel::{MacKind, PrecisionPair};
+use tia_bench::banner;
+use tia_dataflow::{EvoSearch, SearchMode};
+use tia_nn::workload::NetworkSpec;
+use tia_sim::Accelerator;
+
+fn main() {
+    banner(
+        "Ablation: dataflow optimizer (Alg. 2) contribution",
+        "same hardware, three optimization regimes",
+    );
+    let p = PrecisionPair::symmetric(4);
+    println!("{:<16} {:>14} {:>14} {:>12}", "Network", "Regime", "FPS", "Energy(norm)");
+    for net in [NetworkSpec::resnet50_imagenet(), NetworkSpec::wide_resnet32_cifar()] {
+        let mut full = Accelerator::ours();
+        let mut limited = Accelerator::with_kind("Ours-GbOnly", MacKind::spatial_temporal(), SearchMode::GbOrderOnly);
+        let mut fixed = Accelerator::with_kind("Ours-fixed", MacKind::spatial_temporal(), SearchMode::GbOrderOnly)
+            .with_search(EvoSearch { population: 1, cycles: 0, mode: SearchMode::GbOrderOnly });
+        let pf = full.simulate_network(&net, p);
+        let pl = limited.simulate_network(&net, p);
+        let px = fixed.simulate_network(&net, p);
+        let base = px.total_energy();
+        for perf in [&px, &pl, &pf] {
+            let regime = match perf.accelerator.as_str() {
+                "Ours" => "full search",
+                "Ours-GbOnly" => "GB-order only",
+                _ => "fixed canonical",
+            };
+            println!(
+                "{:<16} {:>14} {:>14.2} {:>12.3}",
+                net.name, regime, perf.fps, perf.total_energy() / base
+            );
+        }
+    }
+    println!("\nPaper (Sec 4.3.1): on ResNet-50 at 4x4-bit the optimizer adds 1.28x");
+    println!("throughput on top of the MAC unit's 2.25x.");
+}

@@ -1,0 +1,77 @@
+//! Figure 1: transferability of adversarial attacks between precisions.
+//! Four matrices: (a) FGSM-RS-trained, PGD-20 attack; (b) PGD-7-trained,
+//! CW-∞ attack; (c) PGD-7-trained, PGD-20 attack; (d) PGD-7 + RPS training,
+//! PGD-20 attack. Non-RPS models are trained with a static 8-bit quantizer,
+//! matching the paper's §2.3 protocol.
+
+use tia_attack::{Attack, CwInf, Pgd};
+use tia_bench::{banner, default_rps_set, train_model, Arch, Scale, EPS_CIFAR};
+use tia_core::{transfer_matrix, AdvMethod};
+use tia_data::{generate, DatasetProfile};
+use tia_quant::Precision;
+use tia_tensor::SeededRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 1: attack transferability between precisions",
+        "synthetic cifar10-like data; PreActResNet-18-lite",
+    );
+    let profile = DatasetProfile::cifar10_like();
+    let precisions: Vec<Precision> = [4u8, 6, 8, 12, 16].iter().map(|&b| Precision::new(b)).collect();
+
+    // Static-8-bit adversarially trained models (a)-(c).
+    let (mut fgsm_rs_net, _) = {
+        let mut p = profile.clone();
+        p = p.with_sizes(scale.train, scale.test);
+        let _ = p;
+        train_static8(&profile, AdvMethod::FgsmRs, scale)
+    };
+    let (mut pgd7_net, _) = train_static8(&profile, AdvMethod::Pgd { steps: 7 }, scale);
+    // RPS-trained model (d).
+    let (mut rps_net, _) = train_model(
+        &profile, Arch::PreActResNet18, AdvMethod::Pgd { steps: 7 },
+        Some(default_rps_set()), EPS_CIFAR, scale, 42,
+    );
+
+    let eval = generate(&profile.clone().with_sizes(scale.train, scale.test), 42).1;
+    let eval = eval.take(scale.eval / 2);
+    let panel = |title: &str, net: &mut tia_nn::Network, attack: &dyn Attack| {
+        let mut rng = SeededRng::new(9);
+        let m = transfer_matrix(net, &eval, attack, &precisions, 12, &mut rng);
+        println!("\n{} (robust accuracy %):", title);
+        print!("{}", m.render());
+        println!(
+            "diagonal mean {:.1}%  off-diagonal mean {:.1}%  grand mean {:.1}%",
+            m.diagonal_mean() * 100.0,
+            m.off_diagonal_mean() * 100.0,
+            m.grand_mean() * 100.0
+        );
+    };
+    panel("(a) FGSM-RS trained, PGD-20 attack", &mut fgsm_rs_net, &Pgd::new(EPS_CIFAR, 20));
+    panel("(b) PGD-7 trained, CW-Inf attack", &mut pgd7_net, &CwInf::new(EPS_CIFAR, 20));
+    panel("(c) PGD-7 trained, PGD-20 attack", &mut pgd7_net, &Pgd::new(EPS_CIFAR, 20));
+    panel("(d) PGD-7 + RPS training, PGD-20 attack", &mut rps_net, &Pgd::new(EPS_CIFAR, 20));
+    println!("\nPaper (Fig.1): attacks transfer poorly between precisions —");
+    println!("off-diagonal robust accuracy is consistently higher than the");
+    println!("diagonal, and RPS training widens the gap.");
+}
+
+fn train_static8(
+    profile: &DatasetProfile,
+    method: AdvMethod,
+    scale: Scale,
+) -> (tia_nn::Network, tia_data::Dataset) {
+    use tia_core::{adversarial_train, TrainConfig};
+    let profile = profile.clone().with_sizes(scale.train, scale.test);
+    let (train, test) = generate(&profile, 42);
+    let mut rng = SeededRng::new(42 ^ 0x5EED);
+    let mut net = Arch::PreActResNet18.build(profile.classes, scale.width, None, &mut rng);
+    let cfg = TrainConfig::with_method(method, EPS_CIFAR)
+        .with_epochs(scale.epochs)
+        .with_batch_size(scale.batch)
+        .with_static_precision(Precision::new(8))
+        .with_seed(42);
+    adversarial_train(&mut net, &train, &cfg);
+    (net, test)
+}

@@ -1,0 +1,33 @@
+//! Figure 7: normalized throughput of Bit Fusion / Stripes / ours across
+//! the six benchmark networks at 2/4/8/16-bit (normalized to Bit Fusion).
+
+use tia_accel::PrecisionPair;
+use tia_bench::banner;
+use tia_nn::workload::NetworkSpec;
+use tia_sim::Accelerator;
+
+fn main() {
+    banner(
+        "Figure 7: normalized throughput, six networks x four precisions",
+        "normalized to Bit Fusion = 1.00, as in the paper",
+    );
+    let mut ours = Accelerator::ours();
+    let mut bf = Accelerator::bitfusion();
+    let mut st = Accelerator::stripes();
+    for b in [2u8, 4, 8, 16] {
+        let p = PrecisionPair::symmetric(b);
+        println!("\n--- {}x{}-bit ---", b, b);
+        println!("{:<16}{:<10} {:>10} {:>9} {:>7}", "Network", "Dataset", "BitFusion", "Stripes", "Ours");
+        for net in NetworkSpec::paper_six() {
+            let fo = ours.simulate_network(&net, p).fps;
+            let fb = bf.simulate_network(&net, p).fps;
+            let fs = st.simulate_network(&net, p).fps;
+            println!(
+                "{:<16}{:<10} {:>10.2} {:>9.2} {:>7.2}",
+                net.name, net.dataset, 1.0, fs / fb, fo / fb
+            );
+        }
+    }
+    println!("\nPaper (Fig.7): ours 1.41~2.88x over Bit Fusion and 1.15~4.59x over");
+    println!("Stripes across all networks and precisions.");
+}

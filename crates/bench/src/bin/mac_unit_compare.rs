@@ -1,0 +1,39 @@
+//! §3.2.3 anchors: MAC-unit level comparison — cycles per product across
+//! 1-16 bit and the throughput/area + energy-efficiency ratios vs Bit
+//! Fusion at 8x8-bit.
+
+use tia_accel::{MacKind, MacUnit, PrecisionPair};
+use tia_bench::banner;
+
+fn main() {
+    banner(
+        "MAC-unit comparison (Sec 3.2 scheduling + Sec 3.2.3 anchors)",
+        "cycle counts follow the paper exactly; area/energy calibrated",
+    );
+    let designs = [MacKind::Temporal, MacKind::Spatial, MacKind::spatial_temporal()];
+    println!("Cycles per output product:");
+    print!("{:>9}", "Precision");
+    for k in designs {
+        print!("{:>12}", k.name());
+    }
+    println!();
+    for b in 1..=16u8 {
+        let p = PrecisionPair::symmetric(b);
+        print!("{:>9}", format!("{}-bit", b));
+        for k in designs {
+            print!("{:>12.2}", MacUnit::new(k).cycles_per_product(p));
+        }
+        println!();
+    }
+    let p8 = PrecisionPair::symmetric(8);
+    let o = MacUnit::new(MacKind::spatial_temporal());
+    let bf = MacUnit::new(MacKind::Spatial);
+    println!(
+        "\nThroughput/area vs Bit Fusion @8x8-bit: {:.2}x  (paper: 2.3x)",
+        (o.products_per_cycle(p8) / o.area()) / (bf.products_per_cycle(p8) / bf.area())
+    );
+    println!(
+        "Energy-efficiency/op vs Bit Fusion @8x8-bit: {:.2}x  (paper: 4.88x)",
+        bf.energy_per_mac(p8) / o.energy_per_mac(p8)
+    );
+}

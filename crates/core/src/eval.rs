@@ -1,0 +1,165 @@
+//! Accuracy evaluation under independent attack/inference precision
+//! policies — the paper's threat model for RPS inference.
+
+use tia_attack::Attack;
+use tia_data::Dataset;
+use tia_nn::Network;
+use tia_quant::{Precision, PrecisionSet};
+use tia_tensor::{SeededRng, Tensor};
+
+/// How a precision is chosen at evaluation time, for either side.
+#[derive(Debug, Clone)]
+pub enum InferencePolicy {
+    /// Always the same precision (`None` = full precision).
+    Fixed(Option<Precision>),
+    /// RPS: a fresh uniform sample from the set per sample (defender) or per
+    /// batch (adversary crafting a batch of examples).
+    Random(PrecisionSet),
+}
+
+impl InferencePolicy {
+    fn sample(&self, rng: &mut SeededRng) -> Option<Precision> {
+        match self {
+            InferencePolicy::Fixed(p) => *p,
+            InferencePolicy::Random(set) => Some(set.sample(rng)),
+        }
+    }
+}
+
+impl std::fmt::Display for InferencePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferencePolicy::Fixed(None) => write!(f, "fp32"),
+            InferencePolicy::Fixed(Some(p)) => write!(f, "{}", p),
+            InferencePolicy::Random(set) => write!(f, "RPS {}", set),
+        }
+    }
+}
+
+/// Natural (clean) accuracy of `net` on `data` under a precision policy.
+pub fn natural_accuracy(
+    net: &mut Network,
+    data: &Dataset,
+    policy: &InferencePolicy,
+    rng: &mut SeededRng,
+) -> f32 {
+    let saved = net.precision();
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        net.set_precision(policy.sample(rng));
+        let (x, y) = single(data, i);
+        correct += net.correct_count(&x, &[y]);
+    }
+    net.set_precision(saved);
+    correct as f32 / data.len().max(1) as f32
+}
+
+/// Robust accuracy of `net` on `data` under `attack`.
+///
+/// The adversary crafts each batch at a precision drawn from
+/// `attack_policy`; the defender then evaluates each *sample* at a fresh
+/// precision drawn from `infer_policy` (RPS inference, Alg. 1 lines 15–19).
+pub fn robust_accuracy(
+    net: &mut Network,
+    data: &Dataset,
+    attack: &dyn Attack,
+    attack_policy: &InferencePolicy,
+    infer_policy: &InferencePolicy,
+    batch_size: usize,
+    rng: &mut SeededRng,
+) -> f32 {
+    let saved = net.precision();
+    let mut correct = 0usize;
+    let n = data.len();
+    let bs = batch_size.max(1);
+    let mut i = 0;
+    while i < n {
+        let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
+        let (x, labels) = data.batch(&idx);
+        // Adversary crafts at its sampled precision.
+        net.set_precision(attack_policy.sample(rng));
+        let x_adv = attack.perturb(net, &x, &labels, rng);
+        // Defender evaluates per sample at its own sampled precision.
+        for (j, &y) in labels.iter().enumerate() {
+            net.set_precision(infer_policy.sample(rng));
+            let xi = batch_of_one(&x_adv, j);
+            correct += net.correct_count(&xi, &[y]);
+        }
+        i += bs;
+    }
+    net.set_precision(saved);
+    correct as f32 / n.max(1) as f32
+}
+
+fn single(data: &Dataset, i: usize) -> (Tensor, usize) {
+    let img = data.image(i);
+    let mut shape = vec![1usize];
+    shape.extend_from_slice(img.shape());
+    (img.reshape(&shape), data.labels()[i])
+}
+
+fn batch_of_one(x: &Tensor, i: usize) -> Tensor {
+    let img = x.index_axis0(i);
+    let mut shape = vec![1usize];
+    shape.extend_from_slice(img.shape());
+    img.reshape(&shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_attack::Pgd;
+    use tia_data::{generate, DatasetProfile};
+    use tia_nn::zoo;
+
+    const EPS: f32 = 8.0 / 255.0;
+
+    #[test]
+    fn natural_accuracy_in_unit_range() {
+        let (train, _) = generate(&DatasetProfile::tiny(3, 8, 30, 10), 1);
+        let mut rng = SeededRng::new(1);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let acc = natural_accuracy(&mut net, &train, &InferencePolicy::Fixed(None), &mut rng);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn robust_leq_natural_for_untrained_net_on_average() {
+        let (train, _) = generate(&DatasetProfile::tiny(3, 8, 24, 10), 2);
+        let mut rng = SeededRng::new(2);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let nat = natural_accuracy(&mut net, &train, &InferencePolicy::Fixed(None), &mut rng);
+        let attack = Pgd::new(EPS, 5);
+        let rob = robust_accuracy(
+            &mut net,
+            &train,
+            &attack,
+            &InferencePolicy::Fixed(None),
+            &InferencePolicy::Fixed(None),
+            8,
+            &mut rng,
+        );
+        assert!(rob <= nat + 0.15, "robust {} should not exceed natural {} by much", rob, nat);
+    }
+
+    #[test]
+    fn policies_restore_precision() {
+        let (train, _) = generate(&DatasetProfile::tiny(2, 8, 8, 4), 3);
+        let mut rng = SeededRng::new(3);
+        let set = PrecisionSet::new(&[4, 8]);
+        let mut net = zoo::preact_resnet18_rps(3, 4, 2, set.clone(), &mut rng);
+        net.set_precision(Some(Precision::new(8)));
+        let _ = natural_accuracy(&mut net, &train, &InferencePolicy::Random(set), &mut rng);
+        assert_eq!(net.precision(), Some(Precision::new(8)));
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(InferencePolicy::Fixed(None).to_string(), "fp32");
+        assert_eq!(InferencePolicy::Fixed(Some(Precision::new(8))).to_string(), "8-bit");
+        assert_eq!(
+            InferencePolicy::Random(PrecisionSet::range(4, 8)).to_string(),
+            "RPS 4~8-bit"
+        );
+    }
+}

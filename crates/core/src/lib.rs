@@ -1,0 +1,44 @@
+//! # tia-core
+//!
+//! The paper's algorithmic contribution: **Random Precision Switch (RPS)**
+//! adversarial training and inference (Alg. 1), plus the evaluation harness
+//! that regenerates the algorithm-side tables and figures.
+//!
+//! * [`adversarial_train`] — FGSM / FGSM-RS / PGD-7 / Free adversarial
+//!   training, optionally wrapped with RPS (random per-iteration precision +
+//!   switchable BN).
+//! * [`robust_accuracy`] / [`natural_accuracy`] — accuracy under attacks with
+//!   independent *attack* and *inference* precision policies (the paper's
+//!   threat model: the adversary crafts at one precision, the defender
+//!   randomly switches to another).
+//! * [`transfer_matrix`] — Fig. 1's attack-transferability matrices.
+//! * [`tradeoff_curve`] — Fig. 11's instant robustness-efficiency trade-off.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tia_core::{adversarial_train, AdvMethod, TrainConfig};
+//! use tia_data::{generate, DatasetProfile};
+//! use tia_nn::zoo;
+//! use tia_quant::PrecisionSet;
+//! use tia_tensor::SeededRng;
+//!
+//! let profile = DatasetProfile::cifar10_like().with_sizes(128, 64);
+//! let (train, _test) = generate(&profile, 0);
+//! let set = PrecisionSet::range(4, 8);
+//! let mut rng = SeededRng::new(1);
+//! let mut net = zoo::preact_resnet18_rps(3, 8, profile.classes, set.clone(), &mut rng);
+//! let cfg = TrainConfig::pgd7(8.0 / 255.0).with_rps(set).with_epochs(5);
+//! let report = adversarial_train(&mut net, &train, &cfg);
+//! assert_eq!(report.epoch_losses.len(), 5);
+//! ```
+
+mod eval;
+mod tradeoff;
+mod trainer;
+mod transfer;
+
+pub use eval::{natural_accuracy, robust_accuracy, InferencePolicy};
+pub use tradeoff::{tradeoff_curve, TradeoffPoint};
+pub use trainer::{adversarial_train, recalibrate_bn, AdvMethod, TrainConfig, TrainReport};
+pub use transfer::{transfer_matrix, TransferMatrix};

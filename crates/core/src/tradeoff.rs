@@ -1,0 +1,81 @@
+//! Instant robustness-efficiency trade-off (paper §2.5 and Fig. 11).
+
+use crate::eval::InferencePolicy;
+use crate::{natural_accuracy, robust_accuracy};
+use tia_attack::Attack;
+use tia_data::Dataset;
+use tia_nn::Network;
+use tia_quant::PrecisionSet;
+use tia_tensor::SeededRng;
+
+/// One operating point of the run-time trade-off: an inference precision set
+/// (or a static low precision) with its measured accuracies and mean cost.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Label, e.g. `"RPS 4~16-bit"` or `"static 4-bit"`.
+    pub label: String,
+    /// Natural accuracy under this policy.
+    pub natural_acc: f32,
+    /// Robust accuracy (attack samples its precision from the same set).
+    pub robust_acc: f32,
+    /// Mean executed bit-width — the efficiency proxy on the algorithm side;
+    /// `tia-sim` converts operating points into energy via the accelerator
+    /// model for Fig. 11's x-axis.
+    pub mean_bits: f32,
+}
+
+/// Sweeps inference precision sets, producing the Fig. 11 trade-off curve.
+///
+/// For each set the adversary also samples from the same set (the paper's
+/// threat model); a singleton set degenerates to static low-precision
+/// execution, the "merely high efficiency" end of the trade-off.
+pub fn tradeoff_curve(
+    net: &mut Network,
+    data: &Dataset,
+    attack: &dyn Attack,
+    sets: &[PrecisionSet],
+    batch_size: usize,
+    rng: &mut SeededRng,
+) -> Vec<TradeoffPoint> {
+    sets.iter()
+        .map(|set| {
+            let policy = InferencePolicy::Random(set.clone());
+            let natural = natural_accuracy(net, data, &policy, rng);
+            let robust =
+                robust_accuracy(net, data, attack, &policy.clone(), &policy, batch_size, rng);
+            let label = if set.len() == 1 {
+                format!("static {}", set.min())
+            } else {
+                format!("RPS {}", set)
+            };
+            TradeoffPoint { label, natural_acc: natural, robust_acc: robust, mean_bits: set.mean_bits() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_attack::Pgd;
+    use tia_data::{generate, DatasetProfile};
+    use tia_nn::zoo;
+
+    #[test]
+    fn tradeoff_points_have_monotone_mean_bits() {
+        let (train, _) = generate(&DatasetProfile::tiny(2, 8, 12, 6), 4);
+        let mut rng = SeededRng::new(4);
+        let set_all = PrecisionSet::range(4, 8);
+        let mut net = zoo::preact_resnet18_rps(3, 4, 2, set_all.clone(), &mut rng);
+        let attack = Pgd::new(8.0 / 255.0, 3);
+        let sets = vec![set_all, PrecisionSet::range(4, 6), PrecisionSet::new(&[4])];
+        let pts = tradeoff_curve(&mut net, &train, &attack, &sets, 6, &mut rng);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].mean_bits > pts[1].mean_bits);
+        assert!(pts[1].mean_bits > pts[2].mean_bits);
+        assert_eq!(pts[2].label, "static 4-bit");
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.natural_acc));
+            assert!((0.0..=1.0).contains(&p.robust_acc));
+        }
+    }
+}

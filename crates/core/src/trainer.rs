@@ -1,0 +1,321 @@
+//! Adversarial training harness (paper Alg. 1 when RPS is enabled).
+
+use tia_attack::{Attack, Fgsm, FgsmRs, Pgd};
+use tia_data::Dataset;
+use tia_nn::{Mode, Network, Sgd};
+use tia_quant::{Precision, PrecisionSet};
+use tia_tensor::{SeededRng, Tensor};
+
+/// Adversarial-training method (the four baselines of §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvMethod {
+    /// Single-step FGSM training (Goodfellow et al.).
+    Fgsm,
+    /// FGSM with random start, α = 1.25ε (Wong et al.).
+    FgsmRs,
+    /// PGD-k inner maximization (Madry et al.); the paper uses k = 7.
+    Pgd {
+        /// Inner maximization steps.
+        steps: usize,
+    },
+    /// "Free" adversarial training (Shafahi et al.): each mini-batch is
+    /// replayed m times, sharing one δ that is updated with the input
+    /// gradient of the same backward pass used for the weight update.
+    Free {
+        /// Replay count m.
+        replays: usize,
+    },
+}
+
+impl AdvMethod {
+    /// Name as used in the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            AdvMethod::Fgsm => "FGSM".into(),
+            AdvMethod::FgsmRs => "FGSM-RS".into(),
+            AdvMethod::Pgd { steps } => format!("PGD-{}", steps),
+            AdvMethod::Free { replays } => format!("Free(m={})", replays),
+        }
+    }
+}
+
+/// Configuration for [`adversarial_train`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Adversarial training method.
+    pub method: AdvMethod,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// ℓ∞ training budget ε (in `[0,1]` units).
+    pub eps: f32,
+    /// `Some(set)` enables RPS training: a precision is sampled from `set`
+    /// each iteration for both attack generation and the update (Alg. 1,
+    /// lines 5–6). The network should carry switchable BN.
+    pub rps: Option<PrecisionSet>,
+    /// Static quantization during training when RPS is off (`None` = fp32).
+    pub static_precision: Option<Precision>,
+    /// RNG seed for batching/attacks/precision sampling.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// PGD-7 adversarial training with common defaults.
+    pub fn pgd7(eps: f32) -> Self {
+        Self::with_method(AdvMethod::Pgd { steps: 7 }, eps)
+    }
+
+    /// Creates a config for the given method with common defaults.
+    pub fn with_method(method: AdvMethod, eps: f32) -> Self {
+        Self {
+            method,
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.05,
+            eps,
+            rps: None,
+            static_precision: None,
+            seed: 0,
+        }
+    }
+
+    /// Enables RPS training over `set`.
+    pub fn with_rps(mut self, set: PrecisionSet) -> Self {
+        self.rps = Some(set);
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets a static training precision (non-RPS quantized baseline).
+    pub fn with_static_precision(mut self, p: Precision) -> Self {
+        self.static_precision = Some(p);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean adversarial training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Precisions sampled per iteration (empty unless RPS).
+    pub sampled_precisions: Vec<u8>,
+}
+
+/// Adversarially trains `net` on `data` per `cfg` (paper Alg. 1 when
+/// `cfg.rps` is set).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn adversarial_train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> TrainReport {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let mut rng = SeededRng::new(cfg.seed);
+    let opt = Sgd::new(cfg.lr);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut sampled = Vec::new();
+    for _epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0;
+        let mut batches: f32 = 0.0;
+        for (x, labels) in data.batches(cfg.batch_size, &mut rng) {
+            // Alg. 1 line 5: pick this iteration's precision.
+            let p = match &cfg.rps {
+                Some(set) => {
+                    let p = set.sample(&mut rng);
+                    sampled.push(p.bits());
+                    Some(p)
+                }
+                None => cfg.static_precision,
+            };
+            net.set_precision(p);
+            loss_sum += match cfg.method {
+                AdvMethod::Free { replays } => free_step(net, &opt, &x, &labels, cfg.eps, replays),
+                _ => standard_step(net, &opt, &x, &labels, cfg, &mut rng),
+            };
+            batches += 1.0;
+        }
+        epoch_losses.push(loss_sum / batches.max(1.0));
+    }
+    // Post-training switchable-BN recalibration: every candidate precision's
+    // BN statistics are refreshed with forward passes over the training data
+    // (standard practice for switchable/slimmable networks; at the paper's
+    // full epoch budget every slot converges during training itself, but at
+    // reduced scale rarely-sampled slots need this refresh).
+    if let Some(set) = &cfg.rps {
+        recalibrate_bn(net, data, set, cfg.batch_size, &mut rng);
+    }
+    TrainReport { epoch_losses, sampled_precisions: sampled }
+}
+
+/// Refreshes BN running statistics for every precision in `set` by running
+/// forward passes in training mode (no parameter updates).
+pub fn recalibrate_bn(
+    net: &mut Network,
+    data: &Dataset,
+    set: &PrecisionSet,
+    batch_size: usize,
+    rng: &mut SeededRng,
+) {
+    let saved = net.precision();
+    for p in set.iter() {
+        net.set_precision(Some(p));
+        // Enough batches to dominate the momentum-0.2 running average.
+        for (x, _labels) in data.batches(batch_size, rng).take(24) {
+            let _ = net.forward(&x, Mode::Train);
+        }
+    }
+    net.set_precision(saved);
+}
+
+/// Generate adversarial examples with the configured inner attack, then take
+/// one SGD step on them (Alg. 1 lines 7–11).
+fn standard_step(
+    net: &mut Network,
+    opt: &Sgd,
+    x: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+    rng: &mut SeededRng,
+) -> f32 {
+    let x_adv = match cfg.method {
+        AdvMethod::Fgsm => Fgsm::new(cfg.eps).perturb(net, x, labels, rng),
+        AdvMethod::FgsmRs => FgsmRs::new(cfg.eps).perturb(net, x, labels, rng),
+        AdvMethod::Pgd { steps } => Pgd::new(cfg.eps, steps).perturb(net, x, labels, rng),
+        AdvMethod::Free { .. } => unreachable!("handled by free_step"),
+    };
+    net.zero_grad();
+    let (loss, _) = net.loss_and_input_grad(&x_adv, labels, Mode::Train);
+    opt.step(net);
+    loss
+}
+
+/// One "free" adversarial training step: m replays sharing δ; each replay's
+/// backward pass yields both the weight gradient (used immediately) and the
+/// input gradient (used to grow δ).
+fn free_step(
+    net: &mut Network,
+    opt: &Sgd,
+    x: &Tensor,
+    labels: &[usize],
+    eps: f32,
+    replays: usize,
+) -> f32 {
+    let mut delta = Tensor::zeros(x.shape());
+    let mut last_loss = 0.0;
+    for _ in 0..replays.max(1) {
+        let mut x_adv = x.add(&delta);
+        x_adv.clamp_in_place(0.0, 1.0);
+        net.zero_grad();
+        let (loss, gx) = net.loss_and_input_grad(&x_adv, labels, Mode::Train);
+        opt.step(net);
+        // δ ← clip(δ + ε·sign(∇_x)), reused by the next replay.
+        for (d, &g) in delta.data_mut().iter_mut().zip(gx.data()) {
+            *d = (*d + eps * g.signum()).clamp(-eps, eps);
+        }
+        last_loss = loss;
+    }
+    last_loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_data::{generate, DatasetProfile};
+    use tia_nn::zoo;
+
+    const EPS: f32 = 8.0 / 255.0;
+
+    fn tiny_data() -> Dataset {
+        let profile = DatasetProfile::tiny(3, 8, 48, 24);
+        generate(&profile, 9).0
+    }
+
+    #[test]
+    fn fgsm_training_reduces_loss() {
+        let data = tiny_data();
+        let mut rng = SeededRng::new(1);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let cfg = TrainConfig::with_method(AdvMethod::Fgsm, EPS)
+            .with_epochs(4)
+            .with_batch_size(16);
+        let report = adversarial_train(&mut net, &data, &cfg);
+        assert_eq!(report.epoch_losses.len(), 4);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should fall: {} -> {}", first, last);
+    }
+
+    #[test]
+    fn pgd_training_runs() {
+        let data = tiny_data();
+        let mut rng = SeededRng::new(2);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let cfg = TrainConfig::pgd7(EPS).with_epochs(1).with_batch_size(16);
+        let report = adversarial_train(&mut net, &data, &cfg);
+        assert!(report.epoch_losses[0].is_finite());
+        assert!(report.sampled_precisions.is_empty());
+    }
+
+    #[test]
+    fn free_training_runs_and_learns() {
+        let data = tiny_data();
+        let mut rng = SeededRng::new(3);
+        let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let cfg = TrainConfig::with_method(AdvMethod::Free { replays: 3 }, EPS)
+            .with_epochs(3)
+            .with_batch_size(16);
+        let report = adversarial_train(&mut net, &data, &cfg);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn rps_training_samples_precisions() {
+        let data = tiny_data();
+        let mut rng = SeededRng::new(4);
+        let set = PrecisionSet::new(&[4, 6, 8]);
+        let mut net = zoo::preact_resnet18_rps(3, 4, 3, set.clone(), &mut rng);
+        let cfg = TrainConfig::pgd7(EPS)
+            .with_rps(set)
+            .with_epochs(2)
+            .with_batch_size(16);
+        let report = adversarial_train(&mut net, &data, &cfg);
+        assert!(!report.sampled_precisions.is_empty());
+        let uniq: std::collections::HashSet<u8> =
+            report.sampled_precisions.iter().copied().collect();
+        assert!(uniq.len() >= 2, "should sample multiple precisions: {:?}", uniq);
+        assert!(report.sampled_precisions.iter().all(|b| [4u8, 6, 8].contains(b)));
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(AdvMethod::Pgd { steps: 7 }.name(), "PGD-7");
+        assert_eq!(AdvMethod::Free { replays: 8 }.name(), "Free(m=8)");
+        assert_eq!(AdvMethod::FgsmRs.name(), "FGSM-RS");
+    }
+}

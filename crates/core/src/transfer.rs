@@ -1,0 +1,139 @@
+//! Attack-transferability matrices across precisions (paper Fig. 1).
+
+use tia_attack::Attack;
+use tia_data::Dataset;
+use tia_nn::Network;
+use tia_quant::Precision;
+use tia_tensor::SeededRng;
+
+/// Robust accuracy for every (attack precision, inference precision) pair.
+///
+/// Row `i` = attacks crafted at `precisions[i]`; column `j` = the same model
+/// evaluated at `precisions[j]`. The paper's Fig. 1 observation is that the
+/// diagonal (matched precisions) is markedly lower than the off-diagonal:
+/// gradient attacks transfer poorly across quantization grids.
+#[derive(Debug, Clone)]
+pub struct TransferMatrix {
+    /// Precisions indexing rows and columns.
+    pub precisions: Vec<Precision>,
+    /// `values[i][j]` = robust accuracy, attack at `i`, inference at `j`.
+    pub values: Vec<Vec<f32>>,
+}
+
+impl TransferMatrix {
+    /// Mean of the diagonal (attack precision == inference precision).
+    pub fn diagonal_mean(&self) -> f32 {
+        let n = self.precisions.len();
+        (0..n).map(|i| self.values[i][i]).sum::<f32>() / n.max(1) as f32
+    }
+
+    /// Mean of the off-diagonal entries (transferred attacks).
+    pub fn off_diagonal_mean(&self) -> f32 {
+        let n = self.precisions.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += self.values[i][j];
+                }
+            }
+        }
+        s / (n * (n - 1)) as f32
+    }
+
+    /// Grand mean over all cells — the expected robust accuracy when both
+    /// sides sample uniformly (the quantity the paper compares against the
+    /// full-precision baseline).
+    pub fn grand_mean(&self) -> f32 {
+        let n = self.precisions.len();
+        self.values.iter().flatten().sum::<f32>() / ((n * n).max(1)) as f32
+    }
+
+    /// Renders an aligned text table (rows = attack precision).
+    pub fn render(&self) -> String {
+        let mut out = String::from("attack\\infer");
+        for p in &self.precisions {
+            out.push_str(&format!("{:>8}", format!("{}b", p.bits())));
+        }
+        out.push('\n');
+        for (i, p) in self.precisions.iter().enumerate() {
+            out.push_str(&format!("{:>12}", format!("{}b", p.bits())));
+            for v in &self.values[i] {
+                out.push_str(&format!("{:>8.1}", v * 100.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Computes the transferability matrix of `attack` on `net` over
+/// `precisions` (paper Fig. 1).
+///
+/// Adversarial examples are crafted once per attack precision and evaluated
+/// against every inference precision, exactly as the figure's protocol (and
+/// far cheaper than crafting per cell).
+pub fn transfer_matrix(
+    net: &mut Network,
+    data: &Dataset,
+    attack: &dyn Attack,
+    precisions: &[Precision],
+    batch_size: usize,
+    rng: &mut SeededRng,
+) -> TransferMatrix {
+    let saved = net.precision();
+    let n = data.len();
+    let bs = batch_size.max(1);
+    let mut values = vec![vec![0.0f32; precisions.len()]; precisions.len()];
+    for (ai, &ap) in precisions.iter().enumerate() {
+        let mut correct = vec![0usize; precisions.len()];
+        let mut i = 0;
+        while i < n {
+            let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
+            let (x, labels) = data.batch(&idx);
+            net.set_precision(Some(ap));
+            let x_adv = attack.perturb(net, &x, &labels, rng);
+            for (ii, &ip) in precisions.iter().enumerate() {
+                net.set_precision(Some(ip));
+                correct[ii] += net.correct_count(&x_adv, &labels);
+            }
+            i += bs;
+        }
+        for (ii, c) in correct.iter().enumerate() {
+            values[ai][ii] = *c as f32 / n.max(1) as f32;
+        }
+    }
+    net.set_precision(saved);
+    TransferMatrix { precisions: precisions.to_vec(), values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_statistics() {
+        let m = TransferMatrix {
+            precisions: vec![Precision::new(4), Precision::new(8)],
+            values: vec![vec![0.2, 0.6], vec![0.7, 0.3]],
+        };
+        assert!((m.diagonal_mean() - 0.25).abs() < 1e-6);
+        assert!((m.off_diagonal_mean() - 0.65).abs() < 1e-6);
+        assert!((m.grand_mean() - 0.45).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let m = TransferMatrix {
+            precisions: vec![Precision::new(4), Precision::new(8)],
+            values: vec![vec![0.2, 0.6], vec![0.7, 0.3]],
+        };
+        let r = m.render();
+        for s in ["20.0", "60.0", "70.0", "30.0", "4b", "8b"] {
+            assert!(r.contains(s), "missing {} in:\n{}", s, r);
+        }
+    }
+}

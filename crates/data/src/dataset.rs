@@ -1,0 +1,161 @@
+//! In-memory labelled image datasets and batch iteration.
+
+use tia_tensor::{SeededRng, Tensor};
+
+/// A labelled image dataset held in memory as one `[N, C, H, W]` tensor.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an image tensor and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not 4-D, lengths disagree, or a label is out of
+    /// range.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.shape().len(), 4, "images must be NCHW");
+        assert_eq!(images.shape()[0], labels.len(), "image/label count mismatch");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Self { images, labels, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The full image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies out the `i`-th image as `[C, H, W]`.
+    pub fn image(&self, i: usize) -> Tensor {
+        self.images.index_axis0(i)
+    }
+
+    /// Gathers a batch `[B, C, H, W]` plus labels for the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let items: Vec<Tensor> = indices.iter().map(|&i| self.image(i)).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (Tensor::stack(&items), labels)
+    }
+
+    /// Takes the first `n` samples as a new dataset (deterministic subset for
+    /// fast evaluations).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        let (images, labels) = self.batch(&idx);
+        Dataset::new(images, labels, self.classes)
+    }
+
+    /// Iterates over shuffled mini-batches.
+    pub fn batches<'a>(&'a self, batch_size: usize, rng: &mut SeededRng) -> BatchIter<'a> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        BatchIter { dataset: self, order, batch_size: batch_size.max(1), cursor: 0 }
+    }
+}
+
+/// Iterator over shuffled mini-batches of a [`Dataset`].
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.batch(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec((0..2 * 3 * 2 * 2).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        Dataset::new(images, vec![0, 1], 2)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.image(1).shape(), &[3, 2, 2]);
+        assert_eq!(d.image(1).data()[0], 12.0);
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let d = toy();
+        let (x, y) = d.batch(&[1, 0]);
+        assert_eq!(x.shape(), &[2, 3, 2, 2]);
+        assert_eq!(y, vec![1, 0]);
+        assert_eq!(x.index_axis0(0), d.image(1));
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = toy();
+        let mut rng = SeededRng::new(1);
+        let mut seen = vec![];
+        for (_, labels) in d.batches(1, &mut rng) {
+            seen.extend(labels);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn take_subsets() {
+        let d = toy();
+        let s = d.take(1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.labels(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_bounds_checked() {
+        let images = Tensor::zeros(&[1, 1, 1, 1]);
+        let _ = Dataset::new(images, vec![5], 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic dataset generation: smooth class prototypes + jittered samples.
+
+use crate::{Dataset, DatasetProfile};
+use tia_tensor::{SeededRng, Tensor};
+
+/// Generates `(train, test)` datasets for a profile, deterministically from a
+/// seed.
+///
+/// Each class gets a *prototype*: a smooth random field built by bilinearly
+/// upsampling a coarse Gaussian grid (per channel). A sample is
+/// `clamp(0.5 + contrast * prototype + shift + noise, 0, 1)`, where contrast
+/// and shift are per-sample jitters. Train and test draw from the same class
+/// distributions with independent noise.
+pub fn generate(profile: &DatasetProfile, seed: u64) -> (Dataset, Dataset) {
+    let mut rng = SeededRng::new(seed);
+    let prototypes: Vec<Tensor> = (0..profile.classes)
+        .map(|_| prototype(profile, &mut rng))
+        .collect();
+    let train = sample_split(profile, &prototypes, profile.train_size, &mut rng);
+    let test = sample_split(profile, &prototypes, profile.test_size, &mut rng);
+    (train, test)
+}
+
+fn prototype(p: &DatasetProfile, rng: &mut SeededRng) -> Tensor {
+    let g = p.prototype_grid.max(2);
+    let mut out = Tensor::zeros(&[p.channels, p.height, p.width]);
+    for c in 0..p.channels {
+        // Coarse grid of N(0,1), bilinearly upsampled to (height, width).
+        let coarse: Vec<f32> = (0..g * g).map(|_| rng.normal()).collect();
+        for y in 0..p.height {
+            for x in 0..p.width {
+                let fy = y as f32 / (p.height - 1).max(1) as f32 * (g - 1) as f32;
+                let fx = x as f32 / (p.width - 1).max(1) as f32 * (g - 1) as f32;
+                let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
+                let (y1, x1) = ((y0 + 1).min(g - 1), (x0 + 1).min(g - 1));
+                let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                let v = coarse[y0 * g + x0] * (1.0 - dy) * (1.0 - dx)
+                    + coarse[y0 * g + x1] * (1.0 - dy) * dx
+                    + coarse[y1 * g + x0] * dy * (1.0 - dx)
+                    + coarse[y1 * g + x1] * dy * dx;
+                *out.at4_like_mut(c, y, x, p.height, p.width) = v;
+            }
+        }
+    }
+    // Normalize prototype energy so class margins are comparable.
+    let norm = out.norm().max(1e-6);
+    out.scale(1.0 / norm * (p.image_len() as f32).sqrt() * 0.14);
+    out
+}
+
+trait At3Mut {
+    fn at4_like_mut(&mut self, c: usize, y: usize, x: usize, h: usize, w: usize) -> &mut f32;
+}
+
+impl At3Mut for Tensor {
+    fn at4_like_mut(&mut self, c: usize, y: usize, x: usize, h: usize, w: usize) -> &mut f32 {
+        let idx = (c * h + y) * w + x;
+        &mut self.data_mut()[idx]
+    }
+}
+
+fn sample_split(
+    p: &DatasetProfile,
+    prototypes: &[Tensor],
+    n: usize,
+    rng: &mut SeededRng,
+) -> Dataset {
+    let mut images = Tensor::zeros(&[n, p.channels, p.height, p.width]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % p.classes; // balanced classes
+        let proto = &prototypes[class];
+        let contrast = 0.8 + 0.4 * rng.uniform();
+        let shift = 0.1 * (rng.uniform() - 0.5);
+        let mut img = proto.map(|v| 0.5 + contrast * v + shift);
+        for v in img.data_mut() {
+            *v = (*v + p.noise_std * rng.normal()).clamp(0.0, 1.0);
+        }
+        images.set_axis0(i, &img);
+        labels.push(class);
+    }
+    // Shuffle sample order so mini-batches are not class-periodic.
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut shuffled = Tensor::zeros(images.shape());
+    let mut shuffled_labels = vec![0usize; n];
+    for (dst, &src) in order.iter().enumerate() {
+        shuffled.set_axis0(dst, &images.index_axis0(src));
+        shuffled_labels[dst] = labels[src];
+    }
+    Dataset::new(shuffled, shuffled_labels, p.classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = DatasetProfile::tiny(3, 8, 24, 12);
+        let (a, _) = generate(&p, 7);
+        let (b, _) = generate(&p, 7);
+        assert_eq!(a.images().data(), b.images().data());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = DatasetProfile::tiny(3, 8, 24, 12);
+        let (a, _) = generate(&p, 1);
+        let (b, _) = generate(&p, 2);
+        assert_ne!(a.images().data(), b.images().data());
+    }
+
+    #[test]
+    fn images_in_unit_range() {
+        let p = DatasetProfile::cifar10_like().with_sizes(64, 32);
+        let (train, test) = generate(&p, 3);
+        for d in [train, test] {
+            assert!(d.images().data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let p = DatasetProfile::tiny(4, 8, 40, 20);
+        let (train, _) = generate(&p, 5);
+        let mut counts = vec![0usize; 4];
+        for &l in train.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{:?}", counts);
+    }
+
+    #[test]
+    fn classes_are_linearly_separable_enough() {
+        // Nearest-prototype classification on clean data should beat chance
+        // by a wide margin; otherwise training experiments are meaningless.
+        let p = DatasetProfile::cifar10_like().with_sizes(200, 100);
+        let (train, test) = generate(&p, 11);
+        // Estimate class means from train.
+        let dim = p.image_len();
+        let mut means = vec![vec![0.0f32; dim]; p.classes];
+        let mut counts = vec![0usize; p.classes];
+        for i in 0..train.len() {
+            let img = train.image(i);
+            let l = train.labels()[i];
+            for (m, &v) in means[l].iter_mut().zip(img.data()) {
+                *m += v;
+            }
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let img = test.image(i);
+            let mut best = (f32::INFINITY, 0);
+            for (cl, m) in means.iter().enumerate() {
+                let d: f32 = img
+                    .data()
+                    .iter()
+                    .zip(m)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if d < best.0 {
+                    best = (d, cl);
+                }
+            }
+            if best.1 == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / test.len() as f32;
+        assert!(acc > 0.5, "nearest-mean accuracy too low: {}", acc);
+    }
+}

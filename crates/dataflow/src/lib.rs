@@ -1,0 +1,47 @@
+//! # tia-dataflow
+//!
+//! Dataflow representation, analytical performance predictor and the
+//! evolutionary accelerator optimizer (paper §3.3, Alg. 2).
+//!
+//! A *dataflow* here is, as in Eyeriss/DNN-Chip Predictor, a tiling of the
+//! 7-dimensional convolution loop nest `(N, K, C, R, S, Y, X)` across the
+//! memory hierarchy (DRAM → global buffer → NoC/PE array → register file)
+//! plus a loop order per temporal level. The predictor counts per-level
+//! tile refills — honouring temporal reuse when loops irrelevant to a tensor
+//! sit innermost — and turns them into cycles (compute vs. per-level
+//! bandwidth, double-buffered) and energy (per-bit access costs + per-MAC
+//! energy from `tia-accel`).
+//!
+//! The optimizer implements Alg. 2: a population of random valid dataflows
+//! evolved by crossover (swap one level's loop order / one dimension's
+//! tiling between parents) and mutation, keeping the top 30 % each cycle.
+//! A second mode searches micro-architectures (array size / buffer sizes)
+//! under an area budget, optimizing the dataflow for each candidate.
+//!
+//! # Example
+//!
+//! ```
+//! use tia_accel::{MacKind, PrecisionPair};
+//! use tia_dataflow::{ArchConfig, EvoSearch, Workload};
+//! use tia_nn::workload::LayerSpec;
+//! use tia_tensor::SeededRng;
+//!
+//! let layer = LayerSpec::conv("conv", 64, 64, 3, 1, 1, 16, 16);
+//! let arch = ArchConfig::with_mac_area_budget(MacKind::spatial_temporal(), 512.0);
+//! let wl = Workload::new(&layer, PrecisionPair::symmetric(8));
+//! let mut rng = SeededRng::new(0);
+//! let best = EvoSearch::default().run(&arch, &wl, &mut rng);
+//! assert!(best.perf.total_cycles > 0.0);
+//! ```
+
+mod arch;
+mod loopnest;
+mod predictor;
+mod search;
+mod tiling;
+
+pub use arch::ArchConfig;
+pub use loopnest::{Dataflow, Dim, DIMS};
+pub use predictor::{predict, PerfReport, Workload};
+pub use search::{ArchSearch, EvoSearch, SearchMode, SearchResult};
+pub use tiling::Tiling;

@@ -1,0 +1,200 @@
+//! Loop dimensions and the dataflow (tiling + loop orders) type.
+
+use crate::tiling::Tiling;
+use tia_tensor::SeededRng;
+
+/// The seven convolution loop dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Batch.
+    N,
+    /// Output channels.
+    K,
+    /// Input channels.
+    C,
+    /// Kernel rows.
+    R,
+    /// Kernel columns.
+    S,
+    /// Output rows.
+    Y,
+    /// Output columns.
+    X,
+}
+
+/// All dimensions in canonical order (matching `LayerSpec::loop_bounds`).
+pub const DIMS: [Dim; 7] = [Dim::N, Dim::K, Dim::C, Dim::R, Dim::S, Dim::Y, Dim::X];
+
+impl Dim {
+    /// Canonical index of the dimension.
+    pub fn index(self) -> usize {
+        DIMS.iter().position(|&d| d == self).expect("dim in DIMS")
+    }
+
+    /// Whether the weight tensor depends on this dimension.
+    pub fn weight_relevant(self) -> bool {
+        matches!(self, Dim::K | Dim::C | Dim::R | Dim::S)
+    }
+
+    /// Whether the input tensor depends on this dimension (sliding-window
+    /// halo makes inputs depend on R/S too).
+    pub fn input_relevant(self) -> bool {
+        matches!(self, Dim::N | Dim::C | Dim::Y | Dim::X | Dim::R | Dim::S)
+    }
+
+    /// Whether the output tensor depends on this dimension.
+    pub fn output_relevant(self) -> bool {
+        matches!(self, Dim::N | Dim::K | Dim::Y | Dim::X)
+    }
+}
+
+/// Number of storage levels: DRAM, global buffer, NoC (spatial), RF.
+pub const LEVELS: usize = 4;
+/// Index of the spatial (NoC) level within the tiling.
+pub const NOC_LEVEL: usize = 2;
+/// Temporal levels that carry a loop order (DRAM, global buffer, RF).
+pub const TEMPORAL_LEVELS: [usize; 3] = [0, 1, 3];
+
+/// A complete dataflow: per-level tiling factors plus a loop order for each
+/// temporal level (outermost dimension first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataflow {
+    /// Tiling factors per level per dim.
+    pub tiling: Tiling,
+    /// Loop orders for DRAM / global buffer / RF (indexed 0..3 in the order
+    /// of [`TEMPORAL_LEVELS`]).
+    pub orders: [[Dim; 7]; 3],
+}
+
+impl Dataflow {
+    /// A canonical (output-stationary-ish) dataflow for the given loop
+    /// bounds: useful as the *fixed* dataflow of baseline accelerators that
+    /// do not search (paper §3.1.3). Assumes a 256-PE array; use
+    /// [`Dataflow::canonical_for_array`] for other sizes.
+    pub fn canonical(bounds: [usize; 7]) -> Self {
+        Self::canonical_for_array(bounds, 256)
+    }
+
+    /// Canonical dataflow whose NoC tile fits an array of `max_units` PEs.
+    pub fn canonical_for_array(bounds: [usize; 7], max_units: usize) -> Self {
+        Self { tiling: Tiling::canonical_for_array(bounds, max_units), orders: [DIMS, DIMS, DIMS] }
+    }
+
+    /// Canonical dataflow with explicit global-buffer / RF C/X tile caps
+    /// (see [`Tiling::canonical_with_caps_rf`]).
+    pub fn canonical_with_caps(
+        bounds: [usize; 7],
+        max_units: usize,
+        gb_cap: usize,
+        rf_cap: usize,
+    ) -> Self {
+        Self {
+            tiling: Tiling::canonical_with_caps_rf(bounds, max_units, gb_cap, rf_cap),
+            orders: [DIMS, DIMS, DIMS],
+        }
+    }
+
+    /// A degenerate always-valid dataflow: every loop at DRAM level, one
+    /// element at a time below. Terrible performance, guaranteed to map —
+    /// the search's fallback of last resort.
+    pub fn minimal(bounds: [usize; 7]) -> Self {
+        let mut factors = [[1usize; 7]; LEVELS];
+        factors[0] = bounds;
+        Self { tiling: Tiling { factors }, orders: [DIMS, DIMS, DIMS] }
+    }
+
+    /// Random valid dataflow for the bounds.
+    pub fn random(bounds: [usize; 7], rng: &mut SeededRng) -> Self {
+        let tiling = Tiling::random(bounds, rng);
+        let mut orders = [DIMS, DIMS, DIMS];
+        for o in &mut orders {
+            rng.shuffle(o);
+        }
+        Self { tiling, orders }
+    }
+
+    /// Mutates in place: re-splits one dimension's tiling or permutes one
+    /// level's loop order (Alg. 2's mutation operator).
+    pub fn mutate(&mut self, bounds: [usize; 7], rng: &mut SeededRng) {
+        if rng.uniform() < 0.5 {
+            let d = rng.below(7);
+            self.tiling.resplit_dim(d, bounds[d], rng);
+        } else {
+            let l = rng.below(3);
+            rng.shuffle(&mut self.orders[l]);
+        }
+    }
+
+    /// Crossover: take one level's loop order or one dimension's tiling from
+    /// `other` (Alg. 2's crossover operator).
+    pub fn crossover(&self, other: &Dataflow, rng: &mut SeededRng) -> Dataflow {
+        let mut child = self.clone();
+        if rng.uniform() < 0.5 {
+            let l = rng.below(3);
+            child.orders[l] = other.orders[l];
+        } else {
+            let d = rng.below(7);
+            for lev in 0..LEVELS {
+                child.tiling.factors[lev][d] = other.tiling.factors[lev][d];
+            }
+        }
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevance_tables() {
+        assert!(Dim::K.weight_relevant());
+        assert!(!Dim::K.input_relevant());
+        assert!(Dim::K.output_relevant());
+        assert!(Dim::C.weight_relevant());
+        assert!(Dim::C.input_relevant());
+        assert!(!Dim::C.output_relevant());
+        assert!(Dim::R.input_relevant(), "halo makes inputs depend on R");
+    }
+
+    #[test]
+    fn canonical_is_valid() {
+        let bounds = [1, 64, 32, 3, 3, 16, 16];
+        let df = Dataflow::canonical(bounds);
+        assert!(df.tiling.is_valid(bounds));
+    }
+
+    #[test]
+    fn random_is_valid_and_varies() {
+        let bounds = [1, 64, 32, 3, 3, 16, 16];
+        let mut rng = SeededRng::new(1);
+        let a = Dataflow::random(bounds, &mut rng);
+        let b = Dataflow::random(bounds, &mut rng);
+        assert!(a.tiling.is_valid(bounds));
+        assert!(b.tiling.is_valid(bounds));
+        assert_ne!(a, b, "two random dataflows should differ");
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let bounds = [1, 48, 24, 3, 3, 8, 8];
+        let mut rng = SeededRng::new(2);
+        let mut df = Dataflow::random(bounds, &mut rng);
+        for _ in 0..50 {
+            df.mutate(bounds, &mut rng);
+            assert!(df.tiling.is_valid(bounds));
+        }
+    }
+
+    #[test]
+    fn crossover_preserves_validity() {
+        let bounds = [1, 48, 24, 3, 3, 8, 8];
+        let mut rng = SeededRng::new(3);
+        let a = Dataflow::random(bounds, &mut rng);
+        let b = Dataflow::random(bounds, &mut rng);
+        for _ in 0..20 {
+            let c = a.crossover(&b, &mut rng);
+            assert!(c.tiling.is_valid(bounds));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Analytical performance predictor (DNN-Chip-Predictor style, paper §3.3).
+
+use crate::arch::ArchConfig;
+use crate::loopnest::{Dataflow, Dim, DIMS, NOC_LEVEL, TEMPORAL_LEVELS};
+use tia_accel::{mem_energy_per_bit, MemLevel, PrecisionPair};
+use tia_nn::workload::{LayerKind, LayerSpec};
+
+/// One layer workload at one execution precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Loop bounds `(N, K, C, R, S, Y, X)`.
+    pub bounds: [usize; 7],
+    /// Convolution stride (1 for FC).
+    pub stride: usize,
+    /// Execution precision.
+    pub precision: PrecisionPair,
+    /// True MAC count (unpadded).
+    pub macs: u64,
+}
+
+impl Workload {
+    /// Builds a workload from a layer spec and precision.
+    pub fn new(layer: &LayerSpec, precision: PrecisionPair) -> Self {
+        let stride = match layer.kind {
+            LayerKind::Conv { stride, .. } => stride,
+            LayerKind::Fc { .. } => 1,
+        };
+        Self { bounds: layer.loop_bounds(), stride, precision, macs: layer.macs() }
+    }
+}
+
+/// Predicted performance of one (workload, dataflow) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Total cycles (compute/memory overlapped, double-buffered).
+    pub total_cycles: f64,
+    /// Pure compute cycles.
+    pub compute_cycles: f64,
+    /// Memory stall cycles (total − compute).
+    pub stall_cycles: f64,
+    /// Bits moved at each level `[DRAM, SRAM, NoC, RF]`.
+    pub bits_moved: [f64; 4],
+    /// Energy per level `[DRAM, SRAM, NoC, RF]` (normalized units).
+    pub mem_energy: [f64; 4],
+    /// MAC energy.
+    pub mac_energy: f64,
+    /// PE-array spatial utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl PerfReport {
+    /// Total energy.
+    pub fn total_energy(&self) -> f64 {
+        self.mem_energy.iter().sum::<f64>() + self.mac_energy
+    }
+
+    /// Energy-delay product (the optimizer's default objective).
+    pub fn edp(&self) -> f64 {
+        self.total_energy() * self.total_cycles
+    }
+}
+
+/// Tensor roles in the loop nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TensorRole {
+    Weights,
+    Inputs,
+    Outputs,
+}
+
+const TENSORS: [TensorRole; 3] = [TensorRole::Weights, TensorRole::Inputs, TensorRole::Outputs];
+
+impl TensorRole {
+    fn relevant(self, d: Dim) -> bool {
+        match self {
+            TensorRole::Weights => d.weight_relevant(),
+            TensorRole::Inputs => d.input_relevant(),
+            TensorRole::Outputs => d.output_relevant(),
+        }
+    }
+
+    fn word_bits(self, p: PrecisionPair) -> f64 {
+        match self {
+            TensorRole::Weights => p.w as f64,
+            TensorRole::Inputs => p.a as f64,
+            // Partial sums accumulate at full width.
+            TensorRole::Outputs => 16.0,
+        }
+    }
+}
+
+/// Footprint (elements) of a tensor's tile spanning levels `level..`.
+fn tile_elems(t: TensorRole, df: &Dataflow, wl: &Workload, level: usize) -> f64 {
+    let span = |d: Dim| df.tiling.tile_span(level, d.index()) as f64;
+    match t {
+        TensorRole::Weights => span(Dim::K) * span(Dim::C) * span(Dim::R) * span(Dim::S),
+        TensorRole::Inputs => {
+            // Sliding-window halo: extent = (ty-1)*stride + tr.
+            let ext_y = (span(Dim::Y) - 1.0) * wl.stride as f64 + span(Dim::R);
+            let ext_x = (span(Dim::X) - 1.0) * wl.stride as f64 + span(Dim::S);
+            span(Dim::N) * span(Dim::C) * ext_y * ext_x
+        }
+        TensorRole::Outputs => span(Dim::N) * span(Dim::K) * span(Dim::Y) * span(Dim::X),
+    }
+}
+
+/// Refill multiplier contributed by one temporal level: iterations of
+/// relevant dims always multiply; iterations of irrelevant dims only
+/// multiply when some relevant dim sits *inside* them in the loop order
+/// (otherwise the tile below is reused across them).
+fn temporal_multiplier(t: TensorRole, df: &Dataflow, level_pos: usize) -> f64 {
+    let level = TEMPORAL_LEVELS[level_pos];
+    let order = &df.orders[level_pos];
+    let mut mult = 1.0;
+    for (pos, &d) in order.iter().enumerate() {
+        let f = df.tiling.factors[level][d.index()] as f64;
+        if f <= 1.0 {
+            continue;
+        }
+        if t.relevant(d) {
+            mult *= f;
+        } else {
+            // Irrelevant: multiplies only if a relevant dim with >1 iteration
+            // is strictly inside (higher position index = more inner).
+            let relevant_inside = order[pos + 1..].iter().any(|&inner| {
+                t.relevant(inner) && df.tiling.factors[level][inner.index()] > 1
+            });
+            if relevant_inside {
+                mult *= f;
+            }
+        }
+    }
+    mult
+}
+
+/// Spatial (NoC) fan-out for a tensor: PEs holding *distinct* data multiply
+/// the GB→RF traffic; PEs along irrelevant spatial dims share via multicast.
+fn spatial_fanout(t: TensorRole, df: &Dataflow) -> f64 {
+    DIMS.iter()
+        .filter(|&&d| t.relevant(d))
+        .map(|&d| df.tiling.factors[NOC_LEVEL][d.index()] as f64)
+        .product()
+}
+
+/// Evaluates a dataflow on an architecture; returns `None` when the mapping
+/// is invalid (buffer overflow or spatial tile exceeding the array).
+pub fn predict(arch: &ArchConfig, wl: &Workload, df: &Dataflow) -> Option<PerfReport> {
+    if !df.tiling.is_valid(wl.bounds) {
+        return None;
+    }
+    let p = wl.precision;
+    // --- Validity: spatial tile fits the array; tiles fit their buffers.
+    let spatial: usize = (0..7).map(|d| df.tiling.factors[NOC_LEVEL][d]).product();
+    if spatial > arch.units {
+        return None;
+    }
+    // Global buffer holds the level-1 tiles of all tensors, double-buffered.
+    let gb_bits: f64 = TENSORS
+        .iter()
+        .map(|&t| tile_elems(t, df, wl, 1) * t.word_bits(p))
+        .sum::<f64>()
+        * 2.0;
+    if gb_bits / 8.0 > arch.gb_bytes as f64 {
+        return None;
+    }
+    // RF holds the per-PE (level-3) tiles, double-buffered.
+    let rf_bits: f64 = TENSORS
+        .iter()
+        .map(|&t| tile_elems(t, df, wl, 3) * t.word_bits(p))
+        .sum::<f64>()
+        * 2.0;
+    if rf_bits / 8.0 > arch.rf_bytes as f64 {
+        return None;
+    }
+
+    // --- Traffic per level.
+    // DRAM -> GB: level-1 tile refilled by DRAM-level loops.
+    // GB -> PEs (NoC, counted once) -> RF: level-3 tile refilled by DRAM+GB
+    // loops and fanned out spatially.
+    // RF -> MAC: every MAC reads each operand once (outputs written once per
+    // MAC into the accumulator, charged on the output stream).
+    let mut bits = [0.0f64; 4];
+    for &t in &TENSORS {
+        let out_rw = if t == TensorRole::Outputs { 2.0 } else { 1.0 }; // psum read+write
+        let dram_traffic =
+            tile_elems(t, df, wl, 1) * temporal_multiplier(t, df, 0) * t.word_bits(p) * out_rw;
+        let rf_refills = temporal_multiplier(t, df, 0)
+            * temporal_multiplier(t, df, 1)
+            * spatial_fanout(t, df);
+        let gb_traffic = tile_elems(t, df, wl, 3) * rf_refills * t.word_bits(p) * out_rw;
+        bits[0] += dram_traffic;
+        bits[1] += gb_traffic;
+        bits[2] += gb_traffic; // NoC carries the GB->RF stream
+        bits[3] += wl.macs as f64 * t.word_bits(p); // RF->MAC operand reads
+    }
+
+    // --- Cycles.
+    let padded_macs: f64 = (0..7).map(|d| df.tiling.coverage(d) as f64).product();
+    let ppc = arch.mac.products_per_cycle(p);
+    let compute_cycles = padded_macs / (spatial as f64 * ppc);
+    let dram_cycles = bits[0] / 8.0 / arch.dram_bw;
+    let gb_cycles = bits[1] / 8.0 / arch.gb_bw;
+    let noc_cycles = bits[2] / 8.0 / arch.noc_bw;
+    let total_cycles = compute_cycles.max(dram_cycles).max(gb_cycles).max(noc_cycles);
+
+    // --- Energy.
+    let levels = [MemLevel::Dram, MemLevel::GlobalBuffer, MemLevel::Noc, MemLevel::Rf];
+    let mut mem_energy = [0.0f64; 4];
+    for i in 0..4 {
+        mem_energy[i] = bits[i] * mem_energy_per_bit(levels[i]);
+    }
+    let mac_energy = wl.macs as f64 * arch.mac.energy_per_mac(p);
+
+    Some(PerfReport {
+        total_cycles,
+        compute_cycles,
+        stall_cycles: total_cycles - compute_cycles,
+        bits_moved: bits,
+        mem_energy,
+        mac_energy,
+        utilization: spatial as f64 / arch.units as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::Dataflow;
+    use tia_accel::MacKind;
+    use tia_tensor::SeededRng;
+
+    fn layer() -> LayerSpec {
+        LayerSpec::conv("conv", 32, 64, 3, 1, 1, 16, 16)
+    }
+
+    fn arch() -> ArchConfig {
+        ArchConfig::with_mac_area_budget(MacKind::spatial_temporal(), 256.0)
+    }
+
+    #[test]
+    fn canonical_dataflow_predicts() {
+        let wl = Workload::new(&layer(), PrecisionPair::symmetric(8));
+        let df = Dataflow::canonical(wl.bounds);
+        let perf = predict(&arch(), &wl, &df).expect("canonical must be valid");
+        assert!(perf.total_cycles > 0.0);
+        assert!(perf.compute_cycles > 0.0);
+        assert!(perf.stall_cycles >= 0.0);
+        assert!(perf.total_energy() > 0.0);
+        assert!(perf.utilization > 0.0 && perf.utilization <= 1.0);
+    }
+
+    #[test]
+    fn lower_precision_never_slower_ours() {
+        let a = arch();
+        let df8;
+        let df4;
+        let wl8 = Workload::new(&layer(), PrecisionPair::symmetric(8));
+        let wl4 = Workload::new(&layer(), PrecisionPair::symmetric(4));
+        df8 = Dataflow::canonical(wl8.bounds);
+        df4 = Dataflow::canonical(wl4.bounds);
+        let p8 = predict(&a, &wl8, &df8).unwrap();
+        let p4 = predict(&a, &wl4, &df4).unwrap();
+        assert!(p4.total_cycles <= p8.total_cycles, "{} vs {}", p4.total_cycles, p8.total_cycles);
+        assert!(p4.total_energy() < p8.total_energy());
+    }
+
+    #[test]
+    fn oversized_spatial_tile_rejected() {
+        let wl = Workload::new(&layer(), PrecisionPair::symmetric(8));
+        let mut df = Dataflow::canonical(wl.bounds);
+        // Blow up the NoC tile beyond the array size.
+        df.tiling.factors[2] = [1, 64, 32, 1, 1, 16, 1];
+        df.tiling.factors[0] = [1, 1, 1, 3, 3, 1, 16];
+        df.tiling.factors[1] = [1; 7];
+        df.tiling.factors[3] = [1; 7];
+        assert!(predict(&arch(), &wl, &df).is_none());
+    }
+
+    #[test]
+    fn weight_stationary_order_reduces_weight_traffic() {
+        // With K/C/R/S loops outermost at DRAM (weights change every
+        // iteration) vs innermost (weights reused), DRAM traffic must drop.
+        let wl = Workload::new(&layer(), PrecisionPair::symmetric(8));
+        let mut df_bad = Dataflow::canonical(wl.bounds);
+        let mut df_good = df_bad.clone();
+        // Put Y (weight-irrelevant) iterations at DRAM level.
+        df_bad.tiling.factors[0][5] = 16;
+        df_bad.tiling.factors[2][5] = 1;
+        df_good.tiling.factors[0][5] = 16;
+        df_good.tiling.factors[2][5] = 1;
+        // bad: Y outermost with K inside -> weights refetched per Y iter.
+        df_bad.orders[0] = [Dim::Y, Dim::K, Dim::C, Dim::R, Dim::S, Dim::N, Dim::X];
+        // good: Y innermost -> weight tile reused across Y.
+        df_good.orders[0] = [Dim::K, Dim::C, Dim::R, Dim::S, Dim::N, Dim::X, Dim::Y];
+        let a = arch();
+        let pb = predict(&a, &wl, &df_bad).unwrap();
+        let pg = predict(&a, &wl, &df_good).unwrap();
+        assert!(
+            pg.bits_moved[0] < pb.bits_moved[0],
+            "weight-stationary order should cut DRAM traffic: {} vs {}",
+            pg.bits_moved[0],
+            pb.bits_moved[0]
+        );
+    }
+
+    #[test]
+    fn mac_energy_uses_true_not_padded_macs() {
+        let l = layer();
+        let wl = Workload::new(&l, PrecisionPair::symmetric(8));
+        let df = Dataflow::canonical(wl.bounds);
+        let perf = predict(&arch(), &wl, &df).unwrap();
+        let per_mac = arch().mac.energy_per_mac(PrecisionPair::symmetric(8));
+        assert!((perf.mac_energy - l.macs() as f64 * per_mac).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_dataflows_mostly_predict_or_reject_cleanly() {
+        let wl = Workload::new(&layer(), PrecisionPair::symmetric(8));
+        let mut rng = SeededRng::new(5);
+        let mut valid = 0;
+        for _ in 0..50 {
+            let df = Dataflow::random(wl.bounds, &mut rng);
+            if let Some(p) = predict(&arch(), &wl, &df) {
+                valid += 1;
+                assert!(p.total_cycles.is_finite());
+                assert!(p.total_energy().is_finite());
+            }
+        }
+        assert!(valid > 0, "at least some random dataflows must be valid");
+    }
+}

@@ -1,0 +1,261 @@
+//! Evolutionary dataflow / micro-architecture search (paper Alg. 2).
+
+use crate::arch::ArchConfig;
+use crate::loopnest::Dataflow;
+use crate::predictor::{predict, PerfReport, Workload};
+use tia_tensor::SeededRng;
+
+/// What the search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Full search: loop orders and tiling factors at every level (ours and
+    /// the Stripes baseline, which the paper also optimizes).
+    Full,
+    /// Bit Fusion's published optimizer only explores the global-buffer loop
+    /// order, keeping the NoC mapping fixed (§3.1.3).
+    GbOrderOnly,
+}
+
+/// Evolutionary dataflow search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EvoSearch {
+    /// Population size.
+    pub population: usize,
+    /// Evolution cycles.
+    pub cycles: usize,
+    /// Search mode.
+    pub mode: SearchMode,
+}
+
+impl Default for EvoSearch {
+    fn default() -> Self {
+        Self { population: 24, cycles: 10, mode: SearchMode::Full }
+    }
+}
+
+/// (global-buffer cap, RF cap) ladder tried for canonical (fixed-style)
+/// dataflows: large tiles first, shrinking until buffers fit.
+const CAP_LADDER: [(usize, usize); 7] =
+    [(64, 4), (16, 4), (4, 4), (16, 2), (4, 2), (2, 2), (1, 1)];
+
+/// A found dataflow with its predicted performance.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best dataflow.
+    pub dataflow: Dataflow,
+    /// Its predicted performance.
+    pub perf: PerfReport,
+}
+
+impl EvoSearch {
+    /// Restricts the search as a baseline optimizer would.
+    pub fn with_mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs Alg. 2 for one workload, returning the best valid dataflow by
+    /// energy-delay product. Falls back to the canonical dataflow when no
+    /// random candidate validates (tiny layers).
+    pub fn run(&self, arch: &ArchConfig, wl: &Workload, rng: &mut SeededRng) -> SearchResult {
+        let bounds = wl.bounds;
+        let mut population: Vec<(Dataflow, PerfReport)> = Vec::new();
+        // Seed with the cap ladder of canonical dataflows; wide layers at
+        // high precision only validate with small global-buffer tiles.
+        for (gb_cap, rf_cap) in CAP_LADDER {
+            let seed_df = Dataflow::canonical_with_caps(bounds, arch.units, gb_cap, rf_cap);
+            if let Some(p) = predict(arch, wl, &seed_df) {
+                population.push((seed_df, p));
+            }
+        }
+        // Initial random population (Alg. 2 line 1).
+        let mut attempts = 0;
+        while population.len() < self.population && attempts < self.population * 20 {
+            attempts += 1;
+            let df = self.random_candidate(bounds, arch.units, rng);
+            if let Some(p) = predict(arch, wl, &df) {
+                population.push((df, p));
+            }
+        }
+        if population.is_empty() {
+            // Even canonical failed (e.g. a very wide FC tile on a tiny
+            // buffer): fall back to the degenerate all-at-DRAM mapping,
+            // which always validates.
+            let df = Dataflow::minimal(bounds);
+            let p = predict(arch, wl, &df)
+                .expect("minimal dataflow must always be valid");
+            population.push((df, p));
+        }
+        for _cycle in 0..self.cycles {
+            // Select top 30% (Alg. 2 line 3).
+            population.sort_by(|a, b| a.1.edp().total_cmp(&b.1.edp()));
+            let keep = (population.len() * 3 / 10).max(2).min(population.len());
+            population.truncate(keep);
+            // Refill with crossover + mutation (lines 4-7).
+            let mut guard = 0;
+            while population.len() < self.population && guard < self.population * 30 {
+                guard += 1;
+                let df = if rng.uniform() < 0.5 && population.len() >= 2 {
+                    let a = rng.below(keep.min(population.len()));
+                    let b = rng.below(keep.min(population.len()));
+                    let child = population[a].0.crossover(&population[b].0, rng);
+                    self.constrain(child, bounds, arch.units)
+                } else {
+                    let a = rng.below(keep.min(population.len()));
+                    let mut child = population[a].0.clone();
+                    child.mutate(bounds, rng);
+                    self.constrain(child, bounds, arch.units)
+                };
+                if let Some(p) = predict(arch, wl, &df) {
+                    population.push((df, p));
+                }
+            }
+        }
+        population.sort_by(|a, b| a.1.edp().total_cmp(&b.1.edp()));
+        let (dataflow, perf) = population.swap_remove(0);
+        SearchResult { dataflow, perf }
+    }
+
+    fn random_candidate(&self, bounds: [usize; 7], units: usize, rng: &mut SeededRng) -> Dataflow {
+        match self.mode {
+            SearchMode::Full => Dataflow::random(bounds, rng),
+            SearchMode::GbOrderOnly => {
+                let (gb_cap, rf_cap) = CAP_LADDER[rng.below(CAP_LADDER.len())];
+                let mut df = Dataflow::canonical_with_caps(bounds, units, gb_cap, rf_cap);
+                rng.shuffle(&mut df.orders[1]);
+                df
+            }
+        }
+    }
+
+    /// Re-applies the mode's restriction after crossover/mutation: the
+    /// restricted baseline keeps a canonical tiling (any ladder cap) and only
+    /// carries over the global-buffer loop order.
+    fn constrain(&self, mut df: Dataflow, bounds: [usize; 7], units: usize) -> Dataflow {
+        if self.mode == SearchMode::GbOrderOnly {
+            let orders = df.orders;
+            df = Dataflow::canonical_with_caps(bounds, units, 64, 4);
+            df.orders[1] = orders[1];
+        }
+        df
+    }
+}
+
+/// Mode-2 search (paper §3.3): explore micro-architectures under an area
+/// budget, optimizing the dataflow for each candidate and scoring by mean
+/// EDP across the given workloads.
+#[derive(Debug, Clone)]
+pub struct ArchSearch {
+    /// MAC-array area budget (normalized units).
+    pub area_budget: f64,
+    /// Candidate global-buffer sizes (bytes).
+    pub gb_candidates: Vec<usize>,
+    /// Candidate array-fill fractions of the budget.
+    pub fill_candidates: Vec<f64>,
+    /// Dataflow search used per candidate.
+    pub inner: EvoSearch,
+}
+
+impl ArchSearch {
+    /// A small default grid.
+    pub fn new(area_budget: f64) -> Self {
+        Self {
+            area_budget,
+            gb_candidates: vec![256 * 1024, 512 * 1024, 1024 * 1024],
+            fill_candidates: vec![0.75, 1.0],
+            inner: EvoSearch::default(),
+        }
+    }
+
+    /// Searches micro-architecture + dataflow; returns the best config and
+    /// its mean-EDP score.
+    pub fn run(
+        &self,
+        kind: tia_accel::MacKind,
+        workloads: &[Workload],
+        rng: &mut SeededRng,
+    ) -> (ArchConfig, f64) {
+        assert!(!workloads.is_empty(), "need at least one workload");
+        let mut best: Option<(ArchConfig, f64)> = None;
+        for &gb in &self.gb_candidates {
+            for &fill in &self.fill_candidates {
+                let cfg = ArchConfig::with_mac_area_budget(kind, self.area_budget * fill)
+                    .with_gb_bytes(gb);
+                let mut edp_sum = 0.0;
+                for wl in workloads {
+                    edp_sum += self.inner.run(&cfg, wl, rng).perf.edp();
+                }
+                let score = edp_sum / workloads.len() as f64;
+                if best.as_ref().map_or(true, |(_, s)| score < *s) {
+                    best = Some((cfg, score));
+                }
+            }
+        }
+        best.expect("grid is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_accel::{MacKind, PrecisionPair};
+    use tia_nn::workload::LayerSpec;
+
+    fn wl() -> Workload {
+        Workload::new(&LayerSpec::conv("c", 32, 64, 3, 1, 1, 16, 16), PrecisionPair::symmetric(8))
+    }
+
+    #[test]
+    fn search_beats_or_matches_canonical() {
+        let arch = ArchConfig::with_mac_area_budget(MacKind::spatial_temporal(), 256.0);
+        let w = wl();
+        let mut rng = SeededRng::new(11);
+        let canonical = predict(&arch, &w, &Dataflow::canonical(w.bounds)).unwrap();
+        let best = EvoSearch::default().run(&arch, &w, &mut rng);
+        assert!(
+            best.perf.edp() <= canonical.edp() * 1.0001,
+            "search must not be worse than its canonical seed: {} vs {}",
+            best.perf.edp(),
+            canonical.edp()
+        );
+    }
+
+    #[test]
+    fn full_search_at_least_matches_gb_order_only() {
+        let arch = ArchConfig::with_mac_area_budget(MacKind::Spatial, 256.0);
+        let w = wl();
+        let mut rng = SeededRng::new(12);
+        let full = EvoSearch::default().run(&arch, &w, &mut rng);
+        let limited = EvoSearch::default().with_mode(SearchMode::GbOrderOnly).run(&arch, &w, &mut rng);
+        assert!(
+            full.perf.edp() <= limited.perf.edp() * 1.05,
+            "full search should match or beat the limited baseline optimizer: {} vs {}",
+            full.perf.edp(),
+            limited.perf.edp()
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_given_seed() {
+        let arch = ArchConfig::with_mac_area_budget(MacKind::spatial_temporal(), 256.0);
+        let w = wl();
+        let a = EvoSearch::default().run(&arch, &w, &mut SeededRng::new(3));
+        let b = EvoSearch::default().run(&arch, &w, &mut SeededRng::new(3));
+        assert_eq!(a.perf.total_cycles, b.perf.total_cycles);
+        assert_eq!(a.dataflow, b.dataflow);
+    }
+
+    #[test]
+    fn arch_search_returns_valid_config() {
+        let mut rng = SeededRng::new(4);
+        let search = ArchSearch {
+            area_budget: 256.0,
+            gb_candidates: vec![256 * 1024, 512 * 1024],
+            fill_candidates: vec![1.0],
+            inner: EvoSearch { population: 10, cycles: 3, mode: SearchMode::Full },
+        };
+        let (cfg, score) = search.run(MacKind::spatial_temporal(), &[wl()], &mut rng);
+        assert!(cfg.units >= 1);
+        assert!(score > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-level tiling factors.
+
+use crate::loopnest::LEVELS;
+use tia_tensor::SeededRng;
+
+/// Tiling factors: `factors[level][dim]` iterations of `dim` at `level`.
+/// The product across levels must cover the loop bound (allowing imperfect
+/// factorization: the product may exceed the bound, modelling padding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tiling {
+    /// `factors[level][dim]`, levels outermost (DRAM) first.
+    pub factors: [[usize; 7]; LEVELS],
+}
+
+impl Tiling {
+    /// Canonical tiling assuming a 256-PE array.
+    pub fn canonical(bounds: [usize; 7]) -> Self {
+        Self::canonical_for_array(bounds, 256)
+    }
+
+    /// Canonical tiling: everything at the innermost (RF) level except K/Y
+    /// spread over the NoC (sized to fit `max_units` PEs), C/X in the global
+    /// buffer, and the remainder at DRAM. A serviceable fixed dataflow in
+    /// the spirit of the baselines' NoC mappings.
+    pub fn canonical_for_array(bounds: [usize; 7], max_units: usize) -> Self {
+        Self::canonical_with_caps(bounds, max_units, 64)
+    }
+
+    /// Canonical tiling with explicit caps on the global-buffer and RF C/X
+    /// factors. Wide layers at high precisions need smaller tiles to fit
+    /// their buffers; fixed-dataflow baselines walk a ladder of caps.
+    pub fn canonical_with_caps(bounds: [usize; 7], max_units: usize, gb_cap: usize) -> Self {
+        Self::canonical_with_caps_rf(bounds, max_units, gb_cap, 4)
+    }
+
+    /// [`Tiling::canonical_with_caps`] with an additional RF tile cap.
+    pub fn canonical_with_caps_rf(
+        bounds: [usize; 7],
+        max_units: usize,
+        gb_cap: usize,
+        rf_cap: usize,
+    ) -> Self {
+        let max_units = max_units.max(1);
+        // Split the array budget between the K and Y NoC axes, then pack
+        // remaining PEs with input channels (C) to fill large arrays.
+        // Prefer divisors to avoid padding waste on non-power-of-two dims.
+        let side = (max_units as f64).sqrt().floor().max(1.0) as usize;
+        let k_noc = best_spatial_factor(bounds[1], side);
+        let y_noc = best_spatial_factor(bounds[5], max_units / k_noc);
+        let c_noc = best_spatial_factor(bounds[2], max_units / (k_noc * y_noc));
+        let mut factors = [[1usize; 7]; LEVELS];
+        for d in 0..7 {
+            let b = bounds[d];
+            match d {
+                1 => {
+                    factors[2][d] = k_noc;
+                    factors[0][d] = div_ceil(b, k_noc);
+                }
+                5 => {
+                    factors[2][d] = y_noc;
+                    factors[0][d] = div_ceil(b, y_noc);
+                }
+                // C: spatial share first, then RF/GB/DRAM splits.
+                2 => {
+                    factors[2][d] = c_noc;
+                    let rem = div_ceil(b, c_noc);
+                    let rf = rem.min(rf_cap.max(1));
+                    let gb = div_ceil(rem, rf).min(gb_cap.max(1));
+                    factors[3][d] = rf;
+                    factors[1][d] = gb;
+                    factors[0][d] = div_ceil(rem, rf * gb);
+                }
+                // X iterates in the global-buffer tile, bounded so GB tiles
+                // of wide layers (e.g. 9216-deep FC) still fit.
+                6 => {
+                    let rf = b.min(rf_cap.max(1));
+                    let gb = div_ceil(b, rf).min(gb_cap.max(1));
+                    factors[3][d] = rf;
+                    factors[1][d] = gb;
+                    factors[0][d] = div_ceil(b, rf * gb);
+                }
+                // R and S: up to 3 taps in the RF, the rest iterated from
+                // the global buffer (11x11 stems would overflow a 512 B RF).
+                3 | 4 => {
+                    let rf = b.min(3).min(rf_cap.max(1));
+                    factors[3][d] = rf;
+                    factors[1][d] = div_ceil(b, rf);
+                }
+                // N at RF.
+                _ => factors[3][d] = b,
+            }
+        }
+        Self { factors }
+    }
+
+    /// Random valid tiling: each dimension's bound is split into four
+    /// factors via random divisor-ish splits.
+    pub fn random(bounds: [usize; 7], rng: &mut SeededRng) -> Self {
+        let mut t = Self { factors: [[1; 7]; LEVELS] };
+        for d in 0..7 {
+            t.resplit_dim(d, bounds[d], rng);
+        }
+        t
+    }
+
+    /// Re-randomizes the split of one dimension across levels.
+    pub fn resplit_dim(&mut self, dim: usize, bound: usize, rng: &mut SeededRng) {
+        let mut remaining = bound.max(1);
+        let mut split = [1usize; LEVELS];
+        // Choose factors for three levels; the last absorbs the remainder.
+        let mut order: Vec<usize> = (0..LEVELS).collect();
+        rng.shuffle(&mut order);
+        for (i, &lev) in order.iter().enumerate() {
+            if i == LEVELS - 1 {
+                split[lev] = remaining;
+            } else {
+                let f = random_divisor(remaining, rng);
+                split[lev] = f;
+                remaining = div_ceil(remaining, f);
+            }
+        }
+        for lev in 0..LEVELS {
+            self.factors[lev][dim] = split[lev];
+        }
+    }
+
+    /// Product of the factors of a dimension across all levels.
+    pub fn coverage(&self, dim: usize) -> usize {
+        (0..LEVELS).map(|l| self.factors[l][dim]).product()
+    }
+
+    /// Whether every dimension's coverage reaches its bound without gross
+    /// over-padding (≤2× keeps the search space sane).
+    pub fn is_valid(&self, bounds: [usize; 7]) -> bool {
+        (0..7).all(|d| {
+            let c = self.coverage(d);
+            c >= bounds[d] && c <= bounds[d].max(1) * 2
+        })
+    }
+
+    /// Tile size of dimension `dim` *at and below* `level` (how many
+    /// iterations of the dim one `level`-tile spans).
+    pub fn tile_span(&self, level: usize, dim: usize) -> usize {
+        (level..LEVELS).map(|l| self.factors[l][dim]).product()
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b.max(1))
+}
+
+/// Largest divisor of `bound` not exceeding `cap`; falls back to `cap`
+/// itself (accepting padding) when every divisor <= cap is below cap/2.
+fn best_spatial_factor(bound: usize, cap: usize) -> usize {
+    let cap = cap.max(1).min(bound.max(1) * 2);
+    let best_div = (1..=cap.min(bound)).rev().find(|d| bound % d == 0).unwrap_or(1);
+    if best_div * 2 >= cap || cap > bound {
+        best_div.max(1)
+    } else {
+        cap
+    }
+}
+
+fn random_divisor(n: usize, rng: &mut SeededRng) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let divisors: Vec<usize> = (1..=n).filter(|d| n % d == 0).collect();
+    *rng.choose(&divisors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_covers_bounds() {
+        let bounds = [1, 100, 37, 3, 3, 55, 55];
+        let t = Tiling::canonical(bounds);
+        assert!(t.is_valid(bounds), "{:?}", t);
+    }
+
+    #[test]
+    fn random_always_valid() {
+        let bounds = [1, 64, 3, 11, 11, 55, 55];
+        let mut rng = SeededRng::new(9);
+        for _ in 0..100 {
+            let t = Tiling::random(bounds, &mut rng);
+            assert!(t.is_valid(bounds));
+        }
+    }
+
+    #[test]
+    fn tile_span_nested_products() {
+        let mut t = Tiling { factors: [[1; 7]; LEVELS] };
+        t.factors[0][1] = 2;
+        t.factors[1][1] = 3;
+        t.factors[2][1] = 5;
+        t.factors[3][1] = 7;
+        assert_eq!(t.tile_span(0, 1), 210);
+        assert_eq!(t.tile_span(1, 1), 105);
+        assert_eq!(t.tile_span(3, 1), 7);
+        assert_eq!(t.coverage(1), 210);
+    }
+
+    #[test]
+    fn resplit_keeps_coverage() {
+        let mut rng = SeededRng::new(4);
+        let mut t = Tiling::canonical([1, 64, 32, 3, 3, 16, 16]);
+        for _ in 0..50 {
+            t.resplit_dim(1, 64, &mut rng);
+            assert!(t.coverage(1) >= 64 && t.coverage(1) <= 128);
+        }
+    }
+}

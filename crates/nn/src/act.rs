@@ -1,0 +1,71 @@
+//! Activation layers.
+
+use crate::layer::{Layer, Mode, Param};
+use tia_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        let out = x.map(|v| v.max(0.0));
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("ReLU::backward before forward");
+        assert_eq!(mask.len(), grad_out.len(), "ReLU grad shape mismatch");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clips_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = r.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+        let _ = r.forward(&x, Mode::Train);
+        let g = r.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![0.0], &[1]);
+        let _ = r.forward(&x, Mode::Train);
+        let g = r.backward(&Tensor::from_vec(vec![5.0], &[1]));
+        assert_eq!(g.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Flatten layer bridging conv (NCHW) and linear ([N, F]) stages.
+
+use crate::layer::{Layer, Mode, Param};
+use tia_tensor::Tensor;
+
+/// Flattens `[N, C, H, W]` (or `[N, C]`) to `[N, F]`; backward restores the
+/// original shape.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert!(!x.shape().is_empty(), "Flatten expects batched input");
+        let n = x.shape()[0];
+        let f: usize = x.shape()[1..].iter().product();
+        self.input_shape = Some(x.shape().to_vec());
+        x.reshape(&[n, f])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("Flatten::backward before forward");
+        grad_out.reshape(&shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 1, 2]);
+        let y = fl.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 6]);
+        let gx = fl.backward(&y);
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gx.data(), x.data());
+    }
+}

@@ -1,0 +1,137 @@
+//! Batch-norm folding (paper §2.4).
+//!
+//! The paper notes that SBN adds *no* inference-time cost on the
+//! accelerator: "the multiplication and addition operations of SBN can be
+//! fused into the scale factors of linear quantizers and the model bias".
+//! This module implements that fusion and proves (in tests) that the folded
+//! affine transform is exactly the BN eval-mode forward, which is why the
+//! simulator side models no extra modules for SBN.
+
+use tia_tensor::Tensor;
+
+const BN_EPS: f32 = 1e-5;
+
+/// The per-channel affine `y = scale * x + bias` equivalent to a BN layer in
+/// eval mode. `scale` multiplies into the linear quantizer's scale factor;
+/// `bias` folds into the layer bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedBn {
+    /// Per-channel multiplier `gamma / sqrt(var + eps)`.
+    pub scale: Vec<f32>,
+    /// Per-channel offset `beta - gamma * mean / sqrt(var + eps)`.
+    pub bias: Vec<f32>,
+}
+
+impl FoldedBn {
+    /// Folds BN statistics/affine parameters into a per-channel affine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    pub fn fold(gamma: &[f32], beta: &[f32], running_mean: &[f32], running_var: &[f32]) -> Self {
+        assert!(
+            gamma.len() == beta.len()
+                && beta.len() == running_mean.len()
+                && running_mean.len() == running_var.len(),
+            "BN parameter length mismatch"
+        );
+        let mut scale = Vec::with_capacity(gamma.len());
+        let mut bias = Vec::with_capacity(gamma.len());
+        for i in 0..gamma.len() {
+            let inv_std = 1.0 / (running_var[i] + BN_EPS).sqrt();
+            let s = gamma[i] * inv_std;
+            scale.push(s);
+            bias.push(beta[i] - s * running_mean[i]);
+        }
+        Self { scale, bias }
+    }
+
+    /// Applies the folded affine to an NCHW tensor (reference semantics for
+    /// tests; on hardware this work disappears into the quantizer scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count disagrees.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "FoldedBn::apply expects NCHW");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.scale.len(), "channel mismatch");
+        let mut out = Tensor::zeros(x.shape());
+        for ni in 0..n {
+            for ci in 0..c {
+                let (s, b) = (self.scale[ci], self.bias[ci]);
+                for yi in 0..h {
+                    for xi in 0..w {
+                        *out.at4_mut(ni, ci, yi, xi) = s * x.at4(ni, ci, yi, xi) + b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.scale.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn::BatchNorm2d;
+    use crate::layer::{Layer, Mode};
+    use tia_tensor::SeededRng;
+
+    #[test]
+    fn folded_affine_matches_bn_eval_forward() {
+        let mut rng = SeededRng::new(1);
+        let mut bn = BatchNorm2d::new(3);
+        // Burn in non-trivial running stats and random affine params.
+        let x_train = Tensor::randn(&[8, 3, 4, 4], 2.0, &mut rng);
+        for _ in 0..30 {
+            let _ = bn.forward(&x_train, Mode::Train);
+        }
+        let mut params = vec![];
+        bn.visit_params(&mut |p| params.push(p.value.clone()));
+        // Randomize gamma/beta to break the identity case.
+        bn.visit_params(&mut |p| {
+            let noise = Tensor::randn(p.value.shape(), 0.3, &mut rng);
+            p.value.add_assign(&noise);
+        });
+        let (gamma, beta, mean, var) = extract(&mut bn);
+        let folded = FoldedBn::fold(&gamma, &beta, &mean, &var);
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let y_bn = bn.forward(&x, Mode::Eval);
+        let y_folded = folded.apply(&x);
+        let err = y_bn.sub(&y_folded).abs_max();
+        assert!(err < 1e-4, "folded BN must match eval BN exactly, err {}", err);
+    }
+
+    #[test]
+    fn identity_bn_folds_to_identity() {
+        let folded = FoldedBn::fold(&[1.0, 1.0], &[0.0, 0.0], &[0.0, 0.0], &[1.0, 1.0]);
+        for s in &folded.scale {
+            assert!((s - 1.0).abs() < 1e-3);
+        }
+        for b in &folded.bias {
+            assert!(b.abs() < 1e-6);
+        }
+        assert_eq!(folded.channels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_validates_lengths() {
+        let _ = FoldedBn::fold(&[1.0], &[0.0, 0.0], &[0.0], &[1.0]);
+    }
+
+    fn extract(bn: &mut BatchNorm2d) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        // gamma and beta are the two visited params, in order.
+        let mut vals = vec![];
+        bn.visit_params(&mut |p| vals.push(p.value.data().to_vec()));
+        let (gamma, beta) = (vals[0].clone(), vals[1].clone());
+        let (mean, var) = bn.running_stats();
+        (gamma, beta, mean, var)
+    }
+}

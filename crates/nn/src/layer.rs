@@ -1,0 +1,107 @@
+//! The `Layer` trait, training mode, and learnable parameters.
+
+use tia_quant::Precision;
+use tia_tensor::Tensor;
+
+/// Forward-pass mode: training (update BN batch stats, cache for backward)
+/// or evaluation (use running stats).
+///
+/// Note that adversarial example *generation* runs in `Eval` mode but still
+/// needs backward passes for input gradients; layers therefore cache
+/// backward state in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: batch statistics, running-stat updates.
+    Train,
+    /// Evaluation: frozen running statistics.
+    Eval,
+}
+
+/// A learnable parameter: value, gradient accumulator and SGD momentum
+/// buffer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value (the fp32 "master copy" in quantization-aware training).
+    pub value: Tensor,
+    /// Accumulated gradient.
+    pub grad: Tensor,
+    /// SGD momentum buffer.
+    pub velocity: Tensor,
+    /// Whether weight decay applies (true for weights, false for BN/bias).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient and momentum.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        let velocity = Tensor::zeros(value.shape());
+        Self { value, grad, velocity, decay }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and backward caches. `forward` must be called
+/// before `backward`; `backward` consumes the cache of the most recent
+/// forward and *accumulates* parameter gradients (callers zero them between
+/// optimizer steps).
+pub trait Layer: std::fmt::Debug {
+    /// Computes the layer output, caching whatever `backward` needs.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` to the layer input, accumulating parameter
+    /// gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every learnable parameter (used by optimizers and grad-zeroing).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Sets the execution precision: `Some(p)` fake-quantizes weights and
+    /// activations at `p` bits; `None` runs full precision. Layers without
+    /// quantized arithmetic ignore this, except switchable BN which selects
+    /// its per-precision statistics.
+    fn set_precision(&mut self, _p: Option<Precision>) {}
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_new_zeroes_buffers() {
+        let p = Param::new(Tensor::ones(&[3]), true);
+        assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(p.velocity.data(), &[0.0, 0.0, 0.0]);
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[2]), false);
+        p.grad = Tensor::ones(&[2]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

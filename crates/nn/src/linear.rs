@@ -1,0 +1,180 @@
+//! Quantization-aware fully-connected layer.
+
+use crate::layer::{Layer, Mode, Param};
+use tia_quant::{fake_quant_affine, fake_quant_symmetric, Precision};
+use tia_tensor::{matmul_a_bt, matmul_at_b, SeededRng, Tensor};
+
+/// A fully-connected layer `y = x W^T + b` with optional fake quantization
+/// (same straight-through scheme as [`crate::Conv2d`]).
+///
+/// Weight layout is `[out_features, in_features]` (row per output), which
+/// maps directly to the `K x (C*R*S)` weight matrix view the accelerator
+/// uses for FC workloads.
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Option<Param>,
+    precision: Option<Precision>,
+    cache: Option<(Tensor, Tensor)>, // (xq [n,in], wq [out,in])
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-initialised weights.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut SeededRng) -> Self {
+        let weight = Tensor::kaiming(&[out_features, in_features], in_features, rng);
+        let bias = bias.then(|| Param::new(Tensor::zeros(&[out_features]), false));
+        Self {
+            in_features,
+            out_features,
+            weight: Param::new(weight, true),
+            bias,
+            precision: None,
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Linear expects [N, F]");
+        assert_eq!(x.shape()[1], self.in_features, "Linear feature mismatch");
+        let n = x.shape()[0];
+        let wq = match self.precision {
+            Some(p) => fake_quant_symmetric(&self.weight.value, p),
+            None => self.weight.value.clone(),
+        };
+        let xq = match self.precision {
+            Some(p) => fake_quant_affine(x, p).0,
+            None => x.clone(),
+        };
+        // y[n, out] = xq [n, in] * wq^T [in, out]
+        let mut y = vec![0.0f32; n * self.out_features];
+        matmul_a_bt(n, self.in_features, self.out_features, xq.data(), wq.data(), &mut y);
+        let mut out = Tensor::from_vec(y, &[n, self.out_features]);
+        if let Some(b) = &self.bias {
+            for i in 0..n {
+                for (o, &bv) in out.data_mut()[i * self.out_features..(i + 1) * self.out_features]
+                    .iter_mut()
+                    .zip(b.value.data())
+                {
+                    *o += bv;
+                }
+            }
+        }
+        self.cache = Some((xq, wq));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (xq, wq) = self.cache.as_ref().expect("Linear::backward before forward");
+        let n = grad_out.shape()[0];
+        // dW [out, in] += grad_out^T [out, n] * xq [n, in]
+        let mut dw = vec![0.0f32; self.out_features * self.in_features];
+        matmul_at_b(n, self.out_features, self.in_features, grad_out.data(), xq.data(), &mut dw);
+        self.weight.grad.add_assign(&Tensor::from_vec(dw, &[self.out_features, self.in_features]));
+        if let Some(b) = &mut self.bias {
+            for i in 0..n {
+                for (g, &go) in b
+                    .grad
+                    .data_mut()
+                    .iter_mut()
+                    .zip(&grad_out.data()[i * self.out_features..(i + 1) * self.out_features])
+                {
+                    *g += go;
+                }
+            }
+        }
+        // dX [n, in] = grad_out [n, out] * wq [out, in]
+        let mut dx = vec![0.0f32; n * self.in_features];
+        tia_tensor::gemm(n, self.out_features, self.in_features, grad_out.data(), wq.data(), &mut dx);
+        Tensor::from_vec(dx, &[n, self.in_features])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn set_precision(&mut self, p: Option<Precision>) {
+        self.precision = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = SeededRng::new(0);
+        let mut lin = Linear::new(2, 2, true, &mut rng);
+        lin.visit_params(&mut |p| {
+            if p.decay {
+                p.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+            } else {
+                p.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+            }
+        });
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = lin.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = SeededRng::new(3);
+        let mut lin = Linear::new(4, 3, true, &mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let y = lin.forward(&x, Mode::Train);
+        let gx = lin.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-3;
+        for idx in [0usize, 5] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (lin.forward(&xp, Mode::Train).sum() - lin.forward(&xm, Mode::Train).sum())
+                / (2.0 * eps);
+            assert!((fd - gx.data()[idx]).abs() < 1e-2, "idx {}: {} vs {}", idx, fd, gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn weight_gradient_accumulates_over_calls() {
+        let mut rng = SeededRng::new(4);
+        let mut lin = Linear::new(2, 2, false, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let y = lin.forward(&x, Mode::Train);
+        let g = Tensor::ones(y.shape());
+        let _ = lin.backward(&g);
+        let _ = lin.backward(&g);
+        let mut total = 0.0;
+        lin.visit_params(&mut |p| total = p.grad.sum());
+        assert_eq!(total, 8.0); // each backward adds 1 per weight (4 weights)
+    }
+
+    #[test]
+    fn quantization_changes_output() {
+        let mut rng = SeededRng::new(9);
+        let mut lin = Linear::new(16, 4, false, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 16], 0.0, 1.0, &mut rng);
+        let fp = lin.forward(&x, Mode::Eval);
+        lin.set_precision(Some(Precision::new(3)));
+        let q = lin.forward(&x, Mode::Eval);
+        assert!(fp.sub(&q).norm() > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Classification losses with analytic gradients.
+
+use tia_tensor::{log_softmax_rows, softmax_rows, Tensor};
+
+/// A loss value together with the gradient of the loss w.r.t. the logits.
+#[derive(Debug, Clone)]
+pub struct LossGrad {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `d loss / d logits`, shape `[n, classes]`.
+    pub grad: Tensor,
+}
+
+/// Mean cross-entropy over a batch of logits `[n, c]` with integer labels.
+///
+/// # Panics
+///
+/// Panics if shapes/labels are inconsistent.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossGrad {
+    assert_eq!(logits.shape().len(), 2, "cross_entropy expects [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(n, labels.len(), "label count mismatch");
+    assert!(labels.iter().all(|&l| l < c), "label out of range");
+    let logp = log_softmax_rows(logits);
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        loss -= logp.at2(i, y);
+        grad.data_mut()[i * c + y] -= 1.0;
+    }
+    grad.scale(inv_n);
+    LossGrad { loss: loss * inv_n, grad }
+}
+
+/// Carlini-Wagner ℓ∞ margin loss: mean over the batch of
+/// `max_{j≠y} z_j − z_y`.
+///
+/// Maximizing this loss pushes a wrong class above the true class; its
+/// gradient is `+1` at the best wrong class and `−1` at the true class. Used
+/// by the CW-∞ attack in `tia-attack`.
+///
+/// # Panics
+///
+/// Panics if shapes/labels are inconsistent.
+pub fn cw_margin_loss(logits: &Tensor, labels: &[usize]) -> LossGrad {
+    assert_eq!(logits.shape().len(), 2, "cw_margin_loss expects [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(n, labels.len(), "label count mismatch");
+    let mut loss = 0.0;
+    let mut grad = Tensor::zeros(&[n, c]);
+    let inv_n = 1.0 / n as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let mut best_wrong = usize::MAX;
+        let mut best_val = f32::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            if j != y && v > best_val {
+                best_val = v;
+                best_wrong = j;
+            }
+        }
+        loss += best_val - row[y];
+        grad.data_mut()[i * c + best_wrong] += inv_n;
+        grad.data_mut()[i * c + y] -= inv_n;
+    }
+    LossGrad { loss: loss * inv_n, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]);
+        let lg = cross_entropy(&logits, &[0, 1]);
+        assert!(lg.loss < 1e-3, "loss {}", lg.loss);
+    }
+
+    #[test]
+    fn ce_uniform_logits_log_c() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let lg = cross_entropy(&logits, &[2]);
+        assert!((lg.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 1.1], &[1, 3]);
+        let lg = cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for idx in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let fd = (cross_entropy(&lp, &[1]).loss - cross_entropy(&lm, &[1]).loss) / (2.0 * eps);
+            assert!((fd - lg.grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.5, 1.5, -1.0, 2.0, 0.0, 0.1], &[2, 3]);
+        let lg = cross_entropy(&logits, &[0, 2]);
+        for i in 0..2 {
+            let s: f32 = lg.grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cw_margin_sign() {
+        // Correctly classified with margin 2 -> loss -2.
+        let logits = Tensor::from_vec(vec![3.0, 1.0], &[1, 2]);
+        let lg = cw_margin_loss(&logits, &[0]);
+        assert!((lg.loss + 2.0).abs() < 1e-6);
+        // Gradient: +1 on wrong class, -1 on true class.
+        assert_eq!(lg.grad.data(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn cw_margin_misclassified_positive() {
+        let logits = Tensor::from_vec(vec![1.0, 3.0], &[1, 2]);
+        let lg = cw_margin_loss(&logits, &[0]);
+        assert!(lg.loss > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn ce_checks_labels() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

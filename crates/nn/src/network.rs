@@ -1,0 +1,181 @@
+//! Sequential network container.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::loss::{cross_entropy, LossGrad};
+use tia_quant::Precision;
+use tia_tensor::Tensor;
+
+/// A sequential network of layers (blocks are layers too).
+///
+/// Besides plain forward/backward, `Network` provides the two compound
+/// operations the rest of the workspace is built on:
+///
+/// * [`Network::loss_and_input_grad`] — one forward + cross-entropy +
+///   backward returning the gradient w.r.t. the *input*, the primitive for
+///   every gradient-based adversarial attack, and
+/// * [`Network::set_precision`] — the in-situ precision switch broadcast to
+///   every quantization-aware layer and SBN.
+#[derive(Debug, Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    precision: Option<Precision>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new(), precision: None }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers (blocks count as one).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Currently active execution precision (None = full precision).
+    pub fn precision(&self) -> Option<Precision> {
+        self.precision
+    }
+
+    /// Runs the forward pass, returning logits.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Backpropagates `grad_logits`, accumulating parameter gradients and
+    /// returning the gradient w.r.t. the network input.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut cur = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    /// Forward + cross-entropy + backward; returns `(loss, d loss/d input)`.
+    pub fn loss_and_input_grad(&mut self, x: &Tensor, labels: &[usize], mode: Mode) -> (f32, Tensor) {
+        let logits = self.forward(x, mode);
+        let LossGrad { loss, grad } = cross_entropy(&logits, labels);
+        let gx = self.backward(&grad);
+        (loss, gx)
+    }
+
+    /// Forward in eval mode and count of correct top-1 predictions.
+    pub fn correct_count(&mut self, x: &Tensor, labels: &[usize]) -> usize {
+        let logits = self.forward(x, Mode::Eval);
+        let c = logits.shape()[1];
+        labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &y)| tia_tensor::argmax(&logits.data()[i * c..(i + 1) * c]) == y)
+            .count()
+    }
+
+    /// Broadcasts an execution precision to every layer.
+    pub fn set_precision(&mut self, p: Option<Precision>) {
+        self.precision = p;
+        for layer in &mut self.layers {
+            layer.set_precision(p);
+        }
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visits every parameter in the network.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::ReLU;
+    use crate::flatten::Flatten;
+    use crate::linear::Linear;
+    use tia_tensor::SeededRng;
+
+    fn tiny_mlp(rng: &mut SeededRng) -> Network {
+        let mut net = Network::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8, 16, true, rng)));
+        net.push(Box::new(ReLU::new()));
+        net.push(Box::new(Linear::new(16, 3, true, rng)));
+        net
+    }
+
+    #[test]
+    fn forward_shape_and_param_count() {
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(&mut rng);
+        let x = Tensor::randn(&[4, 2, 2, 2], 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[4, 3]);
+        assert_eq!(net.param_count(), 8 * 16 + 16 + 16 * 3 + 3);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = SeededRng::new(2);
+        let mut net = tiny_mlp(&mut rng);
+        let x = Tensor::randn(&[8, 2, 2, 2], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let (loss0, _) = net.loss_and_input_grad(&x, &labels, Mode::Train);
+        // A few plain gradient-descent steps.
+        for _ in 0..30 {
+            net.zero_grad();
+            let _ = net.loss_and_input_grad(&x, &labels, Mode::Train);
+            net.visit_params(&mut |p| {
+                let g = p.grad.clone();
+                p.value.axpy(-0.1, &g);
+            });
+        }
+        net.zero_grad();
+        let (loss1, _) = net.loss_and_input_grad(&x, &labels, Mode::Train);
+        assert!(loss1 < loss0 * 0.8, "loss did not drop: {} -> {}", loss0, loss1);
+    }
+
+    #[test]
+    fn input_grad_flows_to_input() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_mlp(&mut rng);
+        let x = Tensor::randn(&[2, 2, 2, 2], 1.0, &mut rng);
+        let (_, gx) = net.loss_and_input_grad(&x, &[0, 1], Mode::Eval);
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.norm() > 0.0, "input gradient must be non-zero");
+    }
+
+    #[test]
+    fn correct_count_bounds() {
+        let mut rng = SeededRng::new(4);
+        let mut net = tiny_mlp(&mut rng);
+        let x = Tensor::randn(&[5, 2, 2, 2], 1.0, &mut rng);
+        let labels = vec![0, 1, 2, 0, 1];
+        let c = net.correct_count(&x, &labels);
+        assert!(c <= 5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Pooling layers wrapping the tensor-crate kernels.
+
+use crate::layer::{Layer, Mode, Param};
+use tia_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Tensor};
+
+/// Average pooling with a square window.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    k: usize,
+    input_hw: Option<(usize, usize)>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with window/stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        Self { k, input_hw: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.input_hw = Some((x.shape()[2], x.shape()[3]));
+        avg_pool2d(x, self.k)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self.input_hw.expect("AvgPool2d::backward before forward");
+        avg_pool2d_backward(grad_out, self.k, h, w)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Max pooling with a square window.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax indices, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window/stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        Self { k, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (y, idx) = max_pool2d(x, self.k);
+        self.cache = Some((idx, x.shape().to_vec()));
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (idx, shape) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
+        max_pool2d_backward(grad_out, idx, shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        Self { input_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "GlobalAvgPool expects NCHW");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        self.input_shape = Some(x.shape().to_vec());
+        let mut out = Tensor::zeros(&[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut acc = 0.0;
+                for yi in 0..h {
+                    for xi in 0..w {
+                        acc += x.at4(ni, ci, yi, xi);
+                    }
+                }
+                out.data_mut()[ni * c + ci] = acc * inv;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("GlobalAvgPool::backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut gx = Tensor::zeros(&shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_out.data()[ni * c + ci] * inv;
+                for yi in 0..h {
+                    for xi in 0..w {
+                        *gx.at4_mut(ni, ci, yi, xi) = g;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_avg_pool_shapes_and_values() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let y = gap.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+        let gx = gap.backward(&Tensor::ones(&[1, 2]));
+        assert!((gx.sum() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avg_pool_layer_roundtrip() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let gx = p.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+        assert!((gx.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_layer_routes_gradients() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[4.0]);
+        let gx = p.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Linear (uniform) quantizers in the style of Jacob et al., CVPR'18.
+
+use crate::Precision;
+use tia_tensor::Tensor;
+
+/// Whether a quantizer uses a symmetric (signed, zero-centred) or affine
+/// (asymmetric, zero-point) grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantMode {
+    /// Symmetric grid: `q = round(x / s)`, `s = max|x| / (2^{b-1} - 1)`.
+    /// Standard for weights.
+    Symmetric,
+    /// Affine grid: `q = round(x / s) + z` with scale from the `[min, max]`
+    /// range. Standard for activations.
+    Affine,
+}
+
+/// Scale/zero-point pair of an affine quantizer, exposed so accelerator-side
+/// code can fold switchable-BN multiplications into the scale factor exactly
+/// as §2.4 of the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineParams {
+    /// Grid step.
+    pub scale: f32,
+    /// Real value mapped to integer level 0.
+    pub zero_point: f32,
+}
+
+/// A per-tensor linear quantizer.
+///
+/// The quantizer is stateless with respect to the data: the grid is derived
+/// from the tensor being quantized (dynamic range calibration), matching the
+/// paper's in-situ precision switch where the same fp32 master weights are
+/// re-quantized to the sampled precision on every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinearQuantizer {
+    precision: Precision,
+    mode: QuantMode,
+}
+
+impl LinearQuantizer {
+    /// Creates a symmetric quantizer (weights).
+    pub fn symmetric(precision: Precision) -> Self {
+        Self { precision, mode: QuantMode::Symmetric }
+    }
+
+    /// Creates an affine quantizer (activations).
+    pub fn affine(precision: Precision) -> Self {
+        Self { precision, mode: QuantMode::Affine }
+    }
+
+    /// The quantizer's precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The quantizer's mode.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// Fake-quantizes a tensor: rounds onto the b-bit grid, returns `f32`.
+    pub fn quantize(&self, x: &Tensor) -> Tensor {
+        match self.mode {
+            QuantMode::Symmetric => fake_quant_symmetric(x, self.precision),
+            QuantMode::Affine => fake_quant_affine(x, self.precision).0,
+        }
+    }
+}
+
+/// Symmetric fake quantization with a per-tensor scale.
+///
+/// `s = max|x| / (2^{b-1} - 1)`; values round to `s * round(x/s)` and clamp to
+/// the signed range. For `b = 1` the grid degenerates to `{-s, 0, +s}` with
+/// `s = max|x|` (binary-connect style sign quantization with magnitude).
+pub fn fake_quant_symmetric(x: &Tensor, precision: Precision) -> Tensor {
+    let b = precision.bits() as i32;
+    let qmax = if b <= 1 { 1.0 } else { ((1i64 << (b - 1)) - 1) as f32 };
+    let amax = x.abs_max();
+    if amax == 0.0 {
+        return x.clone();
+    }
+    let s = amax / qmax;
+    x.map(|v| ((v / s).round().clamp(-qmax, qmax)) * s)
+}
+
+/// Affine fake quantization with per-tensor `[min, max]` calibration.
+///
+/// Returns the quantized tensor and the `(scale, zero_point)` used, so BN
+/// folding code can consume the parameters.
+pub fn fake_quant_affine(x: &Tensor, precision: Precision) -> (Tensor, AffineParams) {
+    let b = precision.bits() as u32;
+    let levels = ((1u64 << b) - 1) as f32;
+    let (lo, hi) = (x.min().min(0.0), x.max().max(0.0));
+    if hi == lo {
+        return (x.clone(), AffineParams { scale: 1.0, zero_point: 0.0 });
+    }
+    let scale = (hi - lo) / levels;
+    let zero_point = (-lo / scale).round();
+    let q = x.map(|v| {
+        let qv = (v / scale + zero_point).round().clamp(0.0, levels);
+        (qv - zero_point) * scale
+    });
+    (q, AffineParams { scale, zero_point })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(v, &[n])
+    }
+
+    #[test]
+    fn symmetric_idempotent() {
+        let x = t(vec![-1.0, -0.25, 0.0, 0.5, 1.0]);
+        let p = Precision::new(8);
+        let q1 = fake_quant_symmetric(&x, p);
+        let q2 = fake_quant_symmetric(&q1, p);
+        for (a, b) in q1.data().iter().zip(q2.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_error_bounded_by_half_step() {
+        let x = t(vec![-0.9, -0.33, 0.12, 0.77, 0.9]);
+        let p = Precision::new(6);
+        let q = fake_quant_symmetric(&x, p);
+        let s = x.abs_max() / 31.0; // 2^(6-1)-1
+        for (a, b) in x.data().iter().zip(q.data()) {
+            assert!((a - b).abs() <= s / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_preserves_zero_and_extremes() {
+        let x = t(vec![-2.0, 0.0, 2.0]);
+        let q = fake_quant_symmetric(&x, Precision::new(4));
+        assert_eq!(q.data()[1], 0.0);
+        assert!((q.data()[0] + 2.0).abs() < 1e-6);
+        assert!((q.data()[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_precision_lower_error() {
+        let x = t((0..64).map(|i| (i as f32 * 0.37).sin()).collect());
+        let mut prev = f32::INFINITY;
+        for b in [2u8, 4, 6, 8, 12] {
+            let q = fake_quant_symmetric(&x, Precision::new(b));
+            let err: f32 = x.sub(&q).data().iter().map(|v| v * v).sum();
+            assert!(err <= prev + 1e-9, "error should not grow with precision");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn affine_covers_unsigned_range() {
+        let x = t(vec![0.0, 0.1, 0.5, 1.0]);
+        let (q, params) = fake_quant_affine(&x, Precision::new(8));
+        assert!(params.scale > 0.0);
+        // Endpoints representable.
+        assert!((q.data()[0] - 0.0).abs() < 1e-6);
+        assert!((q.data()[3] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn affine_handles_constant_tensor() {
+        let x = t(vec![0.0, 0.0]);
+        let (q, _) = fake_quant_affine(&x, Precision::new(4));
+        assert_eq!(q.data(), x.data());
+    }
+
+    #[test]
+    fn different_precisions_give_different_grids() {
+        // The core RPS mechanism: the same tensor lands on different values
+        // under different precisions.
+        let x = t((0..32).map(|i| (i as f32 * 0.61).cos()).collect());
+        let q4 = fake_quant_symmetric(&x, Precision::new(4));
+        let q5 = fake_quant_symmetric(&x, Precision::new(5));
+        assert_ne!(q4.data(), q5.data());
+    }
+
+    #[test]
+    fn zero_tensor_passthrough() {
+        let x = t(vec![0.0; 8]);
+        let q = fake_quant_symmetric(&x, Precision::new(4));
+        assert_eq!(q.data(), x.data());
+    }
+
+    #[test]
+    fn quantizer_object_dispatch() {
+        let x = t(vec![-1.0, 1.0]);
+        let q = LinearQuantizer::symmetric(Precision::new(8));
+        assert_eq!(q.precision().bits(), 8);
+        assert_eq!(q.mode(), QuantMode::Symmetric);
+        let y = q.quantize(&x);
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tia-sim
+//!
+//! End-to-end accelerator simulation: network workload × accelerator design
+//! × optimized dataflow → cycles, frames/second, energy and breakdowns.
+//!
+//! Three ready-made accelerator instances mirror the paper's comparison
+//! setup (§4.1.2) — identical MAC-array area and memory configuration:
+//!
+//! * [`Accelerator::ours`] — the spatial-temporal MAC unit with the full
+//!   evolutionary dataflow search,
+//! * [`Accelerator::stripes`] — bit-serial baseline, dataflow *also* fully
+//!   optimized (as the paper does),
+//! * [`Accelerator::bitfusion`] — spatial baseline restricted to its
+//!   published optimizer (global-buffer loop order only).
+//!
+//! Plus [`dnnguard_throughput`] for the §4.3.2 robustness-aware baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use tia_accel::PrecisionPair;
+//! use tia_nn::workload::NetworkSpec;
+//! use tia_sim::Accelerator;
+//!
+//! let mut ours = Accelerator::ours();
+//! let mut bf = Accelerator::bitfusion();
+//! let net = NetworkSpec::alexnet();
+//! let p = PrecisionPair::symmetric(4);
+//! let perf_ours = ours.simulate_network(&net, p);
+//! let perf_bf = bf.simulate_network(&net, p);
+//! assert!(perf_ours.fps > perf_bf.fps, "ours must beat Bit Fusion at 4-bit");
+//! ```
+
+mod accelerator;
+mod dnnguard_cmp;
+mod report;
+
+pub use accelerator::Accelerator;
+pub use dnnguard_cmp::dnnguard_throughput;
+pub use report::NetworkPerf;

@@ -1,0 +1,191 @@
+//! im2col / col2im convolution lowering.
+//!
+//! Convolutions are lowered to GEMM: the input patch matrix (`im2col`) is
+//! multiplied by the flattened weight matrix. The backward pass uses the
+//! transposed products plus `col2im` scatter-add. This mirrors how the paper's
+//! accelerator views a conv layer — as a 7-dimensional loop nest over
+//! (N, K, C, R, S, Y, X) — so the same layer geometry type is shared with the
+//! dataflow crate's workload descriptions.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution: shapes, stride and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels (C).
+    pub in_channels: usize,
+    /// Output channels (K).
+    pub out_channels: usize,
+    /// Kernel height (R).
+    pub kernel_h: usize,
+    /// Kernel width (S).
+    pub kernel_w: usize,
+    /// Stride (same both dims).
+    pub stride: usize,
+    /// Zero padding (same both dims).
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Convenience constructor for square kernels.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Self { in_channels, out_channels, kernel_h: kernel, kernel_w: kernel, stride, padding }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        conv2d_output_hw(h, w, self.kernel_h, self.kernel_w, self.stride, self.padding)
+    }
+
+    /// Number of multiply-accumulates for a batch-1 forward pass on `h x w`.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_hw(h, w);
+        (self.out_channels * self.in_channels * self.kernel_h * self.kernel_w * oh * ow) as u64
+    }
+}
+
+/// Output spatial dims of a convolution.
+pub fn conv2d_output_hw(h: usize, w: usize, kh: usize, kw: usize, stride: usize, pad: usize) -> (usize, usize) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    (oh, ow)
+}
+
+/// Lowers one image `[C, H, W]` to the patch matrix `[C*KH*KW, OH*OW]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not 3-D with `C` channels.
+pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
+    assert_eq!(x.shape().len(), 3, "im2col expects [C,H,W]");
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(c, geo.in_channels, "im2col channel mismatch");
+    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (oh, ow) = geo.output_hw(h, w);
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let orow = &mut od[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        orow[oy * ow + ox] = xd[(ci * h + iy) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatter-adds a patch-matrix gradient `[C*KH*KW, OH*OW]` back to an image
+/// gradient `[C, H, W]` (the adjoint of [`im2col`]).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the geometry.
+pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, h: usize, w: usize) -> Tensor {
+    let c = geo.in_channels;
+    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (oh, ow) = geo.output_hw(h, w);
+    assert_eq!(cols.shape(), &[c * kh * kw, oh * ow], "col2im shape mismatch");
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let cd = cols.data();
+    let od = out.data_mut();
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let crow = &cd[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        od[(ci * h + iy) * w + ix as usize] += crow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn output_hw_basic() {
+        assert_eq!(conv2d_output_hw(32, 32, 3, 3, 1, 1), (32, 32));
+        assert_eq!(conv2d_output_hw(32, 32, 3, 3, 2, 1), (16, 16));
+        assert_eq!(conv2d_output_hw(224, 224, 7, 7, 2, 3), (112, 112));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 and no padding is a reshape.
+        let x = Tensor::from_vec((0..2 * 3 * 3).map(|v| v as f32).collect(), &[2, 3, 3]);
+        let geo = Conv2dGeometry::new(2, 4, 1, 1, 0);
+        let cols = im2col(&x, &geo);
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let x = Tensor::ones(&[1, 2, 2]);
+        let geo = Conv2dGeometry::new(1, 1, 3, 1, 1);
+        let cols = im2col(&x, &geo);
+        // Center tap row (ki=1, kj=1) should be all ones.
+        let row = (0 * 3 + 1) * 3 + 1;
+        let ncols = 4;
+        assert!(cols.data()[row * ncols..(row + 1) * ncols].iter().all(|&v| v == 1.0));
+        // Top-left tap at output (0,0) reads padding -> zero.
+        assert_eq!(cols.data()[0], 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        let mut rng = SeededRng::new(42);
+        let geo = Conv2dGeometry::new(3, 2, 3, 2, 1);
+        let (h, w) = (5, 5);
+        let x = Tensor::randn(&[3, h, w], 1.0, &mut rng);
+        let cols = im2col(&x, &geo);
+        let y = Tensor::randn(cols.shape(), 1.0, &mut rng);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &geo, h, w);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn macs_count() {
+        let geo = Conv2dGeometry::new(3, 8, 3, 1, 1);
+        // 8*3*3*3*4*4 for a 4x4 input with same padding
+        assert_eq!(geo.macs(4, 4), 8 * 3 * 9 * 16);
+    }
+}

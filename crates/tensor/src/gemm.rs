@@ -1,0 +1,156 @@
+//! Simple blocked SGEMM kernels.
+//!
+//! These are the compute workhorses for convolution (via im2col) and linear
+//! layers. The implementation uses an `i-k-j` loop order with a row broadcast,
+//! which vectorises well under `-O` and is fast enough for the reduced-scale
+//! training experiments this reproduction runs.
+
+/// `C += A * B` where `A` is `m x k`, `B` is `k x n`, `C` is `m x n`,
+/// all row-major.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths disagree with the dims.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `C += A^T * B` where `A` is `k x m`, `B` is `k x n`, `C` is `m x n`.
+///
+/// Used for weight gradients: `dW = dY^T * X` style products without
+/// materialising transposes.
+pub fn matmul_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// `C += A * B^T` where `A` is `m x k`, `B` is `n x k`, `C` is `m x n`.
+///
+/// Used for input gradients of linear layers (`dX = dY * W`between row-major
+/// weight layouts) without materialising transposes.
+pub fn matmul_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *c_v += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let mut rng = SeededRng::new(1);
+        let (m, k, n) = (5, 7, 3);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        let expect = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn at_b_matches_naive() {
+        let mut rng = SeededRng::new(2);
+        let (k, m, n) = (4, 6, 5);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.normal()).collect(); // k x m
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect(); // k x n
+        let mut c = vec![0.0; m * n];
+        matmul_at_b(k, m, n, &a, &b, &mut c);
+        // naive: c[i,j] = sum_p a[p,i] * b[p,j]
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[p * m + i] * b[p * n + j];
+                }
+                assert!((c[i * n + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_naive() {
+        let mut rng = SeededRng::new(3);
+        let (m, k, n) = (3, 8, 4);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect(); // m x k
+        let b: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect(); // n x k
+        let mut c = vec![0.0; m * n];
+        matmul_a_bt(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[j * k + p];
+                }
+                assert!((c[i * n + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # tia-tensor
+//!
+//! Dense `f32` tensor substrate for the 2-in-1 Accelerator reproduction.
+//!
+//! This crate provides the numerical kernels every other crate builds on:
+//! n-dimensional row-major tensors, a simple blocked SGEMM, im2col/col2im
+//! convolution lowering, elementwise and reduction ops, and seeded random
+//! initialisation.
+//!
+//! It is deliberately small and dependency-free (besides `rand`): the paper's
+//! algorithm side (Random Precision Switch adversarial training) only needs
+//! forward/backward passes over moderately sized convolutional networks, and a
+//! transparent from-scratch substrate keeps every code path inspectable.
+//!
+//! # Example
+//!
+//! ```
+//! use tia_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod conv;
+mod gemm;
+mod ops;
+mod pool;
+mod rng;
+mod tensor;
+
+pub use conv::{col2im, conv2d_output_hw, im2col, Conv2dGeometry};
+pub use gemm::{gemm, matmul_at_b, matmul_a_bt};
+pub use ops::{argmax, log_softmax_rows, softmax_rows};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+pub use rng::SeededRng;
+pub use tensor::Tensor;
+
+/// Error type for shape mismatches and invalid tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    msg: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shape error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}

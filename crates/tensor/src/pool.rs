@@ -1,0 +1,153 @@
+//! Pooling kernels (forward + backward) over NCHW tensors.
+
+use crate::Tensor;
+
+/// Average pooling with a square window and equal stride, no padding.
+/// Input `[N, C, H, W]` -> output `[N, C, H/k, W/k]` (floor division).
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or `k` is zero.
+pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
+    assert!(k > 0, "pool window must be positive");
+    assert_eq!(x.shape().len(), 4, "avg_pool2d expects NCHW");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let inv = 1.0 / (k * k) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            acc += x.at4(ni, ci, oy * k + dy, ox * k + dx);
+                        }
+                    }
+                    *out.at4_mut(ni, ci, oy, ox) = acc * inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`avg_pool2d`]: distributes each output gradient uniformly
+/// over its window.
+pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize, h: usize, w: usize) -> Tensor {
+    let (n, c, oh, ow) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    let mut gx = Tensor::zeros(&[n, c, h, w]);
+    let inv = 1.0 / (k * k) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.at4(ni, ci, oy, ox) * inv;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            *gx.at4_mut(ni, ci, oy * k + dy, ox * k + dx) += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gx
+}
+
+/// Max pooling with a square window and equal stride, no padding.
+/// Returns the pooled tensor and the flat argmax indices (into the input)
+/// needed by the backward pass.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or `k` is zero.
+pub fn max_pool2d(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+    assert!(k > 0, "pool window must be positive");
+    assert_eq!(x.shape().len(), 4, "max_pool2d expects NCHW");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut idx = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_flat = 0;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let (iy, ix) = (oy * k + dy, ox * k + dx);
+                            let v = x.at4(ni, ci, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_flat = ((ni * c + ci) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    *out.at4_mut(ni, ci, oy, ox) = best;
+                    idx[((ni * c + ci) * oh + oy) * ow + ox] = best_flat;
+                }
+            }
+        }
+    }
+    (out, idx)
+}
+
+/// Backward of [`max_pool2d`]: routes gradients to the argmax positions.
+pub fn max_pool2d_backward(grad_out: &Tensor, idx: &[usize], input_shape: &[usize]) -> Tensor {
+    let mut gx = Tensor::zeros(input_shape);
+    let gxd = gx.data_mut();
+    for (g, &i) in grad_out.data().iter().zip(idx) {
+        gxd[i] += g;
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_basic() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool2d(&x, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // window [0,1,4,5] -> 2.5
+        assert_eq!(y.at4(0, 0, 0, 0), 2.5);
+        assert_eq!(y.at4(0, 0, 1, 1), 12.5);
+    }
+
+    #[test]
+    fn avg_pool_backward_conserves_gradient() {
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = avg_pool2d_backward(&g, 2, 4, 4);
+        assert!((gx.sum() - g.sum()).abs() < 1e-6);
+        assert!((gx.at4(0, 0, 0, 0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_selects_max_and_routes_grad() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]);
+        let (y, idx) = max_pool2d(&x, 2);
+        assert_eq!(y.data(), &[9.0]);
+        let g = Tensor::ones(&[1, 1, 1, 1]);
+        let gx = max_pool2d_backward(&g, &idx, &[1, 1, 2, 2]);
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_matches_mean() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let y = avg_pool2d(&x, 2);
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.data()[0], 1.5); // mean of 0..3
+        assert_eq!(y.data()[1], 5.5); // mean of 4..7
+    }
+}

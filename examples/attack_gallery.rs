@@ -1,0 +1,40 @@
+//! Attack gallery: every attack in the suite against one adversarially
+//! trained model, with and without RPS inference — a compact view of the
+//! paper's §4.2.2 claim that RPS helps across attack families (including
+//! the gradient-free Bandits attack, ruling out obfuscated gradients).
+//!
+//! Run with: `cargo run --release --example attack_gallery`
+
+use two_in_one_accel::prelude::*;
+use two_in_one_accel::attack::Square;
+
+fn main() {
+    let eps = 8.0 / 255.0;
+    let mut rng = SeededRng::new(5);
+    let profile = DatasetProfile::cifar10_like().with_sizes(256, 96);
+    let (train, test) = generate(&profile, 13);
+    let set = PrecisionSet::range(4, 8);
+    let mut net = zoo::preact_resnet18_rps(3, 6, profile.classes, set.clone(), &mut rng);
+    let cfg = TrainConfig::pgd7(eps).with_rps(set.clone()).with_epochs(4).with_batch_size(16);
+    adversarial_train(&mut net, &train, &cfg);
+
+    let eval = test.take(36);
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Fgsm::new(eps)),
+        Box::new(FgsmRs::new(eps)),
+        Box::new(Pgd::new(eps, 20)),
+        Box::new(CwInf::new(eps, 20)),
+        Box::new(Apgd::new(eps, 20)),
+        Box::new(Bandits::new(eps, 20)),
+        Box::new(Square::new(eps, 20)),
+        Box::new(EPgd::new(eps, 10, set.clone())),
+    ];
+    let fixed = InferencePolicy::Fixed(Some(Precision::new(8)));
+    let rps = InferencePolicy::Random(set);
+    println!("{:<24} {:>12} {:>12}", "Attack", "fixed 8-bit", "RPS 4~8");
+    for attack in attacks {
+        let a_fixed = robust_accuracy(&mut net, &eval, attack.as_ref(), &fixed, &fixed, 12, &mut rng);
+        let a_rps = robust_accuracy(&mut net, &eval, attack.as_ref(), &fixed, &rps, 12, &mut rng);
+        println!("{:<24} {:>11.1}% {:>11.1}%", attack.name(), a_fixed * 100.0, a_rps * 100.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Architect's view: use the generic accelerator optimizer (paper §3.3,
+//! Alg. 2 mode 2) to co-search micro-architecture and dataflow for a target
+//! workload mix under an area budget, then compare designs.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use two_in_one_accel::prelude::*;
+use two_in_one_accel::dataflow::ArchSearch;
+
+fn main() {
+    let budget = 4.4 * 512.0; // half the paper's comparison budget
+    let mut rng = SeededRng::new(11);
+
+    // Workload mix: three representative ResNet-50 layers at 4- and 8-bit.
+    let net = NetworkSpec::resnet50_imagenet();
+    let mut workloads = vec![];
+    for li in [1usize, 20, 45] {
+        for bits in [4u8, 8] {
+            workloads.push(Workload::new(&net.layers[li], PrecisionPair::symmetric(bits)));
+        }
+    }
+
+    println!("searching micro-architectures under area budget {:.0}...", budget);
+    for kind in [MacKind::spatial_temporal(), MacKind::Temporal, MacKind::Spatial] {
+        let search = ArchSearch::new(budget);
+        let (cfg, score) = search.run(kind, &workloads, &mut rng);
+        println!(
+            "{:<12} best: {:>5} units, {:>4} KiB global buffer, mean EDP {:.3e}",
+            MacUnit::new(kind).kind().name(),
+            cfg.units,
+            cfg.gb_bytes / 1024,
+            score
+        );
+    }
+
+    // Dataflow detail for the winning design on one layer.
+    let arch = ArchConfig::with_mac_area_budget(MacKind::spatial_temporal(), budget);
+    let wl = workloads[2];
+    let best = EvoSearch::default().run(&arch, &wl, &mut rng);
+    println!(
+        "\nbest dataflow for {:?} @ {}: {:.0} cycles ({:.0} compute), {:.1}% PE utilization",
+        wl.bounds,
+        wl.precision,
+        best.perf.total_cycles,
+        best.perf.compute_cycles,
+        best.perf.utilization * 100.0
+    );
+    println!("NoC tile (spatial): {:?}", best.dataflow.tiling.factors[2]);
+}

@@ -1,0 +1,51 @@
+//! IoT scenario from the paper's introduction: an intelligent device that
+//! adapts its inference precision set at run time to the threat level and
+//! the remaining battery — *without retraining* (paper §2.5 / Fig. 11).
+//!
+//! One RPS-trained model serves three operating modes:
+//! * "hostile" — wide precision set 4~16-bit, maximum robustness;
+//! * "normal"  — 4~8-bit, balanced;
+//! * "low-battery" — static 4-bit, maximum efficiency.
+//!
+//! Run with: `cargo run --release --example iot_precision_adaptation`
+
+use two_in_one_accel::prelude::*;
+
+fn main() {
+    let eps = 8.0 / 255.0;
+    let mut rng = SeededRng::new(3);
+    let profile = DatasetProfile::cifar10_like().with_sizes(256, 96);
+    let (train, test) = generate(&profile, 7);
+    let full_set = PrecisionSet::range(4, 16);
+    let mut net = zoo::wide_resnet32_rps(3, 6, profile.classes, full_set.clone(), &mut rng);
+    let cfg = TrainConfig::pgd7(eps).with_rps(full_set).with_epochs(4).with_batch_size(16);
+    adversarial_train(&mut net, &train, &cfg);
+
+    let modes = [
+        ("hostile (max robustness)", PrecisionSet::range(4, 16)),
+        ("normal (balanced)", PrecisionSet::range(4, 8)),
+        ("low battery (max efficiency)", PrecisionSet::new(&[4])),
+    ];
+    let eval = test.take(48);
+    let attack = Pgd::new(eps, 10);
+    let mut accel = Accelerator::ours();
+    let wl = NetworkSpec::wide_resnet32_cifar();
+    let (_, e_base) = accel.average_over_set(&wl, &modes[0].1);
+
+    println!("{:<30} {:>9} {:>9} {:>14} {:>12}", "Mode", "Natural", "Robust", "Energy/infer", "Battery gain");
+    for (name, set) in modes {
+        let policy = InferencePolicy::Random(set.clone());
+        let nat = natural_accuracy(&mut net, &eval, &policy, &mut rng);
+        let rob = robust_accuracy(&mut net, &eval, &attack, &policy, &policy, 12, &mut rng);
+        let (_, energy) = accel.average_over_set(&wl, &set);
+        println!(
+            "{:<30} {:>8.1}% {:>8.1}% {:>14.3e} {:>11.2}x",
+            name,
+            nat * 100.0,
+            rob * 100.0,
+            energy,
+            e_base / energy
+        );
+    }
+    println!("\nThe switch is instantaneous: one set of weights, no retraining.");
+}

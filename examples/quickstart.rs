@@ -1,0 +1,54 @@
+//! Quickstart: the whole 2-in-1 pipeline in one file.
+//!
+//! 1. Generate a synthetic CIFAR-10-like dataset.
+//! 2. Adversarially train a PreActResNet-18-lite with RPS (random precision
+//!    switch per iteration + switchable BN).
+//! 3. Attack it with PGD-20 and compare fixed-precision vs RPS inference.
+//! 4. Estimate the efficiency win on the 2-in-1 accelerator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use two_in_one_accel::prelude::*;
+
+fn main() {
+    let eps = 8.0 / 255.0;
+    let mut rng = SeededRng::new(0);
+
+    // 1. Data.
+    let profile = DatasetProfile::cifar10_like().with_sizes(256, 96);
+    let (train, test) = generate(&profile, 42);
+    println!("dataset: {} ({} train / {} test)", profile.name, train.len(), test.len());
+
+    // 2. RPS adversarial training (PGD-7 inner maximization).
+    let set = PrecisionSet::range(4, 8);
+    let mut net = zoo::preact_resnet18_rps(3, 6, profile.classes, set.clone(), &mut rng);
+    let cfg = TrainConfig::pgd7(eps).with_rps(set.clone()).with_epochs(4).with_batch_size(16);
+    let report = adversarial_train(&mut net, &train, &cfg);
+    println!(
+        "trained {} epochs, adversarial loss {:.3} -> {:.3}",
+        report.epoch_losses.len(),
+        report.epoch_losses.first().unwrap(),
+        report.epoch_losses.last().unwrap()
+    );
+
+    // 3. Robust accuracy: static 8-bit inference vs random precision switch.
+    let eval = test.take(48);
+    let attack = Pgd::new(eps, 20);
+    let fixed = InferencePolicy::Fixed(Some(Precision::new(8)));
+    let rps = InferencePolicy::Random(set.clone());
+    let acc_fixed = robust_accuracy(&mut net, &eval, &attack, &fixed, &fixed, 12, &mut rng);
+    let acc_rps = robust_accuracy(&mut net, &eval, &attack, &fixed, &rps, 12, &mut rng);
+    println!("PGD-20 robust accuracy, attacker at fixed 8-bit:");
+    println!("  inference fixed 8-bit (attacker matched): {:5.1}%", acc_fixed * 100.0);
+    println!("  inference RPS {}:                    {:5.1}%", set, acc_rps * 100.0);
+
+    // 4. Efficiency on the 2-in-1 accelerator (full-size workload shapes).
+    let mut ours = Accelerator::ours();
+    let wl = NetworkSpec::resnet18_cifar();
+    let f16 = ours.simulate_network(&wl, PrecisionPair::symmetric(16)).fps;
+    let (favg, _) = ours.average_over_set(&wl, &set);
+    println!(
+        "accelerator: ResNet-18/CIFAR at 16-bit {:.0} FPS, RPS {} average {:.0} FPS ({:.2}x)",
+        f16, set, favg, favg / f16
+    );
+}

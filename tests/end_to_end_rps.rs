@@ -1,0 +1,102 @@
+//! End-to-end integration tests of the RPS pipeline across crates:
+//! data generation -> adversarial training -> attacks -> RPS evaluation.
+
+use two_in_one_accel::prelude::*;
+
+fn quick_rps_model(seed: u64) -> (Network, Dataset, PrecisionSet) {
+    // 4 classes keeps per-class sample counts meaningful at smoke scale.
+    let profile = DatasetProfile::tiny(4, 16, 96, 48);
+    let (train, test) = generate(&profile, seed);
+    let set = PrecisionSet::new(&[4, 6, 8]);
+    let mut rng = SeededRng::new(seed);
+    let mut net = zoo::preact_resnet18_rps(3, 4, profile.classes, set.clone(), &mut rng);
+    let cfg = TrainConfig::pgd7(8.0 / 255.0)
+        .with_rps(set.clone())
+        .with_epochs(3)
+        .with_batch_size(16)
+        .with_seed(seed);
+    adversarial_train(&mut net, &train, &cfg);
+    (net, test, set)
+}
+
+#[test]
+fn rps_training_learns_beyond_chance() {
+    let (mut net, test, set) = quick_rps_model(1);
+    let mut rng = SeededRng::new(2);
+    let policy = InferencePolicy::Random(set);
+    let acc = natural_accuracy(&mut net, &test, &policy, &mut rng);
+    // 4 classes -> chance is 0.25; even 3 epochs at tiny scale beats it.
+    assert!(acc > 0.4, "natural accuracy {} not above chance", acc);
+}
+
+#[test]
+fn transferred_attacks_are_weaker_than_matched_attacks() {
+    // The core Fig.1 phenomenon, asserted directionally: attacking at 4-bit
+    // and evaluating at 8-bit must not be stronger than attacking 8-bit
+    // directly (averaged over the matrix).
+    let (mut net, test, _) = quick_rps_model(3);
+    let mut rng = SeededRng::new(4);
+    let precisions = [Precision::new(4), Precision::new(8)];
+    let attack = Pgd::new(8.0 / 255.0, 10);
+    let m = transfer_matrix(&mut net, &test.take(32), &attack, &precisions, 8, &mut rng);
+    assert!(
+        m.off_diagonal_mean() >= m.diagonal_mean() - 0.05,
+        "transfer should not beat matched attacks: diag {} off {}",
+        m.diagonal_mean(),
+        m.off_diagonal_mean()
+    );
+}
+
+#[test]
+fn all_attacks_respect_the_ball_on_a_trained_model() {
+    let (mut net, test, set) = quick_rps_model(5);
+    let eps = 8.0 / 255.0;
+    let (x, labels) = test.batch(&[0, 1, 2, 3]);
+    let mut rng = SeededRng::new(6);
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Fgsm::new(eps)),
+        Box::new(FgsmRs::new(eps)),
+        Box::new(Pgd::new(eps, 5)),
+        Box::new(CwInf::new(eps, 5)),
+        Box::new(Apgd::new(eps, 5)),
+        Box::new(Bandits::new(eps, 5)),
+        Box::new(EPgd::new(eps, 3, set)),
+    ];
+    for attack in attacks {
+        let adv = attack.perturb(&mut net, &x, &labels, &mut rng);
+        let linf = x.sub(&adv).abs_max();
+        assert!(linf <= eps + 1e-5, "{} exceeded budget: {}", attack.name(), linf);
+        assert!(
+            adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "{} left [0,1]",
+            attack.name()
+        );
+    }
+}
+
+#[test]
+fn tradeoff_curve_spans_robustness_vs_bits() {
+    let (mut net, test, _) = quick_rps_model(7);
+    let mut rng = SeededRng::new(8);
+    let sets = vec![PrecisionSet::range(4, 8), PrecisionSet::new(&[4])];
+    let attack = Pgd::new(8.0 / 255.0, 5);
+    let pts = tradeoff_curve(&mut net, &test.take(24), &attack, &sets, 8, &mut rng);
+    assert_eq!(pts.len(), 2);
+    assert!(pts[0].mean_bits > pts[1].mean_bits);
+}
+
+#[test]
+fn free_training_is_functional_end_to_end() {
+    let profile = DatasetProfile::tiny(3, 8, 48, 24);
+    let (train, test) = generate(&profile, 9);
+    let mut rng = SeededRng::new(10);
+    let mut net = zoo::resnet50_lite(3, 4, profile.classes, &mut rng);
+    let cfg = TrainConfig::with_method(AdvMethod::Free { replays: 3 }, 8.0 / 255.0)
+        .with_epochs(3)
+        .with_batch_size(16);
+    let report = adversarial_train(&mut net, &train, &cfg);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    let policy = InferencePolicy::Fixed(None);
+    let acc = natural_accuracy(&mut net, &test, &policy, &mut rng);
+    assert!((0.0..=1.0).contains(&acc));
+}

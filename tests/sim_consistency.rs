@@ -1,0 +1,111 @@
+//! Integration tests of the architecture side: the simulator must reproduce
+//! the paper's qualitative orderings end-to-end.
+
+use two_in_one_accel::prelude::*;
+
+#[test]
+fn ours_wins_throughput_on_all_six_networks_at_4bit() {
+    let p = PrecisionPair::symmetric(4);
+    let mut ours = Accelerator::ours();
+    let mut bf = Accelerator::bitfusion();
+    let mut st = Accelerator::stripes();
+    for net in NetworkSpec::paper_six() {
+        let fo = ours.simulate_network(&net, p).fps;
+        let fb = bf.simulate_network(&net, p).fps;
+        let fs = st.simulate_network(&net, p).fps;
+        assert!(fo > fb, "{}: ours {} <= bitfusion {}", net.name, fo, fb);
+        assert!(fo > fs, "{}: ours {} <= stripes {}", net.name, fo, fs);
+    }
+}
+
+#[test]
+fn ours_wins_energy_on_all_six_networks_at_4bit() {
+    let p = PrecisionPair::symmetric(4);
+    let mut ours = Accelerator::ours();
+    let mut bf = Accelerator::bitfusion();
+    for net in NetworkSpec::paper_six() {
+        let eo = ours.simulate_network(&net, p).total_energy();
+        let eb = bf.simulate_network(&net, p).total_energy();
+        assert!(eo < eb, "{}: ours energy {} >= bitfusion {}", net.name, eo, eb);
+    }
+}
+
+#[test]
+fn ours_throughput_improves_as_precision_drops() {
+    let mut ours = Accelerator::ours();
+    let net = NetworkSpec::resnet18_cifar();
+    let mut prev = 0.0;
+    for b in [16u8, 12, 8, 6, 4, 2] {
+        let fps = ours.simulate_network(&net, PrecisionPair::symmetric(b)).fps;
+        assert!(
+            fps >= prev * 0.98,
+            "throughput should not fall as precision drops: {}-bit {} vs prev {}",
+            b,
+            fps,
+            prev
+        );
+        prev = fps;
+    }
+}
+
+#[test]
+fn bitfusion_flat_across_unsupported_precisions() {
+    // Fig. 2: 5/6/7-bit run at 8-bit speed on Bit Fusion.
+    let mut bf = Accelerator::bitfusion();
+    let net = NetworkSpec::resnet18_cifar();
+    let f8 = bf.simulate_network(&net, PrecisionPair::symmetric(8)).fps;
+    for b in [5u8, 6, 7] {
+        let f = bf.simulate_network(&net, PrecisionPair::symmetric(b)).fps;
+        assert!((f - f8).abs() / f8 < 0.02, "{}-bit {} vs 8-bit {}", b, f, f8);
+    }
+}
+
+#[test]
+fn crossover_between_bitfusion_and_stripes() {
+    // Fig. 2's dilemma: Bit Fusion wins at low precision, Stripes at 16-bit.
+    let mut bf = Accelerator::bitfusion();
+    let mut st = Accelerator::stripes();
+    let net = NetworkSpec::resnet50_imagenet();
+    let bf4 = bf.simulate_network(&net, PrecisionPair::symmetric(4)).fps;
+    let st4 = st.simulate_network(&net, PrecisionPair::symmetric(4)).fps;
+    let bf16 = bf.simulate_network(&net, PrecisionPair::symmetric(16)).fps;
+    let st16 = st.simulate_network(&net, PrecisionPair::symmetric(16)).fps;
+    assert!(bf4 > st4, "Bit Fusion should win at 4-bit");
+    assert!(st16 > bf16, "Stripes should win at 16-bit");
+}
+
+#[test]
+fn dnnguard_comparison_orderings() {
+    let budget = 4.4 * 1024.0;
+    let mut ours = Accelerator::ours();
+    let mut ratios = vec![];
+    for net in [NetworkSpec::alexnet(), NetworkSpec::vgg16(), NetworkSpec::resnet50_imagenet()] {
+        let dg = dnnguard_throughput(&net, budget, 1.0);
+        let (f48, _) = ours.average_over_set(&net, &PrecisionSet::range(4, 8));
+        let (f416, _) = ours.average_over_set(&net, &PrecisionSet::range(4, 16));
+        assert!(f48 > f416, "{}: narrower low set must be faster", net.name);
+        ratios.push(f48 / dg);
+    }
+    // Paper ordering: AlexNet > VGG-16 > ResNet-50 advantage.
+    assert!(ratios[0] > ratios[2], "AlexNet advantage should exceed ResNet-50: {:?}", ratios);
+}
+
+#[test]
+fn mac_anchor_ratios_hold_end_to_end() {
+    let p8 = PrecisionPair::symmetric(8);
+    let ours = MacUnit::new(MacKind::spatial_temporal());
+    let bf = MacUnit::new(MacKind::Spatial);
+    let tpa = (ours.products_per_cycle(p8) / ours.area()) / (bf.products_per_cycle(p8) / bf.area());
+    assert!((tpa - 2.3).abs() < 0.15);
+    let epo = bf.energy_per_mac(p8) / ours.energy_per_mac(p8);
+    assert!((epo - 4.88).abs() < 0.3);
+}
+
+#[test]
+fn energy_breakdown_components_sum() {
+    let mut ours = Accelerator::ours();
+    let perf = ours.simulate_network(&NetworkSpec::alexnet(), PrecisionPair::symmetric(8));
+    let sum: f64 = perf.mem_energy.iter().sum::<f64>() + perf.mac_energy;
+    assert!((sum - perf.total_energy()).abs() < 1e-9);
+    assert!(perf.stall_fraction() >= 0.0 && perf.stall_fraction() < 1.0);
+}
