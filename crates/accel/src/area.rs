@@ -19,8 +19,15 @@ impl AreaBreakdown {
     ///
     /// Panics if the fractions do not sum to ~1.
     pub fn from_fractions(total: f64, mult: f64, shift_add: f64, register: f64) -> Self {
-        assert!((mult + shift_add + register - 1.0).abs() < 1e-6, "fractions must sum to 1");
-        Self { multiplier: total * mult, shift_add: total * shift_add, register: total * register }
+        assert!(
+            (mult + shift_add + register - 1.0).abs() < 1e-6,
+            "fractions must sum to 1"
+        );
+        Self {
+            multiplier: total * mult,
+            shift_add: total * shift_add,
+            register: total * register,
+        }
     }
 
     /// Total unit area.

@@ -5,9 +5,9 @@
 //! buffer. Operands whose precision is not a supported granularity ride in
 //! the next wider lane (3-bit in a 4-bit lane, 5/6/7-bit in an 8-bit lane,
 //! >8-bit across two 8-bit lanes), wasting the difference. This module
-//! quantifies that packing efficiency; the cycle/energy predictor charges
-//! tightly packed traffic (charitable to every design equally), so the
-//! dispatcher figures here bound the extra cost of odd precisions.
+//! > quantifies that packing efficiency; the cycle/energy predictor charges
+//! > tightly packed traffic (charitable to every design equally), so the
+//! > dispatcher figures here bound the extra cost of odd precisions.
 
 /// Buffer access granularities supported by the dispatcher multiplexer.
 pub const GRANULARITIES: [u8; 4] = [1, 2, 4, 8];
@@ -34,7 +34,11 @@ impl Dispatcher {
     ///
     /// Panics if `bits` is 0 or greater than 16.
     pub fn lane_bits(&self, bits: u8) -> u8 {
-        assert!((1..=16).contains(&bits), "operand width 1..=16, got {}", bits);
+        assert!(
+            (1..=16).contains(&bits),
+            "operand width 1..=16, got {}",
+            bits
+        );
         for g in GRANULARITIES {
             if bits <= g {
                 return g;

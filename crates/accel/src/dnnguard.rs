@@ -29,7 +29,10 @@ impl Default for DnnGuardModel {
         // The DNNGuard paper co-runs detectors sized at a large fraction of
         // the target network; half the array for the detector plus ~10%
         // orchestration reproduces its published throughput class.
-        Self { detector_share: 0.5, orchestration_tax: 0.1 }
+        Self {
+            detector_share: 0.5,
+            orchestration_tax: 0.1,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn zero_overheads_recover_baseline() {
-        let m = DnnGuardModel { detector_share: 0.0, orchestration_tax: 0.0 };
+        let m = DnnGuardModel {
+            detector_share: 0.0,
+            orchestration_tax: 0.0,
+        };
         assert_eq!(m.products_per_cycle(64), 64.0);
     }
 

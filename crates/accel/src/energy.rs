@@ -20,8 +20,12 @@ pub enum MemLevel {
 }
 
 /// All levels, outermost first.
-pub const MEM_LEVELS: [MemLevel; 4] =
-    [MemLevel::Dram, MemLevel::GlobalBuffer, MemLevel::Noc, MemLevel::Rf];
+pub const MEM_LEVELS: [MemLevel; 4] = [
+    MemLevel::Dram,
+    MemLevel::GlobalBuffer,
+    MemLevel::Noc,
+    MemLevel::Rf,
+];
 
 impl MemLevel {
     /// Short display name.
@@ -66,8 +70,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<&str> =
-            MEM_LEVELS.iter().map(|l| l.name()).collect();
+        let names: std::collections::HashSet<&str> = MEM_LEVELS.iter().map(|l| l.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

@@ -18,7 +18,10 @@ impl PrecisionPair {
     ///
     /// Panics if either width is outside `1..=16`.
     pub fn new(w: u8, a: u8) -> Self {
-        assert!((1..=16).contains(&w) && (1..=16).contains(&a), "precision out of 1..=16");
+        assert!(
+            (1..=16).contains(&w) && (1..=16).contains(&a),
+            "precision out of 1..=16"
+        );
         Self { w, a }
     }
 
@@ -53,7 +56,10 @@ pub enum MacKind {
 impl MacKind {
     /// The full proposed design (both optimizations on).
     pub fn spatial_temporal() -> Self {
-        MacKind::SpatialTemporal { opt1: true, opt2: true }
+        MacKind::SpatialTemporal {
+            opt1: true,
+            opt2: true,
+        }
     }
 
     /// Display name used in figures.
@@ -61,7 +67,10 @@ impl MacKind {
         match self {
             MacKind::Temporal => "Stripes".into(),
             MacKind::Spatial => "Bit Fusion".into(),
-            MacKind::SpatialTemporal { opt1: true, opt2: true } => "Ours".into(),
+            MacKind::SpatialTemporal {
+                opt1: true,
+                opt2: true,
+            } => "Ours".into(),
             MacKind::SpatialTemporal { opt1, opt2 } => {
                 format!("Ours(opt1={},opt2={})", opt1, opt2)
             }
@@ -168,7 +177,11 @@ impl MacUnit {
                 if opt2 {
                     shift_add -= 0.13;
                 }
-                AreaBreakdown { multiplier: mult, shift_add, register: reg }
+                AreaBreakdown {
+                    multiplier: mult,
+                    shift_add,
+                    register: reg,
+                }
             }
         }
     }
@@ -309,9 +322,15 @@ mod tests {
         // 7-bit splits (4+3) -> 4 cycles.
         assert_eq!(ours().cycles_per_product(PrecisionPair::symmetric(7)), 4.0);
         // 12-bit = four sequential 6-bit products -> 12 cycles.
-        assert_eq!(ours().cycles_per_product(PrecisionPair::symmetric(12)), 12.0);
+        assert_eq!(
+            ours().cycles_per_product(PrecisionPair::symmetric(12)),
+            12.0
+        );
         // 16-bit = four sequential 8-bit products -> 16 cycles.
-        assert_eq!(ours().cycles_per_product(PrecisionPair::symmetric(16)), 16.0);
+        assert_eq!(
+            ours().cycles_per_product(PrecisionPair::symmetric(16)),
+            16.0
+        );
         // Asymmetric 4x2 takes two cycles per unit -> 4 products / 2 cycles.
         assert_eq!(ours().products_per_cycle(PrecisionPair::new(4, 2)), 2.0);
     }
@@ -335,9 +354,18 @@ mod tests {
     #[test]
     fn bitfusion_rounds_unsupported_precisions() {
         let bf = MacUnit::new(MacKind::Spatial);
-        assert_eq!(bf.effective(PrecisionPair::symmetric(3)), PrecisionPair::symmetric(4));
-        assert_eq!(bf.effective(PrecisionPair::symmetric(5)), PrecisionPair::symmetric(8));
-        assert_eq!(bf.effective(PrecisionPair::symmetric(7)), PrecisionPair::symmetric(8));
+        assert_eq!(
+            bf.effective(PrecisionPair::symmetric(3)),
+            PrecisionPair::symmetric(4)
+        );
+        assert_eq!(
+            bf.effective(PrecisionPair::symmetric(5)),
+            PrecisionPair::symmetric(8)
+        );
+        assert_eq!(
+            bf.effective(PrecisionPair::symmetric(7)),
+            PrecisionPair::symmetric(8)
+        );
         // So 5/6/7-bit run no faster than 8-bit.
         assert_eq!(
             bf.products_per_cycle(PrecisionPair::symmetric(6)),
@@ -389,8 +417,14 @@ mod tests {
     #[test]
     fn optimizations_shrink_area_and_energy() {
         let p8 = PrecisionPair::symmetric(8);
-        let vanilla = MacUnit::new(MacKind::SpatialTemporal { opt1: false, opt2: false });
-        let o1 = MacUnit::new(MacKind::SpatialTemporal { opt1: true, opt2: false });
+        let vanilla = MacUnit::new(MacKind::SpatialTemporal {
+            opt1: false,
+            opt2: false,
+        });
+        let o1 = MacUnit::new(MacKind::SpatialTemporal {
+            opt1: true,
+            opt2: false,
+        });
         let full = ours();
         assert!(vanilla.area() > o1.area());
         assert!(o1.area() > full.area());
@@ -404,7 +438,11 @@ mod tests {
     fn area_breakdown_fractions_match_fig3() {
         let o = ours().area_breakdown();
         // Ours: shift-add ~39.7%, multiplier ~43.0%, register ~17.2%.
-        assert!((o.shift_add_fraction() - 0.397).abs() < 0.03, "{}", o.shift_add_fraction());
+        assert!(
+            (o.shift_add_fraction() - 0.397).abs() < 0.03,
+            "{}",
+            o.shift_add_fraction()
+        );
         let t = MacUnit::new(MacKind::Temporal).area_breakdown();
         assert!((t.shift_add_fraction() - 0.609).abs() < 0.01);
         let s = MacUnit::new(MacKind::Spatial).area_breakdown();
@@ -417,7 +455,11 @@ mod tests {
         let mut prev = 0.0;
         for b in (1..=16u8).rev() {
             let t = o.products_per_cycle(PrecisionPair::symmetric(b));
-            assert!(t >= prev, "throughput must not drop as precision falls: {}-bit", b);
+            assert!(
+                t >= prev,
+                "throughput must not drop as precision falls: {}-bit",
+                b
+            );
             prev = t;
         }
     }

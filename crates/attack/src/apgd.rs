@@ -25,7 +25,11 @@ pub struct Apgd {
 impl Apgd {
     /// Creates APGD-CE with the given budget and iteration count.
     pub fn new(eps: f32, steps: usize) -> Self {
-        Self { eps, steps, restarts: 1 }
+        Self {
+            eps,
+            steps,
+            restarts: 1,
+        }
     }
 
     /// Sets the number of random restarts.
@@ -57,9 +61,9 @@ impl Apgd {
             // Momentum combination.
             let mut next = Tensor::zeros(adv.shape());
             for i in 0..next.len() {
-                next.data_mut()[i] =
-                    adv.data()[i] + 0.75 * (z.data()[i] - adv.data()[i])
-                        + 0.25 * (adv.data()[i] - adv_prev.data()[i]);
+                next.data_mut()[i] = adv.data()[i]
+                    + 0.75 * (z.data()[i] - adv.data()[i])
+                    + 0.25 * (adv.data()[i] - adv_prev.data()[i]);
             }
             let next = project(x, &next, self.eps);
             adv_prev = adv;
@@ -149,12 +153,20 @@ mod tests {
         let a_apgd = Apgd::new(EPS, 20).perturb(&mut net, &x, &labels, &mut rng);
         let lf = TargetModel::loss_value(&mut net, &a_fgsm, &labels, LossKind::CrossEntropy);
         let la = TargetModel::loss_value(&mut net, &a_apgd, &labels, LossKind::CrossEntropy);
-        assert!(la >= lf * 0.9, "APGD should match or beat FGSM: {} vs {}", la, lf);
+        assert!(
+            la >= lf * 0.9,
+            "APGD should match or beat FGSM: {} vs {}",
+            la,
+            lf
+        );
     }
 
     #[test]
     fn names() {
         assert_eq!(Apgd::new(EPS, 50).name(), "AutoAttack(APGD-50)");
-        assert_eq!(Apgd::new(EPS, 50).with_restarts(3).name(), "AutoAttack(APGD-50x3)");
+        assert_eq!(
+            Apgd::new(EPS, 50).with_restarts(3).name(),
+            "AutoAttack(APGD-50x3)"
+        );
     }
 }

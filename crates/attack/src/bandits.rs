@@ -31,7 +31,14 @@ impl Bandits {
     /// Creates a Bandits attack with `steps` loss-query rounds (two queries
     /// per round) and defaults following the original paper's ℓ∞ settings.
     pub fn new(eps: f32, steps: usize) -> Self {
-        Self { eps, steps, alpha: eps / 8.0, prior_lr: 0.1, fd_eta: 0.1, delta: 0.1 }
+        Self {
+            eps,
+            steps,
+            alpha: eps / 8.0,
+            prior_lr: 0.1,
+            fd_eta: 0.1,
+            delta: 0.1,
+        }
     }
 
     fn attack_single(
@@ -87,6 +94,7 @@ impl Attack for Bandits {
         let n = x.shape()[0];
         assert_eq!(n, labels.len(), "label count mismatch");
         let mut out = Tensor::zeros(x.shape());
+        #[allow(clippy::needless_range_loop)] // i indexes x, labels and out together
         for i in 0..n {
             let xi = x.index_axis0(i);
             let mut shape = vec![1usize];
@@ -125,7 +133,12 @@ mod tests {
         let clean = TargetModel::loss_value(&mut net, &x, &labels, LossKind::CrossEntropy);
         let adv = Bandits::new(EPS, 30).perturb(&mut net, &x, &labels, &mut rng);
         let attacked = TargetModel::loss_value(&mut net, &adv, &labels, LossKind::CrossEntropy);
-        assert!(attacked > clean, "Bandits should raise loss: {} -> {}", clean, attacked);
+        assert!(
+            attacked > clean,
+            "Bandits should raise loss: {} -> {}",
+            clean,
+            attacked
+        );
     }
 
     #[test]

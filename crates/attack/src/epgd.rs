@@ -24,7 +24,12 @@ pub struct EPgd {
 impl EPgd {
     /// Creates E-PGD-`steps` aware of `set`.
     pub fn new(eps: f32, steps: usize, set: PrecisionSet) -> Self {
-        Self { eps, alpha: 2.5 * eps / steps.max(1) as f32, steps, set }
+        Self {
+            eps,
+            alpha: 2.5 * eps / steps.max(1) as f32,
+            steps,
+            set,
+        }
     }
 
     /// The precision set the attack ensembles over.
@@ -85,7 +90,11 @@ mod tests {
         let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
         let adv = EPgd::new(EPS, 5, set).perturb(&mut net, &x, &[0, 1], &mut rng);
         assert!(x.sub(&adv).abs_max() <= EPS + 1e-6);
-        assert_eq!(net.precision(), Some(Precision::new(8)), "precision must be restored");
+        assert_eq!(
+            net.precision(),
+            Some(Precision::new(8)),
+            "precision must be restored"
+        );
     }
 
     #[test]
@@ -104,7 +113,12 @@ mod tests {
             clean += TargetModel::loss_value(&mut net, &x, &labels, LossKind::CrossEntropy);
             attacked += TargetModel::loss_value(&mut net, &adv, &labels, LossKind::CrossEntropy);
         }
-        assert!(attacked > clean, "E-PGD should raise ensemble loss: {} -> {}", clean, attacked);
+        assert!(
+            attacked > clean,
+            "E-PGD should raise ensemble loss: {} -> {}",
+            clean,
+            attacked
+        );
     }
 
     #[test]

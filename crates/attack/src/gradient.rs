@@ -51,7 +51,10 @@ pub struct FgsmRs {
 impl FgsmRs {
     /// Creates FGSM-RS with the paper's α = 1.25 ε.
     pub fn new(eps: f32) -> Self {
-        Self { eps, alpha: 1.25 * eps }
+        Self {
+            eps,
+            alpha: 1.25 * eps,
+        }
     }
 }
 
@@ -94,7 +97,13 @@ pub struct Pgd {
 impl Pgd {
     /// PGD-`steps` with the conventional α = 2.5 ε / steps and 1 restart.
     pub fn new(eps: f32, steps: usize) -> Self {
-        Self { eps, alpha: 2.5 * eps / steps.max(1) as f32, steps, restarts: 1, loss: LossKind::CrossEntropy }
+        Self {
+            eps,
+            alpha: 2.5 * eps / steps.max(1) as f32,
+            steps,
+            restarts: 1,
+            loss: LossKind::CrossEntropy,
+        }
     }
 
     /// Overrides the step size.
@@ -183,7 +192,9 @@ pub struct CwInf {
 impl CwInf {
     /// CW-∞ with the given budget and step count.
     pub fn new(eps: f32, steps: usize) -> Self {
-        Self { inner: Pgd::new(eps, steps).with_loss(LossKind::CwMargin) }
+        Self {
+            inner: Pgd::new(eps, steps).with_loss(LossKind::CwMargin),
+        }
     }
 }
 
@@ -243,7 +254,12 @@ mod tests {
         let clean_loss = TargetModel::loss_value(&mut net, &x, &labels, LossKind::CrossEntropy);
         let adv = Pgd::new(EPS, 10).perturb(&mut net, &x, &labels, &mut rng);
         let adv_loss = TargetModel::loss_value(&mut net, &adv, &labels, LossKind::CrossEntropy);
-        assert!(adv_loss > clean_loss, "PGD must increase loss: {} -> {}", clean_loss, adv_loss);
+        assert!(
+            adv_loss > clean_loss,
+            "PGD must increase loss: {} -> {}",
+            clean_loss,
+            adv_loss
+        );
     }
 
     #[test]
@@ -253,7 +269,12 @@ mod tests {
         let pgd_adv = Pgd::new(EPS, 20).perturb(&mut net, &x, &labels, &mut rng);
         let lf = TargetModel::loss_value(&mut net, &fgsm_adv, &labels, LossKind::CrossEntropy);
         let lp = TargetModel::loss_value(&mut net, &pgd_adv, &labels, LossKind::CrossEntropy);
-        assert!(lp >= lf * 0.9, "PGD-20 should be at least as strong: {} vs {}", lp, lf);
+        assert!(
+            lp >= lf * 0.9,
+            "PGD-20 should be at least as strong: {} vs {}",
+            lp,
+            lf
+        );
     }
 
     #[test]
@@ -266,10 +287,17 @@ mod tests {
     fn restarts_keep_strongest() {
         let (mut net, x, labels, mut rng) = setup();
         let adv1 = Pgd::new(EPS, 5).perturb(&mut net, &x, &labels, &mut rng);
-        let adv3 = Pgd::new(EPS, 5).with_restarts(3).perturb(&mut net, &x, &labels, &mut rng);
+        let adv3 = Pgd::new(EPS, 5)
+            .with_restarts(3)
+            .perturb(&mut net, &x, &labels, &mut rng);
         let l1 = TargetModel::loss_value(&mut net, &adv1, &labels, LossKind::CrossEntropy);
         let l3 = TargetModel::loss_value(&mut net, &adv3, &labels, LossKind::CrossEntropy);
-        assert!(l3 >= l1 * 0.8, "restarts should not be much weaker: {} vs {}", l3, l1);
+        assert!(
+            l3 >= l1 * 0.8,
+            "restarts should not be much weaker: {} vs {}",
+            l3,
+            l1
+        );
     }
 
     #[test]

@@ -1,32 +1,31 @@
-//! The attack-facing model abstraction.
+//! The attack-facing model abstraction, now a thin view over the engine's
+//! [`Backend`].
 
-use tia_nn::{cross_entropy, cw_margin_loss, Mode, Network};
+use tia_engine::Backend;
 use tia_quant::Precision;
 use tia_tensor::Tensor;
 
-/// Which scalar loss an attack climbs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LossKind {
-    /// Cross-entropy (FGSM/PGD/APGD/Bandits/E-PGD).
-    CrossEntropy,
-    /// Carlini-Wagner margin `max_{j≠y} z_j − z_y` (CW-∞).
-    CwMargin,
-}
+pub use tia_engine::LossKind;
 
 /// A model that attacks can query: logits, input gradients, and an in-situ
 /// precision switch.
 ///
-/// Implemented for [`tia_nn::Network`]; the RPS harness in `tia-core` wraps
-/// networks through this trait so attacks never see training internals.
-/// All queries run in evaluation mode (frozen BN statistics), as attacks do
-/// at inference time.
+/// Since the `tia-engine` redesign this trait is implemented *blanket* for
+/// every [`Backend`] — `tia_nn::Network`, `tia_engine::SimBacked`, and any
+/// future sharded/remote executor — so attacks automatically target
+/// whatever the serving engine runs. All queries run in evaluation mode
+/// (frozen BN statistics), as attacks do at inference time.
 pub trait TargetModel {
-    /// Class logits for a batch.
+    /// Class logits for a batch at the model's current precision.
     fn logits(&mut self, x: &Tensor) -> Tensor;
 
     /// `(loss, d loss / d x)` for the given loss kind.
-    fn loss_and_input_grad(&mut self, x: &Tensor, labels: &[usize], loss: LossKind)
-        -> (f32, Tensor);
+    fn loss_and_input_grad(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        loss: LossKind,
+    ) -> (f32, Tensor);
 
     /// Loss only (black-box attacks). Default routes through the gradient
     /// path; implementations may override with something cheaper.
@@ -43,18 +42,14 @@ pub trait TargetModel {
     /// Top-1 correct count on a batch (convenience for robust accuracy).
     fn correct_count(&mut self, x: &Tensor, labels: &[usize]) -> usize {
         let logits = self.logits(x);
-        let c = logits.shape()[1];
-        labels
-            .iter()
-            .enumerate()
-            .filter(|&(i, &y)| tia_tensor::argmax(&logits.data()[i * c..(i + 1) * c]) == y)
-            .count()
+        tia_tensor::count_top1_correct(&logits, labels)
     }
 }
 
-impl TargetModel for Network {
+impl<B: Backend> TargetModel for B {
     fn logits(&mut self, x: &Tensor) -> Tensor {
-        self.forward(x, Mode::Eval)
+        let p = Backend::precision(self);
+        self.infer_batch(x, p)
     }
 
     fn loss_and_input_grad(
@@ -63,32 +58,19 @@ impl TargetModel for Network {
         labels: &[usize],
         loss: LossKind,
     ) -> (f32, Tensor) {
-        // Attacks must not pollute parameter gradients used by training.
-        self.zero_grad();
-        let logits = self.forward(x, Mode::Eval);
-        let lg = match loss {
-            LossKind::CrossEntropy => cross_entropy(&logits, labels),
-            LossKind::CwMargin => cw_margin_loss(&logits, labels),
-        };
-        let gx = self.backward(&lg.grad);
-        self.zero_grad();
-        (lg.loss, gx)
+        Backend::loss_and_input_grad(self, x, labels, loss)
     }
 
     fn loss_value(&mut self, x: &Tensor, labels: &[usize], loss: LossKind) -> f32 {
-        let logits = self.forward(x, Mode::Eval);
-        match loss {
-            LossKind::CrossEntropy => cross_entropy(&logits, labels).loss,
-            LossKind::CwMargin => cw_margin_loss(&logits, labels).loss,
-        }
+        Backend::loss_value(self, x, labels, loss)
     }
 
     fn set_precision(&mut self, p: Option<Precision>) {
-        Network::set_precision(self, p);
+        Backend::set_precision(self, p);
     }
 
     fn precision(&self) -> Option<Precision> {
-        Network::precision(self)
+        Backend::precision(self)
     }
 }
 
@@ -130,5 +112,20 @@ mod tests {
         let m: &mut dyn TargetModel = &mut net;
         m.set_precision(Some(Precision::new(4)));
         assert_eq!(m.precision(), Some(Precision::new(4)));
+    }
+
+    #[test]
+    fn sim_backed_is_attackable() {
+        use tia_engine::SimBacked;
+        use tia_nn::workload::NetworkSpec;
+        use tia_sim::Accelerator;
+        let mut rng = SeededRng::new(4);
+        let net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
+        let mut sim = SimBacked::new(net, Accelerator::ours(), NetworkSpec::resnet18_cifar());
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let m: &mut dyn TargetModel = &mut sim;
+        let (loss, gx) = m.loss_and_input_grad(&x, &[0], LossKind::CwMargin);
+        assert!(loss.is_finite());
+        assert_eq!(gx.shape(), x.shape());
     }
 }

@@ -23,7 +23,11 @@ pub struct Square {
 impl Square {
     /// Creates a Square attack with the given loss-query budget.
     pub fn new(eps: f32, queries: usize) -> Self {
-        Self { eps, queries, p_init: 0.8 }
+        Self {
+            eps,
+            queries,
+            p_init: 0.8,
+        }
     }
 
     fn attack_single(
@@ -92,6 +96,7 @@ impl Attack for Square {
         let n = x.shape()[0];
         assert_eq!(n, labels.len(), "label count mismatch");
         let mut out = Tensor::zeros(x.shape());
+        #[allow(clippy::needless_range_loop)] // i indexes x, labels and out together
         for i in 0..n {
             let xi = x.index_axis0(i);
             let mut shape = vec![1usize];
@@ -130,7 +135,12 @@ mod tests {
         let clean = TargetModel::loss_value(&mut net, &x, &labels, LossKind::CwMargin);
         let adv = Square::new(EPS, 40).perturb(&mut net, &x, &labels, &mut rng);
         let attacked = TargetModel::loss_value(&mut net, &adv, &labels, LossKind::CwMargin);
-        assert!(attacked > clean, "Square should raise margin loss: {} -> {}", clean, attacked);
+        assert!(
+            attacked > clean,
+            "Square should raise margin loss: {} -> {}",
+            clean,
+            attacked
+        );
     }
 
     #[test]

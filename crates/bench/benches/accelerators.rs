@@ -1,51 +1,58 @@
-//! Criterion benchmarks of the end-to-end simulator: dataflow search +
+//! Microbenchmarks of the end-to-end simulator: dataflow search +
 //! prediction for one network per design (the kernel behind Figs. 7-10).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tia_accel::PrecisionPair;
+use tia_bench::harness::bench;
 use tia_dataflow::{EvoSearch, SearchMode};
 use tia_nn::workload::NetworkSpec;
 use tia_sim::Accelerator;
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_alexnet_4bit");
-    g.sample_size(10);
+fn bench_simulation() {
     let p = PrecisionPair::symmetric(4);
-    let small = EvoSearch { population: 8, cycles: 3, mode: SearchMode::Full };
+    let small = EvoSearch {
+        population: 8,
+        cycles: 3,
+        mode: SearchMode::Full,
+    };
     for (name, mut acc) in [
-        ("ours", Accelerator::ours().with_search(small)),
-        ("stripes", Accelerator::stripes().with_search(small)),
-        ("bitfusion", Accelerator::bitfusion()),
+        (
+            "simulate_alexnet_4bit/ours",
+            Accelerator::ours().with_search(small),
+        ),
+        (
+            "simulate_alexnet_4bit/stripes",
+            Accelerator::stripes().with_search(small),
+        ),
+        ("simulate_alexnet_4bit/bitfusion", Accelerator::bitfusion()),
     ] {
         let net = NetworkSpec::alexnet();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                // Fresh accelerator per iteration would re-search; the cache
-                // models the real usage (search once, evaluate many).
-                acc.simulate_network(&net, p).fps
-            })
-        });
+        // Fresh accelerator per iteration would re-search; the cache models
+        // the real usage (search once, evaluate many).
+        bench(name, || acc.simulate_network(&net, p).fps);
     }
-    g.finish();
 }
 
-fn bench_dataflow_search(c: &mut Criterion) {
+fn bench_dataflow_search() {
     use tia_dataflow::{ArchConfig, Workload};
     use tia_nn::workload::LayerSpec;
     use tia_tensor::SeededRng;
     let arch = ArchConfig::paper_budget(tia_accel::MacKind::spatial_temporal());
     let layer = LayerSpec::conv("c", 256, 512, 3, 1, 1, 14, 14);
     let wl = Workload::new(&layer, PrecisionPair::symmetric(8));
-    c.bench_function("evo_search_one_layer", |b| {
-        b.iter(|| {
-            let mut rng = SeededRng::new(1);
-            EvoSearch { population: 12, cycles: 5, mode: SearchMode::Full }
-                .run(&arch, &wl, &mut rng)
-                .perf
-                .total_cycles
-        })
+    bench("evo_search_one_layer", || {
+        let mut rng = SeededRng::new(1);
+        EvoSearch {
+            population: 12,
+            cycles: 5,
+            mode: SearchMode::Full,
+        }
+        .run(&arch, &wl, &mut rng)
+        .perf
+        .total_cycles
     });
 }
 
-criterion_group!(benches, bench_simulation, bench_dataflow_search);
-criterion_main!(benches);
+fn main() {
+    bench_simulation();
+    bench_dataflow_search();
+}

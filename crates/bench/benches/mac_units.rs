@@ -1,31 +1,24 @@
-//! Criterion microbenchmarks of the MAC-unit analytical models: the paper's
-//! headline per-unit anchors evaluated across the full precision range.
+//! Microbenchmarks of the MAC-unit analytical models: the paper's headline
+//! per-unit anchors evaluated across the full precision range.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tia_accel::{MacKind, MacUnit, PrecisionPair};
+use tia_bench::harness::{bench, black_box};
 
-fn bench_mac_models(c: &mut Criterion) {
+fn main() {
     let designs = [
         ("stripes", MacUnit::new(MacKind::Temporal)),
         ("bitfusion", MacUnit::new(MacKind::Spatial)),
         ("ours", MacUnit::new(MacKind::spatial_temporal())),
     ];
-    let mut g = c.benchmark_group("mac_unit_model");
     for (name, unit) in designs {
-        g.bench_function(format!("{}_sweep_1_16", name), |b| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for bits in 1..=16u8 {
-                    let p = PrecisionPair::symmetric(bits);
-                    acc += unit.products_per_cycle(black_box(p));
-                    acc += unit.energy_per_mac(black_box(p));
-                }
-                acc
-            })
+        bench(&format!("mac_unit_model/{}_sweep_1_16", name), || {
+            let mut acc = 0.0;
+            for bits in 1..=16u8 {
+                let p = PrecisionPair::symmetric(bits);
+                acc += unit.products_per_cycle(black_box(p));
+                acc += unit.energy_per_mac(black_box(p));
+            }
+            acc
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_mac_models);
-criterion_main!(benches);

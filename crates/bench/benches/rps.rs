@@ -1,43 +1,87 @@
-//! Criterion benchmarks of the algorithm substrate: quantization, forward/
-//! backward passes and one PGD attack step on the lite PreActResNet-18.
+//! Microbenchmarks of the algorithm substrate — quantization, forward/
+//! backward, one PGD attack step — plus the serving-throughput benchmark of
+//! the `tia-engine` micro-batcher (requests/sec at batch 1/8/32, fixed vs
+//! RPS policy). Writes a `BENCH_engine.json` snapshot so later PRs have a
+//! perf trajectory.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tia_attack::{Attack, Pgd};
+use tia_bench::harness::{bench, black_box, to_json, BenchResult};
+use tia_engine::{Engine, EngineConfig, PrecisionPolicy};
 use tia_nn::{zoo, Mode};
-use tia_quant::{fake_quant_symmetric, Precision};
+use tia_quant::{fake_quant_symmetric, Precision, PrecisionSet};
 use tia_tensor::{SeededRng, Tensor};
 
-fn bench_quantize(c: &mut Criterion) {
+fn bench_quantize() -> BenchResult {
     let mut rng = SeededRng::new(1);
     let t = Tensor::randn(&[64 * 64 * 9], 1.0, &mut rng);
-    c.bench_function("fake_quant_symmetric_36k", |b| {
-        b.iter(|| fake_quant_symmetric(black_box(&t), Precision::new(8)))
-    });
+    bench("fake_quant_symmetric_36k", || {
+        fake_quant_symmetric(black_box(&t), Precision::new(8))
+    })
 }
 
-fn bench_forward_backward(c: &mut Criterion) {
+fn bench_forward_backward() -> BenchResult {
     let mut rng = SeededRng::new(2);
     let mut net = zoo::preact_resnet18_lite(3, 6, 10, &mut rng);
     let x = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
     let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
-    c.bench_function("resnet18_lite_fwd_bwd_b8", |b| {
-        b.iter(|| {
-            net.zero_grad();
-            net.loss_and_input_grad(black_box(&x), &labels, Mode::Train).0
-        })
-    });
+    bench("resnet18_lite_fwd_bwd_b8", || {
+        net.zero_grad();
+        net.loss_and_input_grad(black_box(&x), &labels, Mode::Train)
+            .0
+    })
 }
 
-fn bench_pgd_step(c: &mut Criterion) {
+fn bench_pgd_step() -> BenchResult {
     let mut rng = SeededRng::new(3);
     let mut net = zoo::preact_resnet18_lite(3, 4, 10, &mut rng);
     let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
     let labels = vec![0, 1, 2, 3];
     let attack = Pgd::new(8.0 / 255.0, 1);
-    c.bench_function("pgd1_attack_b4", |b| {
-        b.iter(|| attack.perturb(&mut net, black_box(&x), &labels, &mut rng))
-    });
+    bench("pgd1_attack_b4", || {
+        attack.perturb(&mut net, black_box(&x), &labels, &mut rng)
+    })
 }
 
-criterion_group!(benches, bench_quantize, bench_forward_backward, bench_pgd_step);
-criterion_main!(benches);
+/// Serving throughput through the engine: one result per (max_batch,
+/// policy), measured as requests/sec over a 64-request burst.
+fn bench_engine_serving() -> Vec<BenchResult> {
+    const REQUESTS: usize = 64;
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(4);
+    let mut net = zoo::preact_resnet18_rps(3, 4, 10, set.clone(), &mut rng);
+    let x = Tensor::rand_uniform(&[REQUESTS, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let mut results = Vec::new();
+    for max_batch in [1usize, 8, 32] {
+        for (tag, policy) in [
+            ("fixed8", PrecisionPolicy::Fixed(Some(Precision::new(8)))),
+            ("rps4-8", PrecisionPolicy::Random(set.clone())),
+        ] {
+            let cfg = EngineConfig::default()
+                .with_max_batch(max_batch)
+                .with_seed(7);
+            let mut engine = Engine::new(&mut net, policy, cfg);
+            let mut r = bench(&format!("engine_serve_b{}_{}", max_batch, tag), || {
+                engine.serve(black_box(&x)).len()
+            });
+            // Re-express per-iteration time as per-request throughput.
+            r.ns_per_iter /= REQUESTS as f64;
+            r.name.push_str("_per_request");
+            println!("  -> {:>12.0} requests/s", r.per_sec());
+            results.push(r);
+        }
+    }
+    results
+}
+
+fn main() {
+    let mut results = vec![bench_quantize(), bench_forward_backward(), bench_pgd_step()];
+    results.extend(bench_engine_serving());
+    let json = to_json(&results);
+    // Snapshot at the workspace root so PR-over-PR perf diffs are one file.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {}: {}", path, e);
+    } else {
+        println!("\nwrote {}", path);
+    }
+}

@@ -14,12 +14,30 @@ fn main() {
         "same hardware, three optimization regimes",
     );
     let p = PrecisionPair::symmetric(4);
-    println!("{:<16} {:>14} {:>14} {:>12}", "Network", "Regime", "FPS", "Energy(norm)");
-    for net in [NetworkSpec::resnet50_imagenet(), NetworkSpec::wide_resnet32_cifar()] {
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}",
+        "Network", "Regime", "FPS", "Energy(norm)"
+    );
+    for net in [
+        NetworkSpec::resnet50_imagenet(),
+        NetworkSpec::wide_resnet32_cifar(),
+    ] {
         let mut full = Accelerator::ours();
-        let mut limited = Accelerator::with_kind("Ours-GbOnly", MacKind::spatial_temporal(), SearchMode::GbOrderOnly);
-        let mut fixed = Accelerator::with_kind("Ours-fixed", MacKind::spatial_temporal(), SearchMode::GbOrderOnly)
-            .with_search(EvoSearch { population: 1, cycles: 0, mode: SearchMode::GbOrderOnly });
+        let mut limited = Accelerator::with_kind(
+            "Ours-GbOnly",
+            MacKind::spatial_temporal(),
+            SearchMode::GbOrderOnly,
+        );
+        let mut fixed = Accelerator::with_kind(
+            "Ours-fixed",
+            MacKind::spatial_temporal(),
+            SearchMode::GbOrderOnly,
+        )
+        .with_search(EvoSearch {
+            population: 1,
+            cycles: 0,
+            mode: SearchMode::GbOrderOnly,
+        });
         let pf = full.simulate_network(&net, p);
         let pl = limited.simulate_network(&net, p);
         let px = fixed.simulate_network(&net, p);
@@ -32,7 +50,10 @@ fn main() {
             };
             println!(
                 "{:<16} {:>14} {:>14.2} {:>12.3}",
-                net.name, regime, perf.fps, perf.total_energy() / base
+                net.name,
+                regime,
+                perf.fps,
+                perf.total_energy() / base
             );
         }
     }

@@ -6,7 +6,7 @@
 
 use tia_attack::Pgd;
 use tia_bench::{default_rps_set, pct, train_model, Arch, Scale};
-use tia_core::{natural_accuracy, robust_accuracy, transfer_matrix, AdvMethod, InferencePolicy};
+use tia_core::{natural_accuracy, robust_accuracy, transfer_matrix, AdvMethod, PrecisionPolicy};
 use tia_data::DatasetProfile;
 use tia_quant::Precision;
 use tia_tensor::SeededRng;
@@ -20,21 +20,46 @@ fn main() {
         for rps in [false, true] {
             let set = rps.then(default_rps_set);
             let (mut net, test) = train_model(
-                &profile, Arch::PreActResNet18, AdvMethod::Pgd { steps: 7 }, set.clone(), eps, scale, 42,
+                &profile,
+                Arch::PreActResNet18,
+                AdvMethod::Pgd { steps: 7 },
+                set.clone(),
+                eps,
+                scale,
+                42,
             );
             let eval = test.take(scale.eval);
             let mut rng = SeededRng::new(7);
             let policy = match &set {
-                Some(s) => InferencePolicy::Random(s.clone()),
-                None => InferencePolicy::Fixed(None),
+                Some(s) => PrecisionPolicy::Random(s.clone()),
+                None => PrecisionPolicy::Fixed(None),
             };
             let nat = natural_accuracy(&mut net, &eval, &policy, &mut rng);
-            let rob = robust_accuracy(&mut net, &eval, &Pgd::new(eps, 20), &policy, &policy, 12, &mut rng);
+            let rob = robust_accuracy(
+                &mut net,
+                &eval,
+                &Pgd::new(eps, 20),
+                &policy,
+                &policy,
+                12,
+                &mut rng,
+            );
             println!("  rps={} natural {} pgd20 {}", rps, pct(nat), pct(rob));
             if rps {
                 let ps: Vec<Precision> = [4u8, 8, 16].iter().map(|&b| Precision::new(b)).collect();
-                let m = transfer_matrix(&mut net, &eval.take(48), &Pgd::new(eps, 10), &ps, 12, &mut rng);
-                println!("  transfer: diag {} offdiag {}", pct(m.diagonal_mean()), pct(m.off_diagonal_mean()));
+                let m = transfer_matrix(
+                    &mut net,
+                    &eval.take(48),
+                    &Pgd::new(eps, 10),
+                    &ps,
+                    12,
+                    &mut rng,
+                );
+                println!(
+                    "  transfer: diag {} offdiag {}",
+                    pct(m.diagonal_mean()),
+                    pct(m.off_diagonal_mean())
+                );
             }
         }
     }

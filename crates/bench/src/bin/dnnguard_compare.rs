@@ -17,13 +17,22 @@ fn main() {
         "{:<12} {:>14} {:>14} {:>14} {:>10} {:>10}",
         "Network", "DNNGuard FPS", "Ours 4~8 FPS", "Ours 4~16 FPS", "4~8 ratio", "4~16 ratio"
     );
-    for net in [NetworkSpec::alexnet(), NetworkSpec::vgg16(), NetworkSpec::resnet50_imagenet()] {
+    for net in [
+        NetworkSpec::alexnet(),
+        NetworkSpec::vgg16(),
+        NetworkSpec::resnet50_imagenet(),
+    ] {
         let dg = dnnguard_throughput(&net, budget, 1.0);
         let (f48, _) = ours.average_over_set(&net, &PrecisionSet::range(4, 8));
         let (f416, _) = ours.average_over_set(&net, &PrecisionSet::range(4, 16));
         println!(
             "{:<12} {:>14.1} {:>14.1} {:>14.1} {:>9.1}x {:>9.1}x",
-            net.name, dg, f48, f416, f48 / dg, f416 / dg
+            net.name,
+            dg,
+            f48,
+            f416,
+            f48 / dg,
+            f416 / dg
         );
     }
     println!("\nPaper (Sec 4.3.2): 36.5x/17.9x (AlexNet), 19.3x/9.5x (VGG-16),");

@@ -14,9 +14,15 @@ fn main() {
     let mut ours = Accelerator::ours();
     let mut bf = Accelerator::bitfusion();
     let mut st = Accelerator::stripes();
-    for net in [NetworkSpec::wide_resnet32_cifar(), NetworkSpec::resnet50_imagenet()] {
+    for net in [
+        NetworkSpec::wide_resnet32_cifar(),
+        NetworkSpec::resnet50_imagenet(),
+    ] {
         println!("\n--- {} on {} ---", net.name, net.dataset);
-        println!("{:>9} {:>12} {:>10} {:>10}", "Precision", "BitFusion", "Stripes", "Ours");
+        println!(
+            "{:>9} {:>12} {:>10} {:>10}",
+            "Precision", "BitFusion", "Stripes", "Ours"
+        );
         for b in 1..=16u8 {
             let p = PrecisionPair::symmetric(b);
             println!(

@@ -20,8 +20,13 @@ fn main() {
     );
     let profile = DatasetProfile::cifar10_like();
     let (mut net, test) = train_model(
-        &profile, Arch::WideResNet32, AdvMethod::Pgd { steps: 7 },
-        Some(default_rps_set()), EPS_CIFAR, scale, 42,
+        &profile,
+        Arch::WideResNet32,
+        AdvMethod::Pgd { steps: 7 },
+        Some(default_rps_set()),
+        EPS_CIFAR,
+        scale,
+        42,
     );
     let eval = test.take(scale.eval / 2);
     let sets = vec![

@@ -18,7 +18,10 @@ fn main() {
         "synthetic cifar10-like data; PreActResNet-18-lite",
     );
     let profile = DatasetProfile::cifar10_like();
-    let precisions: Vec<Precision> = [4u8, 6, 8, 12, 16].iter().map(|&b| Precision::new(b)).collect();
+    let precisions: Vec<Precision> = [4u8, 6, 8, 12, 16]
+        .iter()
+        .map(|&b| Precision::new(b))
+        .collect();
 
     // Static-8-bit adversarially trained models (a)-(c).
     let (mut fgsm_rs_net, _) = {
@@ -30,8 +33,13 @@ fn main() {
     let (mut pgd7_net, _) = train_static8(&profile, AdvMethod::Pgd { steps: 7 }, scale);
     // RPS-trained model (d).
     let (mut rps_net, _) = train_model(
-        &profile, Arch::PreActResNet18, AdvMethod::Pgd { steps: 7 },
-        Some(default_rps_set()), EPS_CIFAR, scale, 42,
+        &profile,
+        Arch::PreActResNet18,
+        AdvMethod::Pgd { steps: 7 },
+        Some(default_rps_set()),
+        EPS_CIFAR,
+        scale,
+        42,
     );
 
     let eval = generate(&profile.clone().with_sizes(scale.train, scale.test), 42).1;
@@ -48,10 +56,26 @@ fn main() {
             m.grand_mean() * 100.0
         );
     };
-    panel("(a) FGSM-RS trained, PGD-20 attack", &mut fgsm_rs_net, &Pgd::new(EPS_CIFAR, 20));
-    panel("(b) PGD-7 trained, CW-Inf attack", &mut pgd7_net, &CwInf::new(EPS_CIFAR, 20));
-    panel("(c) PGD-7 trained, PGD-20 attack", &mut pgd7_net, &Pgd::new(EPS_CIFAR, 20));
-    panel("(d) PGD-7 + RPS training, PGD-20 attack", &mut rps_net, &Pgd::new(EPS_CIFAR, 20));
+    panel(
+        "(a) FGSM-RS trained, PGD-20 attack",
+        &mut fgsm_rs_net,
+        &Pgd::new(EPS_CIFAR, 20),
+    );
+    panel(
+        "(b) PGD-7 trained, CW-Inf attack",
+        &mut pgd7_net,
+        &CwInf::new(EPS_CIFAR, 20),
+    );
+    panel(
+        "(c) PGD-7 trained, PGD-20 attack",
+        &mut pgd7_net,
+        &Pgd::new(EPS_CIFAR, 20),
+    );
+    panel(
+        "(d) PGD-7 + RPS training, PGD-20 attack",
+        &mut rps_net,
+        &Pgd::new(EPS_CIFAR, 20),
+    );
     println!("\nPaper (Fig.1): attacks transfer poorly between precisions —");
     println!("off-diagonal robust accuracy is consistently higher than the");
     println!("diagonal, and RPS training widens the gap.");

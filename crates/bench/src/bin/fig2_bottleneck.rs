@@ -15,7 +15,10 @@ fn main() {
     let net = NetworkSpec::resnet50_imagenet();
     let mut bf = Accelerator::bitfusion();
     let mut st = Accelerator::stripes();
-    println!("{:>9} {:>14} {:>14}", "Precision", "BitFusion FPS", "Stripes FPS");
+    println!(
+        "{:>9} {:>14} {:>14}",
+        "Precision", "BitFusion FPS", "Stripes FPS"
+    );
     for b in 1..=16u8 {
         let p = PrecisionPair::symmetric(b);
         println!(

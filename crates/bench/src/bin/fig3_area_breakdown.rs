@@ -16,8 +16,14 @@ fn main() {
     for kind in [
         MacKind::Temporal,
         MacKind::Spatial,
-        MacKind::SpatialTemporal { opt1: false, opt2: false },
-        MacKind::SpatialTemporal { opt1: true, opt2: false },
+        MacKind::SpatialTemporal {
+            opt1: false,
+            opt2: false,
+        },
+        MacKind::SpatialTemporal {
+            opt1: true,
+            opt2: false,
+        },
         MacKind::spatial_temporal(),
     ] {
         let unit = MacUnit::new(kind);

@@ -17,14 +17,21 @@ fn main() {
     for b in [2u8, 4, 8, 16] {
         let p = PrecisionPair::symmetric(b);
         println!("\n--- {}x{}-bit ---", b, b);
-        println!("{:<16}{:<10} {:>10} {:>9} {:>7}", "Network", "Dataset", "BitFusion", "Stripes", "Ours");
+        println!(
+            "{:<16}{:<10} {:>10} {:>9} {:>7}",
+            "Network", "Dataset", "BitFusion", "Stripes", "Ours"
+        );
         for net in NetworkSpec::paper_six() {
             let fo = ours.simulate_network(&net, p).fps;
             let fb = bf.simulate_network(&net, p).fps;
             let fs = st.simulate_network(&net, p).fps;
             println!(
                 "{:<16}{:<10} {:>10.2} {:>9.2} {:>7.2}",
-                net.name, net.dataset, 1.0, fs / fb, fo / fb
+                net.name,
+                net.dataset,
+                1.0,
+                fs / fb,
+                fo / fb
             );
         }
     }

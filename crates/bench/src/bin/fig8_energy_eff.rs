@@ -17,14 +17,21 @@ fn main() {
     for b in [2u8, 4, 8, 16] {
         let p = PrecisionPair::symmetric(b);
         println!("\n--- {}x{}-bit ---", b, b);
-        println!("{:<16}{:<10} {:>10} {:>9} {:>7}", "Network", "Dataset", "BitFusion", "Stripes", "Ours");
+        println!(
+            "{:<16}{:<10} {:>10} {:>9} {:>7}",
+            "Network", "Dataset", "BitFusion", "Stripes", "Ours"
+        );
         for net in NetworkSpec::paper_six() {
             let eo = ours.simulate_network(&net, p).total_energy();
             let eb = bf.simulate_network(&net, p).total_energy();
             let es = st.simulate_network(&net, p).total_energy();
             println!(
                 "{:<16}{:<10} {:>10.2} {:>9.2} {:>7.2}",
-                net.name, net.dataset, 1.0, eb / es, eb / eo
+                net.name,
+                net.dataset,
+                1.0,
+                eb / es,
+                eb / eo
             );
         }
     }

@@ -10,7 +10,11 @@ fn main() {
         "MAC-unit comparison (Sec 3.2 scheduling + Sec 3.2.3 anchors)",
         "cycle counts follow the paper exactly; area/energy calibrated",
     );
-    let designs = [MacKind::Temporal, MacKind::Spatial, MacKind::spatial_temporal()];
+    let designs = [
+        MacKind::Temporal,
+        MacKind::Spatial,
+        MacKind::spatial_temporal(),
+    ];
     println!("Cycles per output product:");
     print!("{:>9}", "Precision");
     for k in designs {

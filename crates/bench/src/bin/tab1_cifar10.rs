@@ -4,21 +4,31 @@
 
 use tia_attack::Pgd;
 use tia_bench::{banner, default_rps_set, pct, train_model, Arch, Scale, EPS_CIFAR};
-use tia_core::{natural_accuracy, robust_accuracy, AdvMethod, InferencePolicy};
+use tia_core::{natural_accuracy, robust_accuracy, AdvMethod, PrecisionPolicy};
 use tia_data::DatasetProfile;
 use tia_tensor::SeededRng;
 
 fn main() {
-    run_table("Table 1: RPS on CIFAR-10-like", &DatasetProfile::cifar10_like());
+    run_table(
+        "Table 1: RPS on CIFAR-10-like",
+        &DatasetProfile::cifar10_like(),
+    );
 }
 
 pub fn run_table(title: &str, profile: &DatasetProfile) {
     let scale = Scale::from_env();
     banner(title, "synthetic dataset stands in for the original corpus");
-    let methods = [AdvMethod::Fgsm, AdvMethod::FgsmRs, AdvMethod::Pgd { steps: 7 }];
+    let methods = [
+        AdvMethod::Fgsm,
+        AdvMethod::FgsmRs,
+        AdvMethod::Pgd { steps: 7 },
+    ];
     for arch in [Arch::PreActResNet18, Arch::WideResNet32] {
         println!("\n--- {} ---", arch.name());
-        println!("{:<18} {:>9} {:>9} {:>9}", "Method", "Natural", "PGD-20", "PGD-100");
+        println!(
+            "{:<18} {:>9} {:>9} {:>9}",
+            "Method", "Natural", "PGD-20", "PGD-100"
+        );
         for method in methods {
             for rps in [false, true] {
                 let set = rps.then(default_rps_set);
@@ -27,8 +37,8 @@ pub fn run_table(title: &str, profile: &DatasetProfile) {
                 let eval = test.take(scale.eval);
                 let mut rng = SeededRng::new(7);
                 let policy = match &set {
-                    Some(s) => InferencePolicy::Random(s.clone()),
-                    None => InferencePolicy::Fixed(None),
+                    Some(s) => PrecisionPolicy::Random(s.clone()),
+                    None => PrecisionPolicy::Fixed(None),
                 };
                 let nat = natural_accuracy(&mut net, &eval, &policy, &mut rng);
                 let mut robs = vec![];

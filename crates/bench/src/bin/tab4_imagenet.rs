@@ -3,7 +3,7 @@
 
 use tia_attack::Pgd;
 use tia_bench::{banner, default_rps_set, pct, train_model, Arch, Scale, EPS_IMAGENET};
-use tia_core::{natural_accuracy, robust_accuracy, AdvMethod, InferencePolicy};
+use tia_core::{natural_accuracy, robust_accuracy, AdvMethod, PrecisionPolicy};
 use tia_data::DatasetProfile;
 use tia_tensor::SeededRng;
 
@@ -17,27 +17,59 @@ fn main() {
         "synthetic imagenet-lite profile; basic-block ResNet-50 substitution",
     );
     let profile = DatasetProfile::imagenet_lite();
-    println!("{:<18} {:>9} {:>9} {:>9}", "Method", "Natural", "PGD-10", "PGD-50");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "Method", "Natural", "PGD-10", "PGD-50"
+    );
     for method in [AdvMethod::FgsmRs, AdvMethod::Free { replays: 4 }] {
         for rps in [false, true] {
             let set = rps.then(default_rps_set);
-            let (mut net, test) =
-                train_model(&profile, Arch::ResNet50, method, set.clone(), EPS_IMAGENET, scale, 42);
+            let (mut net, test) = train_model(
+                &profile,
+                Arch::ResNet50,
+                method,
+                set.clone(),
+                EPS_IMAGENET,
+                scale,
+                42,
+            );
             let eval = test.take(scale.eval / 2);
             let mut rng = SeededRng::new(7);
             let policy = match &set {
-                Some(s) => InferencePolicy::Random(s.clone()),
-                None => InferencePolicy::Fixed(None),
+                Some(s) => PrecisionPolicy::Random(s.clone()),
+                None => PrecisionPolicy::Fixed(None),
             };
             let nat = natural_accuracy(&mut net, &eval, &policy, &mut rng);
             let r10 = robust_accuracy(
-                &mut net, &eval, &Pgd::new(EPS_IMAGENET, 10), &policy, &policy, 12, &mut rng,
+                &mut net,
+                &eval,
+                &Pgd::new(EPS_IMAGENET, 10),
+                &policy,
+                &policy,
+                12,
+                &mut rng,
             );
             let r50 = robust_accuracy(
-                &mut net, &eval, &Pgd::new(EPS_IMAGENET, 50), &policy, &policy, 12, &mut rng,
+                &mut net,
+                &eval,
+                &Pgd::new(EPS_IMAGENET, 50),
+                &policy,
+                &policy,
+                12,
+                &mut rng,
             );
-            let label = if rps { format!("{}+RPS", method.name()) } else { method.name() };
-            println!("{:<18} {:>9} {:>9} {:>9}", label, pct(nat), pct(r10), pct(r50));
+            let label = if rps {
+                format!("{}+RPS", method.name())
+            } else {
+                method.name()
+            };
+            println!(
+                "{:<18} {:>9} {:>9} {:>9}",
+                label,
+                pct(nat),
+                pct(r10),
+                pct(r50)
+            );
         }
     }
     println!("\nPaper (Tab.4): RPS adds +7.7/+10.1 points PGD-10 robust accuracy");

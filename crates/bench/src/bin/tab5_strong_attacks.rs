@@ -3,7 +3,7 @@
 
 use tia_attack::{Apgd, Attack, Bandits, CwInf};
 use tia_bench::{banner, default_rps_set, pct, train_model, Arch, Scale, EPS_CIFAR};
-use tia_core::{robust_accuracy, AdvMethod, InferencePolicy};
+use tia_core::{robust_accuracy, AdvMethod, PrecisionPolicy};
 use tia_data::DatasetProfile;
 use tia_tensor::SeededRng;
 
@@ -18,11 +18,23 @@ fn main() {
         println!("\n--- {} ---", arch.name());
         println!("{:<22} {:>10} {:>12}", "Attack", "PGD-7", "PGD-7+RPS");
         let (mut base, test) = train_model(
-            &profile, arch, AdvMethod::Pgd { steps: 7 }, None, EPS_CIFAR, scale, 42,
+            &profile,
+            arch,
+            AdvMethod::Pgd { steps: 7 },
+            None,
+            EPS_CIFAR,
+            scale,
+            42,
         );
         let set = default_rps_set();
         let (mut rps, _) = train_model(
-            &profile, arch, AdvMethod::Pgd { steps: 7 }, Some(set.clone()), EPS_CIFAR, scale, 42,
+            &profile,
+            arch,
+            AdvMethod::Pgd { steps: 7 },
+            Some(set.clone()),
+            EPS_CIFAR,
+            scale,
+            42,
         );
         let eval = test.take(scale.eval / 2);
         for eps_mult in [1.0f32, 1.5] {
@@ -34,13 +46,25 @@ fn main() {
             ];
             for attack in attacks {
                 let mut rng = SeededRng::new(7);
-                let fixed = InferencePolicy::Fixed(None);
+                let fixed = PrecisionPolicy::Fixed(None);
                 let acc_base = robust_accuracy(
-                    &mut base, &eval, attack.as_ref(), &fixed, &fixed, 12, &mut rng,
+                    &mut base,
+                    &eval,
+                    attack.as_ref(),
+                    &fixed,
+                    &fixed,
+                    12,
+                    &mut rng,
                 );
-                let policy = InferencePolicy::Random(set.clone());
+                let policy = PrecisionPolicy::Random(set.clone());
                 let acc_rps = robust_accuracy(
-                    &mut rps, &eval, attack.as_ref(), &policy, &policy, 12, &mut rng,
+                    &mut rps,
+                    &eval,
+                    attack.as_ref(),
+                    &policy,
+                    &policy,
+                    12,
+                    &mut rng,
                 );
                 println!(
                     "{:<22} {:>10} {:>12}",

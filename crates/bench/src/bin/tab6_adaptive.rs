@@ -3,7 +3,7 @@
 
 use tia_attack::EPgd;
 use tia_bench::{banner, default_rps_set, pct, train_model, Arch, Scale, EPS_CIFAR};
-use tia_core::{natural_accuracy, robust_accuracy, AdvMethod, InferencePolicy};
+use tia_core::{natural_accuracy, robust_accuracy, AdvMethod, PrecisionPolicy};
 use tia_data::DatasetProfile;
 use tia_quant::PrecisionSet;
 use tia_tensor::SeededRng;
@@ -17,20 +17,31 @@ fn main() {
     // A reduced ensemble set keeps E-PGD affordable; the attack is aware of
     // every precision the defender can pick.
     let set = PrecisionSet::new(&[4, 6, 8, 12, 16]);
-    for profile in [DatasetProfile::cifar10_like(), DatasetProfile::cifar100_like()] {
+    for profile in [
+        DatasetProfile::cifar10_like(),
+        DatasetProfile::cifar100_like(),
+    ] {
         println!("\n--- {} ---", profile.name);
-        println!("{:<14} {:>9} {:>10} {:>10}", "Method", "Natural", "E-PGD-20", "E-PGD-100");
+        println!(
+            "{:<14} {:>9} {:>10} {:>10}",
+            "Method", "Natural", "E-PGD-20", "E-PGD-100"
+        );
         for rps in [false, true] {
-            let train_set = rps.then(|| default_rps_set());
+            let train_set = rps.then(default_rps_set);
             let (mut net, test) = train_model(
-                &profile, Arch::PreActResNet18, AdvMethod::Pgd { steps: 7 },
-                train_set.clone(), EPS_CIFAR, scale, 42,
+                &profile,
+                Arch::PreActResNet18,
+                AdvMethod::Pgd { steps: 7 },
+                train_set.clone(),
+                EPS_CIFAR,
+                scale,
+                42,
             );
             let eval = test.take(scale.eval / 2);
             let mut rng = SeededRng::new(7);
             let policy = match &train_set {
-                Some(s) => InferencePolicy::Random(s.clone()),
-                None => InferencePolicy::Fixed(None),
+                Some(s) => PrecisionPolicy::Random(s.clone()),
+                None => PrecisionPolicy::Fixed(None),
             };
             let nat = natural_accuracy(&mut net, &eval, &policy, &mut rng);
             let mut robs = vec![];
@@ -39,11 +50,23 @@ fn main() {
                 // E-PGD already switches precisions internally; the attack
                 // policy slot is irrelevant, the defender still randomizes.
                 robs.push(robust_accuracy(
-                    &mut net, &eval, &attack, &InferencePolicy::Fixed(None), &policy, 12, &mut rng,
+                    &mut net,
+                    &eval,
+                    &attack,
+                    &PrecisionPolicy::Fixed(None),
+                    &policy,
+                    12,
+                    &mut rng,
                 ));
             }
             let label = if rps { "PGD-7+RPS" } else { "PGD-7" };
-            println!("{:<14} {:>9} {:>10} {:>10}", label, pct(nat), pct(robs[0]), pct(robs[1]));
+            println!(
+                "{:<14} {:>9} {:>10} {:>10}",
+                label,
+                pct(nat),
+                pct(robs[0]),
+                pct(robs[1])
+            );
         }
     }
     println!("\nPaper (Tab.6): RPS keeps a >8.9-point edge under E-PGD-20 on both");

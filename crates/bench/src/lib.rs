@@ -9,6 +9,8 @@
 //! smoke runs. Architecture-side experiments run the full-size layer-shape
 //! workloads through the analytical simulator and are fast regardless.
 
+pub mod harness;
+
 use tia_core::{adversarial_train, AdvMethod, TrainConfig};
 use tia_data::{generate, Dataset, DatasetProfile};
 use tia_nn::zoo::{preact_resnet, BnKind, PreActResNetConfig};
@@ -45,17 +47,31 @@ pub struct Scale {
 impl Scale {
     /// Standard reproduction scale (minutes per table).
     pub fn standard() -> Self {
-        Self { train: 384, test: 192, eval: 96, epochs: 6, batch: 24, width: 6 }
+        Self {
+            train: 384,
+            test: 192,
+            eval: 96,
+            epochs: 6,
+            batch: 24,
+            width: 6,
+        }
     }
 
     /// Quick smoke scale (seconds per table).
     pub fn quick() -> Self {
-        Self { train: 96, test: 48, eval: 24, epochs: 2, batch: 16, width: 4 }
+        Self {
+            train: 96,
+            test: 48,
+            eval: 24,
+            epochs: 2,
+            batch: 16,
+            width: 4,
+        }
     }
 
     /// Reads `TIA_QUICK` from the environment.
     pub fn from_env() -> Self {
-        if std::env::var("TIA_QUICK").map_or(false, |v| v != "0" && !v.is_empty()) {
+        if std::env::var("TIA_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()) {
             Self::quick()
         } else {
             Self::standard()
@@ -193,7 +209,14 @@ mod tests {
             AdvMethod::Fgsm,
             None,
             EPS_CIFAR,
-            Scale { train: 32, test: 16, eval: 8, epochs: 1, batch: 16, width: 4 },
+            Scale {
+                train: 32,
+                test: 16,
+                eval: 8,
+                epochs: 1,
+                batch: 16,
+                width: 4,
+            },
             7,
         );
         assert_eq!(test.len(), 16);

@@ -1,108 +1,101 @@
 //! Accuracy evaluation under independent attack/inference precision
-//! policies — the paper's threat model for RPS inference.
+//! policies — the paper's threat model for RPS inference — batched through
+//! [`tia_engine::Engine`].
 
 use tia_attack::Attack;
 use tia_data::Dataset;
-use tia_nn::Network;
-use tia_quant::{Precision, PrecisionSet};
-use tia_tensor::{SeededRng, Tensor};
+use tia_engine::{Backend, Engine, EngineConfig, PrecisionPolicy};
+use tia_tensor::SeededRng;
 
-/// How a precision is chosen at evaluation time, for either side.
-#[derive(Debug, Clone)]
-pub enum InferencePolicy {
-    /// Always the same precision (`None` = full precision).
-    Fixed(Option<Precision>),
-    /// RPS: a fresh uniform sample from the set per sample (defender) or per
-    /// batch (adversary crafting a batch of examples).
-    Random(PrecisionSet),
+/// Default engine batch for natural-accuracy sweeps.
+const NATURAL_BATCH: usize = 32;
+
+fn engine_cfg(batch: usize, rng: &mut SeededRng) -> EngineConfig {
+    EngineConfig::default()
+        .with_max_batch(batch)
+        .with_seed(rng.next_u64())
 }
 
-impl InferencePolicy {
-    fn sample(&self, rng: &mut SeededRng) -> Option<Precision> {
-        match self {
-            InferencePolicy::Fixed(p) => *p,
-            InferencePolicy::Random(set) => Some(set.sample(rng)),
-        }
-    }
-}
-
-impl std::fmt::Display for InferencePolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            InferencePolicy::Fixed(None) => write!(f, "fp32"),
-            InferencePolicy::Fixed(Some(p)) => write!(f, "{}", p),
-            InferencePolicy::Random(set) => write!(f, "RPS {}", set),
-        }
-    }
-}
-
-/// Natural (clean) accuracy of `net` on `data` under a precision policy.
-pub fn natural_accuracy(
-    net: &mut Network,
+/// Natural (clean) accuracy of `backend` on `data` under a precision policy.
+///
+/// Served in engine-sized micro-batches; the per-request precision schedule
+/// is deterministic in `rng`.
+pub fn natural_accuracy<B: Backend>(
+    backend: &mut B,
     data: &Dataset,
-    policy: &InferencePolicy,
+    policy: &PrecisionPolicy,
     rng: &mut SeededRng,
 ) -> f32 {
-    let saved = net.precision();
+    let saved = Backend::precision(backend);
+    let cfg = engine_cfg(NATURAL_BATCH, rng);
+    let mut engine = Engine::new(&mut *backend, policy.clone(), cfg);
+    // Flush per window so peak memory stays O(batch), not O(dataset); the
+    // per-request precision schedule only depends on submission order.
     let mut correct = 0usize;
-    for i in 0..data.len() {
-        net.set_precision(policy.sample(rng));
-        let (x, y) = single(data, i);
-        correct += net.correct_count(&x, &[y]);
+    let mut i = 0;
+    while i < data.len() {
+        let end = (i + NATURAL_BATCH).min(data.len());
+        for j in i..end {
+            engine.submit(data.image(j));
+        }
+        correct += engine
+            .flush()
+            .iter()
+            .zip(&data.labels()[i..end])
+            .filter(|(r, &y)| r.top1 == y)
+            .count();
+        i = end;
     }
-    net.set_precision(saved);
+    drop(engine);
+    Backend::set_precision(backend, saved);
     correct as f32 / data.len().max(1) as f32
 }
 
-/// Robust accuracy of `net` on `data` under `attack`.
+/// Robust accuracy of `backend` on `data` under `attack`.
 ///
 /// The adversary crafts each batch at a precision drawn from
-/// `attack_policy`; the defender then evaluates each *sample* at a fresh
-/// precision drawn from `infer_policy` (RPS inference, Alg. 1 lines 15–19).
-pub fn robust_accuracy(
-    net: &mut Network,
+/// `attack_policy`; the defender then serves the adversarial examples
+/// through the engine, drawing a fresh precision per *request* from
+/// `infer_policy` (RPS inference, Alg. 1 lines 15–19) while still executing
+/// full micro-batches.
+pub fn robust_accuracy<B: Backend>(
+    backend: &mut B,
     data: &Dataset,
     attack: &dyn Attack,
-    attack_policy: &InferencePolicy,
-    infer_policy: &InferencePolicy,
+    attack_policy: &PrecisionPolicy,
+    infer_policy: &PrecisionPolicy,
     batch_size: usize,
     rng: &mut SeededRng,
 ) -> f32 {
-    let saved = net.precision();
-    let mut correct = 0usize;
+    let saved = Backend::precision(backend);
     let n = data.len();
     let bs = batch_size.max(1);
+    let cfg = engine_cfg(bs, rng);
+    let mut engine = Engine::new(&mut *backend, infer_policy.clone(), cfg);
+    let mut correct = 0usize;
     let mut i = 0;
     while i < n {
         let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
         let (x, labels) = data.batch(&idx);
         // Adversary crafts at its sampled precision.
-        net.set_precision(attack_policy.sample(rng));
-        let x_adv = attack.perturb(net, &x, &labels, rng);
-        // Defender evaluates per sample at its own sampled precision.
-        for (j, &y) in labels.iter().enumerate() {
-            net.set_precision(infer_policy.sample(rng));
-            let xi = batch_of_one(&x_adv, j);
-            correct += net.correct_count(&xi, &[y]);
+        let ap = attack_policy.sample(rng);
+        Backend::set_precision(engine.backend_mut(), ap);
+        let x_adv = attack.perturb(engine.backend_mut(), &x, &labels, rng);
+        // Defender serves per-request at its own sampled precisions.
+        for j in 0..labels.len() {
+            engine.submit(x_adv.index_axis0(j));
         }
+        correct += engine
+            .flush()
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &y)| r.top1 == y)
+            .count();
         i += bs;
     }
-    net.set_precision(saved);
+    drop(engine);
+    Backend::set_precision(backend, saved);
     correct as f32 / n.max(1) as f32
-}
-
-fn single(data: &Dataset, i: usize) -> (Tensor, usize) {
-    let img = data.image(i);
-    let mut shape = vec![1usize];
-    shape.extend_from_slice(img.shape());
-    (img.reshape(&shape), data.labels()[i])
-}
-
-fn batch_of_one(x: &Tensor, i: usize) -> Tensor {
-    let img = x.index_axis0(i);
-    let mut shape = vec![1usize];
-    shape.extend_from_slice(img.shape());
-    img.reshape(&shape)
 }
 
 #[cfg(test)]
@@ -111,6 +104,7 @@ mod tests {
     use tia_attack::Pgd;
     use tia_data::{generate, DatasetProfile};
     use tia_nn::zoo;
+    use tia_quant::{Precision, PrecisionSet};
 
     const EPS: f32 = 8.0 / 255.0;
 
@@ -119,7 +113,7 @@ mod tests {
         let (train, _) = generate(&DatasetProfile::tiny(3, 8, 30, 10), 1);
         let mut rng = SeededRng::new(1);
         let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
-        let acc = natural_accuracy(&mut net, &train, &InferencePolicy::Fixed(None), &mut rng);
+        let acc = natural_accuracy(&mut net, &train, &PrecisionPolicy::Fixed(None), &mut rng);
         assert!((0.0..=1.0).contains(&acc));
     }
 
@@ -128,18 +122,23 @@ mod tests {
         let (train, _) = generate(&DatasetProfile::tiny(3, 8, 24, 10), 2);
         let mut rng = SeededRng::new(2);
         let mut net = zoo::preact_resnet18_lite(3, 4, 3, &mut rng);
-        let nat = natural_accuracy(&mut net, &train, &InferencePolicy::Fixed(None), &mut rng);
+        let nat = natural_accuracy(&mut net, &train, &PrecisionPolicy::Fixed(None), &mut rng);
         let attack = Pgd::new(EPS, 5);
         let rob = robust_accuracy(
             &mut net,
             &train,
             &attack,
-            &InferencePolicy::Fixed(None),
-            &InferencePolicy::Fixed(None),
+            &PrecisionPolicy::Fixed(None),
+            &PrecisionPolicy::Fixed(None),
             8,
             &mut rng,
         );
-        assert!(rob <= nat + 0.15, "robust {} should not exceed natural {} by much", rob, nat);
+        assert!(
+            rob <= nat + 0.15,
+            "robust {} should not exceed natural {} by much",
+            rob,
+            nat
+        );
     }
 
     #[test]
@@ -148,18 +147,36 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let set = PrecisionSet::new(&[4, 8]);
         let mut net = zoo::preact_resnet18_rps(3, 4, 2, set.clone(), &mut rng);
-        net.set_precision(Some(Precision::new(8)));
-        let _ = natural_accuracy(&mut net, &train, &InferencePolicy::Random(set), &mut rng);
-        assert_eq!(net.precision(), Some(Precision::new(8)));
+        tia_nn::Network::set_precision(&mut net, Some(Precision::new(8)));
+        let _ = natural_accuracy(&mut net, &train, &PrecisionPolicy::Random(set), &mut rng);
+        assert_eq!(tia_nn::Network::precision(&net), Some(Precision::new(8)));
     }
 
     #[test]
-    fn policy_display() {
-        assert_eq!(InferencePolicy::Fixed(None).to_string(), "fp32");
-        assert_eq!(InferencePolicy::Fixed(Some(Precision::new(8))).to_string(), "8-bit");
-        assert_eq!(
-            InferencePolicy::Random(PrecisionSet::range(4, 8)).to_string(),
-            "RPS 4~8-bit"
-        );
+    fn batched_natural_accuracy_matches_per_sample() {
+        // The engine invariant end-to-end: a fixed-precision batched sweep
+        // counts exactly what a per-sample loop counts.
+        let (train, _) = generate(&DatasetProfile::tiny(3, 8, 20, 10), 5);
+        let mut rng = SeededRng::new(5);
+        let set = PrecisionSet::new(&[4, 6, 8]);
+        let mut net = zoo::preact_resnet18_rps(3, 4, 3, set, &mut rng);
+        for p in [None, Some(Precision::new(4)), Some(Precision::new(8))] {
+            let policy = PrecisionPolicy::Fixed(p);
+            let batched = natural_accuracy(&mut net, &train, &policy, &mut rng);
+            let mut per_sample = 0usize;
+            for i in 0..train.len() {
+                let img = train.image(i);
+                let mut shape = vec![1usize];
+                shape.extend_from_slice(img.shape());
+                let logits = net.infer_batch(&img.reshape(&shape), p);
+                per_sample += tia_tensor::count_top1_correct(&logits, &train.labels()[i..i + 1]);
+            }
+            assert_eq!(
+                batched,
+                per_sample as f32 / train.len() as f32,
+                "precision {:?}",
+                p
+            );
+        }
     }
 }

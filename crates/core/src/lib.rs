@@ -10,9 +10,16 @@
 //! * [`robust_accuracy`] / [`natural_accuracy`] — accuracy under attacks with
 //!   independent *attack* and *inference* precision policies (the paper's
 //!   threat model: the adversary crafts at one precision, the defender
-//!   randomly switches to another).
+//!   randomly switches to another). Both are generic over
+//!   [`tia_engine::Backend`] and serve batched through the micro-batching
+//!   [`tia_engine::Engine`].
 //! * [`transfer_matrix`] — Fig. 1's attack-transferability matrices.
 //! * [`tradeoff_curve`] — Fig. 11's instant robustness-efficiency trade-off.
+//!
+//! The precision policy lives in `tia-engine` as
+//! [`PrecisionPolicy`](tia_engine::PrecisionPolicy) (formerly
+//! `tia_core::InferencePolicy`); it is re-exported here, together with a
+//! deprecated alias, to ease migration.
 //!
 //! # Example
 //!
@@ -38,7 +45,13 @@ mod tradeoff;
 mod trainer;
 mod transfer;
 
-pub use eval::{natural_accuracy, robust_accuracy, InferencePolicy};
+pub use eval::{natural_accuracy, robust_accuracy};
+pub use tia_engine::PrecisionPolicy;
 pub use tradeoff::{tradeoff_curve, TradeoffPoint};
 pub use trainer::{adversarial_train, recalibrate_bn, AdvMethod, TrainConfig, TrainReport};
 pub use transfer::{transfer_matrix, TransferMatrix};
+
+/// Former name of [`PrecisionPolicy`], kept for one release so downstream
+/// code migrates at leisure.
+#[deprecated(note = "renamed to tia_engine::PrecisionPolicy")]
+pub type InferencePolicy = PrecisionPolicy;

@@ -1,10 +1,9 @@
 //! Instant robustness-efficiency trade-off (paper §2.5 and Fig. 11).
 
-use crate::eval::InferencePolicy;
 use crate::{natural_accuracy, robust_accuracy};
 use tia_attack::Attack;
 use tia_data::Dataset;
-use tia_nn::Network;
+use tia_engine::{Backend, PrecisionPolicy};
 use tia_quant::PrecisionSet;
 use tia_tensor::SeededRng;
 
@@ -19,8 +18,8 @@ pub struct TradeoffPoint {
     /// Robust accuracy (attack samples its precision from the same set).
     pub robust_acc: f32,
     /// Mean executed bit-width — the efficiency proxy on the algorithm side;
-    /// `tia-sim` converts operating points into energy via the accelerator
-    /// model for Fig. 11's x-axis.
+    /// `tia-sim` (or a `SimBacked` backend) converts operating points into
+    /// energy via the accelerator model for Fig. 11's x-axis.
     pub mean_bits: f32,
 }
 
@@ -28,9 +27,10 @@ pub struct TradeoffPoint {
 ///
 /// For each set the adversary also samples from the same set (the paper's
 /// threat model); a singleton set degenerates to static low-precision
-/// execution, the "merely high efficiency" end of the trade-off.
-pub fn tradeoff_curve(
-    net: &mut Network,
+/// execution, the "merely high efficiency" end of the trade-off. All
+/// evaluation is served batched through the engine.
+pub fn tradeoff_curve<B: Backend>(
+    backend: &mut B,
     data: &Dataset,
     attack: &dyn Attack,
     sets: &[PrecisionSet],
@@ -39,16 +39,28 @@ pub fn tradeoff_curve(
 ) -> Vec<TradeoffPoint> {
     sets.iter()
         .map(|set| {
-            let policy = InferencePolicy::Random(set.clone());
-            let natural = natural_accuracy(net, data, &policy, rng);
-            let robust =
-                robust_accuracy(net, data, attack, &policy.clone(), &policy, batch_size, rng);
+            let policy = PrecisionPolicy::Random(set.clone());
+            let natural = natural_accuracy(backend, data, &policy, rng);
+            let robust = robust_accuracy(
+                backend,
+                data,
+                attack,
+                &policy.clone(),
+                &policy,
+                batch_size,
+                rng,
+            );
             let label = if set.len() == 1 {
                 format!("static {}", set.min())
             } else {
                 format!("RPS {}", set)
             };
-            TradeoffPoint { label, natural_acc: natural, robust_acc: robust, mean_bits: set.mean_bits() }
+            TradeoffPoint {
+                label,
+                natural_acc: natural,
+                robust_acc: robust,
+                mean_bits: set.mean_bits(),
+            }
         })
         .collect()
 }

@@ -170,7 +170,10 @@ pub fn adversarial_train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -
     if let Some(set) = &cfg.rps {
         recalibrate_bn(net, data, set, cfg.batch_size, &mut rng);
     }
-    TrainReport { epoch_losses, sampled_precisions: sampled }
+    TrainReport {
+        epoch_losses,
+        sampled_precisions: sampled,
+    }
 }
 
 /// Refreshes BN running statistics for every precision in `set` by running
@@ -308,8 +311,15 @@ mod tests {
         assert!(!report.sampled_precisions.is_empty());
         let uniq: std::collections::HashSet<u8> =
             report.sampled_precisions.iter().copied().collect();
-        assert!(uniq.len() >= 2, "should sample multiple precisions: {:?}", uniq);
-        assert!(report.sampled_precisions.iter().all(|b| [4u8, 6, 8].contains(b)));
+        assert!(
+            uniq.len() >= 2,
+            "should sample multiple precisions: {:?}",
+            uniq
+        );
+        assert!(report
+            .sampled_precisions
+            .iter()
+            .all(|b| [4u8, 6, 8].contains(b)));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use tia_attack::Attack;
 use tia_data::Dataset;
-use tia_nn::Network;
+use tia_engine::Backend;
 use tia_quant::Precision;
-use tia_tensor::SeededRng;
+use tia_tensor::{count_top1_correct, SeededRng};
 
 /// Robust accuracy for every (attack precision, inference precision) pair.
 ///
@@ -70,21 +70,22 @@ impl TransferMatrix {
     }
 }
 
-/// Computes the transferability matrix of `attack` on `net` over
+/// Computes the transferability matrix of `attack` on `backend` over
 /// `precisions` (paper Fig. 1).
 ///
 /// Adversarial examples are crafted once per attack precision and evaluated
-/// against every inference precision, exactly as the figure's protocol (and
-/// far cheaper than crafting per cell).
-pub fn transfer_matrix(
-    net: &mut Network,
+/// batched against every inference precision through the engine's
+/// [`Backend`] surface, exactly as the figure's protocol (and far cheaper
+/// than crafting per cell).
+pub fn transfer_matrix<B: Backend>(
+    backend: &mut B,
     data: &Dataset,
     attack: &dyn Attack,
     precisions: &[Precision],
     batch_size: usize,
     rng: &mut SeededRng,
 ) -> TransferMatrix {
-    let saved = net.precision();
+    let saved = Backend::precision(backend);
     let n = data.len();
     let bs = batch_size.max(1);
     let mut values = vec![vec![0.0f32; precisions.len()]; precisions.len()];
@@ -94,11 +95,11 @@ pub fn transfer_matrix(
         while i < n {
             let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
             let (x, labels) = data.batch(&idx);
-            net.set_precision(Some(ap));
-            let x_adv = attack.perturb(net, &x, &labels, rng);
+            Backend::set_precision(backend, Some(ap));
+            let x_adv = attack.perturb(&mut *backend, &x, &labels, rng);
             for (ii, &ip) in precisions.iter().enumerate() {
-                net.set_precision(Some(ip));
-                correct[ii] += net.correct_count(&x_adv, &labels);
+                let logits = backend.infer_batch(&x_adv, Some(ip));
+                correct[ii] += count_top1_correct(&logits, &labels);
             }
             i += bs;
         }
@@ -106,8 +107,11 @@ pub fn transfer_matrix(
             values[ai][ii] = *c as f32 / n.max(1) as f32;
         }
     }
-    net.set_precision(saved);
-    TransferMatrix { precisions: precisions.to_vec(), values }
+    Backend::set_precision(backend, saved);
+    TransferMatrix {
+        precisions: precisions.to_vec(),
+        values,
+    }
 }
 
 #[cfg(test)]

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn identity_when_disabled() {
-        let aug = Augment { pad: 0, flip: false };
+        let aug = Augment {
+            pad: 0,
+            flip: false,
+        };
         let mut rng = SeededRng::new(1);
         let x = Tensor::rand_uniform(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
         let y = aug.apply(&x, &mut rng);
@@ -99,13 +102,16 @@ mod tests {
 
     #[test]
     fn crop_shifts_content() {
-        let aug = Augment { pad: 2, flip: false };
+        let aug = Augment {
+            pad: 2,
+            flip: false,
+        };
         let x = Tensor::ones(&[1, 1, 6, 6]);
         let mut changed = false;
         for seed in 0..16 {
             let mut rng = SeededRng::new(seed);
             let y = aug.apply(&x, &mut rng);
-            if y.data().iter().any(|&v| v == 0.0) {
+            if y.data().contains(&0.0) {
                 changed = true; // padding entered the frame
             }
         }

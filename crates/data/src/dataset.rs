@@ -19,9 +19,17 @@ impl Dataset {
     /// range.
     pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
         assert_eq!(images.shape().len(), 4, "images must be NCHW");
-        assert_eq!(images.shape()[0], labels.len(), "image/label count mismatch");
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "image/label count mismatch"
+        );
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
-        Self { images, labels, classes }
+        Self {
+            images,
+            labels,
+            classes,
+        }
     }
 
     /// Number of samples.
@@ -78,7 +86,12 @@ impl Dataset {
     pub fn batches<'a>(&'a self, batch_size: usize, rng: &mut SeededRng) -> BatchIter<'a> {
         let mut order: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut order);
-        BatchIter { dataset: self, order, batch_size: batch_size.max(1), cursor: 0 }
+        BatchIter {
+            dataset: self,
+            order,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
     }
 }
 
@@ -110,7 +123,10 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let images = Tensor::from_vec((0..2 * 3 * 2 * 2).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let images = Tensor::from_vec(
+            (0..2 * 3 * 2 * 2).map(|v| v as f32).collect(),
+            &[2, 3, 2, 2],
+        );
         Dataset::new(images, vec![0, 1], 2)
     }
 

@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn areas_match_within_one_unit() {
-        for kind in [MacKind::Spatial, MacKind::Temporal, MacKind::spatial_temporal()] {
+        for kind in [
+            MacKind::Spatial,
+            MacKind::Temporal,
+            MacKind::spatial_temporal(),
+        ] {
             let cfg = ArchConfig::paper_budget(kind);
             let budget = 4.4 * 1024.0;
             assert!(cfg.mac_array_area() <= budget);

@@ -77,7 +77,10 @@ impl Dataflow {
 
     /// Canonical dataflow whose NoC tile fits an array of `max_units` PEs.
     pub fn canonical_for_array(bounds: [usize; 7], max_units: usize) -> Self {
-        Self { tiling: Tiling::canonical_for_array(bounds, max_units), orders: [DIMS, DIMS, DIMS] }
+        Self {
+            tiling: Tiling::canonical_for_array(bounds, max_units),
+            orders: [DIMS, DIMS, DIMS],
+        }
     }
 
     /// Canonical dataflow with explicit global-buffer / RF C/X tile caps
@@ -100,7 +103,10 @@ impl Dataflow {
     pub fn minimal(bounds: [usize; 7]) -> Self {
         let mut factors = [[1usize; 7]; LEVELS];
         factors[0] = bounds;
-        Self { tiling: Tiling { factors }, orders: [DIMS, DIMS, DIMS] }
+        Self {
+            tiling: Tiling { factors },
+            orders: [DIMS, DIMS, DIMS],
+        }
     }
 
     /// Random valid dataflow for the bounds.

@@ -25,7 +25,12 @@ impl Workload {
             LayerKind::Conv { stride, .. } => stride,
             LayerKind::Fc { .. } => 1,
         };
-        Self { bounds: layer.loop_bounds(), stride, precision, macs: layer.macs() }
+        Self {
+            bounds: layer.loop_bounds(),
+            stride,
+            precision,
+            macs: layer.macs(),
+        }
     }
 }
 
@@ -122,9 +127,9 @@ fn temporal_multiplier(t: TensorRole, df: &Dataflow, level_pos: usize) -> f64 {
         } else {
             // Irrelevant: multiplies only if a relevant dim with >1 iteration
             // is strictly inside (higher position index = more inner).
-            let relevant_inside = order[pos + 1..].iter().any(|&inner| {
-                t.relevant(inner) && df.tiling.factors[level][inner.index()] > 1
-            });
+            let relevant_inside = order[pos + 1..]
+                .iter()
+                .any(|&inner| t.relevant(inner) && df.tiling.factors[level][inner.index()] > 1);
             if relevant_inside {
                 mult *= f;
             }
@@ -184,9 +189,8 @@ pub fn predict(arch: &ArchConfig, wl: &Workload, df: &Dataflow) -> Option<PerfRe
         let out_rw = if t == TensorRole::Outputs { 2.0 } else { 1.0 }; // psum read+write
         let dram_traffic =
             tile_elems(t, df, wl, 1) * temporal_multiplier(t, df, 0) * t.word_bits(p) * out_rw;
-        let rf_refills = temporal_multiplier(t, df, 0)
-            * temporal_multiplier(t, df, 1)
-            * spatial_fanout(t, df);
+        let rf_refills =
+            temporal_multiplier(t, df, 0) * temporal_multiplier(t, df, 1) * spatial_fanout(t, df);
         let gb_traffic = tile_elems(t, df, wl, 3) * rf_refills * t.word_bits(p) * out_rw;
         bits[0] += dram_traffic;
         bits[1] += gb_traffic;
@@ -201,10 +205,18 @@ pub fn predict(arch: &ArchConfig, wl: &Workload, df: &Dataflow) -> Option<PerfRe
     let dram_cycles = bits[0] / 8.0 / arch.dram_bw;
     let gb_cycles = bits[1] / 8.0 / arch.gb_bw;
     let noc_cycles = bits[2] / 8.0 / arch.noc_bw;
-    let total_cycles = compute_cycles.max(dram_cycles).max(gb_cycles).max(noc_cycles);
+    let total_cycles = compute_cycles
+        .max(dram_cycles)
+        .max(gb_cycles)
+        .max(noc_cycles);
 
     // --- Energy.
-    let levels = [MemLevel::Dram, MemLevel::GlobalBuffer, MemLevel::Noc, MemLevel::Rf];
+    let levels = [
+        MemLevel::Dram,
+        MemLevel::GlobalBuffer,
+        MemLevel::Noc,
+        MemLevel::Rf,
+    ];
     let mut mem_energy = [0.0f64; 4];
     for i in 0..4 {
         mem_energy[i] = bits[i] * mem_energy_per_bit(levels[i]);
@@ -252,15 +264,19 @@ mod tests {
     #[test]
     fn lower_precision_never_slower_ours() {
         let a = arch();
-        let df8;
-        let df4;
+
         let wl8 = Workload::new(&layer(), PrecisionPair::symmetric(8));
         let wl4 = Workload::new(&layer(), PrecisionPair::symmetric(4));
-        df8 = Dataflow::canonical(wl8.bounds);
-        df4 = Dataflow::canonical(wl4.bounds);
+        let df8 = Dataflow::canonical(wl8.bounds);
+        let df4 = Dataflow::canonical(wl4.bounds);
         let p8 = predict(&a, &wl8, &df8).unwrap();
         let p4 = predict(&a, &wl4, &df4).unwrap();
-        assert!(p4.total_cycles <= p8.total_cycles, "{} vs {}", p4.total_cycles, p8.total_cycles);
+        assert!(
+            p4.total_cycles <= p8.total_cycles,
+            "{} vs {}",
+            p4.total_cycles,
+            p8.total_cycles
+        );
         assert!(p4.total_energy() < p8.total_energy());
     }
 

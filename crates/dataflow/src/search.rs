@@ -29,14 +29,17 @@ pub struct EvoSearch {
 
 impl Default for EvoSearch {
     fn default() -> Self {
-        Self { population: 24, cycles: 10, mode: SearchMode::Full }
+        Self {
+            population: 24,
+            cycles: 10,
+            mode: SearchMode::Full,
+        }
     }
 }
 
 /// (global-buffer cap, RF cap) ladder tried for canonical (fixed-style)
 /// dataflows: large tiles first, shrinking until buffers fit.
-const CAP_LADDER: [(usize, usize); 7] =
-    [(64, 4), (16, 4), (4, 4), (16, 2), (4, 2), (2, 2), (1, 1)];
+const CAP_LADDER: [(usize, usize); 7] = [(64, 4), (16, 4), (4, 4), (16, 2), (4, 2), (2, 2), (1, 1)];
 
 /// A found dataflow with its predicted performance.
 #[derive(Debug, Clone)]
@@ -82,8 +85,7 @@ impl EvoSearch {
             // buffer): fall back to the degenerate all-at-DRAM mapping,
             // which always validates.
             let df = Dataflow::minimal(bounds);
-            let p = predict(arch, wl, &df)
-                .expect("minimal dataflow must always be valid");
+            let p = predict(arch, wl, &df).expect("minimal dataflow must always be valid");
             population.push((df, p));
         }
         for _cycle in 0..self.cycles {
@@ -186,7 +188,7 @@ impl ArchSearch {
                     edp_sum += self.inner.run(&cfg, wl, rng).perf.edp();
                 }
                 let score = edp_sum / workloads.len() as f64;
-                if best.as_ref().map_or(true, |(_, s)| score < *s) {
+                if best.as_ref().is_none_or(|(_, s)| score < *s) {
                     best = Some((cfg, score));
                 }
             }
@@ -202,7 +204,10 @@ mod tests {
     use tia_nn::workload::LayerSpec;
 
     fn wl() -> Workload {
-        Workload::new(&LayerSpec::conv("c", 32, 64, 3, 1, 1, 16, 16), PrecisionPair::symmetric(8))
+        Workload::new(
+            &LayerSpec::conv("c", 32, 64, 3, 1, 1, 16, 16),
+            PrecisionPair::symmetric(8),
+        )
     }
 
     #[test]
@@ -226,7 +231,9 @@ mod tests {
         let w = wl();
         let mut rng = SeededRng::new(12);
         let full = EvoSearch::default().run(&arch, &w, &mut rng);
-        let limited = EvoSearch::default().with_mode(SearchMode::GbOrderOnly).run(&arch, &w, &mut rng);
+        let limited = EvoSearch::default()
+            .with_mode(SearchMode::GbOrderOnly)
+            .run(&arch, &w, &mut rng);
         assert!(
             full.perf.edp() <= limited.perf.edp() * 1.05,
             "full search should match or beat the limited baseline optimizer: {} vs {}",
@@ -252,7 +259,11 @@ mod tests {
             area_budget: 256.0,
             gb_candidates: vec![256 * 1024, 512 * 1024],
             fill_candidates: vec![1.0],
-            inner: EvoSearch { population: 10, cycles: 3, mode: SearchMode::Full },
+            inner: EvoSearch {
+                population: 10,
+                cycles: 3,
+                mode: SearchMode::Full,
+            },
         };
         let (cfg, score) = search.run(MacKind::spatial_temporal(), &[wl()], &mut rng);
         assert!(cfg.units >= 1);

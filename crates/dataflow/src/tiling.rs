@@ -96,7 +96,10 @@ impl Tiling {
     /// Random valid tiling: each dimension's bound is split into four
     /// factors via random divisor-ish splits.
     pub fn random(bounds: [usize; 7], rng: &mut SeededRng) -> Self {
-        let mut t = Self { factors: [[1; 7]; LEVELS] };
+        let mut t = Self {
+            factors: [[1; 7]; LEVELS],
+        };
+        #[allow(clippy::needless_range_loop)] // d indexes both t and bounds
         for d in 0..7 {
             t.resplit_dim(d, bounds[d], rng);
         }
@@ -119,8 +122,8 @@ impl Tiling {
                 remaining = div_ceil(remaining, f);
             }
         }
-        for lev in 0..LEVELS {
-            self.factors[lev][dim] = split[lev];
+        for (lev, &f) in split.iter().enumerate() {
+            self.factors[lev][dim] = f;
         }
     }
 
@@ -153,7 +156,10 @@ fn div_ceil(a: usize, b: usize) -> usize {
 /// itself (accepting padding) when every divisor <= cap is below cap/2.
 fn best_spatial_factor(bound: usize, cap: usize) -> usize {
     let cap = cap.max(1).min(bound.max(1) * 2);
-    let best_div = (1..=cap.min(bound)).rev().find(|d| bound % d == 0).unwrap_or(1);
+    let best_div = (1..=cap.min(bound))
+        .rev()
+        .find(|d| bound.is_multiple_of(*d))
+        .unwrap_or(1);
     if best_div * 2 >= cap || cap > bound {
         best_div.max(1)
     } else {
@@ -165,7 +171,7 @@ fn random_divisor(n: usize, rng: &mut SeededRng) -> usize {
     if n <= 1 {
         return 1;
     }
-    let divisors: Vec<usize> = (1..=n).filter(|d| n % d == 0).collect();
+    let divisors: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
     *rng.choose(&divisors)
 }
 
@@ -192,7 +198,9 @@ mod tests {
 
     #[test]
     fn tile_span_nested_products() {
-        let mut t = Tiling { factors: [[1; 7]; LEVELS] };
+        let mut t = Tiling {
+            factors: [[1; 7]; LEVELS],
+        };
         t.factors[0][1] = 2;
         t.factors[1][1] = 3;
         t.factors[2][1] = 5;

@@ -1,0 +1,108 @@
+//! Hardware cost of served batches.
+
+/// Cycles/energy/throughput attributed to one served batch (or accumulated
+/// over many) by a [`crate::Backend`]'s cost model.
+///
+/// A backend without a hardware model (the plain software path) reports an
+/// *unmodeled* cost: zeros with [`BatchCost::modeled`] unset, so aggregation
+/// stays well-defined while consumers can still distinguish "free" from
+/// "unknown".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchCost {
+    /// Frames in the batch (or total frames when accumulated).
+    pub frames: usize,
+    /// Accelerator cycles for the whole batch.
+    pub cycles: f64,
+    /// Energy for the whole batch (model units, see `tia-accel`).
+    pub energy: f64,
+    /// Sustained throughput at the batch's precision, frames per second.
+    pub fps: f64,
+    /// Whether a hardware model actually produced these numbers.
+    pub modeled: bool,
+}
+
+impl BatchCost {
+    /// Cost of a batch served by a backend with no hardware model.
+    pub fn unmodeled(frames: usize) -> Self {
+        Self {
+            frames,
+            ..Self::default()
+        }
+    }
+
+    /// Cost of a batch priced by an accelerator model from per-frame numbers.
+    pub fn modeled(frames: usize, cycles_per_frame: f64, energy_per_frame: f64, fps: f64) -> Self {
+        Self {
+            frames,
+            cycles: cycles_per_frame * frames as f64,
+            energy: energy_per_frame * frames as f64,
+            fps,
+            modeled: true,
+        }
+    }
+
+    /// Accumulates another batch's cost into this one (throughput becomes the
+    /// frame-weighted mean).
+    pub fn accumulate(&mut self, other: &BatchCost) {
+        let frames = self.frames + other.frames;
+        if frames > 0 {
+            self.fps =
+                (self.fps * self.frames as f64 + other.fps * other.frames as f64) / frames as f64;
+        }
+        self.frames = frames;
+        self.cycles += other.cycles;
+        self.energy += other.energy;
+        self.modeled |= other.modeled;
+    }
+
+    /// Mean energy per frame (0 when nothing has been served).
+    pub fn energy_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.energy / self.frames as f64
+        }
+    }
+
+    /// Mean cycles per frame (0 when nothing has been served).
+    pub fn cycles_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.cycles / self.frames as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmodeled_is_zero_cost() {
+        let c = BatchCost::unmodeled(8);
+        assert_eq!(c.frames, 8);
+        assert_eq!(c.cycles, 0.0);
+        assert!(!c.modeled);
+    }
+
+    #[test]
+    fn modeled_scales_by_frames() {
+        let c = BatchCost::modeled(4, 100.0, 2.5, 1e6);
+        assert_eq!(c.cycles, 400.0);
+        assert_eq!(c.energy, 10.0);
+        assert_eq!(c.energy_per_frame(), 2.5);
+        assert_eq!(c.cycles_per_frame(), 100.0);
+        assert!(c.modeled);
+    }
+
+    #[test]
+    fn accumulate_sums_and_weights_fps() {
+        let mut a = BatchCost::modeled(2, 10.0, 1.0, 100.0);
+        let b = BatchCost::modeled(6, 10.0, 1.0, 200.0);
+        a.accumulate(&b);
+        assert_eq!(a.frames, 8);
+        assert_eq!(a.cycles, 80.0);
+        assert!((a.fps - 175.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,429 @@
+//! The micro-batching, policy-driven serving loop.
+
+use crate::{Backend, BatchCost, PrecisionPolicy};
+use tia_quant::Precision;
+use tia_tensor::{argmax_rows, SeededRng, Tensor};
+
+/// Identifier handed back by [`Engine::submit`]; responses carry it so
+/// callers can re-associate out-of-order completions.
+pub type RequestId = u64;
+
+/// Whether the policy is sampled once per coalesced batch or once per
+/// request (Alg. 1's per-query random switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyGranularity {
+    /// One precision draw per served request — the paper's RPS inference.
+    #[default]
+    PerRequest,
+    /// One precision draw per coalesced batch — cheaper switching, the mode
+    /// batch-serving deployments use.
+    PerBatch,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Largest coalesced batch the engine will form.
+    pub max_batch: usize,
+    /// Per-request vs per-batch precision sampling.
+    pub granularity: PolicyGranularity,
+    /// Seed of the engine's private policy RNG; a fixed seed yields a
+    /// reproducible precision-switch schedule.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            granularity: PolicyGranularity::PerRequest,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the maximum coalesced batch size (clamped to at least 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the policy sampling granularity.
+    pub fn with_granularity(mut self, granularity: PolicyGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the policy RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One completed request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The id returned by the matching [`Engine::submit`].
+    pub id: RequestId,
+    /// Class logits, `[classes]`.
+    pub logits: Tensor,
+    /// Top-1 predicted class.
+    pub top1: usize,
+    /// The precision the request was executed at.
+    pub precision: Option<Precision>,
+}
+
+/// Aggregate serving statistics since construction (or the last
+/// [`Engine::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// Coalesced batches executed.
+    pub batches: usize,
+    /// Accumulated hardware cost as reported by the backend's cost hook.
+    pub cost: BatchCost,
+}
+
+impl EngineStats {
+    /// Mean frames per executed batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Pending {
+    id: RequestId,
+    // Assigned at submit time under per-request granularity so the schedule
+    // depends only on the seed and submission order, not on flush timing.
+    precision: Option<Option<Precision>>,
+    image: Tensor,
+}
+
+/// A micro-batching inference server over any [`Backend`].
+///
+/// Requests are single images (`[C, H, W]`); the engine coalesces them into
+/// batches of at most `max_batch`, samples the [`PrecisionPolicy`] at the
+/// configured granularity, executes each batch through the backend, and
+/// returns per-request [`Response`]s in submission order.
+///
+/// Determinism: the layer stack is batch-size-invariant in eval mode (all
+/// quantization calibrates per sample), so engine logits are bitwise
+/// identical to per-sample `Network::forward` at every precision, and the
+/// precision schedule is a pure function of the config seed and the
+/// submission order.
+pub struct Engine<B: Backend> {
+    backend: B,
+    policy: PrecisionPolicy,
+    cfg: EngineConfig,
+    rng: SeededRng,
+    pending: Vec<Pending>,
+    next_id: RequestId,
+    stats: EngineStats,
+    // Fixed by the first submit; mixed shapes would otherwise be coalesced
+    // into one batch tensor and silently misinterpreted.
+    image_shape: Option<Vec<usize>>,
+}
+
+impl<B: Backend> Engine<B> {
+    /// Creates an engine serving `backend` under `policy`.
+    pub fn new(backend: B, policy: PrecisionPolicy, cfg: EngineConfig) -> Self {
+        let rng = SeededRng::new(cfg.seed);
+        Self {
+            backend,
+            policy,
+            cfg,
+            rng,
+            pending: Vec::new(),
+            next_id: 0,
+            stats: EngineStats::default(),
+            image_shape: None,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &PrecisionPolicy {
+        &self.policy
+    }
+
+    /// Replaces the policy (takes effect for requests not yet assigned a
+    /// precision).
+    pub fn set_policy(&mut self, policy: PrecisionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Aggregate serving statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Clears the serving statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of submitted-but-unserved requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Borrows the backend (e.g. so an attack can craft inputs against the
+    /// exact model being served).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Unwraps into the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Enqueues one `[C, H, W]` image; returns its request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not 3-D, or if its shape differs from the first
+    /// submitted image (one engine serves one input geometry).
+    pub fn submit(&mut self, image: Tensor) -> RequestId {
+        assert_eq!(
+            image.shape().len(),
+            3,
+            "Engine::submit expects a single [C, H, W] image"
+        );
+        match &self.image_shape {
+            Some(shape) => assert_eq!(
+                shape.as_slice(),
+                image.shape(),
+                "Engine::submit image shape changed mid-stream"
+            ),
+            None => self.image_shape = Some(image.shape().to_vec()),
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let precision = match self.cfg.granularity {
+            PolicyGranularity::PerRequest => Some(self.policy.sample(&mut self.rng)),
+            PolicyGranularity::PerBatch => None,
+        };
+        self.pending.push(Pending {
+            id,
+            precision,
+            image,
+        });
+        id
+    }
+
+    /// Serves every pending request and returns responses sorted by request
+    /// id (= submission order). The backend's caller-visible precision is
+    /// restored afterwards.
+    pub fn flush(&mut self) -> Vec<Response> {
+        let saved = self.backend.precision();
+        let pending = std::mem::take(&mut self.pending);
+        let mut responses = Vec::with_capacity(pending.len());
+        match self.cfg.granularity {
+            PolicyGranularity::PerBatch => {
+                for chunk in pending.chunks(self.cfg.max_batch) {
+                    let p = self.policy.sample(&mut self.rng);
+                    let refs: Vec<&Pending> = chunk.iter().collect();
+                    self.run_chunk(&refs, p, &mut responses);
+                }
+            }
+            PolicyGranularity::PerRequest => {
+                // Group equal-precision requests (stable, first-seen order)
+                // so switching per request still serves full batches.
+                let mut groups: Vec<(Option<Precision>, Vec<&Pending>)> = Vec::new();
+                for req in &pending {
+                    let p = req
+                        .precision
+                        .expect("per-request precision assigned at submit");
+                    match groups.iter_mut().find(|(gp, _)| *gp == p) {
+                        Some((_, members)) => members.push(req),
+                        None => groups.push((p, vec![req])),
+                    }
+                }
+                for (p, members) in groups {
+                    for chunk in members.chunks(self.cfg.max_batch) {
+                        self.run_chunk(chunk, p, &mut responses);
+                    }
+                }
+            }
+        }
+        self.backend.set_precision(saved);
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    /// Convenience: submits every row of an `[N, C, H, W]` batch and
+    /// flushes.
+    pub fn serve(&mut self, x: &Tensor) -> Vec<Response> {
+        assert_eq!(x.shape().len(), 4, "Engine::serve expects [N, C, H, W]");
+        for i in 0..x.shape()[0] {
+            self.submit(x.index_axis0(i));
+        }
+        self.flush()
+    }
+
+    fn run_chunk(&mut self, chunk: &[&Pending], p: Option<Precision>, out: &mut Vec<Response>) {
+        if chunk.is_empty() {
+            return;
+        }
+        // One copy per image — straight into the batch tensor.
+        let mut shape = vec![chunk.len()];
+        shape.extend_from_slice(chunk[0].image.shape());
+        let mut x = Tensor::zeros(&shape);
+        for (i, r) in chunk.iter().enumerate() {
+            x.set_axis0(i, &r.image);
+        }
+        let logits = self.backend.infer_batch(&x, p);
+        let top1 = argmax_rows(&logits);
+        self.stats.requests += chunk.len();
+        self.stats.batches += 1;
+        let cost = self.backend.cost(chunk.len(), p);
+        self.stats.cost.accumulate(&cost);
+        for (i, req) in chunk.iter().enumerate() {
+            out.push(Response {
+                id: req.id,
+                logits: logits.index_axis0(i),
+                top1: top1[i],
+                precision: p,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_nn::zoo;
+    use tia_quant::PrecisionSet;
+
+    fn engine_with(policy: PrecisionPolicy, cfg: EngineConfig) -> Engine<tia_nn::Network> {
+        let mut rng = SeededRng::new(1);
+        let net = zoo::preact_resnet18_rps(3, 4, 3, PrecisionSet::range(4, 8), &mut rng);
+        Engine::new(net, policy, cfg)
+    }
+
+    fn images(n: usize, seed: u64) -> Tensor {
+        let mut rng = SeededRng::new(seed);
+        Tensor::rand_uniform(&[n, 3, 8, 8], 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default().with_max_batch(4),
+        );
+        let x = images(10, 2);
+        let ids: Vec<RequestId> = (0..10).map(|i| eng.submit(x.index_axis0(i))).collect();
+        let resp = eng.flush();
+        assert_eq!(resp.len(), 10);
+        assert_eq!(resp.iter().map(|r| r.id).collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn fixed_policy_reports_its_precision() {
+        let p = Some(Precision::new(6));
+        let mut eng = engine_with(PrecisionPolicy::Fixed(p), EngineConfig::default());
+        for r in eng.serve(&images(5, 3)) {
+            assert_eq!(r.precision, p);
+        }
+        assert_eq!(eng.stats().requests, 5);
+    }
+
+    #[test]
+    fn same_seed_same_precision_schedule() {
+        let cfg = EngineConfig::default().with_seed(42);
+        let set = PrecisionSet::range(4, 8);
+        let x = images(16, 4);
+        let sched = |cfg: EngineConfig| {
+            let mut eng = engine_with(PrecisionPolicy::Random(set.clone()), cfg);
+            eng.serve(&x)
+                .iter()
+                .map(|r| r.precision)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sched(cfg.clone()), sched(cfg));
+        let other = sched(EngineConfig::default().with_seed(43));
+        let base = sched(EngineConfig::default().with_seed(42));
+        assert_ne!(
+            base, other,
+            "different seeds should give different schedules"
+        );
+    }
+
+    #[test]
+    fn per_batch_granularity_shares_precision_within_chunk() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default()
+                .with_max_batch(4)
+                .with_granularity(PolicyGranularity::PerBatch),
+        );
+        let resp = eng.serve(&images(8, 5));
+        assert_eq!(
+            resp[..4]
+                .iter()
+                .map(|r| r.precision)
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_eq!(
+            resp[4..]
+                .iter()
+                .map(|r| r.precision)
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_eq!(eng.stats().batches, 2);
+    }
+
+    #[test]
+    fn flush_restores_caller_visible_precision() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default(),
+        );
+        eng.backend_mut().set_precision(Some(Precision::new(8)));
+        let _ = eng.serve(&images(6, 6));
+        assert_eq!(eng.backend_mut().precision(), Some(Precision::new(8)));
+    }
+
+    #[test]
+    fn stats_track_batches_and_requests() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Fixed(Some(Precision::new(8))),
+            EngineConfig::default().with_max_batch(3),
+        );
+        let _ = eng.serve(&images(7, 7));
+        let s = eng.stats();
+        assert_eq!(s.requests, 7);
+        assert_eq!(s.batches, 3); // 3 + 3 + 1
+        assert!((s.mean_batch() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.cost.frames, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "single [C, H, W] image")]
+    fn submit_rejects_batched_input() {
+        let mut eng = engine_with(PrecisionPolicy::Fixed(None), EngineConfig::default());
+        eng.submit(Tensor::zeros(&[1, 3, 8, 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "image shape changed mid-stream")]
+    fn submit_rejects_mixed_shapes() {
+        // Same element count, different layout — would silently corrupt the
+        // coalesced batch if accepted.
+        let mut eng = engine_with(PrecisionPolicy::Fixed(None), EngineConfig::default());
+        eng.submit(Tensor::zeros(&[3, 8, 8]));
+        eng.submit(Tensor::zeros(&[8, 3, 8]));
+    }
+}

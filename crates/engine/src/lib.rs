@@ -1,0 +1,61 @@
+//! # tia-engine
+//!
+//! The unified inference surface of the 2-in-1 Accelerator reproduction:
+//! one batched, policy-driven serving layer that everything else — attacks,
+//! robust evaluation, benchmarks, example workloads — sits on.
+//!
+//! The paper's defender *deploys* Random Precision Switch: it serves
+//! traffic while sampling a precision per query (Alg. 1, §4.2), and the
+//! hardware half prices every precision choice in cycles and energy
+//! (§3–§4). This crate makes that deployment story first-class:
+//!
+//! * [`Backend`] — a batched, precision-switchable executor with a
+//!   [`Backend::cost`] pricing hook. Implemented by `tia_nn::Network` (the
+//!   software path) and by [`SimBacked`], which co-simulates every served
+//!   batch through [`tia_sim::Accelerator`] to report cycles/energy/FPS
+//!   alongside logits.
+//! * [`PrecisionPolicy`] — fixed or RPS precision selection (absorbing the
+//!   old `tia_core::InferencePolicy`), sampled per request or per batch
+//!   ([`PolicyGranularity`]).
+//! * [`Engine`] — a micro-batching request queue: submit single-image
+//!   requests, the engine coalesces them into batches of at most
+//!   `max_batch`, samples the policy, and returns responses in submission
+//!   order with seeded-deterministic precision schedules.
+//!
+//! Because every layer calibrates its quantizers per sample, engine logits
+//! are **bitwise identical** to per-sample `Network::forward` at every
+//! precision — batching is a pure throughput win.
+//!
+//! # Example
+//!
+//! ```
+//! use tia_engine::{Engine, EngineConfig, PrecisionPolicy};
+//! use tia_nn::zoo;
+//! use tia_quant::PrecisionSet;
+//! use tia_tensor::{SeededRng, Tensor};
+//!
+//! let mut rng = SeededRng::new(0);
+//! let set = PrecisionSet::range(4, 8);
+//! let net = zoo::preact_resnet18_rps(3, 4, 10, set.clone(), &mut rng);
+//!
+//! // Serve 6 requests through the RPS policy in micro-batches of 4.
+//! let cfg = EngineConfig::default().with_max_batch(4).with_seed(7);
+//! let mut engine = Engine::new(net, PrecisionPolicy::Random(set), cfg);
+//! let x = Tensor::rand_uniform(&[6, 3, 8, 8], 0.0, 1.0, &mut rng);
+//! let responses = engine.serve(&x);
+//! assert_eq!(responses.len(), 6);
+//! assert!(responses.iter().all(|r| r.precision.is_some()));
+//! assert_eq!(engine.stats().requests, 6);
+//! ```
+
+mod backend;
+mod cost;
+mod engine;
+mod policy;
+mod sim_backed;
+
+pub use backend::{Backend, LossKind};
+pub use cost::BatchCost;
+pub use engine::{Engine, EngineConfig, EngineStats, PolicyGranularity, RequestId, Response};
+pub use policy::PrecisionPolicy;
+pub use sim_backed::SimBacked;

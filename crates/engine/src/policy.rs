@@ -1,0 +1,83 @@
+//! Precision-selection policies for serving (the paper's RPS inference).
+
+use tia_quant::{Precision, PrecisionSet};
+use tia_tensor::SeededRng;
+
+/// How the serving engine chooses an execution precision.
+///
+/// This absorbs and replaces the old `tia_core::InferencePolicy`: the policy
+/// is now a first-class part of the inference engine rather than a detail of
+/// the evaluation harness, so attacks, evaluation, benchmarks and serving
+/// all share one definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrecisionPolicy {
+    /// Always the same precision (`None` = full precision).
+    Fixed(Option<Precision>),
+    /// RPS: a fresh uniform sample from the set per request or per batch
+    /// (see [`crate::PolicyGranularity`]).
+    Random(PrecisionSet),
+}
+
+impl PrecisionPolicy {
+    /// Draws one precision according to the policy.
+    pub fn sample(&self, rng: &mut SeededRng) -> Option<Precision> {
+        match self {
+            PrecisionPolicy::Fixed(p) => *p,
+            PrecisionPolicy::Random(set) => Some(set.sample(rng)),
+        }
+    }
+
+    /// Whether the policy can ever return two different precisions.
+    pub fn is_random(&self) -> bool {
+        matches!(self, PrecisionPolicy::Random(set) if set.len() > 1)
+    }
+}
+
+impl std::fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrecisionPolicy::Fixed(None) => write!(f, "fp32"),
+            PrecisionPolicy::Fixed(Some(p)) => write!(f, "{}", p),
+            PrecisionPolicy::Random(set) => write!(f, "RPS {}", set),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_always_returns_same() {
+        let mut rng = SeededRng::new(1);
+        let p = PrecisionPolicy::Fixed(Some(Precision::new(6)));
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut rng), Some(Precision::new(6)));
+        }
+        assert!(!p.is_random());
+    }
+
+    #[test]
+    fn random_samples_within_set() {
+        let mut rng = SeededRng::new(2);
+        let set = PrecisionSet::range(4, 8);
+        let p = PrecisionPolicy::Random(set.clone());
+        assert!(p.is_random());
+        for _ in 0..50 {
+            assert!(set.contains(p.sample(&mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PrecisionPolicy::Fixed(None).to_string(), "fp32");
+        assert_eq!(
+            PrecisionPolicy::Fixed(Some(Precision::new(8))).to_string(),
+            "8-bit"
+        );
+        assert_eq!(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)).to_string(),
+            "RPS 4~8-bit"
+        );
+    }
+}

@@ -42,6 +42,7 @@ fn bn_forward(core: &mut BnCore, cache: &mut Option<BnCache>, x: &Tensor, mode: 
     let mut out = Tensor::zeros(x.shape());
     let mut xhat = Tensor::zeros(x.shape());
     let mut inv_stds = vec![0.0f32; c];
+    #[allow(clippy::needless_range_loop)] // ci indexes x, stats and inv_stds together
     for ci in 0..c {
         let (mean, var) = match mode {
             Mode::Train => {
@@ -86,7 +87,12 @@ fn bn_forward(core: &mut BnCore, cache: &mut Option<BnCache>, x: &Tensor, mode: 
             }
         }
     }
-    *cache = Some(BnCache { xhat, inv_std: inv_stds, mode, count });
+    *cache = Some(BnCache {
+        xhat,
+        inv_std: inv_stds,
+        mode,
+        count,
+    });
     out
 }
 
@@ -156,7 +162,10 @@ pub struct BatchNorm2d {
 impl BatchNorm2d {
     /// Creates a BN layer for `channels` feature maps.
     pub fn new(channels: usize) -> Self {
-        Self { core: BnCore::new(channels), cache: None }
+        Self {
+            core: BnCore::new(channels),
+            cache: None,
+        }
     }
 
     /// The running `(mean, var)` statistics (for BN folding, §2.4).
@@ -207,7 +216,12 @@ impl SwitchableBatchNorm {
     pub fn new(channels: usize, set: PrecisionSet) -> Self {
         let states = (0..set.len()).map(|_| BnCore::new(channels)).collect();
         let active = set.len() - 1;
-        Self { states, set, active, cache: None }
+        Self {
+            states,
+            set,
+            active,
+            cache: None,
+        }
     }
 
     /// The candidate precision set.
@@ -224,7 +238,10 @@ impl SwitchableBatchNorm {
     /// folding into the active precision's quantizer scales, §2.4).
     pub fn running_stats(&self) -> (Vec<f32>, Vec<f32>) {
         let s = &self.states[self.active];
-        (s.running_mean.data().to_vec(), s.running_var.data().to_vec())
+        (
+            s.running_mean.data().to_vec(),
+            s.running_var.data().to_vec(),
+        )
     }
 
     fn slot_for(&self, p: Precision) -> usize {
@@ -289,7 +306,8 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {}", mean);
             assert!((var - 1.0).abs() < 1e-2, "var {}", var);
         }
@@ -329,7 +347,13 @@ mod tests {
             let lp: f32 = bn.forward(&xp, Mode::Train).mul(&wvec).sum();
             let lm: f32 = bn.forward(&xm, Mode::Train).mul(&wvec).sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 2e-2, "idx {}: {} vs {}", idx, fd, gx.data()[idx]);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 2e-2,
+                "idx {}: {} vs {}",
+                idx,
+                fd,
+                gx.data()[idx]
+            );
         }
     }
 

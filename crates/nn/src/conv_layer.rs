@@ -39,12 +39,23 @@ impl Conv2d {
     pub fn new(geo: Conv2dGeometry, bias: bool, rng: &mut SeededRng) -> Self {
         let fan_in = geo.in_channels * geo.kernel_h * geo.kernel_w;
         let weight = Tensor::kaiming(
-            &[geo.out_channels, geo.in_channels, geo.kernel_h, geo.kernel_w],
+            &[
+                geo.out_channels,
+                geo.in_channels,
+                geo.kernel_h,
+                geo.kernel_w,
+            ],
             fan_in,
             rng,
         );
         let bias = bias.then(|| Param::new(Tensor::zeros(&[geo.out_channels]), false));
-        Self { geo, weight: Param::new(weight, true), bias, precision: None, cache: None }
+        Self {
+            geo,
+            weight: Param::new(weight, true),
+            bias,
+            precision: None,
+            cache: None,
+        }
     }
 
     /// The convolution geometry.
@@ -94,14 +105,26 @@ impl Layer for Conv2d {
             out.set_axis0(ni, &Tensor::from_vec(o, &[k, oh, ow]));
             cols_cache.push(cols);
         }
-        self.cache = Some(Cache { cols: cols_cache, wq, input_h: h, input_w: w, batch: n });
+        self.cache = Some(Cache {
+            cols: cols_cache,
+            wq,
+            input_h: h,
+            input_w: w,
+            batch: n,
+        });
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("Conv2d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Conv2d::backward before forward");
         let (n, k) = (grad_out.shape()[0], grad_out.shape()[1]);
-        assert_eq!(n, cache.batch, "batch mismatch between forward and backward");
+        assert_eq!(
+            n, cache.batch,
+            "batch mismatch between forward and backward"
+        );
         let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
         let f = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
         let mut grad_in = Tensor::zeros(&[n, self.geo.in_channels, cache.input_h, cache.input_w]);
@@ -109,7 +132,7 @@ impl Layer for Conv2d {
         for ni in 0..n {
             let go = grad_out.index_axis0(ni); // [k, oh, ow]
             let cols = &cache.cols[ni]; // [f, oh*ow]
-            // dW += go [k, oh*ow] x cols^T [oh*ow, f]  => matmul_a_bt(k, oh*ow, f)
+                                        // dW += go [k, oh*ow] x cols^T [oh*ow, f]  => matmul_a_bt(k, oh*ow, f)
             matmul_a_bt(k, oh * ow, f, go.data(), cols.data(), &mut dw);
             // dcols = wq^T [f,k] x go [k, oh*ow]  => matmul_at_b(k, f, oh*ow)
             let mut dcols = vec![0.0f32; f * oh * ow];
@@ -196,7 +219,7 @@ mod tests {
             }
         });
         let eps = 1e-3;
-        let mut get_loss = |delta: f32, conv: &mut Conv2d| {
+        let get_loss = |delta: f32, conv: &mut Conv2d| {
             conv.visit_params(&mut |p| {
                 if p.decay {
                     p.value.data_mut()[3] += delta;
@@ -211,7 +234,12 @@ mod tests {
             l
         };
         let fd = (get_loss(eps, &mut conv) - get_loss(-eps, &mut conv)) / (2.0 * eps);
-        assert!((fd - analytic).abs() < 5e-2, "fd {} vs analytic {}", fd, analytic);
+        assert!(
+            (fd - analytic).abs() < 5e-2,
+            "fd {} vs analytic {}",
+            fd,
+            analytic
+        );
     }
 
     #[test]
@@ -237,7 +265,12 @@ mod tests {
         let y_q8 = conv.forward(&x, Mode::Eval);
         let d4 = y_fp.sub(&y_q4).norm();
         let d8 = y_fp.sub(&y_q8).norm();
-        assert!(d4 > d8, "lower precision should deviate more: {} vs {}", d4, d8);
+        assert!(
+            d4 > d8,
+            "lower precision should deviate more: {} vs {}",
+            d4,
+            d8
+        );
         assert!(d8 > 0.0);
     }
 

@@ -27,7 +27,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.clone().expect("Flatten::backward before forward");
+        let shape = self
+            .input_shape
+            .clone()
+            .expect("Flatten::backward before forward");
         grad_out.reshape(&shape)
     }
 

@@ -105,7 +105,11 @@ mod tests {
         let y_bn = bn.forward(&x, Mode::Eval);
         let y_folded = folded.apply(&x);
         let err = y_bn.sub(&y_folded).abs_max();
-        assert!(err < 1e-4, "folded BN must match eval BN exactly, err {}", err);
+        assert!(
+            err < 1e-4,
+            "folded BN must match eval BN exactly, err {}",
+            err
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl Param {
     pub fn new(value: Tensor, decay: bool) -> Self {
         let grad = Tensor::zeros(value.shape());
         let velocity = Tensor::zeros(value.shape());
-        Self { value, grad, velocity, decay }
+        Self {
+            value,
+            grad,
+            velocity,
+            decay,
+        }
     }
 
     /// Zeroes the gradient accumulator.

@@ -1,7 +1,7 @@
 //! Quantization-aware fully-connected layer.
 
 use crate::layer::{Layer, Mode, Param};
-use tia_quant::{fake_quant_affine, fake_quant_symmetric, Precision};
+use tia_quant::{fake_quant_affine_slice, fake_quant_symmetric, Precision};
 use tia_tensor::{matmul_a_bt, matmul_at_b, SeededRng, Tensor};
 
 /// A fully-connected layer `y = x W^T + b` with optional fake quantization
@@ -55,13 +55,33 @@ impl Layer for Linear {
             Some(p) => fake_quant_symmetric(&self.weight.value, p),
             None => self.weight.value.clone(),
         };
+        // Activations calibrate per sample (row), not per batch: the grid a
+        // sample lands on must not depend on what it was batched with, so
+        // micro-batched serving stays bitwise-identical to per-sample
+        // inference (the tia-engine invariant).
         let xq = match self.precision {
-            Some(p) => fake_quant_affine(x, p).0,
+            Some(p) => {
+                let mut data = vec![0.0f32; n * self.in_features];
+                for (dst, src) in data
+                    .chunks_mut(self.in_features)
+                    .zip(x.data().chunks(self.in_features))
+                {
+                    fake_quant_affine_slice(src, dst, p);
+                }
+                Tensor::from_vec(data, &[n, self.in_features])
+            }
             None => x.clone(),
         };
         // y[n, out] = xq [n, in] * wq^T [in, out]
         let mut y = vec![0.0f32; n * self.out_features];
-        matmul_a_bt(n, self.in_features, self.out_features, xq.data(), wq.data(), &mut y);
+        matmul_a_bt(
+            n,
+            self.in_features,
+            self.out_features,
+            xq.data(),
+            wq.data(),
+            &mut y,
+        );
         let mut out = Tensor::from_vec(y, &[n, self.out_features]);
         if let Some(b) = &self.bias {
             for i in 0..n {
@@ -78,12 +98,25 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (xq, wq) = self.cache.as_ref().expect("Linear::backward before forward");
+        let (xq, wq) = self
+            .cache
+            .as_ref()
+            .expect("Linear::backward before forward");
         let n = grad_out.shape()[0];
         // dW [out, in] += grad_out^T [out, n] * xq [n, in]
         let mut dw = vec![0.0f32; self.out_features * self.in_features];
-        matmul_at_b(n, self.out_features, self.in_features, grad_out.data(), xq.data(), &mut dw);
-        self.weight.grad.add_assign(&Tensor::from_vec(dw, &[self.out_features, self.in_features]));
+        matmul_at_b(
+            n,
+            self.out_features,
+            self.in_features,
+            grad_out.data(),
+            xq.data(),
+            &mut dw,
+        );
+        self.weight.grad.add_assign(&Tensor::from_vec(
+            dw,
+            &[self.out_features, self.in_features],
+        ));
         if let Some(b) = &mut self.bias {
             for i in 0..n {
                 for (g, &go) in b
@@ -98,7 +131,14 @@ impl Layer for Linear {
         }
         // dX [n, in] = grad_out [n, out] * wq [out, in]
         let mut dx = vec![0.0f32; n * self.in_features];
-        tia_tensor::gemm(n, self.out_features, self.in_features, grad_out.data(), wq.data(), &mut dx);
+        tia_tensor::gemm(
+            n,
+            self.out_features,
+            self.in_features,
+            grad_out.data(),
+            wq.data(),
+            &mut dx,
+        );
         Tensor::from_vec(dx, &[n, self.in_features])
     }
 
@@ -149,7 +189,13 @@ mod tests {
             xm.data_mut()[idx] -= eps;
             let fd = (lin.forward(&xp, Mode::Train).sum() - lin.forward(&xm, Mode::Train).sum())
                 / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 1e-2, "idx {}: {} vs {}", idx, fd, gx.data()[idx]);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 1e-2,
+                "idx {}: {} vs {}",
+                idx,
+                fd,
+                gx.data()[idx]
+            );
         }
     }
 

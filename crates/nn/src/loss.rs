@@ -31,7 +31,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossGrad {
         grad.data_mut()[i * c + y] -= 1.0;
     }
     grad.scale(inv_n);
-    LossGrad { loss: loss * inv_n, grad }
+    LossGrad {
+        loss: loss * inv_n,
+        grad,
+    }
 }
 
 /// Carlini-Wagner ℓ∞ margin loss: mean over the batch of
@@ -65,7 +68,10 @@ pub fn cw_margin_loss(logits: &Tensor, labels: &[usize]) -> LossGrad {
         grad.data_mut()[i * c + best_wrong] += inv_n;
         grad.data_mut()[i * c + y] -= inv_n;
     }
-    LossGrad { loss: loss * inv_n, grad }
+    LossGrad {
+        loss: loss * inv_n,
+        grad,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@ pub struct Network {
 impl Network {
     /// Creates an empty network.
     pub fn new() -> Self {
-        Self { layers: Vec::new(), precision: None }
+        Self {
+            layers: Vec::new(),
+            precision: None,
+        }
     }
 
     /// Appends a layer (builder style).
@@ -63,7 +66,12 @@ impl Network {
     }
 
     /// Forward + cross-entropy + backward; returns `(loss, d loss/d input)`.
-    pub fn loss_and_input_grad(&mut self, x: &Tensor, labels: &[usize], mode: Mode) -> (f32, Tensor) {
+    pub fn loss_and_input_grad(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+    ) -> (f32, Tensor) {
         let logits = self.forward(x, mode);
         let LossGrad { loss, grad } = cross_entropy(&logits, labels);
         let gx = self.backward(&grad);
@@ -73,12 +81,7 @@ impl Network {
     /// Forward in eval mode and count of correct top-1 predictions.
     pub fn correct_count(&mut self, x: &Tensor, labels: &[usize]) -> usize {
         let logits = self.forward(x, Mode::Eval);
-        let c = logits.shape()[1];
-        labels
-            .iter()
-            .enumerate()
-            .filter(|&(i, &y)| tia_tensor::argmax(&logits.data()[i * c..(i + 1) * c]) == y)
-            .count()
+        tia_tensor::count_top1_correct(&logits, labels)
     }
 
     /// Broadcasts an execution precision to every layer.
@@ -156,7 +159,12 @@ mod tests {
         }
         net.zero_grad();
         let (loss1, _) = net.loss_and_input_grad(&x, &labels, Mode::Train);
-        assert!(loss1 < loss0 * 0.8, "loss did not drop: {} -> {}", loss0, loss1);
+        assert!(
+            loss1 < loss0 * 0.8,
+            "loss did not drop: {} -> {}",
+            loss0,
+            loss1
+        );
     }
 
     #[test]

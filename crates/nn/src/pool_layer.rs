@@ -63,7 +63,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (idx, shape) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
+        let (idx, shape) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
         max_pool2d_backward(grad_out, idx, shape)
     }
 
@@ -105,7 +108,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.clone().expect("GlobalAvgPool::backward before forward");
+        let shape = self
+            .input_shape
+            .clone()
+            .expect("GlobalAvgPool::backward before forward");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let inv = 1.0 / (h * w) as f32;
         let mut gx = Tensor::zeros(&shape);

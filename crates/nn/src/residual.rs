@@ -186,6 +186,9 @@ mod tests {
         let y_fp = b.forward(&x, Mode::Eval);
         b.set_precision(Some(Precision::new(3)));
         let y_q = b.forward(&x, Mode::Eval);
-        assert!(y_fp.sub(&y_q).norm() > 0.0, "quantization must change output");
+        assert!(
+            y_fp.sub(&y_q).norm() > 0.0,
+            "quantization must change output"
+        );
     }
 }

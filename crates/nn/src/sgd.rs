@@ -19,7 +19,11 @@ impl Sgd {
     /// Creates an optimizer with the common defaults (momentum 0.9,
     /// weight decay 5e-4).
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.9, weight_decay: 5e-4 }
+        Self {
+            lr,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+        }
     }
 
     /// Applies one update step to every parameter of `net` using the

@@ -49,6 +49,7 @@ pub struct LayerSpec {
 
 impl LayerSpec {
     /// Creates a conv layer spec.
+    #[allow(clippy::too_many_arguments)] // a conv shape simply has this many dims
     pub fn conv(
         name: impl Into<String>,
         c: usize,
@@ -61,7 +62,14 @@ impl LayerSpec {
     ) -> Self {
         Self {
             name: name.into(),
-            kind: LayerKind::Conv { c, k, r: kernel, s: kernel, stride, pad },
+            kind: LayerKind::Conv {
+                c,
+                k,
+                r: kernel,
+                s: kernel,
+                stride,
+                pad,
+            },
             in_h,
             in_w,
         }
@@ -80,7 +88,14 @@ impl LayerSpec {
     ) -> Self {
         Self {
             name: name.into(),
-            kind: LayerKind::Conv { c: 1, k: channels, r: kernel, s: kernel, stride, pad },
+            kind: LayerKind::Conv {
+                c: 1,
+                k: channels,
+                r: kernel,
+                s: kernel,
+                stride,
+                pad,
+            },
             in_h,
             in_w,
         }
@@ -88,13 +103,20 @@ impl LayerSpec {
 
     /// Creates an FC layer spec.
     pub fn fc(name: impl Into<String>, in_f: usize, out_f: usize) -> Self {
-        Self { name: name.into(), kind: LayerKind::Fc { in_f, out_f }, in_h: 1, in_w: 1 }
+        Self {
+            name: name.into(),
+            kind: LayerKind::Fc { in_f, out_f },
+            in_h: 1,
+            in_w: 1,
+        }
     }
 
     /// Output spatial size.
     pub fn out_hw(&self) -> (usize, usize) {
         match self.kind {
-            LayerKind::Conv { r, s, stride, pad, .. } => (
+            LayerKind::Conv {
+                r, s, stride, pad, ..
+            } => (
                 (self.in_h + 2 * pad - r) / stride + 1,
                 (self.in_w + 2 * pad - s) / stride + 1,
             ),
@@ -187,7 +209,11 @@ impl NetworkSpec {
             LayerSpec::fc("fc7", 4096, 4096),
             LayerSpec::fc("fc8", 4096, 1000),
         ];
-        Self { name: "AlexNet".into(), dataset: "ImageNet".into(), layers }
+        Self {
+            name: "AlexNet".into(),
+            dataset: "ImageNet".into(),
+            layers,
+        }
     }
 
     /// VGG-16 on ImageNet (224×224).
@@ -210,12 +236,25 @@ impl NetworkSpec {
             (512, 512, 14),
         ];
         for (i, &(c, k, hw)) in cfg.iter().enumerate() {
-            layers.push(LayerSpec::conv(format!("conv{}", i + 1), c, k, 3, 1, 1, hw, hw));
+            layers.push(LayerSpec::conv(
+                format!("conv{}", i + 1),
+                c,
+                k,
+                3,
+                1,
+                1,
+                hw,
+                hw,
+            ));
         }
         layers.push(LayerSpec::fc("fc14", 512 * 7 * 7, 4096));
         layers.push(LayerSpec::fc("fc15", 4096, 4096));
         layers.push(LayerSpec::fc("fc16", 4096, 1000));
-        Self { name: "VGG-16".into(), dataset: "ImageNet".into(), layers }
+        Self {
+            name: "VGG-16".into(),
+            dataset: "ImageNet".into(),
+            layers,
+        }
     }
 
     /// ResNet-18 on ImageNet (basic blocks).
@@ -233,7 +272,11 @@ impl NetworkSpec {
             push_basic_stage(&mut layers, si + 2, in_ch, out_ch, blocks, hw, si > 0);
         }
         layers.push(LayerSpec::fc("fc", 512, 1000));
-        Self { name: "ResNet-18".into(), dataset: "ImageNet".into(), layers }
+        Self {
+            name: "ResNet-18".into(),
+            dataset: "ImageNet".into(),
+            layers,
+        }
     }
 
     /// ResNet-50 on ImageNet (bottleneck blocks).
@@ -250,22 +293,27 @@ impl NetworkSpec {
             push_bottleneck_stage(&mut layers, si + 2, in_ch, mid, out_ch, blocks, hw, down);
         }
         layers.push(LayerSpec::fc("fc", 2048, 1000));
-        Self { name: "ResNet-50".into(), dataset: "ImageNet".into(), layers }
+        Self {
+            name: "ResNet-50".into(),
+            dataset: "ImageNet".into(),
+            layers,
+        }
     }
 
     /// WideResNet-32 (×10) on CIFAR-10 (32×32).
     pub fn wide_resnet32_cifar() -> Self {
         let mut layers = vec![LayerSpec::conv("conv1", 3, 16, 3, 1, 1, 32, 32)];
-        let stages: &[(usize, usize, usize, usize)] = &[
-            (16, 160, 5, 32),
-            (160, 320, 5, 32),
-            (320, 640, 5, 16),
-        ];
+        let stages: &[(usize, usize, usize, usize)] =
+            &[(16, 160, 5, 32), (160, 320, 5, 32), (320, 640, 5, 16)];
         for (si, &(in_ch, out_ch, blocks, hw)) in stages.iter().enumerate() {
             push_basic_stage(&mut layers, si + 2, in_ch, out_ch, blocks, hw, si > 0);
         }
         layers.push(LayerSpec::fc("fc", 640, 10));
-        Self { name: "WideResNet-32".into(), dataset: "CIFAR-10".into(), layers }
+        Self {
+            name: "WideResNet-32".into(),
+            dataset: "CIFAR-10".into(),
+            layers,
+        }
     }
 
     /// PreActResNet-18 on CIFAR-10 (32×32).
@@ -281,7 +329,11 @@ impl NetworkSpec {
             push_basic_stage(&mut layers, si + 2, in_ch, out_ch, blocks, hw, si > 0);
         }
         layers.push(LayerSpec::fc("fc", 512, 10));
-        Self { name: "ResNet-18".into(), dataset: "CIFAR-10".into(), layers }
+        Self {
+            name: "ResNet-18".into(),
+            dataset: "CIFAR-10".into(),
+            layers,
+        }
     }
 
     /// MobileNetV1 on ImageNet — an extension workload beyond the paper's
@@ -307,12 +359,33 @@ impl NetworkSpec {
             (1024, 1024, 1, 7),
         ];
         for (i, &(cin, cout, stride, hw)) in blocks.iter().enumerate() {
-            layers.push(LayerSpec::dwconv(format!("dw{}", i + 2), cin, 3, stride, 1, hw, hw));
+            layers.push(LayerSpec::dwconv(
+                format!("dw{}", i + 2),
+                cin,
+                3,
+                stride,
+                1,
+                hw,
+                hw,
+            ));
             let out_hw = hw / stride;
-            layers.push(LayerSpec::conv(format!("pw{}", i + 2), cin, cout, 1, 1, 0, out_hw, out_hw));
+            layers.push(LayerSpec::conv(
+                format!("pw{}", i + 2),
+                cin,
+                cout,
+                1,
+                1,
+                0,
+                out_hw,
+                out_hw,
+            ));
         }
         layers.push(LayerSpec::fc("fc", 1024, 1000));
-        Self { name: "MobileNetV1".into(), dataset: "ImageNet".into(), layers }
+        Self {
+            name: "MobileNetV1".into(),
+            dataset: "ImageNet".into(),
+            layers,
+        }
     }
 
     /// The six benchmark workloads of Figs. 7–9, in the paper's order.
@@ -342,7 +415,11 @@ fn push_basic_stage(
     let stride = if downsample { 2 } else { 1 };
     let out_hw = if downsample { in_hw / 2 } else { in_hw };
     for b in 0..blocks {
-        let (c_in, s, hw) = if b == 0 { (in_ch, stride, in_hw) } else { (out_ch, 1, out_hw) };
+        let (c_in, s, hw) = if b == 0 {
+            (in_ch, stride, in_hw)
+        } else {
+            (out_ch, 1, out_hw)
+        };
         layers.push(LayerSpec::conv(
             format!("conv{}_{}a", stage_no, b + 1),
             c_in,
@@ -393,8 +470,21 @@ fn push_bottleneck_stage(
     let stride = if downsample { 2 } else { 1 };
     let out_hw = if downsample { in_hw / 2 } else { in_hw };
     for b in 0..blocks {
-        let (c_in, s, hw) = if b == 0 { (in_ch, stride, in_hw) } else { (out_ch, 1, out_hw) };
-        layers.push(LayerSpec::conv(format!("conv{}_{}a", stage_no, b + 1), c_in, mid, 1, 1, 0, hw, hw));
+        let (c_in, s, hw) = if b == 0 {
+            (in_ch, stride, in_hw)
+        } else {
+            (out_ch, 1, out_hw)
+        };
+        layers.push(LayerSpec::conv(
+            format!("conv{}_{}a", stage_no, b + 1),
+            c_in,
+            mid,
+            1,
+            1,
+            0,
+            hw,
+            hw,
+        ));
         layers.push(LayerSpec::conv(
             format!("conv{}_{}b", stage_no, b + 1),
             mid,
@@ -505,7 +595,14 @@ mod tests {
         let names: Vec<&str> = nets.iter().map(|n| n.name.as_str()).collect();
         assert_eq!(
             names,
-            ["ResNet-18", "WideResNet-32", "ResNet-18", "ResNet-50", "VGG-16", "AlexNet"]
+            [
+                "ResNet-18",
+                "WideResNet-32",
+                "ResNet-18",
+                "ResNet-50",
+                "VGG-16",
+                "AlexNet"
+            ]
         );
     }
 
@@ -514,7 +611,10 @@ mod tests {
         let net = NetworkSpec::wide_resnet32_cifar();
         // WRN-32-10 has ~few hundred MMACs at CIFAR scale... actually several GMACs.
         assert!(net.total_macs() > 1_000_000_000, "{}", net.total_macs());
-        assert!(net.layers.iter().any(|l| matches!(l.kind, LayerKind::Conv { k: 640, .. })));
+        assert!(net
+            .layers
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv { k: 640, .. })));
     }
 
     #[test]
@@ -524,7 +624,12 @@ mod tests {
         for net in NetworkSpec::paper_six() {
             for l in &net.layers {
                 let (oh, ow) = l.out_hw();
-                assert!(oh > 0 && ow > 0, "{} {} produced empty output", net.name, l.name);
+                assert!(
+                    oh > 0 && ow > 0,
+                    "{} {} produced empty output",
+                    net.name,
+                    l.name
+                );
             }
         }
     }

@@ -76,7 +76,12 @@ impl PreActResNetConfig {
 
     /// WideResNet-32 topology (3 stages × 5 blocks, widened) at a given base
     /// width; the canonical WRN-32-10 corresponds to `base_width = 160`.
-    pub fn wide_resnet32(in_channels: usize, base_width: usize, classes: usize, bn: BnKind) -> Self {
+    pub fn wide_resnet32(
+        in_channels: usize,
+        base_width: usize,
+        classes: usize,
+        bn: BnKind,
+    ) -> Self {
         Self {
             in_channels,
             classes,
@@ -88,7 +93,12 @@ impl PreActResNetConfig {
     }
 
     /// A reduced-depth WideResNet-32 (3 stages × 2 blocks) for fast tests.
-    pub fn wide_resnet32_lite(in_channels: usize, base_width: usize, classes: usize, bn: BnKind) -> Self {
+    pub fn wide_resnet32_lite(
+        in_channels: usize,
+        base_width: usize,
+        classes: usize,
+        bn: BnKind,
+    ) -> Self {
         Self {
             in_channels,
             classes,
@@ -153,7 +163,12 @@ pub fn preact_resnet(cfg: &PreActResNetConfig, rng: &mut SeededRng) -> Network {
 
 /// PreActResNet-18 with plain BN at a reduced width (trainable at laptop
 /// scale). `base_width` 8–16 reproduces the paper's qualitative results.
-pub fn preact_resnet18_lite(in_channels: usize, base_width: usize, classes: usize, rng: &mut SeededRng) -> Network {
+pub fn preact_resnet18_lite(
+    in_channels: usize,
+    base_width: usize,
+    classes: usize,
+    rng: &mut SeededRng,
+) -> Network {
     preact_resnet(
         &PreActResNetConfig::resnet18(in_channels, base_width, classes, BnKind::Plain),
         rng,
@@ -175,7 +190,12 @@ pub fn preact_resnet18_rps(
 }
 
 /// Reduced-depth WideResNet-32 with plain BN.
-pub fn wide_resnet32_lite(in_channels: usize, base_width: usize, classes: usize, rng: &mut SeededRng) -> Network {
+pub fn wide_resnet32_lite(
+    in_channels: usize,
+    base_width: usize,
+    classes: usize,
+    rng: &mut SeededRng,
+) -> Network {
     preact_resnet(
         &PreActResNetConfig::wide_resnet32_lite(in_channels, base_width, classes, BnKind::Plain),
         rng,
@@ -191,13 +211,23 @@ pub fn wide_resnet32_rps(
     rng: &mut SeededRng,
 ) -> Network {
     preact_resnet(
-        &PreActResNetConfig::wide_resnet32_lite(in_channels, base_width, classes, BnKind::Switchable(set)),
+        &PreActResNetConfig::wide_resnet32_lite(
+            in_channels,
+            base_width,
+            classes,
+            BnKind::Switchable(set),
+        ),
         rng,
     )
 }
 
 /// ResNet-50-lite with plain BN (ImageNet-lite experiments).
-pub fn resnet50_lite(in_channels: usize, base_width: usize, classes: usize, rng: &mut SeededRng) -> Network {
+pub fn resnet50_lite(
+    in_channels: usize,
+    base_width: usize,
+    classes: usize,
+    rng: &mut SeededRng,
+) -> Network {
     preact_resnet(
         &PreActResNetConfig::resnet50(in_channels, base_width, classes, BnKind::Plain),
         rng,

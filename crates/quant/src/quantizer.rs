@@ -41,12 +41,18 @@ pub struct LinearQuantizer {
 impl LinearQuantizer {
     /// Creates a symmetric quantizer (weights).
     pub fn symmetric(precision: Precision) -> Self {
-        Self { precision, mode: QuantMode::Symmetric }
+        Self {
+            precision,
+            mode: QuantMode::Symmetric,
+        }
     }
 
     /// Creates an affine quantizer (activations).
     pub fn affine(precision: Precision) -> Self {
-        Self { precision, mode: QuantMode::Affine }
+        Self {
+            precision,
+            mode: QuantMode::Affine,
+        }
     }
 
     /// The quantizer's precision.
@@ -75,7 +81,11 @@ impl LinearQuantizer {
 /// `s = max|x|` (binary-connect style sign quantization with magnitude).
 pub fn fake_quant_symmetric(x: &Tensor, precision: Precision) -> Tensor {
     let b = precision.bits() as i32;
-    let qmax = if b <= 1 { 1.0 } else { ((1i64 << (b - 1)) - 1) as f32 };
+    let qmax = if b <= 1 {
+        1.0
+    } else {
+        ((1i64 << (b - 1)) - 1) as f32
+    };
     let amax = x.abs_max();
     if amax == 0.0 {
         return x.clone();
@@ -89,19 +99,46 @@ pub fn fake_quant_symmetric(x: &Tensor, precision: Precision) -> Tensor {
 /// Returns the quantized tensor and the `(scale, zero_point)` used, so BN
 /// folding code can consume the parameters.
 pub fn fake_quant_affine(x: &Tensor, precision: Precision) -> (Tensor, AffineParams) {
+    let mut out = vec![0.0f32; x.len()];
+    let params = fake_quant_affine_slice(x.data(), &mut out, precision);
+    (Tensor::from_vec(out, x.shape()), params)
+}
+
+/// Allocation-free core of [`fake_quant_affine`]: quantizes `src` into
+/// `dst` with per-slice calibration. Hot paths (per-row activation
+/// quantization in `tia_nn::Linear`) call this directly on sub-slices.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn fake_quant_affine_slice(src: &[f32], dst: &mut [f32], precision: Precision) -> AffineParams {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "fake_quant_affine_slice length mismatch"
+    );
     let b = precision.bits() as u32;
     let levels = ((1u64 << b) - 1) as f32;
-    let (lo, hi) = (x.min().min(0.0), x.max().max(0.0));
+    let lo = src.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
+    let hi = src
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
+        .max(0.0);
     if hi == lo {
-        return (x.clone(), AffineParams { scale: 1.0, zero_point: 0.0 });
+        dst.copy_from_slice(src);
+        return AffineParams {
+            scale: 1.0,
+            zero_point: 0.0,
+        };
     }
     let scale = (hi - lo) / levels;
     let zero_point = (-lo / scale).round();
-    let q = x.map(|v| {
+    for (d, &v) in dst.iter_mut().zip(src) {
         let qv = (v / scale + zero_point).round().clamp(0.0, levels);
-        (qv - zero_point) * scale
-    });
-    (q, AffineParams { scale, zero_point })
+        *d = (qv - zero_point) * scale;
+    }
+    AffineParams { scale, zero_point }
 }
 
 #[cfg(test)]
@@ -164,6 +201,19 @@ mod tests {
         // Endpoints representable.
         assert!((q.data()[0] - 0.0).abs() < 1e-6);
         assert!((q.data()[3] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn affine_slice_matches_tensor_version() {
+        let x = t((0..48).map(|i| (i as f32 * 0.23).sin()).collect());
+        for bits in [2u8, 4, 8, 16] {
+            let p = Precision::new(bits);
+            let (q, params) = fake_quant_affine(&x, p);
+            let mut dst = vec![0.0f32; x.len()];
+            let params_s = fake_quant_affine_slice(x.data(), &mut dst, p);
+            assert_eq!(q.data(), &dst[..], "{} bits", bits);
+            assert_eq!(params, params_s);
+        }
     }
 
     #[test]

@@ -105,9 +105,18 @@ impl Accelerator {
 
     /// Simulates a whole network at one precision.
     pub fn simulate_network(&mut self, net: &NetworkSpec, p: PrecisionPair) -> NetworkPerf {
-        let layers: Vec<PerfReport> =
-            net.layers.iter().map(|l| self.simulate_layer(l, p)).collect();
-        NetworkPerf::from_layers(self.name.clone(), net.name.clone(), p, self.arch.freq_ghz, &layers)
+        let layers: Vec<PerfReport> = net
+            .layers
+            .iter()
+            .map(|l| self.simulate_layer(l, p))
+            .collect();
+        NetworkPerf::from_layers(
+            self.name.clone(),
+            net.name.clone(),
+            p,
+            self.arch.freq_ghz,
+            &layers,
+        )
     }
 
     /// Mean FPS and energy over a precision set — the cost of RPS inference,
@@ -138,7 +147,11 @@ mod tests {
     use super::*;
 
     fn small_search() -> EvoSearch {
-        EvoSearch { population: 12, cycles: 4, mode: SearchMode::Full }
+        EvoSearch {
+            population: 12,
+            cycles: 4,
+            mode: SearchMode::Full,
+        }
     }
 
     #[test]
@@ -167,10 +180,20 @@ mod tests {
         let mut st = Accelerator::stripes().with_search(small_search());
         let bf4 = bf.simulate_network(&net, PrecisionPair::symmetric(4));
         let st4 = st.simulate_network(&net, PrecisionPair::symmetric(4));
-        assert!(bf4.fps > st4.fps, "BF should win at 4-bit: {} vs {}", bf4.fps, st4.fps);
+        assert!(
+            bf4.fps > st4.fps,
+            "BF should win at 4-bit: {} vs {}",
+            bf4.fps,
+            st4.fps
+        );
         let bf16 = bf.simulate_network(&net, PrecisionPair::symmetric(16));
         let st16 = st.simulate_network(&net, PrecisionPair::symmetric(16));
-        assert!(st16.fps > bf16.fps, "Stripes should win at 16-bit: {} vs {}", st16.fps, bf16.fps);
+        assert!(
+            st16.fps > bf16.fps,
+            "Stripes should win at 16-bit: {} vs {}",
+            st16.fps,
+            bf16.fps
+        );
     }
 
     #[test]

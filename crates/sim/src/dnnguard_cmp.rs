@@ -41,7 +41,12 @@ mod tests {
     fn smaller_network_runs_faster() {
         let a = dnnguard_throughput(&NetworkSpec::alexnet(), 4.4 * 1024.0, 1.0);
         let v = dnnguard_throughput(&NetworkSpec::vgg16(), 4.4 * 1024.0, 1.0);
-        assert!(a > v, "AlexNet should be faster than VGG-16: {} vs {}", a, v);
+        assert!(
+            a > v,
+            "AlexNet should be faster than VGG-16: {} vs {}",
+            a,
+            v
+        );
     }
 
     #[test]

@@ -37,8 +37,8 @@ impl NetworkPerf {
         let compute_cycles: f64 = layers.iter().map(|l| l.compute_cycles).sum();
         let mut mem_energy = [0.0f64; 4];
         for l in layers {
-            for i in 0..4 {
-                mem_energy[i] += l.mem_energy[i];
+            for (acc, &e) in mem_energy.iter_mut().zip(&l.mem_energy) {
+                *acc += e;
             }
         }
         let mac_energy = layers.iter().map(|l| l.mac_energy).sum();

@@ -28,13 +28,33 @@ pub struct Conv2dGeometry {
 
 impl Conv2dGeometry {
     /// Convenience constructor for square kernels.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
-        Self { in_channels, out_channels, kernel_h: kernel, kernel_w: kernel, stride, padding }
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output spatial size for an input of `h x w`.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        conv2d_output_hw(h, w, self.kernel_h, self.kernel_w, self.stride, self.padding)
+        conv2d_output_hw(
+            h,
+            w,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding,
+        )
     }
 
     /// Number of multiply-accumulates for a batch-1 forward pass on `h x w`.
@@ -45,7 +65,14 @@ impl Conv2dGeometry {
 }
 
 /// Output spatial dims of a convolution.
-pub fn conv2d_output_hw(h: usize, w: usize, kh: usize, kw: usize, stride: usize, pad: usize) -> (usize, usize) {
+pub fn conv2d_output_hw(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
     let oh = (h + 2 * pad - kh) / stride + 1;
     let ow = (w + 2 * pad - kw) / stride + 1;
     (oh, ow)
@@ -102,7 +129,11 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, h: usize, w: usize) -> Tensor
     let c = geo.in_channels;
     let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
     let (oh, ow) = geo.output_hw(h, w);
-    assert_eq!(cols.shape(), &[c * kh * kw, oh * ow], "col2im shape mismatch");
+    assert_eq!(
+        cols.shape(),
+        &[c * kh * kw, oh * ow],
+        "col2im shape mismatch"
+    );
     let mut out = Tensor::zeros(&[c, h, w]);
     let cd = cols.data();
     let od = out.data_mut();
@@ -160,9 +191,11 @@ mod tests {
         let geo = Conv2dGeometry::new(1, 1, 3, 1, 1);
         let cols = im2col(&x, &geo);
         // Center tap row (ki=1, kj=1) should be all ones.
-        let row = (0 * 3 + 1) * 3 + 1;
+        let row = 3 + 1;
         let ncols = 4;
-        assert!(cols.data()[row * ncols..(row + 1) * ncols].iter().all(|&v| v == 1.0));
+        assert!(cols.data()[row * ncols..(row + 1) * ncols]
+            .iter()
+            .all(|&v| v == 1.0));
         // Top-left tap at output (0,0) reads padding -> zero.
         assert_eq!(cols.data()[0], 0.0);
     }

@@ -31,8 +31,8 @@ mod rng;
 mod tensor;
 
 pub use conv::{col2im, conv2d_output_hw, im2col, Conv2dGeometry};
-pub use gemm::{gemm, matmul_at_b, matmul_a_bt};
-pub use ops::{argmax, log_softmax_rows, softmax_rows};
+pub use gemm::{gemm, matmul_a_bt, matmul_at_b};
+pub use ops::{argmax, argmax_rows, count_top1_correct, log_softmax_rows, softmax_rows};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
 pub use rng::SeededRng;
 pub use tensor::Tensor;

@@ -65,6 +65,45 @@ pub fn argmax(row: &[f32]) -> usize {
     best
 }
 
+/// Row-wise argmax of a `[n, c]` logits tensor: the top-1 class per row.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or has zero columns.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    assert_eq!(logits.shape().len(), 2, "argmax_rows expects 2-D logits");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    (0..n)
+        .map(|i| argmax(&logits.data()[i * c..(i + 1) * c]))
+        .collect()
+}
+
+/// Number of rows of `logits` whose top-1 prediction matches its label —
+/// the single accuracy-counting primitive shared by `tia-nn`, `tia-engine`
+/// and the evaluation harness in `tia-core`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[labels.len(), c]`.
+pub fn count_top1_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    assert_eq!(
+        logits.shape().len(),
+        2,
+        "count_top1_correct expects 2-D logits"
+    );
+    assert_eq!(
+        logits.shape()[0],
+        labels.len(),
+        "logit rows must match label count"
+    );
+    let c = logits.shape()[1];
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, &y)| argmax(&logits.data()[i * c..(i + 1) * c]) == y)
+        .count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +145,19 @@ mod tests {
     fn argmax_first_on_tie() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
         assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let x = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 2.0, -1.0], &[2, 3]);
+        assert_eq!(argmax_rows(&x), vec![1, 1]);
+    }
+
+    #[test]
+    fn count_top1_matches_manual() {
+        let x = Tensor::from_vec(vec![0.1, 0.9, 2.0, -1.0], &[2, 2]);
+        assert_eq!(count_top1_correct(&x, &[1, 0]), 2);
+        assert_eq!(count_top1_correct(&x, &[0, 1]), 0);
+        assert_eq!(count_top1_correct(&x, &[1, 1]), 1);
     }
 }

@@ -41,7 +41,10 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -52,7 +55,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
     }
 
     /// Creates a square identity matrix of side `n`.
@@ -71,22 +77,37 @@ impl Tensor {
     /// Panics if `data.len()` does not equal the product of `shape`.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(data.len(), n, "data length {} != shape product {}", data.len(), n);
-        Self { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape product {}",
+            data.len(),
+            n
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a tensor with elements drawn from N(0, std^2).
     pub fn randn(shape: &[usize], std: f32, rng: &mut SeededRng) -> Self {
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| rng.normal() * std).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| lo + (hi - lo) * rng.uniform()).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Kaiming/He normal initialisation for a weight of the given fan-in.
@@ -132,8 +153,17 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(self.data.len(), n, "reshape {} -> {:?} invalid", self.data.len(), shape);
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            self.data.len(),
+            n,
+            "reshape {} -> {:?} invalid",
+            self.data.len(),
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape (no data movement).
@@ -143,7 +173,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let n: usize = shape.iter().product();
-        assert_eq!(self.data.len(), n, "reshape {} -> {:?} invalid", self.data.len(), shape);
+        assert_eq!(
+            self.data.len(),
+            n,
+            "reshape {} -> {:?} invalid",
+            self.data.len(),
+            shape
+        );
         self.shape = shape.to_vec();
     }
 
@@ -193,8 +229,16 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_with shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place `self += other`.
@@ -223,7 +267,10 @@ impl Tensor {
 
     /// Elementwise map to a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// In-place elementwise map.
@@ -300,10 +347,16 @@ impl Tensor {
     ///
     /// Panics if `n` is out of bounds or the tensor is 0-D.
     pub fn index_axis0(&self, n: usize) -> Tensor {
-        assert!(!self.shape.is_empty() && n < self.shape[0], "index_axis0 out of bounds");
+        assert!(
+            !self.shape.is_empty() && n < self.shape[0],
+            "index_axis0 out of bounds"
+        );
         let inner: usize = self.shape[1..].iter().product();
         let data = self.data[n * inner..(n + 1) * inner].to_vec();
-        Tensor { shape: self.shape[1..].to_vec(), data }
+        Tensor {
+            shape: self.shape[1..].to_vec(),
+            data,
+        }
     }
 
     /// Writes `src` into the `n`-th slice along the first axis.

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example attack_gallery`
 
-use two_in_one_accel::prelude::*;
 use two_in_one_accel::attack::Square;
+use two_in_one_accel::prelude::*;
 
 fn main() {
     let eps = 8.0 / 255.0;
@@ -15,7 +15,10 @@ fn main() {
     let (train, test) = generate(&profile, 13);
     let set = PrecisionSet::range(4, 8);
     let mut net = zoo::preact_resnet18_rps(3, 6, profile.classes, set.clone(), &mut rng);
-    let cfg = TrainConfig::pgd7(eps).with_rps(set.clone()).with_epochs(4).with_batch_size(16);
+    let cfg = TrainConfig::pgd7(eps)
+        .with_rps(set.clone())
+        .with_epochs(4)
+        .with_batch_size(16);
     adversarial_train(&mut net, &train, &cfg);
 
     let eval = test.take(36);
@@ -29,12 +32,25 @@ fn main() {
         Box::new(Square::new(eps, 20)),
         Box::new(EPgd::new(eps, 10, set.clone())),
     ];
-    let fixed = InferencePolicy::Fixed(Some(Precision::new(8)));
-    let rps = InferencePolicy::Random(set);
+    let fixed = PrecisionPolicy::Fixed(Some(Precision::new(8)));
+    let rps = PrecisionPolicy::Random(set);
     println!("{:<24} {:>12} {:>12}", "Attack", "fixed 8-bit", "RPS 4~8");
     for attack in attacks {
-        let a_fixed = robust_accuracy(&mut net, &eval, attack.as_ref(), &fixed, &fixed, 12, &mut rng);
+        let a_fixed = robust_accuracy(
+            &mut net,
+            &eval,
+            attack.as_ref(),
+            &fixed,
+            &fixed,
+            12,
+            &mut rng,
+        );
         let a_rps = robust_accuracy(&mut net, &eval, attack.as_ref(), &fixed, &rps, 12, &mut rng);
-        println!("{:<24} {:>11.1}% {:>11.1}%", attack.name(), a_fixed * 100.0, a_rps * 100.0);
+        println!(
+            "{:<24} {:>11.1}% {:>11.1}%",
+            attack.name(),
+            a_fixed * 100.0,
+            a_rps * 100.0
+        );
     }
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example design_space_exploration`
 
-use two_in_one_accel::prelude::*;
 use two_in_one_accel::dataflow::ArchSearch;
+use two_in_one_accel::prelude::*;
 
 fn main() {
     let budget = 4.4 * 512.0; // half the paper's comparison budget
@@ -16,12 +16,22 @@ fn main() {
     let mut workloads = vec![];
     for li in [1usize, 20, 45] {
         for bits in [4u8, 8] {
-            workloads.push(Workload::new(&net.layers[li], PrecisionPair::symmetric(bits)));
+            workloads.push(Workload::new(
+                &net.layers[li],
+                PrecisionPair::symmetric(bits),
+            ));
         }
     }
 
-    println!("searching micro-architectures under area budget {:.0}...", budget);
-    for kind in [MacKind::spatial_temporal(), MacKind::Temporal, MacKind::Spatial] {
+    println!(
+        "searching micro-architectures under area budget {:.0}...",
+        budget
+    );
+    for kind in [
+        MacKind::spatial_temporal(),
+        MacKind::Temporal,
+        MacKind::Spatial,
+    ] {
         let search = ArchSearch::new(budget);
         let (cfg, score) = search.run(kind, &workloads, &mut rng);
         println!(

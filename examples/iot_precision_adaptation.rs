@@ -18,7 +18,10 @@ fn main() {
     let (train, test) = generate(&profile, 7);
     let full_set = PrecisionSet::range(4, 16);
     let mut net = zoo::wide_resnet32_rps(3, 6, profile.classes, full_set.clone(), &mut rng);
-    let cfg = TrainConfig::pgd7(eps).with_rps(full_set).with_epochs(4).with_batch_size(16);
+    let cfg = TrainConfig::pgd7(eps)
+        .with_rps(full_set)
+        .with_epochs(4)
+        .with_batch_size(16);
     adversarial_train(&mut net, &train, &cfg);
 
     let modes = [
@@ -32,9 +35,12 @@ fn main() {
     let wl = NetworkSpec::wide_resnet32_cifar();
     let (_, e_base) = accel.average_over_set(&wl, &modes[0].1);
 
-    println!("{:<30} {:>9} {:>9} {:>14} {:>12}", "Mode", "Natural", "Robust", "Energy/infer", "Battery gain");
+    println!(
+        "{:<30} {:>9} {:>9} {:>14} {:>12}",
+        "Mode", "Natural", "Robust", "Energy/infer", "Battery gain"
+    );
     for (name, set) in modes {
-        let policy = InferencePolicy::Random(set.clone());
+        let policy = PrecisionPolicy::Random(set.clone());
         let nat = natural_accuracy(&mut net, &eval, &policy, &mut rng);
         let rob = robust_accuracy(&mut net, &eval, &attack, &policy, &policy, 12, &mut rng);
         let (_, energy) = accel.average_over_set(&wl, &set);

@@ -5,6 +5,8 @@
 //!    switch per iteration + switchable BN).
 //! 3. Attack it with PGD-20 and compare fixed-precision vs RPS inference.
 //! 4. Estimate the efficiency win on the 2-in-1 accelerator.
+//! 5. Deploy: serve requests through the micro-batching engine with
+//!    hardware co-simulation, getting logits *and* cycles/energy per batch.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -17,12 +19,20 @@ fn main() {
     // 1. Data.
     let profile = DatasetProfile::cifar10_like().with_sizes(256, 96);
     let (train, test) = generate(&profile, 42);
-    println!("dataset: {} ({} train / {} test)", profile.name, train.len(), test.len());
+    println!(
+        "dataset: {} ({} train / {} test)",
+        profile.name,
+        train.len(),
+        test.len()
+    );
 
     // 2. RPS adversarial training (PGD-7 inner maximization).
     let set = PrecisionSet::range(4, 8);
     let mut net = zoo::preact_resnet18_rps(3, 6, profile.classes, set.clone(), &mut rng);
-    let cfg = TrainConfig::pgd7(eps).with_rps(set.clone()).with_epochs(4).with_batch_size(16);
+    let cfg = TrainConfig::pgd7(eps)
+        .with_rps(set.clone())
+        .with_epochs(4)
+        .with_batch_size(16);
     let report = adversarial_train(&mut net, &train, &cfg);
     println!(
         "trained {} epochs, adversarial loss {:.3} -> {:.3}",
@@ -34,13 +44,20 @@ fn main() {
     // 3. Robust accuracy: static 8-bit inference vs random precision switch.
     let eval = test.take(48);
     let attack = Pgd::new(eps, 20);
-    let fixed = InferencePolicy::Fixed(Some(Precision::new(8)));
-    let rps = InferencePolicy::Random(set.clone());
+    let fixed = PrecisionPolicy::Fixed(Some(Precision::new(8)));
+    let rps = PrecisionPolicy::Random(set.clone());
     let acc_fixed = robust_accuracy(&mut net, &eval, &attack, &fixed, &fixed, 12, &mut rng);
     let acc_rps = robust_accuracy(&mut net, &eval, &attack, &fixed, &rps, 12, &mut rng);
     println!("PGD-20 robust accuracy, attacker at fixed 8-bit:");
-    println!("  inference fixed 8-bit (attacker matched): {:5.1}%", acc_fixed * 100.0);
-    println!("  inference RPS {}:                    {:5.1}%", set, acc_rps * 100.0);
+    println!(
+        "  inference fixed 8-bit (attacker matched): {:5.1}%",
+        acc_fixed * 100.0
+    );
+    println!(
+        "  inference RPS {}:                    {:5.1}%",
+        set,
+        acc_rps * 100.0
+    );
 
     // 4. Efficiency on the 2-in-1 accelerator (full-size workload shapes).
     let mut ours = Accelerator::ours();
@@ -49,6 +66,39 @@ fn main() {
     let (favg, _) = ours.average_over_set(&wl, &set);
     println!(
         "accelerator: ResNet-18/CIFAR at 16-bit {:.0} FPS, RPS {} average {:.0} FPS ({:.2}x)",
-        f16, set, favg, favg / f16
+        f16,
+        set,
+        favg,
+        favg / f16
+    );
+
+    // 5. Deployment: the serving engine, with the accelerator co-simulating
+    // every batch it executes.
+    let sim = SimBacked::new(net, ours, wl);
+    let policy = PrecisionPolicy::Random(set.clone());
+    let cfg = EngineConfig::default().with_max_batch(16).with_seed(1);
+    let mut engine = Engine::new(sim, policy, cfg);
+    let burst = test.take(32);
+    for i in 0..burst.len() {
+        engine.submit(burst.image(i));
+    }
+    let responses = engine.flush();
+    let correct = responses
+        .iter()
+        .zip(burst.labels())
+        .filter(|(r, &y)| r.top1 == y)
+        .count();
+    let stats = engine.stats();
+    println!(
+        "served {} requests in {} micro-batches under RPS {}: {}/{} correct",
+        stats.requests,
+        stats.batches,
+        set,
+        correct,
+        burst.len()
+    );
+    println!(
+        "  hardware cost: {:.2e} cycles, {:.2e} energy units, {:.0} FPS sustained",
+        stats.cost.cycles, stats.cost.energy, stats.cost.fps
     );
 }

@@ -23,6 +23,7 @@
 //! | [`data`] | synthetic dataset profiles (CIFAR-10/100-, SVHN-, ImageNet-like) |
 //! | [`nn`] | layers, switchable BN, model zoo, workload shape tables |
 //! | [`quant`] | linear quantizers and precision sets |
+//! | [`engine`] | batched, policy-driven serving: `Backend`, `Engine`, `SimBacked` |
 //! | [`attack`] | FGSM, FGSM-RS, PGD, CW-∞, APGD, Bandits, E-PGD |
 //! | [`core`] | RPS training/inference, robust evaluation, transfer matrices |
 //! | [`accel`] | MAC-unit models (temporal/spatial/spatial-temporal), DNNGuard |
@@ -43,9 +44,10 @@
 //! let cfg = TrainConfig::pgd7(8.0 / 255.0).with_rps(set.clone()).with_epochs(1);
 //! adversarial_train(&mut net, &train, &cfg);
 //!
-//! // ...and measure robust accuracy under RPS inference.
+//! // ...and measure robust accuracy under RPS inference (served batched
+//! // through the engine).
 //! let attack = Pgd::new(8.0 / 255.0, 3);
-//! let policy = InferencePolicy::Random(set);
+//! let policy = PrecisionPolicy::Random(set);
 //! let acc = robust_accuracy(&mut net, &test.take(8), &attack, &policy, &policy, 4, &mut rng);
 //! assert!((0.0..=1.0).contains(&acc));
 //! ```
@@ -55,6 +57,7 @@ pub use tia_attack as attack;
 pub use tia_core as core;
 pub use tia_data as data;
 pub use tia_dataflow as dataflow;
+pub use tia_engine as engine;
 pub use tia_nn as nn;
 pub use tia_quant as quant;
 pub use tia_sim as sim;
@@ -66,10 +69,13 @@ pub mod prelude {
     pub use tia_attack::{Apgd, Attack, Bandits, CwInf, EPgd, Fgsm, FgsmRs, Pgd, TargetModel};
     pub use tia_core::{
         adversarial_train, natural_accuracy, robust_accuracy, tradeoff_curve, transfer_matrix,
-        AdvMethod, InferencePolicy, TrainConfig,
+        AdvMethod, TrainConfig,
     };
     pub use tia_data::{generate, Dataset, DatasetProfile};
     pub use tia_dataflow::{ArchConfig, Dataflow, EvoSearch, SearchMode, Workload};
+    pub use tia_engine::{
+        Backend, BatchCost, Engine, EngineConfig, PolicyGranularity, PrecisionPolicy, SimBacked,
+    };
     pub use tia_nn::{workload::NetworkSpec, zoo, Mode, Network};
     pub use tia_quant::{Precision, PrecisionSet};
     pub use tia_sim::{dnnguard_throughput, Accelerator};

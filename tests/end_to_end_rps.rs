@@ -23,7 +23,7 @@ fn quick_rps_model(seed: u64) -> (Network, Dataset, PrecisionSet) {
 fn rps_training_learns_beyond_chance() {
     let (mut net, test, set) = quick_rps_model(1);
     let mut rng = SeededRng::new(2);
-    let policy = InferencePolicy::Random(set);
+    let policy = PrecisionPolicy::Random(set);
     let acc = natural_accuracy(&mut net, &test, &policy, &mut rng);
     // 4 classes -> chance is 0.25; even 3 epochs at tiny scale beats it.
     assert!(acc > 0.4, "natural accuracy {} not above chance", acc);
@@ -65,7 +65,12 @@ fn all_attacks_respect_the_ball_on_a_trained_model() {
     for attack in attacks {
         let adv = attack.perturb(&mut net, &x, &labels, &mut rng);
         let linf = x.sub(&adv).abs_max();
-        assert!(linf <= eps + 1e-5, "{} exceeded budget: {}", attack.name(), linf);
+        assert!(
+            linf <= eps + 1e-5,
+            "{} exceeded budget: {}",
+            attack.name(),
+            linf
+        );
         assert!(
             adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
             "{} left [0,1]",
@@ -96,7 +101,7 @@ fn free_training_is_functional_end_to_end() {
         .with_batch_size(16);
     let report = adversarial_train(&mut net, &train, &cfg);
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
-    let policy = InferencePolicy::Fixed(None);
+    let policy = PrecisionPolicy::Fixed(None);
     let acc = natural_accuracy(&mut net, &test, &policy, &mut rng);
     assert!((0.0..=1.0).contains(&acc));
 }

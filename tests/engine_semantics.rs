@@ -1,0 +1,153 @@
+//! Integration tests of the serving engine's core semantics: micro-batched
+//! logits must be bitwise-identical to per-sample `Network::forward`, and
+//! the precision-switch schedule must be a pure function of the seed.
+
+use two_in_one_accel::prelude::*;
+
+fn rps_net(seed: u64, set: &PrecisionSet) -> Network {
+    let mut rng = SeededRng::new(seed);
+    zoo::preact_resnet18_rps(3, 4, 5, set.clone(), &mut rng)
+}
+
+fn batch_of_one(x: &Tensor, i: usize) -> Tensor {
+    let img = x.index_axis0(i);
+    let mut shape = vec![1usize];
+    shape.extend_from_slice(img.shape());
+    img.reshape(&shape)
+}
+
+#[test]
+fn micro_batched_logits_bitwise_equal_per_sample_forward() {
+    // Property sweep: at every precision in 4~8-bit (and fp32), for several
+    // random batches and micro-batch sizes, the engine's logits must match
+    // the per-sample software path bit for bit.
+    let set = PrecisionSet::range(4, 8);
+    let mut net = rps_net(1, &set);
+    let mut rng = SeededRng::new(2);
+    let precisions: Vec<Option<Precision>> =
+        std::iter::once(None).chain(set.iter().map(Some)).collect();
+    for case in 0..3 {
+        let n = 5 + case;
+        let x = Tensor::rand_uniform(&[n, 3, 8, 8], 0.0, 1.0, &mut rng);
+        for &p in &precisions {
+            // Reference: one forward per sample.
+            let mut reference = Vec::with_capacity(n);
+            for i in 0..n {
+                net.set_precision(p);
+                let logits = net.forward(&batch_of_one(&x, i), Mode::Eval);
+                reference.push(logits.index_axis0(0));
+            }
+            for max_batch in [1usize, 3, 8] {
+                let cfg = EngineConfig::default()
+                    .with_max_batch(max_batch)
+                    .with_seed(9);
+                let mut engine = Engine::new(&mut net, PrecisionPolicy::Fixed(p), cfg);
+                let responses = engine.serve(&x);
+                for (i, r) in responses.iter().enumerate() {
+                    let got: Vec<u32> = r.logits.data().iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u32> = reference[i].data().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        got, want,
+                        "case {}: sample {} at {:?} with max_batch {} is not bitwise equal",
+                        case, i, p, max_batch
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_policy_grouping_preserves_bitwise_identity() {
+    // Under RPS the engine groups equal-precision requests into shared
+    // batches; each response must still match the per-sample forward at the
+    // precision the engine reports for it.
+    let set = PrecisionSet::range(4, 8);
+    let mut net = rps_net(3, &set);
+    let mut rng = SeededRng::new(4);
+    let x = Tensor::rand_uniform(&[12, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let cfg = EngineConfig::default().with_max_batch(4).with_seed(77);
+    let mut engine = Engine::new(&mut net, PrecisionPolicy::Random(set), cfg);
+    let responses = engine.serve(&x);
+    drop(engine);
+    assert_eq!(responses.len(), 12);
+    for (i, r) in responses.iter().enumerate() {
+        net.set_precision(r.precision);
+        let want = net.forward(&batch_of_one(&x, i), Mode::Eval);
+        let got: Vec<u32> = r.logits.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = want
+            .index_axis0(0)
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(got, want, "request {} at {:?}", i, r.precision);
+    }
+}
+
+#[test]
+fn fixed_seed_reproduces_the_precision_schedule() {
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(5);
+    let x = Tensor::rand_uniform(&[16, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let schedule = |seed: u64| {
+        let mut net = rps_net(6, &set);
+        let cfg = EngineConfig::default().with_max_batch(4).with_seed(seed);
+        let mut engine = Engine::new(&mut net, PrecisionPolicy::Random(set.clone()), cfg);
+        engine
+            .serve(&x)
+            .iter()
+            .map(|r| r.precision)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        schedule(11),
+        schedule(11),
+        "same seed must reproduce the schedule"
+    );
+    assert_ne!(schedule(11), schedule(12), "different seeds should diverge");
+}
+
+#[test]
+fn sim_backed_prices_batches_like_simulate_network() {
+    let set = PrecisionSet::new(&[4, 8]);
+    let net = rps_net(7, &set);
+    let spec = NetworkSpec::resnet18_cifar();
+    let small = EvoSearch {
+        population: 8,
+        cycles: 3,
+        mode: SearchMode::Full,
+    };
+    let mut sim = SimBacked::new(net, Accelerator::ours().with_search(small), spec.clone());
+    let mut rng = SeededRng::new(8);
+    let x = Tensor::rand_uniform(&[6, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let cfg = EngineConfig::default().with_max_batch(3).with_seed(1);
+    let mut engine = Engine::new(
+        &mut sim,
+        PrecisionPolicy::Fixed(Some(Precision::new(4))),
+        cfg,
+    );
+    let responses = engine.serve(&x);
+    assert_eq!(responses.len(), 6);
+    let stats = engine.stats();
+    drop(engine);
+    let perf = Accelerator::ours()
+        .with_search(EvoSearch {
+            population: 8,
+            cycles: 3,
+            mode: SearchMode::Full,
+        })
+        .simulate_network(&spec, PrecisionPair::symmetric(4));
+    assert!(stats.cost.modeled);
+    assert_eq!(stats.cost.frames, 6);
+    let want_cycles = 6.0 * perf.total_cycles;
+    assert!(
+        (stats.cost.cycles - want_cycles).abs() < 1e-6 * want_cycles,
+        "engine cycles {} vs simulate_network {}",
+        stats.cost.cycles,
+        want_cycles
+    );
+    let ledger = sim.ledger();
+    assert_eq!(ledger.frames, 6);
+    assert!((ledger.energy - stats.cost.energy).abs() < 1e-9 * ledger.energy.abs());
+}

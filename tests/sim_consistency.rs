@@ -26,7 +26,13 @@ fn ours_wins_energy_on_all_six_networks_at_4bit() {
     for net in NetworkSpec::paper_six() {
         let eo = ours.simulate_network(&net, p).total_energy();
         let eb = bf.simulate_network(&net, p).total_energy();
-        assert!(eo < eb, "{}: ours energy {} >= bitfusion {}", net.name, eo, eb);
+        assert!(
+            eo < eb,
+            "{}: ours energy {} >= bitfusion {}",
+            net.name,
+            eo,
+            eb
+        );
     }
 }
 
@@ -56,7 +62,13 @@ fn bitfusion_flat_across_unsupported_precisions() {
     let f8 = bf.simulate_network(&net, PrecisionPair::symmetric(8)).fps;
     for b in [5u8, 6, 7] {
         let f = bf.simulate_network(&net, PrecisionPair::symmetric(b)).fps;
-        assert!((f - f8).abs() / f8 < 0.02, "{}-bit {} vs 8-bit {}", b, f, f8);
+        assert!(
+            (f - f8).abs() / f8 < 0.02,
+            "{}-bit {} vs 8-bit {}",
+            b,
+            f,
+            f8
+        );
     }
 }
 
@@ -79,7 +91,11 @@ fn dnnguard_comparison_orderings() {
     let budget = 4.4 * 1024.0;
     let mut ours = Accelerator::ours();
     let mut ratios = vec![];
-    for net in [NetworkSpec::alexnet(), NetworkSpec::vgg16(), NetworkSpec::resnet50_imagenet()] {
+    for net in [
+        NetworkSpec::alexnet(),
+        NetworkSpec::vgg16(),
+        NetworkSpec::resnet50_imagenet(),
+    ] {
         let dg = dnnguard_throughput(&net, budget, 1.0);
         let (f48, _) = ours.average_over_set(&net, &PrecisionSet::range(4, 8));
         let (f416, _) = ours.average_over_set(&net, &PrecisionSet::range(4, 16));
@@ -87,7 +103,11 @@ fn dnnguard_comparison_orderings() {
         ratios.push(f48 / dg);
     }
     // Paper ordering: AlexNet > VGG-16 > ResNet-50 advantage.
-    assert!(ratios[0] > ratios[2], "AlexNet advantage should exceed ResNet-50: {:?}", ratios);
+    assert!(
+        ratios[0] > ratios[2],
+        "AlexNet advantage should exceed ResNet-50: {:?}",
+        ratios
+    );
 }
 
 #[test]
