@@ -1,14 +1,18 @@
 //! Microbenchmarks of the algorithm substrate — quantization, forward/
-//! backward, one PGD attack step — plus the serving-throughput benchmark of
-//! the `tia-engine` micro-batcher (requests/sec at batch 1/8/32, fixed vs
-//! RPS policy). Writes a `BENCH_engine.json` snapshot so later PRs have a
-//! perf trajectory.
+//! backward, one PGD attack step — plus the serving-throughput benchmarks of
+//! `tia-engine`: the micro-batcher (requests/sec at batch 1/8/32, fixed vs
+//! RPS policy) and the sharded runtime (a `workers` axis at 1/2/4/8 shards,
+//! wall-clock requests/sec alongside the modeled aggregate accelerator
+//! throughput from the merged cost ledger). Writes a `BENCH_engine.json`
+//! snapshot so later PRs have a perf trajectory.
 
 use tia_attack::{Attack, Pgd};
 use tia_bench::harness::{bench, black_box, to_json, BenchResult};
-use tia_engine::{Engine, EngineConfig, PrecisionPolicy};
-use tia_nn::{zoo, Mode};
+use tia_dataflow::{EvoSearch, SearchMode};
+use tia_engine::{Engine, EngineConfig, PrecisionPolicy, ShardedEngine, SimBacked};
+use tia_nn::{workload::NetworkSpec, zoo, Mode};
 use tia_quant::{fake_quant_symmetric, Precision, PrecisionSet};
+use tia_sim::Accelerator;
 use tia_tensor::{SeededRng, Tensor};
 
 fn bench_quantize() -> BenchResult {
@@ -73,9 +77,80 @@ fn bench_engine_serving() -> Vec<BenchResult> {
     results
 }
 
+/// The sharded runtime's `workers` axis: for 1/2/4/8 shards, wall-clock
+/// requests/sec over a 64-request RPS burst, plus the modeled aggregate
+/// accelerator throughput (per-shard sustained FPS from the merged
+/// `SimBacked` ledger, times the shard count). Wall-clock scaling is bounded
+/// by the host's core count; the modeled axis is what N accelerator
+/// replicas sustain by construction.
+fn bench_sharded_serving() -> Vec<BenchResult> {
+    const REQUESTS: usize = 64;
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(5);
+    let x = Tensor::rand_uniform(&[REQUESTS, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nsharded serving: {} host core(s); wall-clock scaling is core-bound",
+        cores
+    );
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        // Wall-clock axis: plain software replicas.
+        let mut engine = ShardedEngine::with_factory(
+            workers,
+            |_| zoo::preact_resnet18_rps(3, 4, 10, set.clone(), &mut SeededRng::new(6)),
+            PrecisionPolicy::Random(set.clone()),
+            EngineConfig::default().with_max_batch(8).with_seed(7),
+        );
+        let mut r = bench(&format!("engine_sharded_w{}_rps4-8", workers), || {
+            engine.serve(black_box(&x)).len()
+        });
+        r.ns_per_iter /= REQUESTS as f64;
+        r.name.push_str("_per_request");
+        println!(
+            "  -> w{}: {:>12.0} requests/s wall-clock",
+            workers,
+            r.per_sec()
+        );
+        results.push(r);
+
+        // Modeled axis: serve one burst through SimBacked replicas and read
+        // the merged ledger's frame-weighted sustained FPS per shard.
+        let mut sim_engine = ShardedEngine::with_factory(
+            workers,
+            |_| {
+                let net = zoo::preact_resnet18_rps(3, 4, 10, set.clone(), &mut SeededRng::new(6));
+                let accel = Accelerator::ours().with_search(EvoSearch {
+                    population: 8,
+                    cycles: 3,
+                    mode: SearchMode::Full,
+                });
+                SimBacked::new(net, accel, NetworkSpec::resnet18_cifar())
+            },
+            PrecisionPolicy::Random(set.clone()),
+            EngineConfig::default().with_max_batch(8).with_seed(7),
+        );
+        let _ = sim_engine.serve(&x);
+        let aggregate = sim_engine.stats().cost.fps * workers as f64;
+        println!(
+            "  -> w{}: {:>12.0} requests/s modeled aggregate on {} accelerator shard(s)",
+            workers, aggregate, workers
+        );
+        results.push(BenchResult {
+            name: format!("modeled_accel_rps_w{}", workers),
+            iters: REQUESTS as u64,
+            ns_per_iter: 1e9 / aggregate,
+        });
+    }
+    results
+}
+
 fn main() {
     let mut results = vec![bench_quantize(), bench_forward_backward(), bench_pgd_step()];
     results.extend(bench_engine_serving());
+    results.extend(bench_sharded_serving());
     let json = to_json(&results);
     // Snapshot at the workspace root so PR-over-PR perf diffs are one file.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -17,9 +17,9 @@
 //! * [`tradeoff_curve`] — Fig. 11's instant robustness-efficiency trade-off.
 //!
 //! The precision policy lives in `tia-engine` as
-//! [`PrecisionPolicy`](tia_engine::PrecisionPolicy) (formerly
-//! `tia_core::InferencePolicy`); it is re-exported here, together with a
-//! deprecated alias, to ease migration.
+//! [`PrecisionPolicy`] (formerly
+//! `tia_core::InferencePolicy`, an alias removed after its one-release
+//! deprecation window); it is re-exported here for convenience.
 //!
 //! # Example
 //!
@@ -50,8 +50,3 @@ pub use tia_engine::PrecisionPolicy;
 pub use tradeoff::{tradeoff_curve, TradeoffPoint};
 pub use trainer::{adversarial_train, recalibrate_bn, AdvMethod, TrainConfig, TrainReport};
 pub use transfer::{transfer_matrix, TransferMatrix};
-
-/// Former name of [`PrecisionPolicy`], kept for one release so downstream
-/// code migrates at leisure.
-#[deprecated(note = "renamed to tia_engine::PrecisionPolicy")]
-pub type InferencePolicy = PrecisionPolicy;

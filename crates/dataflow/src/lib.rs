@@ -41,7 +41,7 @@ mod search;
 mod tiling;
 
 pub use arch::ArchConfig;
-pub use loopnest::{Dataflow, Dim, DIMS};
+pub use loopnest::{Dataflow, Dim, DIMS, TEMPORAL_LEVELS};
 pub use predictor::{predict, PerfReport, Workload};
 pub use search::{ArchSearch, EvoSearch, SearchMode, SearchResult};
 pub use tiling::Tiling;

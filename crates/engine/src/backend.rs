@@ -38,6 +38,13 @@ pub trait Backend {
     /// Prices a batch of `frames` inferences at a precision *without*
     /// executing it. Backends without a hardware model report
     /// [`BatchCost::unmodeled`].
+    ///
+    /// Implementations must price **linearly in `frames`** (per-frame cost
+    /// times the frame count, as [`BatchCost::modeled`] does): the sharded
+    /// runtime bills each request at `cost(1, p)` and merges in request-id
+    /// order, while the single-threaded engine bills `cost(n, p)` per
+    /// micro-batch — a nonlinear model (batching discounts, per-batch
+    /// overheads) would make the two surfaces disagree.
     fn cost(&self, frames: usize, precision: Option<Precision>) -> BatchCost {
         let _ = precision;
         BatchCost::unmodeled(frames)

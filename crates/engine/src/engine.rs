@@ -106,6 +106,29 @@ struct Pending {
     image: Tensor,
 }
 
+/// Groups requests by assigned precision — stable, first-seen order — so
+/// per-request precision switching still serves full micro-batches.
+///
+/// This is *the* grouping: the single-threaded engine and every shard of
+/// the sharded runtime must batch identically (same groups ⇒ same chunks ⇒
+/// same per-batch execution), so both call this one function. Changing the
+/// grouping in one path but not the other would silently break the sharded
+/// determinism contract.
+pub(crate) fn group_by_precision<T>(
+    items: &[T],
+    precision_of: impl Fn(&T) -> Option<Precision>,
+) -> Vec<(Option<Precision>, Vec<&T>)> {
+    let mut groups: Vec<(Option<Precision>, Vec<&T>)> = Vec::new();
+    for item in items {
+        let p = precision_of(item);
+        match groups.iter_mut().find(|(gp, _)| *gp == p) {
+            Some((_, members)) => members.push(item),
+            None => groups.push((p, vec![item])),
+        }
+    }
+    groups
+}
+
 /// A micro-batching inference server over any [`Backend`].
 ///
 /// Requests are single images (`[C, H, W]`); the engine coalesces them into
@@ -234,18 +257,10 @@ impl<B: Backend> Engine<B> {
                 }
             }
             PolicyGranularity::PerRequest => {
-                // Group equal-precision requests (stable, first-seen order)
-                // so switching per request still serves full batches.
-                let mut groups: Vec<(Option<Precision>, Vec<&Pending>)> = Vec::new();
-                for req in &pending {
-                    let p = req
-                        .precision
-                        .expect("per-request precision assigned at submit");
-                    match groups.iter_mut().find(|(gp, _)| *gp == p) {
-                        Some((_, members)) => members.push(req),
-                        None => groups.push((p, vec![req])),
-                    }
-                }
+                let groups = group_by_precision(&pending, |req: &Pending| {
+                    req.precision
+                        .expect("per-request precision assigned at submit")
+                });
                 for (p, members) in groups {
                     for chunk in members.chunks(self.cfg.max_batch) {
                         self.run_chunk(chunk, p, &mut responses);

@@ -15,16 +15,23 @@
 //!   batch through [`tia_sim::Accelerator`] to report cycles/energy/FPS
 //!   alongside logits.
 //! * [`PrecisionPolicy`] — fixed or RPS precision selection (absorbing the
-//!   old `tia_core::InferencePolicy`), sampled per request or per batch
+//!   old `InferencePolicy` of `tia-core`), sampled per request or per batch
 //!   ([`PolicyGranularity`]).
 //! * [`Engine`] — a micro-batching request queue: submit single-image
 //!   requests, the engine coalesces them into batches of at most
 //!   `max_batch`, samples the policy, and returns responses in submission
 //!   order with seeded-deterministic precision schedules.
+//! * [`ShardedEngine`] — the multi-threaded runtime: N worker shards
+//!   (plain `std::thread`), each with its own backend replica and seeded
+//!   RNG stream, behind the same submit/flush/serve surface. Under
+//!   per-request granularity, results — logits, precision schedule and the
+//!   merged cost ledger — are identical for *any* worker count (see the
+//!   [`sharded`](crate::ShardedEngine) determinism contract).
 //!
-//! Because every layer calibrates its quantizers per sample, engine logits
-//! are **bitwise identical** to per-sample `Network::forward` at every
-//! precision — batching is a pure throughput win.
+//! Because every layer calibrates its quantizers per sample (and the tiled
+//! GEMM in `tia-tensor` accumulates in a batch-size-invariant order),
+//! engine logits are **bitwise identical** to per-sample `Network::forward`
+//! at every precision — batching and sharding are pure throughput wins.
 //!
 //! # Example
 //!
@@ -47,15 +54,22 @@
 //! assert!(responses.iter().all(|r| r.precision.is_some()));
 //! assert_eq!(engine.stats().requests, 6);
 //! ```
+//!
+//! To scale the same traffic across threads, hand [`ShardedEngine`] one
+//! replica per worker (see its type-level example).
+
+#![deny(missing_docs)]
 
 mod backend;
 mod cost;
 mod engine;
 mod policy;
+mod sharded;
 mod sim_backed;
 
 pub use backend::{Backend, LossKind};
 pub use cost::BatchCost;
 pub use engine::{Engine, EngineConfig, EngineStats, PolicyGranularity, RequestId, Response};
 pub use policy::PrecisionPolicy;
+pub use sharded::ShardedEngine;
 pub use sim_backed::SimBacked;

@@ -1,0 +1,546 @@
+//! The sharded, multi-threaded serving runtime.
+//!
+//! [`ShardedEngine`] scales the micro-batching [`crate::Engine`] across N
+//! worker *shards*: plain `std::thread` workers, each owning its own
+//! [`Backend`] replica and its own seeded RNG stream. The coordinator
+//! assigns every request a shard and (under per-request granularity) a
+//! precision at submit time, so the entire schedule is a pure function of
+//! the config seed and the submission order — thread interleaving can
+//! change *when* a shard runs, never *what* it computes.
+//!
+//! # Determinism contract
+//!
+//! Under [`PolicyGranularity::PerRequest`] (the default, the paper's RPS
+//! inference) serving is reproducible across **worker counts**: the same
+//! seed and the same submission sequence yield bitwise-identical logits,
+//! the identical precision schedule, and the identical merged cost ledger
+//! for 1, 2 or 8 workers. Three properties make this hold:
+//!
+//! 1. precisions are drawn from the coordinator's RNG at submit time, in
+//!    submission order — the same stream a single-threaded [`crate::Engine`]
+//!    with the same seed would draw;
+//! 2. the layer stack (and the tiled GEMM underneath it) is batch-size
+//!    invariant, so how a shard groups its requests into micro-batches
+//!    cannot change any logit bit;
+//! 3. the merged ledger accumulates per-request unit costs in request-id
+//!    order at flush time, not in shard completion order.
+//!
+//! Under [`PolicyGranularity::PerBatch`] each shard draws from its own
+//! seeded stream, so a run is reproducible for a *fixed* worker count
+//! (regardless of thread interleaving) but batch composition — and hence
+//! the schedule — legitimately changes with the shard count.
+
+use crate::{
+    Backend, BatchCost, EngineConfig, EngineStats, PolicyGranularity, PrecisionPolicy, RequestId,
+    Response,
+};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use tia_quant::Precision;
+use tia_tensor::{argmax_rows, SeededRng, Tensor};
+
+/// A request as handed to a shard: id, centrally assigned precision (under
+/// per-request granularity) and the image.
+struct ShardRequest {
+    id: RequestId,
+    /// `Some(p)` = assigned by the coordinator at submit; `None` = the shard
+    /// samples per batch from its own stream.
+    precision: Option<Option<Precision>>,
+    image: Tensor,
+}
+
+/// One completed request plus its per-frame cost, as reported by a shard.
+struct ShardResponse {
+    id: RequestId,
+    logits: Tensor,
+    top1: usize,
+    precision: Option<Precision>,
+    unit_cost: BatchCost,
+}
+
+/// A shard's answer to one flush: its responses and how many micro-batches
+/// it executed.
+struct ShardReply {
+    responses: Vec<ShardResponse>,
+    batches: usize,
+}
+
+type Job = Vec<ShardRequest>;
+
+/// A sharded, multi-threaded inference server over any [`Backend`].
+///
+/// The coordinator partitions submitted requests across worker shards by
+/// `request_id % workers` (deterministic round-robin); each shard groups its
+/// requests by precision, coalesces them into micro-batches of at most
+/// `max_batch`, executes them on its own backend replica, and reports
+/// responses plus per-frame costs back. [`ShardedEngine::flush`] merges
+/// everything in submission order.
+///
+/// Replicas must be *identical* (same weights, same cost model) for the
+/// determinism contract to hold — build them from the same constructor with
+/// the same seed, as [`ShardedEngine::with_factory`] encourages.
+///
+/// # Example
+///
+/// ```
+/// use tia_engine::{EngineConfig, PrecisionPolicy, ShardedEngine};
+/// use tia_nn::zoo;
+/// use tia_quant::PrecisionSet;
+/// use tia_tensor::{SeededRng, Tensor};
+///
+/// let set = PrecisionSet::range(4, 8);
+/// // Four identical replicas: same constructor, same seed.
+/// let mut engine = ShardedEngine::with_factory(
+///     4,
+///     |_| zoo::preact_resnet18_rps(3, 4, 10, PrecisionSet::range(4, 8), &mut SeededRng::new(1)),
+///     PrecisionPolicy::Random(set),
+///     EngineConfig::default().with_max_batch(8).with_seed(7),
+/// );
+/// let mut rng = SeededRng::new(2);
+/// let x = Tensor::rand_uniform(&[12, 3, 8, 8], 0.0, 1.0, &mut rng);
+/// let responses = engine.serve(&x);
+/// assert_eq!(responses.len(), 12);
+/// assert_eq!(engine.stats().requests, 12);
+/// let _replicas = engine.shutdown();
+/// ```
+pub struct ShardedEngine<B: Backend + Send + 'static> {
+    policy: PrecisionPolicy,
+    cfg: EngineConfig,
+    /// The coordinator's policy stream (per-request assignment).
+    rng: SeededRng,
+    pending: Vec<ShardRequest>,
+    next_id: RequestId,
+    stats: EngineStats,
+    image_shape: Option<Vec<usize>>,
+    senders: Vec<Sender<Job>>,
+    results_rx: Receiver<ShardReply>,
+    handles: Vec<JoinHandle<B>>,
+}
+
+impl<B: Backend + Send + 'static> ShardedEngine<B> {
+    /// Spawns one worker thread per replica and returns the coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<B>, policy: PrecisionPolicy, cfg: EngineConfig) -> Self {
+        assert!(
+            !replicas.is_empty(),
+            "ShardedEngine needs at least one replica"
+        );
+        let (results_tx, results_rx) = channel();
+        let mut senders = Vec::with_capacity(replicas.len());
+        let mut handles = Vec::with_capacity(replicas.len());
+        for (shard, backend) in replicas.into_iter().enumerate() {
+            let (tx, rx) = channel::<Job>();
+            let results = results_tx.clone();
+            let worker_policy = policy.clone();
+            // Each shard gets its own decorrelated stream: golden-ratio
+            // stepping of the base seed, the same trick SplitMix64 uses.
+            let rng = SeededRng::new(
+                cfg.seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)),
+            );
+            let max_batch = cfg.max_batch;
+            let granularity = cfg.granularity;
+            handles.push(std::thread::spawn(move || {
+                worker_loop(
+                    backend,
+                    worker_policy,
+                    rng,
+                    max_batch,
+                    granularity,
+                    rx,
+                    results,
+                )
+            }));
+            senders.push(tx);
+        }
+        Self {
+            policy,
+            rng: SeededRng::new(cfg.seed),
+            cfg,
+            pending: Vec::new(),
+            next_id: 0,
+            stats: EngineStats::default(),
+            image_shape: None,
+            senders,
+            results_rx,
+            handles,
+        }
+    }
+
+    /// Builds `workers` replicas from a factory (called with the shard
+    /// index) and spawns the runtime. The factory must produce *identical*
+    /// backends — reconstruct from the same seed rather than splitting one
+    /// RNG across calls.
+    pub fn with_factory(
+        workers: usize,
+        mut factory: impl FnMut(usize) -> B,
+        policy: PrecisionPolicy,
+        cfg: EngineConfig,
+    ) -> Self {
+        Self::new((0..workers).map(&mut factory).collect(), policy, cfg)
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &PrecisionPolicy {
+        &self.policy
+    }
+
+    /// Merged serving statistics across all shards (cost accumulated in
+    /// request-id order, so totals are identical for any worker count under
+    /// per-request granularity).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Clears the merged serving statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of submitted-but-unserved requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues one `[C, H, W]` image; returns its request id.
+    ///
+    /// Under per-request granularity the precision is drawn here, from the
+    /// coordinator's stream — the schedule is fixed at submit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not 3-D, or if its shape differs from the first
+    /// submitted image (one engine serves one input geometry).
+    pub fn submit(&mut self, image: Tensor) -> RequestId {
+        assert_eq!(
+            image.shape().len(),
+            3,
+            "ShardedEngine::submit expects a single [C, H, W] image"
+        );
+        match &self.image_shape {
+            Some(shape) => assert_eq!(
+                shape.as_slice(),
+                image.shape(),
+                "ShardedEngine::submit image shape changed mid-stream"
+            ),
+            None => self.image_shape = Some(image.shape().to_vec()),
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let precision = match self.cfg.granularity {
+            PolicyGranularity::PerRequest => Some(self.policy.sample(&mut self.rng)),
+            PolicyGranularity::PerBatch => None,
+        };
+        self.pending.push(ShardRequest {
+            id,
+            precision,
+            image,
+        });
+        id
+    }
+
+    /// Serves every pending request across the shards and returns responses
+    /// sorted by request id (= submission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread has died (a backend panicked mid-batch).
+    pub fn flush(&mut self) -> Vec<Response> {
+        let pending = std::mem::take(&mut self.pending);
+        let total = pending.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.senders.len();
+        let mut per_shard: Vec<Job> = (0..workers).map(|_| Vec::new()).collect();
+        for req in pending {
+            per_shard[(req.id % workers as u64) as usize].push(req);
+        }
+        let mut outstanding = 0;
+        for (shard, job) in per_shard.into_iter().enumerate() {
+            if job.is_empty() {
+                continue;
+            }
+            self.senders[shard]
+                .send(job)
+                .expect("sharded engine worker thread died");
+            outstanding += 1;
+        }
+        let mut all: Vec<ShardResponse> = Vec::with_capacity(total);
+        for _ in 0..outstanding {
+            let reply = self
+                .results_rx
+                .recv()
+                .expect("sharded engine worker thread died");
+            self.stats.batches += reply.batches;
+            all.extend(reply.responses);
+        }
+        // Merge in submission order: response order and the ledger's
+        // floating-point accumulation order are both independent of which
+        // shard finished first.
+        all.sort_by_key(|r| r.id);
+        self.stats.requests += total;
+        for r in &all {
+            self.stats.cost.accumulate(&r.unit_cost);
+        }
+        all.into_iter()
+            .map(|r| Response {
+                id: r.id,
+                logits: r.logits,
+                top1: r.top1,
+                precision: r.precision,
+            })
+            .collect()
+    }
+
+    /// Convenience: submits every row of an `[N, C, H, W]` batch and
+    /// flushes.
+    pub fn serve(&mut self, x: &Tensor) -> Vec<Response> {
+        assert_eq!(
+            x.shape().len(),
+            4,
+            "ShardedEngine::serve expects [N, C, H, W]"
+        );
+        for i in 0..x.shape()[0] {
+            self.submit(x.index_axis0(i));
+        }
+        self.flush()
+    }
+
+    /// Shuts the runtime down and returns the backend replicas (shard
+    /// order), e.g. to inspect per-shard `SimBacked` ledgers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn shutdown(mut self) -> Vec<B> {
+        self.senders.clear(); // Closing the channels ends the worker loops.
+        std::mem::take(&mut self.handles)
+            .into_iter()
+            .map(|h| h.join().expect("sharded engine worker panicked"))
+            .collect()
+    }
+}
+
+impl<B: Backend + Send + 'static> Drop for ShardedEngine<B> {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The shard body: receive request lists until the coordinator hangs up,
+/// group/batch/execute each, reply with responses + per-frame costs. Returns
+/// the backend so `shutdown` can hand the replicas back.
+fn worker_loop<B: Backend>(
+    mut backend: B,
+    policy: PrecisionPolicy,
+    mut rng: SeededRng,
+    max_batch: usize,
+    granularity: PolicyGranularity,
+    jobs: Receiver<Job>,
+    results: Sender<ShardReply>,
+) -> B {
+    while let Ok(reqs) = jobs.recv() {
+        let saved = backend.precision();
+        let mut responses = Vec::with_capacity(reqs.len());
+        let mut batches = 0;
+        match granularity {
+            PolicyGranularity::PerBatch => {
+                for chunk in reqs.chunks(max_batch) {
+                    let p = policy.sample(&mut rng);
+                    run_chunk(&mut backend, chunk, p, &mut responses);
+                    batches += 1;
+                }
+            }
+            PolicyGranularity::PerRequest => {
+                // The exact grouping Engine::flush uses — sharing it is what
+                // keeps shard batching identical to single-threaded batching.
+                let groups = crate::engine::group_by_precision(&reqs, |req: &ShardRequest| {
+                    req.precision
+                        .expect("per-request precision assigned at submit")
+                });
+                for (p, members) in groups {
+                    for chunk in members.chunks(max_batch) {
+                        run_chunk(&mut backend, chunk, p, &mut responses);
+                        batches += 1;
+                    }
+                }
+            }
+        }
+        backend.set_precision(saved);
+        if results.send(ShardReply { responses, batches }).is_err() {
+            break; // Coordinator dropped mid-flush; shut down.
+        }
+    }
+    backend
+}
+
+/// Executes one micro-batch on a shard's backend, pricing each request at
+/// its per-frame cost so the coordinator can merge ledgers in id order.
+fn run_chunk<B: Backend, R: std::borrow::Borrow<ShardRequest>>(
+    backend: &mut B,
+    chunk: &[R],
+    p: Option<Precision>,
+    out: &mut Vec<ShardResponse>,
+) {
+    if chunk.is_empty() {
+        return;
+    }
+    let mut shape = vec![chunk.len()];
+    shape.extend_from_slice(chunk[0].borrow().image.shape());
+    let mut x = Tensor::zeros(&shape);
+    for (i, r) in chunk.iter().enumerate() {
+        x.set_axis0(i, &r.borrow().image);
+    }
+    let logits = backend.infer_batch(&x, p);
+    let top1 = argmax_rows(&logits);
+    let unit_cost = backend.cost(1, p);
+    for (i, req) in chunk.iter().enumerate() {
+        out.push(ShardResponse {
+            id: req.borrow().id,
+            logits: logits.index_axis0(i),
+            top1: top1[i],
+            precision: p,
+            unit_cost,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_nn::zoo;
+    use tia_quant::PrecisionSet;
+
+    fn replica() -> tia_nn::Network {
+        let mut rng = SeededRng::new(1);
+        zoo::preact_resnet18_rps(3, 4, 3, PrecisionSet::range(4, 8), &mut rng)
+    }
+
+    fn images(n: usize, seed: u64) -> Tensor {
+        let mut rng = SeededRng::new(seed);
+        Tensor::rand_uniform(&[n, 3, 8, 8], 0.0, 1.0, &mut rng)
+    }
+
+    fn sharded(workers: usize, seed: u64) -> ShardedEngine<tia_nn::Network> {
+        ShardedEngine::with_factory(
+            workers,
+            |_| replica(),
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default().with_max_batch(4).with_seed(seed),
+        )
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order() {
+        let mut eng = sharded(3, 7);
+        let x = images(10, 2);
+        let ids: Vec<RequestId> = (0..10).map(|i| eng.submit(x.index_axis0(i))).collect();
+        let resp = eng.flush();
+        assert_eq!(resp.iter().map(|r| r.id).collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn precision_schedule_matches_single_threaded_engine() {
+        // The coordinator draws from the same stream a single-threaded
+        // Engine with the same seed would, so the schedules coincide.
+        let x = images(12, 3);
+        let cfg = EngineConfig::default().with_max_batch(4).with_seed(11);
+        let mut single = crate::Engine::new(
+            replica(),
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            cfg.clone(),
+        );
+        let want: Vec<_> = single.serve(&x).iter().map(|r| r.precision).collect();
+        for workers in [1usize, 2, 5] {
+            let mut eng = ShardedEngine::with_factory(
+                workers,
+                |_| replica(),
+                PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+                cfg.clone(),
+            );
+            let got: Vec<_> = eng.serve(&x).iter().map(|r| r.precision).collect();
+            assert_eq!(got, want, "schedule diverged at {} workers", workers);
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_bitwise() {
+        let x = images(9, 4);
+        let logits = |workers: usize| {
+            let mut eng = sharded(workers, 5);
+            eng.serve(&x)
+                .iter()
+                .flat_map(|r| {
+                    r.logits
+                        .data()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<u32>>()
+        };
+        let one = logits(1);
+        assert_eq!(one, logits(2));
+        assert_eq!(one, logits(4));
+    }
+
+    #[test]
+    fn stats_merge_across_shards() {
+        let mut eng = sharded(4, 6);
+        let _ = eng.serve(&images(10, 7));
+        let s = eng.stats();
+        assert_eq!(s.requests, 10);
+        assert!(s.batches >= 1);
+        assert_eq!(s.cost.frames, 10);
+    }
+
+    #[test]
+    fn shutdown_returns_all_replicas() {
+        let eng = sharded(3, 8);
+        let replicas = eng.shutdown();
+        assert_eq!(replicas.len(), 3);
+    }
+
+    #[test]
+    fn per_batch_granularity_is_reproducible_per_worker_count() {
+        let x = images(8, 9);
+        let run = || {
+            let mut eng = ShardedEngine::with_factory(
+                2,
+                |_| replica(),
+                PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+                EngineConfig::default()
+                    .with_max_batch(4)
+                    .with_seed(3)
+                    .with_granularity(PolicyGranularity::PerBatch),
+            );
+            eng.serve(&x)
+                .iter()
+                .map(|r| r.precision)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = ShardedEngine::<tia_nn::Network>::new(
+            Vec::new(),
+            PrecisionPolicy::Fixed(None),
+            EngineConfig::default(),
+        );
+    }
+}

@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode, Param};
 use tia_tensor::Tensor;
 
 /// Rectified linear unit.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ReLU {
     mask: Option<Vec<bool>>,
 }
@@ -17,6 +17,10 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
         let out = x.map(|v| v.max(0.0));

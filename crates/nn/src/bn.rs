@@ -8,7 +8,7 @@ const BN_EPS: f32 = 1e-5;
 const BN_MOMENTUM: f32 = 0.2;
 
 /// One set of BN statistics + affine parameters.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCore {
     gamma: Param,
     beta: Param,
@@ -27,7 +27,7 @@ impl BnCore {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCache {
     xhat: Tensor,
     inv_std: Vec<f32>,
@@ -153,7 +153,7 @@ fn bn_backward(core: &mut BnCore, cache: &Option<BnCache>, grad_out: &Tensor) ->
 }
 
 /// Plain batch normalization over NCHW (one set of statistics).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     core: BnCore,
     cache: Option<BnCache>,
@@ -178,6 +178,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         bn_forward(&mut self.core, &mut self.cache, x, mode)
     }
@@ -203,7 +207,7 @@ impl Layer for BatchNorm2d {
 /// scale factors and the layer bias (paper §2.4), so SBN costs the
 /// accelerator nothing — the simulator side therefore models no extra
 /// modules for it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SwitchableBatchNorm {
     states: Vec<BnCore>,
     set: PrecisionSet,
@@ -259,6 +263,10 @@ impl SwitchableBatchNorm {
 }
 
 impl Layer for SwitchableBatchNorm {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         bn_forward(&mut self.states[self.active], &mut self.cache, x, mode)
     }

@@ -13,7 +13,7 @@ use tia_tensor::{col2im, im2col, matmul_a_bt, matmul_at_b, Conv2dGeometry, Seede
 /// the paper. The backward pass uses the straight-through estimator: the
 /// quantized values participate in the products, but gradients flow through
 /// the rounding unchanged.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     geo: Conv2dGeometry,
     weight: Param,
@@ -23,7 +23,7 @@ pub struct Conv2d {
     cache: Option<Cache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     /// Quantized (or raw) input columns per batch item: `[C*KH*KW, OH*OW]`.
     cols: Vec<Tensor>,
@@ -75,6 +75,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(x.shape().len(), 4, "Conv2d expects NCHW input");
         let (n, _c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);

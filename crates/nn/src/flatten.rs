@@ -5,7 +5,7 @@ use tia_tensor::Tensor;
 
 /// Flattens `[N, C, H, W]` (or `[N, C]`) to `[N, F]`; backward restores the
 /// original shape.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     input_shape: Option<Vec<usize>>,
 }
@@ -18,6 +18,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert!(!x.shape().is_empty(), "Flatten expects batched input");
         let n = x.shape()[0];

@@ -56,7 +56,11 @@ impl Param {
 /// before `backward`; `backward` consumes the cache of the most recent
 /// forward and *accumulates* parameter gradients (callers zero them between
 /// optimizer steps).
-pub trait Layer: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a `Network` (a `Vec<Box<dyn Layer>>`) can move
+/// onto a worker thread of the sharded serving runtime; layers are plain
+/// owned data, so every implementation satisfies it for free.
+pub trait Layer: std::fmt::Debug + Send {
     /// Computes the layer output, caching whatever `backward` needs.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
 
@@ -87,6 +91,17 @@ pub trait Layer: std::fmt::Debug {
         let mut n = 0;
         self.visit_params(&mut |p| n += p.value.len());
         n
+    }
+
+    /// Clones the layer behind the trait object — what makes a trained
+    /// `Network` replicable across the shards of the serving runtime.
+    /// Implementations are one line: `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

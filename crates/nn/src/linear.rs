@@ -10,7 +10,7 @@ use tia_tensor::{matmul_a_bt, matmul_at_b, SeededRng, Tensor};
 /// Weight layout is `[out_features, in_features]` (row per output), which
 /// maps directly to the `K x (C*R*S)` weight matrix view the accelerator
 /// uses for FC workloads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     in_features: usize,
     out_features: usize,
@@ -47,6 +47,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear expects [N, F]");
         assert_eq!(x.shape()[1], self.in_features, "Linear feature mismatch");

@@ -15,7 +15,7 @@ use tia_tensor::Tensor;
 ///   every gradient-based adversarial attack, and
 /// * [`Network::set_precision`] — the in-situ precision switch broadcast to
 ///   every quantization-aware layer and SBN.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     precision: Option<Precision>,

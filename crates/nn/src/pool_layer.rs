@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode, Param};
 use tia_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Tensor};
 
 /// Average pooling with a square window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     k: usize,
     input_hw: Option<(usize, usize)>,
@@ -23,6 +23,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         self.input_hw = Some((x.shape()[2], x.shape()[3]));
         avg_pool2d(x, self.k)
@@ -37,7 +41,7 @@ impl Layer for AvgPool2d {
 }
 
 /// Max pooling with a square window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     k: usize,
     cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax indices, input shape)
@@ -56,6 +60,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         let (y, idx) = max_pool2d(x, self.k);
         self.cache = Some((idx, x.shape().to_vec()));
@@ -74,7 +82,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     input_shape: Option<Vec<usize>>,
 }
@@ -87,6 +95,10 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(x.shape().len(), 4, "GlobalAvgPool expects NCHW");
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);

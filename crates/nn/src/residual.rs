@@ -17,7 +17,7 @@ use tia_tensor::{Conv2dGeometry, SeededRng, Tensor};
 /// where `shortcut` is the identity when shapes match, or a strided 1×1
 /// convolution applied to the pre-activated input when downsampling /
 /// widening (the PreActResNet convention).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PreActBlock {
     bn1: Box<dyn Layer>,
     relu1: ReLU,
@@ -60,6 +60,10 @@ impl PreActBlock {
 }
 
 impl Layer for PreActBlock {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let out1 = self.bn1.forward(x, mode);
         let a1 = self.relu1.forward(&out1, mode);

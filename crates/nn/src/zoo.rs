@@ -109,7 +109,7 @@ impl PreActResNetConfig {
         }
     }
 
-    /// ResNet-50-lite: 4 stages with [3,4,6,3] basic blocks (bottleneck
+    /// ResNet-50-lite: 4 stages with `[3,4,6,3]` basic blocks (bottleneck
     /// substitution documented in DESIGN.md).
     pub fn resnet50(in_channels: usize, base_width: usize, classes: usize, bn: BnKind) -> Self {
         Self {

@@ -1,9 +1,160 @@
-//! Simple blocked SGEMM kernels.
+//! Blocked/tiled SGEMM kernels.
 //!
 //! These are the compute workhorses for convolution (via im2col) and linear
-//! layers. The implementation uses an `i-k-j` loop order with a row broadcast,
-//! which vectorises well under `-O` and is fast enough for the reduced-scale
-//! training experiments this reproduction runs.
+//! layers. All three entry points (`C += A·B`, `C += Aᵀ·B`, `C += A·Bᵀ`)
+//! lower to one register-blocked micro-kernel over cache-sized packed
+//! panels, in the classic Goto/BLIS structure:
+//!
+//! * the innermost micro-kernel computes an `MR x NR` block of `C` held in
+//!   registers, streaming through a packed depth-`kc` panel;
+//! * `A` panels are packed into `MR`-row strips and `B` panels into
+//!   `NR`-column strips, so the micro-kernel reads both operands
+//!   contiguously regardless of the caller's layout (normal or transposed);
+//! * outer loops tile `n` by `NC`, `k` by `KC` and `m` by `MC` so each
+//!   packed panel stays cache-resident while it is reused.
+//!
+//! Determinism contract: for a fixed depth `k`, every output element
+//! accumulates its `k` products in increasing-`k` order, with panel partial
+//! sums added to `C` in increasing panel order. The order never depends on
+//! `m` or `n`, so results are *batch-size invariant* — the property the
+//! serving engine's bitwise batched-vs-per-sample identity rests on.
+
+/// Rows of the register-held output block (micro-panel height of `A`).
+const MR: usize = 4;
+/// Columns of the register-held output block (micro-panel width of `B`).
+const NR: usize = 8;
+/// Depth (`k`) cache block: one packed `A` strip of `MR x KC` and one packed
+/// `B` strip of `KC x NR` together stay L1-resident.
+const KC: usize = 256;
+/// Row (`m`) cache block: the packed `MC x KC` block of `A` targets L2.
+const MC: usize = 128;
+/// Column (`n`) cache block: the packed `KC x NC` block of `B` targets L2/L3.
+const NC: usize = 256;
+
+/// How a logical `rows x cols` operand is stored.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// `data[r * ld + c]`.
+    RowMajor,
+    /// Stored transposed: `data[c * ld + r]`.
+    Transposed,
+}
+
+/// A logical matrix view over a caller slice (no copy).
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    ld: usize,
+    layout: Layout,
+}
+
+impl View<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        match self.layout {
+            Layout::RowMajor => self.data[r * self.ld + c],
+            Layout::Transposed => self.data[c * self.ld + r],
+        }
+    }
+}
+
+/// Packs the `mc x kc` block of `a` at `(ic, pc)` into `MR`-row strips:
+/// strip `r` holds rows `ic + r*MR ..`, stored depth-major so the
+/// micro-kernel reads `MR` consecutive values per `k` step. Rows past `mc`
+/// are zero-padded (they multiply into lanes that are never stored).
+fn pack_a(a: View, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f32]) {
+    let mut idx = 0;
+    for ir in (0..mc).step_by(MR) {
+        let mr = MR.min(mc - ir);
+        for p in 0..kc {
+            for i in 0..MR {
+                out[idx] = if i < mr {
+                    a.at(ic + ir + i, pc + p)
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `b` at `(pc, jc)` into `NR`-column strips,
+/// depth-major, zero-padding columns past `nc`.
+fn pack_b(b: View, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f32]) {
+    let mut idx = 0;
+    for jr in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - jr);
+        for p in 0..kc {
+            for j in 0..NR {
+                out[idx] = if j < nr {
+                    b.at(pc + p, jc + jr + j)
+                } else {
+                    0.0
+                };
+                idx += 1;
+            }
+        }
+    }
+}
+
+/// The register-blocked inner kernel: `acc[MR][NR] += Ap · Bp` over a packed
+/// depth-`kc` panel. `MR`/`NR` are compile-time constants, so the two inner
+/// loops fully unroll and the accumulators live in registers.
+#[inline(always)]
+fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = arow[i];
+            for j in 0..NR {
+                acc[i][j] += ai * brow[j];
+            }
+        }
+    }
+}
+
+/// `C += A · B` over logical `m x k` and `k x n` views, tiled and packed.
+fn gemm_blocked(m: usize, k: usize, n: usize, a: View, b: View, c: &mut [f32]) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    // Scratch sized to the actual problem (capped at one cache block), so
+    // the small GEMMs that dominate per-sample serving don't pay for the
+    // full-block allocation.
+    let (mb, kb, nb) = (m.min(MC), k.min(KC), n.min(NC));
+    let mut ap = vec![0.0f32; mb.div_ceil(MR) * MR * kb];
+    let mut bp = vec![0.0f32; nb.div_ceil(NR) * NR * kb];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut bp);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(a, ic, pc, mc, kc, &mut ap);
+                for (js, jr) in (0..nc).step_by(NR).enumerate() {
+                    let nr = NR.min(nc - jr);
+                    let bs = &bp[js * NR * kc..(js + 1) * NR * kc];
+                    for (is, ir) in (0..mc).step_by(MR).enumerate() {
+                        let mr = MR.min(mc - ir);
+                        let as_ = &ap[is * MR * kc..(is + 1) * MR * kc];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        micro_kernel(kc, as_, bs, &mut acc);
+                        for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                            let row = (ic + ir + i) * n + jc + jr;
+                            let c_row = &mut c[row..row + nr];
+                            for (cv, av) in c_row.iter_mut().zip(&acc_row[..nr]) {
+                                *cv += av;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// `C += A * B` where `A` is `m x k`, `B` is `k x n`, `C` is `m x n`,
 /// all row-major.
@@ -15,19 +166,22 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
-            }
-        }
-    }
+    gemm_blocked(
+        m,
+        k,
+        n,
+        View {
+            data: a,
+            ld: k,
+            layout: Layout::RowMajor,
+        },
+        View {
+            data: b,
+            ld: n,
+            layout: Layout::RowMajor,
+        },
+        c,
+    );
 }
 
 /// `C += A^T * B` where `A` is `k x m`, `B` is `k x n`, `C` is `m x n`.
@@ -38,41 +192,48 @@ pub fn matmul_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_pi * b_v;
-            }
-        }
-    }
+    gemm_blocked(
+        m,
+        k,
+        n,
+        View {
+            data: a,
+            ld: m,
+            layout: Layout::Transposed,
+        },
+        View {
+            data: b,
+            ld: n,
+            layout: Layout::RowMajor,
+        },
+        c,
+    );
 }
 
 /// `C += A * B^T` where `A` is `m x k`, `B` is `n x k`, `C` is `m x n`.
 ///
-/// Used for input gradients of linear layers (`dX = dY * W`between row-major
-/// weight layouts) without materialising transposes.
+/// Used for linear-layer forward/input-gradient products (`Y = X * W^T`
+/// between row-major weight layouts) without materialising transposes.
 pub fn matmul_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, c_v) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *c_v += acc;
-        }
-    }
+    gemm_blocked(
+        m,
+        k,
+        n,
+        View {
+            data: a,
+            ld: k,
+            layout: Layout::RowMajor,
+        },
+        View {
+            data: b,
+            ld: k,
+            layout: Layout::Transposed,
+        },
+        c,
+    );
 }
 
 #[cfg(test)]
@@ -92,6 +253,19 @@ mod tests {
         c
     }
 
+    fn assert_close(got: &[f32], want: &[f32], scale: f32, ctx: &str) {
+        for (idx, (x, y)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-4 * scale.max(1.0),
+                "{}: element {}: {} vs {}",
+                ctx,
+                idx,
+                x,
+                y
+            );
+        }
+    }
+
     #[test]
     fn gemm_matches_naive() {
         let mut rng = SeededRng::new(1);
@@ -101,8 +275,83 @@ mod tests {
         let mut c = vec![0.0; m * n];
         gemm(m, k, n, &a, &b, &mut c);
         let expect = naive(m, k, n, &a, &b);
-        for (x, y) in c.iter().zip(&expect) {
-            assert!((x - y).abs() < 1e-4, "{} vs {}", x, y);
+        assert_close(&c, &expect, (k as f32).sqrt(), "5x7x3");
+    }
+
+    #[test]
+    fn tiled_matches_naive_property_sweep() {
+        // Seeded property test across shapes straddling every blocking
+        // boundary: micro-tile fringes (MR/NR), cache-block edges (MC/KC/NC
+        // crossings) and degenerate 1-sized dims.
+        let mut rng = SeededRng::new(42);
+        let mut cases: Vec<(usize, usize, usize)> = vec![
+            (1, 1, 1),
+            (MR, KC, NR),
+            (MR + 1, KC + 1, NR + 1),
+            (MC + 3, 5, NC + 2),
+            (2 * MR, 2 * KC + 7, 2 * NR),
+            (1, 300, 1),
+        ];
+        for _ in 0..12 {
+            cases.push((1 + rng.below(40), 1 + rng.below(300), 1 + rng.below(40)));
+        }
+        for (m, k, n) in cases {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let expect = naive(m, k, n, &a, &b);
+            let scale = (k as f32).sqrt();
+            let ctx = format!("{}x{}x{}", m, k, n);
+
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            assert_close(&c, &expect, scale, &format!("gemm {}", ctx));
+
+            // A^T * B with A stored k x m.
+            let mut at = vec![0.0; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            let mut c = vec![0.0; m * n];
+            matmul_at_b(k, m, n, &at, &b, &mut c);
+            assert_close(&c, &expect, scale, &format!("at_b {}", ctx));
+
+            // A * B^T with B stored n x k.
+            let mut bt = vec![0.0; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let mut c = vec![0.0; m * n];
+            matmul_a_bt(m, k, n, &a, &bt, &mut c);
+            assert_close(&c, &expect, scale, &format!("a_bt {}", ctx));
+        }
+    }
+
+    #[test]
+    fn tiled_result_is_batch_size_invariant() {
+        // Row i of C must be bitwise identical whether A has 1 row or many:
+        // the serving engine's batched-vs-per-sample bitwise identity
+        // depends on the k-accumulation order never depending on m.
+        let mut rng = SeededRng::new(7);
+        let (k, n) = (KC + 13, NR + 3);
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        for m in [2usize, MR + 1, 17] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let mut c_full = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c_full);
+            for i in 0..m {
+                let mut c_row = vec![0.0; n];
+                gemm(1, k, n, &a[i * k..(i + 1) * k], &b, &mut c_row);
+                let got: Vec<u32> = c_full[i * n..(i + 1) * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let want: Vec<u32> = c_row.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "row {} of m={} not bitwise equal", i, m);
+            }
         }
     }
 
@@ -152,5 +401,14 @@ mod tests {
         let mut c = vec![1.0; 4];
         gemm(2, 2, 2, &a, &b, &mut c);
         assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![5.0; 0];
+        gemm(0, 3, 0, &[], &[0.0; 0], &mut c);
+        let mut c = vec![5.0; 4];
+        gemm(2, 0, 2, &[], &[], &mut c);
+        assert_eq!(c, vec![5.0; 4], "k = 0 must leave C untouched");
     }
 }

@@ -3,14 +3,19 @@
 //! Dense `f32` tensor substrate for the 2-in-1 Accelerator reproduction.
 //!
 //! This crate provides the numerical kernels every other crate builds on:
-//! n-dimensional row-major tensors, a simple blocked SGEMM, im2col/col2im
-//! convolution lowering, elementwise and reduction ops, and seeded random
+//! n-dimensional row-major tensors, a blocked/tiled SGEMM (register-blocked
+//! micro-kernel over packed cache-sized panels), im2col/col2im convolution
+//! lowering, elementwise and reduction ops, and seeded random
 //! initialisation.
 //!
-//! It is deliberately small and dependency-free (besides `rand`): the paper's
+//! It is deliberately small and fully dependency-free: the paper's
 //! algorithm side (Random Precision Switch adversarial training) only needs
 //! forward/backward passes over moderately sized convolutional networks, and a
 //! transparent from-scratch substrate keeps every code path inspectable.
+//! The GEMM accumulates every output element in a fixed increasing-`k`
+//! order, independent of the batch dimension — the foundation of the
+//! serving engine's bitwise batched-vs-per-sample identity (see
+//! `docs/ARCHITECTURE.md`).
 //!
 //! # Example
 //!
@@ -22,6 +27,8 @@
 //! let c = a.matmul(&b);
 //! assert_eq!(c.data(), a.data());
 //! ```
+
+#![deny(missing_docs)]
 
 mod conv;
 mod gemm;

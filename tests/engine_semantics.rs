@@ -1,6 +1,9 @@
 //! Integration tests of the serving engine's core semantics: micro-batched
-//! logits must be bitwise-identical to per-sample `Network::forward`, and
-//! the precision-switch schedule must be a pure function of the seed.
+//! logits must be bitwise-identical to per-sample `Network::forward`, the
+//! precision-switch schedule must be a pure function of the seed, and the
+//! sharded runtime must produce identical results — logits, schedule and
+//! merged cost ledger — for any worker count (the determinism contract of
+//! `docs/ARCHITECTURE.md`).
 
 use two_in_one_accel::prelude::*;
 
@@ -150,4 +153,121 @@ fn sim_backed_prices_batches_like_simulate_network() {
     let ledger = sim.ledger();
     assert_eq!(ledger.frames, 6);
     assert!((ledger.energy - stats.cost.energy).abs() < 1e-9 * ledger.energy.abs());
+}
+
+#[test]
+fn sharded_serving_is_worker_count_invariant() {
+    // Same seed + same submission sequence => bitwise-identical logits and
+    // the identical precision schedule for 1, 2 and 8 workers, all equal to
+    // single-threaded engine serving.
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(21);
+    let x = Tensor::rand_uniform(&[13, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let cfg = EngineConfig::default().with_max_batch(4).with_seed(33);
+
+    let mut single = Engine::new(
+        rps_net(20, &set),
+        PrecisionPolicy::Random(set.clone()),
+        cfg.clone(),
+    );
+    let reference = single.serve(&x);
+
+    for workers in [1usize, 2, 8] {
+        let mut sharded = ShardedEngine::with_factory(
+            workers,
+            |_| rps_net(20, &set),
+            PrecisionPolicy::Random(set.clone()),
+            cfg.clone(),
+        );
+        let responses = sharded.serve(&x);
+        assert_eq!(responses.len(), reference.len());
+        for (r, want) in responses.iter().zip(&reference) {
+            assert_eq!(r.id, want.id);
+            assert_eq!(
+                r.precision, want.precision,
+                "schedule diverged at {} workers, request {}",
+                workers, r.id
+            );
+            let got: Vec<u32> = r.logits.data().iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u32> = want.logits.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got, ref_bits,
+                "logits not bitwise equal at {} workers, request {}",
+                workers, r.id
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_ledger_identical_across_worker_counts() {
+    // The merged cost ledger accumulates per-request unit costs in
+    // request-id order, so cycles/energy/fps are identical — not just
+    // close — for any worker count. The per-shard SimBacked ledgers must
+    // still add up to the merged totals.
+    let set = PrecisionSet::new(&[4, 8]);
+    let spec = NetworkSpec::resnet18_cifar();
+    let small = EvoSearch {
+        population: 8,
+        cycles: 3,
+        mode: SearchMode::Full,
+    };
+    let mut rng = SeededRng::new(22);
+    let x = Tensor::rand_uniform(&[12, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let cfg = EngineConfig::default().with_max_batch(3).with_seed(44);
+    let serve = |workers: usize| {
+        let mut engine = ShardedEngine::with_factory(
+            workers,
+            |_| {
+                SimBacked::new(
+                    rps_net(23, &set),
+                    Accelerator::ours().with_search(small),
+                    spec.clone(),
+                )
+            },
+            PrecisionPolicy::Random(set.clone()),
+            cfg.clone(),
+        );
+        let _ = engine.serve(&x);
+        let stats = engine.stats();
+        let shards = engine.shutdown();
+        (stats, shards)
+    };
+    let (base, _) = serve(1);
+    assert!(base.cost.modeled);
+    assert_eq!(base.cost.frames, 12);
+    for workers in [2usize, 8] {
+        let (stats, shards) = serve(workers);
+        assert_eq!(stats.requests, base.requests);
+        assert_eq!(stats.cost.frames, base.cost.frames);
+        assert_eq!(
+            stats.cost.cycles.to_bits(),
+            base.cost.cycles.to_bits(),
+            "cycle ledger diverged at {} workers",
+            workers
+        );
+        assert_eq!(
+            stats.cost.energy.to_bits(),
+            base.cost.energy.to_bits(),
+            "energy ledger diverged at {} workers",
+            workers
+        );
+        assert_eq!(
+            stats.cost.fps.to_bits(),
+            base.cost.fps.to_bits(),
+            "fps ledger diverged at {} workers",
+            workers
+        );
+        // Hardware accounting still adds up: per-shard ledgers sum to the
+        // merged totals (up to floating-point association).
+        let shard_total: f64 = shards.iter().map(|s| s.ledger().cycles).sum();
+        assert!(
+            (shard_total - stats.cost.cycles).abs() <= 1e-9 * stats.cost.cycles.abs(),
+            "shard ledgers {} vs merged {}",
+            shard_total,
+            stats.cost.cycles
+        );
+        let shard_frames: usize = shards.iter().map(|s| s.ledger().frames).sum();
+        assert_eq!(shard_frames, stats.cost.frames);
+    }
 }
