@@ -28,12 +28,35 @@ impl BenchResult {
     }
 }
 
+/// Whether `TIA_BENCH_SMOKE` requests single-iteration smoke mode: every
+/// benchmark runs exactly once, just proving the harness compiles and the
+/// benchmarked paths still execute (the CI usage). Numbers produced in
+/// smoke mode are not meaningful and must not be snapshotted.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("TIA_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
 /// Times `f`, printing and returning the result.
 ///
 /// Budget: ~60 ms warmup, ~300 ms measurement, batches sized so each takes
 /// ≥10 ms. Honest for everything from nanosecond kernels to multi-ms
-/// simulations without Criterion's dependency footprint.
+/// simulations without Criterion's dependency footprint. Under
+/// [`smoke_mode`] the closure runs exactly once.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
+    if smoke_mode() {
+        let t = Instant::now();
+        black_box(f());
+        let result = BenchResult {
+            name: name.to_string(),
+            iters: 1,
+            ns_per_iter: t.elapsed().as_nanos() as f64,
+        };
+        println!(
+            "{:<40} smoke: 1 iter in {:.1} ns",
+            result.name, result.ns_per_iter
+        );
+        return result;
+    }
     // Warmup: run until 60 ms elapse (at least once).
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;

@@ -71,6 +71,14 @@ pub trait Backend {
 
     /// The currently active precision.
     fn precision(&self) -> Option<Precision>;
+
+    /// Hands a logits tensor from [`Backend::infer_batch`] back to the
+    /// backend for storage reuse once the caller is done reading it. The
+    /// engine calls this after splitting a batch into responses; backends
+    /// without an arena just drop the tensor (the default).
+    fn recycle_output(&mut self, logits: Tensor) {
+        let _ = logits;
+    }
 }
 
 /// Mutable references are backends too, so the engine and evaluation
@@ -104,13 +112,20 @@ impl<B: Backend + ?Sized> Backend for &mut B {
     fn precision(&self) -> Option<Precision> {
         (**self).precision()
     }
+
+    fn recycle_output(&mut self, logits: Tensor) {
+        (**self).recycle_output(logits);
+    }
 }
 
 /// The software path: run the layer graph directly.
 impl Backend for Network {
     fn infer_batch(&mut self, x: &Tensor, precision: Option<Precision>) -> Tensor {
         Network::set_precision(self, precision);
-        self.forward(x, Mode::Eval)
+        // Serving mode: numerically identical to Eval, but layers skip every
+        // backward cache and recycle all intermediates — the zero-allocation
+        // steady state.
+        self.forward(x, Mode::Infer)
     }
 
     fn loss_and_input_grad(
@@ -146,6 +161,10 @@ impl Backend for Network {
 
     fn precision(&self) -> Option<Precision> {
         Network::precision(self)
+    }
+
+    fn recycle_output(&mut self, logits: Tensor) {
+        Network::recycle(self, logits);
     }
 }
 

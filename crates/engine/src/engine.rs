@@ -2,7 +2,7 @@
 
 use crate::{Backend, BatchCost, PrecisionPolicy};
 use tia_quant::Precision;
-use tia_tensor::{argmax_rows, SeededRng, Tensor};
+use tia_tensor::{argmax_rows, SeededRng, Tensor, Workspace};
 
 /// Identifier handed back by [`Engine::submit`]; responses carry it so
 /// callers can re-associate out-of-order completions.
@@ -152,6 +152,9 @@ pub struct Engine<B: Backend> {
     // Fixed by the first submit; mixed shapes would otherwise be coalesced
     // into one batch tensor and silently misinterpreted.
     image_shape: Option<Vec<usize>>,
+    // Scratch arena backing batch-tensor assembly and submitted-image
+    // staging; request images return here after each flush.
+    ws: Workspace,
 }
 
 impl<B: Backend> Engine<B> {
@@ -167,6 +170,7 @@ impl<B: Backend> Engine<B> {
             next_id: 0,
             stats: EngineStats::default(),
             image_shape: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -243,10 +247,11 @@ impl<B: Backend> Engine<B> {
 
     /// Serves every pending request and returns responses sorted by request
     /// id (= submission order). The backend's caller-visible precision is
-    /// restored afterwards.
+    /// restored afterwards, and the request images' storage returns to the
+    /// engine's arena for the next burst.
     pub fn flush(&mut self) -> Vec<Response> {
         let saved = self.backend.precision();
-        let pending = std::mem::take(&mut self.pending);
+        let mut pending = std::mem::take(&mut self.pending);
         let mut responses = Vec::with_capacity(pending.len());
         match self.cfg.granularity {
             PolicyGranularity::PerBatch => {
@@ -269,16 +274,26 @@ impl<B: Backend> Engine<B> {
             }
         }
         self.backend.set_precision(saved);
+        // Reclaim the served images and the queue's own capacity.
+        for req in pending.drain(..) {
+            self.ws.recycle_tensor(req.image);
+        }
+        self.pending = pending;
         responses.sort_by_key(|r| r.id);
         responses
     }
 
     /// Convenience: submits every row of an `[N, C, H, W]` batch and
-    /// flushes.
+    /// flushes. Image staging copies draw from the engine's arena.
     pub fn serve(&mut self, x: &Tensor) -> Vec<Response> {
         assert_eq!(x.shape().len(), 4, "Engine::serve expects [N, C, H, W]");
-        for i in 0..x.shape()[0] {
-            self.submit(x.index_axis0(i));
+        let (n, s) = (x.shape()[0], x.shape());
+        let (img_shape, chw) = ([s[1], s[2], s[3]], s[1] * s[2] * s[3]);
+        for i in 0..n {
+            let mut img = self.ws.tensor_spare(&img_shape);
+            img.data_mut()
+                .copy_from_slice(&x.data()[i * chw..(i + 1) * chw]);
+            self.submit(img);
         }
         self.flush()
     }
@@ -287,14 +302,16 @@ impl<B: Backend> Engine<B> {
         if chunk.is_empty() {
             return;
         }
-        // One copy per image — straight into the batch tensor.
-        let mut shape = vec![chunk.len()];
-        shape.extend_from_slice(chunk[0].image.shape());
-        let mut x = Tensor::zeros(&shape);
+        // One copy per image — straight into an arena-backed batch tensor
+        // (submit pins images to rank 3, so the batch is always rank 4).
+        let s = chunk[0].image.shape();
+        let shape = [chunk.len(), s[0], s[1], s[2]];
+        let mut x = self.ws.tensor_spare(&shape);
         for (i, r) in chunk.iter().enumerate() {
             x.set_axis0(i, &r.image);
         }
         let logits = self.backend.infer_batch(&x, p);
+        self.ws.recycle_tensor(x);
         let top1 = argmax_rows(&logits);
         self.stats.requests += chunk.len();
         self.stats.batches += 1;
@@ -308,6 +325,9 @@ impl<B: Backend> Engine<B> {
                 precision: p,
             });
         }
+        // The batch logits have been split into per-request responses; the
+        // backing storage goes back to the backend's arena.
+        self.backend.recycle_output(logits);
     }
 }
 

@@ -37,7 +37,7 @@ use crate::{
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use tia_quant::Precision;
-use tia_tensor::{argmax_rows, SeededRng, Tensor};
+use tia_tensor::{argmax_rows, SeededRng, Tensor, Workspace};
 
 /// A request as handed to a shard: id, centrally assigned precision (under
 /// per-request granularity) and the image.
@@ -351,6 +351,9 @@ fn worker_loop<B: Backend>(
     jobs: Receiver<Job>,
     results: Sender<ShardReply>,
 ) -> B {
+    // Each shard owns its scratch arena: batch assembly reuses the same
+    // buffers flush after flush with no cross-thread sharing.
+    let mut ws = Workspace::new();
     while let Ok(reqs) = jobs.recv() {
         let saved = backend.precision();
         let mut responses = Vec::with_capacity(reqs.len());
@@ -359,7 +362,7 @@ fn worker_loop<B: Backend>(
             PolicyGranularity::PerBatch => {
                 for chunk in reqs.chunks(max_batch) {
                     let p = policy.sample(&mut rng);
-                    run_chunk(&mut backend, chunk, p, &mut responses);
+                    run_chunk(&mut backend, chunk, p, &mut responses, &mut ws);
                     batches += 1;
                 }
             }
@@ -372,13 +375,18 @@ fn worker_loop<B: Backend>(
                 });
                 for (p, members) in groups {
                     for chunk in members.chunks(max_batch) {
-                        run_chunk(&mut backend, chunk, p, &mut responses);
+                        run_chunk(&mut backend, chunk, p, &mut responses, &mut ws);
                         batches += 1;
                     }
                 }
             }
         }
         backend.set_precision(saved);
+        // Request images crossed the channel; reclaim their storage for the
+        // shard's next batch tensors.
+        for req in reqs {
+            ws.recycle_tensor(req.image);
+        }
         if results.send(ShardReply { responses, batches }).is_err() {
             break; // Coordinator dropped mid-flush; shut down.
         }
@@ -393,17 +401,19 @@ fn run_chunk<B: Backend, R: std::borrow::Borrow<ShardRequest>>(
     chunk: &[R],
     p: Option<Precision>,
     out: &mut Vec<ShardResponse>,
+    ws: &mut Workspace,
 ) {
     if chunk.is_empty() {
         return;
     }
-    let mut shape = vec![chunk.len()];
-    shape.extend_from_slice(chunk[0].borrow().image.shape());
-    let mut x = Tensor::zeros(&shape);
+    let s = chunk[0].borrow().image.shape();
+    let shape = [chunk.len(), s[0], s[1], s[2]];
+    let mut x = ws.tensor_spare(&shape);
     for (i, r) in chunk.iter().enumerate() {
         x.set_axis0(i, &r.borrow().image);
     }
     let logits = backend.infer_batch(&x, p);
+    ws.recycle_tensor(x);
     let top1 = argmax_rows(&logits);
     let unit_cost = backend.cost(1, p);
     for (i, req) in chunk.iter().enumerate() {
@@ -415,6 +425,7 @@ fn run_chunk<B: Backend, R: std::borrow::Borrow<ShardRequest>>(
             unit_cost,
         });
     }
+    backend.recycle_output(logits);
 }
 
 #[cfg(test)]

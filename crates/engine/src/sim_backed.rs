@@ -123,6 +123,10 @@ impl<B: Backend> Backend for SimBacked<B> {
     fn precision(&self) -> Option<Precision> {
         self.inner.precision()
     }
+
+    fn recycle_output(&mut self, logits: Tensor) {
+        self.inner.recycle_output(logits);
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Activation layers.
 
 use crate::layer::{Layer, Mode, Param};
-use tia_tensor::Tensor;
+use tia_tensor::{Tensor, Workspace};
 
 /// Rectified linear unit.
 #[derive(Debug, Default, Clone)]
@@ -21,23 +21,30 @@ impl Layer for ReLU {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-        let out = x.map(|v| v.max(0.0));
-        self.mask = Some(mask);
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let mut out = ws.tensor_spare(x.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+            *o = v.max(0.0);
+        }
+        if mode.caches_backward() {
+            // Reuse the mask buffer across forwards instead of reallocating.
+            let mask = self.mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
+        } else {
+            self.mask = None;
+        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.mask.as_ref().expect("ReLU::backward before forward");
         assert_eq!(mask.len(), grad_out.len(), "ReLU grad shape mismatch");
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(data, grad_out.shape())
+        let mut out = ws.tensor_spare(grad_out.shape());
+        for ((o, &g), &m) in out.data_mut().iter_mut().zip(grad_out.data()).zip(mask) {
+            *o = if m { g } else { 0.0 };
+        }
+        out
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use tia_quant::{Precision, PrecisionSet};
-use tia_tensor::Tensor;
+use tia_tensor::{Tensor, Workspace};
 
 const BN_EPS: f32 = 1e-5;
 const BN_MOMENTUM: f32 = 0.2;
@@ -35,33 +35,47 @@ struct BnCache {
     count: usize, // N * H * W per channel
 }
 
-fn bn_forward(core: &mut BnCore, cache: &mut Option<BnCache>, x: &Tensor, mode: Mode) -> Tensor {
+fn bn_forward(
+    core: &mut BnCore,
+    cache: &mut Option<BnCache>,
+    x: &Tensor,
+    mode: Mode,
+    ws: &mut Workspace,
+) -> Tensor {
     assert_eq!(x.shape().len(), 4, "BatchNorm expects NCHW");
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let count = n * h * w;
-    let mut out = Tensor::zeros(x.shape());
-    let mut xhat = Tensor::zeros(x.shape());
-    let mut inv_stds = vec![0.0f32; c];
+    // Recycle the previous forward's cache storage before building (or
+    // skipping) this one.
+    if let Some(old) = cache.take() {
+        ws.recycle_tensor(old.xhat);
+        ws.recycle(old.inv_std);
+    }
+    let hw = h * w;
+    let mut out = ws.tensor_spare(x.shape());
+    // In Infer mode the normalized activations are not retained — backward
+    // is never coming, so the layer writes the output alone.
+    let mut xhat = mode.caches_backward().then(|| ws.tensor_spare(x.shape()));
+    let mut inv_stds = ws.take_zeroed(c);
+    // All loops walk the contiguous per-(image, channel) rows of NCHW
+    // directly — same element order (hence bitwise-identical accumulation)
+    // as an elementwise traversal, without per-element index arithmetic.
     #[allow(clippy::needless_range_loop)] // ci indexes x, stats and inv_stds together
     for ci in 0..c {
         let (mean, var) = match mode {
             Mode::Train => {
                 let mut s = 0.0;
                 for ni in 0..n {
-                    for yi in 0..h {
-                        for xi in 0..w {
-                            s += x.at4(ni, ci, yi, xi);
-                        }
+                    for &v in &x.data()[(ni * c + ci) * hw..(ni * c + ci + 1) * hw] {
+                        s += v;
                     }
                 }
                 let mean = s / count as f32;
                 let mut v = 0.0;
                 for ni in 0..n {
-                    for yi in 0..h {
-                        for xi in 0..w {
-                            let d = x.at4(ni, ci, yi, xi) - mean;
-                            v += d * d;
-                        }
+                    for &xv in &x.data()[(ni * c + ci) * hw..(ni * c + ci + 1) * hw] {
+                        let d = xv - mean;
+                        v += d * d;
                     }
                 }
                 let var = v / count as f32;
@@ -71,32 +85,54 @@ fn bn_forward(core: &mut BnCore, cache: &mut Option<BnCache>, x: &Tensor, mode: 
                     (1.0 - BN_MOMENTUM) * core.running_var.data()[ci] + BN_MOMENTUM * var;
                 (mean, var)
             }
-            Mode::Eval => (core.running_mean.data()[ci], core.running_var.data()[ci]),
+            Mode::Eval | Mode::Infer => (core.running_mean.data()[ci], core.running_var.data()[ci]),
         };
         let inv_std = 1.0 / (var + BN_EPS).sqrt();
         inv_stds[ci] = inv_std;
         let g = core.gamma.value.data()[ci];
         let b = core.beta.value.data()[ci];
         for ni in 0..n {
-            for yi in 0..h {
-                for xi in 0..w {
-                    let xh = (x.at4(ni, ci, yi, xi) - mean) * inv_std;
-                    *xhat.at4_mut(ni, ci, yi, xi) = xh;
-                    *out.at4_mut(ni, ci, yi, xi) = g * xh + b;
+            let row = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
+            let xrow = &x.data()[row.clone()];
+            match xhat.as_mut() {
+                Some(xhat) => {
+                    let xhrow = &mut xhat.data_mut()[row.clone()];
+                    let orow = &mut out.data_mut()[row];
+                    for ((xh, o), &xv) in xhrow.iter_mut().zip(orow.iter_mut()).zip(xrow) {
+                        let v = (xv - mean) * inv_std;
+                        *xh = v;
+                        *o = g * v + b;
+                    }
+                }
+                None => {
+                    let orow = &mut out.data_mut()[row];
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o = g * ((xv - mean) * inv_std) + b;
+                    }
                 }
             }
         }
     }
-    *cache = Some(BnCache {
-        xhat,
-        inv_std: inv_stds,
-        mode,
-        count,
-    });
+    match xhat {
+        Some(xhat) => {
+            *cache = Some(BnCache {
+                xhat,
+                inv_std: inv_stds,
+                mode,
+                count,
+            });
+        }
+        None => ws.recycle(inv_stds),
+    }
     out
 }
 
-fn bn_backward(core: &mut BnCore, cache: &Option<BnCache>, grad_out: &Tensor) -> Tensor {
+fn bn_backward(
+    core: &mut BnCore,
+    cache: &Option<BnCache>,
+    grad_out: &Tensor,
+    ws: &mut Workspace,
+) -> Tensor {
     let cache = cache.as_ref().expect("BatchNorm::backward before forward");
     let (n, c, h, w) = (
         grad_out.shape()[0],
@@ -104,8 +140,11 @@ fn bn_backward(core: &mut BnCore, cache: &Option<BnCache>, grad_out: &Tensor) ->
         grad_out.shape()[2],
         grad_out.shape()[3],
     );
-    let mut grad_in = Tensor::zeros(grad_out.shape());
+    let hw = h * w;
+    let mut grad_in = ws.tensor_spare(grad_out.shape());
     let m = cache.count as f32;
+    // Contiguous-row traversal, same element order as the elementwise loops
+    // (see bn_forward).
     for ci in 0..c {
         let g = core.gamma.value.data()[ci];
         let inv_std = cache.inv_std[ci];
@@ -113,12 +152,13 @@ fn bn_backward(core: &mut BnCore, cache: &Option<BnCache>, grad_out: &Tensor) ->
         let mut sum_dy = 0.0;
         let mut sum_dy_xhat = 0.0;
         for ni in 0..n {
-            for yi in 0..h {
-                for xi in 0..w {
-                    let dy = grad_out.at4(ni, ci, yi, xi);
-                    sum_dy += dy;
-                    sum_dy_xhat += dy * cache.xhat.at4(ni, ci, yi, xi);
-                }
+            let row = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
+            for (&dy, &xh) in grad_out.data()[row.clone()]
+                .iter()
+                .zip(&cache.xhat.data()[row])
+            {
+                sum_dy += dy;
+                sum_dy_xhat += dy * xh;
             }
         }
         core.gamma.grad.data_mut()[ci] += sum_dy_xhat;
@@ -126,24 +166,23 @@ fn bn_backward(core: &mut BnCore, cache: &Option<BnCache>, grad_out: &Tensor) ->
         match cache.mode {
             Mode::Train => {
                 for ni in 0..n {
-                    for yi in 0..h {
-                        for xi in 0..w {
-                            let dy = grad_out.at4(ni, ci, yi, xi);
-                            let xh = cache.xhat.at4(ni, ci, yi, xi);
-                            *grad_in.at4_mut(ni, ci, yi, xi) =
-                                g * inv_std * (dy - sum_dy / m - xh * sum_dy_xhat / m);
-                        }
+                    let row = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
+                    let dyrow = &grad_out.data()[row.clone()];
+                    let xhrow = &cache.xhat.data()[row.clone()];
+                    for ((o, &dy), &xh) in grad_in.data_mut()[row].iter_mut().zip(dyrow).zip(xhrow)
+                    {
+                        *o = g * inv_std * (dy - sum_dy / m - xh * sum_dy_xhat / m);
                     }
                 }
             }
-            Mode::Eval => {
-                // Running statistics are constants in eval mode.
+            Mode::Eval | Mode::Infer => {
+                // Running statistics are constants outside training (an
+                // Infer cache never exists, so that arm is unreachable).
                 for ni in 0..n {
-                    for yi in 0..h {
-                        for xi in 0..w {
-                            *grad_in.at4_mut(ni, ci, yi, xi) =
-                                g * inv_std * grad_out.at4(ni, ci, yi, xi);
-                        }
+                    let row = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
+                    let dyrow = &grad_out.data()[row.clone()];
+                    for (o, &dy) in grad_in.data_mut()[row].iter_mut().zip(dyrow) {
+                        *o = g * inv_std * dy;
                     }
                 }
             }
@@ -182,12 +221,12 @@ impl Layer for BatchNorm2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        bn_forward(&mut self.core, &mut self.cache, x, mode)
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        bn_forward(&mut self.core, &mut self.cache, x, mode, ws)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        bn_backward(&mut self.core, &self.cache, grad_out)
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        bn_backward(&mut self.core, &self.cache, grad_out, ws)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -267,12 +306,12 @@ impl Layer for SwitchableBatchNorm {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        bn_forward(&mut self.states[self.active], &mut self.cache, x, mode)
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        bn_forward(&mut self.states[self.active], &mut self.cache, x, mode, ws)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        bn_backward(&mut self.states[self.active], &self.cache, grad_out)
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        bn_backward(&mut self.states[self.active], &self.cache, grad_out, ws)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -1,8 +1,12 @@
 //! Quantization-aware 2-D convolution layer.
 
 use crate::layer::{Layer, Mode, Param};
-use tia_quant::{fake_quant_affine, fake_quant_symmetric, Precision};
-use tia_tensor::{col2im, im2col, matmul_a_bt, matmul_at_b, Conv2dGeometry, SeededRng, Tensor};
+use crate::pack_memo::{PackMemo, PackedWeight};
+use tia_quant::{fake_quant_affine_slice, fake_quant_symmetric_into, Precision};
+use tia_tensor::{
+    col2im_add_into, im2col_into, matmul_a_bt_ws, matmul_at_b_ws, Conv2dGeometry, PackedMatrix,
+    SeededRng, Tensor, Workspace,
+};
 
 /// A 2-D convolution with optional fake quantization of weights and input
 /// activations.
@@ -13,21 +17,39 @@ use tia_tensor::{col2im, im2col, matmul_a_bt, matmul_at_b, Conv2dGeometry, Seede
 /// the paper. The backward pass uses the straight-through estimator: the
 /// quantized values participate in the products, but gradients flow through
 /// the rounding unchanged.
+///
+/// # Hot-path structure
+///
+/// The forward pass is *batched*: all `n` images lower (per-image quantized)
+/// into one `[C·KH·KW, N·OH·OW]` column matrix and multiply the weight in a
+/// single GEMM — the GEMM's batch-size-invariant accumulation keeps each
+/// sample's output bitwise identical to a batch-of-one forward. The
+/// quantized + packed weight matrix is memoized per precision
+/// ([`PackedMatrix`]), so a random precision switch costs a lookup; the memo
+/// is invalidated whenever [`Layer::visit_params`] exposes the weights for
+/// mutation. All scratch comes from the caller's [`Workspace`].
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     geo: Conv2dGeometry,
     weight: Param,
     bias: Option<Param>,
     precision: Option<Precision>,
-    // Backward cache from the most recent forward.
+    /// Per-precision quantized + prepacked weight memo (`None` = fp32).
+    /// Cleared by `visit_params` — any caller holding `&mut Param` may have
+    /// rewritten the master weights.
+    packs: PackMemo,
+    // Backward cache from the most recent forward (absent after `Infer`).
     cache: Option<Cache>,
 }
 
 #[derive(Debug, Clone)]
 struct Cache {
-    /// Quantized (or raw) input columns per batch item: `[C*KH*KW, OH*OW]`.
-    cols: Vec<Tensor>,
-    /// Quantized (or raw) weight matrix used in the products `[K, C*KH*KW]`.
+    /// Quantized (or raw) input columns for the whole batch:
+    /// `[C·KH·KW, N·OH·OW]`, sample `i` owning columns `i·OH·OW ..`.
+    cols: Tensor,
+    /// Snapshot of the quantized weight matrix `[K, C·KH·KW]` the forward
+    /// ran with — backward must use *these* values even if the master
+    /// weights (and hence the memo) change in between.
     wq: Tensor,
     input_h: usize,
     input_w: usize,
@@ -54,6 +76,7 @@ impl Conv2d {
             weight: Param::new(weight, true),
             bias,
             precision: None,
+            packs: PackMemo::default(),
             cache: None,
         }
     }
@@ -63,14 +86,30 @@ impl Conv2d {
         &self.geo
     }
 
-    fn weight_matrix(&self) -> Tensor {
+    /// Number of precisions with a live prepacked weight (tests/diagnostics).
+    pub fn packed_precisions(&self) -> usize {
+        self.packs.len()
+    }
+
+    /// The memo entry for the active precision, quantizing + packing the
+    /// weight matrix `[K, C·KH·KW]` on first use.
+    fn packed_weight(&mut self) -> &PackedWeight {
         let k = self.geo.out_channels;
         let f = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
-        let w = self.weight.value.reshape(&[k, f]);
-        match self.precision {
-            Some(p) => fake_quant_symmetric(&w, p),
-            None => w,
-        }
+        let p = self.precision;
+        let weight = &self.weight;
+        self.packs.entry_or_insert(p, || {
+            let wq = match p {
+                Some(prec) => {
+                    let mut buf = vec![0.0f32; k * f];
+                    fake_quant_symmetric_into(weight.value.data(), &mut buf, prec);
+                    Tensor::from_vec(buf, &[k, f])
+                }
+                None => weight.value.reshape(&[k, f]),
+            };
+            let packed = PackedMatrix::pack_lhs(k, f, wq.data());
+            PackedWeight { wq, packed }
+        })
     }
 }
 
@@ -79,51 +118,98 @@ impl Layer for Conv2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 4, "Conv2d expects NCHW input");
         let (n, _c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.geo.output_hw(h, w);
         let k = self.geo.out_channels;
         let f = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
-        let wq = self.weight_matrix();
-        let mut out = Tensor::zeros(&[n, k, oh, ow]);
-        let mut cols_cache = Vec::with_capacity(n);
-        for ni in 0..n {
-            let img = x.index_axis0(ni);
-            let img_q = match self.precision {
-                Some(p) => fake_quant_affine(&img, p).0,
-                None => img,
-            };
-            let cols = im2col(&img_q, &self.geo);
-            // out[ni] = wq [k,f] x cols [f, oh*ow]
-            let mut o = vec![0.0f32; k * oh * ow];
-            tia_tensor::gemm(k, f, oh * ow, wq.data(), cols.data(), &mut o);
-            if let Some(b) = &self.bias {
-                for ki in 0..k {
-                    let bv = b.value.data()[ki];
-                    for v in &mut o[ki * oh * ow..(ki + 1) * oh * ow] {
-                        *v += bv;
-                    }
+        let (ohw, chw) = (oh * ow, self.geo.in_channels * h * w);
+        let cols_n = n * ohw;
+        self.packed_weight(); // populate the memo for the active precision
+        let pw = self
+            .packs
+            .get(self.precision)
+            .expect("packed_weight populated above");
+
+        // One shared column matrix for the whole batch; activations still
+        // calibrate per image, preserving batched-vs-per-sample identity.
+        let mut cols = ws.take_zeroed(f * cols_n);
+        match self.precision {
+            Some(p) => {
+                let mut q = ws.take_spare(chw);
+                for ni in 0..n {
+                    fake_quant_affine_slice(&x.data()[ni * chw..(ni + 1) * chw], &mut q, p);
+                    im2col_into(&q, &self.geo, h, w, &mut cols, cols_n, ni * ohw);
+                }
+                ws.recycle(q);
+            }
+            None => {
+                for ni in 0..n {
+                    im2col_into(
+                        &x.data()[ni * chw..(ni + 1) * chw],
+                        &self.geo,
+                        h,
+                        w,
+                        &mut cols,
+                        cols_n,
+                        ni * ohw,
+                    );
                 }
             }
-            out.set_axis0(ni, &Tensor::from_vec(o, &[k, oh, ow]));
-            cols_cache.push(cols);
         }
-        self.cache = Some(Cache {
-            cols: cols_cache,
-            wq,
-            input_h: h,
-            input_w: w,
-            batch: n,
-        });
+
+        // out[k, n·oh·ow] = Wq [k,f] x cols [f, n·oh·ow] — one GEMM per
+        // layer per batch, streaming the prepacked weight panels.
+        let mut o = ws.take_zeroed(k * cols_n);
+        pw.packed.gemm_lhs(cols_n, &cols, &mut o, ws);
+        if let Some(b) = &self.bias {
+            for ki in 0..k {
+                let bv = b.value.data()[ki];
+                for v in &mut o[ki * cols_n..(ki + 1) * cols_n] {
+                    *v += bv;
+                }
+            }
+        }
+
+        // Scatter [k, n·oh·ow] into NCHW output.
+        let mut out = ws.tensor_spare(&[n, k, oh, ow]);
+        let od = out.data_mut();
+        for ni in 0..n {
+            for ki in 0..k {
+                od[(ni * k + ki) * ohw..(ni * k + ki + 1) * ohw]
+                    .copy_from_slice(&o[ki * cols_n + ni * ohw..ki * cols_n + (ni + 1) * ohw]);
+            }
+        }
+        ws.recycle(o);
+
+        if let Some(old) = self.cache.take() {
+            ws.recycle_tensor(old.cols);
+            ws.recycle_tensor(old.wq);
+        }
+        if mode.caches_backward() {
+            self.cache = Some(Cache {
+                cols: Tensor::from_vec(cols, &[f, cols_n]),
+                // Snapshot the quantized weight the products actually used,
+                // so backward stays correct even if the master weights (and
+                // hence the memo) change in between.
+                wq: ws.tensor_copy(&pw.wq, &[k, f]),
+                input_h: h,
+                input_w: w,
+                batch: n,
+            });
+        } else {
+            ws.recycle(cols);
+        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self
             .cache
             .as_ref()
             .expect("Conv2d::backward before forward");
+        let (input_h, input_w) = (cache.input_h, cache.input_w);
         let (n, k) = (grad_out.shape()[0], grad_out.shape()[1]);
         assert_eq!(
             n, cache.batch,
@@ -131,38 +217,64 @@ impl Layer for Conv2d {
         );
         let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
         let f = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
-        let mut grad_in = Tensor::zeros(&[n, self.geo.in_channels, cache.input_h, cache.input_w]);
-        let mut dw = vec![0.0f32; k * f];
+        let (ohw, chw) = (oh * ow, self.geo.in_channels * input_h * input_w);
+        let cols_n = n * ohw;
+
+        // Reorder grad_out [n,k,oh,ow] -> [k, n·oh·ow] to match the batched
+        // column layout.
+        let mut go = ws.take_spare(k * cols_n);
         for ni in 0..n {
-            let go = grad_out.index_axis0(ni); // [k, oh, ow]
-            let cols = &cache.cols[ni]; // [f, oh*ow]
-                                        // dW += go [k, oh*ow] x cols^T [oh*ow, f]  => matmul_a_bt(k, oh*ow, f)
-            matmul_a_bt(k, oh * ow, f, go.data(), cols.data(), &mut dw);
-            // dcols = wq^T [f,k] x go [k, oh*ow]  => matmul_at_b(k, f, oh*ow)
-            let mut dcols = vec![0.0f32; f * oh * ow];
-            matmul_at_b(k, f, oh * ow, cache.wq.data(), go.data(), &mut dcols);
-            let dimg = col2im(
-                &Tensor::from_vec(dcols, &[f, oh * ow]),
+            for ki in 0..k {
+                go[ki * cols_n + ni * ohw..ki * cols_n + (ni + 1) * ohw].copy_from_slice(
+                    &grad_out.data()[(ni * k + ki) * ohw..(ni * k + ki + 1) * ohw],
+                );
+            }
+        }
+
+        // dW += go [k, n·oh·ow] x cols^T — one batched product.
+        let mut dw = ws.take_zeroed(k * f);
+        matmul_a_bt_ws(k, cols_n, f, &go, cache.cols.data(), &mut dw, ws);
+        // dcols = wq^T [f,k] x go [k, n·oh·ow], against the forward's own
+        // weight snapshot.
+        let mut dcols = ws.take_zeroed(f * cols_n);
+        matmul_at_b_ws(k, f, cols_n, cache.wq.data(), &go, &mut dcols, ws);
+        let mut grad_in = ws.tensor_zeroed(&[n, self.geo.in_channels, input_h, input_w]);
+        for ni in 0..n {
+            col2im_add_into(
+                &dcols,
+                cols_n,
+                ni * ohw,
                 &self.geo,
-                cache.input_h,
-                cache.input_w,
+                input_h,
+                input_w,
+                &mut grad_in.data_mut()[ni * chw..(ni + 1) * chw],
             );
-            grad_in.set_axis0(ni, &dimg);
-            if let Some(b) = &mut self.bias {
-                for ki in 0..k {
-                    let s: f32 = go.data()[ki * oh * ow..(ki + 1) * oh * ow].iter().sum();
+        }
+        if let Some(b) = &mut self.bias {
+            for ki in 0..k {
+                for ni in 0..n {
+                    let s: f32 = go[ki * cols_n + ni * ohw..ki * cols_n + (ni + 1) * ohw]
+                        .iter()
+                        .sum();
                     b.grad.data_mut()[ki] += s;
                 }
             }
         }
+        ws.recycle(go);
+        ws.recycle(dcols);
         // Straight-through: gradient w.r.t. the fp32 master weights equals the
         // gradient w.r.t. the quantized weights.
-        let dwt = Tensor::from_vec(dw, self.weight.value.shape());
-        self.weight.grad.add_assign(&dwt);
+        for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *g += d;
+        }
+        ws.recycle(dw);
         grad_in
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Handing out `&mut Param` means the master weights may change under
+        // the memo — every prepacked precision is stale.
+        self.packs.clear();
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {
             f(b);
@@ -177,6 +289,7 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tia_quant::PrecisionSet;
 
     fn finite_diff_input_grad() -> (f32, f32) {
         // Compare analytic input gradient against finite differences on a
@@ -293,5 +406,74 @@ mod tests {
             }
         });
         assert_eq!(bias_grad, 4.0);
+    }
+
+    #[test]
+    fn batched_forward_bitwise_equals_per_sample() {
+        // The batched single-GEMM path must reproduce batch-of-one forwards
+        // bit for bit at every candidate precision and fp32 — the conv-level
+        // statement of the engine's batched-vs-per-sample identity.
+        let mut rng = SeededRng::new(21);
+        let geo = Conv2dGeometry::new(3, 5, 3, 2, 1);
+        let mut conv = Conv2d::new(geo, true, &mut rng);
+        let x = Tensor::rand_uniform(&[6, 3, 9, 9], 0.0, 1.0, &mut rng);
+        let precisions: Vec<Option<Precision>> = std::iter::once(None)
+            .chain(PrecisionSet::range(4, 8).iter().map(Some))
+            .collect();
+        for &p in &precisions {
+            conv.set_precision(p);
+            let batched = conv.forward(&x, Mode::Infer);
+            for i in 0..x.shape()[0] {
+                let img = x.index_axis0(i);
+                let one = conv.forward(&img.reshape(&[1, 3, 9, 9]), Mode::Infer);
+                let got: Vec<u32> = batched
+                    .index_axis0(i)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let want: Vec<u32> = one.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "sample {} at {:?} not bitwise equal", i, p);
+            }
+        }
+    }
+
+    #[test]
+    fn infer_mode_skips_backward_cache() {
+        let mut rng = SeededRng::new(22);
+        let geo = Conv2dGeometry::new(2, 2, 3, 1, 1);
+        let mut conv = Conv2d::new(geo, false, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let _ = conv.forward(&x, Mode::Infer);
+        assert!(conv.cache.is_none(), "Infer must not retain columns");
+        let _ = conv.forward(&x, Mode::Eval);
+        assert!(conv.cache.is_some(), "Eval must retain columns for attacks");
+    }
+
+    #[test]
+    fn prepacked_weights_memoize_per_precision_and_invalidate() {
+        let mut rng = SeededRng::new(23);
+        let geo = Conv2dGeometry::new(2, 3, 3, 1, 1);
+        let mut conv = Conv2d::new(geo, false, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        for bits in [4u8, 6, 8, 4, 6, 8] {
+            conv.set_precision(Some(Precision::new(bits)));
+            let _ = conv.forward(&x, Mode::Infer);
+        }
+        assert_eq!(conv.packed_precisions(), 3, "one entry per precision");
+        conv.set_precision(Some(Precision::new(4)));
+        let before = conv.forward(&x, Mode::Infer);
+        // Mutating the weights through visit_params must invalidate.
+        conv.visit_params(&mut |p| {
+            if p.decay {
+                p.value.data_mut()[0] += 1.0;
+            }
+        });
+        assert_eq!(conv.packed_precisions(), 0, "visit_params clears memo");
+        let after = conv.forward(&x, Mode::Infer);
+        assert!(
+            before.sub(&after).norm() > 0.0,
+            "stale packed weights served after mutation"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Flatten layer bridging conv (NCHW) and linear ([N, F]) stages.
 
 use crate::layer::{Layer, Mode, Param};
-use tia_tensor::Tensor;
+use tia_tensor::{Tensor, Workspace};
 
 /// Flattens `[N, C, H, W]` (or `[N, C]`) to `[N, F]`; backward restores the
 /// original shape.
@@ -22,20 +22,28 @@ impl Layer for Flatten {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert!(!x.shape().is_empty(), "Flatten expects batched input");
         let n = x.shape()[0];
         let f: usize = x.shape()[1..].iter().product();
-        self.input_shape = Some(x.shape().to_vec());
-        x.reshape(&[n, f])
+        if mode.caches_backward() {
+            // Reuse the shape buffer across forwards.
+            let shape = self.input_shape.get_or_insert_with(Vec::new);
+            shape.clear();
+            shape.extend_from_slice(x.shape());
+        } else {
+            self.input_shape = None;
+        }
+        ws.tensor_copy(x, &[n, f])
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let shape = self
             .input_shape
-            .clone()
-            .expect("Flatten::backward before forward");
-        grad_out.reshape(&shape)
+            .as_deref()
+            .expect("Flatten::backward before forward")
+            .to_vec();
+        ws.tensor_copy(grad_out, &shape)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -1,20 +1,35 @@
 //! The `Layer` trait, training mode, and learnable parameters.
 
 use tia_quant::Precision;
-use tia_tensor::Tensor;
+use tia_tensor::{Tensor, Workspace};
 
-/// Forward-pass mode: training (update BN batch stats, cache for backward)
-/// or evaluation (use running stats).
+/// Forward-pass mode: training (update BN batch stats, cache for backward),
+/// evaluation (use running stats), or pure inference serving.
 ///
 /// Note that adversarial example *generation* runs in `Eval` mode but still
 /// needs backward passes for input gradients; layers therefore cache
-/// backward state in both modes.
+/// backward state in `Train` *and* `Eval`. `Infer` is the serving engine's
+/// mode: numerically identical to `Eval` (frozen statistics), but layers
+/// skip every backward cache — no im2col column retention, no activation
+/// masks — so steady-state serving touches no training-only state and
+/// recycles every intermediate. Calling `backward` after an `Infer` forward
+/// panics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Training: batch statistics, running-stat updates.
     Train,
-    /// Evaluation: frozen running statistics.
+    /// Evaluation: frozen running statistics, backward caches retained
+    /// (attacks differentiate through eval-mode forwards).
     Eval,
+    /// Inference serving: frozen running statistics, **no** backward caches.
+    Infer,
+}
+
+impl Mode {
+    /// Whether layers must retain what `backward` needs.
+    pub fn caches_backward(self) -> bool {
+        !matches!(self, Mode::Infer)
+    }
 }
 
 /// A learnable parameter: value, gradient accumulator and SGD momentum
@@ -61,16 +76,40 @@ impl Param {
 /// onto a worker thread of the sharded serving runtime; layers are plain
 /// owned data, so every implementation satisfies it for free.
 pub trait Layer: std::fmt::Debug + Send {
-    /// Computes the layer output, caching whatever `backward` needs.
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+    /// Computes the layer output, caching whatever `backward` needs (unless
+    /// `mode` is [`Mode::Infer`]). Convenience wrapper over
+    /// [`Layer::forward_ws`] with a throwaway workspace — hot paths
+    /// (`Network`, the serving engine) call `forward_ws` with a long-lived
+    /// arena instead.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.forward_ws(x, mode, &mut Workspace::new())
+    }
+
+    /// Computes the layer output with scratch (and the output tensor's
+    /// storage) drawn from `ws`. The returned tensor is the caller's to
+    /// recycle; everything else the layer takes from `ws` it returns before
+    /// this call ends, so a warm workspace makes the call allocation-free.
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor;
 
     /// Propagates `grad_out` to the layer input, accumulating parameter
-    /// gradients along the way.
+    /// gradients along the way. Convenience wrapper over
+    /// [`Layer::backward_ws`] with a throwaway workspace.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding `forward`
+    /// (which is always the case after a [`Mode::Infer`] forward).
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`Layer::backward`] with scratch drawn from `ws`; the returned input
+    /// gradient is the caller's to recycle.
     ///
     /// # Panics
     ///
     /// Implementations may panic if called without a preceding `forward`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor;
 
     /// Visits every learnable parameter (used by optimizers and grad-zeroing).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));

@@ -35,6 +35,7 @@ mod layer;
 mod linear;
 mod loss;
 mod network;
+mod pack_memo;
 mod pool_layer;
 mod residual;
 mod sgd;

@@ -1,8 +1,9 @@
 //! Quantization-aware fully-connected layer.
 
 use crate::layer::{Layer, Mode, Param};
-use tia_quant::{fake_quant_affine_slice, fake_quant_symmetric, Precision};
-use tia_tensor::{matmul_a_bt, matmul_at_b, SeededRng, Tensor};
+use crate::pack_memo::{PackMemo, PackedWeight};
+use tia_quant::{fake_quant_affine_slice, fake_quant_symmetric_into, Precision};
+use tia_tensor::{gemm_ws, matmul_at_b_ws, PackedMatrix, SeededRng, Tensor, Workspace};
 
 /// A fully-connected layer `y = x W^T + b` with optional fake quantization
 /// (same straight-through scheme as [`crate::Conv2d`]).
@@ -10,6 +11,12 @@ use tia_tensor::{matmul_a_bt, matmul_at_b, SeededRng, Tensor};
 /// Weight layout is `[out_features, in_features]` (row per output), which
 /// maps directly to the `K x (C*R*S)` weight matrix view the accelerator
 /// uses for FC workloads.
+///
+/// Like [`crate::Conv2d`], the quantized weight is memoized per precision as
+/// a prepacked GEMM right operand (`W^T` panels), invalidated whenever
+/// [`Layer::visit_params`] exposes the weights; activation quantization
+/// writes into workspace buffers, so the steady-state forward allocates
+/// nothing.
 #[derive(Debug, Clone)]
 pub struct Linear {
     in_features: usize,
@@ -17,7 +24,19 @@ pub struct Linear {
     weight: Param,
     bias: Option<Param>,
     precision: Option<Precision>,
-    cache: Option<(Tensor, Tensor)>, // (xq [n,in], wq [out,in])
+    /// Per-precision quantized + prepacked weight memo (`None` = fp32).
+    packs: PackMemo,
+    cache: Option<LinearCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LinearCache {
+    /// Quantized (or raw) input `[n, in]`.
+    xq: Tensor,
+    /// Snapshot of the quantized weights `[out, in]` the forward ran with —
+    /// backward must use *these* values even if the master weights (and
+    /// hence the memo) change in between.
+    wq: Tensor,
 }
 
 impl Linear {
@@ -31,6 +50,7 @@ impl Linear {
             weight: Param::new(weight, true),
             bias,
             precision: None,
+            packs: PackMemo::default(),
             cache: None,
         }
     }
@@ -44,6 +64,31 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Number of precisions with a live prepacked weight (tests/diagnostics).
+    pub fn packed_precisions(&self) -> usize {
+        self.packs.len()
+    }
+
+    /// The memo entry for the active precision, quantizing + packing the
+    /// weights as the `W^T` right operand on first use.
+    fn packed_weight(&mut self) -> &PackedWeight {
+        let (out_f, in_f) = (self.out_features, self.in_features);
+        let p = self.precision;
+        let weight = &self.weight;
+        self.packs.entry_or_insert(p, || {
+            let wq = match p {
+                Some(prec) => {
+                    let mut buf = vec![0.0f32; weight.value.len()];
+                    fake_quant_symmetric_into(weight.value.data(), &mut buf, prec);
+                    Tensor::from_vec(buf, &[out_f, in_f])
+                }
+                None => weight.value.clone(),
+            };
+            let packed = PackedMatrix::pack_rhs_transposed(out_f, in_f, wq.data());
+            PackedWeight { wq, packed }
+        })
+    }
 }
 
 impl Layer for Linear {
@@ -51,42 +96,36 @@ impl Layer for Linear {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear expects [N, F]");
         assert_eq!(x.shape()[1], self.in_features, "Linear feature mismatch");
         let n = x.shape()[0];
-        let wq = match self.precision {
-            Some(p) => fake_quant_symmetric(&self.weight.value, p),
-            None => self.weight.value.clone(),
-        };
+        self.packed_weight(); // populate the memo for the active precision
+        let pw = self
+            .packs
+            .get(self.precision)
+            .expect("packed_weight populated above");
         // Activations calibrate per sample (row), not per batch: the grid a
         // sample lands on must not depend on what it was batched with, so
         // micro-batched serving stays bitwise-identical to per-sample
         // inference (the tia-engine invariant).
-        let xq = match self.precision {
+        let xq_buf = match self.precision {
             Some(p) => {
-                let mut data = vec![0.0f32; n * self.in_features];
+                let mut data = ws.take_spare(n * self.in_features);
                 for (dst, src) in data
                     .chunks_mut(self.in_features)
                     .zip(x.data().chunks(self.in_features))
                 {
                     fake_quant_affine_slice(src, dst, p);
                 }
-                Tensor::from_vec(data, &[n, self.in_features])
+                Some(data)
             }
-            None => x.clone(),
+            None => None,
         };
-        // y[n, out] = xq [n, in] * wq^T [in, out]
-        let mut y = vec![0.0f32; n * self.out_features];
-        matmul_a_bt(
-            n,
-            self.in_features,
-            self.out_features,
-            xq.data(),
-            wq.data(),
-            &mut y,
-        );
-        let mut out = Tensor::from_vec(y, &[n, self.out_features]);
+        let xq: &[f32] = xq_buf.as_deref().unwrap_or_else(|| x.data());
+        // y[n, out] = xq [n, in] * wq^T [in, out], streaming prepacked W^T.
+        let mut out = ws.tensor_zeroed(&[n, self.out_features]);
+        pw.packed.gemm_rhs(n, xq, out.data_mut(), ws);
         if let Some(b) = &self.bias {
             for i in 0..n {
                 for (o, &bv) in out.data_mut()[i * self.out_features..(i + 1) * self.out_features]
@@ -97,30 +136,44 @@ impl Layer for Linear {
                 }
             }
         }
-        self.cache = Some((xq, wq));
+        if let Some(old) = self.cache.take() {
+            ws.recycle_tensor(old.xq);
+            ws.recycle_tensor(old.wq);
+        }
+        if mode.caches_backward() {
+            let xq_t = match xq_buf {
+                Some(buf) => Tensor::from_vec(buf, &[n, self.in_features]),
+                None => ws.tensor_copy(x, &[n, self.in_features]),
+            };
+            self.cache = Some(LinearCache {
+                xq: xq_t,
+                // Snapshot the quantized weights the product actually used
+                // (see LinearCache::wq).
+                wq: ws.tensor_copy(&pw.wq, &[self.out_features, self.in_features]),
+            });
+        } else if let Some(buf) = xq_buf {
+            ws.recycle(buf);
+        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (xq, wq) = self
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let cache = self
             .cache
             .as_ref()
             .expect("Linear::backward before forward");
         let n = grad_out.shape()[0];
         // dW [out, in] += grad_out^T [out, n] * xq [n, in]
-        let mut dw = vec![0.0f32; self.out_features * self.in_features];
-        matmul_at_b(
+        let mut dw = ws.take_zeroed(self.out_features * self.in_features);
+        matmul_at_b_ws(
             n,
             self.out_features,
             self.in_features,
             grad_out.data(),
-            xq.data(),
+            cache.xq.data(),
             &mut dw,
+            ws,
         );
-        self.weight.grad.add_assign(&Tensor::from_vec(
-            dw,
-            &[self.out_features, self.in_features],
-        ));
         if let Some(b) = &mut self.bias {
             for i in 0..n {
                 for (g, &go) in b
@@ -133,20 +186,28 @@ impl Layer for Linear {
                 }
             }
         }
-        // dX [n, in] = grad_out [n, out] * wq [out, in]
-        let mut dx = vec![0.0f32; n * self.in_features];
-        tia_tensor::gemm(
+        // dX [n, in] = grad_out [n, out] * wq [out, in], against the
+        // forward's own weight snapshot.
+        let mut dx = ws.tensor_zeroed(&[n, self.in_features]);
+        gemm_ws(
             n,
             self.out_features,
             self.in_features,
             grad_out.data(),
-            wq.data(),
-            &mut dx,
+            cache.wq.data(),
+            dx.data_mut(),
+            ws,
         );
-        Tensor::from_vec(dx, &[n, self.in_features])
+        for (g, d) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *g += d;
+        }
+        ws.recycle(dw);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // `&mut Param` escapes — every prepacked precision may be stale.
+        self.packs.clear();
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {
             f(b);
@@ -226,5 +287,24 @@ mod tests {
         lin.set_precision(Some(Precision::new(3)));
         let q = lin.forward(&x, Mode::Eval);
         assert!(fp.sub(&q).norm() > 0.0);
+    }
+
+    #[test]
+    fn prepacked_weights_memoize_and_invalidate() {
+        let mut rng = SeededRng::new(10);
+        let mut lin = Linear::new(8, 4, false, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 8], 0.0, 1.0, &mut rng);
+        for bits in [4u8, 8, 4, 8] {
+            lin.set_precision(Some(Precision::new(bits)));
+            let _ = lin.forward(&x, Mode::Infer);
+        }
+        assert_eq!(lin.packed_precisions(), 2);
+        assert!(lin.cache.is_none(), "Infer must not retain activations");
+        lin.set_precision(Some(Precision::new(4)));
+        let before = lin.forward(&x, Mode::Infer);
+        lin.visit_params(&mut |p| p.value.data_mut()[0] += 1.0);
+        assert_eq!(lin.packed_precisions(), 0);
+        let after = lin.forward(&x, Mode::Infer);
+        assert!(before.sub(&after).norm() > 0.0);
     }
 }

@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::loss::{cross_entropy, LossGrad};
 use tia_quant::Precision;
-use tia_tensor::Tensor;
+use tia_tensor::{Tensor, Workspace};
 
 /// A sequential network of layers (blocks are layers too).
 ///
@@ -15,10 +15,20 @@ use tia_tensor::Tensor;
 ///   every gradient-based adversarial attack, and
 /// * [`Network::set_precision`] — the in-situ precision switch broadcast to
 ///   every quantization-aware layer and SBN.
+///
+/// The network owns a [`Workspace`] scratch arena threaded through every
+/// layer's `forward_ws`/`backward_ws`; each intermediate activation is
+/// recycled as soon as the next layer has consumed it, so a warm forward
+/// pass at a seen shape/precision allocates nothing but the returned output
+/// (and callers can hand even that back via [`Network::recycle`]). Cloning
+/// a network — replicating a trained model across serving shards — clones
+/// the layers but starts the replica with an empty workspace; each shard
+/// warms its own.
 #[derive(Debug, Default, Clone)]
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     precision: Option<Precision>,
+    ws: Workspace,
 }
 
 impl Network {
@@ -27,7 +37,15 @@ impl Network {
         Self {
             layers: Vec::new(),
             precision: None,
+            ws: Workspace::new(),
         }
+    }
+
+    /// Returns an output tensor's storage to the network's scratch arena.
+    /// Serving loops that discard logits after reading them call this to
+    /// close the reuse cycle and make steady-state inference allocation-free.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.recycle_tensor(t);
     }
 
     /// Appends a layer (builder style).
@@ -46,11 +64,19 @@ impl Network {
         self.precision
     }
 
-    /// Runs the forward pass, returning logits.
+    /// Runs the forward pass, returning logits. Intermediate activations
+    /// live in (and return to) the network's workspace; the returned tensor
+    /// is the caller's, ideally handed back via [`Network::recycle`].
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, mode);
+        let mut iter = self.layers.iter_mut();
+        let mut cur = match iter.next() {
+            Some(first) => first.forward_ws(x, mode, &mut self.ws),
+            None => return x.clone(),
+        };
+        for layer in iter {
+            let next = layer.forward_ws(&cur, mode, &mut self.ws);
+            self.ws.recycle_tensor(cur);
+            cur = next;
         }
         cur
     }
@@ -58,9 +84,15 @@ impl Network {
     /// Backpropagates `grad_logits`, accumulating parameter gradients and
     /// returning the gradient w.r.t. the network input.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
-        let mut cur = grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+        let mut iter = self.layers.iter_mut().rev();
+        let mut cur = match iter.next() {
+            Some(last) => last.backward_ws(grad_logits, &mut self.ws),
+            None => return grad_logits.clone(),
+        };
+        for layer in iter {
+            let next = layer.backward_ws(&cur, &mut self.ws);
+            self.ws.recycle_tensor(cur);
+            cur = next;
         }
         cur
     }

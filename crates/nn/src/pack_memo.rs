@@ -1,0 +1,64 @@
+//! Per-precision quantized + prepacked weight memoization, shared by the
+//! quantization-aware layers ([`crate::Conv2d`], [`crate::Linear`]).
+//!
+//! The memo is what makes the paper's random precision switch ~free at
+//! serving time: the first forward at a precision quantizes the fp32
+//! master weights and packs them into GEMM panels; every later forward at
+//! that precision is a linear-scan lookup over a handful of entries.
+//! Invalidation is the owner's job: whenever `visit_params` hands out
+//! `&mut Param` the master weights may change, so owners call
+//! [`PackMemo::clear`] there.
+
+use tia_quant::Precision;
+use tia_tensor::{PackedMatrix, Tensor};
+
+/// One memo entry: the fake-quantized weight tensor (backward passes
+/// multiply by it) and the same values prepacked for the forward GEMM.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedWeight {
+    /// Quantized (or raw fp32) weight matrix.
+    pub wq: Tensor,
+    /// The identical values as prepacked micro-kernel panels.
+    pub packed: PackedMatrix,
+}
+
+/// A small per-precision memo (`None` = full precision). Linear scan — the
+/// candidate set is a handful of precisions, and scan beats hashing at
+/// that size while staying allocation-free on hits.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackMemo {
+    entries: Vec<(Option<Precision>, PackedWeight)>,
+}
+
+impl PackMemo {
+    /// Number of live entries (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for `p`, if present. Borrows only the memo, so owners can
+    /// populate via [`PackMemo::entry_or_insert`] first and then hold this
+    /// shared view alongside mutable borrows of their other fields.
+    pub fn get(&self, p: Option<Precision>) -> Option<&PackedWeight> {
+        self.entries.iter().find(|(q, _)| *q == p).map(|(_, w)| w)
+    }
+
+    /// The entry for `p`, built via `build` on first use. The miss path
+    /// allocates (the artifact is persistent); hits are free.
+    pub fn entry_or_insert(
+        &mut self,
+        p: Option<Precision>,
+        build: impl FnOnce() -> PackedWeight,
+    ) -> &PackedWeight {
+        if let Some(i) = self.entries.iter().position(|(q, _)| *q == p) {
+            return &self.entries[i].1;
+        }
+        self.entries.push((p, build()));
+        &self.entries.last().expect("just pushed").1
+    }
+
+    /// Drops every entry — called when the master weights may have changed.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}

@@ -1,7 +1,9 @@
 //! Pooling layers wrapping the tensor-crate kernels.
 
 use crate::layer::{Layer, Mode, Param};
-use tia_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Tensor};
+use tia_tensor::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Tensor, Workspace,
+};
 
 /// Average pooling with a square window.
 #[derive(Debug, Clone)]
@@ -27,12 +29,12 @@ impl Layer for AvgPool2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        self.input_hw = Some((x.shape()[2], x.shape()[3]));
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, _ws: &mut Workspace) -> Tensor {
+        self.input_hw = mode.caches_backward().then(|| (x.shape()[2], x.shape()[3]));
         avg_pool2d(x, self.k)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, _ws: &mut Workspace) -> Tensor {
         let (h, w) = self.input_hw.expect("AvgPool2d::backward before forward");
         avg_pool2d_backward(grad_out, self.k, h, w)
     }
@@ -64,13 +66,13 @@ impl Layer for MaxPool2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, _ws: &mut Workspace) -> Tensor {
         let (y, idx) = max_pool2d(x, self.k);
-        self.cache = Some((idx, x.shape().to_vec()));
+        self.cache = mode.caches_backward().then(|| (idx, x.shape().to_vec()));
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, _ws: &mut Workspace) -> Tensor {
         let (idx, shape) = self
             .cache
             .as_ref()
@@ -99,11 +101,17 @@ impl Layer for GlobalAvgPool {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 4, "GlobalAvgPool expects NCHW");
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        self.input_shape = Some(x.shape().to_vec());
-        let mut out = Tensor::zeros(&[n, c]);
+        if mode.caches_backward() {
+            let shape = self.input_shape.get_or_insert_with(Vec::new);
+            shape.clear();
+            shape.extend_from_slice(x.shape());
+        } else {
+            self.input_shape = None;
+        }
+        let mut out = ws.tensor_zeroed(&[n, c]);
         let inv = 1.0 / (h * w) as f32;
         for ni in 0..n {
             for ci in 0..c {
@@ -119,14 +127,14 @@ impl Layer for GlobalAvgPool {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let shape = self
             .input_shape
             .clone()
             .expect("GlobalAvgPool::backward before forward");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let inv = 1.0 / (h * w) as f32;
-        let mut gx = Tensor::zeros(&shape);
+        let mut gx = ws.tensor_zeroed(&shape);
         for ni in 0..n {
             for ci in 0..c {
                 let g = grad_out.data()[ni * c + ci] * inv;

@@ -6,7 +6,7 @@ use crate::act::ReLU;
 use crate::conv_layer::Conv2d;
 use crate::layer::{Layer, Mode, Param};
 use tia_quant::Precision;
-use tia_tensor::{Conv2dGeometry, SeededRng, Tensor};
+use tia_tensor::{Conv2dGeometry, SeededRng, Tensor, Workspace};
 
 /// A pre-activation residual block:
 ///
@@ -64,37 +64,59 @@ impl Layer for PreActBlock {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let out1 = self.bn1.forward(x, mode);
-        let a1 = self.relu1.forward(&out1, mode);
-        let sc = match &mut self.shortcut {
-            Some(conv_sc) => conv_sc.forward(&a1, mode),
-            None => x.clone(),
-        };
-        let h = self.conv1.forward(&a1, mode);
-        let out2 = self.bn2.forward(&h, mode);
-        let a2 = self.relu2.forward(&out2, mode);
-        let main = self.conv2.forward(&a2, mode);
-        main.add(&sc)
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let out1 = self.bn1.forward_ws(x, mode, ws);
+        let a1 = self.relu1.forward_ws(&out1, mode, ws);
+        ws.recycle_tensor(out1);
+        let sc = self
+            .shortcut
+            .as_mut()
+            .map(|conv_sc| conv_sc.forward_ws(&a1, mode, ws));
+        let h = self.conv1.forward_ws(&a1, mode, ws);
+        ws.recycle_tensor(a1);
+        let out2 = self.bn2.forward_ws(&h, mode, ws);
+        ws.recycle_tensor(h);
+        let a2 = self.relu2.forward_ws(&out2, mode, ws);
+        ws.recycle_tensor(out2);
+        let mut main = self.conv2.forward_ws(&a2, mode, ws);
+        ws.recycle_tensor(a2);
+        match sc {
+            Some(sc) => {
+                main.add_assign(&sc);
+                ws.recycle_tensor(sc);
+            }
+            None => main.add_assign(x), // identity shortcut, no clone
+        }
+        main
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         // Main path.
-        let d_a2 = self.conv2.backward(grad_out);
-        let d_out2 = self.relu2.backward(&d_a2);
-        let d_h = self.bn2.backward(&d_out2);
-        let d_a1_main = self.conv1.backward(&d_h);
+        let d_a2 = self.conv2.backward_ws(grad_out, ws);
+        let d_out2 = self.relu2.backward_ws(&d_a2, ws);
+        ws.recycle_tensor(d_a2);
+        let d_h = self.bn2.backward_ws(&d_out2, ws);
+        ws.recycle_tensor(d_out2);
+        let d_a1_main = self.conv1.backward_ws(&d_h, ws);
+        ws.recycle_tensor(d_h);
         match &mut self.shortcut {
             Some(conv_sc) => {
-                let d_a1_sc = conv_sc.backward(grad_out);
-                let d_a1 = d_a1_main.add(&d_a1_sc);
-                let d_out1 = self.relu1.backward(&d_a1);
-                self.bn1.backward(&d_out1)
+                let mut d_a1 = conv_sc.backward_ws(grad_out, ws);
+                d_a1.add_assign(&d_a1_main);
+                ws.recycle_tensor(d_a1_main);
+                let d_out1 = self.relu1.backward_ws(&d_a1, ws);
+                ws.recycle_tensor(d_a1);
+                let out = self.bn1.backward_ws(&d_out1, ws);
+                ws.recycle_tensor(d_out1);
+                out
             }
             None => {
-                let d_out1 = self.relu1.backward(&d_a1_main);
-                let dx = self.bn1.backward(&d_out1);
-                dx.add(grad_out) // identity shortcut
+                let d_out1 = self.relu1.backward_ws(&d_a1_main, ws);
+                ws.recycle_tensor(d_a1_main);
+                let mut dx = self.bn1.backward_ws(&d_out1, ws);
+                ws.recycle_tensor(d_out1);
+                dx.add_assign(grad_out); // identity shortcut
+                dx
             }
         }
     }

@@ -35,6 +35,6 @@ mod quantizer;
 
 pub use precision::{Precision, PrecisionSet};
 pub use quantizer::{
-    fake_quant_affine, fake_quant_affine_slice, fake_quant_symmetric, AffineParams,
-    LinearQuantizer, QuantMode,
+    fake_quant_affine, fake_quant_affine_slice, fake_quant_symmetric, fake_quant_symmetric_into,
+    AffineParams, LinearQuantizer, QuantMode,
 };

@@ -80,18 +80,42 @@ impl LinearQuantizer {
 /// the signed range. For `b = 1` the grid degenerates to `{-s, 0, +s}` with
 /// `s = max|x|` (binary-connect style sign quantization with magnitude).
 pub fn fake_quant_symmetric(x: &Tensor, precision: Precision) -> Tensor {
+    let mut out = Tensor::zeros(x.shape());
+    fake_quant_symmetric_into(x.data(), out.data_mut(), precision);
+    out
+}
+
+/// Allocation-free core of [`fake_quant_symmetric`]: quantizes `src` into
+/// `dst` with per-slice calibration, returning the grid step used (0 for an
+/// all-zero input, which passes through unchanged). Hot paths (memoized
+/// weight quantization in `tia_nn::Conv2d`/`Linear`) call this directly on
+/// workspace buffers.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn fake_quant_symmetric_into(src: &[f32], dst: &mut [f32], precision: Precision) -> f32 {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "fake_quant_symmetric_into length mismatch"
+    );
     let b = precision.bits() as i32;
     let qmax = if b <= 1 {
         1.0
     } else {
         ((1i64 << (b - 1)) - 1) as f32
     };
-    let amax = x.abs_max();
+    let amax = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     if amax == 0.0 {
-        return x.clone();
+        dst.copy_from_slice(src);
+        return 0.0;
     }
     let s = amax / qmax;
-    x.map(|v| ((v / s).round().clamp(-qmax, qmax)) * s)
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = ((v / s).round().clamp(-qmax, qmax)) * s;
+    }
+    s
 }
 
 /// Affine fake quantization with per-tensor `[min, max]` calibration.
@@ -214,6 +238,27 @@ mod tests {
             assert_eq!(q.data(), &dst[..], "{} bits", bits);
             assert_eq!(params, params_s);
         }
+    }
+
+    #[test]
+    fn symmetric_into_matches_tensor_version() {
+        let x = t((0..40).map(|i| (i as f32 * 0.41).sin()).collect());
+        for bits in [1u8, 2, 4, 8, 16] {
+            let p = Precision::new(bits);
+            let q = fake_quant_symmetric(&x, p);
+            let mut dst = vec![0.0f32; x.len()];
+            let s = fake_quant_symmetric_into(x.data(), &mut dst, p);
+            assert_eq!(q.data(), &dst[..], "{} bits", bits);
+            assert!(s > 0.0);
+        }
+        // All-zero input passes through with zero step.
+        let z = vec![0.0f32; 4];
+        let mut dst = vec![1.0f32; 4];
+        assert_eq!(
+            fake_quant_symmetric_into(&z, &mut dst, Precision::new(4)),
+            0.0
+        );
+        assert_eq!(dst, z);
     }
 
     #[test]

@@ -87,18 +87,46 @@ pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
     assert_eq!(x.shape().len(), 3, "im2col expects [C,H,W]");
     let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     assert_eq!(c, geo.in_channels, "im2col channel mismatch");
-    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (kh, kw) = (geo.kernel_h, geo.kernel_w);
     let (oh, ow) = geo.output_hw(h, w);
     let rows = c * kh * kw;
     let cols = oh * ow;
     let mut out = Tensor::zeros(&[rows, cols]);
-    let xd = x.data();
-    let od = out.data_mut();
+    im2col_into(x.data(), geo, h, w, out.data_mut(), cols, 0);
+    out
+}
+
+/// Lowers one image (flat `[C, H, W]` slice) into a *strided* destination:
+/// patch row `r` lands at `dst[r * dst_stride + col_offset ..][.. oh*ow]`.
+///
+/// This is the batched-conv workhorse: every image of a batch writes its
+/// `oh*ow` column block into one shared `[C*KH*KW, N*OH*OW]` matrix so the
+/// whole batch runs as a single GEMM. The destination region must be
+/// pre-zeroed — padded taps are *skipped*, not written.
+///
+/// # Panics
+///
+/// Panics if `img` does not match the geometry's channel count times
+/// `h * w`, or (implicitly, via slice indexing) if `dst` is too small.
+pub fn im2col_into(
+    img: &[f32],
+    geo: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    dst: &mut [f32],
+    dst_stride: usize,
+    col_offset: usize,
+) {
+    let c = geo.in_channels;
+    assert_eq!(img.len(), c * h * w, "im2col_into image size mismatch");
+    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (oh, ow) = geo.output_hw(h, w);
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
-                let orow = &mut od[row * cols..(row + 1) * cols];
+                let start = row * dst_stride + col_offset;
+                let orow = &mut dst[start..start + oh * ow];
                 for oy in 0..oh {
                     let iy = (oy * stride + ki) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -110,13 +138,12 @@ pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        orow[oy * ow + ox] = xd[(ci * h + iy) * w + ix as usize];
+                        orow[oy * ow + ox] = img[(ci * h + iy) * w + ix as usize];
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Scatter-adds a patch-matrix gradient `[C*KH*KW, OH*OW]` back to an image
@@ -127,7 +154,7 @@ pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
 /// Panics if shapes are inconsistent with the geometry.
 pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, h: usize, w: usize) -> Tensor {
     let c = geo.in_channels;
-    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (kh, kw) = (geo.kernel_h, geo.kernel_w);
     let (oh, ow) = geo.output_hw(h, w);
     assert_eq!(
         cols.shape(),
@@ -135,14 +162,38 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, h: usize, w: usize) -> Tensor
         "col2im shape mismatch"
     );
     let mut out = Tensor::zeros(&[c, h, w]);
-    let cd = cols.data();
-    let od = out.data_mut();
-    let ncols = oh * ow;
+    col2im_add_into(cols.data(), oh * ow, 0, geo, h, w, out.data_mut());
+    out
+}
+
+/// Scatter-adds one image's patch-gradient columns from a *strided* source
+/// (the adjoint of [`im2col_into`]): patch row `r` is read from
+/// `cols[r * col_stride + col_offset ..][.. oh*ow]` and accumulated into the
+/// flat `[C, H, W]` image gradient `out`.
+///
+/// # Panics
+///
+/// Panics if `out` does not match the geometry's channel count times
+/// `h * w`, or (implicitly, via slice indexing) if `cols` is too small.
+pub fn col2im_add_into(
+    cols: &[f32],
+    col_stride: usize,
+    col_offset: usize,
+    geo: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    out: &mut [f32],
+) {
+    let c = geo.in_channels;
+    assert_eq!(out.len(), c * h * w, "col2im_add_into image size mismatch");
+    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (oh, ow) = geo.output_hw(h, w);
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
-                let crow = &cd[row * ncols..(row + 1) * ncols];
+                let start = row * col_stride + col_offset;
+                let crow = &cols[start..start + oh * ow];
                 for oy in 0..oh {
                     let iy = (oy * stride + ki) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -154,13 +205,12 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, h: usize, w: usize) -> Tensor
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        od[(ci * h + iy) * w + ix as usize] += crow[oy * ow + ox];
+                        out[(ci * h + iy) * w + ix as usize] += crow[oy * ow + ox];
                     }
                 }
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

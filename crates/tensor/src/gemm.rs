@@ -18,6 +18,22 @@
 //! sums added to `C` in increasing panel order. The order never depends on
 //! `m` or `n`, so results are *batch-size invariant* — the property the
 //! serving engine's bitwise batched-vs-per-sample identity rests on.
+//!
+//! Two hot-path amortisations sit on top of the kernel, both bit-exact:
+//!
+//! * [`PackedMatrix`] captures the packed panels of one operand as a
+//!   reusable artifact, so a weight matrix that multiplies every batch
+//!   (conv/linear forward) is packed **once** and the per-call work reduces
+//!   to packing the activation operand. The stored panels are byte-for-byte
+//!   what `pack_a`/`pack_b` would produce, so the micro-kernel consumes
+//!   identical operands in the identical order — results are bitwise equal
+//!   to the pack-every-call path.
+//! * every entry point has a `_ws` variant taking a
+//!   [`Workspace`](crate::Workspace) that backs the per-call pack scratch,
+//!   eliminating the two `vec![0.0; …]` allocations per GEMM in steady
+//!   state. The non-`_ws` wrappers behave exactly as before.
+
+use crate::workspace::Workspace;
 
 /// Rows of the register-held output block (micro-panel height of `A`).
 const MR: usize = 4;
@@ -115,25 +131,272 @@ fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
     }
 }
 
-/// `C += A · B` over logical `m x k` and `k x n` views, tiled and packed.
-fn gemm_blocked(m: usize, k: usize, n: usize, a: View, b: View, c: &mut [f32]) {
+/// Which operand of the product a [`PackedMatrix`] stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// The left operand `A` (`MR`-row strips, as `pack_a` lays out).
+    Lhs,
+    /// The right operand `B` (`NR`-column strips, as `pack_b` lays out).
+    Rhs,
+}
+
+/// One operand of the GEMM, prepacked into the exact cache-block panels the
+/// micro-kernel consumes.
+///
+/// Packing a matrix costs one pass over its elements; in serving, the
+/// weight operand of every conv/linear product is identical batch after
+/// batch, so `Conv2d`/`Linear` memoize a `PackedMatrix` per precision and a
+/// random precision switch costs a lookup instead of a re-pack. The stored
+/// panels are byte-identical to what the per-call packers produce, making
+/// prepacked products bitwise equal to plain [`gemm`]/[`matmul_a_bt`].
+///
+/// # Example
+///
+/// ```
+/// use tia_tensor::{gemm, PackedMatrix, Workspace};
+/// let (m, k, n) = (3, 5, 4);
+/// let a: Vec<f32> = (0..m * k).map(|v| v as f32).collect();
+/// let b: Vec<f32> = (0..k * n).map(|v| v as f32).collect();
+/// let mut want = vec![0.0; m * n];
+/// gemm(m, k, n, &a, &b, &mut want);
+/// let packed = PackedMatrix::pack_lhs(m, k, &a);
+/// let mut ws = Workspace::new();
+/// let mut got = vec![0.0; m * n];
+/// packed.gemm_lhs(n, &b, &mut got, &mut ws);
+/// assert_eq!(got, want);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedMatrix {
+    side: Side,
+    /// Logical row count (`m` for an Lhs, `k` for an Rhs).
+    rows: usize,
+    /// Logical column count (`k` for an Lhs, `n` for an Rhs).
+    cols: usize,
+    /// All panels, concatenated in `(outer block, inner block)` order.
+    data: Vec<f32>,
+    /// Panel start offsets plus a trailing total, indexed
+    /// `outer_block * inner_blocks + inner_block`.
+    offsets: Vec<usize>,
+    /// Inner block count (`m`-blocks for Lhs, `n`-blocks for Rhs).
+    inner_blocks: usize,
+}
+
+impl PackedMatrix {
+    /// Packs the left operand `A` (`m x k`, row-major).
+    pub fn pack_lhs(m: usize, k: usize, a: &[f32]) -> Self {
+        debug_assert_eq!(a.len(), m * k);
+        Self::pack_side(
+            Side::Lhs,
+            m,
+            k,
+            View {
+                data: a,
+                ld: k,
+                layout: Layout::RowMajor,
+            },
+        )
+    }
+
+    /// Packs the right operand `B` (`k x n`, row-major).
+    pub fn pack_rhs(k: usize, n: usize, b: &[f32]) -> Self {
+        debug_assert_eq!(b.len(), k * n);
+        Self::pack_side(
+            Side::Rhs,
+            k,
+            n,
+            View {
+                data: b,
+                ld: n,
+                layout: Layout::RowMajor,
+            },
+        )
+    }
+
+    /// Packs the right operand `B = Wᵀ` where `w` is stored `n x k`
+    /// row-major — the linear-layer weight layout (`[out, in]`), consumed as
+    /// the logical `k x n` right operand of `Y = X · Wᵀ` without
+    /// materialising the transpose.
+    pub fn pack_rhs_transposed(n: usize, k: usize, w: &[f32]) -> Self {
+        debug_assert_eq!(w.len(), n * k);
+        Self::pack_side(
+            Side::Rhs,
+            k,
+            n,
+            View {
+                data: w,
+                ld: k,
+                layout: Layout::Transposed,
+            },
+        )
+    }
+
+    fn pack_side(side: Side, rows: usize, cols: usize, view: View) -> Self {
+        // Blocking mirrors gemm_blocked exactly: outer blocks step the depth
+        // (k) by KC; inner blocks step m by MC (Lhs) or n by NC (Rhs).
+        let (k, span, inner_step, strip) = match side {
+            Side::Lhs => (cols, rows, MC, MR),
+            Side::Rhs => (rows, cols, NC, NR),
+        };
+        let inner_blocks = span.div_ceil(inner_step).max(1);
+        let outer_blocks = k.div_ceil(KC).max(1);
+        let mut data = Vec::new();
+        let mut offsets = Vec::with_capacity(outer_blocks * inner_blocks + 1);
+        for pc in (0..k.max(1)).step_by(KC) {
+            let kc = KC.min(k - pc.min(k));
+            for iv in (0..span.max(1)).step_by(inner_step) {
+                let len_inner = inner_step.min(span - iv.min(span));
+                offsets.push(data.len());
+                let panel_len = len_inner.div_ceil(strip) * strip * kc;
+                let start = data.len();
+                data.resize(start + panel_len, 0.0);
+                match side {
+                    Side::Lhs => pack_a(view, iv, pc, len_inner, kc, &mut data[start..]),
+                    Side::Rhs => pack_b(view, pc, iv, kc, len_inner, &mut data[start..]),
+                }
+            }
+        }
+        offsets.push(data.len());
+        Self {
+            side,
+            rows,
+            cols,
+            data,
+            offsets,
+            inner_blocks,
+        }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bytes of packed panel storage (capacity planning / tests).
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The packed panel for `(outer depth block, inner block)`.
+    fn panel(&self, outer: usize, inner: usize) -> &[f32] {
+        let i = outer * self.inner_blocks + inner;
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// `C += self · B` with `self` packed as the `m x k` left operand and
+    /// `b` the row-major `k x n` right operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not packed as a left operand, or (in debug
+    /// builds) on slice-length mismatches.
+    pub fn gemm_lhs(&self, n: usize, b: &[f32], c: &mut [f32], ws: &mut Workspace) {
+        assert_eq!(self.side, Side::Lhs, "operand was not packed as Lhs");
+        let (m, k) = (self.rows, self.cols);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        gemm_blocked(
+            m,
+            k,
+            n,
+            Lhs::Packed(self),
+            Rhs::View(View {
+                data: b,
+                ld: n,
+                layout: Layout::RowMajor,
+            }),
+            c,
+            ws,
+        );
+    }
+
+    /// `C += A · self` with `a` the row-major `m x k` left operand and
+    /// `self` packed as the `k x n` right operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` was not packed as a right operand, or (in debug
+    /// builds) on slice-length mismatches.
+    pub fn gemm_rhs(&self, m: usize, a: &[f32], c: &mut [f32], ws: &mut Workspace) {
+        assert_eq!(self.side, Side::Rhs, "operand was not packed as Rhs");
+        let (k, n) = (self.rows, self.cols);
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(c.len(), m * n);
+        gemm_blocked(
+            m,
+            k,
+            n,
+            Lhs::View(View {
+                data: a,
+                ld: k,
+                layout: Layout::RowMajor,
+            }),
+            Rhs::Packed(self),
+            c,
+            ws,
+        );
+    }
+}
+
+/// The left operand as the blocked loop consumes it.
+#[derive(Clone, Copy)]
+enum Lhs<'a> {
+    View(View<'a>),
+    Packed(&'a PackedMatrix),
+}
+
+/// The right operand as the blocked loop consumes it.
+#[derive(Clone, Copy)]
+enum Rhs<'a> {
+    View(View<'a>),
+    Packed(&'a PackedMatrix),
+}
+
+/// `C += A · B` over logical `m x k` and `k x n` operands, tiled and packed.
+/// Pack scratch for non-prepacked operands comes from `ws` (returned when
+/// done), so steady-state callers allocate nothing.
+fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws: &mut Workspace) {
     if m == 0 || k == 0 || n == 0 {
         return;
     }
     // Scratch sized to the actual problem (capped at one cache block), so
     // the small GEMMs that dominate per-sample serving don't pay for the
-    // full-block allocation.
+    // full-block allocation. Prepacked operands need no scratch at all.
     let (mb, kb, nb) = (m.min(MC), k.min(KC), n.min(NC));
-    let mut ap = vec![0.0f32; mb.div_ceil(MR) * MR * kb];
-    let mut bp = vec![0.0f32; nb.div_ceil(NR) * NR * kb];
-    for jc in (0..n).step_by(NC) {
+    let mut ap_buf = match a {
+        Lhs::View(_) => Some(ws.take_spare(mb.div_ceil(MR) * MR * kb)),
+        Lhs::Packed(_) => None,
+    };
+    let mut bp_buf = match b {
+        Rhs::View(_) => Some(ws.take_spare(nb.div_ceil(NR) * NR * kb)),
+        Rhs::Packed(_) => None,
+    };
+    for (jc_i, jc) in (0..n).step_by(NC).enumerate() {
         let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
+        for (pc_i, pc) in (0..k).step_by(KC).enumerate() {
             let kc = KC.min(k - pc);
-            pack_b(b, pc, jc, kc, nc, &mut bp);
-            for ic in (0..m).step_by(MC) {
+            let bp: &[f32] = match b {
+                Rhs::View(v) => {
+                    let buf = bp_buf.as_mut().expect("scratch present for B view");
+                    pack_b(v, pc, jc, kc, nc, buf);
+                    buf
+                }
+                Rhs::Packed(p) => p.panel(pc_i, jc_i),
+            };
+            for (ic_i, ic) in (0..m).step_by(MC).enumerate() {
                 let mc = MC.min(m - ic);
-                pack_a(a, ic, pc, mc, kc, &mut ap);
+                let ap: &[f32] = match a {
+                    Lhs::View(v) => {
+                        let buf = ap_buf.as_mut().expect("scratch present for A view");
+                        pack_a(v, ic, pc, mc, kc, buf);
+                        buf
+                    }
+                    Lhs::Packed(p) => p.panel(pc_i, ic_i),
+                };
                 for (js, jr) in (0..nc).step_by(NR).enumerate() {
                     let nr = NR.min(nc - jr);
                     let bs = &bp[js * NR * kc..(js + 1) * NR * kc];
@@ -154,6 +417,12 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: View, b: View, c: &mut [f32]) {
             }
         }
     }
+    if let Some(buf) = ap_buf {
+        ws.recycle(buf);
+    }
+    if let Some(buf) = bp_buf {
+        ws.recycle(buf);
+    }
 }
 
 /// `C += A * B` where `A` is `m x k`, `B` is `k x n`, `C` is `m x n`,
@@ -163,6 +432,19 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: View, b: View, c: &mut [f32]) {
 ///
 /// Panics (in debug builds) if the slice lengths disagree with the dims.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_ws(m, k, n, a, b, c, &mut Workspace::new());
+}
+
+/// [`gemm`] with pack scratch drawn from (and returned to) `ws`.
+pub fn gemm_ws(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -170,17 +452,18 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         m,
         k,
         n,
-        View {
+        Lhs::View(View {
             data: a,
             ld: k,
             layout: Layout::RowMajor,
-        },
-        View {
+        }),
+        Rhs::View(View {
             data: b,
             ld: n,
             layout: Layout::RowMajor,
-        },
+        }),
         c,
+        ws,
     );
 }
 
@@ -189,6 +472,19 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
 /// Used for weight gradients: `dW = dY^T * X` style products without
 /// materialising transposes.
 pub fn matmul_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    matmul_at_b_ws(k, m, n, a, b, c, &mut Workspace::new());
+}
+
+/// [`matmul_at_b`] with pack scratch drawn from (and returned to) `ws`.
+pub fn matmul_at_b_ws(
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -196,17 +492,18 @@ pub fn matmul_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         m,
         k,
         n,
-        View {
+        Lhs::View(View {
             data: a,
             ld: m,
             layout: Layout::Transposed,
-        },
-        View {
+        }),
+        Rhs::View(View {
             data: b,
             ld: n,
             layout: Layout::RowMajor,
-        },
+        }),
         c,
+        ws,
     );
 }
 
@@ -215,6 +512,19 @@ pub fn matmul_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
 /// Used for linear-layer forward/input-gradient products (`Y = X * W^T`
 /// between row-major weight layouts) without materialising transposes.
 pub fn matmul_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    matmul_a_bt_ws(m, k, n, a, b, c, &mut Workspace::new());
+}
+
+/// [`matmul_a_bt`] with pack scratch drawn from (and returned to) `ws`.
+pub fn matmul_a_bt_ws(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -222,17 +532,18 @@ pub fn matmul_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         m,
         k,
         n,
-        View {
+        Lhs::View(View {
             data: a,
             ld: k,
             layout: Layout::RowMajor,
-        },
-        View {
+        }),
+        Rhs::View(View {
             data: b,
             ld: k,
             layout: Layout::Transposed,
-        },
+        }),
         c,
+        ws,
     );
 }
 
@@ -391,6 +702,99 @@ mod tests {
                 }
                 assert!((c[i * n + j] - acc).abs() < 1e-4);
             }
+        }
+    }
+
+    #[test]
+    fn prepacked_lhs_is_bitwise_identical_to_gemm() {
+        // The prepacked path must not merely be close — the serving engine's
+        // determinism contract needs the exact same accumulation, so results
+        // must match bit for bit across blocking-boundary shapes.
+        let mut rng = SeededRng::new(11);
+        let mut ws = Workspace::new();
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (MR + 1, KC + 3, NR + 2),
+            (MC + 5, 2 * KC + 1, NC + 7),
+            (7, 300, 33),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let mut want = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut want);
+            let packed = PackedMatrix::pack_lhs(m, k, &a);
+            assert_eq!((packed.rows(), packed.cols()), (m, k));
+            assert!(packed.packed_len() >= m * k);
+            let mut got = vec![0.0; m * n];
+            packed.gemm_lhs(n, &b, &mut got, &mut ws);
+            let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "prepacked lhs diverged at {}x{}x{}", m, k, n);
+        }
+    }
+
+    #[test]
+    fn prepacked_rhs_is_bitwise_identical_to_a_bt() {
+        let mut rng = SeededRng::new(12);
+        let mut ws = Workspace::new();
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (MR + 2, KC + 9, NR + 5),
+            (17, 2 * KC + 5, NC + 3),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            // Weight layout: n x k row-major, consumed as B = W^T.
+            let w: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+            let mut want = vec![0.0; m * n];
+            matmul_a_bt(m, k, n, &a, &w, &mut want);
+            let packed = PackedMatrix::pack_rhs_transposed(n, k, &w);
+            assert_eq!((packed.rows(), packed.cols()), (k, n));
+            let mut got = vec![0.0; m * n];
+            packed.gemm_rhs(m, &a, &mut got, &mut ws);
+            let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "prepacked rhs diverged at {}x{}x{}", m, k, n);
+        }
+    }
+
+    #[test]
+    fn prepacked_plain_rhs_matches_gemm() {
+        let mut rng = SeededRng::new(13);
+        let mut ws = Workspace::new();
+        let (m, k, n) = (9, KC + 2, NR * 3 + 1);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut want = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut want);
+        let packed = PackedMatrix::pack_rhs(k, n, &b);
+        let mut got = vec![0.0; m * n];
+        packed.gemm_rhs(m, &a, &mut got, &mut ws);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        // Re-running the same product through a warm workspace (dirty
+        // recycled scratch) must reproduce the cold result exactly.
+        let mut rng = SeededRng::new(14);
+        let (m, k, n) = (MR + 3, KC + 17, NR * 2 + 3);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut cold = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut cold);
+        let mut ws = Workspace::new();
+        for round in 0..3 {
+            let mut c = vec![0.0; m * n];
+            gemm_ws(m, k, n, &a, &b, &mut c, &mut ws);
+            assert_eq!(
+                c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "warm workspace diverged on round {}",
+                round
+            );
         }
     }
 

@@ -2,6 +2,61 @@
 
 use crate::rng::SeededRng;
 
+/// Maximum tensor rank. Everything in the workspace is rank 4 or below
+/// (NCHW); 8 leaves headroom without bloating the inline representation.
+const MAX_RANK: usize = 8;
+
+/// An inline, copyable shape: `MAX_RANK` dims plus a rank, with unused dims
+/// zeroed so derived equality is sound. Keeping the shape out of the heap
+/// means constructing, cloning or reshaping a tensor never allocates for
+/// its metadata — one of the invariants the allocation-free serving hot
+/// path rests on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct ShapeVec {
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl ShapeVec {
+    /// Builds a shape from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank exceeds [`MAX_RANK`].
+    fn from_slice(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() <= MAX_RANK,
+            "tensor rank {} exceeds the supported maximum {}",
+            shape.len(),
+            MAX_RANK
+        );
+        let mut dims = [0usize; MAX_RANK];
+        dims[..shape.len()].copy_from_slice(shape);
+        Self {
+            dims,
+            rank: shape.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+}
+
+impl std::ops::Deref for ShapeVec {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ShapeVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// A dense, row-major, `f32` n-dimensional tensor.
 ///
 /// The representation is a flat `Vec<f32>` plus a shape; strides are always
@@ -19,7 +74,7 @@ use crate::rng::SeededRng;
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: ShapeVec,
     data: Vec<f32>,
 }
 
@@ -42,7 +97,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
         Self {
-            shape: shape.to_vec(),
+            shape: ShapeVec::from_slice(shape),
             data: vec![0.0; n],
         }
     }
@@ -56,7 +111,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
         Self {
-            shape: shape.to_vec(),
+            shape: ShapeVec::from_slice(shape),
             data: vec![value; n],
         }
     }
@@ -85,7 +140,7 @@ impl Tensor {
             n
         );
         Self {
-            shape: shape.to_vec(),
+            shape: ShapeVec::from_slice(shape),
             data,
         }
     }
@@ -95,7 +150,7 @@ impl Tensor {
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| rng.normal() * std).collect();
         Self {
-            shape: shape.to_vec(),
+            shape: ShapeVec::from_slice(shape),
             data,
         }
     }
@@ -105,7 +160,7 @@ impl Tensor {
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| lo + (hi - lo) * rng.uniform()).collect();
         Self {
-            shape: shape.to_vec(),
+            shape: ShapeVec::from_slice(shape),
             data,
         }
     }
@@ -161,7 +216,7 @@ impl Tensor {
             shape
         );
         Self {
-            shape: shape.to_vec(),
+            shape: ShapeVec::from_slice(shape),
             data: self.data.clone(),
         }
     }
@@ -180,7 +235,7 @@ impl Tensor {
             self.data.len(),
             shape
         );
-        self.shape = shape.to_vec();
+        self.shape = ShapeVec::from_slice(shape);
     }
 
     /// Element at a 2-D index (row-major).
@@ -236,7 +291,7 @@ impl Tensor {
             .map(|(&a, &b)| f(a, b))
             .collect();
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -268,7 +323,7 @@ impl Tensor {
     /// Elementwise map to a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().map(|&v| f(v)).collect(),
         }
     }
@@ -354,7 +409,7 @@ impl Tensor {
         let inner: usize = self.shape[1..].iter().product();
         let data = self.data[n * inner..(n + 1) * inner].to_vec();
         Tensor {
-            shape: self.shape[1..].to_vec(),
+            shape: ShapeVec::from_slice(&self.shape[1..]),
             data,
         }
     }
@@ -377,7 +432,7 @@ impl Tensor {
     /// Panics if `items` is empty or shapes differ.
     pub fn stack(items: &[Tensor]) -> Tensor {
         assert!(!items.is_empty(), "stack of zero tensors");
-        let inner_shape = items[0].shape.clone();
+        let inner_shape = items[0].shape;
         let mut shape = vec![items.len()];
         shape.extend_from_slice(&inner_shape);
         let mut out = Tensor::zeros(&shape);

@@ -1,0 +1,249 @@
+//! Reusable scratch-buffer arena for allocation-free hot paths.
+//!
+//! Serving the same model shape over and over makes every intermediate
+//! buffer — im2col columns, GEMM pack panels, quantized activations, layer
+//! outputs — a fixed-size request repeated each batch. [`Workspace`] turns
+//! that repetition into reuse: buffers are *taken* from a pool, used, and
+//! *recycled* back, so after a warmup pass the steady state performs no
+//! heap allocation at all (a `Vec` whose capacity already suffices is
+//! resized in place).
+//!
+//! The pool is deliberately dumb — a flat list of `Vec<f32>` matched
+//! best-fit by capacity. The take/recycle sequence of a fixed model shape
+//! is itself fixed, so the pool converges to one buffer per concurrently
+//! live request after at most a few iterations, and stays there.
+//!
+//! Recycling is cooperative, not tracked: a buffer that escapes (a logits
+//! tensor handed to a caller) is simply never returned, and the pool
+//! replaces it on the next take. Nothing breaks — one allocation happens.
+
+use crate::tensor::Tensor;
+
+/// A pool of reusable `f32` scratch buffers.
+///
+/// # Example
+///
+/// ```
+/// use tia_tensor::Workspace;
+/// let mut ws = Workspace::new();
+/// let a = ws.take_zeroed(128);
+/// assert_eq!(a.len(), 128);
+/// ws.recycle(a);
+/// let b = ws.take_zeroed(64); // reuses the 128-capacity buffer
+/// assert!(b.capacity() >= 128);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+/// Hard cap on pooled buffers. Paths that recycle more than they take
+/// (e.g. a server handed externally allocated request tensors every burst)
+/// must not grow the pool without bound: beyond the cap, recycled buffers
+/// are simply dropped — a later take allocates, which is graceful
+/// degradation, not a leak. The cap is far above any layer stack's
+/// steady-state working set, so hot paths never hit it.
+const MAX_POOLED: usize = 256;
+
+/// Cloning a workspace yields an *empty* one: scratch contents are
+/// meaningless across owners, and a cloned `Network` replica must not drag
+/// another replica's warm buffers (each shard warms its own).
+impl Clone for Workspace {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// Creates an empty workspace. Allocation-free until the first take.
+    pub fn new() -> Self {
+        Self { pool: Vec::new() }
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total `f32` capacity parked in the pool.
+    pub fn pooled_capacity(&self) -> usize {
+        self.pool.iter().map(|b| b.capacity()).sum()
+    }
+
+    /// Pops the best-fitting pooled buffer (smallest capacity `>= n`), or
+    /// allocates a fresh one when nothing fits.
+    fn take_raw(&mut self, n: usize) -> Vec<f32> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= n && best.is_none_or(|(_, bc)| cap < bc) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => self.pool.swap_remove(i),
+            None => Vec::with_capacity(n),
+        }
+    }
+
+    /// Takes a buffer of exactly `n` zeros.
+    pub fn take_zeroed(&mut self, n: usize) -> Vec<f32> {
+        let mut b = self.take_raw(n);
+        b.clear();
+        b.resize(n, 0.0);
+        b
+    }
+
+    /// Takes a buffer of length `n` with *unspecified contents* — for
+    /// scratch that is fully overwritten before being read (GEMM pack
+    /// panels, quantized-activation staging). Skips the zero fill.
+    pub fn take_spare(&mut self, n: usize) -> Vec<f32> {
+        let mut b = self.take_raw(n);
+        if b.len() < n {
+            b.resize(n, 0.0);
+        } else {
+            b.truncate(n);
+        }
+        b
+    }
+
+    /// Takes a buffer holding a copy of `src`.
+    pub fn take_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut b = self.take_raw(src.len());
+        b.clear();
+        b.extend_from_slice(src);
+        b
+    }
+
+    /// Returns a buffer to the pool for reuse. Zero-capacity buffers and
+    /// buffers beyond the pool cap are dropped instead of parked.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.pool.len() < MAX_POOLED {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Takes a zero-filled tensor whose storage comes from the pool.
+    pub fn tensor_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::from_vec(self.take_zeroed(n), shape)
+    }
+
+    /// Takes a tensor with unspecified contents (see [`Self::take_spare`]).
+    pub fn tensor_spare(&mut self, shape: &[usize]) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::from_vec(self.take_spare(n), shape)
+    }
+
+    /// Takes a tensor holding a copy of `src`'s data under a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn tensor_copy(&mut self, src: &Tensor, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(src.len(), n, "tensor_copy element count mismatch");
+        Tensor::from_vec(self.take_copy(src.data()), shape)
+    }
+
+    /// Recycles a tensor's storage back into the pool.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_reuses_capacity() {
+        let mut ws = Workspace::new();
+        let a = ws.take_zeroed(100);
+        let ptr = a.as_ptr();
+        ws.recycle(a);
+        let b = ws.take_zeroed(50);
+        assert_eq!(b.as_ptr(), ptr, "smaller request must reuse the buffer");
+        assert_eq!(b.len(), 50);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut ws = Workspace::new();
+        let small = ws.take_zeroed(10);
+        let big = ws.take_zeroed(1000);
+        let (sp, bp) = (small.as_ptr(), big.as_ptr());
+        ws.recycle(big);
+        ws.recycle(small);
+        let first = ws.take_zeroed(5);
+        let second = ws.take_zeroed(5);
+        assert_eq!(first.as_ptr(), sp);
+        assert_eq!(second.as_ptr(), bp, "only the big one is left");
+    }
+
+    #[test]
+    fn take_zeroed_clears_recycled_contents() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_zeroed(4);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        ws.recycle(a);
+        assert!(ws.take_zeroed(4).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn take_copy_and_tensors() {
+        let mut ws = Workspace::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = ws.tensor_copy(&t, &[4]);
+        assert_eq!(c.data(), t.data());
+        assert_eq!(c.shape(), &[4]);
+        ws.recycle_tensor(c);
+        let z = ws.tensor_zeroed(&[2, 2]);
+        assert_eq!(z.shape(), &[2, 2]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        assert_eq!(ws.pooled(), 0);
+        ws.recycle_tensor(z);
+        assert_eq!(ws.pooled(), 1);
+        assert!(ws.pooled_capacity() >= 4);
+    }
+
+    #[test]
+    fn clone_is_empty() {
+        let mut ws = Workspace::new();
+        ws.recycle(vec![0.0; 64]);
+        let c = ws.clone();
+        assert_eq!(c.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        // Recycling more than the cap (a server fed externally allocated
+        // tensors every burst) must not grow the pool without bound.
+        let mut ws = Workspace::new();
+        for _ in 0..2 * MAX_POOLED {
+            ws.recycle(vec![0.0; 8]);
+        }
+        assert_eq!(ws.pooled(), MAX_POOLED);
+    }
+
+    #[test]
+    fn steady_state_stops_allocating() {
+        // A fixed take/recycle cycle converges: after the first pass every
+        // request finds a pooled fit, so capacities (and pointers) stabilise.
+        let mut ws = Workspace::new();
+        let sizes = [100usize, 30, 470, 30, 12];
+        let run = |ws: &mut Workspace| {
+            let bufs: Vec<Vec<f32>> = sizes.iter().map(|&n| ws.take_spare(n)).collect();
+            let ptrs: Vec<*const f32> = bufs.iter().map(|b| b.as_ptr()).collect();
+            for b in bufs {
+                ws.recycle(b);
+            }
+            ptrs
+        };
+        let _ = run(&mut ws); // warmup
+        let a = run(&mut ws);
+        let b = run(&mut ws);
+        assert_eq!(a, b, "steady-state buffer assignment must be stable");
+    }
+}

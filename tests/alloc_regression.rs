@@ -1,0 +1,122 @@
+//! Allocation-regression tests for the serving hot path.
+//!
+//! The binary installs a counting global allocator and asserts the two
+//! steady-state properties the zero-allocation hot path promises:
+//!
+//! 1. after warmup, `Backend::infer_batch` on a `Network` — the inner loop
+//!    of every served micro-batch, including a *random precision switch*
+//!    per call — performs **zero** heap allocations when the caller closes
+//!    the reuse cycle by recycling the logits tensor;
+//! 2. a full `Engine::serve` burst settles to a constant, small,
+//!    response-materialisation-only allocation count — per-request
+//!    `Response` logits must escape to the caller, but nothing else may
+//!    allocate per burst, and the count must not grow burst over burst.
+//!
+//! Everything runs inside one `#[test]` so no concurrent test pollutes the
+//! global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use two_in_one_accel::prelude::*;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that grows is an allocation for our purposes.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_serving_allocations() {
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(1);
+    let mut net = zoo::preact_resnet18_rps(3, 4, 5, set.clone(), &mut rng);
+    let x = Tensor::rand_uniform(&[8, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let precisions: Vec<Option<Precision>> =
+        std::iter::once(None).chain(set.iter().map(Some)).collect();
+
+    // --- Part 1: the backend hot path is allocation-free after warmup. ---
+    // Warmup passes populate the per-precision prepacked-weight memos and
+    // let the workspace pool converge to its steady buffer set.
+    for _ in 0..3 {
+        for &p in &precisions {
+            let y = Backend::infer_batch(&mut net, &x, p);
+            net.recycle(y);
+        }
+    }
+    let before = allocs();
+    for _ in 0..2 {
+        for &p in &precisions {
+            // Every iteration is a precision switch — under the memo it must
+            // cost a lookup, not a re-quantize + re-pack (which would show
+            // up here as allocations).
+            let y = Backend::infer_batch(&mut net, &x, p);
+            net.recycle(y);
+        }
+    }
+    let hot_path = allocs() - before;
+    assert_eq!(
+        hot_path,
+        0,
+        "warmed Network::infer_batch must not allocate (got {} allocations \
+         across {} precision-switching batches)",
+        hot_path,
+        2 * precisions.len(),
+    );
+
+    // --- Part 2: Engine::serve settles to response materialisation only. ---
+    let mut engine = Engine::new(
+        &mut net,
+        PrecisionPolicy::Fixed(Some(Precision::new(8))),
+        EngineConfig::default().with_max_batch(8).with_seed(7),
+    );
+    let requests = x.shape()[0];
+    for _ in 0..3 {
+        let _ = engine.serve(&x); // warmup: fixed policy => identical bursts
+    }
+    let burst = |engine: &mut Engine<&mut Network>| {
+        let before = allocs();
+        let responses = engine.serve(&x);
+        assert_eq!(responses.len(), requests);
+        allocs() - before
+    };
+    let second = burst(&mut engine);
+    let third = burst(&mut engine);
+    assert_eq!(
+        second, third,
+        "steady-state serve bursts must have identical allocation counts"
+    );
+    // Each response owns its logits (one escaping buffer); everything else —
+    // batch assembly, image staging, the whole layer stack — is recycled.
+    // Allow a small constant for the response/grouping containers.
+    let bound = 2 * requests + 16;
+    assert!(
+        second <= bound,
+        "steady-state serve allocated {} times for {} requests (bound {})",
+        second,
+        requests,
+        bound
+    );
+}
