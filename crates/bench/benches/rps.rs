@@ -1,10 +1,12 @@
 //! Microbenchmarks of the algorithm substrate — quantization, forward/
 //! backward, one PGD attack step — plus the serving-throughput benchmarks of
 //! `tia-engine`: the micro-batcher (requests/sec at batch 1/8/32, fixed vs
-//! RPS policy) and the sharded runtime (a `workers` axis at 1/2/4/8 shards,
+//! RPS policy), the sharded runtime (a `workers` axis at 1/2/4/8 shards,
 //! wall-clock requests/sec alongside the modeled aggregate accelerator
-//! throughput from the merged cost ledger). Writes a `BENCH_engine.json`
-//! snapshot so later PRs have a perf trajectory.
+//! throughput from the merged cost ledger), and the `tia-serve` TCP
+//! front-end (loopback closed-loop requests/sec through the full wire
+//! protocol at 1/2 worker shards). Writes a `BENCH_engine.json` snapshot so
+//! later PRs have a perf trajectory.
 
 use tia_attack::{Attack, Pgd};
 use tia_bench::harness::{bench, black_box, smoke_mode, to_json, BenchResult};
@@ -189,6 +191,53 @@ fn bench_sharded_serving() -> Vec<BenchResult> {
     results
 }
 
+/// TCP serving throughput: a loopback `tia-serve` server fronting the
+/// sharded runtime, driven by the closed-loop load generator over the real
+/// wire protocol — connection setup, frame encode/decode, admission
+/// control and metrics all included. One entry per worker-shard count.
+fn bench_tcp_serving() -> Vec<BenchResult> {
+    use tia_serve::{LoadConfig, Server, ServerConfig, WirePolicy};
+    const REQUESTS: usize = 64;
+    let set = PrecisionSet::range(4, 8);
+    let mut results = Vec::new();
+    for workers in [1usize, 2] {
+        let cfg = ServerConfig::default()
+            .with_workers(workers)
+            .with_input_shape([3, 16, 16])
+            .with_policy(PrecisionPolicy::Random(set.clone()))
+            .with_engine(EngineConfig::default().with_max_batch(8).with_seed(7));
+        let server = Server::spawn(cfg, |_| {
+            zoo::preact_resnet18_rps(3, 4, 10, PrecisionSet::range(4, 8), &mut SeededRng::new(6))
+        })
+        .expect("loopback server bind");
+        let load = LoadConfig {
+            addr: server.addr().to_string(),
+            connections: 2,
+            requests: REQUESTS,
+            inflight: 16,
+            rate: None,
+            shape: [3, 16, 16],
+            seed: 4,
+            policy: WirePolicy::Server,
+        };
+        let mut r = bench(&format!("serve_tcp_w{}_rps4-8", workers), || {
+            let report = tia_serve::run_load(black_box(&load)).expect("load run");
+            assert_eq!(report.ok as usize, REQUESTS, "every request must be served");
+            report.ok
+        });
+        r.ns_per_iter /= REQUESTS as f64;
+        r.name.push_str("_per_request");
+        println!(
+            "  -> w{}: {:>12.0} requests/s over loopback TCP",
+            workers,
+            r.per_sec()
+        );
+        results.push(r);
+        let _ = server.shutdown();
+    }
+    results
+}
+
 fn main() {
     let mut results = vec![
         bench_quantize(),
@@ -199,6 +248,7 @@ fn main() {
     ];
     results.extend(bench_engine_serving());
     results.extend(bench_sharded_serving());
+    results.extend(bench_tcp_serving());
     if smoke_mode() {
         // CI smoke runs prove the bench still compiles and executes; their
         // single-iteration timings must not clobber the perf snapshot.

@@ -30,6 +30,12 @@ pub struct EngineConfig {
     /// Seed of the engine's private policy RNG; a fixed seed yields a
     /// reproducible precision-switch schedule.
     pub seed: u64,
+    /// Cap on buffers parked in each engine-owned [`Workspace`] arena (the
+    /// single-threaded engine's batch-assembly arena, and every sharded
+    /// worker's). Recycles beyond the cap drop their buffer — bounded
+    /// memory, graceful degradation. Defaults to
+    /// [`Workspace::DEFAULT_MAX_POOLED`].
+    pub workspace_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +44,7 @@ impl Default for EngineConfig {
             max_batch: 32,
             granularity: PolicyGranularity::PerRequest,
             seed: 0,
+            workspace_cap: Workspace::DEFAULT_MAX_POOLED,
         }
     }
 }
@@ -59,6 +66,108 @@ impl EngineConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the per-arena workspace pool cap (clamped to at least 1).
+    pub fn with_workspace_cap(mut self, cap: usize) -> Self {
+        self.workspace_cap = cap.max(1);
+        self
+    }
+}
+
+/// Why a submission was refused by [`Engine::try_submit`] /
+/// [`crate::ShardedEngine::try_submit`].
+///
+/// The panicking `submit` entry points wrap these; network front-ends use
+/// the `try_` forms so a malformed request costs the caller a rejection
+/// frame, never the server its process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The image tensor was not 3-D `[C, H, W]`.
+    NotAnImage {
+        /// The submitted tensor's rank.
+        rank: usize,
+    },
+    /// The image shape differs from the first submitted image (one engine
+    /// serves one input geometry).
+    ShapeMismatch {
+        /// The geometry pinned by the first submission.
+        expected: Vec<usize>,
+        /// The offending submission's shape.
+        got: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::NotAnImage { rank } => {
+                write!(
+                    f,
+                    "expected a single [C, H, W] image, got a rank-{rank} tensor"
+                )
+            }
+            SubmitError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "image shape changed mid-stream: expected {expected:?}, got {got:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Submit-time precision assignment shared by [`Engine`] and
+/// [`crate::ShardedEngine`] — one definition so the two surfaces can never
+/// diverge on the draw rule: under per-request granularity, draw from the
+/// seeded policy stream now; under per-batch, leave unassigned (the flush
+/// path draws once per coalesced chunk).
+pub(crate) fn draw_precision(
+    policy: &PrecisionPolicy,
+    rng: &mut SeededRng,
+    granularity: PolicyGranularity,
+) -> Option<Option<Precision>> {
+    match granularity {
+        PolicyGranularity::PerRequest => Some(policy.sample(rng)),
+        PolicyGranularity::PerBatch => None,
+    }
+}
+
+/// The pinned-submission counterpart of [`draw_precision`]: a pin consumes
+/// no draw, and under per-batch granularity it is ignored entirely.
+pub(crate) fn pin_precision(
+    granularity: PolicyGranularity,
+    precision: Option<Precision>,
+) -> Option<Option<Precision>> {
+    match granularity {
+        PolicyGranularity::PerRequest => Some(precision),
+        PolicyGranularity::PerBatch => None,
+    }
+}
+
+/// Shared submit-time validation: pins the engine's input geometry on first
+/// use, rejects rank/shape mismatches after.
+pub(crate) fn check_image(
+    image_shape: &mut Option<Vec<usize>>,
+    image: &Tensor,
+) -> Result<(), SubmitError> {
+    if image.shape().len() != 3 {
+        return Err(SubmitError::NotAnImage {
+            rank: image.shape().len(),
+        });
+    }
+    match image_shape {
+        Some(shape) if shape.as_slice() != image.shape() => Err(SubmitError::ShapeMismatch {
+            expected: shape.clone(),
+            got: image.shape().to_vec(),
+        }),
+        Some(_) => Ok(()),
+        None => {
+            *image_shape = Some(image.shape().to_vec());
+            Ok(())
+        }
     }
 }
 
@@ -161,6 +270,7 @@ impl<B: Backend> Engine<B> {
     /// Creates an engine serving `backend` under `policy`.
     pub fn new(backend: B, policy: PrecisionPolicy, cfg: EngineConfig) -> Self {
         let rng = SeededRng::new(cfg.seed);
+        let ws = Workspace::with_max_pooled(cfg.workspace_cap);
         Self {
             backend,
             policy,
@@ -170,7 +280,7 @@ impl<B: Backend> Engine<B> {
             next_id: 0,
             stats: EngineStats::default(),
             image_shape: None,
-            ws: Workspace::new(),
+            ws,
         }
     }
 
@@ -216,27 +326,45 @@ impl<B: Backend> Engine<B> {
     /// # Panics
     ///
     /// Panics if `image` is not 3-D, or if its shape differs from the first
-    /// submitted image (one engine serves one input geometry).
+    /// submitted image (one engine serves one input geometry). Fallible
+    /// callers (network front-ends) use [`Engine::try_submit`] instead.
     pub fn submit(&mut self, image: Tensor) -> RequestId {
-        assert_eq!(
-            image.shape().len(),
-            3,
-            "Engine::submit expects a single [C, H, W] image"
-        );
-        match &self.image_shape {
-            Some(shape) => assert_eq!(
-                shape.as_slice(),
-                image.shape(),
-                "Engine::submit image shape changed mid-stream"
-            ),
-            None => self.image_shape = Some(image.shape().to_vec()),
+        match self.try_submit(image) {
+            Ok(id) => id,
+            Err(e) => panic!("Engine::submit: {e}"),
         }
+    }
+
+    /// Fallible [`Engine::submit`]: rejects non-image and geometry-changing
+    /// tensors with a [`SubmitError`] instead of panicking. The precision
+    /// draw (under per-request granularity) happens only on acceptance, so
+    /// rejected submissions never perturb the seeded schedule.
+    pub fn try_submit(&mut self, image: Tensor) -> Result<RequestId, SubmitError> {
+        check_image(&mut self.image_shape, &image)?;
+        let precision = draw_precision(&self.policy, &mut self.rng, self.cfg.granularity);
+        Ok(self.enqueue(image, precision))
+    }
+
+    /// Like [`Engine::try_submit`], but pins the request to an explicit
+    /// precision (`None` = full precision) instead of drawing from the
+    /// policy. Pinned requests consume no draw from the seeded schedule.
+    ///
+    /// Only meaningful under [`PolicyGranularity::PerRequest`]; under
+    /// `PerBatch` the pin is ignored (the whole batch draws one precision at
+    /// flush time).
+    pub fn try_submit_pinned(
+        &mut self,
+        image: Tensor,
+        precision: Option<Precision>,
+    ) -> Result<RequestId, SubmitError> {
+        check_image(&mut self.image_shape, &image)?;
+        let pinned = pin_precision(self.cfg.granularity, precision);
+        Ok(self.enqueue(image, pinned))
+    }
+
+    fn enqueue(&mut self, image: Tensor, precision: Option<Option<Precision>>) -> RequestId {
         let id = self.next_id;
         self.next_id += 1;
-        let precision = match self.cfg.granularity {
-            PolicyGranularity::PerRequest => Some(self.policy.sample(&mut self.rng)),
-            PolicyGranularity::PerBatch => None,
-        };
         self.pending.push(Pending {
             id,
             precision,
@@ -443,6 +571,73 @@ mod tests {
         assert_eq!(s.batches, 3); // 3 + 3 + 1
         assert!((s.mean_batch() - 7.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.cost.frames, 7);
+    }
+
+    #[test]
+    fn try_submit_reports_errors_without_panicking() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default(),
+        );
+        assert_eq!(
+            eng.try_submit(Tensor::zeros(&[1, 3, 8, 8])),
+            Err(SubmitError::NotAnImage { rank: 4 })
+        );
+        let id = eng.try_submit(Tensor::zeros(&[3, 8, 8])).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(
+            eng.try_submit(Tensor::zeros(&[8, 3, 8])),
+            Err(SubmitError::ShapeMismatch {
+                expected: vec![3, 8, 8],
+                got: vec![8, 3, 8],
+            })
+        );
+        // Rejections consume no policy draw: a clean engine fed only the
+        // accepted submissions reproduces the same schedule.
+        let id2 = eng.try_submit(Tensor::zeros(&[3, 8, 8])).unwrap();
+        assert_eq!(id2, 1);
+        let got: Vec<_> = eng.flush().iter().map(|r| r.precision).collect();
+        let mut clean = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default(),
+        );
+        clean.submit(Tensor::zeros(&[3, 8, 8]));
+        clean.submit(Tensor::zeros(&[3, 8, 8]));
+        let want: Vec<_> = clean.flush().iter().map(|r| r.precision).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pinned_submissions_skip_the_policy_stream() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default().with_seed(3),
+        );
+        let pin = Some(Precision::new(5));
+        eng.try_submit_pinned(Tensor::zeros(&[3, 8, 8]), pin)
+            .unwrap();
+        eng.submit(Tensor::zeros(&[3, 8, 8]));
+        let resp = eng.flush();
+        assert_eq!(resp[0].precision, pin);
+        // The policy-driven request drew the *first* value of the stream —
+        // the pin consumed none.
+        let mut clean = engine_with(
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+            EngineConfig::default().with_seed(3),
+        );
+        clean.submit(Tensor::zeros(&[3, 8, 8]));
+        assert_eq!(resp[1].precision, clean.flush()[0].precision);
+    }
+
+    #[test]
+    fn workspace_cap_reaches_the_engine_arena() {
+        let cfg = EngineConfig::default().with_workspace_cap(2);
+        assert_eq!(cfg.workspace_cap, 2);
+        let mut eng = engine_with(PrecisionPolicy::Fixed(None), cfg);
+        // Serve a burst larger than the cap: the engine recycles every
+        // request image, but the arena must stay bounded at the cap.
+        let _ = eng.serve(&images(6, 11));
+        assert!(eng.ws.pooled() <= 2);
     }
 
     #[test]

@@ -69,7 +69,9 @@ mod sim_backed;
 
 pub use backend::{Backend, LossKind};
 pub use cost::BatchCost;
-pub use engine::{Engine, EngineConfig, EngineStats, PolicyGranularity, RequestId, Response};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, PolicyGranularity, RequestId, Response, SubmitError,
+};
 pub use policy::PrecisionPolicy;
 pub use sharded::ShardedEngine;
 pub use sim_backed::SimBacked;

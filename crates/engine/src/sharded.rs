@@ -32,7 +32,7 @@
 
 use crate::{
     Backend, BatchCost, EngineConfig, EngineStats, PolicyGranularity, PrecisionPolicy, RequestId,
-    Response,
+    Response, SubmitError,
 };
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -141,18 +141,9 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
                 cfg.seed
                     .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)),
             );
-            let max_batch = cfg.max_batch;
-            let granularity = cfg.granularity;
+            let worker_cfg = cfg.clone();
             handles.push(std::thread::spawn(move || {
-                worker_loop(
-                    backend,
-                    worker_policy,
-                    rng,
-                    max_batch,
-                    granularity,
-                    rx,
-                    results,
-                )
+                worker_loop(backend, worker_policy, rng, worker_cfg, rx, results)
             }));
             senders.push(tx);
         }
@@ -218,27 +209,49 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
     /// # Panics
     ///
     /// Panics if `image` is not 3-D, or if its shape differs from the first
-    /// submitted image (one engine serves one input geometry).
+    /// submitted image (one engine serves one input geometry). Fallible
+    /// callers (network front-ends) use [`ShardedEngine::try_submit`].
     pub fn submit(&mut self, image: Tensor) -> RequestId {
-        assert_eq!(
-            image.shape().len(),
-            3,
-            "ShardedEngine::submit expects a single [C, H, W] image"
-        );
-        match &self.image_shape {
-            Some(shape) => assert_eq!(
-                shape.as_slice(),
-                image.shape(),
-                "ShardedEngine::submit image shape changed mid-stream"
-            ),
-            None => self.image_shape = Some(image.shape().to_vec()),
+        match self.try_submit(image) {
+            Ok(id) => id,
+            Err(e) => panic!("ShardedEngine::submit: {e}"),
         }
+    }
+
+    /// Fallible [`ShardedEngine::submit`]: rejects non-image and
+    /// geometry-changing tensors with a [`SubmitError`] instead of
+    /// panicking. The precision draw (under per-request granularity)
+    /// happens only on acceptance, so rejected submissions never perturb
+    /// the seeded schedule.
+    pub fn try_submit(&mut self, image: Tensor) -> Result<RequestId, SubmitError> {
+        crate::engine::check_image(&mut self.image_shape, &image)?;
+        let precision =
+            crate::engine::draw_precision(&self.policy, &mut self.rng, self.cfg.granularity);
+        Ok(self.enqueue(image, precision))
+    }
+
+    /// Like [`ShardedEngine::try_submit`], but pins the request to an
+    /// explicit precision (`None` = full precision) instead of drawing from
+    /// the policy. Pinned requests consume no draw from the seeded
+    /// schedule, so a stream mixing policy and pinned submissions is still
+    /// a pure function of the seed and the submission sequence.
+    ///
+    /// Only meaningful under [`PolicyGranularity::PerRequest`]; under
+    /// `PerBatch` the pin is ignored (each shard draws one precision per
+    /// coalesced batch at flush time).
+    pub fn try_submit_pinned(
+        &mut self,
+        image: Tensor,
+        precision: Option<Precision>,
+    ) -> Result<RequestId, SubmitError> {
+        crate::engine::check_image(&mut self.image_shape, &image)?;
+        let pinned = crate::engine::pin_precision(self.cfg.granularity, precision);
+        Ok(self.enqueue(image, pinned))
+    }
+
+    fn enqueue(&mut self, image: Tensor, precision: Option<Option<Precision>>) -> RequestId {
         let id = self.next_id;
         self.next_id += 1;
-        let precision = match self.cfg.granularity {
-            PolicyGranularity::PerRequest => Some(self.policy.sample(&mut self.rng)),
-            PolicyGranularity::PerBatch => None,
-        };
         self.pending.push(ShardRequest {
             id,
             precision,
@@ -346,14 +359,14 @@ fn worker_loop<B: Backend>(
     mut backend: B,
     policy: PrecisionPolicy,
     mut rng: SeededRng,
-    max_batch: usize,
-    granularity: PolicyGranularity,
+    cfg: EngineConfig,
     jobs: Receiver<Job>,
     results: Sender<ShardReply>,
 ) -> B {
+    let (max_batch, granularity) = (cfg.max_batch, cfg.granularity);
     // Each shard owns its scratch arena: batch assembly reuses the same
     // buffers flush after flush with no cross-thread sharing.
-    let mut ws = Workspace::new();
+    let mut ws = Workspace::with_max_pooled(cfg.workspace_cap);
     while let Ok(reqs) = jobs.recv() {
         let saved = backend.precision();
         let mut responses = Vec::with_capacity(reqs.len());

@@ -26,6 +26,8 @@
 //! assert_eq!(logits.shape(), &[2, 4]);
 //! ```
 
+#![deny(missing_docs)]
+
 mod act;
 mod bn;
 mod conv_layer;

@@ -1,0 +1,102 @@
+//! `tia-loadgen` — open- and closed-loop load generator for `tia-served`.
+//!
+//! ```text
+//! tia-loadgen [--addr 127.0.0.1:7878] [--mode closed|open]
+//!             [--conns 1] [--requests 64] [--inflight 8] [--rate 500]
+//!             [--shape 3,16,16] [--seed 1] [--policy server|fp32|fixedN|rpsLO-HI]
+//!             [--connect-timeout-secs 30] [--metrics-addr HOST:PORT]
+//!             [--ping] [--shutdown]
+//! ```
+//!
+//! `--ping` just probes liveness and exits. `--shutdown` asks the server
+//! to drain and exit after the load completes, and waits for the
+//! acknowledgement (the CI loopback smoke test relies on this to assert a
+//! clean shutdown). `--metrics-addr` fetches and prints the server's
+//! Prometheus text at the end of the run.
+
+use std::time::Duration;
+use tia_serve::cli::{parse_shape, parse_wire_policy, Args};
+use tia_serve::{fetch_metrics, run_load, Client, LoadConfig};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tia-loadgen: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(
+        &[
+            "addr",
+            "metrics-addr",
+            "mode",
+            "conns",
+            "requests",
+            "inflight",
+            "rate",
+            "shape",
+            "seed",
+            "policy",
+            "connect-timeout-secs",
+        ],
+        &["ping", "shutdown"],
+    )?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let mode = args.get("mode").unwrap_or("closed");
+    let connect_timeout: u64 = args.get_or("connect-timeout-secs", 30)?;
+    let rate: Option<f64> = match mode {
+        "closed" => None,
+        "open" => Some(args.get_or("rate", 200.0)?),
+        other => return Err(format!("bad mode {other:?}, expected closed or open")),
+    };
+
+    // Wait for the server to come up (the CI script starts it in the
+    // background and races its bind).
+    let mut probe = Client::connect_retry(&addr, Duration::from_secs(connect_timeout))
+        .map_err(|e| format!("could not connect to {addr}: {e}"))?;
+    probe.ping().map_err(|e| format!("ping failed: {e}"))?;
+    if args.has("ping") {
+        println!("tia-loadgen: {addr} is alive");
+        return Ok(());
+    }
+    drop(probe);
+
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections: args.get_or("conns", 1)?,
+        requests: args.get_or("requests", 64)?,
+        inflight: args.get_or("inflight", 8)?,
+        rate,
+        shape: parse_shape(args.get("shape").unwrap_or("3,16,16"))?,
+        seed: args.get_or("seed", 1)?,
+        policy: parse_wire_policy(args.get("policy").unwrap_or("server"))?,
+    };
+    let report = run_load(&cfg).map_err(|e| format!("load run failed: {e}"))?;
+    println!(
+        "tia-loadgen: {} loop, {} conn(s): {}",
+        if cfg.rate.is_some() { "open" } else { "closed" },
+        cfg.connections,
+        report.summary()
+    );
+
+    if let Some(metrics_addr) = args.get("metrics-addr") {
+        match fetch_metrics(metrics_addr) {
+            Ok(text) => println!("--- server metrics ---\n{text}"),
+            Err(e) => eprintln!("tia-loadgen: metrics fetch failed: {e}"),
+        }
+    }
+
+    if args.has("shutdown") {
+        let mut client = Client::connect(&addr).map_err(|e| format!("reconnect failed: {e}"))?;
+        client
+            .shutdown_server(|_| {})
+            .map_err(|e| format!("shutdown handshake failed: {e}"))?;
+        println!("tia-loadgen: server acknowledged shutdown and drained");
+    }
+
+    if report.errors > 0 {
+        return Err(format!("{} request(s) errored", report.errors));
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! `tia-served` — the TCP serving daemon.
+//!
+//! Builds one RPS model replica per worker shard and serves the wire
+//! protocol until a client sends a `Shutdown` frame (graceful drain).
+//!
+//! ```text
+//! tia-served [--addr 127.0.0.1:7878] [--metrics-addr 127.0.0.1:7879]
+//!            [--workers N] [--max-batch 8] [--queue-cap 1024]
+//!            [--policy rps4-8|fixedN|fp32] [--seed 7] [--model-seed 1]
+//!            [--channels 3] [--image 16] [--width 4] [--classes 10]
+//! ```
+
+use tia_engine::EngineConfig;
+use tia_nn::zoo;
+use tia_quant::PrecisionSet;
+use tia_serve::cli::{parse_policy, Args};
+use tia_serve::{Server, ServerConfig};
+use tia_tensor::SeededRng;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tia-served: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(
+        &[
+            "addr",
+            "metrics-addr",
+            "workers",
+            "max-batch",
+            "queue-cap",
+            "seed",
+            "model-seed",
+            "channels",
+            "image",
+            "width",
+            "classes",
+            "policy",
+        ],
+        &[],
+    )?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let metrics_addr = args.get("metrics-addr").unwrap_or("127.0.0.1:7879");
+    let workers = args.get_or(
+        "workers",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )?;
+    let max_batch: usize = args.get_or("max-batch", 8)?;
+    let queue_cap: usize = args.get_or("queue-cap", 1024)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let model_seed: u64 = args.get_or("model-seed", 1)?;
+    let channels: usize = args.get_or("channels", 3)?;
+    let image: usize = args.get_or("image", 16)?;
+    let width: usize = args.get_or("width", 4)?;
+    let classes: usize = args.get_or("classes", 10)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("rps4-8"))?;
+
+    // The model's switchable-BN banks need a candidate set covering every
+    // precision the policy can select; fp32 service still runs fine on an
+    // RPS model (precision `None` bypasses quantization).
+    let bn_set = match &policy {
+        tia_engine::PrecisionPolicy::Random(set) => set.clone(),
+        tia_engine::PrecisionPolicy::Fixed(Some(p)) => PrecisionSet::new(&[p.bits()]),
+        tia_engine::PrecisionPolicy::Fixed(None) => PrecisionSet::range(4, 8),
+    };
+
+    let cfg = ServerConfig::default()
+        .with_addr(addr)
+        .with_metrics_addr(metrics_addr)
+        .with_workers(workers)
+        .with_queue_capacity(queue_cap)
+        .with_input_shape([channels, image, image])
+        .with_policy(policy.clone())
+        .with_engine(
+            EngineConfig::default()
+                .with_max_batch(max_batch)
+                .with_seed(seed),
+        );
+
+    let server = Server::spawn(cfg, |_| {
+        zoo::preact_resnet18_rps(
+            channels,
+            width,
+            classes,
+            bn_set.clone(),
+            &mut SeededRng::new(model_seed),
+        )
+    })
+    .map_err(|e| format!("could not bind: {e}"))?;
+
+    println!(
+        "tia-served: serving [{}x{}x{}] under {} on {} ({} worker shard(s), max batch {}, queue {})",
+        channels, image, image, policy, server.addr(), workers, max_batch, queue_cap
+    );
+    if let Some(m) = server.metrics_addr() {
+        println!("tia-served: Prometheus metrics on http://{m}/metrics");
+    }
+    println!("tia-served: send a Shutdown frame (tia-loadgen --shutdown) to drain and exit");
+
+    let engine = server.wait();
+    let stats = engine.stats();
+    println!(
+        "tia-served: drained; served {} request(s) in {} batch(es)",
+        stats.requests, stats.batches
+    );
+    Ok(())
+}

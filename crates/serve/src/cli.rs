@@ -1,0 +1,149 @@
+//! Tiny `--flag value` argument parsing shared by the `tia-served` and
+//! `tia-loadgen` binaries (the workspace is dependency-free, so no clap).
+
+use crate::wire::WirePolicy;
+use tia_engine::PrecisionPolicy;
+use tia_quant::{Precision, PrecisionSet};
+
+/// Parsed command line: `--flag value` pairs plus bare `--switch` flags.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`: `known_flags` take a value, and
+    /// `known_switches` are value-less. Returns `Err` naming the offending
+    /// token on anything unrecognized — a typo'd flag must fail loudly, not
+    /// silently fall back to a default.
+    pub fn parse(known_flags: &[&str], known_switches: &[&str]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(tok) = it.next() {
+            let Some(flag) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {tok}"));
+            };
+            if known_switches.contains(&flag) {
+                switches.push(flag.to_string());
+            } else if known_flags.contains(&flag) {
+                let Some(value) = it.next() else {
+                    return Err(format!("--{flag} needs a value"));
+                };
+                pairs.push((flag.to_string(), value));
+            } else {
+                return Err(format!("unknown flag: --{flag}"));
+            }
+        }
+        Ok(Self { pairs, switches })
+    }
+
+    /// The value of `--flag`, if given.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--flag` parsed as `T`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{flag}: could not parse {v:?}")),
+        }
+    }
+
+    /// Whether the bare switch `--flag` was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+/// Parses a serving policy: `fp32`, `fixedN` (e.g. `fixed8`), or
+/// `rpsLO-HI` (e.g. `rps4-8`).
+pub fn parse_policy(s: &str) -> Result<PrecisionPolicy, String> {
+    if s == "fp32" {
+        return Ok(PrecisionPolicy::Fixed(None));
+    }
+    if let Some(bits) = s.strip_prefix("fixed") {
+        let b: u8 = bits.parse().map_err(|_| bad_policy(s))?;
+        if !(1..=16).contains(&b) {
+            return Err(bad_policy(s));
+        }
+        return Ok(PrecisionPolicy::Fixed(Some(Precision::new(b))));
+    }
+    if let Some(range) = s.strip_prefix("rps") {
+        let (lo, hi) = range.split_once('-').ok_or_else(|| bad_policy(s))?;
+        let (lo, hi): (u8, u8) = (
+            lo.parse().map_err(|_| bad_policy(s))?,
+            hi.parse().map_err(|_| bad_policy(s))?,
+        );
+        if !(1..=16).contains(&lo) || !(1..=16).contains(&hi) || lo > hi {
+            return Err(bad_policy(s));
+        }
+        return Ok(PrecisionPolicy::Random(PrecisionSet::range(lo, hi)));
+    }
+    Err(bad_policy(s))
+}
+
+/// Parses a per-request wire policy: `server`, or any [`parse_policy`]
+/// form (mapped onto the wire's explicit-policy variants).
+pub fn parse_wire_policy(s: &str) -> Result<WirePolicy, String> {
+    if s == "server" {
+        return Ok(WirePolicy::Server);
+    }
+    Ok(match parse_policy(s)? {
+        PrecisionPolicy::Fixed(p) => WirePolicy::Fixed(p),
+        PrecisionPolicy::Random(set) => WirePolicy::Random(set),
+    })
+}
+
+/// Parses `C,H,W` (e.g. `3,16,16`) into an image shape.
+pub fn parse_shape(s: &str) -> Result<[usize; 3], String> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad shape {s:?}, expected C,H,W"))?;
+    match parts.as_slice() {
+        [c, h, w] if *c > 0 && *h > 0 && *w > 0 => Ok([*c, *h, *w]),
+        _ => Err(format!("bad shape {s:?}, expected C,H,W")),
+    }
+}
+
+fn bad_policy(s: &str) -> String {
+    format!("bad policy {s:?}, expected fp32, fixedN or rpsLO-HI")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_parse() {
+        assert_eq!(parse_policy("fp32").unwrap(), PrecisionPolicy::Fixed(None));
+        assert_eq!(
+            parse_policy("fixed8").unwrap(),
+            PrecisionPolicy::Fixed(Some(Precision::new(8)))
+        );
+        assert_eq!(
+            parse_policy("rps4-8").unwrap(),
+            PrecisionPolicy::Random(PrecisionSet::range(4, 8))
+        );
+        assert!(parse_policy("fixed99").is_err());
+        assert!(parse_policy("rps8-4").is_err());
+        assert!(parse_policy("banana").is_err());
+        assert_eq!(parse_wire_policy("server").unwrap(), WirePolicy::Server);
+    }
+
+    #[test]
+    fn shapes_parse() {
+        assert_eq!(parse_shape("3,16,16").unwrap(), [3, 16, 16]);
+        assert!(parse_shape("3,16").is_err());
+        assert!(parse_shape("3,0,16").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! A minimal blocking wire-protocol client, shared by the load generator,
+//! the benchmarks and the integration tests.
+
+use crate::wire::{Frame, InferRequest, WireError, WirePolicy};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use tia_tensor::Tensor;
+
+/// Builds an [`Frame::Infer`] from a `[C, H, W]` tensor.
+///
+/// # Panics
+///
+/// Panics if `image` is not 3-D.
+pub fn infer_frame(id: u64, image: &Tensor, policy: WirePolicy) -> Frame {
+    let s = image.shape();
+    assert_eq!(s.len(), 3, "infer_frame expects a [C, H, W] image");
+    Frame::Infer(InferRequest {
+        id,
+        policy,
+        shape: [s[0], s[1], s[2]],
+        pixels: image.data().to_vec(),
+    })
+}
+
+/// A blocking client over one wire-protocol connection. Send and receive
+/// are independent, so requests can be pipelined: `send` several, then
+/// `recv` the responses as they stream back.
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = writer.try_clone()?;
+        Ok(Self { reader, writer })
+    }
+
+    /// Connects, retrying every 100 ms until `timeout` elapses — for
+    /// scripts that race a freshly spawned server's bind.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+
+    /// Writes one frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        frame.write_to(&mut self.writer)
+    }
+
+    /// Reads one frame ([`WireError::Closed`] on clean EOF).
+    pub fn recv(&mut self) -> Result<Frame, WireError> {
+        Frame::read_from(&mut self.reader)
+    }
+
+    /// Sends one inference request and blocks for one frame in reply.
+    pub fn infer(
+        &mut self,
+        id: u64,
+        image: &Tensor,
+        policy: WirePolicy,
+    ) -> Result<Frame, WireError> {
+        self.send(&infer_frame(id, image, policy))?;
+        self.recv()
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        self.send(&Frame::Ping)?;
+        match self.recv()? {
+            Frame::Pong => Ok(()),
+            other => Err(WireError::Malformed(frame_name(&other))),
+        }
+    }
+
+    /// Asks the server to drain and exit, then reads until the
+    /// [`Frame::ShutdownAck`] arrives (passing back any in-flight responses
+    /// to `on_frame` so pipelined work is not lost). Returns once the ack
+    /// is seen.
+    pub fn shutdown_server(&mut self, mut on_frame: impl FnMut(Frame)) -> Result<(), WireError> {
+        self.send(&Frame::Shutdown)?;
+        loop {
+            match self.recv()? {
+                Frame::ShutdownAck => return Ok(()),
+                other => on_frame(other),
+            }
+        }
+    }
+
+    /// Splits into independent read/write halves (for threaded pipelining).
+    pub fn into_split(self) -> (TcpStream, TcpStream) {
+        (self.reader, self.writer)
+    }
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Infer(_) => "unexpected Infer",
+        Frame::Logits(_) => "unexpected Logits",
+        Frame::Reject { .. } => "unexpected Reject",
+        Frame::Error { .. } => "unexpected Error",
+        Frame::Ping => "unexpected Ping",
+        Frame::Pong => "unexpected Pong",
+        Frame::Shutdown => "unexpected Shutdown",
+        Frame::ShutdownAck => "unexpected ShutdownAck",
+    }
+}
+
+/// Fetches the Prometheus text exposition from a server's scrape port
+/// (a one-shot HTTP/1.0 GET).
+pub fn fetch_metrics<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: tia-serve\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_headers, body)) => Ok(body.to_string()),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed HTTP response from metrics endpoint",
+        )),
+    }
+}

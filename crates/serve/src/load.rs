@@ -1,0 +1,298 @@
+//! Open- and closed-loop load generation against a wire-protocol server.
+//!
+//! *Closed loop* keeps a fixed number of requests in flight per connection
+//! (throughput-seeking: measures the server's sustainable RPS at that
+//! concurrency). *Open loop* fires at a fixed target rate regardless of
+//! completions (latency-seeking: measures what queueing does to p50/p99,
+//! and how admission control sheds overload). Both report end-to-end
+//! latency through the same [`Histogram`] the server's metrics use.
+
+use crate::client::{infer_frame, Client};
+use crate::metrics::Histogram;
+use crate::wire::{Frame, WirePolicy};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tia_tensor::{SeededRng, Tensor};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Closed loop: in-flight requests per connection.
+    pub inflight: usize,
+    /// Open loop: total target request rate in req/s across all
+    /// connections; `None` selects the closed loop.
+    pub rate: Option<f64>,
+    /// Image geometry sent with every request.
+    pub shape: [usize; 3],
+    /// Seed for the synthetic request images.
+    pub seed: u64,
+    /// Precision policy attached to every request.
+    pub policy: WirePolicy,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            connections: 1,
+            requests: 64,
+            inflight: 8,
+            rate: None,
+            shape: [3, 16, 16],
+            seed: 1,
+            policy: WirePolicy::Server,
+        }
+    }
+}
+
+/// Aggregate result of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests written to the wire.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Admission-control rejections (queue full / draining / bad shape).
+    pub rejected: u64,
+    /// Transport or protocol errors (requests with no usable answer).
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// End-to-end (send → response read) latency of successful responses.
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// Successful responses per wall-clock second.
+    pub fn rps(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok / {} rejected / {} errors in {:.2}s -> {:.0} req/s; latency p50 {:.2} ms, p99 {:.2} ms, mean {:.2} ms",
+            self.ok,
+            self.rejected,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.rps(),
+            self.latency.quantile_ns(0.50) as f64 / 1e6,
+            self.latency.quantile_ns(0.99) as f64 / 1e6,
+            self.latency.mean_ns() / 1e6,
+        )
+    }
+}
+
+/// Runs the configured load and aggregates per-connection results.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let connections = cfg.connections.max(1);
+    let per_conn = split_evenly(cfg.requests, connections);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for (i, n) in per_conn.into_iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || -> io::Result<ConnStats> {
+            let image = request_image(&cfg, i as u64);
+            match cfg.rate {
+                None => closed_loop_conn(&cfg, n, &image),
+                Some(rate) => {
+                    let conn_rate = (rate / cfg.connections.max(1) as f64).max(1e-3);
+                    open_loop_conn(&cfg, n, conn_rate, &image)
+                }
+            }
+        }));
+    }
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        latency: Histogram::new(),
+    };
+    for h in handles {
+        let stats = h.join().expect("loadgen connection thread panicked")?;
+        report.sent += stats.sent;
+        report.ok += stats.ok;
+        report.rejected += stats.rejected;
+        report.errors += stats.errors;
+        report.latency.merge(&stats.latency);
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+struct ConnStats {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    latency: Histogram,
+}
+
+fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
+    (0..parts)
+        .map(|i| total / parts + usize::from(i < total % parts))
+        .collect()
+}
+
+fn request_image(cfg: &LoadConfig, conn: u64) -> Tensor {
+    let mut rng = SeededRng::new(cfg.seed.wrapping_add(conn));
+    Tensor::rand_uniform(&cfg.shape, 0.0, 1.0, &mut rng)
+}
+
+/// Fixed in-flight window: send `inflight` pipelined requests, then one
+/// fresh request per response until `n` are done.
+fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<ConnStats> {
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut stats = ConnStats {
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        latency: Histogram::new(),
+    };
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let window = cfg.inflight.max(1).min(n);
+    for id in 0..window as u64 {
+        client.send(&infer_frame(id, image, cfg.policy.clone()))?;
+        sent_at.insert(id, Instant::now());
+        stats.sent += 1;
+    }
+    let mut answered = 0u64;
+    while answered < stats.sent {
+        match client.recv() {
+            Ok(Frame::Logits(r)) => {
+                if let Some(t) = sent_at.remove(&r.id) {
+                    stats.latency.record_ns(t.elapsed().as_nanos() as u64);
+                }
+                stats.ok += 1;
+                answered += 1;
+            }
+            Ok(Frame::Reject { id, .. }) => {
+                sent_at.remove(&id);
+                stats.rejected += 1;
+                answered += 1;
+            }
+            // An unexpected frame kind still answers one request; it lands
+            // in the error shortfall below.
+            Ok(_) => answered += 1,
+            // The stream is unusable; stop and settle up.
+            Err(_) => break,
+        }
+        if (stats.sent as usize) < n {
+            let id = stats.sent;
+            if client
+                .send(&infer_frame(id, image, cfg.policy.clone()))
+                .is_err()
+            {
+                break;
+            }
+            sent_at.insert(id, Instant::now());
+            stats.sent += 1;
+        }
+    }
+    // Errors = sent requests with no usable answer (never counts requests
+    // that were never written, so errors <= sent always holds).
+    stats.errors = stats.sent.saturating_sub(stats.ok + stats.rejected);
+    Ok(stats)
+}
+
+/// Fixed-rate sender with a concurrent receiver: arrivals do not wait for
+/// completions, so overload shows up as queueing latency and rejects
+/// instead of a slower send rate.
+fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::Result<ConnStats> {
+    let client = Client::connect(&cfg.addr)?;
+    let (mut reader, mut writer) = client.into_split();
+    let sent_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let latency = Arc::new(Histogram::new());
+    let ok = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+
+    let receiver = {
+        let sent_at = Arc::clone(&sent_at);
+        let latency = Arc::clone(&latency);
+        let (ok, rejected) = (Arc::clone(&ok), Arc::clone(&rejected));
+        std::thread::spawn(move || {
+            let mut seen = 0usize;
+            while seen < n {
+                match Frame::read_from(&mut reader) {
+                    Ok(Frame::Logits(r)) => {
+                        if let Some(t) = sent_at.lock().ok().and_then(|mut m| m.remove(&r.id)) {
+                            latency.record_ns(t.elapsed().as_nanos() as u64);
+                        }
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        seen += 1;
+                    }
+                    Ok(Frame::Reject { .. }) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        seen += 1;
+                    }
+                    // Unexpected frames land in the error shortfall below.
+                    Ok(_) => seen += 1,
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let mut next = Instant::now();
+    let mut sent = 0u64;
+    for id in 0..n as u64 {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        if let Ok(mut m) = sent_at.lock() {
+            m.insert(id, Instant::now());
+        }
+        if infer_frame(id, image, cfg.policy.clone())
+            .write_to(&mut writer)
+            .is_err()
+        {
+            // The connection is dead; unblock the receiver (it would
+            // otherwise wait for responses that were never requested).
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            break;
+        }
+        sent += 1;
+        next += interval;
+    }
+    let _ = receiver.join();
+    let latency_out = Histogram::new();
+    latency_out.merge(&latency);
+    let (ok, rejected) = (ok.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed));
+    Ok(ConnStats {
+        sent,
+        ok,
+        rejected,
+        // Sent requests with no usable answer; never counts unsent ones.
+        errors: sent.saturating_sub(ok + rejected),
+        latency: latency_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_split_evenly_across_connections() {
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(2, 4), vec![1, 1, 0, 0]);
+    }
+}

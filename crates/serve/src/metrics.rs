@@ -1,0 +1,306 @@
+//! Live serving metrics: lock-free atomic counters and a log-scale latency
+//! histogram, rendered as Prometheus text exposition on a scrape port.
+//!
+//! Everything here is updated from the serving hot path, so the whole
+//! registry is plain `AtomicU64`s — no locks, no allocation. Rates (RPS)
+//! are derived by the scraper from the monotonic `*_total` counters;
+//! `p50`/`p99` latency come from the histogram buckets, both server-side
+//! (scrape) and client-side (the load generator reuses [`Histogram`] for
+//! its own end-to-end latency report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tia_quant::Precision;
+
+/// Number of per-precision counters: index 0 is full precision (fp32),
+/// 1..=16 are quantized bit-widths.
+pub const PRECISION_SLOTS: usize = 17;
+
+const BUCKETS: usize = 26;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples in `(2^(i-1), 2^i]` µs (bucket 0: `<= 1` µs);
+/// the last slot is an overflow bucket for everything above `2^25` µs
+/// (~33 s). All updates are relaxed atomics — safe from any thread, never
+/// blocking the recording path.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS + 1],
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record_ns(&self, ns: u64) {
+        let us = ns.div_ceil(1000);
+        let bucket = if us <= 1 {
+            0
+        } else {
+            (64 - (us - 1).leading_zeros() as usize).min(BUCKETS)
+        };
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (in nanoseconds) of the bucket containing quantile `q`
+    /// (e.g. `0.5`, `0.99`). Returns 0 when empty. Resolution is the bucket
+    /// width — a factor of two — which is plenty for serving dashboards.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_us(i).saturating_mul(1000);
+            }
+        }
+        bucket_upper_us(BUCKETS) * 1000
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.counts.iter().zip(other.counts.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Renders the histogram in Prometheus `_bucket`/`_sum`/`_count` form
+    /// with `le` bounds in seconds.
+    fn render(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# HELP {name} End-to-end request latency.");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            cum += self.counts[i].load(Ordering::Relaxed);
+            let le = bucket_upper_us(i) as f64 / 1e6;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        cum += self.counts[BUCKETS].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        let sum_s = self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_sum {sum_s}");
+        let _ = writeln!(out, "{name}_count {cum}");
+    }
+}
+
+fn bucket_upper_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// The serving metrics registry, shared (via `Arc`) by every server thread
+/// and exposed on the Prometheus scrape port.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Inference requests admitted to the queue.
+    pub requests_total: AtomicU64,
+    /// Responses written back to clients.
+    pub responses_total: AtomicU64,
+    /// Requests refused because the bounded queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests refused because the server was draining for shutdown.
+    pub rejected_draining: AtomicU64,
+    /// Requests refused because the image geometry was wrong.
+    pub rejected_bad_shape: AtomicU64,
+    /// Frames that failed to decode (the connection is closed after one).
+    pub bad_frames_total: AtomicU64,
+    /// Connections accepted since start.
+    pub connections_total: AtomicU64,
+    /// Currently open connections.
+    pub connections_active: AtomicU64,
+    /// Requests admitted but not yet executed (queue + in-flight).
+    pub queue_depth: AtomicU64,
+    /// Coalesced micro-batches executed by the engine.
+    pub batches_total: AtomicU64,
+    /// Frames served across those batches (mean batch = frames / batches).
+    pub batch_frames_total: AtomicU64,
+    /// Served frames by execution precision: slot 0 = fp32, slot `b` =
+    /// `b`-bit. The live per-precision batch mix of the RPS schedule.
+    pub frames_by_precision: [AtomicU64; PRECISION_SLOTS],
+    /// End-to-end (admission → response write) latency.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps the per-precision serve counter for one frame.
+    pub fn count_precision(&self, p: Option<Precision>) {
+        let slot = p.map_or(0, |p| p.bits() as usize);
+        self.frames_by_precision[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format
+    /// (version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            "tia_serve_requests_total",
+            "Inference requests admitted.",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "tia_serve_responses_total",
+            "Responses written to clients.",
+            self.responses_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "tia_serve_bad_frames_total",
+            "Undecodable frames received.",
+            self.bad_frames_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "tia_serve_connections_total",
+            "Connections accepted.",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "tia_serve_batches_total",
+            "Coalesced micro-batches executed.",
+            self.batches_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "tia_serve_batch_frames_total",
+            "Frames served across all batches.",
+            self.batch_frames_total.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP tia_serve_rejected_total Requests refused by admission control."
+        );
+        let _ = writeln!(out, "# TYPE tia_serve_rejected_total counter");
+        for (reason, v) in [
+            ("queue_full", &self.rejected_queue_full),
+            ("draining", &self.rejected_draining),
+            ("bad_shape", &self.rejected_bad_shape),
+        ] {
+            let _ = writeln!(
+                out,
+                "tia_serve_rejected_total{{reason=\"{reason}\"}} {}",
+                v.load(Ordering::Relaxed)
+            );
+        }
+        for (name, help, v) in [
+            (
+                "tia_serve_connections_active",
+                "Currently open connections.",
+                &self.connections_active,
+            ),
+            (
+                "tia_serve_queue_depth",
+                "Admitted requests not yet executed.",
+                &self.queue_depth,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", v.load(Ordering::Relaxed));
+        }
+        let _ = writeln!(
+            out,
+            "# HELP tia_serve_frames_by_precision_total Served frames per execution precision."
+        );
+        let _ = writeln!(out, "# TYPE tia_serve_frames_by_precision_total counter");
+        for (slot, v) in self.frames_by_precision.iter().enumerate() {
+            let label = if slot == 0 {
+                "fp32".to_string()
+            } else {
+                format!("{slot}-bit")
+            };
+            let _ = writeln!(
+                out,
+                "tia_serve_frames_by_precision_total{{precision=\"{label}\"}} {}",
+                v.load(Ordering::Relaxed)
+            );
+        }
+        self.latency
+            .render("tia_serve_request_latency_seconds", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        // 99 samples at ~1 µs, one at ~1 ms.
+        for _ in 0..99 {
+            h.record_ns(800);
+        }
+        h.record_ns(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert!(h.quantile_ns(0.5) <= 2_000);
+        assert!(h.quantile_ns(0.99) <= 2_000);
+        assert!(h.quantile_ns(1.0) >= 1_000_000);
+        assert!(h.mean_ns() > 800.0);
+    }
+
+    #[test]
+    fn histogram_overflow_and_merge() {
+        let a = Histogram::new();
+        a.record_ns(u64::MAX / 2); // lands in the overflow bucket
+        let b = Histogram::new();
+        b.record_ns(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_mentions_every_family() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.count_precision(None);
+        m.count_precision(Some(Precision::new(8)));
+        m.latency.record_ns(12_000);
+        let text = m.render_prometheus();
+        for family in [
+            "tia_serve_requests_total 3",
+            "tia_serve_rejected_total{reason=\"queue_full\"}",
+            "tia_serve_queue_depth",
+            "tia_serve_frames_by_precision_total{precision=\"fp32\"} 1",
+            "tia_serve_frames_by_precision_total{precision=\"8-bit\"} 1",
+            "tia_serve_request_latency_seconds_bucket{le=\"+Inf\"} 1",
+            "tia_serve_request_latency_seconds_count 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+}

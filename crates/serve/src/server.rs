@@ -1,0 +1,787 @@
+//! The TCP serving front-end over [`ShardedEngine`].
+//!
+//! # Threading model
+//!
+//! ```text
+//!            acceptor thread ──── accepts, spawns one reader per conn
+//!   conn 1 ─ reader thread ──┐
+//!   conn 2 ─ reader thread ──┼─ bounded queue ── batcher thread ── ShardedEngine
+//!   conn N ─ reader thread ──┘   (try_send =        (owns the engine and the
+//!            metrics thread       admission          submit/flush cycle)
+//!            (scrape port)        control)
+//! ```
+//!
+//! Readers decode frames and `try_send` admitted requests into a bounded
+//! queue; a full queue turns into an immediate [`RejectCode::QueueFull`]
+//! frame (the wire analogue of HTTP 503) written by the reader itself, so
+//! overload never blocks the accept path and never grows memory. The
+//! batcher is the *only* thread touching the engine: it drains the queue,
+//! feeds the engine's `submit`/`flush` cycle, and writes responses back on
+//! each request's connection (one `Mutex<TcpStream>` per connection keeps
+//! frames atomic between the batcher and that connection's reader).
+//!
+//! # Determinism across the wire
+//!
+//! All submissions flow through the single batcher in queue order, so for
+//! traffic arriving on **one connection** the engine sees the exact
+//! submission sequence the client sent, and the seeded precision schedule
+//! plus the bitwise-logit guarantee of [`ShardedEngine`] carry over the
+//! network unchanged (the loopback integration test pins this). Traffic
+//! from multiple concurrent connections interleaves at the queue, which is
+//! ordinary serving nondeterminism — each request's *logits* are still
+//! bitwise reproducible; only the schedule positions shift.
+//!
+//! # Shutdown
+//!
+//! A [`Frame::Shutdown`] (or [`Server::shutdown`]) flips the server into
+//! draining: readers refuse new work with [`RejectCode::Draining`], the
+//! batcher serves everything already admitted, answers the requester with
+//! [`Frame::ShutdownAck`], and exits; [`Server::wait`] then joins every
+//! thread and returns the engine for post-mortem inspection.
+
+use crate::metrics::Metrics;
+use crate::wire::{Frame, InferResponse, RejectCode, WirePolicy};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tia_engine::{Backend, EngineConfig, PrecisionPolicy, RequestId, ShardedEngine};
+use tia_tensor::{SeededRng, Tensor};
+
+/// Serving front-end configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address of the wire-protocol listener (`:0` picks a free port).
+    pub addr: String,
+    /// Bind address of the Prometheus scrape listener; `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Engine worker shards.
+    pub workers: usize,
+    /// Bounded request-queue capacity; admissions beyond it are rejected
+    /// with [`RejectCode::QueueFull`].
+    pub queue_capacity: usize,
+    /// The one `[C, H, W]` geometry this server serves; anything else is
+    /// rejected with [`RejectCode::BadShape`].
+    pub input_shape: [usize; 3],
+    /// Engine tuning (micro-batch size, seed, granularity, workspace cap).
+    pub engine: EngineConfig,
+    /// The serving precision policy ([`WirePolicy::Server`] requests follow
+    /// it on the seeded schedule).
+    pub policy: PrecisionPolicy,
+    /// Start with the batcher paused (requests queue — and overflow rejects
+    /// — until [`Server::resume`]). For staged startup and backpressure
+    /// tests.
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            metrics_addr: None,
+            workers: 1,
+            queue_capacity: 1024,
+            input_shape: [3, 16, 16],
+            engine: EngineConfig::default(),
+            policy: PrecisionPolicy::Fixed(None),
+            start_paused: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the wire listener bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Enables the Prometheus scrape listener on `addr`.
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Sets the engine worker shard count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the bounded queue capacity (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Sets the served image geometry.
+    pub fn with_input_shape(mut self, shape: [usize; 3]) -> Self {
+        self.input_shape = shape;
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the serving policy.
+    pub fn with_policy(mut self, policy: PrecisionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Starts the batcher paused (see [`ServerConfig::start_paused`]).
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+/// One client connection's write half, shared between its reader (rejects,
+/// pongs, errors) and the batcher (responses). The mutex keeps frames
+/// atomic; a failed write marks the connection dead and later sends become
+/// no-ops.
+struct Conn {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl Conn {
+    fn send(&self, frame: &Frame) {
+        if !self.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut guard = match self.stream.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        if frame.write_to(&mut *guard).is_err() {
+            self.alive.store(false, Ordering::Relaxed);
+            // Tear the socket down, not just the flag: the peer learns the
+            // connection is dead instead of hanging on recv forever, and
+            // this connection's reader unblocks and exits rather than
+            // admitting more requests whose responses would be dropped.
+            let _ = guard.shutdown(SockShutdown::Both);
+        }
+    }
+
+    fn close(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        if let Ok(guard) = self.stream.lock() {
+            let _ = guard.shutdown(SockShutdown::Both);
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    metrics: Metrics,
+    /// Set when shutdown begins: readers refuse new inference work.
+    draining: AtomicBool,
+    /// Set when the batcher has exited: accept loops stop.
+    stopped: AtomicBool,
+    /// While set, the batcher does not consume the queue.
+    paused: AtomicBool,
+    /// Admission barrier closing the drain race: readers hold a *read*
+    /// guard across their draining-check + `try_send`; the batcher's stop
+    /// path takes (and releases) a *write* guard after setting `draining`
+    /// and before its final queue sweep, which waits out every admission
+    /// already in flight — so nothing can land in the queue after the
+    /// sweep that the drain contract promised to serve.
+    admission: std::sync::RwLock<()>,
+    input_shape: [usize; 3],
+    conns: Mutex<Vec<Arc<Conn>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A queue entry: one admitted request, or the shutdown marker.
+enum Item {
+    Infer {
+        conn: Arc<Conn>,
+        wire_id: u64,
+        policy: WirePolicy,
+        image: Tensor,
+        enqueued: Instant,
+    },
+    /// Drain and exit; `conn` (if any) receives the [`Frame::ShutdownAck`].
+    Shutdown { conn: Option<Arc<Conn>> },
+}
+
+/// Where a flushed engine response goes back out.
+struct Route {
+    conn: Arc<Conn>,
+    wire_id: u64,
+    enqueued: Instant,
+}
+
+/// A running TCP serving front-end; see the [module docs](self) for the
+/// threading model. Dropping the handle shuts the server down (preferring
+/// [`Server::shutdown`] or [`Server::wait`], which return the engine).
+pub struct Server<B: Backend + Send + 'static> {
+    shared: Arc<Shared>,
+    submit_tx: SyncSender<Item>,
+    batcher: Option<JoinHandle<ShardedEngine<B>>>,
+    acceptor: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+}
+
+impl<B: Backend + Send + 'static> Server<B> {
+    /// Binds the listeners, builds one backend replica per worker shard
+    /// from `factory`, and spawns the serving threads.
+    pub fn spawn(cfg: ServerConfig, factory: impl FnMut(usize) -> B) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let metrics_addr = metrics_listener.as_ref().and_then(|l| l.local_addr().ok());
+
+        let engine = ShardedEngine::with_factory(
+            cfg.workers.max(1),
+            factory,
+            cfg.policy.clone(),
+            cfg.engine.clone(),
+        );
+        let shared = Arc::new(Shared {
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            paused: AtomicBool::new(cfg.start_paused),
+            admission: std::sync::RwLock::new(()),
+            input_shape: cfg.input_shape,
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+        let (submit_tx, submit_rx) = sync_channel::<Item>(cfg.queue_capacity.max(1));
+
+        // One full engine cycle admits at most every shard's worth of
+        // micro-batches; anything beyond that waits one flush in the queue.
+        let max_take = (cfg.workers.max(1) * cfg.engine.max_batch).max(1);
+        // Stream backing WirePolicy::Random requests — decorrelated from the
+        // engine's schedule stream so explicit-policy traffic cannot consume
+        // the server schedule's draws.
+        let req_rng = SeededRng::new(cfg.engine.seed ^ 0x5EED_5EED_5EED_5EED);
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(engine, submit_rx, shared, req_rng, max_take))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let tx = submit_tx.clone();
+            std::thread::spawn(move || acceptor_loop(listener, shared, tx))
+        };
+        let metrics_thread = metrics_listener.map(|l| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || metrics_loop(l, shared))
+        });
+        Ok(Self {
+            shared,
+            submit_tx,
+            batcher: Some(batcher),
+            acceptor: Some(acceptor),
+            metrics_thread,
+            addr,
+            metrics_addr,
+        })
+    }
+
+    /// The wire listener's bound address (resolves `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scrape listener's bound address, when metrics are enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Unpauses a [`ServerConfig::start_paused`] batcher.
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Initiates a graceful drain (everything already admitted is served),
+    /// waits for completion, and returns the engine.
+    pub fn shutdown(mut self) -> ShardedEngine<B> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Resume *before* the blocking send: with a paused batcher and a
+        // full queue, the marker could otherwise never be consumed.
+        self.resume();
+        let _ = self.submit_tx.send(Item::Shutdown { conn: None });
+        self.finish().expect("server already shut down")
+    }
+
+    /// Waits for a client-initiated [`Frame::Shutdown`] drain to complete,
+    /// then returns the engine.
+    pub fn wait(mut self) -> ShardedEngine<B> {
+        self.finish().expect("server already shut down")
+    }
+
+    /// Joins every thread: batcher first (it exits once a shutdown item
+    /// arrives), then the accept loops (unblocked by a dummy connection),
+    /// then the readers (unblocked by closing their sockets).
+    fn finish(&mut self) -> Option<ShardedEngine<B>> {
+        let batcher = self.batcher.take()?;
+        self.resume(); // A paused batcher would never see the shutdown item.
+        let engine = batcher.join().expect("serve batcher thread panicked");
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(ma) = self.metrics_addr {
+            let _ = TcpStream::connect(ma);
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics_thread.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<Arc<Conn>> = match self.shared.conns.lock() {
+            Ok(mut g) => g.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for c in conns {
+            c.close();
+        }
+        let readers: Vec<JoinHandle<()>> = match self.shared.readers.lock() {
+            Ok(mut g) => g.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for h in readers {
+            let _ = h.join();
+        }
+        Some(engine)
+    }
+}
+
+impl<B: Backend + Send + 'static> Drop for Server<B> {
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            self.shared.draining.store(true, Ordering::SeqCst);
+            self.resume();
+            let _ = self.submit_tx.send(Item::Shutdown { conn: None });
+            let _ = self.finish();
+        }
+    }
+}
+
+/// Accepts connections until the server stops; one reader thread each.
+fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item>) {
+    for stream in listener.incoming() {
+        if shared.stopped.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        // A slow (or never-reading) client must not park the batcher inside
+        // a response write forever: time the write out, after which the
+        // connection is torn down and later sends become no-ops. Until
+        // responses are written off the batcher thread (per-connection
+        // writer threads — a known follow-up), one misbehaving connection
+        // can still stall everyone for up to this timeout, once: the first
+        // timeout kills the connection, so it cannot stall twice.
+        let _ = write_half.set_write_timeout(Some(Duration::from_secs(2)));
+        shared
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(Conn {
+            stream: Mutex::new(write_half),
+            alive: AtomicBool::new(true),
+        });
+        if let Ok(mut g) = shared.conns.lock() {
+            g.push(Arc::clone(&conn));
+        }
+        let handle = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || reader_loop(stream, conn, shared, tx))
+        };
+        if let Ok(mut g) = shared.readers.lock() {
+            // Long-lived servers accept unbounded connections over their
+            // lifetime; reap the finished readers (their conns were removed
+            // on exit) so the registry tracks only live ones.
+            g.retain(|h| !h.is_finished());
+            g.push(handle);
+        }
+    }
+}
+
+/// Decodes frames from one connection; admitted requests go to the queue,
+/// everything else is answered inline. Exits on EOF, socket teardown, or
+/// the first malformed frame (framing can no longer be trusted).
+fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: SyncSender<Item>) {
+    use crate::wire::WireError;
+    let m = &shared.metrics;
+    // Set when this side ends the conversation (protocol violation): the
+    // peer may still have bytes in flight, and closing with unread receive
+    // data can turn into a RST that destroys our final Error frame. Drain
+    // briefly before closing so the report survives.
+    let mut drain_before_close = false;
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Frame::Infer(req)) => {
+                if req.shape != shared.input_shape {
+                    m.rejected_bad_shape.fetch_add(1, Ordering::Relaxed);
+                    conn.send(&Frame::Reject {
+                        id: req.id,
+                        code: RejectCode::BadShape,
+                    });
+                    continue;
+                }
+                // The draining check and the enqueue happen under one
+                // admission read guard (see `Shared::admission`): either
+                // this request is admitted before the batcher's final
+                // drain sweep, or it observes `draining` and is rejected —
+                // it can never be admitted and then silently dropped.
+                let admission = shared.admission.read();
+                if shared.draining.load(Ordering::SeqCst) {
+                    drop(admission);
+                    m.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                    conn.send(&Frame::Reject {
+                        id: req.id,
+                        code: RejectCode::Draining,
+                    });
+                    continue;
+                }
+                let item = Item::Infer {
+                    conn: Arc::clone(&conn),
+                    wire_id: req.id,
+                    policy: req.policy,
+                    image: Tensor::from_vec(req.pixels, &req.shape),
+                    enqueued: Instant::now(),
+                };
+                // Gauge up *before* the send: the batcher's decrement can
+                // otherwise race ahead of the increment and wrap below 0.
+                m.queue_depth.fetch_add(1, Ordering::Relaxed);
+                let outcome = tx.try_send(item);
+                drop(admission);
+                match outcome {
+                    Ok(()) => {
+                        m.requests_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                        conn.send(&Frame::Reject {
+                            id: req.id,
+                            code: RejectCode::QueueFull,
+                        });
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        m.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                        conn.send(&Frame::Reject {
+                            id: req.id,
+                            code: RejectCode::Draining,
+                        });
+                    }
+                }
+            }
+            Ok(Frame::Ping) => conn.send(&Frame::Pong),
+            Ok(Frame::Shutdown) => {
+                shared.draining.store(true, Ordering::SeqCst);
+                // Blocking send: the marker must land even when the queue is
+                // full, and it must land *after* this connection's admitted
+                // requests so the drain covers them.
+                let _ = tx.send(Item::Shutdown {
+                    conn: Some(Arc::clone(&conn)),
+                });
+            }
+            Ok(_) => {
+                // Server-to-client kinds arriving at the server are a
+                // protocol violation.
+                m.bad_frames_total.fetch_add(1, Ordering::Relaxed);
+                conn.send(&Frame::Error {
+                    msg: "unexpected frame kind from client".to_string(),
+                });
+                drain_before_close = true;
+                break;
+            }
+            Err(WireError::Closed) | Err(WireError::Io(_)) => break,
+            Err(e) => {
+                m.bad_frames_total.fetch_add(1, Ordering::Relaxed);
+                conn.send(&Frame::Error { msg: e.to_string() });
+                drain_before_close = true;
+                break;
+            }
+        }
+    }
+    if drain_before_close {
+        use std::io::Read;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut sink = [0u8; 1024];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+    conn.close();
+    // Deregister so a long-lived server does not accumulate one dead
+    // socket per connection it ever served.
+    if let Ok(mut g) = shared.conns.lock() {
+        g.retain(|c| !Arc::ptr_eq(c, &conn));
+    }
+    m.connections_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The engine owner: drains the queue, runs submit/flush cycles, routes
+/// responses. Returns the engine at shutdown.
+fn batcher_loop<B: Backend + Send + 'static>(
+    mut engine: ShardedEngine<B>,
+    rx: Receiver<Item>,
+    shared: Arc<Shared>,
+    mut req_rng: SeededRng,
+    max_take: usize,
+) -> ShardedEngine<B> {
+    let mut routes: HashMap<RequestId, Route> = HashMap::new();
+    let mut last_stats = engine.stats();
+    let mut stop = false;
+    let mut ackers: Vec<Arc<Conn>> = Vec::new();
+    'serve: loop {
+        if shared.paused.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let first = match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(item) => item,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break 'serve,
+        };
+        let mut taken = 1;
+        process_item(
+            first,
+            &mut engine,
+            &shared,
+            &mut req_rng,
+            &mut routes,
+            &mut stop,
+            &mut ackers,
+        );
+        while taken < max_take && !stop {
+            match rx.try_recv() {
+                Ok(item) => {
+                    taken += 1;
+                    process_item(
+                        item,
+                        &mut engine,
+                        &shared,
+                        &mut req_rng,
+                        &mut routes,
+                        &mut stop,
+                        &mut ackers,
+                    );
+                }
+                Err(_) => break,
+            }
+        }
+        if stop {
+            // Shutdown marker seen: `draining` is already set, so take the
+            // admission write barrier — it waits until every reader that
+            // saw `draining == false` has finished its enqueue — and only
+            // then sweep the queue. Everything admitted gets served; no
+            // request can slip in after the sweep.
+            drop(shared.admission.write());
+            while let Ok(item) = rx.try_recv() {
+                process_item(
+                    item,
+                    &mut engine,
+                    &shared,
+                    &mut req_rng,
+                    &mut routes,
+                    &mut stop,
+                    &mut ackers,
+                );
+            }
+        }
+        flush_and_respond(&mut engine, &shared, &mut routes, &mut last_stats);
+        if stop {
+            break 'serve;
+        }
+    }
+    // The channel disconnected (all senders gone) or a shutdown marker was
+    // handled; serve any stragglers admitted in between.
+    while let Ok(item) = rx.try_recv() {
+        process_item(
+            item,
+            &mut engine,
+            &shared,
+            &mut req_rng,
+            &mut routes,
+            &mut stop,
+            &mut ackers,
+        );
+    }
+    flush_and_respond(&mut engine, &shared, &mut routes, &mut last_stats);
+    // Every requester gets the ack — including racers whose markers landed
+    // behind the first one — and only after the final flush, so the drain
+    // contract ("everything admitted is answered before the ack") holds
+    // for all of them.
+    for conn in ackers {
+        conn.send(&Frame::ShutdownAck);
+    }
+    engine
+}
+
+fn process_item<B: Backend + Send + 'static>(
+    item: Item,
+    engine: &mut ShardedEngine<B>,
+    shared: &Shared,
+    req_rng: &mut SeededRng,
+    routes: &mut HashMap<RequestId, Route>,
+    stop: &mut bool,
+    ackers: &mut Vec<Arc<Conn>>,
+) {
+    match item {
+        Item::Infer {
+            conn,
+            wire_id,
+            policy,
+            image,
+            enqueued,
+        } => {
+            shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            let submitted = match policy {
+                WirePolicy::Server => engine.try_submit(image),
+                WirePolicy::Fixed(p) => engine.try_submit_pinned(image, p),
+                WirePolicy::Random(set) => {
+                    engine.try_submit_pinned(image, Some(set.sample(req_rng)))
+                }
+            };
+            match submitted {
+                Ok(id) => {
+                    routes.insert(
+                        id,
+                        Route {
+                            conn,
+                            wire_id,
+                            enqueued,
+                        },
+                    );
+                }
+                Err(_) => {
+                    // Readers validate geometry up front, so this only
+                    // triggers if the configured input shape is not what the
+                    // engine pinned — answer honestly rather than panic.
+                    shared
+                        .metrics
+                        .rejected_bad_shape
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.send(&Frame::Reject {
+                        id: wire_id,
+                        code: RejectCode::BadShape,
+                    });
+                }
+            }
+        }
+        Item::Shutdown { conn } => {
+            shared.draining.store(true, Ordering::SeqCst);
+            *stop = true;
+            // Every requester is owed an ack, not just the first.
+            if let Some(c) = conn {
+                ackers.push(c);
+            }
+        }
+    }
+}
+
+fn flush_and_respond<B: Backend + Send + 'static>(
+    engine: &mut ShardedEngine<B>,
+    shared: &Shared,
+    routes: &mut HashMap<RequestId, Route>,
+    last_stats: &mut tia_engine::EngineStats,
+) {
+    if engine.pending() == 0 {
+        return;
+    }
+    let responses = engine.flush();
+    let m = &shared.metrics;
+    for r in responses {
+        let Some(route) = routes.remove(&r.id) else {
+            continue; // unreachable: every submit recorded a route
+        };
+        let frame = Frame::Logits(InferResponse {
+            id: route.wire_id,
+            precision: r.precision,
+            top1: r.top1,
+            logits: r.logits.into_vec(),
+        });
+        route.conn.send(&frame);
+        m.responses_total.fetch_add(1, Ordering::Relaxed);
+        m.count_precision(r.precision);
+        m.latency
+            .record_ns(route.enqueued.elapsed().as_nanos() as u64);
+    }
+    let stats = engine.stats();
+    m.batches_total.fetch_add(
+        (stats.batches - last_stats.batches) as u64,
+        Ordering::Relaxed,
+    );
+    m.batch_frames_total.fetch_add(
+        (stats.requests - last_stats.requests) as u64,
+        Ordering::Relaxed,
+    );
+    *last_stats = stats;
+}
+
+/// Minimal HTTP/1.0 exposition endpoint: `GET /metrics` answers the
+/// Prometheus text format, anything else 404. One request per connection.
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopped.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        serve_scrape(&mut stream, &shared.metrics);
+    }
+}
+
+fn serve_scrape(stream: &mut TcpStream, metrics: &Metrics) {
+    use std::io::{Read, Write};
+    let mut buf = [0u8; 4096];
+    let mut got = 0;
+    // Read until the end of the request headers (or the buffer fills —
+    // scrapers send tiny requests).
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                got += n;
+                if buf[..got].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..got]);
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", metrics.render_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}

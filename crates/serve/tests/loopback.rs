@@ -1,0 +1,372 @@
+//! Loopback integration tests: a real `tia-serve` server on 127.0.0.1
+//! driven through real sockets, pinned against the in-process engine.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+use tia_engine::{EngineConfig, PrecisionPolicy, ShardedEngine};
+use tia_nn::zoo;
+use tia_quant::{Precision, PrecisionSet};
+use tia_serve::wire::{Frame, InferResponse, RejectCode, WireError};
+use tia_serve::{fetch_metrics, infer_frame, Client, LoadConfig, Server, ServerConfig, WirePolicy};
+use tia_tensor::{SeededRng, Tensor};
+
+const SHAPE: [usize; 3] = [3, 8, 8];
+
+fn replica() -> tia_nn::Network {
+    zoo::preact_resnet18_rps(3, 4, 5, PrecisionSet::range(4, 8), &mut SeededRng::new(1))
+}
+
+fn base_config() -> ServerConfig {
+    ServerConfig::default()
+        .with_input_shape(SHAPE)
+        .with_workers(2)
+        .with_policy(PrecisionPolicy::Random(PrecisionSet::range(4, 8)))
+        .with_engine(EngineConfig::default().with_max_batch(4).with_seed(7))
+}
+
+fn images(n: usize, seed: u64) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    Tensor::rand_uniform(&[n, SHAPE[0], SHAPE[1], SHAPE[2]], 0.0, 1.0, &mut rng)
+}
+
+/// The acceptance criterion of the subsystem: logits served over TCP are
+/// bitwise identical to the in-process sharded engine under the same seed
+/// and submission order, and the precision schedule matches draw for draw.
+#[test]
+fn tcp_served_logits_are_bitwise_identical_to_in_process_engine() {
+    const N: usize = 12;
+    let server = Server::spawn(base_config(), |_| replica()).unwrap();
+    let x = images(N, 2);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Pipeline all requests on one connection: wire order = submission
+    // order, exactly what the in-process reference sees.
+    for i in 0..N {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    let mut over_tcp: Vec<InferResponse> = (0..N)
+        .map(|_| match client.recv().unwrap() {
+            Frame::Logits(r) => r,
+            other => panic!("expected logits, got {other:?}"),
+        })
+        .collect();
+    over_tcp.sort_by_key(|r| r.id);
+
+    let mut reference = ShardedEngine::with_factory(
+        2,
+        |_| replica(),
+        PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+        EngineConfig::default().with_max_batch(4).with_seed(7),
+    );
+    let in_process = reference.serve(&x);
+
+    for (tcp, local) in over_tcp.iter().zip(&in_process) {
+        assert_eq!(tcp.id, local.id, "response ids must align");
+        assert_eq!(
+            tcp.precision, local.precision,
+            "request {} diverged from the seeded schedule",
+            tcp.id
+        );
+        assert_eq!(tcp.top1, local.top1);
+        let tcp_bits: Vec<u32> = tcp.logits.iter().map(|v| v.to_bits()).collect();
+        let local_bits: Vec<u32> = local.logits.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            tcp_bits, local_bits,
+            "request {} logits not bitwise equal",
+            tcp.id
+        );
+    }
+
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().requests, N);
+}
+
+/// Explicit per-request policies: pinned precisions execute as pinned and
+/// consume no draw from the server's seeded schedule.
+#[test]
+fn pinned_wire_policies_execute_at_the_pinned_precision() {
+    let server = Server::spawn(base_config(), |_| replica()).unwrap();
+    let x = images(3, 3);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let pin = WirePolicy::Fixed(Some(Precision::new(5)));
+    match client.infer(0, &x.index_axis0(0), pin).unwrap() {
+        Frame::Logits(r) => assert_eq!(r.precision, Some(Precision::new(5))),
+        other => panic!("expected logits, got {other:?}"),
+    }
+    match client
+        .infer(1, &x.index_axis0(1), WirePolicy::Fixed(None))
+        .unwrap()
+    {
+        Frame::Logits(r) => assert_eq!(r.precision, None, "fp32 pin must run full precision"),
+        other => panic!("expected logits, got {other:?}"),
+    }
+    match client
+        .infer(
+            2,
+            &x.index_axis0(2),
+            WirePolicy::Random(PrecisionSet::range(6, 7)),
+        )
+        .unwrap()
+    {
+        Frame::Logits(r) => {
+            let p = r.precision.expect("explicit random set never fp32");
+            assert!((6..=7).contains(&p.bits()));
+        }
+        other => panic!("expected logits, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Admission control: with the batcher paused and a 2-deep queue, a burst
+/// of 6 yields exactly 4 queue-full rejects, and the admitted 2 are served
+/// after resume.
+#[test]
+fn full_queue_rejects_with_503_style_frames() {
+    let cfg = base_config().with_queue_capacity(2).paused();
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    let x = images(6, 4);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..6 {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    // The reader processes frames sequentially, so rejects are determined:
+    // ids 2..6 bounce immediately while the batcher sleeps.
+    let mut rejected = Vec::new();
+    for _ in 0..4 {
+        match client.recv().unwrap() {
+            Frame::Reject { id, code } => {
+                assert_eq!(code, RejectCode::QueueFull);
+                rejected.push(id);
+            }
+            other => panic!("expected queue-full reject, got {other:?}"),
+        }
+    }
+    assert_eq!(rejected, vec![2, 3, 4, 5]);
+
+    server.resume();
+    let mut served = Vec::new();
+    for _ in 0..2 {
+        match client.recv().unwrap() {
+            Frame::Logits(r) => served.push(r.id),
+            other => panic!("expected logits, got {other:?}"),
+        }
+    }
+    served.sort_unstable();
+    assert_eq!(served, vec![0, 1]);
+
+    assert_eq!(
+        server
+            .metrics()
+            .rejected_queue_full
+            .load(std::sync::atomic::Ordering::Relaxed),
+        4
+    );
+    server.shutdown();
+}
+
+/// Wrong geometry is refused per request; the connection stays usable.
+#[test]
+fn bad_shape_is_rejected_but_connection_survives() {
+    let server = Server::spawn(base_config(), |_| replica()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let wrong = Tensor::zeros(&[1, 4, 4]);
+    match client.infer(9, &wrong, WirePolicy::Server).unwrap() {
+        Frame::Reject { id, code } => {
+            assert_eq!(id, 9);
+            assert_eq!(code, RejectCode::BadShape);
+        }
+        other => panic!("expected bad-shape reject, got {other:?}"),
+    }
+    // Same connection, correct shape: served normally.
+    let ok = images(1, 5);
+    assert!(matches!(
+        client
+            .infer(10, &ok.index_axis0(0), WirePolicy::Server)
+            .unwrap(),
+        Frame::Logits(_)
+    ));
+    server.shutdown();
+}
+
+/// A malformed frame earns an error report and a closed connection — and
+/// the server keeps serving everyone else.
+#[test]
+fn malformed_frames_get_an_error_and_a_closed_connection() {
+    let server = Server::spawn(base_config(), |_| replica()).unwrap();
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n garbage that is not a frame")
+        .unwrap();
+    raw.flush().unwrap();
+    match Frame::read_from(&mut raw) {
+        Ok(Frame::Error { msg }) => assert!(!msg.is_empty()),
+        Ok(other) => panic!("expected error frame, got {other:?}"),
+        Err(e) => panic!("expected error frame, got {e}"),
+    }
+    // The server hangs up after the error frame.
+    assert!(matches!(
+        Frame::read_from(&mut raw),
+        Err(WireError::Closed) | Err(WireError::Io(_))
+    ));
+
+    // A well-behaved client on a fresh connection is unaffected.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    let x = images(1, 6);
+    assert!(matches!(
+        client
+            .infer(0, &x.index_axis0(0), WirePolicy::Server)
+            .unwrap(),
+        Frame::Logits(_)
+    ));
+
+    assert!(
+        server
+            .metrics()
+            .bad_frames_total
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    server.shutdown();
+}
+
+/// Graceful drain: pipelined requests followed by a shutdown frame all get
+/// answered before the acknowledgement, then the socket closes cleanly and
+/// new work is refused as draining.
+#[test]
+fn shutdown_drains_admitted_work_before_acking() {
+    const N: usize = 5;
+    let server = Server::spawn(base_config(), |_| replica()).unwrap();
+    let x = images(N, 7);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..N {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    let mut served = 0;
+    client
+        .shutdown_server(|frame| {
+            if matches!(frame, Frame::Logits(_)) {
+                served += 1;
+            }
+        })
+        .unwrap();
+    assert_eq!(served, N, "every admitted request must be served pre-ack");
+    // The remote shutdown completes without local help; wait() just joins.
+    let engine = server.wait();
+    assert_eq!(engine.stats().requests, N);
+    // And once drained, the server has closed the connection.
+    assert!(matches!(
+        client.recv(),
+        Err(WireError::Closed) | Err(WireError::Io(_))
+    ));
+}
+
+/// The Prometheus endpoint reports live counters in exposition format.
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let cfg = base_config().with_metrics_addr("127.0.0.1:0");
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    let metrics_addr = server.metrics_addr().expect("metrics listener enabled");
+
+    let report = tia_serve::run_load(&LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 2,
+        requests: 10,
+        inflight: 4,
+        rate: None,
+        shape: SHAPE,
+        seed: 9,
+        policy: WirePolicy::Server,
+    })
+    .unwrap();
+    assert_eq!(report.ok, 10);
+    assert_eq!(report.errors, 0);
+    assert!(report.latency.count() == 10 && report.rps() > 0.0);
+
+    let text = fetch_metrics(metrics_addr).unwrap();
+    assert!(text.contains("tia_serve_requests_total 10"), "{text}");
+    assert!(text.contains("tia_serve_responses_total 10"), "{text}");
+    assert!(
+        text.contains("tia_serve_request_latency_seconds_count 10"),
+        "{text}"
+    );
+    assert!(text.contains("tia_serve_connections_total 2"), "{text}");
+    // 10 RPS draws from 4~8-bit: the per-precision mix sums to 10.
+    let mix: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("tia_serve_frames_by_precision_total"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(mix, 10);
+
+    // Unknown scrape paths 404 without killing the listener.
+    use std::io::{Read, Write as _};
+    let mut s = TcpStream::connect(metrics_addr).unwrap();
+    s.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.0 404"), "{reply}");
+    drop(s);
+    assert!(fetch_metrics(metrics_addr).is_ok());
+
+    server.shutdown();
+}
+
+/// An open-loop run against a paused, tiny-queue server sheds load via
+/// rejects instead of queueing without bound.
+#[test]
+fn open_loop_overload_is_shed_with_rejects() {
+    let cfg = base_config().with_queue_capacity(2).paused();
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    // Resume the batcher only after the burst has been fired, so the
+    // bounded queue is what absorbs (and sheds) the arrivals; the admitted
+    // requests are then served, unblocking the load run.
+    let report = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(400));
+            server.resume();
+        });
+        tia_serve::run_load(&LoadConfig {
+            addr: server.addr().to_string(),
+            connections: 1,
+            requests: 12,
+            inflight: 1,
+            rate: Some(2000.0),
+            shape: SHAPE,
+            seed: 10,
+            policy: WirePolicy::Server,
+        })
+        .unwrap()
+    });
+    assert_eq!(report.sent, 12);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ok + report.rejected, 12);
+    assert!(
+        report.rejected >= 1,
+        "a paused 2-deep queue must shed load, got {report:?}"
+    );
+    let engine = server.shutdown();
+    // Exactly the admitted requests got served — nothing lost, nothing
+    // double-served.
+    assert_eq!(engine.stats().requests as u64, report.ok);
+}

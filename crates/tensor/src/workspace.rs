@@ -32,32 +32,58 @@ use crate::tensor::Tensor;
 /// let b = ws.take_zeroed(64); // reuses the 128-capacity buffer
 /// assert!(b.capacity() >= 128);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    max_pooled: usize,
 }
 
-/// Hard cap on pooled buffers. Paths that recycle more than they take
-/// (e.g. a server handed externally allocated request tensors every burst)
-/// must not grow the pool without bound: beyond the cap, recycled buffers
-/// are simply dropped — a later take allocates, which is graceful
-/// degradation, not a leak. The cap is far above any layer stack's
-/// steady-state working set, so hot paths never hit it.
-const MAX_POOLED: usize = 256;
-
-/// Cloning a workspace yields an *empty* one: scratch contents are
-/// meaningless across owners, and a cloned `Network` replica must not drag
-/// another replica's warm buffers (each shard warms its own).
-impl Clone for Workspace {
-    fn clone(&self) -> Self {
+impl Default for Workspace {
+    fn default() -> Self {
         Self::new()
     }
 }
 
+/// Cloning a workspace yields an *empty* one with the same pool cap:
+/// scratch contents are meaningless across owners, and a cloned `Network`
+/// replica must not drag another replica's warm buffers (each shard warms
+/// its own).
+impl Clone for Workspace {
+    fn clone(&self) -> Self {
+        Self::with_max_pooled(self.max_pooled)
+    }
+}
+
 impl Workspace {
-    /// Creates an empty workspace. Allocation-free until the first take.
+    /// Default hard cap on pooled buffers. Paths that recycle more than they
+    /// take (e.g. a server handed externally allocated request tensors every
+    /// burst) must not grow the pool without bound: beyond the cap, recycled
+    /// buffers are simply dropped — a later take allocates, which is
+    /// graceful degradation, not a leak. The default is far above any layer
+    /// stack's steady-state working set, so hot paths never hit it; servers
+    /// tuning memory-vs-allocation trade-offs can override it per workspace
+    /// with [`Workspace::with_max_pooled`].
+    pub const DEFAULT_MAX_POOLED: usize = 256;
+
+    /// Creates an empty workspace with the default pool cap.
+    /// Allocation-free until the first take.
     pub fn new() -> Self {
-        Self { pool: Vec::new() }
+        Self::with_max_pooled(Self::DEFAULT_MAX_POOLED)
+    }
+
+    /// Creates an empty workspace that parks at most `max_pooled` recycled
+    /// buffers (clamped to at least 1). Recycles beyond the cap drop their
+    /// buffer instead of pooling it.
+    pub fn with_max_pooled(max_pooled: usize) -> Self {
+        Self {
+            pool: Vec::new(),
+            max_pooled: max_pooled.max(1),
+        }
+    }
+
+    /// The pool cap this workspace was built with.
+    pub fn max_pooled(&self) -> usize {
+        self.max_pooled
     }
 
     /// Number of buffers currently parked in the pool.
@@ -118,7 +144,7 @@ impl Workspace {
     /// Returns a buffer to the pool for reuse. Zero-capacity buffers and
     /// buffers beyond the pool cap are dropped instead of parked.
     pub fn recycle(&mut self, buf: Vec<f32>) {
-        if buf.capacity() > 0 && self.pool.len() < MAX_POOLED {
+        if buf.capacity() > 0 && self.pool.len() < self.max_pooled {
             self.pool.push(buf);
         }
     }
@@ -221,10 +247,26 @@ mod tests {
         // Recycling more than the cap (a server fed externally allocated
         // tensors every burst) must not grow the pool without bound.
         let mut ws = Workspace::new();
-        for _ in 0..2 * MAX_POOLED {
+        for _ in 0..2 * Workspace::DEFAULT_MAX_POOLED {
             ws.recycle(vec![0.0; 8]);
         }
-        assert_eq!(ws.pooled(), MAX_POOLED);
+        assert_eq!(ws.pooled(), Workspace::DEFAULT_MAX_POOLED);
+    }
+
+    #[test]
+    fn pool_cap_is_configurable() {
+        let mut ws = Workspace::with_max_pooled(3);
+        assert_eq!(ws.max_pooled(), 3);
+        for _ in 0..10 {
+            ws.recycle(vec![0.0; 8]);
+        }
+        assert_eq!(ws.pooled(), 3);
+        // The cap survives cloning even though the contents do not.
+        let c = ws.clone();
+        assert_eq!(c.max_pooled(), 3);
+        assert_eq!(c.pooled(), 0);
+        // A zero cap is clamped: the pool still functions.
+        assert_eq!(Workspace::with_max_pooled(0).max_pooled(), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`nn`] | layers, switchable BN, model zoo, workload shape tables |
 //! | [`quant`] | linear quantizers and precision sets |
 //! | [`engine`] | batched, policy-driven serving: `Backend`, `Engine`, `SimBacked` |
+//! | [`serve`] | TCP serving front-end: wire protocol, admission control, metrics |
 //! | [`attack`] | FGSM, FGSM-RS, PGD, CW-∞, APGD, Bandits, E-PGD |
 //! | [`core`] | RPS training/inference, robust evaluation, transfer matrices |
 //! | [`accel`] | MAC-unit models (temporal/spatial/spatial-temporal), DNNGuard |
@@ -60,6 +61,7 @@ pub use tia_dataflow as dataflow;
 pub use tia_engine as engine;
 pub use tia_nn as nn;
 pub use tia_quant as quant;
+pub use tia_serve as serve;
 pub use tia_sim as sim;
 pub use tia_tensor as tensor;
 
@@ -79,6 +81,7 @@ pub mod prelude {
     };
     pub use tia_nn::{workload::NetworkSpec, zoo, Mode, Network};
     pub use tia_quant::{Precision, PrecisionSet};
+    pub use tia_serve::{Client, Server, ServerConfig, WirePolicy};
     pub use tia_sim::{dnnguard_throughput, Accelerator};
     pub use tia_tensor::{SeededRng, Tensor};
 }
