@@ -219,6 +219,7 @@ fn bench_tcp_serving() -> Vec<BenchResult> {
             shape: [3, 16, 16],
             seed: 4,
             policy: WirePolicy::Server,
+            ..LoadConfig::default()
         };
         let mut r = bench(&format!("serve_tcp_w{}_rps4-8", workers), || {
             let report = tia_serve::run_load(black_box(&load)).expect("load run");
@@ -238,6 +239,57 @@ fn bench_tcp_serving() -> Vec<BenchResult> {
     results
 }
 
+/// Deadline-overload behaviour of the EDF scheduler: the same open-loop
+/// overload (arrivals at ~2x serving capacity) with and without a
+/// per-request deadline. Without one, every request queues and p99 grows
+/// with the backlog; with one, the scheduler sheds expired requests
+/// (`Reject{DeadlineExceeded}`) instead of serving them late, keeping the
+/// p99 of what *is* served bounded near the deadline. One p99 entry each.
+fn bench_deadline_overload() -> Vec<BenchResult> {
+    use tia_serve::{LoadConfig, Server, ServerConfig, WirePolicy};
+    const REQUESTS: usize = 256;
+    let set = PrecisionSet::range(4, 8);
+    let mut results = Vec::new();
+    println!("\ndeadline overload: open loop at ~2x capacity, 256 requests");
+    for (tag, deadline_ms) in [("no_deadline", None), ("deadline5ms", Some(5u32))] {
+        let cfg = ServerConfig::default()
+            .with_workers(1)
+            .with_input_shape([3, 16, 16])
+            .with_policy(PrecisionPolicy::Random(set.clone()))
+            .with_engine(EngineConfig::default().with_max_batch(8).with_seed(7));
+        let server = Server::spawn(cfg, |_| {
+            zoo::preact_resnet18_rps(3, 4, 10, PrecisionSet::range(4, 8), &mut SeededRng::new(6))
+        })
+        .expect("loopback server bind");
+        let report = tia_serve::run_load(&LoadConfig {
+            addr: server.addr().to_string(),
+            connections: 1,
+            requests: REQUESTS,
+            rate: Some(8000.0),
+            shape: [3, 16, 16],
+            seed: 4,
+            policy: WirePolicy::Server,
+            deadline_ms,
+            ..LoadConfig::default()
+        })
+        .expect("load run");
+        let p99 = report.latency.quantile_ns(0.99);
+        println!(
+            "  -> {tag}: p99 {:>8.2} ms ({} served, {} deadline-shed)",
+            p99 as f64 / 1e6,
+            report.ok,
+            report.rejected_deadline
+        );
+        results.push(BenchResult {
+            name: format!("serve_open_overload_p99_{tag}"),
+            iters: report.ok.max(1),
+            ns_per_iter: p99 as f64,
+        });
+        let _ = server.shutdown();
+    }
+    results
+}
+
 fn main() {
     let mut results = vec![
         bench_quantize(),
@@ -249,6 +301,7 @@ fn main() {
     results.extend(bench_engine_serving());
     results.extend(bench_sharded_serving());
     results.extend(bench_tcp_serving());
+    results.extend(bench_deadline_overload());
     if smoke_mode() {
         // CI smoke runs prove the bench still compiles and executes; their
         // single-iteration timings must not clobber the perf snapshot.

@@ -4,6 +4,7 @@
 //! tia-loadgen [--addr 127.0.0.1:7878] [--mode closed|open]
 //!             [--conns 1] [--requests 64] [--inflight 8] [--rate 500]
 //!             [--shape 3,16,16] [--seed 1] [--policy server|fp32|fixedN|rpsLO-HI]
+//!             [--deadline-ms N] [--class normal|interactive|batch]
 //!             [--connect-timeout-secs 30] [--metrics-addr HOST:PORT]
 //!             [--ping] [--shutdown]
 //! ```
@@ -12,10 +13,14 @@
 //! to drain and exit after the load completes, and waits for the
 //! acknowledgement (the CI loopback smoke test relies on this to assert a
 //! clean shutdown). `--metrics-addr` fetches and prints the server's
-//! Prometheus text at the end of the run.
+//! Prometheus text at the end of the run. `--deadline-ms` attaches a
+//! relative deadline to every request (frame v2): under overload the
+//! server sheds expired requests with `Reject{DeadlineExceeded}`, which
+//! the report counts as deadline-shed rejects, not errors. `--class` sets
+//! the scheduling priority class.
 
 use std::time::Duration;
-use tia_serve::cli::{parse_shape, parse_wire_policy, Args};
+use tia_serve::cli::{parse_class, parse_shape, parse_wire_policy, Args};
 use tia_serve::{fetch_metrics, run_load, Client, LoadConfig};
 
 fn main() {
@@ -38,6 +43,8 @@ fn run() -> Result<(), String> {
             "shape",
             "seed",
             "policy",
+            "deadline-ms",
+            "class",
             "connect-timeout-secs",
         ],
         &["ping", "shutdown"],
@@ -71,6 +78,19 @@ fn run() -> Result<(), String> {
         shape: parse_shape(args.get("shape").unwrap_or("3,16,16"))?,
         seed: args.get_or("seed", 1)?,
         policy: parse_wire_policy(args.get("policy").unwrap_or("server"))?,
+        deadline_ms: match args.get("deadline-ms") {
+            None => None,
+            Some(v) => {
+                let ms: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms: could not parse {v:?}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be >= 1 (0 means no deadline)".to_string());
+                }
+                Some(ms)
+            }
+        },
+        class: parse_class(args.get("class").unwrap_or("normal"))?,
     };
     let report = run_load(&cfg).map_err(|e| format!("load run failed: {e}"))?;
     println!(

@@ -6,9 +6,15 @@
 //! ```text
 //! tia-served [--addr 127.0.0.1:7878] [--metrics-addr 127.0.0.1:7879]
 //!            [--workers N] [--max-batch 8] [--queue-cap 1024]
+//!            [--max-wait-ms 0]
 //!            [--policy rps4-8|fixedN|fp32] [--seed 7] [--model-seed 1]
 //!            [--channels 3] [--image 16] [--width 4] [--classes 10]
 //! ```
+//!
+//! `--max-wait-ms` is the deadline-aware scheduler's batch-forming wait:
+//! how long to hold a partial batch for more arrivals (0 = form
+//! immediately). Requests carrying a wire deadline cut the wait short and
+//! are shed with `Reject{DeadlineExceeded}` once expired.
 
 use tia_engine::EngineConfig;
 use tia_nn::zoo;
@@ -32,6 +38,7 @@ fn run() -> Result<(), String> {
             "workers",
             "max-batch",
             "queue-cap",
+            "max-wait-ms",
             "seed",
             "model-seed",
             "channels",
@@ -50,6 +57,7 @@ fn run() -> Result<(), String> {
     )?;
     let max_batch: usize = args.get_or("max-batch", 8)?;
     let queue_cap: usize = args.get_or("queue-cap", 1024)?;
+    let max_wait_ms: u64 = args.get_or("max-wait-ms", 0)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let model_seed: u64 = args.get_or("model-seed", 1)?;
     let channels: usize = args.get_or("channels", 3)?;
@@ -72,6 +80,7 @@ fn run() -> Result<(), String> {
         .with_metrics_addr(metrics_addr)
         .with_workers(workers)
         .with_queue_capacity(queue_cap)
+        .with_max_wait(std::time::Duration::from_millis(max_wait_ms))
         .with_input_shape([channels, image, image])
         .with_policy(policy.clone())
         .with_engine(
@@ -92,8 +101,8 @@ fn run() -> Result<(), String> {
     .map_err(|e| format!("could not bind: {e}"))?;
 
     println!(
-        "tia-served: serving [{}x{}x{}] under {} on {} ({} worker shard(s), max batch {}, queue {})",
-        channels, image, image, policy, server.addr(), workers, max_batch, queue_cap
+        "tia-served: serving [{}x{}x{}] under {} on {} ({} worker shard(s), max batch {}, queue {}, max wait {} ms)",
+        channels, image, image, policy, server.addr(), workers, max_batch, queue_cap, max_wait_ms
     );
     if let Some(m) = server.metrics_addr() {
         println!("tia-served: Prometheus metrics on http://{m}/metrics");

@@ -1,7 +1,7 @@
 //! Tiny `--flag value` argument parsing shared by the `tia-served` and
 //! `tia-loadgen` binaries (the workspace is dependency-free, so no clap).
 
-use crate::wire::WirePolicy;
+use crate::wire::{Class, WirePolicy};
 use tia_engine::PrecisionPolicy;
 use tia_quant::{Precision, PrecisionSet};
 
@@ -102,6 +102,18 @@ pub fn parse_wire_policy(s: &str) -> Result<WirePolicy, String> {
     })
 }
 
+/// Parses a scheduling class: `normal`, `interactive` or `batch`.
+pub fn parse_class(s: &str) -> Result<Class, String> {
+    match s {
+        "normal" => Ok(Class::Normal),
+        "interactive" => Ok(Class::Interactive),
+        "batch" => Ok(Class::Batch),
+        _ => Err(format!(
+            "bad class {s:?}, expected normal, interactive or batch"
+        )),
+    }
+}
+
 /// Parses `C,H,W` (e.g. `3,16,16`) into an image shape.
 pub fn parse_shape(s: &str) -> Result<[usize; 3], String> {
     let parts: Vec<usize> = s
@@ -138,6 +150,14 @@ mod tests {
         assert!(parse_policy("rps8-4").is_err());
         assert!(parse_policy("banana").is_err());
         assert_eq!(parse_wire_policy("server").unwrap(), WirePolicy::Server);
+    }
+
+    #[test]
+    fn classes_parse() {
+        assert_eq!(parse_class("normal").unwrap(), Class::Normal);
+        assert_eq!(parse_class("interactive").unwrap(), Class::Interactive);
+        assert_eq!(parse_class("batch").unwrap(), Class::Batch);
+        assert!(parse_class("urgent").is_err());
     }
 
     #[test]

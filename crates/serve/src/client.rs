@@ -1,23 +1,43 @@
 //! A minimal blocking wire-protocol client, shared by the load generator,
 //! the benchmarks and the integration tests.
 
-use crate::wire::{Frame, InferRequest, WireError, WirePolicy};
+use crate::wire::{Class, Frame, InferRequest, WireError, WirePolicy};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 use tia_tensor::Tensor;
 
-/// Builds an [`Frame::Infer`] from a `[C, H, W]` tensor.
+/// Builds an [`Frame::Infer`] from a `[C, H, W]` tensor (no deadline,
+/// normal class — encodes as a v1 frame; see [`infer_frame_with`]).
 ///
 /// # Panics
 ///
 /// Panics if `image` is not 3-D.
 pub fn infer_frame(id: u64, image: &Tensor, policy: WirePolicy) -> Frame {
+    infer_frame_with(id, image, policy, None, Class::Normal)
+}
+
+/// Builds an [`Frame::Infer`] carrying the v2 scheduling fields: a relative
+/// response deadline in milliseconds (anchored at server admission) and a
+/// priority class.
+///
+/// # Panics
+///
+/// Panics if `image` is not 3-D.
+pub fn infer_frame_with(
+    id: u64,
+    image: &Tensor,
+    policy: WirePolicy,
+    deadline_ms: Option<u32>,
+    class: Class,
+) -> Frame {
     let s = image.shape();
     assert_eq!(s.len(), 3, "infer_frame expects a [C, H, W] image");
     Frame::Infer(InferRequest {
         id,
         policy,
+        deadline_ms,
+        class,
         shape: [s[0], s[1], s[2]],
         pixels: image.data().to_vec(),
     })

@@ -6,12 +6,14 @@
 //! in-process serving runtime ([`tia_engine::ShardedEngine`]).
 //!
 //! * [`wire`] — a versioned, length-prefixed binary protocol with explicit
-//!   request-id and precision-policy fields and strict malformed-frame
-//!   rejection.
+//!   request-id, precision-policy and (frame v2) deadline/priority-class
+//!   fields, and strict malformed-frame rejection.
 //! * [`server`] — the connection acceptor, per-connection reader threads,
-//!   and the batcher thread that owns the engine's submit/flush cycle;
-//!   bounded-queue admission control (503-style [`wire::RejectCode`]
-//!   frames) and graceful drain on shutdown.
+//!   and the deadline-aware EDF batch scheduler that owns the engine's
+//!   submit/flush cycle; bounded-queue admission control (503-style
+//!   [`wire::RejectCode`] frames), deadline shedding
+//!   ([`wire::RejectCode::DeadlineExceeded`]) and graceful drain on
+//!   shutdown.
 //! * [`metrics`] — an atomic counter/histogram registry (RPS counters,
 //!   queue depth, per-precision batch mix, p50/p99 latency) exposed in
 //!   Prometheus text format on a second port.
@@ -67,8 +69,8 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{fetch_metrics, infer_frame, Client};
+pub use client::{fetch_metrics, infer_frame, infer_frame_with, Client};
 pub use load::{run as run_load, LoadConfig, LoadReport};
 pub use metrics::{Histogram, Metrics};
 pub use server::{Server, ServerConfig};
-pub use wire::{Frame, InferRequest, InferResponse, RejectCode, WireError, WirePolicy};
+pub use wire::{Class, Frame, InferRequest, InferResponse, RejectCode, WireError, WirePolicy};

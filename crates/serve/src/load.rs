@@ -7,9 +7,9 @@
 //! and how admission control sheds overload). Both report end-to-end
 //! latency through the same [`Histogram`] the server's metrics use.
 
-use crate::client::{infer_frame, Client};
+use crate::client::{infer_frame_with, Client};
 use crate::metrics::Histogram;
-use crate::wire::{Frame, WirePolicy};
+use crate::wire::{Class, Frame, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +37,12 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Precision policy attached to every request.
     pub policy: WirePolicy,
+    /// Relative deadline attached to every request (`None` = no deadline);
+    /// the server sheds requests whose deadline expires before execution
+    /// with [`RejectCode::DeadlineExceeded`].
+    pub deadline_ms: Option<u32>,
+    /// Scheduling class attached to every request.
+    pub class: Class,
 }
 
 impl Default for LoadConfig {
@@ -50,6 +56,8 @@ impl Default for LoadConfig {
             shape: [3, 16, 16],
             seed: 1,
             policy: WirePolicy::Server,
+            deadline_ms: None,
+            class: Class::Normal,
         }
     }
 }
@@ -61,10 +69,20 @@ pub struct LoadReport {
     pub sent: u64,
     /// Successful responses.
     pub ok: u64,
-    /// Admission-control rejections (queue full / draining / bad shape).
+    /// Admission-control rejections (queue full / draining / bad shape /
+    /// deadline exceeded).
     pub rejected: u64,
+    /// The subset of `rejected` shed as [`RejectCode::DeadlineExceeded`].
+    pub rejected_deadline: u64,
     /// Transport or protocol errors (requests with no usable answer).
     pub errors: u64,
+    /// Open loop only: scheduled send ticks skipped after a stall instead
+    /// of being fired as an infinite-rate catch-up burst (the coordinated
+    /// omission guard). Zero means the sender held its rate throughout.
+    pub ticks_skipped: u64,
+    /// Open loop only: the worst observed intended-send vs actual-send
+    /// skew (how late a request was written relative to its schedule).
+    pub max_send_lag: Duration,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// End-to-end (send → response read) latency of successful responses.
@@ -79,7 +97,7 @@ impl LoadReport {
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} ok / {} rejected / {} errors in {:.2}s -> {:.0} req/s; latency p50 {:.2} ms, p99 {:.2} ms, mean {:.2} ms",
             self.ok,
             self.rejected,
@@ -89,7 +107,18 @@ impl LoadReport {
             self.latency.quantile_ns(0.50) as f64 / 1e6,
             self.latency.quantile_ns(0.99) as f64 / 1e6,
             self.latency.mean_ns() / 1e6,
-        )
+        );
+        if self.rejected_deadline > 0 {
+            s.push_str(&format!(" ({} deadline-shed)", self.rejected_deadline));
+        }
+        if self.ticks_skipped > 0 || self.max_send_lag > Duration::ZERO {
+            s.push_str(&format!(
+                "; send skew: {} tick(s) skipped, max lag {:.2} ms",
+                self.ticks_skipped,
+                self.max_send_lag.as_secs_f64() * 1e3,
+            ));
+        }
+        s
     }
 }
 
@@ -119,7 +148,10 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         sent: 0,
         ok: 0,
         rejected: 0,
+        rejected_deadline: 0,
         errors: 0,
+        ticks_skipped: 0,
+        max_send_lag: Duration::ZERO,
         elapsed: Duration::ZERO,
         latency: Histogram::new(),
     };
@@ -128,7 +160,10 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.sent += stats.sent;
         report.ok += stats.ok;
         report.rejected += stats.rejected;
+        report.rejected_deadline += stats.rejected_deadline;
         report.errors += stats.errors;
+        report.ticks_skipped += stats.ticks_skipped;
+        report.max_send_lag = report.max_send_lag.max(stats.max_send_lag);
         report.latency.merge(&stats.latency);
     }
     report.elapsed = start.elapsed();
@@ -139,7 +174,10 @@ struct ConnStats {
     sent: u64,
     ok: u64,
     rejected: u64,
+    rejected_deadline: u64,
     errors: u64,
+    ticks_skipped: u64,
+    max_send_lag: Duration,
     latency: Histogram,
 }
 
@@ -147,6 +185,13 @@ fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
     (0..parts)
         .map(|i| total / parts + usize::from(i < total % parts))
         .collect()
+}
+
+/// How many whole send ticks a stall of `lag` has cost: the size of the
+/// catch-up burst the open loop refuses to fire (a lag under one interval
+/// skips nothing — the send is merely late, not bursty).
+fn missed_ticks(lag: Duration, interval: Duration) -> u64 {
+    (lag.as_nanos() / interval.as_nanos().max(1)).min(u64::MAX as u128) as u64
 }
 
 fn request_image(cfg: &LoadConfig, conn: u64) -> Tensor {
@@ -162,13 +207,17 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
         sent: 0,
         ok: 0,
         rejected: 0,
+        rejected_deadline: 0,
         errors: 0,
+        ticks_skipped: 0,
+        max_send_lag: Duration::ZERO,
         latency: Histogram::new(),
     };
+    let frame = |id| infer_frame_with(id, image, cfg.policy.clone(), cfg.deadline_ms, cfg.class);
     let mut sent_at: HashMap<u64, Instant> = HashMap::new();
     let window = cfg.inflight.max(1).min(n);
     for id in 0..window as u64 {
-        client.send(&infer_frame(id, image, cfg.policy.clone()))?;
+        client.send(&frame(id))?;
         sent_at.insert(id, Instant::now());
         stats.sent += 1;
     }
@@ -182,9 +231,12 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
                 stats.ok += 1;
                 answered += 1;
             }
-            Ok(Frame::Reject { id, .. }) => {
+            Ok(Frame::Reject { id, code }) => {
                 sent_at.remove(&id);
                 stats.rejected += 1;
+                if code == RejectCode::DeadlineExceeded {
+                    stats.rejected_deadline += 1;
+                }
                 answered += 1;
             }
             // An unexpected frame kind still answers one request; it lands
@@ -195,10 +247,7 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
         }
         if (stats.sent as usize) < n {
             let id = stats.sent;
-            if client
-                .send(&infer_frame(id, image, cfg.policy.clone()))
-                .is_err()
-            {
+            if client.send(&frame(id)).is_err() {
                 break;
             }
             sent_at.insert(id, Instant::now());
@@ -221,11 +270,13 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
     let latency = Arc::new(Histogram::new());
     let ok = Arc::new(AtomicU64::new(0));
     let rejected = Arc::new(AtomicU64::new(0));
+    let rejected_deadline = Arc::new(AtomicU64::new(0));
 
     let receiver = {
         let sent_at = Arc::clone(&sent_at);
         let latency = Arc::clone(&latency);
         let (ok, rejected) = (Arc::clone(&ok), Arc::clone(&rejected));
+        let rejected_deadline = Arc::clone(&rejected_deadline);
         std::thread::spawn(move || {
             let mut seen = 0usize;
             while seen < n {
@@ -237,8 +288,11 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
                         ok.fetch_add(1, Ordering::Relaxed);
                         seen += 1;
                     }
-                    Ok(Frame::Reject { .. }) => {
+                    Ok(Frame::Reject { code, .. }) => {
                         rejected.fetch_add(1, Ordering::Relaxed);
+                        if code == RejectCode::DeadlineExceeded {
+                            rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                        }
                         seen += 1;
                     }
                     // Unexpected frames land in the error shortfall below.
@@ -249,18 +303,36 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
         })
     };
 
-    let interval = Duration::from_secs_f64(1.0 / rate);
+    let interval = Duration::from_secs_f64(1.0 / rate).max(Duration::from_nanos(1));
     let mut next = Instant::now();
     let mut sent = 0u64;
+    let mut ticks_skipped = 0u64;
+    let mut max_send_lag = Duration::ZERO;
     for id in 0..n as u64 {
         let now = Instant::now();
         if now < next {
             std::thread::sleep(next - now);
+        } else {
+            // Coordinated-omission guard: after a stall (a blocking write,
+            // scheduler hiccup, …) `next` lags `now`, and naively firing
+            // every missed tick would be a back-to-back burst at effectively
+            // infinite rate — arrivals the configured rate never intended,
+            // which then masquerade as server latency. Skip the missed
+            // ticks (the schedule grid stays anchored; this request fires
+            // now, the next one a full interval later) and report the skew
+            // honestly instead.
+            let lag = now - next;
+            let missed = missed_ticks(lag, interval);
+            if missed > 0 {
+                ticks_skipped += missed;
+                next += interval.saturating_mul(missed.min(u32::MAX as u64) as u32);
+            }
+            max_send_lag = max_send_lag.max(lag);
         }
         if let Ok(mut m) = sent_at.lock() {
             m.insert(id, Instant::now());
         }
-        if infer_frame(id, image, cfg.policy.clone())
+        if infer_frame_with(id, image, cfg.policy.clone(), cfg.deadline_ms, cfg.class)
             .write_to(&mut writer)
             .is_err()
         {
@@ -280,8 +352,11 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
         sent,
         ok,
         rejected,
+        rejected_deadline: rejected_deadline.load(Ordering::Relaxed),
         // Sent requests with no usable answer; never counts unsent ones.
         errors: sent.saturating_sub(ok + rejected),
+        ticks_skipped,
+        max_send_lag,
         latency: latency_out,
     })
 }
@@ -294,5 +369,23 @@ mod tests {
     fn requests_split_evenly_across_connections() {
         assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
         assert_eq!(split_evenly(2, 4), vec![1, 1, 0, 0]);
+    }
+
+    /// The coordinated-omission guard: a stall shorter than one interval
+    /// skips nothing (the send is just late); an N-interval stall skips
+    /// exactly the N-tick catch-up burst the naive loop would have fired.
+    #[test]
+    fn stalls_skip_missed_ticks_instead_of_bursting() {
+        let interval = Duration::from_millis(10);
+        assert_eq!(missed_ticks(Duration::ZERO, interval), 0);
+        assert_eq!(missed_ticks(Duration::from_millis(9), interval), 0);
+        assert_eq!(missed_ticks(Duration::from_millis(10), interval), 1);
+        assert_eq!(missed_ticks(Duration::from_millis(95), interval), 9);
+        assert_eq!(missed_ticks(Duration::from_secs(1), interval), 100);
+        // Degenerate interval never divides by zero.
+        assert_eq!(
+            missed_ticks(Duration::from_secs(1), Duration::ZERO),
+            1_000_000_000
+        );
     }
 }

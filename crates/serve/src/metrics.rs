@@ -8,6 +8,7 @@
 //! (scrape) and client-side (the load generator reuses [`Histogram`] for
 //! its own end-to-end latency report).
 
+use crate::wire::Class;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tia_quant::Precision;
 
@@ -29,6 +30,20 @@ pub struct Histogram {
     sum_ns: AtomicU64,
 }
 
+/// The bucket a `us`-microsecond sample belongs to: the smallest `i` with
+/// `us <= bucket_upper_us(i)` (`= ceil(log2(us))`), clamped to the
+/// overflow slot. The single source of truth shared by [`Histogram::record_ns`],
+/// [`Histogram::quantile_ns`] and the Prometheus rendering, so a sample of
+/// exactly `bucket_upper_us(i)` µs counts toward bucket `i`'s `le` bound
+/// everywhere — pinned by the boundary tests below.
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        (64 - (us - 1).leading_zeros() as usize).min(BUCKETS)
+    }
+}
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -38,12 +53,7 @@ impl Histogram {
     /// Records one latency sample.
     pub fn record_ns(&self, ns: u64) {
         let us = ns.div_ceil(1000);
-        let bucket = if us <= 1 {
-            0
-        } else {
-            (64 - (us - 1).leading_zeros() as usize).min(BUCKETS)
-        };
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
@@ -78,7 +88,10 @@ impl Histogram {
                 return bucket_upper_us(i).saturating_mul(1000);
             }
         }
-        bucket_upper_us(BUCKETS) * 1000
+        // Unreachable (the loop covers every slot, and `total > 0` means
+        // some slot holds the rank), but keep the fallthrough consistent
+        // with the in-loop conversion: saturating, never silently wrapping.
+        bucket_upper_us(BUCKETS).saturating_mul(1000)
     }
 
     /// Merges another histogram's samples into this one.
@@ -91,22 +104,28 @@ impl Histogram {
     }
 
     /// Renders the histogram in Prometheus `_bucket`/`_sum`/`_count` form
-    /// with `le` bounds in seconds.
-    fn render(&self, name: &str, out: &mut String) {
+    /// with `le` bounds in seconds. `labels` is either empty or a
+    /// `key="value",` prefix spliced before the `le` label (the trailing
+    /// comma included).
+    fn render(&self, name: &str, labels: &str, out: &mut String) {
         use std::fmt::Write;
-        let _ = writeln!(out, "# HELP {name} End-to-end request latency.");
-        let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cum = 0u64;
         for i in 0..BUCKETS {
             cum += self.counts[i].load(Ordering::Relaxed);
             let le = bucket_upper_us(i) as f64 / 1e6;
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {cum}");
         }
         cum += self.counts[BUCKETS].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cum}");
         let sum_s = self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
-        let _ = writeln!(out, "{name}_sum {sum_s}");
-        let _ = writeln!(out, "{name}_count {cum}");
+        let plain = labels.trim_end_matches(',');
+        if plain.is_empty() {
+            let _ = writeln!(out, "{name}_sum {sum_s}");
+            let _ = writeln!(out, "{name}_count {cum}");
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{plain}}} {sum_s}");
+            let _ = writeln!(out, "{name}_count{{{plain}}} {cum}");
+        }
     }
 }
 
@@ -128,6 +147,9 @@ pub struct Metrics {
     pub rejected_draining: AtomicU64,
     /// Requests refused because the image geometry was wrong.
     pub rejected_bad_shape: AtomicU64,
+    /// Requests shed because their deadline expired before they reached
+    /// the engine (never served, never drew from the seeded schedule).
+    pub rejected_deadline: AtomicU64,
     /// Frames that failed to decode (the connection is closed after one).
     pub bad_frames_total: AtomicU64,
     /// Connections accepted since start.
@@ -143,8 +165,11 @@ pub struct Metrics {
     /// Served frames by execution precision: slot 0 = fp32, slot `b` =
     /// `b`-bit. The live per-precision batch mix of the RPS schedule.
     pub frames_by_precision: [AtomicU64; PRECISION_SLOTS],
-    /// End-to-end (admission → response write) latency.
+    /// End-to-end (admission → response write) latency across all classes.
     pub latency: Histogram,
+    /// End-to-end latency split by scheduling class (indexed by the wire
+    /// byte, [`Class::ALL`] order).
+    pub latency_by_class: [Histogram; 3],
 }
 
 impl Metrics {
@@ -157,6 +182,13 @@ impl Metrics {
     pub fn count_precision(&self, p: Option<Precision>) {
         let slot = p.map_or(0, |p| p.bits() as usize);
         self.frames_by_precision[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served request's end-to-end latency, both in the
+    /// aggregate histogram and in its class's.
+    pub fn record_latency(&self, class: Class, ns: u64) {
+        self.latency.record_ns(ns);
+        self.latency_by_class[class.as_u8() as usize].record_ns(ns);
     }
 
     /// Renders the whole registry in Prometheus text exposition format
@@ -208,6 +240,7 @@ impl Metrics {
             ("queue_full", &self.rejected_queue_full),
             ("draining", &self.rejected_draining),
             ("bad_shape", &self.rejected_bad_shape),
+            ("deadline_exceeded", &self.rejected_deadline),
         ] {
             let _ = writeln!(
                 out,
@@ -248,8 +281,25 @@ impl Metrics {
                 v.load(Ordering::Relaxed)
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP tia_serve_request_latency_seconds End-to-end request latency."
+        );
+        let _ = writeln!(out, "# TYPE tia_serve_request_latency_seconds histogram");
         self.latency
-            .render("tia_serve_request_latency_seconds", &mut out);
+            .render("tia_serve_request_latency_seconds", "", &mut out);
+        let _ = writeln!(
+            out,
+            "# HELP tia_serve_class_latency_seconds End-to-end request latency per scheduling class."
+        );
+        let _ = writeln!(out, "# TYPE tia_serve_class_latency_seconds histogram");
+        for class in Class::ALL {
+            self.latency_by_class[class.as_u8() as usize].render(
+                "tia_serve_class_latency_seconds",
+                &format!("class=\"{}\",", class.label()),
+                &mut out,
+            );
+        }
         out
     }
 }
@@ -271,6 +321,112 @@ mod tests {
         assert!(h.quantile_ns(0.99) <= 2_000);
         assert!(h.quantile_ns(1.0) >= 1_000_000);
         assert!(h.mean_ns() > 800.0);
+    }
+
+    /// Satellite pin: at exact power-of-two boundaries, a sample of exactly
+    /// `bucket_upper_us(i)` µs must count toward bucket `i`'s `le` bound —
+    /// in `record_ns`/`quantile_ns` *and* in the Prometheus rendering.
+    #[test]
+    fn boundary_samples_count_toward_their_le_bucket() {
+        for (ns, upper_us) in [(1_000u64, 1u64), (2_000, 2), (1_024_000, 1024)] {
+            let h = Histogram::new();
+            h.record_ns(ns);
+            assert_eq!(
+                h.quantile_ns(1.0),
+                upper_us * 1000,
+                "a {ns} ns sample must resolve to the le={upper_us}µs bucket"
+            );
+            let mut text = String::new();
+            h.render("lat", "", &mut text);
+            let le = upper_us as f64 / 1e6;
+            assert!(
+                text.contains(&format!("lat_bucket{{le=\"{le}\"}} 1")),
+                "rendered cumulative at le={le} must include the boundary sample:\n{text}"
+            );
+            // And the bucket below must NOT contain it.
+            if upper_us > 1 {
+                let below = (upper_us / 2) as f64 / 1e6;
+                assert!(
+                    text.contains(&format!("lat_bucket{{le=\"{below}\"}} 0")),
+                    "bucket below the boundary must stay empty:\n{text}"
+                );
+            }
+        }
+    }
+
+    /// Satellite pin: the overflow (+Inf) bucket — a sample one past the
+    /// last finite bound lands there, and both `quantile_ns` conversion
+    /// paths (in-loop and tail fallthrough) agree on its reported bound.
+    #[test]
+    fn overflow_bucket_boundary_and_tail_conversion_agree() {
+        let h = Histogram::new();
+        // Exactly the last finite bound (2^25 µs): still finite.
+        h.record_ns((1u64 << 25) * 1000);
+        assert_eq!(h.quantile_ns(1.0), (1u64 << 25) * 1000);
+        let mut text = String::new();
+        h.render("lat", "", &mut text);
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "lat_bucket{{le=\"{}\"}} 1",
+                (1u64 << 25) as f64 / 1e6
+            )),
+            "2^25 µs is the last finite bucket's own bound:\n{text}"
+        );
+
+        // One past it: overflow bucket only.
+        let h = Histogram::new();
+        h.record_ns((1u64 << 25) * 1000 + 1);
+        assert_eq!(
+            h.quantile_ns(1.0),
+            (1u64 << 26) * 1000,
+            "the overflow bucket reports the tail bound"
+        );
+        let mut text = String::new();
+        h.render("lat", "", &mut text);
+        assert!(
+            text.contains(&format!(
+                "lat_bucket{{le=\"{}\"}} 0",
+                (1u64 << 25) as f64 / 1e6
+            )),
+            "no finite bucket may claim an overflow sample:\n{text}"
+        );
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
+
+        // An absurdly large sample cannot wrap the ns conversion.
+        let h = Histogram::new();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.quantile_ns(1.0), (1u64 << 26) * 1000);
+    }
+
+    #[test]
+    fn per_class_latency_and_deadline_rejects_render() {
+        let m = Metrics::new();
+        m.record_latency(Class::Interactive, 5_000);
+        m.record_latency(Class::Normal, 7_000);
+        m.rejected_deadline.fetch_add(3, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("tia_serve_rejected_total{reason=\"deadline_exceeded\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tia_serve_class_latency_seconds_count{class=\"interactive\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tia_serve_class_latency_seconds_count{class=\"normal\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tia_serve_class_latency_seconds_count{class=\"batch\"} 0"),
+            "{text}"
+        );
+        // The aggregate histogram counts both.
+        assert!(
+            text.contains("tia_serve_request_latency_seconds_count 2"),
+            "{text}"
+        );
     }
 
     #[test]

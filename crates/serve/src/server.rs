@@ -15,21 +15,53 @@
 //! queue; a full queue turns into an immediate [`RejectCode::QueueFull`]
 //! frame (the wire analogue of HTTP 503) written by the reader itself, so
 //! overload never blocks the accept path and never grows memory. The
-//! batcher is the *only* thread touching the engine: it drains the queue,
-//! feeds the engine's `submit`/`flush` cycle, and writes responses back on
-//! each request's connection (one `Mutex<TcpStream>` per connection keeps
-//! frames atomic between the batcher and that connection's reader).
+//! batcher is the *only* thread touching the engine: it moves admitted
+//! requests from the queue into a bounded scheduling window (a few engine
+//! cycles, `WINDOW_CYCLES × workers × max_batch`), forms batches of up to
+//! one engine cycle from that window, feeds the engine's `submit`/`flush`
+//! cycle, and writes responses back on each request's connection (one
+//! `Mutex<TcpStream>` per connection keeps frames atomic between the
+//! batcher and that connection's reader).
+//!
+//! # Deadline-aware batch scheduling
+//!
+//! The batcher is an earliest-deadline-first (EDF) dynamic batcher, not a
+//! plain FIFO. Requests may carry a relative deadline and a priority
+//! class (wire frame v2); the scheduler:
+//!
+//! * orders the window by `(class rank, deadline, arrival)` — interactive
+//!   before normal before batch; within a class, earliest deadline first;
+//!   deadline-less requests keep FIFO order among themselves. The window
+//!   holds several batches' worth of requests, so each batch takes the
+//!   most urgent `workers × max_batch` of the whole window: a burst of
+//!   slow pinned work cannot head-of-line-block an interactive or tightly
+//!   deadlined request for more than the batch already executing;
+//! * waits at most [`ServerConfig::max_wait`] to fill a batch, and forms
+//!   a **partial batch early** when waiting longer would make the most
+//!   urgent admitted request miss its deadline (it reserves a quarter of
+//!   each request's deadline budget for execution);
+//! * **sheds** requests whose deadline has already expired with a typed
+//!   [`RejectCode::DeadlineExceeded`] instead of spending engine cycles
+//!   on answers that are already too late. Shed requests consume no draw
+//!   from the engine's seeded precision schedule.
+//!
+//! With the default `max_wait` of zero and no scheduling fields on the
+//! wire, the scheduler degrades to exactly the FIFO batcher it replaced:
+//! batches form immediately from whatever has arrived, in arrival order.
 //!
 //! # Determinism across the wire
 //!
-//! All submissions flow through the single batcher in queue order, so for
-//! traffic arriving on **one connection** the engine sees the exact
-//! submission sequence the client sent, and the seeded precision schedule
-//! plus the bitwise-logit guarantee of [`ShardedEngine`] carry over the
-//! network unchanged (the loopback integration test pins this). Traffic
-//! from multiple concurrent connections interleaves at the queue, which is
-//! ordinary serving nondeterminism — each request's *logits* are still
-//! bitwise reproducible; only the schedule positions shift.
+//! All submissions flow through the single batcher, so for traffic
+//! arriving on **one connection** with no deadlines or classes the engine
+//! sees the exact submission sequence the client sent, and the seeded
+//! precision schedule plus the bitwise-logit guarantee of
+//! [`ShardedEngine`] carry over the network unchanged (the loopback
+//! integration test pins this, including that `max_wait` delays batch
+//! *forming* without perturbing the schedule). Traffic from multiple
+//! concurrent connections interleaves at the queue, and deadlines/classes
+//! reorder the window by design — each request's *logits* are still
+//! bitwise reproducible; only the schedule positions shift, as a pure
+//! function of the order in which requests reach the engine.
 //!
 //! # Shutdown
 //!
@@ -40,7 +72,7 @@
 //! thread and returns the engine for post-mortem inspection.
 
 use crate::metrics::Metrics;
-use crate::wire::{Frame, InferResponse, RejectCode, WirePolicy};
+use crate::wire::{Class, Frame, InferResponse, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
@@ -72,6 +104,11 @@ pub struct ServerConfig {
     /// The serving precision policy ([`WirePolicy::Server`] requests follow
     /// it on the seeded schedule).
     pub policy: PrecisionPolicy,
+    /// How long the scheduler waits to fill a batch before forming a
+    /// partial one. Zero (the default) forms immediately from whatever has
+    /// arrived — the exact behaviour of the FIFO batcher this scheduler
+    /// replaced. A deadline inside the wait window forms the batch early.
+    pub max_wait: Duration,
     /// Start with the batcher paused (requests queue — and overflow rejects
     /// — until [`Server::resume`]). For staged startup and backpressure
     /// tests.
@@ -88,6 +125,7 @@ impl Default for ServerConfig {
             input_shape: [3, 16, 16],
             engine: EngineConfig::default(),
             policy: PrecisionPolicy::Fixed(None),
+            max_wait: Duration::ZERO,
             start_paused: false,
         }
     }
@@ -133,6 +171,12 @@ impl ServerConfig {
     /// Sets the serving policy.
     pub fn with_policy(mut self, policy: PrecisionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the batch-forming wait (see [`ServerConfig::max_wait`]).
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
         self
     }
 
@@ -200,24 +244,89 @@ struct Shared {
     readers: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// One admitted inference request, as it travels from its reader into the
+/// batcher's scheduling window.
+struct IncomingReq {
+    conn: Arc<Conn>,
+    wire_id: u64,
+    policy: WirePolicy,
+    image: Tensor,
+    enqueued: Instant,
+    /// Absolute deadline, anchored at admission (`enqueued +
+    /// deadline_ms`); `None` = serve whenever.
+    deadline: Option<Instant>,
+    class: Class,
+}
+
+impl IncomingReq {
+    /// The latest instant the scheduler may hold this request back while
+    /// filling a batch: `enqueued + max_wait`, pulled forward to leave a
+    /// quarter of the deadline budget for execution.
+    fn latest_form(&self, max_wait: Duration) -> Instant {
+        let by_wait = self.enqueued + max_wait;
+        match self.deadline {
+            None => by_wait,
+            Some(d) => {
+                let budget = d.saturating_duration_since(self.enqueued);
+                by_wait.min(self.enqueued + (budget - budget / 4))
+            }
+        }
+    }
+
+    /// Whether the deadline has already passed at `now`.
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+}
+
 /// A queue entry: one admitted request, or the shutdown marker.
 enum Item {
-    Infer {
-        conn: Arc<Conn>,
-        wire_id: u64,
-        policy: WirePolicy,
-        image: Tensor,
-        enqueued: Instant,
-    },
+    Infer(Box<IncomingReq>),
     /// Drain and exit; `conn` (if any) receives the [`Frame::ShutdownAck`].
-    Shutdown { conn: Option<Arc<Conn>> },
+    Shutdown {
+        conn: Option<Arc<Conn>>,
+    },
 }
+
+/// One request inside the scheduling window: the incoming request plus its
+/// arrival rank.
+struct PendingReq {
+    /// Arrival order within the batcher — the EDF tie-breaker that keeps
+    /// deadline-less same-class traffic in FIFO order.
+    seq: u64,
+    req: Box<IncomingReq>,
+}
+
+/// EDF scheduling order: class rank, then earliest deadline (deadline-less
+/// requests sort after every deadlined one), then arrival.
+fn edf_order(a: &PendingReq, b: &PendingReq) -> std::cmp::Ordering {
+    a.req
+        .class
+        .rank()
+        .cmp(&b.req.class.rank())
+        .then_with(|| match (a.req.deadline, b.req.deadline) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        })
+        .then_with(|| a.seq.cmp(&b.seq))
+}
+
+/// How many engine cycles' worth of requests the scheduling window may
+/// hold. A window larger than one batch is what gives EDF real authority:
+/// the sort picks the most urgent `max_take` out of up to
+/// `WINDOW_CYCLES × max_take` candidates, so an interactive or tightly
+/// deadlined request admitted behind a burst of slow work overtakes it at
+/// the next batch boundary instead of waiting out the whole backlog.
+const WINDOW_CYCLES: usize = 4;
 
 /// Where a flushed engine response goes back out.
 struct Route {
     conn: Arc<Conn>,
     wire_id: u64,
     enqueued: Instant,
+    class: Class,
 }
 
 /// A running TCP serving front-end; see the [module docs](self) for the
@@ -270,9 +379,12 @@ impl<B: Backend + Send + 'static> Server<B> {
         // engine's schedule stream so explicit-policy traffic cannot consume
         // the server schedule's draws.
         let req_rng = SeededRng::new(cfg.engine.seed ^ 0x5EED_5EED_5EED_5EED);
+        let max_wait = cfg.max_wait;
         let batcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher_loop(engine, submit_rx, shared, req_rng, max_take))
+            std::thread::spawn(move || {
+                batcher_loop(engine, submit_rx, shared, req_rng, max_take, max_wait)
+            })
         };
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -464,13 +576,20 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                     });
                     continue;
                 }
-                let item = Item::Infer {
+                // The wire deadline is relative; anchor it at admission so
+                // queue time counts against it.
+                let enqueued = Instant::now();
+                let item = Item::Infer(Box::new(IncomingReq {
                     conn: Arc::clone(&conn),
                     wire_id: req.id,
                     policy: req.policy,
                     image: Tensor::from_vec(req.pixels, &req.shape),
-                    enqueued: Instant::now(),
-                };
+                    enqueued,
+                    deadline: req
+                        .deadline_ms
+                        .map(|ms| enqueued + Duration::from_millis(u64::from(ms))),
+                    class: req.class,
+                }));
                 // Gauge up *before* the send: the batcher's decrement can
                 // otherwise race ahead of the increment and wrap below 0.
                 m.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -542,7 +661,8 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
     m.connections_active.fetch_sub(1, Ordering::Relaxed);
 }
 
-/// The engine owner: drains the queue, runs submit/flush cycles, routes
+/// The engine owner: moves queue items into the EDF scheduling window,
+/// forms deadline-aware batches, runs submit/flush cycles, routes
 /// responses. Returns the engine at shutdown.
 fn batcher_loop<B: Backend + Send + 'static>(
     mut engine: ShardedEngine<B>,
@@ -550,86 +670,133 @@ fn batcher_loop<B: Backend + Send + 'static>(
     shared: Arc<Shared>,
     mut req_rng: SeededRng,
     max_take: usize,
+    max_wait: Duration,
 ) -> ShardedEngine<B> {
+    use std::sync::mpsc::RecvTimeoutError;
     let mut routes: HashMap<RequestId, Route> = HashMap::new();
     let mut last_stats = engine.stats();
     let mut stop = false;
     let mut ackers: Vec<Arc<Conn>> = Vec::new();
+    // The scheduling window: admitted requests the scheduler may still
+    // reorder. Bounded by `WINDOW_CYCLES` engine cycles, so eager channel
+    // drains cannot defeat the bounded queue's backpressure (total
+    // admitted-but-unserved work stays <= queue_capacity + window_cap).
+    let mut window: Vec<PendingReq> = Vec::new();
+    let mut next_seq = 0u64;
+    let mut senders_gone = false;
     'serve: loop {
         if shared.paused.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(1));
             continue;
         }
-        let first = match rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(item) => item,
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break 'serve,
-        };
-        let mut taken = 1;
-        process_item(
-            first,
-            &mut engine,
-            &shared,
-            &mut req_rng,
-            &mut routes,
-            &mut stop,
-            &mut ackers,
-        );
-        while taken < max_take && !stop {
+        if window.is_empty() && !stop {
+            match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(item) => intake(
+                    item,
+                    &shared,
+                    &mut window,
+                    &mut next_seq,
+                    &mut stop,
+                    &mut ackers,
+                ),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break 'serve,
+            }
+        }
+        // Opportunistic fill, up to the scheduling window's capacity —
+        // several engine cycles, so the EDF sort has real candidates to
+        // choose the next batch from (a window of exactly one batch would
+        // reduce EDF to a draw-order permutation).
+        let window_cap = max_take * WINDOW_CYCLES;
+        while window.len() < window_cap && !stop {
             match rx.try_recv() {
-                Ok(item) => {
-                    taken += 1;
-                    process_item(
-                        item,
-                        &mut engine,
-                        &shared,
-                        &mut req_rng,
-                        &mut routes,
-                        &mut stop,
-                        &mut ackers,
-                    );
-                }
+                Ok(item) => intake(
+                    item,
+                    &shared,
+                    &mut window,
+                    &mut next_seq,
+                    &mut stop,
+                    &mut ackers,
+                ),
                 Err(_) => break,
             }
         }
         if stop {
             // Shutdown marker seen: `draining` is already set, so take the
             // admission write barrier — it waits until every reader that
-            // saw `draining == false` has finished its enqueue — and only
-            // then sweep the queue. Everything admitted gets served; no
-            // request can slip in after the sweep.
+            // saw `draining == false` has finished its enqueue. After it,
+            // no request can slip into the queue behind the final sweep;
+            // the sweep and drain themselves run once, below the loop.
             drop(shared.admission.write());
-            while let Ok(item) = rx.try_recv() {
-                process_item(
-                    item,
-                    &mut engine,
-                    &shared,
-                    &mut req_rng,
-                    &mut routes,
-                    &mut stop,
-                    &mut ackers,
-                );
-            }
-        }
-        flush_and_respond(&mut engine, &shared, &mut routes, &mut last_stats);
-        if stop {
             break 'serve;
         }
-    }
-    // The channel disconnected (all senders gone) or a shutdown marker was
-    // handled; serve any stragglers admitted in between.
-    while let Ok(item) = rx.try_recv() {
-        process_item(
-            item,
+        // Shed requests that expired while queued, before they cost a batch
+        // slot or an engine cycle.
+        shed_expired(&shared, &mut window);
+        if window.is_empty() {
+            continue;
+        }
+        // Wait for more arrivals only while a full batch is not yet
+        // available AND the most urgent request can still afford the wait.
+        let now = Instant::now();
+        let due = window
+            .iter()
+            .map(|r| r.req.latest_form(max_wait))
+            .min()
+            .expect("window is non-empty");
+        if window.len() < max_take && now < due && !senders_gone {
+            // Capped at 10 ms so pause/shutdown stay responsive.
+            let wait = (due - now).min(Duration::from_millis(10));
+            match rx.recv_timeout(wait) {
+                Ok(item) => intake(
+                    item,
+                    &shared,
+                    &mut window,
+                    &mut next_seq,
+                    &mut stop,
+                    &mut ackers,
+                ),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => senders_gone = true,
+            }
+            continue; // re-evaluate fill, expiry and forming time
+        }
+        form_and_run(
             &mut engine,
             &shared,
             &mut req_rng,
             &mut routes,
+            &mut window,
+            max_take,
+            &mut last_stats,
+        );
+    }
+    // The final sweep and drain, shared by both exits (shutdown marker —
+    // the admission barrier above guarantees nothing lands behind this
+    // sweep — and channel disconnection): everything admitted is served,
+    // or shed with a typed reject if its deadline expired during the
+    // drain. Still an answer either way.
+    while let Ok(item) = rx.try_recv() {
+        intake(
+            item,
+            &shared,
+            &mut window,
+            &mut next_seq,
             &mut stop,
             &mut ackers,
         );
     }
-    flush_and_respond(&mut engine, &shared, &mut routes, &mut last_stats);
+    while !window.is_empty() {
+        form_and_run(
+            &mut engine,
+            &shared,
+            &mut req_rng,
+            &mut routes,
+            &mut window,
+            max_take,
+            &mut last_stats,
+        );
+    }
     // Every requester gets the ack — including racers whose markers landed
     // behind the first one — and only after the final flush, so the drain
     // contract ("everything admitted is answered before the ack") holds
@@ -640,56 +807,22 @@ fn batcher_loop<B: Backend + Send + 'static>(
     engine
 }
 
-fn process_item<B: Backend + Send + 'static>(
+/// Moves one queue item into the scheduling window (or handles the
+/// shutdown marker). The queue-depth gauge keeps counting a request until
+/// it actually leaves the window (submitted or shed).
+fn intake(
     item: Item,
-    engine: &mut ShardedEngine<B>,
     shared: &Shared,
-    req_rng: &mut SeededRng,
-    routes: &mut HashMap<RequestId, Route>,
+    window: &mut Vec<PendingReq>,
+    next_seq: &mut u64,
     stop: &mut bool,
     ackers: &mut Vec<Arc<Conn>>,
 ) {
     match item {
-        Item::Infer {
-            conn,
-            wire_id,
-            policy,
-            image,
-            enqueued,
-        } => {
-            shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            let submitted = match policy {
-                WirePolicy::Server => engine.try_submit(image),
-                WirePolicy::Fixed(p) => engine.try_submit_pinned(image, p),
-                WirePolicy::Random(set) => {
-                    engine.try_submit_pinned(image, Some(set.sample(req_rng)))
-                }
-            };
-            match submitted {
-                Ok(id) => {
-                    routes.insert(
-                        id,
-                        Route {
-                            conn,
-                            wire_id,
-                            enqueued,
-                        },
-                    );
-                }
-                Err(_) => {
-                    // Readers validate geometry up front, so this only
-                    // triggers if the configured input shape is not what the
-                    // engine pinned — answer honestly rather than panic.
-                    shared
-                        .metrics
-                        .rejected_bad_shape
-                        .fetch_add(1, Ordering::Relaxed);
-                    conn.send(&Frame::Reject {
-                        id: wire_id,
-                        code: RejectCode::BadShape,
-                    });
-                }
-            }
+        Item::Infer(req) => {
+            let seq = *next_seq;
+            *next_seq += 1;
+            window.push(PendingReq { seq, req });
         }
         Item::Shutdown { conn } => {
             shared.draining.store(true, Ordering::SeqCst);
@@ -700,6 +833,91 @@ fn process_item<B: Backend + Send + 'static>(
             }
         }
     }
+}
+
+/// Sheds every already-expired request in the window with a
+/// [`RejectCode::DeadlineExceeded`] frame. Shed requests never reach the
+/// engine, so they consume no draw from the seeded precision schedule.
+fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) {
+    let now = Instant::now();
+    window.retain(|pending| {
+        if !pending.req.expired(now) {
+            return true;
+        }
+        shed_one(shared, &pending.req);
+        false
+    });
+}
+
+/// Answers one expired request with a typed reject and updates the shed
+/// accounting.
+fn shed_one(shared: &Shared, req: &IncomingReq) {
+    let m = &shared.metrics;
+    m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    m.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    req.conn.send(&Frame::Reject {
+        id: req.wire_id,
+        code: RejectCode::DeadlineExceeded,
+    });
+}
+
+/// Forms one batch from the window in EDF order (up to `max_take`
+/// requests), submits it to the engine — shedding anything that expired
+/// since the last check — then flushes and routes the responses.
+fn form_and_run<B: Backend + Send + 'static>(
+    engine: &mut ShardedEngine<B>,
+    shared: &Shared,
+    req_rng: &mut SeededRng,
+    routes: &mut HashMap<RequestId, Route>,
+    window: &mut Vec<PendingReq>,
+    max_take: usize,
+    last_stats: &mut tia_engine::EngineStats,
+) {
+    window.sort_by(edf_order);
+    let take = window.len().min(max_take);
+    let now = Instant::now();
+    for pending in window.drain(..take) {
+        let req = *pending.req;
+        if req.expired(now) {
+            shed_one(shared, &req);
+            continue;
+        }
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let submitted = match &req.policy {
+            WirePolicy::Server => engine.try_submit(req.image),
+            WirePolicy::Fixed(p) => engine.try_submit_pinned(req.image, *p),
+            WirePolicy::Random(set) => {
+                engine.try_submit_pinned(req.image, Some(set.sample(req_rng)))
+            }
+        };
+        match submitted {
+            Ok(id) => {
+                routes.insert(
+                    id,
+                    Route {
+                        conn: req.conn,
+                        wire_id: req.wire_id,
+                        enqueued: req.enqueued,
+                        class: req.class,
+                    },
+                );
+            }
+            Err(_) => {
+                // Readers validate geometry up front, so this only
+                // triggers if the configured input shape is not what the
+                // engine pinned — answer honestly rather than panic.
+                shared
+                    .metrics
+                    .rejected_bad_shape
+                    .fetch_add(1, Ordering::Relaxed);
+                req.conn.send(&Frame::Reject {
+                    id: req.wire_id,
+                    code: RejectCode::BadShape,
+                });
+            }
+        }
+    }
+    flush_and_respond(engine, shared, routes, last_stats);
 }
 
 fn flush_and_respond<B: Backend + Send + 'static>(
@@ -726,8 +944,7 @@ fn flush_and_respond<B: Backend + Send + 'static>(
         route.conn.send(&frame);
         m.responses_total.fetch_add(1, Ordering::Relaxed);
         m.count_precision(r.precision);
-        m.latency
-            .record_ns(route.enqueued.elapsed().as_nanos() as u64);
+        m.record_latency(route.class, route.enqueued.elapsed().as_nanos() as u64);
     }
     let stats = engine.stats();
     m.batches_total.fetch_add(

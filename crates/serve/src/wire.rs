@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  = b"TIAS"
-//! 4       1     version = 1
+//! 4       1     version = 1 or 2 (per frame; see versioning below)
 //! 5       1     kind (see below)
 //! 6       2     reserved, must be 0
 //! 8       4     payload length in bytes (u32 LE, <= 64 MiB)
@@ -18,7 +18,8 @@
 //!
 //! | kind | frame | payload |
 //! |---|---|---|
-//! | 1 | `Infer` | `id: u64`, policy, `shape: 3 × u32`, `C·H·W × f32` pixels |
+//! | 1 | `Infer` (v1) | `id: u64`, policy, `shape: 3 × u32`, `C·H·W × f32` pixels |
+//! | 1 | `Infer` (v2) | `id: u64`, `deadline_ms: u32` (0 = none), `class: u8`, policy, shape, pixels |
 //! | 2 | `Logits` | `id: u64`, `precision: u8`, `top1: u32`, `n: u32`, `n × f32` |
 //! | 3 | `Reject` | `id: u64`, `code: u8` — admission control (503-style) |
 //! | 4 | `Error` | `msg: u16 len + UTF-8` — protocol violation, stream is dead |
@@ -27,6 +28,21 @@
 //! | 7 | `Shutdown` | empty — ask the server to drain and exit |
 //! | 8 | `ShutdownAck` | empty — drain complete, connection closes next |
 //!
+//! # Versioning
+//!
+//! The version byte is per *frame*, not per connection. Version 2 extends
+//! only the `Infer` payload with two scheduling fields immediately after
+//! the request id: a **relative deadline** in milliseconds (`u32`, `0` =
+//! no deadline, anchored at server admission) and a **priority class**
+//! (`0` = normal, `1` = interactive, `2` = batch). Every other kind has
+//! the same payload layout under both versions.
+//!
+//! Compatibility rule: decoders accept both versions — a v1 `Infer` frame
+//! decodes as "no deadline, normal class". Encoders emit the lowest
+//! version that can represent the frame: an `Infer` with no deadline and
+//! normal class is encoded as v1 (byte-identical to protocol-v1 peers),
+//! anything carrying scheduling fields as v2.
+//!
 //! Precisions on the wire are a single `u8`: `0` = full precision (fp32),
 //! `1..=16` = quantized bit-width. The request's *policy* field selects how
 //! the serving precision is chosen: `0` = the server's own seeded policy
@@ -34,17 +50,22 @@
 //! bytes = a random draw from an explicit candidate set.
 //!
 //! Decoding is strict: bad magic, unknown version or kind, oversized or
-//! truncated payloads, out-of-range precisions, length mismatches and
-//! trailing bytes are all rejected with a typed [`WireError`] — a malformed
-//! frame can cost the sender its connection, never the server its process.
+//! truncated payloads, out-of-range precisions or classes, length
+//! mismatches and trailing bytes are all rejected with a typed
+//! [`WireError`] — a malformed frame can cost the sender its connection,
+//! never the server its process.
 
 use std::io::{Read, Write};
 use tia_quant::{Precision, PrecisionSet};
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"TIAS";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Highest protocol version this build speaks (frame v2: per-request
+/// deadline and priority class on `Infer`).
+pub const VERSION: u8 = 2;
+/// Lowest protocol version still accepted (v1 `Infer` frames decode as
+/// "no deadline, normal class").
+pub const MIN_VERSION: u8 = 1;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 12;
 /// Hard cap on a frame's payload; larger length fields are rejected before
@@ -120,6 +141,10 @@ pub enum RejectCode {
     Draining = 2,
     /// The image shape is not the geometry this server serves.
     BadShape = 3,
+    /// The request's deadline expired before it reached the engine; the
+    /// scheduler shed it instead of wasting engine cycles on an answer
+    /// that is already too late (the wire analogue of HTTP 504).
+    DeadlineExceeded = 4,
 }
 
 impl RejectCode {
@@ -128,7 +153,66 @@ impl RejectCode {
             1 => Ok(RejectCode::QueueFull),
             2 => Ok(RejectCode::Draining),
             3 => Ok(RejectCode::BadShape),
+            4 => Ok(RejectCode::DeadlineExceeded),
             _ => Err(WireError::Malformed("unknown reject code")),
+        }
+    }
+}
+
+/// A request's scheduling priority class. Classes partition the scheduler's
+/// earliest-deadline-first order: every `Interactive` request is batched
+/// before any `Normal` one, which beats any `Batch` one; within a class,
+/// earlier deadlines go first and deadline-less requests keep FIFO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Class {
+    /// The default class (wire byte `0`) — and the only one a v1 frame can
+    /// express.
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic, scheduled ahead of `Normal` (wire `1`).
+    Interactive,
+    /// Throughput traffic, scheduled behind `Normal` (wire `2`).
+    Batch,
+}
+
+impl Class {
+    /// The wire byte for this class.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Class::Normal => 0,
+            Class::Interactive => 1,
+            Class::Batch => 2,
+        }
+    }
+
+    /// Scheduling rank: lower runs first (`Interactive` < `Normal` <
+    /// `Batch`).
+    pub fn rank(self) -> u8 {
+        match self {
+            Class::Interactive => 0,
+            Class::Normal => 1,
+            Class::Batch => 2,
+        }
+    }
+
+    /// The metrics label for this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Normal => "normal",
+            Class::Interactive => "interactive",
+            Class::Batch => "batch",
+        }
+    }
+
+    /// All classes, in wire-byte order (slot `i` has wire byte `i`).
+    pub const ALL: [Class; 3] = [Class::Normal, Class::Interactive, Class::Batch];
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Class::Normal),
+            1 => Ok(Class::Interactive),
+            2 => Ok(Class::Batch),
+            _ => Err(WireError::Malformed("unknown priority class")),
         }
     }
 }
@@ -141,10 +225,27 @@ pub struct InferRequest {
     pub id: u64,
     /// How the serving precision is chosen.
     pub policy: WirePolicy,
+    /// Relative response deadline in milliseconds, anchored at server
+    /// admission; `None` = serve whenever. A request whose deadline expires
+    /// before it reaches the engine is shed with
+    /// [`RejectCode::DeadlineExceeded`]. (`Some(0)` is not representable on
+    /// the wire — the zero byte means "no deadline" — and round-trips as
+    /// `None`.)
+    pub deadline_ms: Option<u32>,
+    /// Scheduling priority class (v1 frames always carry [`Class::Normal`]).
+    pub class: Class,
     /// Image geometry `[C, H, W]`.
     pub shape: [usize; 3],
     /// Row-major pixel data, exactly `C·H·W` values.
     pub pixels: Vec<f32>,
+}
+
+impl InferRequest {
+    /// Whether this request needs the v2 payload layout (any scheduling
+    /// field set); otherwise it encodes as v1 for compatibility.
+    fn needs_v2(&self) -> bool {
+        self.deadline_ms.unwrap_or(0) != 0 || self.class != Class::Normal
+    }
 }
 
 /// A completed inference: logits, top-1 class, and the precision the
@@ -205,12 +306,27 @@ impl Frame {
         }
     }
 
-    /// Serializes the frame (header + payload) into a fresh buffer.
+    /// The lowest protocol version that can represent this frame: only an
+    /// [`Frame::Infer`] carrying a deadline or a non-default class needs v2.
+    fn version(&self) -> u8 {
+        match self {
+            Frame::Infer(req) if req.needs_v2() => 2,
+            _ => 1,
+        }
+    }
+
+    /// Serializes the frame (header + payload) into a fresh buffer, at the
+    /// lowest protocol version that can represent it (see the
+    /// [module docs](self) on versioning).
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         match self {
             Frame::Infer(req) => {
                 payload.extend_from_slice(&req.id.to_le_bytes());
+                if req.needs_v2() {
+                    payload.extend_from_slice(&req.deadline_ms.unwrap_or(0).to_le_bytes());
+                    payload.push(req.class.as_u8());
+                }
                 encode_policy(&req.policy, &mut payload);
                 for &d in &req.shape {
                     payload.extend_from_slice(&(d as u32).to_le_bytes());
@@ -242,7 +358,7 @@ impl Frame {
         }
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.version());
         out.push(self.kind());
         out.extend_from_slice(&[0, 0]);
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -261,7 +377,7 @@ impl Frame {
         if buf.len() < HEADER_LEN + payload_len {
             return Err(WireError::Truncated);
         }
-        let frame = decode_payload(buf[5], &buf[HEADER_LEN..HEADER_LEN + payload_len])?;
+        let frame = decode_payload(buf[4], buf[5], &buf[HEADER_LEN..HEADER_LEN + payload_len])?;
         Ok((frame, HEADER_LEN + payload_len))
     }
 
@@ -294,7 +410,7 @@ impl Frame {
                 WireError::Io(e)
             }
         })?;
-        decode_payload(header[5], &payload)
+        decode_payload(header[4], header[5], &payload)
     }
 }
 
@@ -303,7 +419,7 @@ fn check_header(h: &[u8]) -> Result<usize, WireError> {
     if h[..4] != MAGIC {
         return Err(WireError::BadMagic([h[0], h[1], h[2], h[3]]));
     }
-    if h[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&h[4]) {
         return Err(WireError::BadVersion(h[4]));
     }
     if !(1..=8).contains(&h[5]) {
@@ -319,11 +435,20 @@ fn check_header(h: &[u8]) -> Result<usize, WireError> {
     Ok(payload_len)
 }
 
-fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
     let mut c = Cursor::new(payload);
     let frame = match kind {
         1 => {
             let id = c.u64()?;
+            // v2 inserts the scheduling fields right after the id; a v1
+            // frame simply has neither: no deadline, normal class.
+            let (deadline_ms, class) = if version >= 2 {
+                let ms = c.u32()?;
+                let class = Class::from_u8(c.u8()?)?;
+                (if ms == 0 { None } else { Some(ms) }, class)
+            } else {
+                (None, Class::Normal)
+            };
             let policy = decode_policy(&mut c)?;
             let shape = [c.u32()? as usize, c.u32()? as usize, c.u32()? as usize];
             // Hostile dimensions must not overflow the element count; any
@@ -343,6 +468,8 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             Frame::Infer(InferRequest {
                 id,
                 policy,
+                deadline_ms,
+                class,
                 shape,
                 pixels,
             })

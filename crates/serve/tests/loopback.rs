@@ -7,8 +7,11 @@ use std::time::Duration;
 use tia_engine::{EngineConfig, PrecisionPolicy, ShardedEngine};
 use tia_nn::zoo;
 use tia_quant::{Precision, PrecisionSet};
-use tia_serve::wire::{Frame, InferResponse, RejectCode, WireError};
-use tia_serve::{fetch_metrics, infer_frame, Client, LoadConfig, Server, ServerConfig, WirePolicy};
+use tia_serve::wire::{Class, Frame, InferResponse, RejectCode, WireError};
+use tia_serve::{
+    fetch_metrics, infer_frame, infer_frame_with, Client, LoadConfig, Server, ServerConfig,
+    WirePolicy,
+};
 use tia_tensor::{SeededRng, Tensor};
 
 const SHAPE: [usize; 3] = [3, 8, 8];
@@ -297,6 +300,7 @@ fn metrics_endpoint_serves_prometheus_text() {
         shape: SHAPE,
         seed: 9,
         policy: WirePolicy::Server,
+        ..LoadConfig::default()
     })
     .unwrap();
     assert_eq!(report.ok, 10);
@@ -332,6 +336,400 @@ fn metrics_endpoint_serves_prometheus_text() {
     server.shutdown();
 }
 
+/// Determinism re-pin for the EDF scheduler: a non-zero batch-forming wait
+/// delays *when* batches form, but with no deadlines or classes on the
+/// wire the engine must still see the exact wire order — logits and the
+/// precision schedule stay bitwise identical to the in-process engine
+/// (i.e. to PR 4's FIFO batcher, which the FIFO-identity test above pins
+/// against the same reference).
+#[test]
+fn max_wait_delays_batches_without_perturbing_the_schedule() {
+    const N: usize = 10;
+    let cfg = base_config().with_max_wait(Duration::from_millis(5));
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    let x = images(N, 21);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..N {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    let mut over_tcp: Vec<InferResponse> = (0..N)
+        .map(|_| match client.recv().unwrap() {
+            Frame::Logits(r) => r,
+            other => panic!("expected logits, got {other:?}"),
+        })
+        .collect();
+    over_tcp.sort_by_key(|r| r.id);
+
+    let mut reference = ShardedEngine::with_factory(
+        2,
+        |_| replica(),
+        PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+        EngineConfig::default().with_max_batch(4).with_seed(7),
+    );
+    let in_process = reference.serve(&x);
+    for (tcp, local) in over_tcp.iter().zip(&in_process) {
+        assert_eq!(tcp.precision, local.precision, "schedule diverged");
+        let tcp_bits: Vec<u32> = tcp.logits.iter().map(|v| v.to_bits()).collect();
+        let local_bits: Vec<u32> = local.logits.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(tcp_bits, local_bits, "request {} not bitwise", tcp.id);
+    }
+    server.shutdown();
+}
+
+/// Acceptance pin: expired requests are shed with a typed
+/// `Reject{DeadlineExceeded}` and consume **no draw** from the seeded
+/// precision schedule — the surviving requests get exactly the draws an
+/// engine fed only them would produce, bitwise logits included.
+#[test]
+fn expired_requests_are_shed_and_consume_no_schedule_draw() {
+    const N: usize = 6;
+    let server = Server::spawn(base_config().paused(), |_| replica()).unwrap();
+    let x = images(N, 22);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Odd ids carry a 1 ms deadline; the batcher is paused long past it.
+    for i in 0..N {
+        let deadline = if i % 2 == 1 { Some(1) } else { None };
+        client
+            .send(&infer_frame_with(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+                deadline,
+                Class::Normal,
+            ))
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    server.resume();
+
+    let mut shed = Vec::new();
+    let mut served: Vec<InferResponse> = Vec::new();
+    for _ in 0..N {
+        match client.recv().unwrap() {
+            Frame::Reject { id, code } => {
+                assert_eq!(code, RejectCode::DeadlineExceeded);
+                shed.push(id);
+            }
+            Frame::Logits(r) => served.push(r),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    shed.sort_unstable();
+    assert_eq!(shed, vec![1, 3, 5], "exactly the expired requests shed");
+    served.sort_by_key(|r| r.id);
+    assert_eq!(
+        served.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![0, 2, 4]
+    );
+
+    // Reference: an engine that never saw the shed requests. If shedding
+    // consumed schedule draws, the precisions (and logits) would diverge.
+    let survivors = {
+        let mut rng = SeededRng::new(0);
+        let mut t = Tensor::rand_uniform(&[3, SHAPE[0], SHAPE[1], SHAPE[2]], 0.0, 1.0, &mut rng);
+        for (row, i) in [0usize, 2, 4].iter().enumerate() {
+            t.set_axis0(row, &x.index_axis0(*i));
+        }
+        t
+    };
+    let mut reference = ShardedEngine::with_factory(
+        2,
+        |_| replica(),
+        PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+        EngineConfig::default().with_max_batch(4).with_seed(7),
+    );
+    let in_process = reference.serve(&survivors);
+    for (tcp, local) in served.iter().zip(&in_process) {
+        assert_eq!(
+            tcp.precision, local.precision,
+            "a shed request consumed a schedule draw"
+        );
+        let tcp_bits: Vec<u32> = tcp.logits.iter().map(|v| v.to_bits()).collect();
+        let local_bits: Vec<u32> = local.logits.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(tcp_bits, local_bits);
+    }
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics
+            .rejected_deadline
+            .load(std::sync::atomic::Ordering::Relaxed),
+        3
+    );
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().requests, 3, "shed work never hit the engine");
+}
+
+/// The EDF order inside one batch: interactive beats normal, a deadline
+/// beats no deadline, and the schedule draws follow that order — pinned by
+/// replaying the same images into an in-process engine in EDF order.
+#[test]
+fn edf_orders_classes_and_deadlines_within_a_batch() {
+    let server = Server::spawn(base_config().paused(), |_| replica()).unwrap();
+    let x = images(3, 23);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Wire order: plain normal, normal + far-future deadline, interactive.
+    client
+        .send(&infer_frame(0, &x.index_axis0(0), WirePolicy::Server))
+        .unwrap();
+    client
+        .send(&infer_frame_with(
+            1,
+            &x.index_axis0(1),
+            WirePolicy::Server,
+            Some(10_000),
+            Class::Normal,
+        ))
+        .unwrap();
+    client
+        .send(&infer_frame_with(
+            2,
+            &x.index_axis0(2),
+            WirePolicy::Server,
+            None,
+            Class::Interactive,
+        ))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    server.resume();
+
+    let mut served: Vec<InferResponse> = (0..3)
+        .map(|_| match client.recv().unwrap() {
+            Frame::Logits(r) => r,
+            other => panic!("expected logits, got {other:?}"),
+        })
+        .collect();
+    served.sort_by_key(|r| r.id);
+
+    // EDF order is 2 (interactive), 1 (deadlined normal), 0 (plain
+    // normal): replay the images in that order in-process and match the
+    // draws position by position.
+    let edf = {
+        let mut rng = SeededRng::new(0);
+        let mut t = Tensor::rand_uniform(&[3, SHAPE[0], SHAPE[1], SHAPE[2]], 0.0, 1.0, &mut rng);
+        for (row, i) in [2usize, 1, 0].iter().enumerate() {
+            t.set_axis0(row, &x.index_axis0(*i));
+        }
+        t
+    };
+    let mut reference = ShardedEngine::with_factory(
+        2,
+        |_| replica(),
+        PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+        EngineConfig::default().with_max_batch(4).with_seed(7),
+    );
+    let in_process = reference.serve(&edf);
+    for (wire_id, ref_pos) in [(2u64, 0usize), (1, 1), (0, 2)] {
+        let tcp = &served[wire_id as usize];
+        let local = &in_process[ref_pos];
+        assert_eq!(
+            tcp.precision, local.precision,
+            "request {wire_id} did not occupy EDF draw position {ref_pos}"
+        );
+        let tcp_bits: Vec<u32> = tcp.logits.iter().map(|v| v.to_bits()).collect();
+        let local_bits: Vec<u32> = local.logits.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(tcp_bits, local_bits);
+    }
+    server.shutdown();
+}
+
+/// The scheduling window spans several engine cycles, so EDF has real
+/// authority: an interactive request admitted *behind* a 20-deep backlog
+/// of normal work is pulled into the first batch instead of waiting out
+/// the whole queue — the head-of-line-blocking fix, observed as response
+/// order on the wire.
+#[test]
+fn interactive_request_overtakes_a_queued_backlog() {
+    const BACKLOG: usize = 20;
+    // max_take = workers(2) x max_batch(4) = 8; window = 4 cycles = 32.
+    let server = Server::spawn(base_config().paused(), |_| replica()).unwrap();
+    let x = images(BACKLOG + 1, 25);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..BACKLOG {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    client
+        .send(&infer_frame_with(
+            BACKLOG as u64,
+            &x.index_axis0(BACKLOG),
+            WirePolicy::Server,
+            None,
+            Class::Interactive,
+        ))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    server.resume();
+
+    let order: Vec<u64> = (0..BACKLOG + 1)
+        .map(|_| match client.recv().unwrap() {
+            Frame::Logits(r) => r.id,
+            other => panic!("expected logits, got {other:?}"),
+        })
+        .collect();
+    let position = order
+        .iter()
+        .position(|&id| id == BACKLOG as u64)
+        .expect("interactive request was served");
+    assert!(
+        position < 8,
+        "the interactive request must ride the first engine cycle (got \
+         position {position} in {order:?})"
+    );
+    server.shutdown();
+}
+
+/// Satellite pin: a `Shutdown` frame on one connection racing other
+/// connections mid-submit. Everything admitted is drained — no lost
+/// responses, no double `ShutdownAck` — including requests whose deadlines
+/// expire during the drain (answered with a typed reject, not dropped).
+#[test]
+fn shutdown_races_inflight_submissions_across_connections() {
+    const RACERS: usize = 50;
+    let server = Server::spawn(base_config().paused(), |_| replica()).unwrap();
+    let x = images(8, 24);
+
+    // Connection A: two plain requests plus two whose 1 ms deadline will
+    // have expired by the time the drain sweep reaches them.
+    let mut conn_a = Client::connect(server.addr()).unwrap();
+    for (id, deadline) in [(0u64, None), (1, Some(1)), (2, None), (3, Some(1))] {
+        conn_a
+            .send(&infer_frame_with(
+                id,
+                &x.index_axis0(id as usize),
+                WirePolicy::Server,
+                deadline,
+                Class::Normal,
+            ))
+            .unwrap();
+    }
+
+    // Connection C: a racer pipelining submissions while the shutdown
+    // lands. Admission is racy by construction; the invariant is that
+    // every sent request gets exactly one answer.
+    let addr = server.addr();
+    let img = x.index_axis0(7);
+    let racer = std::thread::spawn(move || {
+        let mut conn = Client::connect(addr).unwrap();
+        let mut sent = 0u64;
+        for id in 0..RACERS as u64 {
+            if conn
+                .send(&infer_frame(id, &img, WirePolicy::Server))
+                .is_err()
+            {
+                break;
+            }
+            sent += 1;
+        }
+        let (mut ok, mut rejected) = (0u64, 0u64);
+        for _ in 0..sent {
+            match conn.recv() {
+                Ok(Frame::Logits(_)) => ok += 1,
+                Ok(Frame::Reject { code, .. }) => {
+                    assert!(
+                        matches!(code, RejectCode::Draining | RejectCode::QueueFull),
+                        "unexpected racer reject {code:?}"
+                    );
+                    rejected += 1;
+                }
+                Ok(other) => panic!("unexpected racer frame {other:?}"),
+                Err(_) => break,
+            }
+        }
+        (sent, ok, rejected)
+    });
+
+    // Connection B: three requests, then the shutdown — its admitted work
+    // must be served before the single ack.
+    let mut conn_b = Client::connect(server.addr()).unwrap();
+    for id in 0..3u64 {
+        conn_b
+            .send(&infer_frame(
+                id,
+                &x.index_axis0(4 + id as usize),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    conn_b.send(&Frame::Shutdown).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    server.resume();
+
+    // B: exactly 3 logits, then exactly one ack, then a closed socket.
+    let (mut b_logits, mut b_acks) = (0, 0);
+    loop {
+        match conn_b.recv() {
+            Ok(Frame::Logits(_)) => b_logits += 1,
+            Ok(Frame::ShutdownAck) => {
+                b_acks += 1;
+                break;
+            }
+            Ok(other) => panic!("unexpected frame on B {other:?}"),
+            Err(e) => panic!("B lost its ack: {e}"),
+        }
+    }
+    assert_eq!(b_logits, 3, "B's admitted work must be served pre-ack");
+    assert_eq!(b_acks, 1);
+
+    // A: four answers — two served, two shed as DeadlineExceeded — and
+    // crucially no ShutdownAck (only the requester is acked).
+    let (mut a_logits, mut a_shed) = (Vec::new(), Vec::new());
+    for _ in 0..4 {
+        match conn_a.recv().unwrap() {
+            Frame::Logits(r) => a_logits.push(r.id),
+            Frame::Reject { id, code } => {
+                assert_eq!(code, RejectCode::DeadlineExceeded);
+                a_shed.push(id);
+            }
+            other => panic!("unexpected frame on A {other:?}"),
+        }
+    }
+    a_logits.sort_unstable();
+    a_shed.sort_unstable();
+    assert_eq!(a_logits, vec![0, 2]);
+    assert_eq!(
+        a_shed,
+        vec![1, 3],
+        "deadlines expiring mid-drain still answered"
+    );
+
+    let (c_sent, c_ok, c_rejected) = racer.join().unwrap();
+    assert_eq!(
+        c_ok + c_rejected,
+        c_sent,
+        "every racer request needs exactly one answer"
+    );
+
+    let engine = server.wait();
+    // No lost and no duplicated responses: the engine executed exactly the
+    // requests that were answered with logits.
+    assert_eq!(
+        engine.stats().requests as u64,
+        2 + 3 + c_ok,
+        "admitted-and-unexpired work must be drained exactly once"
+    );
+    // After the drain the server closed both connections; A never sees a
+    // second ack.
+    assert!(matches!(
+        conn_a.recv(),
+        Err(WireError::Closed) | Err(WireError::Io(_))
+    ));
+    assert!(matches!(
+        conn_b.recv(),
+        Err(WireError::Closed) | Err(WireError::Io(_))
+    ));
+}
+
 /// An open-loop run against a paused, tiny-queue server sheds load via
 /// rejects instead of queueing without bound.
 #[test]
@@ -355,6 +753,7 @@ fn open_loop_overload_is_shed_with_rejects() {
             shape: SHAPE,
             seed: 10,
             policy: WirePolicy::Server,
+            ..LoadConfig::default()
         })
         .unwrap()
     });

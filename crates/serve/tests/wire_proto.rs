@@ -7,7 +7,9 @@
 //! and drive sizes/contents from a `SeededRng` where it is not.
 
 use tia_quant::{Precision, PrecisionSet};
-use tia_serve::wire::{Frame, InferRequest, InferResponse, RejectCode, WireError, HEADER_LEN};
+use tia_serve::wire::{
+    Class, Frame, InferRequest, InferResponse, RejectCode, WireError, HEADER_LEN,
+};
 use tia_serve::WirePolicy;
 use tia_tensor::SeededRng;
 
@@ -58,26 +60,132 @@ fn roundtrip(frame: &Frame) {
 
 #[test]
 fn infer_round_trips_for_every_policy_variant() {
+    // Scheduling-field combinations: the plain one encodes as frame v1,
+    // everything carrying a deadline or a non-default class as v2.
+    let scheduling = [
+        (None, Class::Normal),
+        (Some(5u32), Class::Normal),
+        (Some(u32::MAX), Class::Interactive),
+        (None, Class::Interactive),
+        (Some(250), Class::Batch),
+        (None, Class::Batch),
+    ];
     let mut rng = SeededRng::new(11);
     for (i, policy) in all_policies(&mut rng).into_iter().enumerate() {
+        let (deadline_ms, class) = scheduling[i % scheduling.len()];
         let shape = [1 + rng.below(4), 1 + rng.below(16), 1 + rng.below(16)];
         let n = shape.iter().product();
-        roundtrip(&Frame::Infer(InferRequest {
+        let frame = Frame::Infer(InferRequest {
             id: rng.next_u64(),
             policy,
+            deadline_ms,
+            class,
             shape,
             pixels: rand_pixels(n, &mut rng),
-        }));
+        });
+        roundtrip(&frame);
+        // Encoders emit the lowest version that can represent the frame.
+        let want_version = if deadline_ms.is_some() || class != Class::Normal {
+            2
+        } else {
+            1
+        };
+        assert_eq!(
+            frame.encode()[4],
+            want_version,
+            "wrong version byte for deadline {deadline_ms:?} class {class:?}"
+        );
         // Also exercise tiny and single-pixel geometries now and then.
         if i % 3 == 0 {
             roundtrip(&Frame::Infer(InferRequest {
                 id: u64::MAX - i as u64,
                 policy: WirePolicy::Server,
+                deadline_ms,
+                class,
                 shape: [1, 1, 1],
                 pixels: vec![f32::MIN_POSITIVE],
             }));
         }
     }
+}
+
+/// The frame-version compatibility rule: a v1 `Infer` payload (no
+/// scheduling fields) must keep decoding, as "no deadline, normal class".
+#[test]
+fn v1_infer_frames_decode_as_no_deadline_normal_class() {
+    let mut rng = SeededRng::new(16);
+    let plain = InferRequest {
+        id: 31,
+        policy: WirePolicy::Fixed(Some(Precision::new(6))),
+        deadline_ms: None,
+        class: Class::Normal,
+        shape: [2, 3, 3],
+        pixels: rand_pixels(18, &mut rng),
+    };
+    let bytes = Frame::Infer(plain.clone()).encode();
+    assert_eq!(bytes[4], 1, "a plain request encodes as v1");
+    let (decoded, _) = Frame::decode(&bytes).unwrap();
+    assert_eq!(decoded, Frame::Infer(plain));
+}
+
+/// A hand-rolled v2 layout (deadline + class spliced after the id, version
+/// byte bumped) decodes to the same request with the fields populated —
+/// including the zero deadline byte meaning "no deadline".
+#[test]
+fn v2_layout_decodes_scheduling_fields() {
+    let mut rng = SeededRng::new(17);
+    let plain = InferRequest {
+        id: 32,
+        policy: WirePolicy::Server,
+        deadline_ms: None,
+        class: Class::Normal,
+        shape: [1, 2, 2],
+        pixels: rand_pixels(4, &mut rng),
+    };
+    let v1 = Frame::Infer(plain.clone()).encode();
+    // Splice `deadline_ms: u32 = 7, class: u8 = 2` after the 8-byte id.
+    let mut v2 = Vec::new();
+    v2.extend_from_slice(&v1[..HEADER_LEN + 8]);
+    v2.extend_from_slice(&7u32.to_le_bytes());
+    v2.push(2); // batch class
+    v2.extend_from_slice(&v1[HEADER_LEN + 8..]);
+    v2[4] = 2; // version
+    v2[8..12].copy_from_slice(&((v1.len() - HEADER_LEN + 5) as u32).to_le_bytes());
+    match Frame::decode(&v2).unwrap().0 {
+        Frame::Infer(req) => {
+            assert_eq!(req.deadline_ms, Some(7));
+            assert_eq!(req.class, Class::Batch);
+            assert_eq!(req.pixels, plain.pixels);
+        }
+        other => panic!("expected Infer, got {other:?}"),
+    }
+
+    // Zero deadline on the wire = no deadline.
+    let mut zero = v2.clone();
+    zero[HEADER_LEN + 8..HEADER_LEN + 12].copy_from_slice(&0u32.to_le_bytes());
+    match Frame::decode(&zero).unwrap().0 {
+        Frame::Infer(req) => assert_eq!(req.deadline_ms, None),
+        other => panic!("expected Infer, got {other:?}"),
+    }
+
+    // An out-of-range class byte is strictly rejected.
+    let mut bad_class = v2.clone();
+    bad_class[HEADER_LEN + 12] = 3;
+    assert!(matches!(
+        Frame::decode(&bad_class),
+        Err(WireError::Malformed(_))
+    ));
+
+    // A v1 header with the v2 payload has 5 unexplained bytes: rejected,
+    // never misparsed.
+    let mut v1_header = v2.clone();
+    v1_header[4] = 1;
+    assert!(Frame::decode(&v1_header).is_err());
+
+    // Versions outside [MIN_VERSION, VERSION] stay rejected.
+    let mut v3 = v2.clone();
+    v3[4] = 3;
+    assert!(matches!(Frame::decode(&v3), Err(WireError::BadVersion(3))));
 }
 
 #[test]
@@ -100,6 +208,7 @@ fn control_frames_round_trip() {
         RejectCode::QueueFull,
         RejectCode::Draining,
         RejectCode::BadShape,
+        RejectCode::DeadlineExceeded,
     ] {
         roundtrip(&Frame::Reject { id: 77, code });
     }
@@ -118,10 +227,15 @@ fn every_truncation_of_a_frame_is_rejected() {
     let frame = Frame::Infer(InferRequest {
         id: 42,
         policy: WirePolicy::Random(PrecisionSet::range(4, 8)),
+        // Scheduling fields set, so this exercises the v2 layout's
+        // truncation points too (mid-deadline, mid-class).
+        deadline_ms: Some(40),
+        class: Class::Interactive,
         shape: [2, 3, 3],
         pixels: rand_pixels(18, &mut rng),
     });
     let bytes = frame.encode();
+    assert_eq!(bytes[4], 2, "scheduling fields force the v2 layout");
     for len in 0..bytes.len() {
         match Frame::decode(&bytes[..len]) {
             Err(WireError::Truncated) => {}
@@ -154,14 +268,22 @@ fn corrupting_any_header_byte_never_panics_and_structural_bytes_reject() {
         logits: rand_pixels(5, &mut rng),
     });
     let bytes = frame.encode();
+    assert_eq!(bytes[4], 1, "a Logits frame always encodes as v1");
     // Flip every byte of the frame through a few corruption values: the
     // decoder must never panic, and corruption of magic/version/kind or the
-    // reserved bytes must be rejected outright.
+    // reserved bytes must be rejected outright. The one benign header flip
+    // is version 1 -> 2 — both are accepted, and a Logits payload has the
+    // identical layout under both, so the frame must decode *unchanged*.
     for pos in 0..bytes.len() {
         for delta in [1u8, 0x80, 0xFF] {
             let mut bad = bytes.clone();
             bad[pos] = bad[pos].wrapping_add(delta);
             let result = Frame::decode(&bad);
+            if pos == 4 && bad[4] == 2 {
+                let (f, _) = result.expect("v2 header over a v1-layout payload");
+                assert_eq!(f, frame, "version bump must not change the decode");
+                continue;
+            }
             if pos < 8 {
                 assert!(result.is_err(), "header byte {pos} corruption accepted");
             }
@@ -194,6 +316,8 @@ fn payload_validation_rejects_bad_fields() {
     let infer = Frame::Infer(InferRequest {
         id: 2,
         policy: WirePolicy::Server,
+        deadline_ms: None,
+        class: Class::Normal,
         shape: [1, 2, 2],
         pixels: vec![0.0; 4],
     })
@@ -229,13 +353,15 @@ fn seeded_fuzz_decode_never_panics() {
         let buf: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         let _ = Frame::decode(&buf);
     }
-    // Noise behind a valid header prefix exercises the payload parsers.
+    // Noise behind a valid header prefix exercises the payload parsers —
+    // under both accepted protocol versions.
     for _ in 0..2000 {
+        let version = 1 + rng.below(2) as u8;
         let kind = 1 + rng.below(8) as u8;
         let n = rng.below(64);
         let mut buf = Vec::with_capacity(HEADER_LEN + n);
         buf.extend_from_slice(b"TIAS");
-        buf.push(1);
+        buf.push(version);
         buf.push(kind);
         buf.extend_from_slice(&[0, 0]);
         buf.extend_from_slice(&(n as u32).to_le_bytes());

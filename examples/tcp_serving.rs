@@ -48,6 +48,7 @@ fn main() {
         shape,
         seed: 5,
         policy: WirePolicy::Server,
+        ..LoadConfig::default()
     })
     .expect("load run");
     println!("closed loop: {}", report.summary());

@@ -60,6 +60,62 @@ fn micro_batched_logits_bitwise_equal_per_sample_forward() {
     }
 }
 
+/// The contract the serving scheduler builds on: the seeded precision
+/// schedule is a pure function of the *admission order* — how submissions
+/// are grouped into flushes (batch-forming time, partial batches, EDF
+/// windows upstream) must change neither the schedule nor a single logit
+/// bit.
+#[test]
+fn schedule_is_pure_function_of_admission_order_not_flush_grouping() {
+    const N: usize = 12;
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(31);
+    let x = Tensor::rand_uniform(&[N, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let cfg = EngineConfig::default().with_max_batch(4).with_seed(7);
+
+    let run = |flush_points: &[usize]| {
+        let mut engine = ShardedEngine::with_factory(
+            2,
+            |_| rps_net(1, &set),
+            PrecisionPolicy::Random(set.clone()),
+            cfg.clone(),
+        );
+        let mut responses = Vec::new();
+        for i in 0..N {
+            engine.submit(x.index_axis0(i));
+            if flush_points.contains(&i) {
+                responses.extend(engine.flush());
+            }
+        }
+        responses.extend(engine.flush());
+        responses
+            .into_iter()
+            .map(|r| {
+                (
+                    r.id,
+                    r.precision,
+                    r.logits
+                        .data()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u32>>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // One big flush, per-request flushes, and a ragged grouping: admission
+    // order is identical, so everything observable must be too.
+    let want = run(&[]);
+    for flush_points in [(0..N).collect::<Vec<_>>(), vec![2, 6, 7], vec![0, 10]] {
+        let got = run(&flush_points);
+        assert_eq!(
+            got, want,
+            "flush grouping {flush_points:?} perturbed the schedule or logits"
+        );
+    }
+}
+
 #[test]
 fn random_policy_grouping_preserves_bitwise_identity() {
     // Under RPS the engine groups equal-precision requests into shared
