@@ -39,6 +39,8 @@
 //! assert!(ratio > 2.2 && ratio < 2.4); // the paper's 2.3x
 //! ```
 
+#![deny(missing_docs)]
+
 mod area;
 mod dispatcher;
 mod dnnguard;

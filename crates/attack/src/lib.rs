@@ -28,6 +28,8 @@
 //! assert!(x.sub(&x_adv).abs_max() <= 8.0 / 255.0 + 1e-6);
 //! ```
 
+#![deny(missing_docs)]
+
 mod apgd;
 mod bandits;
 mod epgd;

@@ -44,11 +44,13 @@ pub fn smoke_mode() -> bool {
 /// [`smoke_mode`] the closure runs exactly once.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
     if smoke_mode() {
+        // tia-lint: allow(determinism, a wall-clock timer is the whole point of a bench harness)
         let t = Instant::now();
         black_box(f());
         let result = BenchResult {
             name: name.to_string(),
             iters: 1,
+            // tia-lint: allow(determinism, bench harness measures wall time by design)
             ns_per_iter: t.elapsed().as_nanos() as f64,
         };
         println!(
@@ -58,23 +60,30 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
         return result;
     }
     // Warmup: run until 60 ms elapse (at least once).
+    // tia-lint: allow(determinism, bench harness measures wall time by design)
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
+    // tia-lint: allow(determinism, bench harness measures wall time by design)
     while warm_start.elapsed() < Duration::from_millis(60) || warm_iters == 0 {
         black_box(f());
         warm_iters += 1;
     }
     // Batch size targeting ≥10 ms per batch.
+    // tia-lint: allow(determinism, bench harness measures wall time by design)
     let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
     let batch = ((10e6 / per_iter.max(1.0)).ceil() as u64).max(1);
     let mut best = f64::INFINITY;
     let mut total_iters = 0u64;
+    // tia-lint: allow(determinism, bench harness measures wall time by design)
     let start = Instant::now();
+    // tia-lint: allow(determinism, bench harness measures wall time by design)
     while start.elapsed() < Duration::from_millis(300) {
+        // tia-lint: allow(determinism, bench harness measures wall time by design)
         let t = Instant::now();
         for _ in 0..batch {
             black_box(f());
         }
+        // tia-lint: allow(determinism, bench harness measures wall time by design)
         let ns = t.elapsed().as_nanos() as f64 / batch as f64;
         best = best.min(ns);
         total_iters += batch;

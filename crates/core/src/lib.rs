@@ -40,6 +40,8 @@
 //! assert_eq!(report.epoch_losses.len(), 5);
 //! ```
 
+#![deny(missing_docs)]
+
 mod eval;
 mod tradeoff;
 mod trainer;

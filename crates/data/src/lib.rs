@@ -29,6 +29,8 @@
 //! assert!(train.images().data().iter().all(|&v| (0.0..=1.0).contains(&v)));
 //! ```
 
+#![deny(missing_docs)]
+
 mod augment;
 mod dataset;
 mod profile;

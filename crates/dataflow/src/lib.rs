@@ -34,6 +34,8 @@
 //! assert!(best.perf.total_cycles > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod arch;
 mod loopnest;
 mod predictor;

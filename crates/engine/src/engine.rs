@@ -426,6 +426,7 @@ impl<B: Backend> Engine<B> {
         self.flush()
     }
 
+    // tia-lint: hot-path(begin)
     fn run_chunk(&mut self, chunk: &[&Pending], p: Option<Precision>, out: &mut Vec<Response>) {
         if chunk.is_empty() {
             return;
@@ -457,6 +458,7 @@ impl<B: Backend> Engine<B> {
         // backing storage goes back to the backend's arena.
         self.backend.recycle_output(logits);
     }
+    // tia-lint: hot-path(end)
 }
 
 #[cfg(test)]

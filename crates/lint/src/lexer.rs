@@ -1,0 +1,376 @@
+//! A line-oriented Rust token scanner.
+//!
+//! `tia-lint` rules match on *code*, never on the contents of comments or
+//! string/char literals — a doc example mentioning `unwrap()` must not trip
+//! the panic-freedom rule, and the lint's own token tables must not lint
+//! themselves. This scanner separates every source line into two channels:
+//!
+//! * **code** — the line with comments and literal contents removed,
+//! * **comment** — the concatenated text of every comment on the line
+//!   (line, block and doc comments), which is where suppressions
+//!   (`tia-lint: allow(...)`), hot-path region markers and `// ordering:`
+//!   justifications live.
+//!
+//! It handles line comments, nested block comments, string / raw-string /
+//! byte-string / char / byte-char literals (including escapes and the
+//! char-literal-vs-lifetime ambiguity), and raw identifiers (`r#match`).
+//! A post-pass marks every line inside a `#[cfg(test)]` or `#[test]`
+//! item's brace block so rules can skip test code.
+
+/// One scanned source line, split into its code and comment channels.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code with comments and literal contents stripped.
+    pub code: String,
+    /// The concatenated comment text on this line (may be empty).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// Whether the line carries no code at all (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// Whether the line is entirely blank (no code, no comment).
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+}
+
+/// A fully scanned source file: one [`Line`] per physical line.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// The scanned lines, in file order (index 0 = line 1).
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state across characters (and lines — block comments and string
+/// literals may span several).
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans `src` into per-line code/comment channels and marks test regions.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    // The last character emitted to the code channel — used to tell a raw
+    // string prefix (`r"`, `br#"`) from an identifier that happens to end
+    // in `r` or `b`.
+    let mut prev_code: Option<char> = None;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            prev_code = None;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident_char(prev_code) {
+                    if let Some(consumed) = literal_prefix(&chars, i, &mut state) {
+                        i += consumed;
+                    } else {
+                        code.push(c);
+                        prev_code = Some(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime? `'x'` and `'\n'` are
+                    // literals; `'a` followed by anything but a closing
+                    // quote is a lifetime (`&'a T`, `'static`).
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let lifetime = matches!(n1, Some(ch) if ch == '_' || ch.is_alphanumeric())
+                        && n2 != Some('\'');
+                    if lifetime {
+                        code.push('\'');
+                        prev_code = Some('\'');
+                        i += 1;
+                    } else {
+                        state = State::CharLit;
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    prev_code = Some(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && matches!(chars.get(i + 1), Some(&e) if e != '\n') {
+                    i += 2; // skip the escaped character (incl. \")
+                } else if c == '"' {
+                    state = State::Code;
+                    prev_code = None; // a literal breaks identifier runs
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    state = State::Code;
+                    prev_code = None;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' && matches!(chars.get(i + 1), Some(&e) if e != '\n') {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    prev_code = None;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    LexedFile { lines }
+}
+
+fn is_ident_char(c: Option<char>) -> bool {
+    matches!(c, Some(ch) if ch == '_' || ch.is_alphanumeric())
+}
+
+/// If position `i` (at an `r` or `b`) starts a raw/byte string or byte-char
+/// literal, switches `state` accordingly and returns how many chars the
+/// prefix (incl. the opening quote) consumed. Returns `None` for plain
+/// identifiers and raw identifiers (`r#match`).
+fn literal_prefix(chars: &[char], i: usize, state: &mut State) -> Option<usize> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') => {
+                *state = State::CharLit;
+                return Some(j - i + 1);
+            }
+            Some('"') => {
+                *state = State::Str;
+                return Some(j - i + 1);
+            }
+            Some('r') => {} // fall through to the raw-string scan below
+            _ => return None,
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        *state = State::RawStr(hashes);
+        Some(j - i + 1)
+    } else {
+        None // raw identifier (r#ident) or a bare `r`/`br` identifier
+    }
+}
+
+/// Whether the `"` at `chars[i]` is followed by exactly the closing hashes.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line inside a `#[cfg(test)]` or `#[test]` item's block.
+///
+/// From the attribute line, the first `{` in the code channel opens the
+/// item's block; lines through its matching `}` are test lines. A `;`
+/// before any `{` means a brace-less item (e.g. `#[cfg(test)] use ...;`).
+fn mark_test_regions(lines: &mut [Line]) {
+    let n = lines.len();
+    let mut i = 0;
+    while i < n {
+        let code = &lines[i].code;
+        if !(code.contains("#[cfg(test)]") || code.contains("#[test]")) {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        let mut depth = 0usize;
+        let mut found_open = false;
+        'scan: while j < n {
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        found_open = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if found_open && depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    ';' if !found_open => break 'scan,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(n.saturating_sub(1));
+        for line in lines.iter_mut().take(end + 1).skip(i) {
+            line.in_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_from_code() {
+        let f = lex("let x = 1; // trailing unwrap() mention\n/* block */ let y = 2;\n");
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("unwrap()"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert_eq!(f.lines[1].code.trim(), "let y = 2;");
+        assert!(f.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_masked() {
+        let f = lex("let s = \"panic!(boom) .unwrap()\"; call();\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes_are_masked() {
+        let f = lex("let s = r#\"has \"quotes\" and .unwrap()\"#; after();\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("after();"));
+        let f = lex("let s = br\"bytes .expect(\"; after();\n");
+        assert!(!f.lines[0].code.contains("expect"));
+        assert!(f.lines[0].code.contains("after();"));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_code() {
+        let f = lex("let r#match = 1; use_it(r#match);\n");
+        assert!(f.lines[0].code.contains("r#match"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> &'static str { x }\nlet c = 'x'; done();\n");
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(f.lines[0].code.contains("'static"));
+        assert!(!f.lines[1].code.contains('x'));
+        assert!(f.lines[1].code.contains("done();"));
+    }
+
+    #[test]
+    fn escaped_quotes_and_multiline_strings() {
+        let f = lex("let s = \"a\\\"b\"; tail();\nlet t = \"line one\nline two\"; after();\n");
+        assert!(f.lines[0].code.contains("tail();"));
+        assert!(!f.lines[1].code.contains("line one"));
+        assert!(!f.lines[2].code.contains("line two"));
+        assert!(f.lines[2].code.contains("after();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("/* outer /* inner */ still comment */ code();\n");
+        assert!(f.lines[0].code.contains("code();"));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_marks_only_itself() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn live() { real(); }\n";
+        let f = lex(src);
+        assert!(f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn byte_char_literals_are_masked() {
+        let f = lex("let b = b'x'; let q = b'\\''; tail();\n");
+        assert!(f.lines[0].code.contains("tail();"));
+        assert!(!f.lines[0].code.contains('x'));
+    }
+}

@@ -1,0 +1,94 @@
+#![deny(missing_docs)]
+//! `tia-lint` — the workspace's static invariant checker.
+//!
+//! The runtime test suite samples behavior; this crate checks *every line
+//! of every PR* for the static footprint of the contracts the tests
+//! sample: panic-freedom in the serving stack, bitwise determinism (no
+//! ambient clock reads, no unordered-map iteration in scheduler code), the
+//! zero-allocation hot path, justified atomic orderings, and error
+//! hygiene. It is dependency-free by construction: a hand-written Rust
+//! token scanner ([`lexer`]), a self-parsed `lint.toml` ([`config`]) and a
+//! rule engine ([`rules`]).
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p tia-lint -- --check
+//! ```
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::Diagnostic;
+
+/// Result of linting a tree: findings plus how many files were scanned
+/// (so callers can detect a mis-rooted scan that silently checked nothing).
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Recursively collects `.rs` files under the configured roots, skipping
+/// the configured directory names, in sorted (deterministic) order.
+pub fn collect_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for r in &cfg.roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            walk(&dir, cfg, &mut files)?;
+        } else if dir.extension().is_some_and(|e| e == "rs") && dir.is_file() {
+            files.push(dir);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || cfg.skip_dirs.iter().any(|s| s.as_str() == name) {
+                continue;
+            }
+            walk(&path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root` using `cfg`.
+pub fn lint_root(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let files = collect_files(root, cfg)?;
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = config::relative_slash(root, path);
+        diagnostics.extend(rules::check_file(&rel, &src, cfg));
+    }
+    Ok(LintReport {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+/// Lints the workspace rooted at `root` using its `lint.toml`.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let cfg_path = root.join("lint.toml");
+    let src = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = Config::parse(&src).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    lint_root(root, &cfg).map_err(|e| format!("scan failed: {e}"))
+}

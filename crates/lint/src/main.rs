@@ -1,0 +1,79 @@
+#![deny(missing_docs)]
+//! `tia-lint` command-line entry point.
+//!
+//! ```text
+//! tia-lint [--check] [--root DIR]
+//! ```
+//!
+//! Prints findings as `path:line: [rule] message`. With `--check` the exit
+//! code is 1 when any finding exists (the CI gate); without it the run is
+//! advisory and always exits 0 unless the scan itself fails.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("tia-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: tia-lint [--check] [--root DIR]");
+                println!("  --check   exit non-zero when any finding exists (CI gate)");
+                println!("  --root    workspace root holding lint.toml (default: cwd)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tia-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match tia_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tia-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "tia-lint: clean — {} files scanned, 0 findings",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "tia-lint: {} finding(s) across {} file(s) ({} scanned)",
+            report.diagnostics.len(),
+            {
+                let mut files: Vec<&str> =
+                    report.diagnostics.iter().map(|d| d.file.as_str()).collect();
+                files.dedup();
+                files.len()
+            },
+            report.files_scanned
+        );
+        if check {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

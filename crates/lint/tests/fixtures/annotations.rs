@@ -1,0 +1,19 @@
+//! Fixture: malformed `tia-lint:` annotations are themselves diagnosed.
+
+// tia-lint: allow(unknown-rule, some reason) //~ annotation
+fn a() {}
+
+// tia-lint: allow(panic-freedom) //~ annotation
+fn b() {}
+
+// tia-lint: allow(panic-freedom, ) //~ annotation
+fn c() {}
+
+// tia-lint: frobnicate the widgets //~ annotation
+fn d() {}
+
+// tia-lint: hot-path(end) //~ annotation
+fn e() {}
+
+// tia-lint: hot-path(begin) //~ annotation
+fn f() {}

@@ -1,0 +1,55 @@
+//! Fixture: the atomic-ordering rule. Every `Ordering::` site needs an
+//! `// ordering:` justification; Relaxed must not be justified as a handoff.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn unjustified(c: &AtomicU64, f: &AtomicBool) -> u64 {
+    c.fetch_add(1, Ordering::SeqCst); //~ atomic-ordering
+    f.store(true, Ordering::Release); //~ atomic-ordering
+    c.load(Ordering::Acquire) //~ atomic-ordering
+}
+
+fn justified_inline(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // ordering: relaxed — monitoring snapshot, no synchronization.
+}
+
+fn justified_above(c: &AtomicU64) {
+    // ordering: SeqCst — participates in the stop/drain handshake's total order.
+    c.fetch_add(1, Ordering::SeqCst);
+}
+
+fn justified_multiline_statement(c: &AtomicU64) -> bool {
+    // ordering: acquire — pairs with the Release store in justified_above's caller.
+    c.compare_exchange(
+        0,
+        1,
+        Ordering::Acquire,
+        Ordering::Relaxed,
+    )
+    .is_ok()
+}
+
+fn relaxed_handoff_is_wrong(f: &AtomicBool) {
+    // ordering: relaxed — cross-thread handoff of the finished buffer.
+    f.store(true, Ordering::Relaxed); //~ atomic-ordering
+}
+
+fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+fn suppressed(c: &AtomicU64) -> u64 {
+    // tia-lint: allow(atomic-ordering, fixture demonstrating the escape hatch)
+    c.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unjustified_orderings_in_tests_are_fine() {
+        let c = AtomicU64::new(0);
+        assert_eq!(c.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: the determinism rule's HashMap/HashSet iteration ban.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn violations(routes: &HashMap<u64, u32>, seen: &mut HashSet<u64>) -> u64 {
+    let mut sum = 0;
+    for (k, v) in routes.iter() { //~ determinism
+        sum += k + u64::from(*v);
+    }
+    for k in seen.drain() { //~ determinism
+        sum += k;
+    }
+    let local: HashSet<u64> = HashSet::new();
+    for k in &local { //~ determinism
+        sum += k;
+    }
+    sum
+}
+
+fn keyed_lookup_is_fine(routes: &HashMap<u64, u32>) -> Option<u32> {
+    routes.get(&7).copied()
+}
+
+fn ordered_maps_are_fine(stats: &BTreeMap<u64, u32>) -> u64 {
+    stats.iter().map(|(k, _)| k).sum()
+}
+
+fn suppressed(routes: &HashMap<u64, u32>) -> u64 {
+    // tia-lint: allow(determinism, the sum is order-independent)
+    routes.values().map(|v| u64::from(*v)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_in_tests_is_fine() {
+        let m: HashMap<u64, u32> = HashMap::new();
+        assert_eq!(m.iter().count(), 0);
+    }
+}

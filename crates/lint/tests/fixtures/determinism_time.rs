@@ -1,0 +1,31 @@
+//! Fixture: the determinism rule's wall-clock ban.
+
+use std::time::{Duration, Instant};
+
+fn violations() -> Duration {
+    let t = Instant::now(); //~ determinism
+    let epoch = std::time::SystemTime::UNIX_EPOCH; //~ determinism
+    drop(epoch);
+    t.elapsed() //~ determinism
+}
+
+fn suppressed() -> Instant {
+    // tia-lint: allow(determinism, this fixture documents the escape hatch)
+    Instant::now()
+}
+
+/// Prose about `Instant::now()` and `SystemTime` is not a clock read.
+fn masked() -> &'static str {
+    "Instant::now() inside a string is data"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_reads_in_tests_are_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed() >= Duration::ZERO);
+    }
+}

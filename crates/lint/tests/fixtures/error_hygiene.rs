@@ -1,0 +1,31 @@
+//! Fixture: the error-hygiene rule — no `let _ =` silent discards.
+
+use std::fmt::Write as _;
+
+fn violations(out: &mut String) {
+    let _ = writeln!(out, "dropped error"); //~ error-hygiene
+    let _: Result<(), std::fmt::Error> = writeln!(out, "typed discard"); //~ error-hygiene
+}
+
+fn named_placeholders_are_fine(pair: (u32, u32)) -> u32 {
+    let (_unused, keep) = pair;
+    let _ignored = keep + 1;
+    keep
+}
+
+fn suppressed(out: &mut String) {
+    // tia-lint: allow(error-hygiene, best-effort debug output, failure is acceptable)
+    let _ = writeln!(out, "tolerated");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discards_in_tests_are_fine() {
+        let mut s = String::new();
+        let _ = writeln!(&mut s, "x");
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: the hot-path-alloc rule. Allocations are only flagged strictly
+//! between `hot-path(begin)` and `hot-path(end)` markers.
+
+fn cold_setup() -> Vec<u32> {
+    let mut v = Vec::new(); // outside any region: allocations are fine
+    v.push(1);
+    let s = format!("{}", v.len());
+    drop(s);
+    v
+}
+
+// tia-lint: hot-path(begin)
+fn steady_state(xs: &[u32], out: &mut Vec<u32>) {
+    let copy = xs.to_vec(); //~ hot-path-alloc
+    let boxed = Box::new(copy); //~ hot-path-alloc
+    let label = format!("{}", boxed.len()); //~ hot-path-alloc
+    let owned = label.clone(); //~ hot-path-alloc
+    let gathered: Vec<u32> = xs.iter().copied().collect(); //~ hot-path-alloc
+    drop(owned);
+    out.extend_from_slice(&gathered);
+    // tia-lint: allow(hot-path-alloc, one-time staging buffer reused for the whole run)
+    let staged = gathered.to_vec();
+    drop(staged);
+}
+// tia-lint: hot-path(end)
+
+fn cold_again() -> String {
+    String::new()
+}

@@ -1,0 +1,43 @@
+//! Fixture: the panic-freedom rule. Tagged lines must produce exactly one
+//! diagnostic of the named rule; untagged lines must stay silent.
+
+fn violations(opt: Option<u32>) -> u32 {
+    let a = opt.unwrap(); //~ panic-freedom
+    let b = opt.expect("present"); //~ panic-freedom
+    if a == 0 {
+        panic!("zero"); //~ panic-freedom
+    }
+    match b {
+        0 => unreachable!(), //~ panic-freedom
+        1 => todo!(), //~ panic-freedom
+        2 => unimplemented!(), //~ panic-freedom
+        _ => b,
+    }
+}
+
+fn suppressed(opt: Option<u32>) -> u32 {
+    // tia-lint: allow(panic-freedom, the caller guarantees Some by construction)
+    opt.unwrap()
+}
+
+fn suppressed_inline(opt: Option<u32>) -> u32 {
+    opt.unwrap() // tia-lint: allow(panic-freedom, invariant: populated at startup)
+}
+
+/// Mentioning `.unwrap()` or `panic!(..)` in a doc comment is not a call.
+fn masked_in_literals() -> &'static str {
+    "a string containing .unwrap() and panic!(boom) is data, not code"
+}
+
+fn an_unwrap_phase_is_not_the_method(x: UnwrapPhase) -> UnwrapPhase {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

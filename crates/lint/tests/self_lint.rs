@@ -1,0 +1,25 @@
+//! The tool must be *true*: the workspace it ships in lints clean under its
+//! own `lint.toml`. Any new violation (an unwrap in serve, a raw clock
+//! read, an unjustified ordering…) fails this test before it reaches CI.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = tia_lint::lint_workspace(&root)
+        .unwrap_or_else(|e| panic!("workspace lint failed to run: {e}"));
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — is the scan mis-rooted?",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

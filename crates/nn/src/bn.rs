@@ -35,6 +35,7 @@ struct BnCache {
     count: usize, // N * H * W per channel
 }
 
+// tia-lint: hot-path(begin)
 fn bn_forward(
     core: &mut BnCore,
     cache: &mut Option<BnCache>,
@@ -92,12 +93,12 @@ fn bn_forward(
         let g = core.gamma.value.data()[ci];
         let b = core.beta.value.data()[ci];
         for ni in 0..n {
-            let row = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
-            let xrow = &x.data()[row.clone()];
+            let (rs, re) = ((ni * c + ci) * hw, (ni * c + ci + 1) * hw);
+            let xrow = &x.data()[rs..re];
             match xhat.as_mut() {
                 Some(xhat) => {
-                    let xhrow = &mut xhat.data_mut()[row.clone()];
-                    let orow = &mut out.data_mut()[row];
+                    let xhrow = &mut xhat.data_mut()[rs..re];
+                    let orow = &mut out.data_mut()[rs..re];
                     for ((xh, o), &xv) in xhrow.iter_mut().zip(orow.iter_mut()).zip(xrow) {
                         let v = (xv - mean) * inv_std;
                         *xh = v;
@@ -105,7 +106,7 @@ fn bn_forward(
                     }
                 }
                 None => {
-                    let orow = &mut out.data_mut()[row];
+                    let orow = &mut out.data_mut()[rs..re];
                     for (o, &xv) in orow.iter_mut().zip(xrow) {
                         *o = g * ((xv - mean) * inv_std) + b;
                     }
@@ -126,6 +127,7 @@ fn bn_forward(
     }
     out
 }
+// tia-lint: hot-path(end)
 
 fn bn_backward(
     core: &mut BnCore,

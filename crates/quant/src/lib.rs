@@ -30,6 +30,8 @@
 //! assert!(e8 <= e4);
 //! ```
 
+#![deny(missing_docs)]
+
 mod precision;
 mod quantizer;
 

@@ -1,10 +1,11 @@
 //! A minimal blocking wire-protocol client, shared by the load generator,
 //! the benchmarks and the integration tests.
 
+use crate::clock;
 use crate::wire::{Class, Frame, InferRequest, WireError, WirePolicy};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tia_tensor::Tensor;
 
 /// Builds an [`Frame::Infer`] from a `[C, H, W]` tensor (no deadline,
@@ -63,11 +64,11 @@ impl Client {
     /// Connects, retrying every 100 ms until `timeout` elapses — for
     /// scripts that race a freshly spawned server's bind.
     pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<Self> {
-        let deadline = Instant::now() + timeout;
+        let deadline = clock::monotonic_now() + timeout;
         loop {
             match Self::connect(addr) {
                 Ok(c) => return Ok(c),
-                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(e) if clock::monotonic_now() >= deadline => return Err(e),
                 Err(_) => std::thread::sleep(Duration::from_millis(100)),
             }
         }

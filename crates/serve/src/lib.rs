@@ -64,12 +64,14 @@
 
 pub mod cli;
 pub mod client;
+pub mod clock;
 pub mod load;
 pub mod metrics;
 pub mod server;
 pub mod wire;
 
 pub use client::{fetch_metrics, infer_frame, infer_frame_with, Client};
+pub use clock::Clock;
 pub use load::{run as run_load, LoadConfig, LoadReport};
 pub use metrics::{Histogram, Metrics};
 pub use server::{Server, ServerConfig};

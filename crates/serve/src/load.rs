@@ -8,7 +8,9 @@
 //! latency through the same [`Histogram`] the server's metrics use.
 
 use crate::client::{infer_frame_with, Client};
+use crate::clock;
 use crate::metrics::Histogram;
+use crate::server::best_effort;
 use crate::wire::{Class, Frame, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
@@ -126,7 +128,7 @@ impl LoadReport {
 pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
     let connections = cfg.connections.max(1);
     let per_conn = split_evenly(cfg.requests, connections);
-    let start = Instant::now();
+    let start = clock::monotonic_now();
     let mut handles = Vec::new();
     for (i, n) in per_conn.into_iter().enumerate() {
         if n == 0 {
@@ -156,7 +158,9 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         latency: Histogram::new(),
     };
     for h in handles {
-        let stats = h.join().expect("loadgen connection thread panicked")?;
+        let stats = h
+            .join()
+            .map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
         report.sent += stats.sent;
         report.ok += stats.ok;
         report.rejected += stats.rejected;
@@ -166,7 +170,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.max_send_lag = report.max_send_lag.max(stats.max_send_lag);
         report.latency.merge(&stats.latency);
     }
-    report.elapsed = start.elapsed();
+    report.elapsed = clock::since(start);
     Ok(report)
 }
 
@@ -218,7 +222,7 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
     let window = cfg.inflight.max(1).min(n);
     for id in 0..window as u64 {
         client.send(&frame(id))?;
-        sent_at.insert(id, Instant::now());
+        sent_at.insert(id, clock::monotonic_now());
         stats.sent += 1;
     }
     let mut answered = 0u64;
@@ -226,7 +230,7 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
         match client.recv() {
             Ok(Frame::Logits(r)) => {
                 if let Some(t) = sent_at.remove(&r.id) {
-                    stats.latency.record_ns(t.elapsed().as_nanos() as u64);
+                    stats.latency.record_ns(clock::since(t).as_nanos() as u64);
                 }
                 stats.ok += 1;
                 answered += 1;
@@ -250,7 +254,7 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
             if client.send(&frame(id)).is_err() {
                 break;
             }
-            sent_at.insert(id, Instant::now());
+            sent_at.insert(id, clock::monotonic_now());
             stats.sent += 1;
         }
     }
@@ -283,14 +287,17 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
                 match Frame::read_from(&mut reader) {
                     Ok(Frame::Logits(r)) => {
                         if let Some(t) = sent_at.lock().ok().and_then(|mut m| m.remove(&r.id)) {
-                            latency.record_ns(t.elapsed().as_nanos() as u64);
+                            latency.record_ns(clock::since(t).as_nanos() as u64);
                         }
+                        // ordering: relaxed — statistics counter, aggregated after join.
                         ok.fetch_add(1, Ordering::Relaxed);
                         seen += 1;
                     }
                     Ok(Frame::Reject { code, .. }) => {
+                        // ordering: relaxed — statistics counter, aggregated after join.
                         rejected.fetch_add(1, Ordering::Relaxed);
                         if code == RejectCode::DeadlineExceeded {
+                            // ordering: relaxed — statistics counter, aggregated after join.
                             rejected_deadline.fetch_add(1, Ordering::Relaxed);
                         }
                         seen += 1;
@@ -304,12 +311,12 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
     };
 
     let interval = Duration::from_secs_f64(1.0 / rate).max(Duration::from_nanos(1));
-    let mut next = Instant::now();
+    let mut next = clock::monotonic_now();
     let mut sent = 0u64;
     let mut ticks_skipped = 0u64;
     let mut max_send_lag = Duration::ZERO;
     for id in 0..n as u64 {
-        let now = Instant::now();
+        let now = clock::monotonic_now();
         if now < next {
             std::thread::sleep(next - now);
         } else {
@@ -330,7 +337,7 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
             max_send_lag = max_send_lag.max(lag);
         }
         if let Ok(mut m) = sent_at.lock() {
-            m.insert(id, Instant::now());
+            m.insert(id, clock::monotonic_now());
         }
         if infer_frame_with(id, image, cfg.policy.clone(), cfg.deadline_ms, cfg.class)
             .write_to(&mut writer)
@@ -338,20 +345,23 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
         {
             // The connection is dead; unblock the receiver (it would
             // otherwise wait for responses that were never requested).
-            let _ = writer.shutdown(std::net::Shutdown::Both);
+            best_effort(writer.shutdown(std::net::Shutdown::Both));
             break;
         }
         sent += 1;
         next += interval;
     }
-    let _ = receiver.join();
+    best_effort(receiver.join());
     let latency_out = Histogram::new();
     latency_out.merge(&latency);
+    // ordering: relaxed — the receiver thread is joined above, so these loads
+    // happen-after every fetch_add it performed.
     let (ok, rejected) = (ok.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed));
     Ok(ConnStats {
         sent,
         ok,
         rejected,
+        // ordering: relaxed — receiver joined above; no concurrent writers remain.
         rejected_deadline: rejected_deadline.load(Ordering::Relaxed),
         // Sent requests with no usable answer; never counts unsent ones.
         errors: sent.saturating_sub(ok + rejected),

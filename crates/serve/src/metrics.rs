@@ -7,6 +7,11 @@
 //! `p50`/`p99` latency come from the histogram buckets, both server-side
 //! (scrape) and client-side (the load generator reuses [`Histogram`] for
 //! its own end-to-end latency report).
+//!
+//! Every atomic here is an independent statistical counter or gauge — no
+//! code path makes a decision off one, and scrapes tolerate momentary skew
+//! between counters — so all accesses are `Relaxed` (each justified inline
+//! for the atomic-ordering lint).
 
 use crate::wire::Class;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,6 +22,18 @@ use tia_quant::Precision;
 pub const PRECISION_SLOTS: usize = 17;
 
 const BUCKETS: usize = 26;
+
+/// Appends one formatted line to the exposition buffer.
+///
+/// `fmt::Write` into a `String` is infallible, so the `Result` is
+/// discarded here — once, deliberately, with this justification — instead
+/// of scattering `let _ = writeln!(..)` discards through the rendering
+/// code (which the error-hygiene lint bans).
+fn putln(out: &mut String, args: std::fmt::Arguments<'_>) {
+    use std::fmt::Write;
+    crate::server::best_effort(out.write_fmt(args));
+    out.push('\n');
+}
 
 /// A log₂-bucketed latency histogram over microseconds.
 ///
@@ -53,12 +70,16 @@ impl Histogram {
     /// Records one latency sample.
     pub fn record_ns(&self, ns: u64) {
         let us = ns.div_ceil(1000);
+        // ordering: relaxed — independent statistical counters; a scrape
+        // racing a record may see count without sum, which is acceptable.
         self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        // ordering: relaxed — see above.
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // ordering: relaxed — statistical snapshot read.
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
@@ -68,6 +89,7 @@ impl Histogram {
         if n == 0 {
             0.0
         } else {
+            // ordering: relaxed — statistical snapshot read.
             self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
@@ -83,6 +105,7 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, c) in self.counts.iter().enumerate() {
+            // ordering: relaxed — statistical snapshot read.
             seen += c.load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_upper_us(i).saturating_mul(1000);
@@ -97,8 +120,10 @@ impl Histogram {
     /// Merges another histogram's samples into this one.
     pub fn merge(&self, other: &Histogram) {
         for (a, b) in self.counts.iter().zip(other.counts.iter()) {
+            // ordering: relaxed — merging statistical counters.
             a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
         }
+        // ordering: relaxed — merging statistical counters.
         self.sum_ns
             .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
@@ -108,23 +133,31 @@ impl Histogram {
     /// `key="value",` prefix spliced before the `le` label (the trailing
     /// comma included).
     fn render(&self, name: &str, labels: &str, out: &mut String) {
-        use std::fmt::Write;
         let mut cum = 0u64;
         for i in 0..BUCKETS {
+            // ordering: relaxed — statistical snapshot read for a scrape.
             cum += self.counts[i].load(Ordering::Relaxed);
             let le = bucket_upper_us(i) as f64 / 1e6;
-            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {cum}");
+            putln(
+                out,
+                format_args!("{name}_bucket{{{labels}le=\"{le}\"}} {cum}"),
+            );
         }
+        // ordering: relaxed — statistical snapshot read for a scrape.
         cum += self.counts[BUCKETS].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {cum}");
+        putln(
+            out,
+            format_args!("{name}_bucket{{{labels}le=\"+Inf\"}} {cum}"),
+        );
+        // ordering: relaxed — statistical snapshot read for a scrape.
         let sum_s = self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9;
         let plain = labels.trim_end_matches(',');
         if plain.is_empty() {
-            let _ = writeln!(out, "{name}_sum {sum_s}");
-            let _ = writeln!(out, "{name}_count {cum}");
+            putln(out, format_args!("{name}_sum {sum_s}"));
+            putln(out, format_args!("{name}_count {cum}"));
         } else {
-            let _ = writeln!(out, "{name}_sum{{{plain}}} {sum_s}");
-            let _ = writeln!(out, "{name}_count{{{plain}}} {cum}");
+            putln(out, format_args!("{name}_sum{{{plain}}} {sum_s}"));
+            putln(out, format_args!("{name}_count{{{plain}}} {cum}"));
         }
     }
 }
@@ -181,6 +214,7 @@ impl Metrics {
     /// Bumps the per-precision serve counter for one frame.
     pub fn count_precision(&self, p: Option<Precision>) {
         let slot = p.map_or(0, |p| p.bits() as usize);
+        // ordering: relaxed — metrics counter.
         self.frames_by_precision[slot].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -194,58 +228,62 @@ impl Metrics {
     /// Renders the whole registry in Prometheus text exposition format
     /// (version 0.0.4).
     pub fn render_prometheus(&self) -> String {
-        use std::fmt::Write;
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, v: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+            putln(&mut out, format_args!("# HELP {name} {help}"));
+            putln(&mut out, format_args!("# TYPE {name} counter"));
+            putln(&mut out, format_args!("{name} {v}"));
         };
         counter(
             "tia_serve_requests_total",
             "Inference requests admitted.",
-            self.requests_total.load(Ordering::Relaxed),
+            self.requests_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
         counter(
             "tia_serve_responses_total",
             "Responses written to clients.",
-            self.responses_total.load(Ordering::Relaxed),
+            self.responses_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
         counter(
             "tia_serve_bad_frames_total",
             "Undecodable frames received.",
-            self.bad_frames_total.load(Ordering::Relaxed),
+            self.bad_frames_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
         counter(
             "tia_serve_connections_total",
             "Connections accepted.",
-            self.connections_total.load(Ordering::Relaxed),
+            self.connections_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
         counter(
             "tia_serve_batches_total",
             "Coalesced micro-batches executed.",
-            self.batches_total.load(Ordering::Relaxed),
+            self.batches_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
         counter(
             "tia_serve_batch_frames_total",
             "Frames served across all batches.",
-            self.batch_frames_total.load(Ordering::Relaxed),
+            self.batch_frames_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
-        let _ = writeln!(
-            out,
-            "# HELP tia_serve_rejected_total Requests refused by admission control."
+        putln(
+            &mut out,
+            format_args!("# HELP tia_serve_rejected_total Requests refused by admission control."),
         );
-        let _ = writeln!(out, "# TYPE tia_serve_rejected_total counter");
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_rejected_total counter"),
+        );
         for (reason, v) in [
             ("queue_full", &self.rejected_queue_full),
             ("draining", &self.rejected_draining),
             ("bad_shape", &self.rejected_bad_shape),
             ("deadline_exceeded", &self.rejected_deadline),
         ] {
-            let _ = writeln!(
-                out,
-                "tia_serve_rejected_total{{reason=\"{reason}\"}} {}",
-                v.load(Ordering::Relaxed)
+            putln(
+                &mut out,
+                format_args!(
+                    "tia_serve_rejected_total{{reason=\"{reason}\"}} {}",
+                    v.load(Ordering::Relaxed) // ordering: relaxed — scrape snapshot.
+                ),
             );
         }
         for (name, help, v) in [
@@ -260,39 +298,58 @@ impl Metrics {
                 &self.queue_depth,
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", v.load(Ordering::Relaxed));
+            putln(&mut out, format_args!("# HELP {name} {help}"));
+            putln(&mut out, format_args!("# TYPE {name} gauge"));
+            putln(
+                &mut out,
+                // ordering: relaxed — scrape snapshot of a gauge.
+                format_args!("{name} {}", v.load(Ordering::Relaxed)),
+            );
         }
-        let _ = writeln!(
-            out,
-            "# HELP tia_serve_frames_by_precision_total Served frames per execution precision."
+        putln(
+            &mut out,
+            format_args!(
+                "# HELP tia_serve_frames_by_precision_total Served frames per execution precision."
+            ),
         );
-        let _ = writeln!(out, "# TYPE tia_serve_frames_by_precision_total counter");
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_frames_by_precision_total counter"),
+        );
         for (slot, v) in self.frames_by_precision.iter().enumerate() {
             let label = if slot == 0 {
                 "fp32".to_string()
             } else {
                 format!("{slot}-bit")
             };
-            let _ = writeln!(
-                out,
-                "tia_serve_frames_by_precision_total{{precision=\"{label}\"}} {}",
-                v.load(Ordering::Relaxed)
+            putln(
+                &mut out,
+                format_args!(
+                    "tia_serve_frames_by_precision_total{{precision=\"{label}\"}} {}",
+                    v.load(Ordering::Relaxed) // ordering: relaxed — scrape snapshot.
+                ),
             );
         }
-        let _ = writeln!(
-            out,
-            "# HELP tia_serve_request_latency_seconds End-to-end request latency."
+        putln(
+            &mut out,
+            format_args!("# HELP tia_serve_request_latency_seconds End-to-end request latency."),
         );
-        let _ = writeln!(out, "# TYPE tia_serve_request_latency_seconds histogram");
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_request_latency_seconds histogram"),
+        );
         self.latency
             .render("tia_serve_request_latency_seconds", "", &mut out);
-        let _ = writeln!(
-            out,
-            "# HELP tia_serve_class_latency_seconds End-to-end request latency per scheduling class."
+        putln(
+            &mut out,
+            format_args!(
+                "# HELP tia_serve_class_latency_seconds End-to-end request latency per scheduling class."
+            ),
         );
-        let _ = writeln!(out, "# TYPE tia_serve_class_latency_seconds histogram");
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_class_latency_seconds histogram"),
+        );
         for class in Class::ALL {
             self.latency_by_class[class.as_u8() as usize].render(
                 "tia_serve_class_latency_seconds",

@@ -71,6 +71,7 @@
 //! [`Frame::ShutdownAck`], and exits; [`Server::wait`] then joins every
 //! thread and returns the engine for post-mortem inspection.
 
+use crate::clock::Clock;
 use crate::metrics::Metrics;
 use crate::wire::{Class, Frame, InferResponse, RejectCode, WirePolicy};
 use std::collections::HashMap;
@@ -113,6 +114,11 @@ pub struct ServerConfig {
     /// — until [`Server::resume`]). For staged startup and backpressure
     /// tests.
     pub start_paused: bool,
+    /// The time source for all schedule-affecting reads (deadline
+    /// anchoring, batch-forming waits, expiry shedding). Defaults to the
+    /// real clock; inject a [`Clock::manual`] to drive deadline logic
+    /// deterministically in tests.
+    pub clock: Clock,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +133,7 @@ impl Default for ServerConfig {
             policy: PrecisionPolicy::Fixed(None),
             max_wait: Duration::ZERO,
             start_paused: false,
+            clock: Clock::real(),
         }
     }
 }
@@ -185,6 +192,20 @@ impl ServerConfig {
         self.start_paused = true;
         self
     }
+
+    /// Injects a time source (see [`ServerConfig::clock`]).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+/// Deliberately discards a best-effort result (socket teardown, wakeup
+/// pokes, already-reported I/O) where failure is benign and there is no
+/// one left to tell. Naming the discard keeps the error-hygiene lint's
+/// `let _ =` ban meaningful everywhere else.
+pub(crate) fn best_effort<T, E>(res: Result<T, E>) {
+    drop(res);
 }
 
 /// One client connection's write half, shared between its reader (rejects,
@@ -198,6 +219,8 @@ struct Conn {
 
 impl Conn {
     fn send(&self, frame: &Frame) {
+        // ordering: relaxed — `alive` is an advisory fast-path skip; a stale
+        // read only means one extra write attempt, which fails harmlessly.
         if !self.alive.load(Ordering::Relaxed) {
             return;
         }
@@ -206,25 +229,31 @@ impl Conn {
             Err(_) => return,
         };
         if frame.write_to(&mut *guard).is_err() {
+            // ordering: relaxed — advisory flag, see the load above.
             self.alive.store(false, Ordering::Relaxed);
             // Tear the socket down, not just the flag: the peer learns the
             // connection is dead instead of hanging on recv forever, and
             // this connection's reader unblocks and exits rather than
             // admitting more requests whose responses would be dropped.
-            let _ = guard.shutdown(SockShutdown::Both);
+            best_effort(guard.shutdown(SockShutdown::Both));
         }
     }
 
     fn close(&self) {
+        // ordering: relaxed — advisory flag; the socket shutdown below is
+        // what actually unblocks the peer and the reader.
         self.alive.store(false, Ordering::Relaxed);
         if let Ok(guard) = self.stream.lock() {
-            let _ = guard.shutdown(SockShutdown::Both);
+            best_effort(guard.shutdown(SockShutdown::Both));
         }
     }
 }
 
 /// State shared by every server thread.
 struct Shared {
+    /// The injectable time source every schedule-affecting read goes
+    /// through (see [`crate::clock`]).
+    clock: Clock,
     metrics: Metrics,
     /// Set when shutdown begins: readers refuse new inference work.
     draining: AtomicBool,
@@ -361,6 +390,7 @@ impl<B: Backend + Send + 'static> Server<B> {
             cfg.engine.clone(),
         );
         let shared = Arc::new(Shared {
+            clock: cfg.clock.clone(),
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
@@ -423,23 +453,29 @@ impl<B: Backend + Send + 'static> Server<B> {
 
     /// Unpauses a [`ServerConfig::start_paused`] batcher.
     pub fn resume(&self) {
+        // ordering: SeqCst — pause/drain/stop flags share one total order so
+        // the shutdown handshake (drain -> resume -> marker) cannot reorder.
         self.shared.paused.store(false, Ordering::SeqCst);
     }
 
     /// Initiates a graceful drain (everything already admitted is served),
     /// waits for completion, and returns the engine.
     pub fn shutdown(mut self) -> ShardedEngine<B> {
+        // ordering: SeqCst — must be globally visible before the admission
+        // write barrier in the batcher's stop path sequences the drain.
         self.shared.draining.store(true, Ordering::SeqCst);
         // Resume *before* the blocking send: with a paused batcher and a
         // full queue, the marker could otherwise never be consumed.
         self.resume();
-        let _ = self.submit_tx.send(Item::Shutdown { conn: None });
+        best_effort(self.submit_tx.send(Item::Shutdown { conn: None }));
+        // tia-lint: allow(panic-freedom, finish() is Some on the first call and shutdown consumes self)
         self.finish().expect("server already shut down")
     }
 
     /// Waits for a client-initiated [`Frame::Shutdown`] drain to complete,
     /// then returns the engine.
     pub fn wait(mut self) -> ShardedEngine<B> {
+        // tia-lint: allow(panic-freedom, finish() is Some on the first call and wait consumes self)
         self.finish().expect("server already shut down")
     }
 
@@ -449,17 +485,20 @@ impl<B: Backend + Send + 'static> Server<B> {
     fn finish(&mut self) -> Option<ShardedEngine<B>> {
         let batcher = self.batcher.take()?;
         self.resume(); // A paused batcher would never see the shutdown item.
+                       // tia-lint: allow(panic-freedom, a batcher panic is unrecoverable server state — propagating it is the only honest option)
         let engine = batcher.join().expect("serve batcher thread panicked");
+        // ordering: SeqCst — stop flag shares the shutdown total order; the
+        // accept loops poll it after their wakeup pokes below.
         self.shared.stopped.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        best_effort(TcpStream::connect(self.addr));
         if let Some(ma) = self.metrics_addr {
-            let _ = TcpStream::connect(ma);
+            best_effort(TcpStream::connect(ma));
         }
         if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+            best_effort(h.join());
         }
         if let Some(h) = self.metrics_thread.take() {
-            let _ = h.join();
+            best_effort(h.join());
         }
         let conns: Vec<Arc<Conn>> = match self.shared.conns.lock() {
             Ok(mut g) => g.drain(..).collect(),
@@ -473,7 +512,7 @@ impl<B: Backend + Send + 'static> Server<B> {
             Err(_) => Vec::new(),
         };
         for h in readers {
-            let _ = h.join();
+            best_effort(h.join());
         }
         Some(engine)
     }
@@ -482,10 +521,11 @@ impl<B: Backend + Send + 'static> Server<B> {
 impl<B: Backend + Send + 'static> Drop for Server<B> {
     fn drop(&mut self) {
         if self.batcher.is_some() {
+            // ordering: SeqCst — same drain handshake as shutdown().
             self.shared.draining.store(true, Ordering::SeqCst);
             self.resume();
-            let _ = self.submit_tx.send(Item::Shutdown { conn: None });
-            let _ = self.finish();
+            best_effort(self.submit_tx.send(Item::Shutdown { conn: None }));
+            drop(self.finish());
         }
     }
 }
@@ -493,11 +533,12 @@ impl<B: Backend + Send + 'static> Drop for Server<B> {
 /// Accepts connections until the server stops; one reader thread each.
 fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item>) {
     for stream in listener.incoming() {
+        // ordering: SeqCst — stop flag; pairs with the store in finish().
         if shared.stopped.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let _ = stream.set_nodelay(true);
+        best_effort(stream.set_nodelay(true));
         let Ok(write_half) = stream.try_clone() else {
             continue;
         };
@@ -508,11 +549,14 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item
         // writer threads — a known follow-up), one misbehaving connection
         // can still stall everyone for up to this timeout, once: the first
         // timeout kills the connection, so it cannot stall twice.
-        let _ = write_half.set_write_timeout(Some(Duration::from_secs(2)));
+        best_effort(write_half.set_write_timeout(Some(Duration::from_secs(2))));
+        // ordering: relaxed — independent metrics counters; scrapes tolerate
+        // momentary skew between them.
         shared
             .metrics
             .connections_total
             .fetch_add(1, Ordering::Relaxed);
+        // ordering: relaxed — metrics gauge, see above.
         shared
             .metrics
             .connections_active
@@ -554,6 +598,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
         match Frame::read_from(&mut stream) {
             Ok(Frame::Infer(req)) => {
                 if req.shape != shared.input_shape {
+                    // ordering: relaxed — metrics counter.
                     m.rejected_bad_shape.fetch_add(1, Ordering::Relaxed);
                     conn.send(&Frame::Reject {
                         id: req.id,
@@ -567,8 +612,12 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                 // drain sweep, or it observes `draining` and is rejected —
                 // it can never be admitted and then silently dropped.
                 let admission = shared.admission.read();
+                // ordering: SeqCst — the drain flag must be checked in the
+                // same total order the batcher's stop path establishes, or
+                // an admitted request could be silently dropped.
                 if shared.draining.load(Ordering::SeqCst) {
                     drop(admission);
+                    // ordering: relaxed — metrics counter.
                     m.rejected_draining.fetch_add(1, Ordering::Relaxed);
                     conn.send(&Frame::Reject {
                         id: req.id,
@@ -578,7 +627,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                 }
                 // The wire deadline is relative; anchor it at admission so
                 // queue time counts against it.
-                let enqueued = Instant::now();
+                let enqueued = shared.clock.now();
                 let item = Item::Infer(Box::new(IncomingReq {
                     conn: Arc::clone(&conn),
                     wire_id: req.id,
@@ -592,15 +641,20 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                 }));
                 // Gauge up *before* the send: the batcher's decrement can
                 // otherwise race ahead of the increment and wrap below 0.
+                // ordering: relaxed — approximate gauge; the channel send is
+                // the real synchronization edge for the request itself.
                 m.queue_depth.fetch_add(1, Ordering::Relaxed);
                 let outcome = tx.try_send(item);
                 drop(admission);
                 match outcome {
                     Ok(()) => {
+                        // ordering: relaxed — metrics counter.
                         m.requests_total.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(TrySendError::Full(_)) => {
+                        // ordering: relaxed — gauge rollback + counter.
                         m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        // ordering: relaxed — metrics counter.
                         m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                         conn.send(&Frame::Reject {
                             id: req.id,
@@ -608,7 +662,9 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                         });
                     }
                     Err(TrySendError::Disconnected(_)) => {
+                        // ordering: relaxed — gauge rollback + counter.
                         m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        // ordering: relaxed — metrics counter.
                         m.rejected_draining.fetch_add(1, Ordering::Relaxed);
                         conn.send(&Frame::Reject {
                             id: req.id,
@@ -619,17 +675,20 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
             }
             Ok(Frame::Ping) => conn.send(&Frame::Pong),
             Ok(Frame::Shutdown) => {
+                // ordering: SeqCst — drain flag, same total order as the
+                // admission-barrier handshake.
                 shared.draining.store(true, Ordering::SeqCst);
                 // Blocking send: the marker must land even when the queue is
                 // full, and it must land *after* this connection's admitted
                 // requests so the drain covers them.
-                let _ = tx.send(Item::Shutdown {
+                best_effort(tx.send(Item::Shutdown {
                     conn: Some(Arc::clone(&conn)),
-                });
+                }));
             }
             Ok(_) => {
                 // Server-to-client kinds arriving at the server are a
                 // protocol violation.
+                // ordering: relaxed — metrics counter.
                 m.bad_frames_total.fetch_add(1, Ordering::Relaxed);
                 conn.send(&Frame::Error {
                     msg: "unexpected frame kind from client".to_string(),
@@ -639,6 +698,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
             }
             Err(WireError::Closed) | Err(WireError::Io(_)) => break,
             Err(e) => {
+                // ordering: relaxed — metrics counter.
                 m.bad_frames_total.fetch_add(1, Ordering::Relaxed);
                 conn.send(&Frame::Error { msg: e.to_string() });
                 drain_before_close = true;
@@ -648,7 +708,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
     }
     if drain_before_close {
         use std::io::Read;
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        best_effort(stream.set_read_timeout(Some(Duration::from_millis(200))));
         let mut sink = [0u8; 1024];
         while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
     }
@@ -658,6 +718,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
     if let Ok(mut g) = shared.conns.lock() {
         g.retain(|c| !Arc::ptr_eq(c, &conn));
     }
+    // ordering: relaxed — metrics gauge.
     m.connections_active.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -685,6 +746,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
     let mut next_seq = 0u64;
     let mut senders_gone = false;
     'serve: loop {
+        // ordering: SeqCst — pause flag, same total order as resume().
         if shared.paused.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(1));
             continue;
@@ -738,12 +800,10 @@ fn batcher_loop<B: Backend + Send + 'static>(
         }
         // Wait for more arrivals only while a full batch is not yet
         // available AND the most urgent request can still afford the wait.
-        let now = Instant::now();
-        let due = window
-            .iter()
-            .map(|r| r.req.latest_form(max_wait))
-            .min()
-            .expect("window is non-empty");
+        let now = shared.clock.now();
+        let Some(due) = window.iter().map(|r| r.req.latest_form(max_wait)).min() else {
+            continue; // empty window: nothing to form (shed took the rest)
+        };
         if window.len() < max_take && now < due && !senders_gone {
             // Capped at 10 ms so pause/shutdown stay responsive.
             let wait = (due - now).min(Duration::from_millis(10));
@@ -825,6 +885,8 @@ fn intake(
             window.push(PendingReq { seq, req });
         }
         Item::Shutdown { conn } => {
+            // ordering: SeqCst — drain flag, same total order as the
+            // admission-barrier handshake.
             shared.draining.store(true, Ordering::SeqCst);
             *stop = true;
             // Every requester is owed an ack, not just the first.
@@ -839,7 +901,7 @@ fn intake(
 /// [`RejectCode::DeadlineExceeded`] frame. Shed requests never reach the
 /// engine, so they consume no draw from the seeded precision schedule.
 fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) {
-    let now = Instant::now();
+    let now = shared.clock.now();
     window.retain(|pending| {
         if !pending.req.expired(now) {
             return true;
@@ -853,7 +915,9 @@ fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) {
 /// accounting.
 fn shed_one(shared: &Shared, req: &IncomingReq) {
     let m = &shared.metrics;
+    // ordering: relaxed — metrics gauge + counter.
     m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    // ordering: relaxed — metrics counter.
     m.rejected_deadline.fetch_add(1, Ordering::Relaxed);
     req.conn.send(&Frame::Reject {
         id: req.wire_id,
@@ -875,13 +939,14 @@ fn form_and_run<B: Backend + Send + 'static>(
 ) {
     window.sort_by(edf_order);
     let take = window.len().min(max_take);
-    let now = Instant::now();
+    let now = shared.clock.now();
     for pending in window.drain(..take) {
         let req = *pending.req;
         if req.expired(now) {
             shed_one(shared, &req);
             continue;
         }
+        // ordering: relaxed — metrics gauge.
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let submitted = match &req.policy {
             WirePolicy::Server => engine.try_submit(req.image),
@@ -906,6 +971,7 @@ fn form_and_run<B: Backend + Send + 'static>(
                 // Readers validate geometry up front, so this only
                 // triggers if the configured input shape is not what the
                 // engine pinned — answer honestly rather than panic.
+                // ordering: relaxed — metrics counter.
                 shared
                     .metrics
                     .rejected_bad_shape
@@ -942,15 +1008,21 @@ fn flush_and_respond<B: Backend + Send + 'static>(
             logits: r.logits.into_vec(),
         });
         route.conn.send(&frame);
+        // ordering: relaxed — metrics counter.
         m.responses_total.fetch_add(1, Ordering::Relaxed);
         m.count_precision(r.precision);
-        m.record_latency(route.class, route.enqueued.elapsed().as_nanos() as u64);
+        m.record_latency(
+            route.class,
+            shared.clock.since(route.enqueued).as_nanos() as u64,
+        );
     }
     let stats = engine.stats();
+    // ordering: relaxed — metrics counter.
     m.batches_total.fetch_add(
         (stats.batches - last_stats.batches) as u64,
         Ordering::Relaxed,
     );
+    // ordering: relaxed — metrics counter.
     m.batch_frames_total.fetch_add(
         (stats.requests - last_stats.requests) as u64,
         Ordering::Relaxed,
@@ -962,11 +1034,12 @@ fn flush_and_respond<B: Backend + Send + 'static>(
 /// Prometheus text format, anything else 404. One request per connection.
 fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
+        // ordering: SeqCst — stop flag; pairs with the store in finish().
         if shared.stopped.load(Ordering::SeqCst) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        best_effort(stream.set_read_timeout(Some(Duration::from_secs(2))));
         serve_scrape(&mut stream, &shared.metrics);
     }
 }
@@ -1000,5 +1073,5 @@ fn serve_scrape(stream: &mut TcpStream, metrics: &Metrics) {
         "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
-    let _ = stream.write_all(response.as_bytes());
+    best_effort(stream.write_all(response.as_bytes()));
 }

@@ -608,7 +608,9 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.bytes(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>, WireError> {

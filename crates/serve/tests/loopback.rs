@@ -9,7 +9,7 @@ use tia_nn::zoo;
 use tia_quant::{Precision, PrecisionSet};
 use tia_serve::wire::{Class, Frame, InferResponse, RejectCode, WireError};
 use tia_serve::{
-    fetch_metrics, infer_frame, infer_frame_with, Client, LoadConfig, Server, ServerConfig,
+    fetch_metrics, infer_frame, infer_frame_with, Client, Clock, LoadConfig, Server, ServerConfig,
     WirePolicy,
 };
 use tia_tensor::{SeededRng, Tensor};
@@ -463,6 +463,82 @@ fn expired_requests_are_shed_and_consume_no_schedule_draw() {
     );
     let engine = server.shutdown();
     assert_eq!(engine.stats().requests, 3, "shed work never hit the engine");
+}
+
+/// Deadline shedding driven by the injected [`Clock`] seam instead of wall
+/// time: with a manual clock, time passes only on `advance`, so a 5 ms
+/// deadline expires deterministically — no sleeps, no timing slack — while
+/// the undeadlined request on the same connection is served normally.
+#[test]
+fn manual_clock_expires_deadlines_without_wall_time() {
+    let clock = Clock::manual();
+    let server = Server::spawn(base_config().paused().with_clock(clock.clone()), |_| {
+        replica()
+    })
+    .unwrap();
+    let x = images(2, 33);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .send(&infer_frame_with(
+            0,
+            &x.index_axis0(0),
+            WirePolicy::Server,
+            Some(5),
+            Class::Normal,
+        ))
+        .unwrap();
+    client
+        .send(&infer_frame_with(
+            1,
+            &x.index_axis0(1),
+            WirePolicy::Server,
+            None,
+            Class::Normal,
+        ))
+        .unwrap();
+    // Wait until both requests are admitted (the reader thread stamps their
+    // enqueue time from the manual clock, which is still at zero).
+    let metrics = server.metrics();
+    for _ in 0..1000 {
+        if metrics
+            .queue_depth
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 2
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        metrics
+            .queue_depth
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2,
+        "requests were not admitted"
+    );
+    // 50 virtual milliseconds pass; only the deadlined request expires.
+    clock.advance(Duration::from_millis(50));
+    server.resume();
+    let mut shed = Vec::new();
+    let mut served = Vec::new();
+    for _ in 0..2 {
+        match client.recv().unwrap() {
+            Frame::Reject { id, code } => {
+                assert_eq!(code, RejectCode::DeadlineExceeded);
+                shed.push(id);
+            }
+            Frame::Logits(r) => served.push(r.id),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(
+        shed,
+        vec![0],
+        "the 5 ms deadline expired under advance(50ms)"
+    );
+    assert_eq!(served, vec![1], "the undeadlined request survived");
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().requests, 1);
 }
 
 /// The EDF order inside one batch: interactive beats normal, a deadline

@@ -31,6 +31,8 @@
 //! assert!(perf_ours.fps > perf_bf.fps, "ours must beat Bit Fusion at 4-bit");
 //! ```
 
+#![deny(missing_docs)]
+
 mod accelerator;
 mod dnnguard_cmp;
 mod report;

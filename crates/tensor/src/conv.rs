@@ -108,6 +108,7 @@ pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
 ///
 /// Panics if `img` does not match the geometry's channel count times
 /// `h * w`, or (implicitly, via slice indexing) if `dst` is too small.
+// tia-lint: hot-path(begin)
 pub fn im2col_into(
     img: &[f32],
     geo: &Conv2dGeometry,
@@ -145,6 +146,7 @@ pub fn im2col_into(
         }
     }
 }
+// tia-lint: hot-path(end)
 
 /// Scatter-adds a patch-matrix gradient `[C*KH*KW, OH*OW]` back to an image
 /// gradient `[C, H, W]` (the adjoint of [`im2col`]).
@@ -175,6 +177,7 @@ pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, h: usize, w: usize) -> Tensor
 ///
 /// Panics if `out` does not match the geometry's channel count times
 /// `h * w`, or (implicitly, via slice indexing) if `cols` is too small.
+// tia-lint: hot-path(begin)
 pub fn col2im_add_into(
     cols: &[f32],
     col_stride: usize,
@@ -212,6 +215,7 @@ pub fn col2im_add_into(
         }
     }
 }
+// tia-lint: hot-path(end)
 
 #[cfg(test)]
 mod tests {

@@ -74,6 +74,7 @@ impl View<'_> {
     }
 }
 
+// tia-lint: hot-path(begin)
 /// Packs the `mc x kc` block of `a` at `(ic, pc)` into `MR`-row strips:
 /// strip `r` holds rows `ic + r*MR ..`, stored depth-major so the
 /// micro-kernel reads `MR` consecutive values per `k` step. Rows past `mc`
@@ -130,6 +131,7 @@ fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
         }
     }
 }
+// tia-lint: hot-path(end)
 
 /// Which operand of the product a [`PackedMatrix`] stands in for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -359,6 +361,7 @@ enum Rhs<'a> {
 /// `C += A · B` over logical `m x k` and `k x n` operands, tiled and packed.
 /// Pack scratch for non-prepacked operands comes from `ws` (returned when
 /// done), so steady-state callers allocate nothing.
+// tia-lint: hot-path(begin)
 fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws: &mut Workspace) {
     if m == 0 || k == 0 || n == 0 {
         return;
@@ -424,6 +427,7 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws:
         ws.recycle(buf);
     }
 }
+// tia-lint: hot-path(end)
 
 /// `C += A * B` where `A` is `m x k`, `B` is `k x n`, `C` is `m x n`,
 /// all row-major.
