@@ -1,0 +1,204 @@
+//! `tia-chaos` — the chaos harness CLI.
+//!
+//! Two modes:
+//!
+//! * **Profile sweep** (default): `tia-chaos --profile quick` cycles every
+//!   scenario with seeds derived from `--seed` until the lifecycle target
+//!   is met (quick: >= 500 connection lifecycles across all five fault
+//!   profiles) or, for `--profile soak`, until `--duration-ms` expires.
+//! * **Single run**: `tia-chaos --scenario hostile --seed 7 --peers 4
+//!   --events 16` replays exactly one schedule — the form every violation
+//!   report prints as its repro line.
+//!
+//! On any invariant violation the process minimizes the failing schedule,
+//! prints one `repro:` command line that reproduces it from its seed
+//! alone, and exits nonzero.
+
+use tia_chaos::{minimize, run_checked, ChaosConfig, RunReport, Scenario};
+use tia_serve::cli::Args;
+use tia_serve::clock;
+use tia_tensor::SeededRng;
+
+/// Lifecycle floor the quick profile must clear before it may pass.
+const QUICK_LIFECYCLES: u64 = 500;
+
+fn main() -> std::process::ExitCode {
+    match main_impl() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tia-chaos: {e}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+fn main_impl() -> Result<std::process::ExitCode, String> {
+    let args = Args::parse(
+        &[
+            "profile",
+            "scenario",
+            "seed",
+            "peers",
+            "events",
+            "prefix",
+            "duration-ms",
+        ],
+        &["sabotage"],
+    )?;
+    let seed: u64 = args.get_or("seed", 0xD1CE_5EED)?;
+    let peers: usize = args.get_or("peers", 4)?;
+    let events: usize = args.get_or("events", 16)?;
+    let sabotage = args.has("sabotage");
+
+    if let Some(name) = args.get("scenario") {
+        let mut cfg = ChaosConfig::new(Scenario::parse(name)?, seed);
+        cfg.peers = peers.max(1);
+        cfg.events_per_peer = events.max(1);
+        cfg.sabotage = sabotage;
+        cfg.prefix = match args.get("prefix") {
+            None => None,
+            Some(_) => Some(args.get_or("prefix", 0usize)?),
+        };
+        return single_run(&cfg);
+    }
+
+    let profile = args.get("profile").unwrap_or("quick");
+    let duration_ms: u64 =
+        args.get_or("duration-ms", if profile == "soak" { 60_000 } else { 0 })?;
+    match profile {
+        "quick" | "soak" => sweep(profile, seed, peers, events, sabotage, duration_ms),
+        other => Err(format!("bad profile {other:?}, expected quick or soak")),
+    }
+}
+
+/// Replays one schedule, minimizing on violation.
+fn single_run(cfg: &ChaosConfig) -> Result<std::process::ExitCode, String> {
+    let report = run_checked(cfg)?;
+    print_report(&report);
+    if report.passed() {
+        println!("ok: no invariant violations");
+        return Ok(std::process::ExitCode::SUCCESS);
+    }
+    // A replay of an already-minimized prefix should not re-minimize.
+    if cfg.prefix.is_none() {
+        print_minimized(cfg)?;
+    } else {
+        println!("repro: {}", report.repro_command());
+    }
+    Ok(std::process::ExitCode::FAILURE)
+}
+
+/// The scenario sweep behind `--profile quick|soak`.
+fn sweep(
+    profile: &str,
+    seed: u64,
+    peers: usize,
+    events: usize,
+    sabotage: bool,
+    duration_ms: u64,
+) -> Result<std::process::ExitCode, String> {
+    let started = clock::monotonic_now();
+    let mut derive = SeededRng::new(seed);
+    let mut lifecycles = 0u64;
+    let mut runs = 0u64;
+    let mut per_scenario = [0u64; Scenario::ALL.len()];
+    println!("tia-chaos --profile {profile} --seed {seed} (peers {peers}, events {events})");
+    'sweep: loop {
+        for (i, scenario) in Scenario::ALL.into_iter().enumerate() {
+            let mut cfg = ChaosConfig::new(scenario, derive.next_u64());
+            cfg.peers = peers.max(1);
+            cfg.events_per_peer = events.max(1);
+            cfg.sabotage = sabotage;
+            let report = run_checked(&cfg)?;
+            runs += 1;
+            lifecycles += report.counters.lifecycles;
+            per_scenario[i] += report.counters.lifecycles;
+            if !report.passed() {
+                print_report(&report);
+                print_minimized(&cfg)?;
+                return Ok(std::process::ExitCode::FAILURE);
+            }
+            if duration_ms > 0 && clock::since(started).as_millis() as u64 >= duration_ms {
+                break 'sweep;
+            }
+        }
+        // quick: stop once the lifecycle floor is cleared (every scenario
+        // has run at least once per round by construction).
+        if profile == "quick" && lifecycles >= QUICK_LIFECYCLES && duration_ms == 0 {
+            break;
+        }
+    }
+    let elapsed = clock::since(started).as_millis();
+    for (i, scenario) in Scenario::ALL.into_iter().enumerate() {
+        println!(
+            "  {:>14}: {:>5} lifecycles",
+            scenario.name(),
+            per_scenario[i]
+        );
+    }
+    println!(
+        "ok: {runs} runs, {lifecycles} connection lifecycles, {} fault profiles, \
+         0 violations ({elapsed} ms)",
+        Scenario::ALL.len()
+    );
+    if profile == "quick" && lifecycles < QUICK_LIFECYCLES {
+        return Err(format!(
+            "quick profile ended below the lifecycle floor: {lifecycles} < {QUICK_LIFECYCLES}"
+        ));
+    }
+    Ok(std::process::ExitCode::SUCCESS)
+}
+
+/// Prints one run's outcome.
+fn print_report(report: &RunReport) {
+    let c = &report.config;
+    println!(
+        "run: scenario {} seed {} peers {} events {}{} — {} lifecycles, {} frames, \
+         {} answers, digest {:#018x}",
+        c.scenario.name(),
+        c.seed,
+        c.peers,
+        c.events_per_peer,
+        c.prefix.map_or(String::new(), |p| format!(" prefix {p}")),
+        report.counters.lifecycles,
+        report.counters.frames_sent,
+        report.counters.answers,
+        report.digest,
+    );
+    for v in &report.violations {
+        println!("VIOLATION: {v}");
+    }
+}
+
+/// Minimizes a violating config and prints the one-line repro.
+fn print_minimized(cfg: &ChaosConfig) -> Result<(), String> {
+    match minimize(cfg)? {
+        Some(outcome) => {
+            println!(
+                "minimized: {} of {} events still violate ({} replays)",
+                outcome.prefix, outcome.total, outcome.runs
+            );
+            for v in &outcome.report.violations {
+                println!("  still violating: {v}");
+            }
+            println!("repro: {}", outcome.report.repro_command());
+        }
+        None => {
+            // The violation did not survive re-running (timing flake or a
+            // determinism drift, which pair-runs detect but single replays
+            // cannot); reproduce from the unminimized schedule.
+            let mut full = cfg.clone();
+            full.prefix = None;
+            println!("minimize: violation did not reproduce under replay");
+            println!(
+                "repro: tia-chaos --scenario {} --seed {} --peers {} --events {}{}",
+                full.scenario.name(),
+                full.seed,
+                full.peers,
+                full.events_per_peer,
+                if full.sabotage { " --sabotage" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,352 @@
+//! The invariant ledger: what every chaos run is held to, regardless of
+//! scenario.
+//!
+//! Server side (from the metrics registry, after a full drain):
+//! conservation (`admitted = served + shed + errored`, queue gauge back at
+//! zero), no leaked reader threads. Client side (from the merged peer
+//! logs): every id answered at most once per send (`Logits` xor `Reject`),
+//! strict ids answered exactly once, no answers to ids never sent, no
+//! undecodable or role-reversed frames from the server, pings answered,
+//! a requested `ShutdownAck` delivered. Clean runs additionally pin a
+//! bitwise digest across re-runs of the same seed.
+
+use crate::peer::{AnswerKind, PeerLog, FNV_SEED};
+use crate::plan::Scenario;
+use std::collections::BTreeMap;
+use tia_serve::{ConservationViolation, MetricsSnapshot};
+
+/// One invariant violation found after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The server's own ledger does not balance (see
+    /// [`tia_serve::MetricsSnapshot::conservation_check`]).
+    Conservation(ConservationViolation),
+    /// Reader threads still registered live after the full drain.
+    ReadersLeaked {
+        /// The gauge's post-drain value.
+        live: u64,
+    },
+    /// An id was answered more often than it was sent.
+    DuplicateAnswer {
+        /// The over-answered id.
+        id: u64,
+        /// Answers received.
+        got: usize,
+        /// Sends (including accidental ghost sends) of that id.
+        sent: u32,
+    },
+    /// A strict id (valid request, cleanly drained connection) was never
+    /// answered.
+    Unanswered {
+        /// The silently dropped id.
+        id: u64,
+    },
+    /// The server answered an id no peer ever sent.
+    UnknownId {
+        /// The invented id.
+        id: u64,
+    },
+    /// Bytes from the server failed to decode as any frame.
+    GarbageFromServer {
+        /// Occurrence count across peers.
+        count: u64,
+    },
+    /// The server sent a client-to-server frame kind.
+    RoleReversedFrame {
+        /// Occurrence count across peers.
+        count: u64,
+    },
+    /// Pings outnumbered pongs on peers with clean transports.
+    PingUnanswered {
+        /// Pings written.
+        pings: u64,
+        /// Pongs received.
+        pongs: u64,
+    },
+    /// A `Shutdown` frame was sent but no `ShutdownAck` ever arrived.
+    MissingShutdownAck,
+    /// Two runs of the same seed produced different answer digests.
+    DeterminismDrift {
+        /// First run's digest.
+        first: u64,
+        /// Second run's digest.
+        second: u64,
+    },
+    /// The run panicked (server thread or harness).
+    Panicked {
+        /// The panic payload, if it was a string.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Conservation(v) => write!(f, "conservation: {v}"),
+            Violation::ReadersLeaked { live } => {
+                write!(f, "{live} reader thread(s) still live after drain")
+            }
+            Violation::DuplicateAnswer { id, got, sent } => {
+                write!(f, "id {id:#x} answered {got} time(s) for {sent} send(s)")
+            }
+            Violation::Unanswered { id } => {
+                write!(
+                    f,
+                    "strict id {id:#x} was admitted-or-rejected by contract but never answered"
+                )
+            }
+            Violation::UnknownId { id } => write!(f, "answer for never-sent id {id:#x}"),
+            Violation::GarbageFromServer { count } => {
+                write!(f, "{count} undecodable byte run(s) from the server")
+            }
+            Violation::RoleReversedFrame { count } => {
+                write!(
+                    f,
+                    "{count} client-to-server frame kind(s) sent by the server"
+                )
+            }
+            Violation::PingUnanswered { pings, pongs } => {
+                write!(f, "{pings} ping(s) but only {pongs} pong(s)")
+            }
+            Violation::MissingShutdownAck => write!(f, "shutdown requested but never acked"),
+            Violation::DeterminismDrift { first, second } => write!(
+                f,
+                "same seed, different digests: {first:#018x} vs {second:#018x}"
+            ),
+            Violation::Panicked { what } => write!(f, "panic: {what}"),
+        }
+    }
+}
+
+/// Aggregate counters a run reports alongside its violations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunCounters {
+    /// Connections opened across all peers.
+    pub lifecycles: u64,
+    /// Frames (or fragments) written.
+    pub frames_sent: u64,
+    /// Answers (`Logits` + `Reject`) received.
+    pub answers: u64,
+    /// Pongs received.
+    pub pongs: u64,
+}
+
+/// Merges peer logs against the server snapshot and returns every
+/// violation plus the run's order-independent answer digest.
+///
+/// The digest folds each answered id's `(id, answers)` into FNV-1a in
+/// ascending id order, so thread interleaving between peers cannot change
+/// it — only the actual bytes answered can.
+pub fn check_run(
+    scenario: Scenario,
+    logs: &[PeerLog],
+    snapshot: MetricsSnapshot,
+    ghost_ids: &[u64],
+    expect_ack: bool,
+) -> (Vec<Violation>, u64, RunCounters) {
+    let mut violations = Vec::new();
+    if let Err(v) = snapshot.conservation_check() {
+        violations.push(Violation::Conservation(v));
+    }
+    if snapshot.readers_live != 0 {
+        violations.push(Violation::ReadersLeaked {
+            live: snapshot.readers_live,
+        });
+    }
+
+    // Merge the peers' books.
+    let mut expected: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut answers: BTreeMap<u64, Vec<AnswerKind>> = BTreeMap::new();
+    let mut counters = RunCounters::default();
+    let mut garbage = 0u64;
+    let mut role_reversed = 0u64;
+    let mut acks = 0u64;
+    let (mut clean_pings, mut clean_pongs) = (0u64, 0u64);
+    for log in logs {
+        counters.lifecycles += log.lifecycles;
+        counters.frames_sent += log.frames_sent;
+        counters.pongs += log.pongs_recv;
+        garbage += log.garbage_from_server;
+        role_reversed += log.unexpected_frames;
+        acks += log.acks;
+        if log.io_errors == 0 {
+            clean_pings += log.pings_sent;
+            clean_pongs += log.pongs_recv;
+        }
+        for (&id, &n) in &log.expected {
+            *expected.entry(id).or_insert(0) += n;
+        }
+        for (&id, kinds) in &log.answers {
+            answers.entry(id).or_default().extend(kinds.iter().copied());
+        }
+    }
+    for &id in ghost_ids {
+        *expected.entry(id).or_insert(0) += 1;
+    }
+
+    for (&id, kinds) in &answers {
+        counters.answers += kinds.len() as u64;
+        match expected.get(&id) {
+            None => violations.push(Violation::UnknownId { id }),
+            Some(&sent) if kinds.len() > sent as usize => {
+                violations.push(Violation::DuplicateAnswer {
+                    id,
+                    got: kinds.len(),
+                    sent,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for log in logs {
+        for &id in &log.strict_ids {
+            if !answers.contains_key(&id) {
+                violations.push(Violation::Unanswered { id });
+            }
+        }
+    }
+    if garbage > 0 {
+        violations.push(Violation::GarbageFromServer { count: garbage });
+    }
+    if role_reversed > 0 {
+        violations.push(Violation::RoleReversedFrame {
+            count: role_reversed,
+        });
+    }
+    if scenario.strict() && clean_pongs < clean_pings {
+        violations.push(Violation::PingUnanswered {
+            pings: clean_pings,
+            pongs: clean_pongs,
+        });
+    }
+    if expect_ack && acks == 0 {
+        violations.push(Violation::MissingShutdownAck);
+    }
+
+    // Order-independent digest over everything answered.
+    let mut digest = FNV_SEED;
+    for (&id, kinds) in &answers {
+        digest = crate::peer::fnv1a(digest, &id.to_le_bytes());
+        for kind in kinds {
+            match kind {
+                AnswerKind::Logits {
+                    precision,
+                    top1,
+                    logits_fnv,
+                } => {
+                    digest = crate::peer::fnv1a(digest, &[1, *precision]);
+                    digest = crate::peer::fnv1a(digest, &top1.to_le_bytes());
+                    digest = crate::peer::fnv1a(digest, &logits_fnv.to_le_bytes());
+                }
+                AnswerKind::Reject(code) => {
+                    digest = crate::peer::fnv1a(digest, &[2, *code]);
+                }
+            }
+        }
+    }
+    (violations, digest, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(admitted: u64, served: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            admitted,
+            served,
+            shed: 0,
+            errored: 0,
+            queue_depth: 0,
+            readers_live: 0,
+        }
+    }
+
+    fn log_with(id: u64, sent: u32, answers: Vec<AnswerKind>, strict: bool) -> PeerLog {
+        let mut log = PeerLog::default();
+        if sent > 0 {
+            log.expected.insert(id, sent);
+        }
+        if !answers.is_empty() {
+            log.answers.insert(id, answers);
+        }
+        if strict {
+            log.strict_ids.insert(id);
+        }
+        log
+    }
+
+    #[test]
+    fn balanced_run_is_quiet() {
+        let logs = vec![log_with(7, 1, vec![AnswerKind::Reject(1)], true)];
+        let (v, _, c) = check_run(Scenario::Clean, &logs, snapshot(1, 1), &[], false);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(c.answers, 1);
+    }
+
+    #[test]
+    fn double_answer_is_flagged() {
+        let logs = vec![log_with(
+            7,
+            1,
+            vec![AnswerKind::Reject(1), AnswerKind::Reject(2)],
+            true,
+        )];
+        let (v, _, _) = check_run(Scenario::Clean, &logs, snapshot(1, 1), &[], false);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::DuplicateAnswer {
+                id: 7,
+                got: 2,
+                sent: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn strict_unanswered_and_unknown_ids_are_flagged() {
+        let mut logs = vec![log_with(7, 1, vec![], true)];
+        logs.push(log_with(9, 0, vec![AnswerKind::Reject(1)], false));
+        let (v, _, _) = check_run(Scenario::Clean, &logs, snapshot(0, 0), &[], false);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Unanswered { id: 7 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UnknownId { id: 9 })));
+        // A ghost id legitimizes the "unknown" answer.
+        let logs = vec![log_with(9, 0, vec![AnswerKind::Reject(1)], false)];
+        let (v, _, _) = check_run(Scenario::Hostile, &logs, snapshot(0, 0), &[9], false);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_content_sensitive() {
+        let a = vec![
+            log_with(1, 1, vec![AnswerKind::Reject(1)], false),
+            log_with(2, 1, vec![AnswerKind::Reject(4)], false),
+        ];
+        let b = vec![
+            log_with(2, 1, vec![AnswerKind::Reject(4)], false),
+            log_with(1, 1, vec![AnswerKind::Reject(1)], false),
+        ];
+        let snap = snapshot(2, 2);
+        let (_, da, _) = check_run(Scenario::Hostile, &a, snap, &[], false);
+        let (_, db, _) = check_run(Scenario::Hostile, &b, snap, &[], false);
+        assert_eq!(da, db);
+        let c = vec![
+            log_with(1, 1, vec![AnswerKind::Reject(2)], false),
+            log_with(2, 1, vec![AnswerKind::Reject(4)], false),
+        ];
+        let (_, dc, _) = check_run(Scenario::Hostile, &c, snap, &[], false);
+        assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn missing_ack_and_conservation_surface() {
+        let logs = vec![PeerLog::default()];
+        let (v, _, _) = check_run(Scenario::ShutdownRace, &logs, snapshot(3, 2), &[], true);
+        assert!(v.iter().any(|x| matches!(x, Violation::MissingShutdownAck)));
+        assert!(v.iter().any(|x| matches!(x, Violation::Conservation(_))));
+    }
+}

@@ -1,0 +1,44 @@
+//! # tia-chaos
+//!
+//! A seeded connection-lifecycle fuzzer and fault-injection chaos harness
+//! for the `tia-serve` stack — ROADMAP item 5, and the regression net the
+//! hot-path rewrites (SIMD kernels, epoll front-end, adaptive precision,
+//! router tier) land behind.
+//!
+//! Where the PR-4 frame fuzzer attacked the *decoder* with isolated
+//! inputs, this harness attacks the *stateful* surface the way MicroFuzz
+//! attacks serving systems: whole connection lifecycles against a live
+//! [`tia_serve::Server`] on loopback — interleaved valid/corrupt/truncated
+//! frames, slow-loris pacing, mid-request disconnects, deadline storms
+//! across priority classes, ping floods, and shutdown racing in-flight
+//! submits — with induced overload windows threaded through the server's
+//! [`tia_serve::FaultPlan`] knob.
+//!
+//! Everything derives from **one printed u64**: the schedule (every frame
+//! byte is fixed at plan time — [`plan`]), the server's engine seed, and
+//! the fault plan. A violating run therefore reproduces from a single
+//! command line, and the [`mod@minimize`] module shrinks it to the
+//! shortest violating event prefix.
+//!
+//! The invariant ledger ([`check`]) holds every run, whatever the
+//! scenario, to: every admitted request answered exactly once (`Logits`
+//! xor typed `Reject`), conservation (`admitted = served + shed +
+//! errored`, queue gauge back to zero), no panics, no leaked reader
+//! threads — and clean runs bitwise-deterministic per seed.
+//!
+//! Use it as a library from `#[test]`s ([`run_checked`]) or via the
+//! `tia-chaos` binary (`--profile quick` in CI, `--scenario ... --seed
+//! ...` to reproduce a report).
+
+#![deny(missing_docs)]
+
+pub mod check;
+pub mod harness;
+pub mod minimize;
+pub mod peer;
+pub mod plan;
+
+pub use check::{RunCounters, Violation};
+pub use harness::{run, run_captured, run_checked, ChaosConfig, RunReport};
+pub use minimize::{minimize, MinimizeOutcome};
+pub use plan::{Event, Scenario, Schedule};

@@ -1,0 +1,96 @@
+//! Schedule minimization: shrink a violating run to the shortest global
+//! event prefix that still violates.
+//!
+//! Events are totally ordered by the round-robin global index (event `j`
+//! of peer `p` is index `j * peers + p`), so "a prefix" is well defined
+//! across peers and replays exactly (every event's bytes were fixed at
+//! plan time). The search is a binary chop for the smallest violating
+//! prefix length, followed by one confirming replay — at most
+//! `log2(total) + 2` extra runs.
+
+use crate::harness::{run_captured, ChaosConfig, RunReport};
+use crate::plan::Schedule;
+
+/// The minimizer's result: the shortest violating prefix it found and the
+/// confirming run's report.
+#[derive(Debug)]
+pub struct MinimizeOutcome {
+    /// Smallest prefix length (in global events) that still violates.
+    pub prefix: usize,
+    /// Total events in the unminimized schedule.
+    pub total: usize,
+    /// The confirming replay at `prefix` (its violations are non-empty).
+    pub report: RunReport,
+    /// How many replays the search spent.
+    pub runs: usize,
+}
+
+/// Shrinks `cfg` (which is expected to violate when run whole) to the
+/// shortest violating event prefix. Returns `None` if the full run does
+/// not violate — there is nothing to minimize.
+///
+/// Violations are not always prefix-monotone (dropping an event can mask a
+/// race), so the chop keeps the *smallest prefix observed to violate*
+/// rather than assuming monotonicity; the confirming replay at the end
+/// guarantees the returned prefix really fails.
+pub fn minimize(cfg: &ChaosConfig) -> Result<Option<MinimizeOutcome>, String> {
+    let total = {
+        let mut schedule =
+            Schedule::generate(cfg.scenario, cfg.seed, cfg.peers, cfg.events_per_peer);
+        if let Some(p) = cfg.prefix {
+            schedule.truncate_prefix(p);
+        }
+        schedule.total_events()
+    };
+    let mut runs = 1usize;
+    let full = run_captured(cfg)?;
+    if full.passed() || total == 0 {
+        return Ok(None);
+    }
+    let violates = |prefix: usize, runs: &mut usize| -> Result<bool, String> {
+        *runs += 1;
+        let mut sub = cfg.clone();
+        sub.prefix = Some(prefix);
+        Ok(!run_captured(&sub)?.passed())
+    };
+    // Smallest prefix in [1, total] observed to violate.
+    let (mut lo, mut hi) = (1usize, total);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if violates(mid, &mut runs)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Confirming replay; if the chop landed on a non-reproducing length
+    // (non-monotone violation), fall back to the full schedule, which is
+    // known to fail.
+    let mut best = hi;
+    let mut sub = cfg.clone();
+    sub.prefix = Some(best);
+    runs += 1;
+    let mut report = run_captured(&sub)?;
+    if report.passed() {
+        best = total;
+        sub.prefix = Some(best);
+        runs += 1;
+        report = run_captured(&sub)?;
+        if report.passed() {
+            // The full run violated moments ago but no longer does: a
+            // flaky, timing-dependent violation. Surface the original.
+            return Ok(Some(MinimizeOutcome {
+                prefix: total,
+                total,
+                report: full,
+                runs,
+            }));
+        }
+    }
+    Ok(Some(MinimizeOutcome {
+        prefix: best,
+        total,
+        report,
+        runs,
+    }))
+}

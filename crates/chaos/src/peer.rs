@@ -1,0 +1,425 @@
+//! One scripted peer: replays its event list against the live server and
+//! keeps the client half of the invariant ledger.
+//!
+//! A peer is deliberately dumb about *timing* (the schedule fixes what is
+//! sent, the OS fixes when) and strict about *accounting*: every infer id
+//! it sends is tallied, every answer it receives is tallied, and the
+//! checker later compares the two against the server's own metrics.
+
+use crate::plan::Event;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+use tia_serve::{Frame, WireError};
+
+/// How long one blocked read waits before counting a miss.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+/// Consecutive read timeouts before a drain gives up (the per-drain wall
+/// cap is `MAX_MISSES × READ_TIMEOUT`; a passing run never gets near it).
+const MAX_MISSES: u32 = 25;
+/// Pacing between slow-loris chunk writes.
+const SLOW_PACE: Duration = Duration::from_micros(300);
+/// How many leading chunks of a slow-loris frame are paced (the rest is
+/// written in one go) — bounds one event's wall cost.
+const SLOW_PACED_CHUNKS: usize = 16;
+
+/// What one answer to an infer id was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerKind {
+    /// A `Logits` frame: executed precision byte, top-1 index, and an
+    /// FNV-1a digest over the logit bit patterns (enough to compare runs
+    /// bitwise without retaining every vector).
+    Logits {
+        /// Executed precision (0 = full precision).
+        precision: u8,
+        /// Top-1 class index.
+        top1: u32,
+        /// FNV-1a64 over the logits' `f32::to_bits` stream.
+        logits_fnv: u64,
+    },
+    /// A typed `Reject` frame (the wire code byte).
+    Reject(u8),
+}
+
+/// The client half of the ledger, as one peer recorded it.
+#[derive(Debug, Default)]
+pub struct PeerLog {
+    /// Connections this peer opened (each is one lifecycle).
+    pub lifecycles: u64,
+    /// Frames (or frame fragments) written.
+    pub frames_sent: u64,
+    /// Pings written successfully.
+    pub pings_sent: u64,
+    /// Pongs received.
+    pub pongs_recv: u64,
+    /// `ShutdownAck` frames received.
+    pub acks: u64,
+    /// `Error` frames received (expected after a corrupt frame).
+    pub server_errors: u64,
+    /// Transport-level failures (refused writes, resets).
+    pub io_errors: u64,
+    /// Undecodable bytes *from* the server — always a violation.
+    pub garbage_from_server: u64,
+    /// Frames the server must never send (client-to-server kinds).
+    pub unexpected_frames: u64,
+    /// How many times each infer id was sent.
+    pub expected: BTreeMap<u64, u32>,
+    /// Ids sent on a strict segment: answered-exactly-once applies.
+    pub strict_ids: BTreeSet<u64>,
+    /// Every answer received, per id.
+    pub answers: BTreeMap<u64, Vec<AnswerKind>>,
+}
+
+/// FNV-1a 64-bit over a byte stream — the workspace-local stand-in for a
+/// real hash crate, good enough to compare runs for bitwise equality.
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Live connection state for the current segment.
+struct Segment {
+    stream: TcpStream,
+    /// Infer ids sent on this segment and not yet answered.
+    outstanding: BTreeSet<u64>,
+    /// Pings sent / pongs seen on this segment (drained before close).
+    pings: u64,
+    pongs: u64,
+    /// Whether this segment may hold the exactly-once ledger (scenario is
+    /// strict, the planned segment is hostile-free, and no write failed).
+    strict: bool,
+    /// Set once a `Shutdown` frame went out on this segment: the drain at
+    /// segment end also waits for the `ShutdownAck`.
+    await_ack: bool,
+}
+
+/// Replays `script` against the server at `addr`. `strict_scenario` gates
+/// the exactly-once ledger (see [`crate::plan::Scenario::strict`]).
+pub fn run_peer(addr: SocketAddr, script: &[Event], strict_scenario: bool) -> PeerLog {
+    let strict_flags = segment_strictness(script, strict_scenario);
+    let mut log = PeerLog::default();
+    let mut seg: Option<Segment> = None;
+    for (i, ev) in script.iter().enumerate() {
+        match ev {
+            Event::Infer { id, bytes } => {
+                if let Some(s) = ensure_conn(&mut seg, addr, strict_flags[i], &mut log) {
+                    log.frames_sent += 1;
+                    *log.expected.entry(*id).or_insert(0) += 1;
+                    if write_all(s, bytes, &mut log) {
+                        s.outstanding.insert(*id);
+                        if s.strict {
+                            log.strict_ids.insert(*id);
+                        }
+                    }
+                }
+            }
+            Event::SlowInfer { id, bytes, chunk } => {
+                if let Some(s) = ensure_conn(&mut seg, addr, strict_flags[i], &mut log) {
+                    log.frames_sent += 1;
+                    *log.expected.entry(*id).or_insert(0) += 1;
+                    // Drip the leading chunks (header and then some) with
+                    // pacing — that is where slow-loris bites framing —
+                    // then finish the payload in one write so a single
+                    // event costs milliseconds, not a pacing per pixel.
+                    let mut ok = true;
+                    for (n, piece) in bytes.chunks(*chunk.max(&1)).enumerate() {
+                        if !write_all(s, piece, &mut log) {
+                            ok = false;
+                            break;
+                        }
+                        if n < SLOW_PACED_CHUNKS {
+                            std::thread::sleep(SLOW_PACE);
+                        }
+                    }
+                    if ok {
+                        s.outstanding.insert(*id);
+                        if s.strict {
+                            log.strict_ids.insert(*id);
+                        }
+                    }
+                }
+            }
+            Event::Ping => {
+                if let Some(s) = ensure_conn(&mut seg, addr, strict_flags[i], &mut log) {
+                    log.frames_sent += 1;
+                    if write_all(s, &Frame::Ping.encode(), &mut log) {
+                        log.pings_sent += 1;
+                        s.pings += 1;
+                    }
+                }
+            }
+            Event::Corrupt { bytes } => {
+                if let Some(s) = ensure_conn(&mut seg, addr, strict_flags[i], &mut log) {
+                    log.frames_sent += 1;
+                    write_all(s, bytes, &mut log);
+                    // Give the server one beat to deliver its Error frame
+                    // and any in-flight answers, then abandon the wreck —
+                    // once the Error arrives the connection is doomed and
+                    // waiting out further read timeouts buys nothing.
+                    drain_until(s, &mut log, 2, true);
+                }
+                close(&mut seg);
+            }
+            Event::Truncate { bytes, keep } => {
+                if let Some(s) = ensure_conn(&mut seg, addr, strict_flags[i], &mut log) {
+                    log.frames_sent += 1;
+                    write_all(s, &bytes[..*keep.min(&bytes.len())], &mut log);
+                    // Mid-frame hard disconnect: no drain, no goodbye.
+                    best_effort(s.stream.shutdown(SockShutdown::Both));
+                }
+                close(&mut seg);
+            }
+            Event::Reconnect => {
+                if let Some(s) = seg.as_mut() {
+                    drain(s, &mut log, MAX_MISSES);
+                }
+                close(&mut seg);
+            }
+            Event::Shutdown => {
+                if let Some(s) = ensure_conn(&mut seg, addr, strict_flags[i], &mut log) {
+                    log.frames_sent += 1;
+                    if write_all(s, &Frame::Shutdown.encode(), &mut log) {
+                        s.await_ack = true;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(s) = seg.as_mut() {
+        drain(s, &mut log, MAX_MISSES);
+    }
+    close(&mut seg);
+    log
+}
+
+/// Per-event strictness: an event's segment (the connection it runs on) is
+/// strict iff the scenario allows it and the segment ends at a clean
+/// boundary (`Reconnect` or end-of-script) rather than a `Corrupt` or
+/// `Truncate` teardown. Teardown forfeits answers already in flight for
+/// *earlier* events on the same connection, so the whole segment opts out.
+fn segment_strictness(script: &[Event], strict_scenario: bool) -> Vec<bool> {
+    let mut flags = vec![strict_scenario; script.len()];
+    if !strict_scenario {
+        return flags;
+    }
+    let mut start = 0usize;
+    for (i, ev) in script.iter().enumerate() {
+        match ev {
+            Event::Corrupt { .. } | Event::Truncate { .. } => {
+                for f in &mut flags[start..=i] {
+                    *f = false;
+                }
+                start = i + 1;
+            }
+            Event::Reconnect => start = i + 1,
+            _ => {}
+        }
+    }
+    flags
+}
+
+/// Returns the live segment, connecting a fresh one (a new lifecycle) if
+/// none is open. `None` only when the connect itself failed.
+fn ensure_conn<'a>(
+    seg: &'a mut Option<Segment>,
+    addr: SocketAddr,
+    strict: bool,
+    log: &mut PeerLog,
+) -> Option<&'a mut Segment> {
+    if seg.is_none() {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                best_effort(stream.set_nodelay(true));
+                best_effort(stream.set_read_timeout(Some(READ_TIMEOUT)));
+                log.lifecycles += 1;
+                *seg = Some(Segment {
+                    stream,
+                    outstanding: BTreeSet::new(),
+                    pings: 0,
+                    pongs: 0,
+                    strict,
+                    await_ack: false,
+                });
+            }
+            Err(_) => {
+                log.io_errors += 1;
+                return None;
+            }
+        }
+    }
+    seg.as_mut()
+}
+
+/// Writes `bytes`, demoting the segment from strict on failure (its
+/// in-flight requests can no longer be held to exactly-once delivery).
+fn write_all(s: &mut Segment, bytes: &[u8], log: &mut PeerLog) -> bool {
+    match s.stream.write_all(bytes) {
+        Ok(()) => true,
+        Err(_) => {
+            log.io_errors += 1;
+            demote(s, log);
+            false
+        }
+    }
+}
+
+/// Drops a segment's strict status and retracts its ids from the ledger.
+fn demote(s: &mut Segment, log: &mut PeerLog) {
+    if s.strict {
+        s.strict = false;
+        for id in &s.outstanding {
+            log.strict_ids.remove(id);
+        }
+    }
+}
+
+/// Reads frames until the segment's books balance (outstanding empty,
+/// pongs caught up, awaited ack seen) or `max_misses` consecutive read
+/// timeouts pass. Every decoded frame is recorded.
+fn drain(s: &mut Segment, log: &mut PeerLog, max_misses: u32) {
+    drain_until(s, log, max_misses, false);
+}
+
+/// [`drain`] with an opt-in early exit once a server `Error` frame lands
+/// (used after a deliberately corrupt frame: the server closes next, so
+/// the peer stops paying read timeouts for answers that cannot come).
+fn drain_until(s: &mut Segment, log: &mut PeerLog, max_misses: u32, stop_on_error: bool) {
+    let mut misses = 0u32;
+    loop {
+        let settled = s.outstanding.is_empty() && s.pongs >= s.pings && !s.await_ack;
+        // Timeout exhaustion deliberately does NOT demote: a healthy
+        // server answers rejects inline and logits within batcher latency,
+        // so seconds of consecutive silence with ids outstanding IS the
+        // lost-answer bug — the strict-unanswered check must see it.
+        if settled || misses >= max_misses {
+            return;
+        }
+        match Frame::read_from(&mut s.stream) {
+            Ok(frame) => {
+                misses = 0;
+                let doomed = matches!(frame, Frame::Error { .. });
+                record(s, log, frame);
+                if stop_on_error && doomed {
+                    return;
+                }
+            }
+            Err(WireError::Closed) | Err(WireError::Truncated) => {
+                demote(s, log);
+                return;
+            }
+            Err(WireError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                misses += 1;
+            }
+            Err(WireError::Io(_)) => {
+                log.io_errors += 1;
+                demote(s, log);
+                return;
+            }
+            Err(_) => {
+                // The *server* wrote bytes that do not decode: that is a
+                // violation in any scenario, and framing is gone.
+                log.garbage_from_server += 1;
+                demote(s, log);
+                return;
+            }
+        }
+    }
+}
+
+/// Records one server frame into the ledger.
+fn record(s: &mut Segment, log: &mut PeerLog, frame: Frame) {
+    match frame {
+        Frame::Logits(resp) => {
+            let mut h = fnv1a(FNV_SEED, &(resp.logits.len() as u64).to_le_bytes());
+            for v in &resp.logits {
+                h = fnv1a(h, &v.to_bits().to_le_bytes());
+            }
+            let kind = AnswerKind::Logits {
+                precision: resp.precision.map_or(0, |p| p.bits()),
+                top1: resp.top1 as u32,
+                logits_fnv: h,
+            };
+            log.answers.entry(resp.id).or_default().push(kind);
+            s.outstanding.remove(&resp.id);
+        }
+        Frame::Reject { id, code } => {
+            log.answers
+                .entry(id)
+                .or_default()
+                .push(AnswerKind::Reject(code as u8));
+            s.outstanding.remove(&id);
+        }
+        Frame::Pong => {
+            log.pongs_recv += 1;
+            s.pongs += 1;
+        }
+        Frame::Error { .. } => log.server_errors += 1,
+        Frame::ShutdownAck => {
+            log.acks += 1;
+            s.await_ack = false;
+        }
+        // Client-to-server kinds arriving *from* the server are a protocol
+        // violation no scenario forgives.
+        Frame::Infer(_) | Frame::Ping | Frame::Shutdown => log.unexpected_frames += 1,
+    }
+}
+
+fn close(seg: &mut Option<Segment>) {
+    if let Some(s) = seg.take() {
+        best_effort(s.stream.shutdown(SockShutdown::Both));
+    }
+}
+
+/// Discards a best-effort result (socket teardown and option tweaks whose
+/// failure is benign); keeps the error-hygiene lint meaningful elsewhere.
+fn best_effort<T, E>(res: Result<T, E>) {
+    drop(res);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Event, Scenario, Schedule};
+
+    #[test]
+    fn strictness_is_per_segment_not_per_event() {
+        let infer = |id| Event::Infer { id, bytes: vec![] };
+        let script = vec![
+            infer(1),
+            Event::Reconnect,
+            infer(2),
+            Event::Corrupt { bytes: vec![] },
+            infer(3),
+        ];
+        let flags = segment_strictness(&script, true);
+        assert_eq!(flags, vec![true, true, false, false, true]);
+        assert_eq!(segment_strictness(&script, false), vec![false; 5]);
+    }
+
+    #[test]
+    fn hostile_schedules_never_claim_strict_ids() {
+        let s = Schedule::generate(Scenario::Hostile, 3, 2, 16);
+        for script in &s.scripts {
+            let flags = segment_strictness(script, Scenario::Hostile.strict());
+            assert!(flags.iter().all(|f| !f));
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let a = fnv1a(FNV_SEED, b"abc");
+        assert_eq!(a, fnv1a(FNV_SEED, b"abc"));
+        assert_ne!(a, fnv1a(FNV_SEED, b"acb"));
+        assert_ne!(a, FNV_SEED);
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end smoke for the chaos harness itself: every scenario passes
+//! against the real server, clean runs are deterministic, and a
+//! deliberately broken server (double-ack sabotage) is caught by the
+//! exactly-once checker and minimized to a prefix that still reproduces.
+
+use tia_chaos::{minimize, run, run_checked, ChaosConfig, Scenario, Violation};
+
+/// A small config every test shares: 3 peers x 8 events keeps one run in
+/// the tens of milliseconds while still interleaving lifecycles.
+fn small(scenario: Scenario, seed: u64) -> ChaosConfig {
+    let mut cfg = ChaosConfig::new(scenario, seed);
+    cfg.peers = 3;
+    cfg.events_per_peer = 8;
+    cfg
+}
+
+#[test]
+fn every_scenario_passes_small() {
+    for scenario in Scenario::ALL {
+        let cfg = small(scenario, 0xFACE);
+        let report = run_checked(&cfg).expect("harness env failure");
+        assert!(
+            report.passed(),
+            "{}: unexpected violations: {:?}\nrepro: {}",
+            scenario.name(),
+            report.violations,
+            report.repro_command(),
+        );
+        assert!(report.counters.lifecycles > 0, "{}", scenario.name());
+    }
+}
+
+#[test]
+fn clean_runs_are_bitwise_deterministic_per_seed() {
+    let cfg = small(Scenario::Clean, 0xD00D);
+    let a = run(&cfg).expect("harness env failure");
+    let b = run(&cfg).expect("harness env failure");
+    assert!(a.passed(), "{:?}", a.violations);
+    assert!(b.passed(), "{:?}", b.violations);
+    assert_eq!(a.digest, b.digest, "same seed must yield the same answers");
+    assert_eq!(a.counters.answers, b.counters.answers);
+    // And a different seed yields different traffic.
+    let c = run(&small(Scenario::Clean, 0xD00E)).expect("harness env failure");
+    assert_ne!(a.digest, c.digest);
+}
+
+#[test]
+fn double_ack_sabotage_is_caught_and_minimized() {
+    let mut cfg = small(Scenario::Clean, 0xBAD);
+    cfg.sabotage = true;
+    let report = run(&cfg).expect("harness env failure");
+    assert!(!report.passed(), "sabotaged server must violate");
+    let dup = report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::DuplicateAnswer { .. }));
+    let over = report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Conservation(_)));
+    assert!(
+        dup || over,
+        "double-ack must trip exactly-once or conservation, got {:?}",
+        report.violations
+    );
+    // The repro line reproduces the run from its seed alone.
+    let line = report.repro_command();
+    assert!(line.contains("--sabotage"), "{line}");
+    assert!(line.contains("--seed 2989"), "{line}");
+
+    let outcome = minimize(&cfg)
+        .expect("harness env failure")
+        .expect("a violating run must minimize");
+    assert!(outcome.prefix >= 1 && outcome.prefix <= outcome.total);
+    assert!(!outcome.report.passed(), "confirming replay must violate");
+
+    // Replaying the minimized prefix from the printed parameters alone
+    // reproduces the violation (what the CI repro line promises).
+    let mut replay = small(Scenario::Clean, 0xBAD);
+    replay.sabotage = true;
+    replay.prefix = Some(outcome.prefix);
+    let again = run(&replay).expect("harness env failure");
+    assert!(!again.passed(), "minimized prefix must still violate");
+}
+
+#[test]
+fn passing_config_has_nothing_to_minimize() {
+    let cfg = small(Scenario::Clean, 0x600D);
+    assert!(minimize(&cfg).expect("harness env failure").is_none());
+}

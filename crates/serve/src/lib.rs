@@ -73,6 +73,6 @@ pub mod wire;
 pub use client::{fetch_metrics, infer_frame, infer_frame_with, Client};
 pub use clock::Clock;
 pub use load::{run as run_load, LoadConfig, LoadReport};
-pub use metrics::{Histogram, Metrics};
-pub use server::{Server, ServerConfig};
+pub use metrics::{ConservationViolation, Histogram, Metrics, MetricsSnapshot};
+pub use server::{FaultPlan, Server, ServerConfig};
 pub use wire::{Class, Frame, InferRequest, InferResponse, RejectCode, WireError, WirePolicy};

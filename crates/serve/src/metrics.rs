@@ -183,12 +183,25 @@ pub struct Metrics {
     /// Requests shed because their deadline expired before they reached
     /// the engine (never served, never drew from the seeded schedule).
     pub rejected_deadline: AtomicU64,
+    /// Admitted requests the engine refused at submit (configuration skew
+    /// between the server's pinned geometry and the engine's). Counted
+    /// separately from the reader-side rejects so the conservation equation
+    /// `admitted = served + shed + errored` stays exact.
+    pub errored_total: AtomicU64,
     /// Frames that failed to decode (the connection is closed after one).
     pub bad_frames_total: AtomicU64,
     /// Connections accepted since start.
     pub connections_total: AtomicU64,
     /// Currently open connections.
     pub connections_active: AtomicU64,
+    /// Reader threads currently alive. Incremented on reader entry,
+    /// decremented on exit: after a drain completes this must be zero, and
+    /// a nonzero value distinguishes a reader parked on a dead socket from
+    /// one that exited cleanly (the leak the chaos harness hunts).
+    pub readers_live: AtomicU64,
+    /// Admission attempts rejected by an injected [`crate::server::FaultPlan`]
+    /// queue-full window (also counted in `rejected_queue_full`).
+    pub faults_injected: AtomicU64,
     /// Requests admitted but not yet executed (queue + in-flight).
     pub queue_depth: AtomicU64,
     /// Coalesced micro-batches executed by the engine.
@@ -205,10 +218,133 @@ pub struct Metrics {
     pub latency_by_class: [Histogram; 3],
 }
 
+/// A point-in-time copy of the counters that participate in the serving
+/// stack's conservation law, taken with [`Metrics::snapshot`].
+///
+/// The law: every admitted request is answered exactly once, so
+/// `admitted = served + shed + errored + outstanding`, and the queue-depth
+/// gauge must equal `outstanding`. In a quiesced server (drained, readers
+/// joined) `outstanding` is zero and the equation is exact; mid-flight it
+/// can be momentarily skewed by in-progress updates, so callers should
+/// check it only at quiescence points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted to the queue (`requests_total`).
+    pub admitted: u64,
+    /// Responses written back (`responses_total`).
+    pub served: u64,
+    /// Deadline-expired requests shed with a typed reject
+    /// (`rejected_deadline`).
+    pub shed: u64,
+    /// Admitted requests the engine refused at submit (`errored_total`).
+    pub errored: u64,
+    /// The queue-depth gauge (admitted but not yet executed).
+    pub queue_depth: u64,
+    /// Reader threads still alive (`readers_live`).
+    pub readers_live: u64,
+}
+
+/// A violated conservation invariant, as found by
+/// [`MetricsSnapshot::conservation_check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConservationViolation {
+    /// More requests were answered than were ever admitted:
+    /// `served + shed + errored > admitted` (a lost increment, a duplicated
+    /// answer, or sabotage).
+    OverAnswered {
+        /// Requests admitted.
+        admitted: u64,
+        /// `served + shed + errored` (saturating).
+        accounted: u64,
+    },
+    /// The queue-depth gauge disagrees with the outstanding work implied by
+    /// the counters (`admitted - served - shed - errored`).
+    QueueGauge {
+        /// The gauge's value.
+        gauge: u64,
+        /// `admitted - accounted`.
+        outstanding: u64,
+    },
+}
+
+impl std::fmt::Display for ConservationViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConservationViolation::OverAnswered {
+                admitted,
+                accounted,
+            } => write!(
+                f,
+                "over-answered: served+shed+errored = {accounted} exceeds admitted = {admitted}"
+            ),
+            ConservationViolation::QueueGauge { gauge, outstanding } => write!(
+                f,
+                "queue gauge {gauge} != outstanding {outstanding} (admitted - served - shed - errored)"
+            ),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Checks the conservation law `admitted = served + shed + errored +
+    /// queue_depth`, returning the first violated clause.
+    ///
+    /// Sound at quiescence points (post-drain, paused-and-settled); between
+    /// them the counters are updated independently and may skew briefly.
+    pub fn conservation_check(&self) -> Result<(), ConservationViolation> {
+        // An overflowing sum cannot be conserved: `admitted` fits in a u64,
+        // so a true sum past `u64::MAX` is necessarily over-answered. Keep
+        // the saturated value for the report rather than wrapping into a
+        // coincidentally passing total.
+        let (accounted, overflowed) = {
+            let (a, o1) = self.served.overflowing_add(self.shed);
+            let (b, o2) = a.overflowing_add(self.errored);
+            if o1 || o2 {
+                (u64::MAX, true)
+            } else {
+                (b, false)
+            }
+        };
+        if overflowed || accounted > self.admitted {
+            return Err(ConservationViolation::OverAnswered {
+                admitted: self.admitted,
+                accounted,
+            });
+        }
+        let outstanding = self.admitted - accounted;
+        if self.queue_depth != outstanding {
+            return Err(ConservationViolation::QueueGauge {
+                gauge: self.queue_depth,
+                outstanding,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Metrics {
     /// Creates a zeroed registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Copies the conservation-law counters (see [`MetricsSnapshot`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            // ordering: relaxed — statistical snapshot reads; callers check
+            // conservation only at quiescence points where no updates race.
+            admitted: self.requests_total.load(Ordering::Relaxed),
+            // ordering: relaxed — see above.
+            served: self.responses_total.load(Ordering::Relaxed),
+            // ordering: relaxed — see above.
+            shed: self.rejected_deadline.load(Ordering::Relaxed),
+            // ordering: relaxed — see above.
+            errored: self.errored_total.load(Ordering::Relaxed),
+            // ordering: relaxed — see above.
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            // ordering: relaxed — see above.
+            readers_live: self.readers_live.load(Ordering::Relaxed),
+        }
     }
 
     /// Bumps the per-precision serve counter for one frame.
@@ -248,6 +384,16 @@ impl Metrics {
             "tia_serve_bad_frames_total",
             "Undecodable frames received.",
             self.bad_frames_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
+        );
+        counter(
+            "tia_serve_errored_total",
+            "Admitted requests the engine refused at submit.",
+            self.errored_total.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
+        );
+        counter(
+            "tia_serve_faults_injected_total",
+            "Admissions rejected by an injected fault plan.",
+            self.faults_injected.load(Ordering::Relaxed), // ordering: relaxed — scrape snapshot.
         );
         counter(
             "tia_serve_connections_total",
@@ -296,6 +442,11 @@ impl Metrics {
                 "tia_serve_queue_depth",
                 "Admitted requests not yet executed.",
                 &self.queue_depth,
+            ),
+            (
+                "tia_serve_readers_live",
+                "Reader threads currently alive.",
+                &self.readers_live,
             ),
         ] {
             putln(&mut out, format_args!("# HELP {name} {help}"));
@@ -484,6 +635,102 @@ mod tests {
             text.contains("tia_serve_request_latency_seconds_count 2"),
             "{text}"
         );
+    }
+
+    /// Satellite pin: the conservation check at boundary values — balanced
+    /// ledgers pass, every single-count skew is a typed violation, and the
+    /// arithmetic saturates instead of wrapping at `u64::MAX`.
+    #[test]
+    fn conservation_check_boundary_values() {
+        let balanced = |admitted, served, shed, errored, queue_depth| MetricsSnapshot {
+            admitted,
+            served,
+            shed,
+            errored,
+            queue_depth,
+            readers_live: 0,
+        };
+        // The empty registry conserves.
+        assert_eq!(balanced(0, 0, 0, 0, 0).conservation_check(), Ok(()));
+        // Fully drained: every admitted request accounted, gauge at zero.
+        assert_eq!(balanced(10, 7, 2, 1, 0).conservation_check(), Ok(()));
+        // Mid-flight quiescence: outstanding work matches the gauge.
+        assert_eq!(balanced(10, 4, 1, 0, 5).conservation_check(), Ok(()));
+        // One answer too many (a double ack) is OverAnswered.
+        assert_eq!(
+            balanced(10, 9, 2, 0, 0).conservation_check(),
+            Err(ConservationViolation::OverAnswered {
+                admitted: 10,
+                accounted: 11,
+            })
+        );
+        // A leaked gauge increment (or a lost decrement) is QueueGauge.
+        assert_eq!(
+            balanced(10, 10, 0, 0, 1).conservation_check(),
+            Err(ConservationViolation::QueueGauge {
+                gauge: 1,
+                outstanding: 0,
+            })
+        );
+        // A gauge that returned to zero while work is still outstanding.
+        assert_eq!(
+            balanced(10, 8, 0, 0, 0).conservation_check(),
+            Err(ConservationViolation::QueueGauge {
+                gauge: 0,
+                outstanding: 2,
+            })
+        );
+        // Saturation at the top of the range: `served + shed` must not wrap
+        // into a passing sum.
+        assert_eq!(
+            balanced(u64::MAX, u64::MAX, 1, 0, 0).conservation_check(),
+            Err(ConservationViolation::OverAnswered {
+                admitted: u64::MAX,
+                accounted: u64::MAX,
+            })
+        );
+        assert_eq!(
+            balanced(u64::MAX, u64::MAX, 0, 0, 0).conservation_check(),
+            Ok(())
+        );
+        // Exactly-one-admitted edges.
+        assert_eq!(balanced(1, 0, 0, 0, 1).conservation_check(), Ok(()));
+        assert_eq!(balanced(1, 1, 0, 0, 0).conservation_check(), Ok(()));
+        assert_eq!(
+            balanced(0, 0, 1, 0, 0).conservation_check(),
+            Err(ConservationViolation::OverAnswered {
+                admitted: 0,
+                accounted: 1,
+            })
+        );
+    }
+
+    /// The snapshot reads the registry's live counters field-for-field.
+    #[test]
+    fn snapshot_mirrors_the_registry() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(5, Ordering::Relaxed);
+        m.responses_total.fetch_add(3, Ordering::Relaxed);
+        m.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        m.errored_total.fetch_add(1, Ordering::Relaxed);
+        m.readers_live.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(
+            s,
+            MetricsSnapshot {
+                admitted: 5,
+                served: 3,
+                shed: 1,
+                errored: 1,
+                queue_depth: 0,
+                readers_live: 2,
+            }
+        );
+        assert_eq!(s.conservation_check(), Ok(()));
+        let text = m.render_prometheus();
+        assert!(text.contains("tia_serve_errored_total 1"), "{text}");
+        assert!(text.contains("tia_serve_readers_live 2"), "{text}");
+        assert!(text.contains("tia_serve_faults_injected_total 0"), "{text}");
     }
 
     #[test]

@@ -77,13 +77,75 @@ use crate::wire::{Class, Frame, InferResponse, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tia_engine::{Backend, EngineConfig, PrecisionPolicy, RequestId, ShardedEngine};
 use tia_tensor::{SeededRng, Tensor};
+
+/// Deterministic fault injection for chaos testing, threaded through the
+/// server's admission and batching paths via [`ServerConfig::with_faults`].
+///
+/// Every knob defaults to off, and a default (no-op) plan leaves the hot
+/// path untouched apart from a handful of counter checks. The plan's
+/// purpose is to let a harness *induce* the overload and slowness windows
+/// that are otherwise hard to hit reliably — and, via the sabotage knob, to
+/// prove the harness's own invariant checker actually catches violations.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Reject every `n`-th admission attempt (1-based, counted across all
+    /// connections) as [`RejectCode::QueueFull`] even when the queue has
+    /// room — an induced queue-full window. Injected rejects are counted in
+    /// both `rejected_queue_full` and `faults_injected`.
+    pub queue_full_every: Option<u64>,
+    /// Stall the batcher for [`FaultPlan::slow_batch_stall`] before every
+    /// `n`-th batch it forms — an induced slow-engine window that backs
+    /// work up into the bounded queue.
+    pub slow_batch_every: Option<u64>,
+    /// How long each induced batcher stall lasts (wall time; ignored unless
+    /// `slow_batch_every` is set).
+    pub slow_batch_stall: Duration,
+    /// Sabotage: write every `Logits` response twice (and count it twice).
+    /// This deliberately breaks the answered-exactly-once contract so a
+    /// chaos harness can verify its checker catches real violations; it is
+    /// never useful in production.
+    pub double_ack: bool,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Rejects every `n`-th admission as queue-full (see
+    /// [`FaultPlan::queue_full_every`]). `n` is clamped to at least 1.
+    pub fn with_queue_full_every(mut self, n: u64) -> Self {
+        self.queue_full_every = Some(n.max(1));
+        self
+    }
+
+    /// Stalls the batcher for `stall` before every `n`-th batch (see
+    /// [`FaultPlan::slow_batch_every`]). `n` is clamped to at least 1.
+    pub fn with_slow_batch(mut self, n: u64, stall: Duration) -> Self {
+        self.slow_batch_every = Some(n.max(1));
+        self.slow_batch_stall = stall;
+        self
+    }
+
+    /// Enables the double-ack sabotage (see [`FaultPlan::double_ack`]).
+    pub fn with_double_ack(mut self) -> Self {
+        self.double_ack = true;
+        self
+    }
+
+    /// Whether any fault (or sabotage) is armed.
+    pub fn is_armed(&self) -> bool {
+        self.queue_full_every.is_some() || self.slow_batch_every.is_some() || self.double_ack
+    }
+}
 
 /// Serving front-end configuration.
 #[derive(Debug, Clone)]
@@ -119,6 +181,8 @@ pub struct ServerConfig {
     /// real clock; inject a [`Clock::manual`] to drive deadline logic
     /// deterministically in tests.
     pub clock: Clock,
+    /// Injected faults for chaos testing; defaults to none.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -134,6 +198,7 @@ impl Default for ServerConfig {
             max_wait: Duration::ZERO,
             start_paused: false,
             clock: Clock::real(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -198,6 +263,12 @@ impl ServerConfig {
         self.clock = clock;
         self
     }
+
+    /// Arms a fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Deliberately discards a best-effort result (socket teardown, wakeup
@@ -254,7 +325,15 @@ struct Shared {
     /// The injectable time source every schedule-affecting read goes
     /// through (see [`crate::clock`]).
     clock: Clock,
-    metrics: Metrics,
+    /// Behind its own `Arc` so callers can hold the registry across the
+    /// server's shutdown and assert post-drain invariants (readers joined,
+    /// queue gauge at zero) after the `Server` handle is consumed.
+    metrics: Arc<Metrics>,
+    /// The armed fault plan (default: no-op).
+    faults: FaultPlan,
+    /// Admission attempts across all connections, driving the fault plan's
+    /// queue-full windows.
+    admissions: AtomicU64,
     /// Set when shutdown begins: readers refuse new inference work.
     draining: AtomicBool,
     /// Set when the batcher has exited: accept loops stop.
@@ -391,7 +470,9 @@ impl<B: Backend + Send + 'static> Server<B> {
         );
         let shared = Arc::new(Shared {
             clock: cfg.clock.clone(),
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
+            faults: cfg.faults.clone(),
+            admissions: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             paused: AtomicBool::new(cfg.start_paused),
@@ -449,6 +530,14 @@ impl<B: Backend + Send + 'static> Server<B> {
     /// The live metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// A handle to the metrics registry that outlives the server: hold one
+    /// before [`Server::shutdown`]/[`Server::wait`] to assert post-drain
+    /// invariants (thread liveness, queue gauge, conservation) after the
+    /// engine has been returned.
+    pub fn metrics_handle(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Unpauses a [`ServerConfig::start_paused`] batcher.
@@ -589,6 +678,9 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item
 fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: SyncSender<Item>) {
     use crate::wire::WireError;
     let m = &shared.metrics;
+    // ordering: relaxed — liveness gauge; the join in finish() is the real
+    // synchronization edge, the gauge just names what it observed.
+    m.readers_live.fetch_add(1, Ordering::Relaxed);
     // Set when this side ends the conversation (protocol violation): the
     // peer may still have bytes in flight, and closing with unread receive
     // data can turn into a RST that destroys our final Error frame. Drain
@@ -624,6 +716,27 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                         code: RejectCode::Draining,
                     });
                     continue;
+                }
+                // Induced queue-full window: the fault plan may turn this
+                // admission attempt into a reject even though the queue has
+                // room — same frame, same counters as the organic path,
+                // plus the injection counter.
+                if let Some(n) = shared.faults.queue_full_every {
+                    // ordering: relaxed — the fault schedule only needs each
+                    // attempt counted once, not a cross-thread order.
+                    let attempt = shared.admissions.fetch_add(1, Ordering::Relaxed) + 1;
+                    if attempt.is_multiple_of(n) {
+                        drop(admission);
+                        // ordering: relaxed — metrics counters.
+                        m.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        // ordering: relaxed — metrics counter.
+                        m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                        conn.send(&Frame::Reject {
+                            id: req.id,
+                            code: RejectCode::QueueFull,
+                        });
+                        continue;
+                    }
                 }
                 // The wire deadline is relative; anchor it at admission so
                 // queue time counts against it.
@@ -720,6 +833,8 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
     }
     // ordering: relaxed — metrics gauge.
     m.connections_active.fetch_sub(1, Ordering::Relaxed);
+    // ordering: relaxed — liveness gauge, see the increment at entry.
+    m.readers_live.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// The engine owner: moves queue items into the EDF scheduling window,
@@ -735,7 +850,10 @@ fn batcher_loop<B: Backend + Send + 'static>(
 ) -> ShardedEngine<B> {
     use std::sync::mpsc::RecvTimeoutError;
     let mut routes: HashMap<RequestId, Route> = HashMap::new();
-    let mut last_stats = engine.stats();
+    let mut book = BatchBook {
+        last_stats: engine.stats(),
+        batches_formed: 0,
+    };
     let mut stop = false;
     let mut ackers: Vec<Arc<Conn>> = Vec::new();
     // The scheduling window: admitted requests the scheduler may still
@@ -828,7 +946,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
             &mut routes,
             &mut window,
             max_take,
-            &mut last_stats,
+            &mut book,
         );
     }
     // The final sweep and drain, shared by both exits (shutdown marker —
@@ -854,7 +972,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
             &mut routes,
             &mut window,
             max_take,
-            &mut last_stats,
+            &mut book,
         );
     }
     // Every requester gets the ack — including racers whose markers landed
@@ -928,6 +1046,14 @@ fn shed_one(shared: &Shared, req: &IncomingReq) {
 /// Forms one batch from the window in EDF order (up to `max_take`
 /// requests), submits it to the engine — shedding anything that expired
 /// since the last check — then flushes and routes the responses.
+/// Batch-loop accounting carried across `form_and_run` calls: the engine
+/// stats watermark metrics deltas are computed against, and the running
+/// batch count the slow-batch fault schedule keys off.
+struct BatchBook {
+    last_stats: tia_engine::EngineStats,
+    batches_formed: u64,
+}
+
 fn form_and_run<B: Backend + Send + 'static>(
     engine: &mut ShardedEngine<B>,
     shared: &Shared,
@@ -935,8 +1061,16 @@ fn form_and_run<B: Backend + Send + 'static>(
     routes: &mut HashMap<RequestId, Route>,
     window: &mut Vec<PendingReq>,
     max_take: usize,
-    last_stats: &mut tia_engine::EngineStats,
+    book: &mut BatchBook,
 ) {
+    // Induced slow-batcher window: stall before every n-th batch so the
+    // queue backs up the way it would behind a genuinely slow engine.
+    book.batches_formed += 1;
+    if let Some(n) = shared.faults.slow_batch_every {
+        if book.batches_formed.is_multiple_of(n) && !shared.faults.slow_batch_stall.is_zero() {
+            std::thread::sleep(shared.faults.slow_batch_stall);
+        }
+    }
     window.sort_by(edf_order);
     let take = window.len().min(max_take);
     let now = shared.clock.now();
@@ -970,12 +1104,11 @@ fn form_and_run<B: Backend + Send + 'static>(
             Err(_) => {
                 // Readers validate geometry up front, so this only
                 // triggers if the configured input shape is not what the
-                // engine pinned — answer honestly rather than panic.
+                // engine pinned — answer honestly rather than panic. The
+                // request was already admitted, so it lands in the errored
+                // leg of the conservation equation, not the reject leg.
                 // ordering: relaxed — metrics counter.
-                shared
-                    .metrics
-                    .rejected_bad_shape
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errored_total.fetch_add(1, Ordering::Relaxed);
                 req.conn.send(&Frame::Reject {
                     id: req.wire_id,
                     code: RejectCode::BadShape,
@@ -983,7 +1116,7 @@ fn form_and_run<B: Backend + Send + 'static>(
             }
         }
     }
-    flush_and_respond(engine, shared, routes, last_stats);
+    flush_and_respond(engine, shared, routes, &mut book.last_stats);
 }
 
 fn flush_and_respond<B: Backend + Send + 'static>(
@@ -1010,6 +1143,15 @@ fn flush_and_respond<B: Backend + Send + 'static>(
         route.conn.send(&frame);
         // ordering: relaxed — metrics counter.
         m.responses_total.fetch_add(1, Ordering::Relaxed);
+        if shared.faults.double_ack {
+            // Deliberate sabotage knob for the chaos harness's self-test:
+            // answer the same admitted request twice so the exactly-once
+            // checker (client-side dup detection + conservation_check)
+            // must flag it. Never set in production configs.
+            route.conn.send(&frame);
+            // ordering: relaxed — metrics counter.
+            m.responses_total.fetch_add(1, Ordering::Relaxed);
+        }
         m.count_precision(r.precision);
         m.record_latency(
             route.class,

@@ -275,8 +275,15 @@ fn shutdown_drains_admitted_work_before_acking() {
         .unwrap();
     assert_eq!(served, N, "every admitted request must be served pre-ack");
     // The remote shutdown completes without local help; wait() just joins.
+    let metrics = server.metrics_handle();
     let engine = server.wait();
     assert_eq!(engine.stats().requests, N);
+    // Quiescence ledger: reader threads joined, queue gauge back to zero,
+    // and the counters conserve (admitted = served + shed + errored).
+    let snap = metrics.snapshot();
+    assert_eq!(snap.readers_live, 0, "reader thread leaked past shutdown");
+    assert_eq!(snap.queue_depth, 0, "queue gauge must return to zero");
+    assert_eq!(snap.conservation_check(), Ok(()));
     // And once drained, the server has closed the connection.
     assert!(matches!(
         client.recv(),
@@ -786,6 +793,7 @@ fn shutdown_races_inflight_submissions_across_connections() {
         "every racer request needs exactly one answer"
     );
 
+    let metrics = server.metrics_handle();
     let engine = server.wait();
     // No lost and no duplicated responses: the engine executed exactly the
     // requests that were answered with logits.
@@ -794,6 +802,12 @@ fn shutdown_races_inflight_submissions_across_connections() {
         2 + 3 + c_ok,
         "admitted-and-unexpired work must be drained exactly once"
     );
+    // Quiescence ledger even after the racing shutdown: no reader thread
+    // survives the drain, the gauge is back to zero, counters conserve.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.readers_live, 0, "reader thread leaked past shutdown");
+    assert_eq!(snap.queue_depth, 0, "queue gauge must return to zero");
+    assert_eq!(snap.conservation_check(), Ok(()));
     // After the drain the server closed both connections; A never sees a
     // second ack.
     assert!(matches!(
@@ -804,6 +818,59 @@ fn shutdown_races_inflight_submissions_across_connections() {
         conn_b.recv(),
         Err(WireError::Closed) | Err(WireError::Io(_))
     ));
+}
+
+/// Slow-loris isolation, on virtual time: one connection drips the
+/// 12-byte frame header a single byte per manual-clock tick. Per-frame
+/// reads live on that connection's reader thread, so the batcher keeps
+/// running and another client's infer is served to completion *while the
+/// loris is still mid-header* — no wall-clock sleeps anywhere, only
+/// `Clock::advance`. Once the loris finally finishes its frame, it too is
+/// served (slow is not malformed).
+#[test]
+fn slow_loris_header_does_not_hold_the_batcher_or_starve_others() {
+    let clock = Clock::manual();
+    let server = Server::spawn(base_config().with_clock(clock.clone()), |_| replica()).unwrap();
+    let x = images(2, 34);
+
+    let mut loris = TcpStream::connect(server.addr()).unwrap();
+    loris.set_nodelay(true).unwrap();
+    let frame = infer_frame(77, &x.index_axis0(0), WirePolicy::Server).encode();
+
+    // One header byte per virtual-clock tick. The write returns as soon as
+    // the kernel buffers the byte; the server side sits in a partial
+    // header read on the loris's own reader thread.
+    for byte in &frame[..12] {
+        loris.write_all(std::slice::from_ref(byte)).unwrap();
+        loris.flush().unwrap();
+        clock.advance(Duration::from_millis(1));
+    }
+
+    // Mid-header, a well-behaved client is served normally: the batcher
+    // never blocked on the loris's unfinished frame.
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client
+        .infer(1, &x.index_axis0(1), WirePolicy::Server)
+        .unwrap()
+    {
+        Frame::Logits(r) => assert_eq!(r.id, 1),
+        other => panic!("victim client starved by the loris: {other:?}"),
+    }
+
+    // The loris completes its frame (payload in one write) and is served.
+    loris.write_all(&frame[12..]).unwrap();
+    loris.flush().unwrap();
+    match Frame::read_from(&mut loris) {
+        Ok(Frame::Logits(r)) => assert_eq!(r.id, 77),
+        other => panic!("completed slow frame must be served, got {other:?}"),
+    }
+
+    let metrics = server.metrics_handle();
+    let engine = server.shutdown();
+    assert_eq!(engine.stats().requests, 2);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.readers_live, 0);
+    assert_eq!(snap.conservation_check(), Ok(()));
 }
 
 /// An open-loop run against a paused, tiny-queue server sheds load via

@@ -343,6 +343,117 @@ fn payload_validation_rejects_bad_fields() {
     ));
 }
 
+/// Differential decode: mutate *valid* frames and hold the decoder to a
+/// two-sided contract — every mutant either yields a typed [`WireError`]
+/// or decodes to a frame that survives a re-encode round-trip bit-exactly.
+/// There is no third outcome: no panic, no out-of-bounds `used`, and no
+/// silent misread (an `Ok` whose re-encoding parses differently).
+#[test]
+fn differential_decode_of_mutated_frames() {
+    let mut rng = SeededRng::new(21);
+    let corpus: Vec<Vec<u8>> = vec![
+        Frame::Infer(InferRequest {
+            id: 91,
+            policy: WirePolicy::Random(PrecisionSet::range(4, 8)),
+            deadline_ms: None,
+            class: Class::Normal,
+            shape: [2, 4, 4],
+            pixels: rand_pixels(32, &mut rng),
+        })
+        .encode(),
+        Frame::Infer(InferRequest {
+            id: 92,
+            policy: WirePolicy::Fixed(Some(Precision::new(5))),
+            deadline_ms: Some(75),
+            class: Class::Interactive,
+            shape: [1, 3, 3],
+            pixels: rand_pixels(9, &mut rng),
+        })
+        .encode(),
+        Frame::Logits(InferResponse {
+            id: 93,
+            precision: Some(Precision::new(8)),
+            top1: 2,
+            logits: rand_pixels(10, &mut rng),
+        })
+        .encode(),
+        Frame::Reject {
+            id: 94,
+            code: RejectCode::QueueFull,
+        }
+        .encode(),
+        Frame::Error {
+            msg: "differential seed frame".to_string(),
+        }
+        .encode(),
+        Frame::Ping.encode(),
+    ];
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for _ in 0..4000 {
+        let mut bytes = corpus[rng.below(corpus.len())].clone();
+        // One of four mutation families per iteration.
+        match rng.below(4) {
+            0 => {
+                // Flip 1..=4 bytes anywhere.
+                for _ in 0..=rng.below(4) {
+                    let pos = rng.below(bytes.len());
+                    bytes[pos] ^= 1 << rng.below(8);
+                }
+            }
+            1 => {
+                // Skew the declared payload length.
+                let skew = rng.next_u64() as u32;
+                bytes[8..12].copy_from_slice(&skew.to_le_bytes());
+            }
+            2 => {
+                // Truncate, optionally padding noise back on.
+                bytes.truncate(rng.below(bytes.len().max(1)));
+                for _ in 0..rng.below(8) {
+                    bytes.push(rng.next_u64() as u8);
+                }
+            }
+            _ => {
+                // Splice a second frame's bytes into the middle.
+                let other = &corpus[rng.below(corpus.len())];
+                let at = rng.below(bytes.len());
+                let take = rng.below(other.len());
+                bytes.splice(at..at, other[..take].iter().copied());
+            }
+        }
+        match Frame::decode(&bytes) {
+            Ok((frame, used)) => {
+                accepted += 1;
+                assert!(used <= bytes.len(), "decode over-read: {used}");
+                assert!(used >= HEADER_LEN, "an Ok decode consumed no frame");
+                // Re-encode round-trip: whatever was accepted must be a
+                // well-formed frame in its own right, bit-exactly.
+                // (Compared via bytes, not `PartialEq`: a mutant float can
+                // be NaN, which is unequal to itself but round-trips its
+                // bit pattern exactly.)
+                let re = frame.encode();
+                let (again, used2) = Frame::decode(&re).expect("re-encode of accepted mutant");
+                assert_eq!(again.encode(), re, "silent misread: re-decode disagrees");
+                assert_eq!(used2, re.len());
+            }
+            Err(
+                WireError::Closed
+                | WireError::Truncated
+                | WireError::BadMagic([_, _, _, _])
+                | WireError::BadVersion(_)
+                | WireError::BadKind(_)
+                | WireError::Oversize(_)
+                | WireError::Malformed(_)
+                | WireError::Io(_),
+            ) => rejected += 1,
+        }
+    }
+    // The mutation families are gentle enough that both arms must be
+    // exercised; a dead arm means the test mutated too hard or too soft.
+    assert!(accepted > 0, "no mutant ever decoded");
+    assert!(rejected > 0, "no mutant was ever rejected");
+}
+
 #[test]
 fn seeded_fuzz_decode_never_panics() {
     // Pure-noise buffers: decode must reject (or, astronomically unlikely,
