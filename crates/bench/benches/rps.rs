@@ -5,8 +5,9 @@
 //! wall-clock requests/sec alongside the modeled aggregate accelerator
 //! throughput from the merged cost ledger), and the `tia-serve` TCP
 //! front-end (loopback closed-loop requests/sec through the full wire
-//! protocol at 1/2 worker shards). Writes a `BENCH_engine.json` snapshot so
-//! later PRs have a perf trajectory.
+//! protocol at 1/2 worker shards), and the open-loop deadline-overload
+//! passes (shed-only vs adaptive graceful degradation). Writes a
+//! `BENCH_engine.json` snapshot so later PRs have a perf trajectory.
 
 use tia_attack::{Attack, Pgd};
 use tia_bench::harness::{bench, black_box, smoke_mode, to_json, BenchResult};
@@ -240,23 +241,40 @@ fn bench_tcp_serving() -> Vec<BenchResult> {
 }
 
 /// Deadline-overload behaviour of the EDF scheduler: the same open-loop
-/// overload (arrivals at ~2x serving capacity) with and without a
-/// per-request deadline. Without one, every request queues and p99 grows
-/// with the backlog; with one, the scheduler sheds expired requests
-/// (`Reject{DeadlineExceeded}`) instead of serving them late, keeping the
-/// p99 of what *is* served bounded near the deadline. One p99 entry each.
+/// overload (arrivals at ~2x serving capacity) without a deadline, with a
+/// deadline, and with a deadline plus the adaptive precision controller.
+/// Without a deadline, every request queues and p99 grows with the
+/// backlog; shedding bounds the p99 of what *is* served near the deadline;
+/// the adaptive pass degrades the precision mix under the same pressure,
+/// which collapses per-precision sub-batches into fuller GEMMs and so
+/// serves *more* of the load inside the deadline — strictly fewer sheds
+/// than the shed-only baseline at no p99 cost (asserted in full runs; a
+/// single-iteration smoke has no statistics to hold). One p99 entry each.
 fn bench_deadline_overload() -> Vec<BenchResult> {
-    use tia_serve::{LoadConfig, Server, ServerConfig, WirePolicy};
+    use tia_serve::{ControlConfig, LoadConfig, Server, ServerConfig, WirePolicy};
     const REQUESTS: usize = 256;
     let set = PrecisionSet::range(4, 8);
     let mut results = Vec::new();
+    let mut shed_only: Option<(u64, u64)> = None; // (sheds, p99_ns)
     println!("\ndeadline overload: open loop at ~2x capacity, 256 requests");
-    for (tag, deadline_ms) in [("no_deadline", None), ("deadline5ms", Some(5u32))] {
-        let cfg = ServerConfig::default()
+    let adaptive = ControlConfig::default()
+        .with_fill_band(0.3, 0.1)
+        .with_miss_band(0.01, 0.0)
+        .with_cooldown(1);
+    for (tag, deadline_ms, control) in [
+        ("no_deadline", None, None),
+        ("deadline5ms", Some(5u32), None),
+        ("adaptive", Some(5u32), Some(adaptive)),
+    ] {
+        let is_adaptive = control.is_some();
+        let mut cfg = ServerConfig::default()
             .with_workers(1)
             .with_input_shape([3, 16, 16])
             .with_policy(PrecisionPolicy::Random(set.clone()))
             .with_engine(EngineConfig::default().with_max_batch(8).with_seed(7));
+        if let Some(ctrl) = control {
+            cfg = cfg.with_control(ctrl);
+        }
         let server = Server::spawn(cfg, |_| {
             zoo::preact_resnet18_rps(3, 4, 10, PrecisionSet::range(4, 8), &mut SeededRng::new(6))
         })
@@ -280,6 +298,23 @@ fn bench_deadline_overload() -> Vec<BenchResult> {
             report.ok,
             report.rejected_deadline
         );
+        if deadline_ms.is_some() && !is_adaptive {
+            shed_only = Some((report.rejected_deadline, p99));
+        }
+        if is_adaptive && !smoke_mode() {
+            let (base_sheds, base_p99) = shed_only.expect("shed-only pass runs first");
+            assert!(
+                report.rejected_deadline < base_sheds,
+                "adaptive degradation must shed strictly less than the \
+                 shed-only baseline: {} vs {base_sheds}",
+                report.rejected_deadline
+            );
+            assert!(
+                p99 <= base_p99.saturating_mul(3) / 2,
+                "adaptive pass left the baseline's latency envelope: \
+                 p99 {p99} ns vs baseline {base_p99} ns"
+            );
+        }
         results.push(BenchResult {
             name: format!("serve_open_overload_p99_{tag}"),
             iters: report.ok.max(1),

@@ -4,7 +4,7 @@
 //!
 //! * **Profile sweep** (default): `tia-chaos --profile quick` cycles every
 //!   scenario with seeds derived from `--seed` until the lifecycle target
-//!   is met (quick: >= 500 connection lifecycles across all five fault
+//!   is met (quick: >= 500 connection lifecycles across all six fault
 //!   profiles) or, for `--profile soak`, until `--duration-ms` expires.
 //! * **Single run**: `tia-chaos --scenario hostile --seed 7 --peers 4
 //!   --events 16` replays exactly one schedule — the form every violation

@@ -63,6 +63,15 @@ pub enum Violation {
         /// Pongs received.
         pongs: u64,
     },
+    /// A floored request executed below its class's precision floor.
+    FloorViolated {
+        /// The under-served id.
+        id: u64,
+        /// Executed precision in bits.
+        bits: u8,
+        /// The configured floor in bits.
+        floor: u8,
+    },
     /// A `Shutdown` frame was sent but no `ShutdownAck` ever arrived.
     MissingShutdownAck,
     /// Two runs of the same seed produced different answer digests.
@@ -108,6 +117,10 @@ impl std::fmt::Display for Violation {
             Violation::PingUnanswered { pings, pongs } => {
                 write!(f, "{pings} ping(s) but only {pongs} pong(s)")
             }
+            Violation::FloorViolated { id, bits, floor } => write!(
+                f,
+                "id {id:#x} executed at {bits} bits, below its {floor}-bit class floor"
+            ),
             Violation::MissingShutdownAck => write!(f, "shutdown requested but never acked"),
             Violation::DeterminismDrift { first, second } => write!(
                 f,
@@ -134,6 +147,11 @@ pub struct RunCounters {
 /// Merges peer logs against the server snapshot and returns every
 /// violation plus the run's order-independent answer digest.
 ///
+/// `floored` lists `(id, floor_bits)` pairs — planned requests whose
+/// executed precision must sit at or above their class floor. Full
+/// precision (wire byte 0) satisfies any floor; rejects are not executions
+/// and never violate one.
+///
 /// The digest folds each answered id's `(id, answers)` into FNV-1a in
 /// ascending id order, so thread interleaving between peers cannot change
 /// it — only the actual bytes answered can.
@@ -142,6 +160,7 @@ pub fn check_run(
     logs: &[PeerLog],
     snapshot: MetricsSnapshot,
     ghost_ids: &[u64],
+    floored: &[(u64, u8)],
     expect_ack: bool,
 ) -> (Vec<Violation>, u64, RunCounters) {
     let mut violations = Vec::new();
@@ -219,6 +238,19 @@ pub fn check_run(
             pongs: clean_pongs,
         });
     }
+    for &(id, floor) in floored {
+        for kind in answers.get(&id).map_or(&[][..], Vec::as_slice) {
+            if let AnswerKind::Logits { precision, .. } = kind {
+                if *precision != 0 && *precision < floor {
+                    violations.push(Violation::FloorViolated {
+                        id,
+                        bits: *precision,
+                        floor,
+                    });
+                }
+            }
+        }
+    }
     if expect_ack && acks == 0 {
         violations.push(Violation::MissingShutdownAck);
     }
@@ -279,7 +311,7 @@ mod tests {
     #[test]
     fn balanced_run_is_quiet() {
         let logs = vec![log_with(7, 1, vec![AnswerKind::Reject(1)], true)];
-        let (v, _, c) = check_run(Scenario::Clean, &logs, snapshot(1, 1), &[], false);
+        let (v, _, c) = check_run(Scenario::Clean, &logs, snapshot(1, 1), &[], &[], false);
         assert!(v.is_empty(), "{v:?}");
         assert_eq!(c.answers, 1);
     }
@@ -292,7 +324,7 @@ mod tests {
             vec![AnswerKind::Reject(1), AnswerKind::Reject(2)],
             true,
         )];
-        let (v, _, _) = check_run(Scenario::Clean, &logs, snapshot(1, 1), &[], false);
+        let (v, _, _) = check_run(Scenario::Clean, &logs, snapshot(1, 1), &[], &[], false);
         assert!(v.iter().any(|x| matches!(
             x,
             Violation::DuplicateAnswer {
@@ -307,7 +339,7 @@ mod tests {
     fn strict_unanswered_and_unknown_ids_are_flagged() {
         let mut logs = vec![log_with(7, 1, vec![], true)];
         logs.push(log_with(9, 0, vec![AnswerKind::Reject(1)], false));
-        let (v, _, _) = check_run(Scenario::Clean, &logs, snapshot(0, 0), &[], false);
+        let (v, _, _) = check_run(Scenario::Clean, &logs, snapshot(0, 0), &[], &[], false);
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::Unanswered { id: 7 })));
@@ -316,7 +348,7 @@ mod tests {
             .any(|x| matches!(x, Violation::UnknownId { id: 9 })));
         // A ghost id legitimizes the "unknown" answer.
         let logs = vec![log_with(9, 0, vec![AnswerKind::Reject(1)], false)];
-        let (v, _, _) = check_run(Scenario::Hostile, &logs, snapshot(0, 0), &[9], false);
+        let (v, _, _) = check_run(Scenario::Hostile, &logs, snapshot(0, 0), &[9], &[], false);
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -331,21 +363,62 @@ mod tests {
             log_with(1, 1, vec![AnswerKind::Reject(1)], false),
         ];
         let snap = snapshot(2, 2);
-        let (_, da, _) = check_run(Scenario::Hostile, &a, snap, &[], false);
-        let (_, db, _) = check_run(Scenario::Hostile, &b, snap, &[], false);
+        let (_, da, _) = check_run(Scenario::Hostile, &a, snap, &[], &[], false);
+        let (_, db, _) = check_run(Scenario::Hostile, &b, snap, &[], &[], false);
         assert_eq!(da, db);
         let c = vec![
             log_with(1, 1, vec![AnswerKind::Reject(2)], false),
             log_with(2, 1, vec![AnswerKind::Reject(4)], false),
         ];
-        let (_, dc, _) = check_run(Scenario::Hostile, &c, snap, &[], false);
+        let (_, dc, _) = check_run(Scenario::Hostile, &c, snap, &[], &[], false);
         assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn floor_violations_surface_only_below_the_floor() {
+        let answer = |bits| AnswerKind::Logits {
+            precision: bits,
+            top1: 0,
+            logits_fnv: 0,
+        };
+        // id 1 under-served, id 2 at the floor, id 3 full precision
+        // (satisfies any floor), id 4 rejected (not an execution).
+        let logs = vec![
+            log_with(1, 1, vec![answer(4)], false),
+            log_with(2, 1, vec![answer(6)], false),
+            log_with(3, 1, vec![answer(0)], false),
+            log_with(4, 1, vec![AnswerKind::Reject(4)], false),
+        ];
+        let floored = [(1u64, 6u8), (2, 6), (3, 6), (4, 6)];
+        let (v, _, _) = check_run(
+            Scenario::OverloadStorm,
+            &logs,
+            snapshot(4, 4),
+            &[],
+            &floored,
+            false,
+        );
+        assert_eq!(
+            v,
+            vec![Violation::FloorViolated {
+                id: 1,
+                bits: 4,
+                floor: 6
+            }]
+        );
     }
 
     #[test]
     fn missing_ack_and_conservation_surface() {
         let logs = vec![PeerLog::default()];
-        let (v, _, _) = check_run(Scenario::ShutdownRace, &logs, snapshot(3, 2), &[], true);
+        let (v, _, _) = check_run(
+            Scenario::ShutdownRace,
+            &logs,
+            snapshot(3, 2),
+            &[],
+            &[],
+            true,
+        );
         assert!(v.iter().any(|x| matches!(x, Violation::MissingShutdownAck)));
         assert!(v.iter().any(|x| matches!(x, Violation::Conservation(_))));
     }

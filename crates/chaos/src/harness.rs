@@ -12,14 +12,19 @@ use std::panic::AssertUnwindSafe;
 use std::time::Duration;
 use tia_engine::{EngineConfig, PrecisionPolicy};
 use tia_nn::zoo;
-use tia_quant::PrecisionSet;
-use tia_serve::{FaultPlan, MetricsSnapshot, Server, ServerConfig};
+use tia_quant::{Precision, PrecisionSet};
+use tia_serve::wire::Class;
+use tia_serve::{ControlConfig, FaultPlan, MetricsSnapshot, Server, ServerConfig};
 use tia_tensor::SeededRng;
 
 /// Engine worker shards per chaos server.
 const WORKERS: usize = 2;
 /// Engine micro-batch size per chaos server.
 const MAX_BATCH: usize = 4;
+/// The interactive class's precision floor in the overload-storm scenario,
+/// in bits — inside the 4~8-bit serving set, so degradation would sample
+/// below it if the floor failed to bind.
+const STORM_FLOOR_BITS: u8 = 6;
 
 /// One chaos run, fully specified. The schedule, the server's fault plan
 /// and every peer's byte stream derive from these fields alone.
@@ -106,6 +111,9 @@ fn server_config(cfg: &ChaosConfig) -> ServerConfig {
     let mut faults = match cfg.scenario {
         Scenario::QueueFull => FaultPlan::none().with_queue_full_every(5),
         Scenario::SlowBatch => FaultPlan::none().with_slow_batch(3, Duration::from_millis(2)),
+        // Induced stalls make the deadline storm actually shed, so the
+        // adaptive controller sees real miss pressure and degrades.
+        Scenario::OverloadStorm => FaultPlan::none().with_slow_batch(2, Duration::from_millis(3)),
         _ => FaultPlan::none(),
     };
     if cfg.sabotage {
@@ -128,6 +136,20 @@ fn server_config(cfg: &ChaosConfig) -> ServerConfig {
         // A small forming wait gives the EDF window real candidates while
         // the injected stalls back traffic up.
         Scenario::SlowBatch => base.with_max_wait(Duration::from_millis(1)),
+        // The adaptive server: an aggressive fill/miss band plus a short
+        // cooldown so degradation and recovery both happen inside a small
+        // run, with the interactive SLO floor the checker holds the
+        // answers to.
+        Scenario::OverloadStorm => base
+            .with_queue_capacity(16)
+            .with_max_wait(Duration::from_millis(1))
+            .with_control(
+                ControlConfig::default()
+                    .with_fill_band(0.5, 0.25)
+                    .with_miss_band(0.05, 0.0)
+                    .with_cooldown(2)
+                    .with_floor(Class::Interactive, Precision::new(STORM_FLOOR_BITS)),
+            ),
         _ => base,
     }
 }
@@ -159,6 +181,17 @@ pub fn run(cfg: &ChaosConfig) -> Result<RunReport, String> {
     let total_events = schedule.total_events();
     let ghost_ids = schedule.ghost_ids();
     let expect_ack = schedule.has_shutdown();
+    // The floor ledger: in the overload-storm scenario every interactive
+    // server-policy request must execute at or above the armed floor.
+    let floored: Vec<(u64, u8)> = if cfg.scenario == Scenario::OverloadStorm {
+        schedule
+            .server_policy_ids(Class::Interactive)
+            .into_iter()
+            .map(|id| (id, STORM_FLOOR_BITS))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let server = Server::spawn(server_config(cfg), |_| replica())
         .map_err(|e| format!("could not spawn chaos server: {e}"))?;
@@ -193,8 +226,14 @@ pub fn run(cfg: &ChaosConfig) -> Result<RunReport, String> {
         });
     }
     let snapshot = metrics.snapshot();
-    let (mut found, digest, counters) =
-        check_run(cfg.scenario, &logs, snapshot, &ghost_ids, expect_ack);
+    let (mut found, digest, counters) = check_run(
+        cfg.scenario,
+        &logs,
+        snapshot,
+        &ghost_ids,
+        &floored,
+        expect_ack,
+    );
     violations.append(&mut found);
     Ok(RunReport {
         config: cfg.clone(),

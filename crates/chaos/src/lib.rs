@@ -10,9 +10,10 @@
 //! attacks serving systems: whole connection lifecycles against a live
 //! [`tia_serve::Server`] on loopback — interleaved valid/corrupt/truncated
 //! frames, slow-loris pacing, mid-request disconnects, deadline storms
-//! across priority classes, ping floods, and shutdown racing in-flight
-//! submits — with induced overload windows threaded through the server's
-//! [`tia_serve::FaultPlan`] knob.
+//! across priority classes, ping floods, shutdown racing in-flight
+//! submits, and overload storms against the adaptive-precision controller
+//! (per-class SLO floors held under degradation) — with induced overload
+//! windows threaded through the server's [`tia_serve::FaultPlan`] knob.
 //!
 //! Everything derives from **one printed u64**: the schedule (every frame
 //! byte is fixed at plan time — [`plan`]), the server's engine seed, and

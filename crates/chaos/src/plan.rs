@@ -41,16 +41,23 @@ pub enum Scenario {
     /// Valid traffic racing a client-initiated `Shutdown` mid-run: the
     /// drain contract (everything admitted is answered) under fire.
     ShutdownRace,
+    /// Deadline storms plus interactive server-policy traffic against an
+    /// *adaptive* server (slow-batch stalls supplying the pressure): the
+    /// graceful-degradation controller shifts the precision mix under
+    /// fire, and the interactive class's SLO floor must hold at every
+    /// degradation level.
+    OverloadStorm,
 }
 
 impl Scenario {
     /// Every scenario, in the order the profile sweep visits them.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 6] = [
         Scenario::Clean,
         Scenario::QueueFull,
         Scenario::SlowBatch,
         Scenario::Hostile,
         Scenario::ShutdownRace,
+        Scenario::OverloadStorm,
     ];
 
     /// The CLI name of this scenario.
@@ -61,6 +68,7 @@ impl Scenario {
             Scenario::SlowBatch => "slow-batch",
             Scenario::Hostile => "hostile",
             Scenario::ShutdownRace => "shutdown-race",
+            Scenario::OverloadStorm => "overload-storm",
         }
     }
 
@@ -72,7 +80,7 @@ impl Scenario {
             .ok_or_else(|| {
                 format!(
                     "bad scenario {s:?}, expected one of: clean, queue-full, \
-                     slow-batch, hostile, shutdown-race"
+                     slow-batch, hostile, shutdown-race, overload-storm"
                 )
             })
     }
@@ -223,6 +231,26 @@ impl Schedule {
         ids
     }
 
+    /// Ids of planned requests that ride the server's seeded schedule
+    /// (`WirePolicy::Server`) under `class` — the requests a per-class
+    /// precision floor binds. Decoded from the planned bytes, so the set
+    /// matches exactly what goes on the wire after any prefix truncation.
+    pub fn server_policy_ids(&self, class: Class) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for script in &self.scripts {
+            for ev in script {
+                if let Event::Infer { bytes, .. } | Event::SlowInfer { bytes, .. } = ev {
+                    if let Ok((Frame::Infer(req), _)) = Frame::decode(bytes) {
+                        if req.policy == WirePolicy::Server && req.class == class {
+                            ids.push(req.id);
+                        }
+                    }
+                }
+            }
+        }
+        ids
+    }
+
     /// Whether any (post-truncation) script still carries a `Shutdown`.
     pub fn has_shutdown(&self) -> bool {
         self.scripts
@@ -277,6 +305,17 @@ fn generate_script(
             Scenario::ShutdownRace => match roll {
                 0..=74 => infer(id, rng, Deadline::Sometimes, Pinning::Any),
                 75..=84 => Event::Ping,
+                _ => Event::Reconnect,
+            },
+            Scenario::OverloadStorm => match roll {
+                // The storm: tight deadlines across classes and policies,
+                // feeding the controller's deadline-miss signal.
+                0..=49 => infer(id, rng, Deadline::Storm, Pinning::Any),
+                // The floored class: interactive traffic on the server's
+                // seeded schedule, whose executed precision must never
+                // fall below the floor however degraded the engine gets.
+                50..=79 => interactive_infer(id, rng),
+                80..=89 => Event::Ping,
                 _ => Event::Reconnect,
             },
         };
@@ -356,6 +395,24 @@ fn infer(id: u64, rng: &mut SeededRng, deadline: Deadline, pinning: Pinning) -> 
         id,
         bytes: draw_request(id, rng, deadline, pinning),
     }
+}
+
+/// An interactive request on the server's seeded schedule, with a
+/// deadline generous enough that it is normally served, not shed (the
+/// class byte only rides v2 — deadlined — frames). These are the requests
+/// [`Schedule::server_policy_ids`] surfaces for the floor check.
+fn interactive_infer(id: u64, rng: &mut SeededRng) -> Event {
+    let pixels: Vec<f32> = (0..PIXELS).map(|_| rng.uniform_in(0.0, 1.0)).collect();
+    let bytes = Frame::Infer(InferRequest {
+        id,
+        policy: WirePolicy::Server,
+        deadline_ms: Some(200 + rng.below(200) as u32),
+        class: Class::Interactive,
+        shape: SHAPE,
+        pixels,
+    })
+    .encode();
+    Event::Infer { id, bytes }
 }
 
 fn slow_infer(id: u64, rng: &mut SeededRng, deadline: Deadline, pinning: Pinning) -> Event {

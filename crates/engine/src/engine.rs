@@ -124,13 +124,19 @@ impl std::error::Error for SubmitError {}
 /// diverge on the draw rule: under per-request granularity, draw from the
 /// seeded policy stream now; under per-batch, leave unassigned (the flush
 /// path draws once per coalesced chunk).
+/// `level` and `floor` reach the draw only through
+/// [`PrecisionPolicy::sample_degraded`], which consumes exactly one draw for
+/// every sampling policy at every level — controller shifts can change the
+/// value a draw maps to, never the stream position.
 pub(crate) fn draw_precision(
     policy: &PrecisionPolicy,
     rng: &mut SeededRng,
     granularity: PolicyGranularity,
+    level: u8,
+    floor: Option<Precision>,
 ) -> Option<Option<Precision>> {
     match granularity {
-        PolicyGranularity::PerRequest => Some(policy.sample(rng)),
+        PolicyGranularity::PerRequest => Some(policy.sample_degraded(rng, level, floor)),
         PolicyGranularity::PerBatch => None,
     }
 }
@@ -255,6 +261,9 @@ pub struct Engine<B: Backend> {
     policy: PrecisionPolicy,
     cfg: EngineConfig,
     rng: SeededRng,
+    // Live degradation level applied to Adaptive policy draws; 0 = the
+    // full set. Set by the serving layer's feedback controller.
+    degrade: u8,
     pending: Vec<Pending>,
     next_id: RequestId,
     stats: EngineStats,
@@ -276,6 +285,7 @@ impl<B: Backend> Engine<B> {
             policy,
             cfg,
             rng,
+            degrade: 0,
             pending: Vec::new(),
             next_id: 0,
             stats: EngineStats::default(),
@@ -293,6 +303,23 @@ impl<B: Backend> Engine<B> {
     /// precision).
     pub fn set_policy(&mut self, policy: PrecisionPolicy) {
         self.policy = policy;
+    }
+
+    /// The live degradation level applied to [`PrecisionPolicy::Adaptive`]
+    /// draws (0 = the full set).
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade
+    }
+
+    /// Sets the degradation level for subsequent policy draws, clamped to
+    /// the policy's [`PrecisionPolicy::max_degrade_level`]. Level changes
+    /// never shift the seeded stream position (every draw costs one step at
+    /// any level), so the schedule stays a pure function of the seed, the
+    /// submission order and the level sequence. Non-adaptive policies
+    /// ignore the level; under [`PolicyGranularity::PerBatch`] it applies
+    /// to the per-chunk draws at flush time.
+    pub fn set_degrade_level(&mut self, level: u8) {
+        self.degrade = level.min(self.policy.max_degrade_level());
     }
 
     /// Aggregate serving statistics.
@@ -340,8 +367,28 @@ impl<B: Backend> Engine<B> {
     /// draw (under per-request granularity) happens only on acceptance, so
     /// rejected submissions never perturb the seeded schedule.
     pub fn try_submit(&mut self, image: Tensor) -> Result<RequestId, SubmitError> {
+        self.try_submit_floored(image, None)
+    }
+
+    /// Like [`Engine::try_submit`], but bounds the policy draw below by a
+    /// per-request precision `floor` (an SLO guarantee: the request never
+    /// serves below it, however degraded the engine is). Only
+    /// [`PrecisionPolicy::Adaptive`] honors floors; other policies draw as
+    /// usual. The floored draw costs exactly one stream step, the same as
+    /// an unfloored one.
+    pub fn try_submit_floored(
+        &mut self,
+        image: Tensor,
+        floor: Option<Precision>,
+    ) -> Result<RequestId, SubmitError> {
         check_image(&mut self.image_shape, &image)?;
-        let precision = draw_precision(&self.policy, &mut self.rng, self.cfg.granularity);
+        let precision = draw_precision(
+            &self.policy,
+            &mut self.rng,
+            self.cfg.granularity,
+            self.degrade,
+            floor,
+        );
         Ok(self.enqueue(image, precision))
     }
 
@@ -384,7 +431,11 @@ impl<B: Backend> Engine<B> {
         match self.cfg.granularity {
             PolicyGranularity::PerBatch => {
                 for chunk in pending.chunks(self.cfg.max_batch) {
-                    let p = self.policy.sample(&mut self.rng);
+                    // Per-batch draws happen at flush, so degradation (with
+                    // no per-request floor) applies here instead.
+                    let p = self
+                        .policy
+                        .sample_degraded(&mut self.rng, self.degrade, None);
                     let refs: Vec<&Pending> = chunk.iter().collect();
                     self.run_chunk(&refs, p, &mut responses);
                 }
@@ -629,6 +680,47 @@ mod tests {
         );
         clean.submit(Tensor::zeros(&[3, 8, 8]));
         assert_eq!(resp[1].precision, clean.flush()[0].precision);
+    }
+
+    #[test]
+    fn degrade_level_shifts_values_not_stream_position() {
+        let set = PrecisionSet::range(4, 8);
+        let cfg = EngineConfig::default().with_seed(9);
+        let mut deg = engine_with(PrecisionPolicy::Adaptive(set.clone()), cfg.clone());
+        // Fully degraded the window is {4} alone, so the value is pinned
+        // even though the draw still happens.
+        deg.set_degrade_level(9); // clamps to the set's max useful level
+        assert_eq!(deg.degrade_level(), 4);
+        deg.submit(Tensor::zeros(&[3, 8, 8]));
+        deg.submit(Tensor::zeros(&[3, 8, 8]));
+        deg.set_degrade_level(0);
+        deg.submit(Tensor::zeros(&[3, 8, 8]));
+        let got: Vec<_> = deg.flush().iter().map(|r| r.precision).collect();
+        assert_eq!(got[0], Some(Precision::new(4)));
+        assert_eq!(got[1], Some(Precision::new(4)));
+        // The recovered third draw sits at the same stream position as a
+        // never-degraded engine's third draw.
+        let mut clean = engine_with(PrecisionPolicy::Adaptive(set), cfg);
+        for _ in 0..3 {
+            clean.submit(Tensor::zeros(&[3, 8, 8]));
+        }
+        assert_eq!(got[2], clean.flush()[2].precision);
+    }
+
+    #[test]
+    fn floored_submissions_never_serve_below_the_floor() {
+        let mut eng = engine_with(
+            PrecisionPolicy::Adaptive(PrecisionSet::range(4, 8)),
+            EngineConfig::default().with_seed(12),
+        );
+        eng.set_degrade_level(4); // window {4} — but the floor wins
+        for _ in 0..8 {
+            eng.try_submit_floored(Tensor::zeros(&[3, 8, 8]), Some(Precision::new(6)))
+                .unwrap();
+        }
+        for r in eng.flush() {
+            assert!(r.precision.unwrap().bits() >= 6, "served below the floor");
+        }
     }
 
     #[test]

@@ -108,6 +108,10 @@ pub struct ShardedEngine<B: Backend + Send + 'static> {
     cfg: EngineConfig,
     /// The coordinator's policy stream (per-request assignment).
     rng: SeededRng,
+    /// Live degradation level for Adaptive policy draws (0 = full set).
+    /// Applies to coordinator submit-time draws; per-batch shard draws
+    /// ignore it (shards cannot see level changes deterministically).
+    degrade: u8,
     pending: Vec<ShardRequest>,
     next_id: RequestId,
     stats: EngineStats,
@@ -151,6 +155,7 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
             policy,
             rng: SeededRng::new(cfg.seed),
             cfg,
+            degrade: 0,
             pending: Vec::new(),
             next_id: 0,
             stats: EngineStats::default(),
@@ -182,6 +187,22 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
     /// The active policy.
     pub fn policy(&self) -> &PrecisionPolicy {
         &self.policy
+    }
+
+    /// The live degradation level applied to [`PrecisionPolicy::Adaptive`]
+    /// draws (0 = the full set).
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade
+    }
+
+    /// Sets the degradation level for subsequent coordinator draws,
+    /// clamped to the policy's [`PrecisionPolicy::max_degrade_level`].
+    /// Level changes never shift the coordinator's stream position (every
+    /// draw costs one step at any level), so the sharded determinism
+    /// contract — same seed, same submission order, same level sequence ⇒
+    /// same schedule at any worker count — is preserved.
+    pub fn set_degrade_level(&mut self, level: u8) {
+        self.degrade = level.min(self.policy.max_degrade_level());
     }
 
     /// Merged serving statistics across all shards (cost accumulated in
@@ -224,9 +245,28 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
     /// happens only on acceptance, so rejected submissions never perturb
     /// the seeded schedule.
     pub fn try_submit(&mut self, image: Tensor) -> Result<RequestId, SubmitError> {
+        self.try_submit_floored(image, None)
+    }
+
+    /// Like [`ShardedEngine::try_submit`], but bounds the policy draw
+    /// below by a per-request precision `floor` (an SLO guarantee: the
+    /// request never serves below it, however degraded the engine is).
+    /// Only [`PrecisionPolicy::Adaptive`] honors floors; other policies
+    /// draw as usual. The floored draw costs exactly one stream step, the
+    /// same as an unfloored one.
+    pub fn try_submit_floored(
+        &mut self,
+        image: Tensor,
+        floor: Option<Precision>,
+    ) -> Result<RequestId, SubmitError> {
         crate::engine::check_image(&mut self.image_shape, &image)?;
-        let precision =
-            crate::engine::draw_precision(&self.policy, &mut self.rng, self.cfg.granularity);
+        let precision = crate::engine::draw_precision(
+            &self.policy,
+            &mut self.rng,
+            self.cfg.granularity,
+            self.degrade,
+            floor,
+        );
         Ok(self.enqueue(image, precision))
     }
 
@@ -496,6 +536,46 @@ mod tests {
             );
             let got: Vec<_> = eng.serve(&x).iter().map(|r| r.precision).collect();
             assert_eq!(got, want, "schedule diverged at {} workers", workers);
+        }
+    }
+
+    #[test]
+    fn degraded_schedule_matches_single_threaded_engine() {
+        // The same level/floor sequence applied to the coordinator and a
+        // single-threaded engine yields the same schedule — degradation is
+        // part of the determinism contract, not an exception to it.
+        let x = images(9, 8);
+        let cfg = EngineConfig::default().with_max_batch(4).with_seed(21);
+        let policy = || PrecisionPolicy::Adaptive(PrecisionSet::range(4, 8));
+        let floor = Some(Precision::new(6));
+        let mut single = crate::Engine::new(replica(), policy(), cfg.clone());
+        let mut want = Vec::new();
+        for i in 0..9 {
+            single.set_degrade_level((i / 3) as u8);
+            single
+                .try_submit_floored(x.index_axis0(i), if i % 2 == 0 { floor } else { None })
+                .unwrap();
+        }
+        want.extend(single.flush().iter().map(|r| r.precision));
+        for workers in [1usize, 3] {
+            let mut eng =
+                ShardedEngine::with_factory(workers, |_| replica(), policy(), cfg.clone());
+            for i in 0..9 {
+                eng.set_degrade_level((i / 3) as u8);
+                eng.try_submit_floored(x.index_axis0(i), if i % 2 == 0 { floor } else { None })
+                    .unwrap();
+            }
+            let got: Vec<_> = eng.flush().iter().map(|r| r.precision).collect();
+            assert_eq!(got, want, "degraded schedule diverged at {workers} workers");
+        }
+        for p in &want {
+            assert!(p.unwrap().bits() >= 4);
+        }
+        // Floored draws honored the floor.
+        for (i, p) in want.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(p.unwrap().bits() >= 6, "floored draw {i} below floor");
+            }
         }
     }
 

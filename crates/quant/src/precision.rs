@@ -129,6 +129,43 @@ impl PrecisionSet {
         *rng.choose(&self.bits)
     }
 
+    /// The live sub-range adaptive serving samples from at degradation
+    /// `level` with an optional per-class `floor`: members at or above the
+    /// floor, with the `level` *highest* dropped, always keeping at least
+    /// one. Returned as `(start_index, count)` into the ascending member
+    /// order, for use with [`PrecisionSet::sample_window`].
+    ///
+    /// Level 0 with no floor is the whole set; at the maximum useful level
+    /// only the lowest eligible member remains. A floor above every member
+    /// clamps to the single highest member (the closest the set can honor).
+    pub fn degraded_window(&self, level: usize, floor: Option<Precision>) -> (usize, usize) {
+        let lo = floor
+            .map_or(0, |f| self.bits.partition_point(|&p| p < f))
+            .min(self.bits.len() - 1);
+        let avail = self.bits.len() - lo;
+        (lo, avail - level.min(avail - 1))
+    }
+
+    /// Uniformly samples one member of the ascending index window
+    /// `[start, start + count)`. Exactly one draw from `rng` — the same
+    /// stream cost as [`PrecisionSet::sample`] — so narrowing the window
+    /// never shifts the seeded stream position, only the value the draw
+    /// maps to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or reaches past the last member.
+    pub fn sample_window(&self, rng: &mut SeededRng, window: (usize, usize)) -> Precision {
+        let (start, count) = window;
+        assert!(
+            count > 0 && start + count <= self.bits.len(),
+            "window {:?} out of bounds for a {}-member set",
+            window,
+            self.bits.len()
+        );
+        self.bits[start + rng.below(count)]
+    }
+
     /// The lowest precision in the set.
     pub fn min(&self) -> Precision {
         self.bits[0]
@@ -207,6 +244,53 @@ mod tests {
             seen.insert(s.sample(&mut rng).bits());
         }
         assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn degraded_window_drops_highest_and_respects_floor() {
+        let s = PrecisionSet::range(4, 8); // members 4,5,6,7,8
+        assert_eq!(s.degraded_window(0, None), (0, 5));
+        assert_eq!(s.degraded_window(2, None), (0, 3)); // 4,5,6
+                                                        // Over-degrading keeps the single lowest member.
+        assert_eq!(s.degraded_window(99, None), (0, 1));
+        // A floor filters before the level drops members.
+        let floor = Some(Precision::new(6));
+        assert_eq!(s.degraded_window(0, floor), (2, 3)); // 6,7,8
+        assert_eq!(s.degraded_window(2, floor), (2, 1)); // 6 alone
+        assert_eq!(s.degraded_window(99, floor), (2, 1));
+        // A floor above the whole set clamps to the highest member.
+        assert_eq!(s.degraded_window(0, Some(Precision::new(12))), (4, 1));
+    }
+
+    #[test]
+    fn sample_window_is_one_draw_and_stays_inside() {
+        let s = PrecisionSet::range(4, 8);
+        // Same seed, different windows: the next draw after each sample is
+        // identical, i.e. the window never changes the stream position.
+        let next_after = |window| {
+            let mut rng = SeededRng::new(9);
+            let p = s.sample_window(&mut rng, window);
+            assert!(s.contains(p));
+            rng.next_u64()
+        };
+        assert_eq!(next_after((0, 5)), next_after((2, 1)));
+        // Window of one is deterministic regardless of the draw.
+        let mut rng = SeededRng::new(10);
+        assert_eq!(s.sample_window(&mut rng, (2, 1)).bits(), 6);
+        // Samples stay inside the window.
+        let mut rng = SeededRng::new(11);
+        for _ in 0..50 {
+            let b = s.sample_window(&mut rng, (1, 3)).bits();
+            assert!((5..=7).contains(&b), "{b} escaped the window");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sample_window_rejects_overrun() {
+        let s = PrecisionSet::range(4, 8);
+        let mut rng = SeededRng::new(1);
+        let _ = s.sample_window(&mut rng, (3, 3));
     }
 
     #[test]

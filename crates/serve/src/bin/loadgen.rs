@@ -5,6 +5,7 @@
 //!             [--conns 1] [--requests 64] [--inflight 8] [--rate 500]
 //!             [--shape 3,16,16] [--seed 1] [--policy server|fp32|fixedN|rpsLO-HI]
 //!             [--deadline-ms N] [--class normal|interactive|batch]
+//!             [--ramp flat|linear:PEAK|square:PEAK:PERIOD] [--retry-rejects]
 //!             [--connect-timeout-secs 30] [--metrics-addr HOST:PORT]
 //!             [--ping] [--shutdown]
 //! ```
@@ -18,9 +19,15 @@
 //! server sheds expired requests with `Reject{DeadlineExceeded}`, which
 //! the report counts as deadline-shed rejects, not errors. `--class` sets
 //! the scheduling priority class.
+//!
+//! Open loop only: `--ramp` shapes the arrival rate over the run (a
+//! `linear` climb walks the server into overload, a `square` wave storms
+//! and clears it), and `--retry-rejects` resends queue-full rejects on a
+//! bounded backoff, with resends and exhausted retries ("gave up")
+//! reported separately from deadline sheds.
 
 use std::time::Duration;
-use tia_serve::cli::{parse_class, parse_shape, parse_wire_policy, Args};
+use tia_serve::cli::{parse_class, parse_ramp, parse_shape, parse_wire_policy, Args};
 use tia_serve::{fetch_metrics, run_load, Client, LoadConfig};
 
 fn main() {
@@ -45,9 +52,10 @@ fn run() -> Result<(), String> {
             "policy",
             "deadline-ms",
             "class",
+            "ramp",
             "connect-timeout-secs",
         ],
-        &["ping", "shutdown"],
+        &["ping", "shutdown", "retry-rejects"],
     )?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let mode = args.get("mode").unwrap_or("closed");
@@ -91,7 +99,14 @@ fn run() -> Result<(), String> {
             }
         },
         class: parse_class(args.get("class").unwrap_or("normal"))?,
+        retry_rejects: args.has("retry-rejects"),
+        ramp: parse_ramp(args.get("ramp").unwrap_or("flat"))?,
     };
+    if (cfg.retry_rejects || cfg.ramp != tia_serve::Ramp::Flat) && cfg.rate.is_none() {
+        return Err(
+            "--retry-rejects and --ramp are open-loop options (use --mode open)".to_string(),
+        );
+    }
     let report = run_load(&cfg).map_err(|e| format!("load run failed: {e}"))?;
     println!(
         "tia-loadgen: {} loop, {} conn(s): {}",

@@ -9,18 +9,28 @@
 //!            [--max-wait-ms 0]
 //!            [--policy rps4-8|fixedN|fp32] [--seed 7] [--model-seed 1]
 //!            [--channels 3] [--image 16] [--width 4] [--classes 10]
+//!            [--adaptive] [--floor-interactive N|none]
+//!            [--floor-normal N|none] [--floor-batch N|none]
+//!            [--p99-budget-ms MS] [--cooldown CYCLES]
 //! ```
 //!
 //! `--max-wait-ms` is the deadline-aware scheduler's batch-forming wait:
 //! how long to hold a partial batch for more arrivals (0 = form
 //! immediately). Requests carrying a wire deadline cut the wait short and
 //! are shed with `Reject{DeadlineExceeded}` once expired.
+//!
+//! `--adaptive` arms the graceful-degradation controller: under overload
+//! the serving RPS mix shifts toward its lower bit-widths (recovering when
+//! pressure clears), bounded per class by the `--floor-*` flags — a
+//! floored class never serves below its floor. `--p99-budget-ms` sets the
+//! interactive class's windowed-p99 SLO budget as an additional pressure
+//! signal, and `--cooldown` the post-shift damping in engine cycles.
 
 use tia_engine::EngineConfig;
 use tia_nn::zoo;
 use tia_quant::PrecisionSet;
-use tia_serve::cli::{parse_policy, Args};
-use tia_serve::{Server, ServerConfig};
+use tia_serve::cli::{parse_floor, parse_policy, Args};
+use tia_serve::{Class, ControlConfig, Server, ServerConfig};
 use tia_tensor::SeededRng;
 
 fn main() {
@@ -46,8 +56,13 @@ fn run() -> Result<(), String> {
             "width",
             "classes",
             "policy",
+            "floor-interactive",
+            "floor-normal",
+            "floor-batch",
+            "p99-budget-ms",
+            "cooldown",
         ],
-        &[],
+        &["adaptive"],
     )?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let metrics_addr = args.get("metrics-addr").unwrap_or("127.0.0.1:7879");
@@ -65,17 +80,47 @@ fn run() -> Result<(), String> {
     let width: usize = args.get_or("width", 4)?;
     let classes: usize = args.get_or("classes", 10)?;
     let policy = parse_policy(args.get("policy").unwrap_or("rps4-8"))?;
+    let control = if args.has("adaptive") {
+        let mut ctrl = ControlConfig::default();
+        for (flag, class) in [
+            ("floor-interactive", Class::Interactive),
+            ("floor-normal", Class::Normal),
+            ("floor-batch", Class::Batch),
+        ] {
+            if let Some(floor) = args.get(flag).map(parse_floor).transpose()?.flatten() {
+                ctrl = ctrl.with_floor(class, floor);
+            }
+        }
+        if let Some(ms) = args.get("p99-budget-ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--p99-budget-ms: could not parse {ms:?}"))?;
+            ctrl = ctrl.with_p99_budget(Class::Interactive, std::time::Duration::from_millis(ms));
+        }
+        let cooldown = args.get_or("cooldown", ctrl.cooldown)?;
+        ctrl = ctrl.with_cooldown(cooldown);
+        Some(ctrl)
+    } else {
+        for flag in ["floor-interactive", "floor-normal", "floor-batch"] {
+            if args.get(flag).is_some() {
+                return Err(format!("--{flag} needs --adaptive"));
+            }
+        }
+        None
+    };
 
     // The model's switchable-BN banks need a candidate set covering every
     // precision the policy can select; fp32 service still runs fine on an
     // RPS model (precision `None` bypasses quantization).
     let bn_set = match &policy {
-        tia_engine::PrecisionPolicy::Random(set) => set.clone(),
+        tia_engine::PrecisionPolicy::Random(set) | tia_engine::PrecisionPolicy::Adaptive(set) => {
+            set.clone()
+        }
         tia_engine::PrecisionPolicy::Fixed(Some(p)) => PrecisionSet::new(&[p.bits()]),
         tia_engine::PrecisionPolicy::Fixed(None) => PrecisionSet::range(4, 8),
     };
 
-    let cfg = ServerConfig::default()
+    let mut cfg = ServerConfig::default()
         .with_addr(addr)
         .with_metrics_addr(metrics_addr)
         .with_workers(workers)
@@ -88,6 +133,9 @@ fn run() -> Result<(), String> {
                 .with_max_batch(max_batch)
                 .with_seed(seed),
         );
+    if let Some(ctrl) = control.clone() {
+        cfg = cfg.with_control(ctrl);
+    }
 
     let server = Server::spawn(cfg, |_| {
         zoo::preact_resnet18_rps(
@@ -104,6 +152,19 @@ fn run() -> Result<(), String> {
         "tia-served: serving [{}x{}x{}] under {} on {} ({} worker shard(s), max batch {}, queue {}, max wait {} ms)",
         channels, image, image, policy, server.addr(), workers, max_batch, queue_cap, max_wait_ms
     );
+    if let Some(ctrl) = &control {
+        let floor = |c: Class| {
+            ctrl.floor_for(c)
+                .map_or("none".to_string(), |f| f.to_string())
+        };
+        println!(
+            "tia-served: adaptive control armed (cooldown {} cycle(s); floors: interactive {}, normal {}, batch {})",
+            ctrl.cooldown,
+            floor(Class::Interactive),
+            floor(Class::Normal),
+            floor(Class::Batch),
+        );
+    }
     if let Some(m) = server.metrics_addr() {
         println!("tia-served: Prometheus metrics on http://{m}/metrics");
     }

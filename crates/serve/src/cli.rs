@@ -1,6 +1,7 @@
 //! Tiny `--flag value` argument parsing shared by the `tia-served` and
 //! `tia-loadgen` binaries (the workspace is dependency-free, so no clap).
 
+use crate::load::Ramp;
 use crate::wire::{Class, WirePolicy};
 use tia_engine::PrecisionPolicy;
 use tia_quant::{Precision, PrecisionSet};
@@ -98,8 +99,49 @@ pub fn parse_wire_policy(s: &str) -> Result<WirePolicy, String> {
     }
     Ok(match parse_policy(s)? {
         PrecisionPolicy::Fixed(p) => WirePolicy::Fixed(p),
-        PrecisionPolicy::Random(set) => WirePolicy::Random(set),
+        // Adaptive degradation is a server-side serving decision; on the
+        // wire an explicit RPS set is just a random pin.
+        PrecisionPolicy::Random(set) | PrecisionPolicy::Adaptive(set) => WirePolicy::Random(set),
     })
+}
+
+/// Parses a per-class precision floor: a bit-width `1..=16`, or
+/// `none`/`off` for no floor.
+pub fn parse_floor(s: &str) -> Result<Option<Precision>, String> {
+    if s == "none" || s == "off" {
+        return Ok(None);
+    }
+    match s.parse::<u8>() {
+        Ok(b) if (1..=16).contains(&b) => Ok(Some(Precision::new(b))),
+        _ => Err(format!("bad floor {s:?}, expected 1..=16, none or off")),
+    }
+}
+
+/// Parses an open-loop rate ramp: `flat`, `linear:PEAK` (climb to PEAK×
+/// the configured rate by the last request), or `square:PEAK:PERIOD`
+/// (alternate PERIOD requests at 1× with PERIOD at PEAK×).
+pub fn parse_ramp(s: &str) -> Result<Ramp, String> {
+    let bad = || format!("bad ramp {s:?}, expected flat, linear:PEAK or square:PEAK:PERIOD");
+    if s == "flat" {
+        return Ok(Ramp::Flat);
+    }
+    if let Some(peak) = s.strip_prefix("linear:") {
+        let peak: f64 = peak.parse().map_err(|_| bad())?;
+        if !(peak.is_finite() && peak >= 1.0) {
+            return Err(bad());
+        }
+        return Ok(Ramp::Linear { peak });
+    }
+    if let Some(rest) = s.strip_prefix("square:") {
+        let (peak, period) = rest.split_once(':').ok_or_else(bad)?;
+        let peak: f64 = peak.parse().map_err(|_| bad())?;
+        let period: u32 = period.parse().map_err(|_| bad())?;
+        if !(peak.is_finite() && peak >= 1.0) || period == 0 {
+            return Err(bad());
+        }
+        return Ok(Ramp::Square { peak, period });
+    }
+    Err(bad())
 }
 
 /// Parses a scheduling class: `normal`, `interactive` or `batch`.
@@ -150,6 +192,35 @@ mod tests {
         assert!(parse_policy("rps8-4").is_err());
         assert!(parse_policy("banana").is_err());
         assert_eq!(parse_wire_policy("server").unwrap(), WirePolicy::Server);
+    }
+
+    #[test]
+    fn floors_parse() {
+        assert_eq!(parse_floor("6").unwrap(), Some(Precision::new(6)));
+        assert_eq!(parse_floor("none").unwrap(), None);
+        assert_eq!(parse_floor("off").unwrap(), None);
+        assert!(parse_floor("0").is_err());
+        assert!(parse_floor("17").is_err());
+        assert!(parse_floor("six").is_err());
+    }
+
+    #[test]
+    fn ramps_parse() {
+        assert_eq!(parse_ramp("flat").unwrap(), Ramp::Flat);
+        assert_eq!(
+            parse_ramp("linear:2.5").unwrap(),
+            Ramp::Linear { peak: 2.5 }
+        );
+        assert_eq!(
+            parse_ramp("square:4:32").unwrap(),
+            Ramp::Square {
+                peak: 4.0,
+                period: 32
+            }
+        );
+        assert!(parse_ramp("linear:0.5").is_err()); // a ramp never slows down
+        assert!(parse_ramp("square:2:0").is_err());
+        assert!(parse_ramp("sawtooth:2").is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::wire::{Class, Frame, InferRequest, WireError, WirePolicy};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use tia_tensor::Tensor;
+use tia_tensor::{SeededRng, Tensor};
 
 /// Builds an [`Frame::Infer`] from a `[C, H, W]` tensor (no deadline,
 /// normal class — encodes as a v1 frame; see [`infer_frame_with`]).
@@ -61,15 +61,27 @@ impl Client {
         Ok(Self { reader, writer })
     }
 
-    /// Connects, retrying every 100 ms until `timeout` elapses — for
-    /// scripts that race a freshly spawned server's bind.
+    /// Connects, retrying with seeded exponential backoff until `timeout`
+    /// elapses — for scripts that race a freshly spawned server's bind.
+    ///
+    /// Each delay doubles from a 5 ms base up to a 200 ms cap and is
+    /// jittered uniformly over its upper half, so a herd of clients
+    /// spawned together spreads out instead of re-colliding on every
+    /// attempt. The jitter stream is seeded from the address, keeping any
+    /// one client's retry schedule reproducible run to run.
     pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<Self> {
         let deadline = clock::monotonic_now() + timeout;
+        let mut rng = SeededRng::new(fnv1a(addr.as_bytes()));
+        let mut attempt = 0u32;
         loop {
             match Self::connect(addr) {
                 Ok(c) => return Ok(c),
                 Err(e) if clock::monotonic_now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+                Err(_) => {
+                    let remaining = deadline.saturating_duration_since(clock::monotonic_now());
+                    std::thread::sleep(retry_backoff(attempt, &mut rng).min(remaining));
+                    attempt = attempt.saturating_add(1);
+                }
             }
         }
     }
@@ -124,6 +136,31 @@ impl Client {
     }
 }
 
+/// First delay of [`Client::connect_retry`]'s exponential backoff.
+const RETRY_BASE: Duration = Duration::from_millis(5);
+/// Ceiling the backoff doubles up to.
+const RETRY_CAP: Duration = Duration::from_millis(200);
+
+/// The `attempt`-th reconnect delay: `RETRY_BASE << attempt` capped at
+/// `RETRY_CAP`, jittered uniformly over the upper half of that span (a
+/// full-span jitter could collapse to near-zero sleeps and spin).
+fn retry_backoff(attempt: u32, rng: &mut SeededRng) -> Duration {
+    let full = RETRY_CAP.min(RETRY_BASE.saturating_mul(1u32 << attempt.min(10)));
+    let full_us = full.as_micros() as usize;
+    let half_us = full_us / 2;
+    Duration::from_micros((half_us + rng.below(full_us - half_us + 1)) as u64)
+}
+
+/// FNV-1a over the address bytes: a stable, dependency-free seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn frame_name(f: &Frame) -> &'static str {
     match f {
         Frame::Infer(_) => "unexpected Infer",
@@ -151,5 +188,42 @@ pub fn fetch_metrics<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
             io::ErrorKind::InvalidData,
             "malformed HTTP response from metrics endpoint",
         )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_within_jitter_bounds_and_caps() {
+        let mut rng = SeededRng::new(1);
+        for attempt in 0..12u32 {
+            let nominal = RETRY_CAP.min(RETRY_BASE.saturating_mul(1u32 << attempt.min(10)));
+            for _ in 0..32 {
+                let d = retry_backoff(attempt, &mut rng);
+                assert!(
+                    d >= nominal / 2 && d <= nominal,
+                    "attempt {attempt}: {d:?} outside [{:?}, {nominal:?}]",
+                    nominal / 2
+                );
+            }
+        }
+        // The cap holds even for absurd attempt counts.
+        assert!(retry_backoff(u32::MAX, &mut rng) <= RETRY_CAP);
+    }
+
+    #[test]
+    fn backoff_schedule_is_reproducible_per_seed() {
+        let seed = fnv1a(b"127.0.0.1:7878");
+        let (mut a, mut b) = (SeededRng::new(seed), SeededRng::new(seed));
+        for attempt in 0..8 {
+            assert_eq!(
+                retry_backoff(attempt, &mut a),
+                retry_backoff(attempt, &mut b)
+            );
+        }
+        // Different addresses give different jitter streams.
+        assert_ne!(seed, fnv1a(b"127.0.0.1:7879"));
     }
 }

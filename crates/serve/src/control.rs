@@ -1,0 +1,416 @@
+//! The adaptive precision control loop: feedback-driven graceful
+//! degradation with per-class SLO floors.
+//!
+//! Under overload the EDF batcher sheds expired requests outright; the
+//! paper's random-precision-switching knob offers a gentler trade — serve
+//! *faster at lower precision* before dropping anything. This module
+//! closes that loop: a [`Controller`] watches per-cycle pressure signals
+//! (EDF window fill, deadline-shed fraction, windowed per-class p99 from
+//! the metrics registry) and steps the engine's degradation level up under
+//! pressure and back down when it clears. Hysteresis bands (`enter_*` >
+//! `exit_*`) plus a post-shift cooldown keep it from oscillating on noisy
+//! load.
+//!
+//! Per-class precision **floors** make SLOs first-class: a class with a
+//! floor never samples below it, however degraded the engine is, so
+//! degradation is bounded and declared rather than emergent. Floors bind
+//! only policy-driven (`WirePolicy::Server`) requests — a client that pins
+//! its own precision has already chosen.
+//!
+//! # Determinism contract
+//!
+//! The controller is a pure state machine: [`Controller::step`] consumes
+//! one [`CycleSample`] at each engine-cycle boundary (never wall time —
+//! cycles are counted on the batcher thread, timestamps come from the
+//! injectable [`crate::clock::Clock`] seam) and every decision is a
+//! function of the sample sequence alone. Degradation changes which value
+//! a policy draw maps to, never the seeded stream position (see
+//! [`tia_engine::PrecisionPolicy::sample_degraded`]), so a run's schedule
+//! stays a pure function of the seed, the submission order and the sample
+//! sequence.
+
+use crate::wire::Class;
+use tia_quant::Precision;
+
+/// Tuning for the graceful-degradation feedback loop.
+///
+/// The enter thresholds must sit strictly above their exit counterparts
+/// (a hysteresis band); [`ControlConfig::validate`] enforces it at server
+/// spawn so a misconfigured band fails loudly instead of oscillating.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// EDF window fill ratio at or above which the controller degrades.
+    pub enter_fill: f64,
+    /// Window fill ratio at or below which (jointly with the other exit
+    /// conditions) it recovers one level.
+    pub exit_fill: f64,
+    /// Per-cycle deadline-shed fraction at or above which it degrades.
+    pub enter_miss: f64,
+    /// Per-cycle shed fraction at or below which it may recover.
+    pub exit_miss: f64,
+    /// Per-class p99 latency budgets in nanoseconds ([`Class::ALL`] wire
+    /// order; `None` = unbudgeted). Compared against the *windowed* p99
+    /// recorded since the previous controller step, so the signal clears
+    /// when latency does.
+    pub p99_budget_ns: [Option<u64>; 3],
+    /// Engine cycles to hold after any shift before the next decision —
+    /// the loop's damping term.
+    pub cooldown: u32,
+    /// Per-class precision floors ([`Class::ALL`] wire order). A floored
+    /// class never samples below its floor, at any degradation level.
+    pub floors: [Option<Precision>; 3],
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        Self {
+            enter_fill: 0.75,
+            exit_fill: 0.25,
+            enter_miss: 0.05,
+            exit_miss: 0.0,
+            p99_budget_ns: [None; 3],
+            cooldown: 8,
+            floors: [None; 3],
+        }
+    }
+}
+
+impl ControlConfig {
+    /// Sets `class`'s precision floor.
+    pub fn with_floor(mut self, class: Class, floor: Precision) -> Self {
+        self.floors[class.as_u8() as usize] = Some(floor);
+        self
+    }
+
+    /// Sets the window-fill hysteresis band (degrade at or above `enter`,
+    /// recover at or below `exit`).
+    pub fn with_fill_band(mut self, enter: f64, exit: f64) -> Self {
+        self.enter_fill = enter;
+        self.exit_fill = exit;
+        self
+    }
+
+    /// Sets the deadline-shed-fraction hysteresis band.
+    pub fn with_miss_band(mut self, enter: f64, exit: f64) -> Self {
+        self.enter_miss = enter;
+        self.exit_miss = exit;
+        self
+    }
+
+    /// Sets `class`'s windowed p99 latency budget.
+    pub fn with_p99_budget(mut self, class: Class, budget: std::time::Duration) -> Self {
+        self.p99_budget_ns[class.as_u8() as usize] = Some(budget.as_nanos() as u64);
+        self
+    }
+
+    /// Sets the post-shift cooldown in engine cycles.
+    pub fn with_cooldown(mut self, cycles: u32) -> Self {
+        self.cooldown = cycles;
+        self
+    }
+
+    /// `class`'s configured floor, if any.
+    pub fn floor_for(&self, class: Class) -> Option<Precision> {
+        self.floors[class.as_u8() as usize]
+    }
+
+    /// Checks the hysteresis bands are well-formed: thresholds in range
+    /// and each enter bound strictly above its exit bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.enter_fill) || !(0.0..=1.0).contains(&self.exit_fill) {
+            return Err("fill thresholds must be within 0.0..=1.0".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.enter_miss) || !(0.0..=1.0).contains(&self.exit_miss) {
+            return Err("miss thresholds must be within 0.0..=1.0".to_string());
+        }
+        if self.enter_fill <= self.exit_fill {
+            return Err(format!(
+                "fill band inverted: enter {} must exceed exit {}",
+                self.enter_fill, self.exit_fill
+            ));
+        }
+        if self.enter_miss <= self.exit_miss {
+            return Err(format!(
+                "miss band inverted: enter {} must exceed exit {}",
+                self.enter_miss, self.exit_miss
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The pressure signals measured over one engine cycle, consumed by
+/// [`Controller::step`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleSample {
+    /// Occupancy of the batcher's EDF window when the cycle formed,
+    /// `0.0..=1.0` (queue-depth pressure).
+    pub fill: f64,
+    /// Fraction of this cycle's candidates shed for expired deadlines,
+    /// `0.0..=1.0` (deadline-miss pressure).
+    pub miss: f64,
+    /// Windowed per-class p99 latency in nanoseconds since the previous
+    /// step ([`Class::ALL`] wire order; 0 = no samples, treated as within
+    /// budget).
+    pub p99_ns: [u64; 3],
+}
+
+/// What one controller step decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// No shift: signals inside the hysteresis band, already at a rail, or
+    /// cooling down.
+    Hold,
+    /// Pressure: the degradation level rose to the carried value.
+    Degrade(u8),
+    /// Pressure cleared: the level fell to the carried value.
+    Recover(u8),
+}
+
+/// The feedback state machine. One instance lives on the batcher thread;
+/// [`Controller::step`] runs once per engine cycle and its decisions drive
+/// [`tia_engine::ShardedEngine::set_degrade_level`].
+#[derive(Debug, Clone)]
+pub struct Controller {
+    cfg: ControlConfig,
+    max_level: u8,
+    level: u8,
+    cooldown_left: u32,
+}
+
+impl Controller {
+    /// Creates a controller at level 0. `max_level` is the highest level
+    /// the engine's policy can express
+    /// ([`tia_engine::PrecisionPolicy::max_degrade_level`]).
+    pub fn new(cfg: ControlConfig, max_level: u8) -> Self {
+        Self {
+            cfg,
+            max_level,
+            level: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// The live degradation level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControlConfig {
+        &self.cfg
+    }
+
+    /// Whether any enter threshold is met.
+    fn pressure(&self, s: &CycleSample) -> bool {
+        s.fill >= self.cfg.enter_fill || s.miss >= self.cfg.enter_miss || self.over_budget(s)
+    }
+
+    /// Whether every exit condition is met.
+    fn clear(&self, s: &CycleSample) -> bool {
+        s.fill <= self.cfg.exit_fill && s.miss <= self.cfg.exit_miss && !self.over_budget(s)
+    }
+
+    fn over_budget(&self, s: &CycleSample) -> bool {
+        self.cfg
+            .p99_budget_ns
+            .iter()
+            .zip(s.p99_ns.iter())
+            .any(|(budget, &p99)| budget.is_some_and(|b| p99 > b))
+    }
+
+    /// Consumes one cycle's pressure sample and decides. The decision
+    /// table, in priority order:
+    ///
+    /// 1. cooling down → hold (and tick the cooldown);
+    /// 2. any enter threshold met and below `max_level` → degrade one
+    ///    level, start the cooldown;
+    /// 3. every exit condition met and above 0 → recover one level, start
+    ///    the cooldown;
+    /// 4. otherwise (inside the hysteresis band, or at a rail) → hold.
+    pub fn step(&mut self, s: &CycleSample) -> Decision {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Decision::Hold;
+        }
+        if self.pressure(s) && self.level < self.max_level {
+            self.level += 1;
+            self.cooldown_left = self.cfg.cooldown;
+            return Decision::Degrade(self.level);
+        }
+        if self.clear(s) && self.level > 0 {
+            self.level -= 1;
+            self.cooldown_left = self.cfg.cooldown;
+            return Decision::Recover(self.level);
+        }
+        Decision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> CycleSample {
+        CycleSample::default()
+    }
+
+    fn storm() -> CycleSample {
+        CycleSample {
+            fill: 1.0,
+            miss: 0.5,
+            p99_ns: [0; 3],
+        }
+    }
+
+    fn controller(cooldown: u32) -> Controller {
+        Controller::new(ControlConfig::default().with_cooldown(cooldown), 4)
+    }
+
+    #[test]
+    fn hysteresis_enter_and_exit_edges() {
+        let mut c = controller(0);
+        let cfg = c.config().clone();
+        // Exactly at the enter threshold degrades (>= semantics)…
+        let at_enter = CycleSample {
+            fill: cfg.enter_fill,
+            ..quiet()
+        };
+        assert_eq!(c.step(&at_enter), Decision::Degrade(1));
+        // …just below it, inside the band, holds: neither enter nor exit.
+        let in_band = CycleSample {
+            fill: (cfg.exit_fill + cfg.enter_fill) / 2.0,
+            ..quiet()
+        };
+        assert_eq!(c.step(&in_band), Decision::Hold);
+        assert_eq!(c.level(), 1);
+        // Exactly at the exit threshold recovers (<= semantics).
+        let at_exit = CycleSample {
+            fill: cfg.exit_fill,
+            ..quiet()
+        };
+        assert_eq!(c.step(&at_exit), Decision::Recover(0));
+        // At level 0 a quiet sample holds — no shift below the rail.
+        assert_eq!(c.step(&quiet()), Decision::Hold);
+    }
+
+    #[test]
+    fn miss_fraction_is_an_independent_enter_signal() {
+        let mut c = controller(0);
+        let shed_storm = CycleSample {
+            miss: c.config().enter_miss,
+            ..quiet()
+        };
+        assert_eq!(c.step(&shed_storm), Decision::Degrade(1));
+        // Recovery demands the miss fraction back at or below exit_miss.
+        let lingering = CycleSample {
+            miss: c.config().enter_miss / 2.0,
+            ..quiet()
+        };
+        assert_eq!(c.step(&lingering), Decision::Hold);
+        assert_eq!(c.step(&quiet()), Decision::Recover(0));
+    }
+
+    #[test]
+    fn p99_budget_enters_and_blocks_recovery() {
+        let cfg = ControlConfig::default()
+            .with_cooldown(0)
+            .with_p99_budget(Class::Interactive, std::time::Duration::from_millis(5));
+        let mut c = Controller::new(cfg, 4);
+        let mut slow = quiet();
+        slow.p99_ns[Class::Interactive.as_u8() as usize] = 6_000_000;
+        assert_eq!(c.step(&slow), Decision::Degrade(1));
+        // Still over budget: holds, does not recover.
+        assert_eq!(c.step(&slow), Decision::Degrade(2));
+        let mut ok = quiet();
+        ok.p99_ns[Class::Interactive.as_u8() as usize] = 4_000_000;
+        assert_eq!(c.step(&ok), Decision::Recover(1));
+        // An unbudgeted class's p99 never registers.
+        let mut batch_slow = quiet();
+        batch_slow.p99_ns[Class::Batch.as_u8() as usize] = u64::MAX;
+        assert_eq!(c.step(&batch_slow), Decision::Recover(0));
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_shifts() {
+        let mut c = controller(3);
+        assert_eq!(c.step(&storm()), Decision::Degrade(1));
+        // Three cycles of continued storm: all held by the cooldown.
+        for _ in 0..3 {
+            assert_eq!(c.step(&storm()), Decision::Hold);
+        }
+        // Cooldown spent: the storm degrades another level.
+        assert_eq!(c.step(&storm()), Decision::Degrade(2));
+        // Recovery is damped by the same cooldown.
+        for _ in 0..3 {
+            assert_eq!(c.step(&quiet()), Decision::Hold);
+        }
+        assert_eq!(c.step(&quiet()), Decision::Recover(1));
+    }
+
+    #[test]
+    fn level_rails_at_zero_and_max() {
+        let mut c = controller(0);
+        for want in 1..=4u8 {
+            assert_eq!(c.step(&storm()), Decision::Degrade(want));
+        }
+        // At the max level continued pressure holds — no overshoot.
+        assert_eq!(c.step(&storm()), Decision::Hold);
+        assert_eq!(c.level(), 4);
+        for want in (0..=3u8).rev() {
+            assert_eq!(c.step(&quiet()), Decision::Recover(want));
+        }
+        assert_eq!(c.step(&quiet()), Decision::Hold);
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn no_oscillation_under_square_wave_load() {
+        // A square wave alternating storm/quiet every cycle. Without
+        // damping the controller would shift every cycle; the cooldown
+        // bounds shifts to at most one per (cooldown + 1) cycles.
+        let cooldown = 4u32;
+        let mut c = controller(cooldown);
+        let mut shifts = 0u32;
+        let cycles = 200u32;
+        for i in 0..cycles {
+            let s = if i % 2 == 0 { storm() } else { quiet() };
+            if c.step(&s) != Decision::Hold {
+                shifts += 1;
+            }
+        }
+        assert!(
+            shifts <= cycles / (cooldown + 1) + 1,
+            "{shifts} shifts in {cycles} square-wave cycles — oscillating"
+        );
+        // And the level never left its rails.
+        assert!(c.level() <= 4);
+    }
+
+    #[test]
+    fn floors_map_per_class() {
+        let cfg = ControlConfig::default()
+            .with_floor(Class::Interactive, Precision::new(6))
+            .with_floor(Class::Batch, Precision::new(4));
+        assert_eq!(cfg.floor_for(Class::Interactive), Some(Precision::new(6)));
+        assert_eq!(cfg.floor_for(Class::Batch), Some(Precision::new(4)));
+        assert_eq!(cfg.floor_for(Class::Normal), None);
+    }
+
+    #[test]
+    fn validate_rejects_inverted_bands() {
+        assert!(ControlConfig::default().validate().is_ok());
+        assert!(ControlConfig::default()
+            .with_fill_band(0.3, 0.3)
+            .validate()
+            .is_err());
+        assert!(ControlConfig::default()
+            .with_miss_band(0.0, 0.1)
+            .validate()
+            .is_err());
+        assert!(ControlConfig::default()
+            .with_fill_band(1.5, 0.2)
+            .validate()
+            .is_err());
+    }
+}

@@ -14,9 +14,15 @@
 //!   [`wire::RejectCode`] frames), deadline shedding
 //!   ([`wire::RejectCode::DeadlineExceeded`]) and graceful drain on
 //!   shutdown.
+//! * [`control`] — the adaptive precision control loop: a feedback
+//!   state machine that watches live pressure (EDF window fill,
+//!   deadline-shed fraction, windowed per-class p99) and shifts the
+//!   engine's RPS mix toward lower bit-widths under overload, recovering
+//!   when pressure clears, with hysteresis bands, a cooldown, and
+//!   per-class precision floors that make SLOs first-class.
 //! * [`metrics`] — an atomic counter/histogram registry (RPS counters,
-//!   queue depth, per-precision batch mix, p50/p99 latency) exposed in
-//!   Prometheus text format on a second port.
+//!   queue depth, per-precision batch mix, p50/p99 latency, controller
+//!   state) exposed in Prometheus text format on a second port.
 //! * [`client`] / [`load`] — a blocking pipelining client plus open- and
 //!   closed-loop load generation, shared by the `tia-loadgen` binary, the
 //!   benchmarks and the integration tests.
@@ -65,6 +71,7 @@
 pub mod cli;
 pub mod client;
 pub mod clock;
+pub mod control;
 pub mod load;
 pub mod metrics;
 pub mod server;
@@ -72,7 +79,8 @@ pub mod wire;
 
 pub use client::{fetch_metrics, infer_frame, infer_frame_with, Client};
 pub use clock::Clock;
-pub use load::{run as run_load, LoadConfig, LoadReport};
-pub use metrics::{ConservationViolation, Histogram, Metrics, MetricsSnapshot};
+pub use control::{ControlConfig, Controller, CycleSample, Decision};
+pub use load::{run as run_load, LoadConfig, LoadReport, Ramp};
+pub use metrics::{ConservationViolation, Histogram, HistogramBaseline, Metrics, MetricsSnapshot};
 pub use server::{FaultPlan, Server, ServerConfig};
 pub use wire::{Class, Frame, InferRequest, InferResponse, RejectCode, WireError, WirePolicy};

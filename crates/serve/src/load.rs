@@ -14,7 +14,8 @@ use crate::server::best_effort;
 use crate::wire::{Class, Frame, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tia_tensor::{SeededRng, Tensor};
@@ -45,6 +46,67 @@ pub struct LoadConfig {
     pub deadline_ms: Option<u32>,
     /// Scheduling class attached to every request.
     pub class: Class,
+    /// Open loop only: resend requests rejected with
+    /// [`RejectCode::QueueFull`], up to [`RETRY_MAX_ATTEMPTS`] times each
+    /// with exponential backoff, instead of settling them as rejected.
+    /// Resends are reported separately ([`LoadReport::retried`]) and a
+    /// request whose budget runs out counts as
+    /// [`LoadReport::retry_gave_up`] — distinct from requests the server
+    /// *shed* on deadline. [`run`] refuses this flag in the closed loop,
+    /// where the in-flight window already retries by construction.
+    pub retry_rejects: bool,
+    /// Open loop only: the arrival-rate shape over the run (defaults to
+    /// [`Ramp::Flat`]).
+    pub ramp: Ramp,
+}
+
+/// The open loop's arrival-rate shape across the run — the configured
+/// `rate` times [`Ramp::multiplier`] at each send tick. The non-flat
+/// shapes exist to exercise the server's overload path: a linear ramp
+/// walks it into saturation, a square wave storms and clears it to probe
+/// controller hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ramp {
+    /// Constant rate for the whole run (the default).
+    Flat,
+    /// Linear climb from the configured rate at the first request to
+    /// `peak ×` it at the last.
+    Linear {
+        /// Rate multiplier reached at the end of the run.
+        peak: f64,
+    },
+    /// Alternates `period` requests at the configured rate with `period`
+    /// requests at `peak ×` it.
+    Square {
+        /// Rate multiplier during the storm half of each wave.
+        peak: f64,
+        /// Requests per half-wave (clamped to at least 1).
+        period: u32,
+    },
+}
+
+impl Ramp {
+    /// The rate multiplier for send tick `tick` of a `total`-request run.
+    pub fn multiplier(&self, tick: u64, total: u64) -> f64 {
+        match self {
+            Ramp::Flat => 1.0,
+            Ramp::Linear { peak } => {
+                let progress = if total <= 1 {
+                    1.0
+                } else {
+                    tick as f64 / (total - 1) as f64
+                };
+                1.0 + (peak - 1.0) * progress
+            }
+            Ramp::Square { peak, period } => {
+                if (tick / u64::from((*period).max(1))).is_multiple_of(2) {
+                    1.0
+                } else {
+                    *peak
+                }
+            }
+        }
+    }
 }
 
 impl Default for LoadConfig {
@@ -60,6 +122,8 @@ impl Default for LoadConfig {
             policy: WirePolicy::Server,
             deadline_ms: None,
             class: Class::Normal,
+            retry_rejects: false,
+            ramp: Ramp::Flat,
         }
     }
 }
@@ -78,6 +142,13 @@ pub struct LoadReport {
     pub rejected_deadline: u64,
     /// Transport or protocol errors (requests with no usable answer).
     pub errors: u64,
+    /// Open loop with [`LoadConfig::retry_rejects`]: queue-full resends
+    /// written to the wire (not counted in `sent`, which tracks unique
+    /// requests).
+    pub retried: u64,
+    /// The subset of `rejected` that exhausted its queue-full retry budget
+    /// — "gave up", as opposed to deadline-"shed".
+    pub retry_gave_up: u64,
     /// Open loop only: scheduled send ticks skipped after a stall instead
     /// of being fired as an infinite-rate catch-up burst (the coordinated
     /// omission guard). Zero means the sender held its rate throughout.
@@ -113,6 +184,12 @@ impl LoadReport {
         if self.rejected_deadline > 0 {
             s.push_str(&format!(" ({} deadline-shed)", self.rejected_deadline));
         }
+        if self.retried > 0 || self.retry_gave_up > 0 {
+            s.push_str(&format!(
+                "; queue-full retries: {} resent, {} gave up",
+                self.retried, self.retry_gave_up
+            ));
+        }
         if self.ticks_skipped > 0 || self.max_send_lag > Duration::ZERO {
             s.push_str(&format!(
                 "; send skew: {} tick(s) skipped, max lag {:.2} ms",
@@ -126,6 +203,12 @@ impl LoadReport {
 
 /// Runs the configured load and aggregates per-connection results.
 pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    if cfg.retry_rejects && cfg.rate.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "retry_rejects is an open-loop option (set a rate)",
+        ));
+    }
     let connections = cfg.connections.max(1);
     let per_conn = split_evenly(cfg.requests, connections);
     let start = clock::monotonic_now();
@@ -152,6 +235,8 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         rejected: 0,
         rejected_deadline: 0,
         errors: 0,
+        retried: 0,
+        retry_gave_up: 0,
         ticks_skipped: 0,
         max_send_lag: Duration::ZERO,
         elapsed: Duration::ZERO,
@@ -166,6 +251,8 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.rejected += stats.rejected;
         report.rejected_deadline += stats.rejected_deadline;
         report.errors += stats.errors;
+        report.retried += stats.retried;
+        report.retry_gave_up += stats.retry_gave_up;
         report.ticks_skipped += stats.ticks_skipped;
         report.max_send_lag = report.max_send_lag.max(stats.max_send_lag);
         report.latency.merge(&stats.latency);
@@ -180,6 +267,8 @@ struct ConnStats {
     rejected: u64,
     rejected_deadline: u64,
     errors: u64,
+    retried: u64,
+    retry_gave_up: u64,
     ticks_skipped: u64,
     max_send_lag: Duration,
     latency: Histogram,
@@ -213,6 +302,8 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
         rejected: 0,
         rejected_deadline: 0,
         errors: 0,
+        retried: 0,
+        retry_gave_up: 0,
         ticks_skipped: 0,
         max_send_lag: Duration::ZERO,
         latency: Histogram::new(),
@@ -264,9 +355,64 @@ fn closed_loop_conn(cfg: &LoadConfig, n: usize, image: &Tensor) -> io::Result<Co
     Ok(stats)
 }
 
+/// How many times one queue-full request is resent before the loop gives
+/// up on it (see [`LoadConfig::retry_rejects`]).
+pub const RETRY_MAX_ATTEMPTS: u32 = 3;
+/// First resend delay; doubles per attempt (2, 4, 8 ms).
+const RETRY_BASE_DELAY: Duration = Duration::from_millis(2);
+
+/// The backoff before resend number `attempt` (0-based).
+fn retry_delay(attempt: u32) -> Duration {
+    RETRY_BASE_DELAY.saturating_mul(1u32 << attempt.min(4))
+}
+
+/// One queue-full-rejected request waiting out its backoff before the
+/// sender writes it again.
+struct PendingRetry {
+    id: u64,
+    due: Instant,
+}
+
+/// Writes every due retry. Returns `false` (after tearing the socket down
+/// so the receiver unblocks) when the connection is dead.
+fn service_retries(
+    retryq: &Mutex<Vec<PendingRetry>>,
+    sent_at: &Mutex<HashMap<u64, Instant>>,
+    writer: &mut TcpStream,
+    image: &Tensor,
+    cfg: &LoadConfig,
+) -> bool {
+    let now = clock::monotonic_now();
+    let due: Vec<PendingRetry> = {
+        let Ok(mut q) = retryq.lock() else {
+            return false; // receiver panicked holding the lock; stop
+        };
+        let (due, rest) = q.drain(..).partition(|r| r.due <= now);
+        *q = rest;
+        due
+    };
+    for r in due {
+        if let Ok(mut m) = sent_at.lock() {
+            // Latency for a retried request restarts at the resend: it
+            // measures this attempt's service, not the backoff we chose.
+            m.insert(r.id, clock::monotonic_now());
+        }
+        if infer_frame_with(r.id, image, cfg.policy.clone(), cfg.deadline_ms, cfg.class)
+            .write_to(writer)
+            .is_err()
+        {
+            best_effort(writer.shutdown(std::net::Shutdown::Both));
+            return false;
+        }
+    }
+    true
+}
+
 /// Fixed-rate sender with a concurrent receiver: arrivals do not wait for
 /// completions, so overload shows up as queueing latency and rejects
-/// instead of a slower send rate.
+/// instead of a slower send rate. The configured [`Ramp`] scales the rate
+/// per tick; with [`LoadConfig::retry_rejects`], queue-full rejects are
+/// resent on a bounded backoff instead of settling.
 fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::Result<ConnStats> {
     let client = Client::connect(&cfg.addr)?;
     let (mut reader, mut writer) = client.into_split();
@@ -275,47 +421,92 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
     let ok = Arc::new(AtomicU64::new(0));
     let rejected = Arc::new(AtomicU64::new(0));
     let rejected_deadline = Arc::new(AtomicU64::new(0));
+    let retried = Arc::new(AtomicU64::new(0));
+    let retry_gave_up = Arc::new(AtomicU64::new(0));
+    let retryq: Arc<Mutex<Vec<PendingRetry>>> = Arc::new(Mutex::new(Vec::new()));
+    // Set by the receiver when every request has settled (or the stream
+    // died): the sender's post-loop retry service watches it.
+    let done = Arc::new(AtomicBool::new(false));
+    let retry_enabled = cfg.retry_rejects;
 
     let receiver = {
         let sent_at = Arc::clone(&sent_at);
         let latency = Arc::clone(&latency);
         let (ok, rejected) = (Arc::clone(&ok), Arc::clone(&rejected));
         let rejected_deadline = Arc::clone(&rejected_deadline);
+        let (retried, retry_gave_up) = (Arc::clone(&retried), Arc::clone(&retry_gave_up));
+        let retryq = Arc::clone(&retryq);
+        let done = Arc::clone(&done);
         std::thread::spawn(move || {
-            let mut seen = 0usize;
-            while seen < n {
+            // Resends already charged against each id (receiver-local: no
+            // other thread decides a reject's fate).
+            let mut attempts: HashMap<u64, u32> = HashMap::new();
+            let mut settled = 0usize;
+            while settled < n {
                 match Frame::read_from(&mut reader) {
                     Ok(Frame::Logits(r)) => {
                         if let Some(t) = sent_at.lock().ok().and_then(|mut m| m.remove(&r.id)) {
                             latency.record_ns(clock::since(t).as_nanos() as u64);
                         }
+                        attempts.remove(&r.id);
                         // ordering: relaxed — statistics counter, aggregated after join.
                         ok.fetch_add(1, Ordering::Relaxed);
-                        seen += 1;
+                        settled += 1;
                     }
-                    Ok(Frame::Reject { code, .. }) => {
+                    Ok(Frame::Reject { id, code }) => {
+                        if retry_enabled && code == RejectCode::QueueFull {
+                            let a = attempts.entry(id).or_insert(0);
+                            if *a < RETRY_MAX_ATTEMPTS {
+                                let delay = retry_delay(*a);
+                                *a += 1;
+                                // ordering: relaxed — statistics counter, aggregated after join.
+                                retried.fetch_add(1, Ordering::Relaxed);
+                                if let Ok(mut q) = retryq.lock() {
+                                    q.push(PendingRetry {
+                                        id,
+                                        due: clock::monotonic_now() + delay,
+                                    });
+                                }
+                                continue; // not settled: the resend answers it
+                            }
+                            attempts.remove(&id);
+                            // ordering: relaxed — statistics counter, aggregated after join.
+                            retry_gave_up.fetch_add(1, Ordering::Relaxed);
+                        }
                         // ordering: relaxed — statistics counter, aggregated after join.
                         rejected.fetch_add(1, Ordering::Relaxed);
                         if code == RejectCode::DeadlineExceeded {
                             // ordering: relaxed — statistics counter, aggregated after join.
                             rejected_deadline.fetch_add(1, Ordering::Relaxed);
                         }
-                        seen += 1;
+                        settled += 1;
                     }
                     // Unexpected frames land in the error shortfall below.
-                    Ok(_) => seen += 1,
+                    Ok(_) => settled += 1,
                     Err(_) => break,
                 }
             }
+            // ordering: relaxed — the sender only polls this to stop its
+            // retry service; a momentarily stale read costs one sleep.
+            done.store(true, Ordering::Relaxed);
         })
     };
 
-    let interval = Duration::from_secs_f64(1.0 / rate).max(Duration::from_nanos(1));
     let mut next = clock::monotonic_now();
     let mut sent = 0u64;
     let mut ticks_skipped = 0u64;
     let mut max_send_lag = Duration::ZERO;
+    let mut write_failed = false;
     for id in 0..n as u64 {
+        // The ramp scales this tick's instantaneous rate; the schedule
+        // grid advances by the per-tick interval, so a square wave really
+        // alternates dense and sparse arrival spacing.
+        let tick_rate = (rate * cfg.ramp.multiplier(id, n as u64)).max(1e-3);
+        let interval = Duration::from_secs_f64(1.0 / tick_rate).max(Duration::from_nanos(1));
+        if retry_enabled && !service_retries(&retryq, &sent_at, &mut writer, image, cfg) {
+            write_failed = true;
+            break;
+        }
         let now = clock::monotonic_now();
         if now < next {
             std::thread::sleep(next - now);
@@ -346,10 +537,24 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
             // The connection is dead; unblock the receiver (it would
             // otherwise wait for responses that were never requested).
             best_effort(writer.shutdown(std::net::Shutdown::Both));
+            write_failed = true;
             break;
         }
         sent += 1;
         next += interval;
+    }
+    // Every fresh request is on the wire, but retried ones may still be
+    // waiting out their backoff: keep servicing them until the receiver
+    // has settled every request (or the connection dies).
+    if retry_enabled && !write_failed {
+        // ordering: relaxed — pairs with the receiver's store; staleness
+        // costs one extra poll sleep.
+        while !done.load(Ordering::Relaxed) {
+            if !service_retries(&retryq, &sent_at, &mut writer, image, cfg) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
     }
     best_effort(receiver.join());
     let latency_out = Histogram::new();
@@ -365,6 +570,10 @@ fn open_loop_conn(cfg: &LoadConfig, n: usize, rate: f64, image: &Tensor) -> io::
         rejected_deadline: rejected_deadline.load(Ordering::Relaxed),
         // Sent requests with no usable answer; never counts unsent ones.
         errors: sent.saturating_sub(ok + rejected),
+        // ordering: relaxed — receiver joined above; no concurrent writers remain.
+        retried: retried.load(Ordering::Relaxed),
+        // ordering: relaxed — receiver joined above; no concurrent writers remain.
+        retry_gave_up: retry_gave_up.load(Ordering::Relaxed),
         ticks_skipped,
         max_send_lag,
         latency: latency_out,
@@ -397,5 +606,52 @@ mod tests {
             missed_ticks(Duration::from_secs(1), Duration::ZERO),
             1_000_000_000
         );
+    }
+
+    #[test]
+    fn ramps_shape_the_rate_multiplier() {
+        assert_eq!(Ramp::Flat.multiplier(17, 100), 1.0);
+        // Linear: 1x at the first tick, peak at the last, midpoint halfway.
+        let linear = Ramp::Linear { peak: 3.0 };
+        assert_eq!(linear.multiplier(0, 101), 1.0);
+        assert_eq!(linear.multiplier(50, 101), 2.0);
+        assert_eq!(linear.multiplier(100, 101), 3.0);
+        // A one-request run jumps straight to the peak rather than 0/0.
+        assert_eq!(linear.multiplier(0, 1), 3.0);
+        // Square: `period` calm ticks, then `period` storm ticks.
+        let square = Ramp::Square {
+            peak: 4.0,
+            period: 2,
+        };
+        let wave: Vec<f64> = (0..8).map(|t| square.multiplier(t, 8)).collect();
+        assert_eq!(wave, vec![1.0, 1.0, 4.0, 4.0, 1.0, 1.0, 4.0, 4.0]);
+        // Degenerate period clamps to 1 instead of dividing by zero.
+        assert_eq!(
+            Ramp::Square {
+                peak: 2.0,
+                period: 0
+            }
+            .multiplier(1, 8),
+            2.0
+        );
+    }
+
+    #[test]
+    fn retry_delays_double_and_cap() {
+        assert_eq!(retry_delay(0), Duration::from_millis(2));
+        assert_eq!(retry_delay(1), Duration::from_millis(4));
+        assert_eq!(retry_delay(2), Duration::from_millis(8));
+        assert_eq!(retry_delay(100), Duration::from_millis(32));
+    }
+
+    #[test]
+    fn retry_rejects_requires_the_open_loop() {
+        let cfg = LoadConfig {
+            retry_rejects: true,
+            rate: None,
+            ..LoadConfig::default()
+        };
+        let err = run(&cfg).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 }

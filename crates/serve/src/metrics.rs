@@ -117,6 +117,44 @@ impl Histogram {
         bucket_upper_us(BUCKETS).saturating_mul(1000)
     }
 
+    /// Copies the current bucket counts as a baseline for windowed
+    /// quantiles (see [`Histogram::quantile_since_ns`]).
+    pub fn baseline(&self) -> HistogramBaseline {
+        let mut counts = [0u64; BUCKETS + 1];
+        for (dst, src) in counts.iter_mut().zip(self.counts.iter()) {
+            // ordering: relaxed — statistical snapshot read.
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramBaseline { counts }
+    }
+
+    /// Upper bucket bound (in nanoseconds) of quantile `q` over only the
+    /// samples recorded since `base` was taken — the windowed form of
+    /// [`Histogram::quantile_ns`]. Returns 0 when the window is empty.
+    /// This is what lets the adaptive controller watch *recent* per-class
+    /// p99 rather than the sticky since-start aggregate.
+    pub fn quantile_since_ns(&self, base: &HistogramBaseline, q: f64) -> u64 {
+        let mut window = [0u64; BUCKETS + 1];
+        let mut total = 0u64;
+        for (i, (cur, prev)) in self.counts.iter().zip(base.counts.iter()).enumerate() {
+            // ordering: relaxed — statistical snapshot read.
+            window[i] = cur.load(Ordering::Relaxed).saturating_sub(*prev);
+            total += window[i];
+        }
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in window.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_us(i).saturating_mul(1000);
+            }
+        }
+        bucket_upper_us(BUCKETS).saturating_mul(1000)
+    }
+
     /// Merges another histogram's samples into this one.
     pub fn merge(&self, other: &Histogram) {
         for (a, b) in self.counts.iter().zip(other.counts.iter()) {
@@ -164,6 +202,14 @@ impl Histogram {
 
 fn bucket_upper_us(i: usize) -> u64 {
     1u64 << i
+}
+
+/// A point-in-time copy of a [`Histogram`]'s bucket counts; pair with
+/// [`Histogram::quantile_since_ns`] for quantiles over the window recorded
+/// since the copy was taken.
+#[derive(Debug, Clone)]
+pub struct HistogramBaseline {
+    counts: [u64; BUCKETS + 1],
 }
 
 /// The serving metrics registry, shared (via `Arc`) by every server thread
@@ -216,6 +262,18 @@ pub struct Metrics {
     /// End-to-end latency split by scheduling class (indexed by the wire
     /// byte, [`Class::ALL`] order).
     pub latency_by_class: [Histogram; 3],
+    /// The adaptive controller's live degradation level (0 = the full
+    /// precision set; each step drops the highest remaining bit-width from
+    /// the sampled window). Stays 0 when adaptive control is off.
+    pub degrade_level: AtomicU64,
+    /// Controller steps that degraded (raised the level under pressure).
+    pub degrade_shifts_down: AtomicU64,
+    /// Controller steps that recovered (lowered the level after pressure
+    /// cleared).
+    pub degrade_shifts_up: AtomicU64,
+    /// Policy-driven submissions whose class floor actively constrained
+    /// the degraded sampling window (the SLO floor did real work).
+    pub floor_clamped_total: AtomicU64,
 }
 
 /// A point-in-time copy of the counters that participate in the serving
@@ -432,6 +490,43 @@ impl Metrics {
                 ),
             );
         }
+        putln(
+            &mut out,
+            format_args!(
+                "# HELP tia_serve_floor_clamped_total Submissions whose class floor constrained the degraded window."
+            ),
+        );
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_floor_clamped_total counter"),
+        );
+        putln(
+            &mut out,
+            format_args!(
+                "tia_serve_floor_clamped_total {}",
+                self.floor_clamped_total.load(Ordering::Relaxed) // ordering: relaxed — scrape snapshot.
+            ),
+        );
+        putln(
+            &mut out,
+            format_args!("# HELP tia_serve_degrade_shifts_total Adaptive controller level shifts."),
+        );
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_degrade_shifts_total counter"),
+        );
+        for (direction, v) in [
+            ("down", &self.degrade_shifts_down),
+            ("up", &self.degrade_shifts_up),
+        ] {
+            putln(
+                &mut out,
+                format_args!(
+                    "tia_serve_degrade_shifts_total{{direction=\"{direction}\"}} {}",
+                    v.load(Ordering::Relaxed) // ordering: relaxed — scrape snapshot.
+                ),
+            );
+        }
         for (name, help, v) in [
             (
                 "tia_serve_connections_active",
@@ -447,6 +542,11 @@ impl Metrics {
                 "tia_serve_readers_live",
                 "Reader threads currently alive.",
                 &self.readers_live,
+            ),
+            (
+                "tia_serve_degrade_level",
+                "Adaptive controller's live degradation level.",
+                &self.degrade_level,
             ),
         ] {
             putln(&mut out, format_args!("# HELP {name} {help}"));
@@ -734,6 +834,24 @@ mod tests {
     }
 
     #[test]
+    fn windowed_quantiles_see_only_new_samples() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record_ns(30_000_000); // a slow era: ~30 ms
+        }
+        let base = h.baseline();
+        // Empty window reads as 0, not as the slow past.
+        assert_eq!(h.quantile_since_ns(&base, 0.99), 0);
+        for _ in 0..50 {
+            h.record_ns(800_000); // recovered era: ~0.8 ms
+        }
+        // The cumulative p99 is still stuck in the slow era…
+        assert!(h.quantile_ns(0.99) >= 30_000_000);
+        // …but the window since the baseline sees only the recovery.
+        assert!(h.quantile_since_ns(&base, 0.99) <= 2_000_000);
+    }
+
+    #[test]
     fn histogram_overflow_and_merge() {
         let a = Histogram::new();
         a.record_ns(u64::MAX / 2); // lands in the overflow bucket
@@ -759,6 +877,24 @@ mod tests {
             "tia_serve_frames_by_precision_total{precision=\"8-bit\"} 1",
             "tia_serve_request_latency_seconds_bucket{le=\"+Inf\"} 1",
             "tia_serve_request_latency_seconds_count 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn controller_gauges_and_counters_render() {
+        let m = Metrics::new();
+        m.degrade_level.store(3, Ordering::Relaxed);
+        m.degrade_shifts_down.fetch_add(4, Ordering::Relaxed);
+        m.degrade_shifts_up.fetch_add(1, Ordering::Relaxed);
+        m.floor_clamped_total.fetch_add(7, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        for family in [
+            "tia_serve_degrade_level 3",
+            "tia_serve_degrade_shifts_total{direction=\"down\"} 4",
+            "tia_serve_degrade_shifts_total{direction=\"up\"} 1",
+            "tia_serve_floor_clamped_total 7",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

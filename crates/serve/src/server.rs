@@ -72,7 +72,8 @@
 //! thread and returns the engine for post-mortem inspection.
 
 use crate::clock::Clock;
-use crate::metrics::Metrics;
+use crate::control::{ControlConfig, Controller, CycleSample, Decision};
+use crate::metrics::{HistogramBaseline, Metrics};
 use crate::wire::{Class, Frame, InferResponse, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
@@ -83,6 +84,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tia_engine::{Backend, EngineConfig, PrecisionPolicy, RequestId, ShardedEngine};
+use tia_quant::PrecisionSet;
 use tia_tensor::{SeededRng, Tensor};
 
 /// Deterministic fault injection for chaos testing, threaded through the
@@ -183,6 +185,16 @@ pub struct ServerConfig {
     pub clock: Clock,
     /// Injected faults for chaos testing; defaults to none.
     pub faults: FaultPlan,
+    /// Adaptive precision control (see [`crate::control`]): when set, the
+    /// batcher steps a feedback [`Controller`] at every engine-cycle
+    /// boundary, degrading the RPS mix toward lower bit-widths under
+    /// overload and recovering when pressure clears, with the configured
+    /// per-class floors binding every [`WirePolicy::Server`] submission.
+    /// A [`PrecisionPolicy::Random`] serving policy is promoted to
+    /// [`PrecisionPolicy::Adaptive`] at spawn so the controller has a
+    /// window to narrow. `None` (the default) leaves the hot path
+    /// untouched.
+    pub control: Option<ControlConfig>,
 }
 
 impl Default for ServerConfig {
@@ -199,6 +211,7 @@ impl Default for ServerConfig {
             start_paused: false,
             clock: Clock::real(),
             faults: FaultPlan::default(),
+            control: None,
         }
     }
 }
@@ -267,6 +280,13 @@ impl ServerConfig {
     /// Arms a fault-injection plan (see [`FaultPlan`]).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables the adaptive precision controller (see
+    /// [`ServerConfig::control`]).
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = Some(control);
         self
     }
 }
@@ -454,6 +474,20 @@ impl<B: Backend + Send + 'static> Server<B> {
     /// Binds the listeners, builds one backend replica per worker shard
     /// from `factory`, and spawns the serving threads.
     pub fn spawn(cfg: ServerConfig, factory: impl FnMut(usize) -> B) -> io::Result<Self> {
+        if let Some(ctrl) = &cfg.control {
+            // A misconfigured hysteresis band oscillates silently; fail at
+            // spawn instead.
+            ctrl.validate()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        }
+        // With a controller armed, a static RPS mix becomes the adaptive
+        // window the controller narrows. The promotion is draw-for-draw
+        // identical at level 0, so enabling control never perturbs the
+        // unloaded schedule.
+        let policy = match (&cfg.control, cfg.policy.clone()) {
+            (Some(_), PrecisionPolicy::Random(set)) => PrecisionPolicy::Adaptive(set),
+            (_, p) => p,
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let metrics_listener = match &cfg.metrics_addr {
@@ -465,7 +499,7 @@ impl<B: Backend + Send + 'static> Server<B> {
         let engine = ShardedEngine::with_factory(
             cfg.workers.max(1),
             factory,
-            cfg.policy.clone(),
+            policy.clone(),
             cfg.engine.clone(),
         );
         let shared = Arc::new(Shared {
@@ -491,10 +525,24 @@ impl<B: Backend + Send + 'static> Server<B> {
         // the server schedule's draws.
         let req_rng = SeededRng::new(cfg.engine.seed ^ 0x5EED_5EED_5EED_5EED);
         let max_wait = cfg.max_wait;
+        let adaptive = cfg.control.clone().map(|ctrl| {
+            let set = match &policy {
+                PrecisionPolicy::Adaptive(set) => Some(set.clone()),
+                _ => None,
+            };
+            Adaptive {
+                ctrl: Controller::new(ctrl, policy.max_degrade_level()),
+                set,
+                baselines: std::array::from_fn(|i| shared.metrics.latency_by_class[i].baseline()),
+                sheds: 0,
+            }
+        });
         let batcher = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
-                batcher_loop(engine, submit_rx, shared, req_rng, max_take, max_wait)
+                batcher_loop(
+                    engine, submit_rx, shared, req_rng, max_take, max_wait, adaptive,
+                )
             })
         };
         let acceptor = {
@@ -837,9 +885,27 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
     m.readers_live.fetch_sub(1, Ordering::Relaxed);
 }
 
+/// The adaptive-precision state the batcher thread owns when a controller
+/// is armed (see [`crate::control`]): the feedback state machine itself,
+/// the policy's member set (for floor-clamp accounting), and per-class
+/// histogram baselines that turn the cumulative latency histograms into
+/// the windowed p99 the controller's budgets compare against.
+struct Adaptive {
+    ctrl: Controller,
+    /// The adaptive policy's members; `None` when the serving policy never
+    /// degrades (e.g. `Fixed`), in which case floors are vacuous.
+    set: Option<PrecisionSet>,
+    /// Per-class snapshots taken at the previous controller step
+    /// ([`Class::ALL`] wire order).
+    baselines: [HistogramBaseline; 3],
+    /// Deadline sheds observed since the previous controller step.
+    sheds: usize,
+}
+
 /// The engine owner: moves queue items into the EDF scheduling window,
 /// forms deadline-aware batches, runs submit/flush cycles, routes
-/// responses. Returns the engine at shutdown.
+/// responses — and, when a controller is armed, steps it once per engine
+/// cycle. Returns the engine at shutdown.
 fn batcher_loop<B: Backend + Send + 'static>(
     mut engine: ShardedEngine<B>,
     rx: Receiver<Item>,
@@ -847,6 +913,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
     mut req_rng: SeededRng,
     max_take: usize,
     max_wait: Duration,
+    mut adaptive: Option<Adaptive>,
 ) -> ShardedEngine<B> {
     use std::sync::mpsc::RecvTimeoutError;
     let mut routes: HashMap<RequestId, Route> = HashMap::new();
@@ -912,7 +979,10 @@ fn batcher_loop<B: Backend + Send + 'static>(
         }
         // Shed requests that expired while queued, before they cost a batch
         // slot or an engine cycle.
-        shed_expired(&shared, &mut window);
+        let shed_now = shed_expired(&shared, &mut window);
+        if let Some(a) = adaptive.as_mut() {
+            a.sheds += shed_now;
+        }
         if window.is_empty() {
             continue;
         }
@@ -939,7 +1009,10 @@ fn batcher_loop<B: Backend + Send + 'static>(
             }
             continue; // re-evaluate fill, expiry and forming time
         }
-        form_and_run(
+        // The cycle boundary: sample window pressure as the batch forms,
+        // run it, then let the controller react to this cycle's signals.
+        let fill = (window.len() as f64 / window_cap as f64).min(1.0);
+        let (submitted, shed_in) = form_and_run(
             &mut engine,
             &shared,
             &mut req_rng,
@@ -947,7 +1020,12 @@ fn batcher_loop<B: Backend + Send + 'static>(
             &mut window,
             max_take,
             &mut book,
+            adaptive.as_ref(),
         );
+        if let Some(a) = adaptive.as_mut() {
+            a.sheds += shed_in;
+            step_adaptive(a, &mut engine, &shared, fill, submitted);
+        }
     }
     // The final sweep and drain, shared by both exits (shutdown marker —
     // the admission barrier above guarantees nothing lands behind this
@@ -965,7 +1043,10 @@ fn batcher_loop<B: Backend + Send + 'static>(
         );
     }
     while !window.is_empty() {
-        form_and_run(
+        // Drain cycles keep the floors (an SLO holds through shutdown) but
+        // no longer step the controller — there is no load left to react
+        // to.
+        let _counts = form_and_run(
             &mut engine,
             &shared,
             &mut req_rng,
@@ -973,6 +1054,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
             &mut window,
             max_take,
             &mut book,
+            adaptive.as_ref(),
         );
     }
     // Every requester gets the ack — including racers whose markers landed
@@ -1016,10 +1098,12 @@ fn intake(
 }
 
 /// Sheds every already-expired request in the window with a
-/// [`RejectCode::DeadlineExceeded`] frame. Shed requests never reach the
-/// engine, so they consume no draw from the seeded precision schedule.
-fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) {
+/// [`RejectCode::DeadlineExceeded`] frame, returning how many it shed.
+/// Shed requests never reach the engine, so they consume no draw from the
+/// seeded precision schedule.
+fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) -> usize {
     let now = shared.clock.now();
+    let before = window.len();
     window.retain(|pending| {
         if !pending.req.expired(now) {
             return true;
@@ -1027,6 +1111,7 @@ fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) {
         shed_one(shared, &pending.req);
         false
     });
+    before - window.len()
 }
 
 /// Answers one expired request with a typed reject and updates the shed
@@ -1054,6 +1139,7 @@ struct BatchBook {
     batches_formed: u64,
 }
 
+#[allow(clippy::too_many_arguments)] // the batcher's whole working set, called from one place
 fn form_and_run<B: Backend + Send + 'static>(
     engine: &mut ShardedEngine<B>,
     shared: &Shared,
@@ -1062,7 +1148,8 @@ fn form_and_run<B: Backend + Send + 'static>(
     window: &mut Vec<PendingReq>,
     max_take: usize,
     book: &mut BatchBook,
-) {
+    adaptive: Option<&Adaptive>,
+) -> (usize, usize) {
     // Induced slow-batcher window: stall before every n-th batch so the
     // queue backs up the way it would behind a genuinely slow engine.
     book.batches_formed += 1;
@@ -1074,16 +1161,39 @@ fn form_and_run<B: Backend + Send + 'static>(
     window.sort_by(edf_order);
     let take = window.len().min(max_take);
     let now = shared.clock.now();
+    let (mut submits, mut sheds) = (0usize, 0usize);
     for pending in window.drain(..take) {
         let req = *pending.req;
         if req.expired(now) {
             shed_one(shared, &req);
+            sheds += 1;
             continue;
         }
         // ordering: relaxed — metrics gauge.
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        submits += 1;
         let submitted = match &req.policy {
-            WirePolicy::Server => engine.try_submit(req.image),
+            WirePolicy::Server => {
+                // Policy-driven traffic is where the controller's floors
+                // bind: the class floor rides along into the engine's draw.
+                // A client that pinned its own precision has already chosen
+                // and bypasses both degradation and floors.
+                let floor = adaptive.and_then(|a| a.ctrl.config().floor_for(req.class));
+                if let (Some(set), Some(f)) = (adaptive.and_then(|a| a.set.as_ref()), floor) {
+                    let level = engine.degrade_level() as usize;
+                    // The floor "clamps" when it actually narrows the
+                    // degraded window — i.e. it excludes members the bare
+                    // level would still have sampled.
+                    if set.degraded_window(level, Some(f)).0 > set.degraded_window(level, None).0 {
+                        // ordering: relaxed — metrics counter.
+                        shared
+                            .metrics
+                            .floor_clamped_total
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                engine.try_submit_floored(req.image, floor)
+            }
             WirePolicy::Fixed(p) => engine.try_submit_pinned(req.image, *p),
             WirePolicy::Random(set) => {
                 engine.try_submit_pinned(req.image, Some(set.sample(req_rng)))
@@ -1117,6 +1227,51 @@ fn form_and_run<B: Backend + Send + 'static>(
         }
     }
     flush_and_respond(engine, shared, routes, &mut book.last_stats);
+    (submits, sheds)
+}
+
+/// One controller step at an engine-cycle boundary: assemble this cycle's
+/// pressure sample (window fill at forming, deadline-shed fraction,
+/// windowed per-class p99 since the last step), let the state machine
+/// decide, and apply any level shift to the engine and the metrics.
+fn step_adaptive<B: Backend + Send + 'static>(
+    a: &mut Adaptive,
+    engine: &mut ShardedEngine<B>,
+    shared: &Shared,
+    fill: f64,
+    submitted: usize,
+) {
+    let m = &shared.metrics;
+    let candidates = a.sheds + submitted;
+    let miss = if candidates == 0 {
+        0.0
+    } else {
+        a.sheds as f64 / candidates as f64
+    };
+    a.sheds = 0;
+    let mut p99_ns = [0u64; 3];
+    for (i, p99) in p99_ns.iter_mut().enumerate() {
+        // Windowed, not cumulative: a cumulative p99 never decays, which
+        // would block recovery forever after one bad burst.
+        *p99 = m.latency_by_class[i].quantile_since_ns(&a.baselines[i], 0.99);
+        a.baselines[i] = m.latency_by_class[i].baseline();
+    }
+    let level = match a.ctrl.step(&CycleSample { fill, miss, p99_ns }) {
+        Decision::Hold => return,
+        Decision::Degrade(level) => {
+            // ordering: relaxed — metrics counter.
+            m.degrade_shifts_down.fetch_add(1, Ordering::Relaxed);
+            level
+        }
+        Decision::Recover(level) => {
+            // ordering: relaxed — metrics counter.
+            m.degrade_shifts_up.fetch_add(1, Ordering::Relaxed);
+            level
+        }
+    };
+    engine.set_degrade_level(level);
+    // ordering: relaxed — metrics gauge.
+    m.degrade_level.store(u64::from(level), Ordering::Relaxed);
 }
 
 fn flush_and_respond<B: Backend + Send + 'static>(

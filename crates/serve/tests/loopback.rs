@@ -9,8 +9,8 @@ use tia_nn::zoo;
 use tia_quant::{Precision, PrecisionSet};
 use tia_serve::wire::{Class, Frame, InferResponse, RejectCode, WireError};
 use tia_serve::{
-    fetch_metrics, infer_frame, infer_frame_with, Client, Clock, LoadConfig, Server, ServerConfig,
-    WirePolicy,
+    fetch_metrics, infer_frame, infer_frame_with, Client, Clock, ControlConfig, LoadConfig, Server,
+    ServerConfig, WirePolicy,
 };
 use tia_tensor::{SeededRng, Tensor};
 
@@ -871,6 +871,235 @@ fn slow_loris_header_does_not_hold_the_batcher_or_starve_others() {
     let snap = metrics.snapshot();
     assert_eq!(snap.readers_live, 0);
     assert_eq!(snap.conservation_check(), Ok(()));
+}
+
+/// Tentpole acceptance: under a queued backlog the adaptive controller
+/// walks the degradation level up cycle by cycle (shifting the precision
+/// mix toward lower bit-widths), recovers once the pressure clears, and a
+/// floored class never samples below its floor at any level.
+///
+/// The scenario is fully determined: 32 requests queued against a paused
+/// server fill the 32-slot EDF window exactly, so the four 8-deep cycles
+/// see fills 1.0, 0.75, 0.5 and 0.25. With a (0.5, 0.25) fill band and no
+/// cooldown that is three degrade steps and then recovery — each step
+/// landing *after* its cycle was served, so the cycles run at levels
+/// 0, 1, 2, 3.
+#[test]
+fn adaptive_degradation_respects_per_class_floors() {
+    const BACKLOG: usize = 32; // window_cap = WINDOW_CYCLES(4) x max_take(8)
+    let ctrl = ControlConfig::default()
+        .with_fill_band(0.5, 0.25)
+        .with_cooldown(0)
+        .with_floor(Class::Interactive, Precision::new(6));
+    let cfg = base_config()
+        .with_queue_capacity(64)
+        .with_control(ctrl)
+        .paused();
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    let x = images(BACKLOG + 3, 41);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..BACKLOG {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    let metrics = server.metrics_handle();
+    for _ in 0..1000 {
+        if metrics
+            .queue_depth
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == BACKLOG as u64
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        metrics
+            .queue_depth
+            .load(std::sync::atomic::Ordering::Relaxed),
+        BACKLOG as u64,
+        "backlog was not admitted"
+    );
+    server.resume();
+
+    let mut normals: Vec<InferResponse> = (0..BACKLOG)
+        .map(|_| match client.recv().unwrap() {
+            Frame::Logits(r) => r,
+            other => panic!("expected logits, got {other:?}"),
+        })
+        .collect();
+    normals.sort_by_key(|r| r.id);
+    // The last cycle (ids 24..32) ran at level 3: its window is {4, 5}-bit
+    // — strictly below the interactive floor, so degradation really bit.
+    for r in &normals[24..] {
+        let bits = r.precision.expect("server RPS policy never fp32").bits();
+        assert!(
+            bits < 6,
+            "request {} should be degraded below 6 bits at level 3, got {bits}",
+            r.id
+        );
+    }
+
+    // Interactive requests one at a time, starting at level 2 (the recover
+    // step after cycle four): every draw is clamped to the 6-bit floor or
+    // above, at every level on the way back down to 0.
+    for i in BACKLOG..BACKLOG + 3 {
+        client
+            .send(&infer_frame_with(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+                None,
+                Class::Interactive,
+            ))
+            .unwrap();
+        match client.recv().unwrap() {
+            Frame::Logits(r) => {
+                let bits = r.precision.expect("server RPS policy never fp32").bits();
+                assert!(
+                    bits >= 6,
+                    "interactive request {i} sampled {bits} bits, below its floor"
+                );
+            }
+            other => panic!("expected logits, got {other:?}"),
+        }
+    }
+
+    // The controller's ledger, exactly: three degrades under the backlog;
+    // three recovers (after cycle four, then after each of the first two
+    // interactive cycles); every interactive draw floor-clamped (the floor
+    // lifts the 4~8-bit window's low edge at levels 2, 1 and 0 alike).
+    use std::sync::atomic::Ordering as O;
+    assert_eq!(metrics.degrade_shifts_down.load(O::Relaxed), 3);
+    assert_eq!(metrics.degrade_shifts_up.load(O::Relaxed), 3);
+    assert_eq!(metrics.floor_clamped_total.load(O::Relaxed), 3);
+    assert_eq!(
+        metrics.degrade_level.load(O::Relaxed),
+        0,
+        "level must return to 0 once pressure clears"
+    );
+    server.shutdown();
+}
+
+/// Adaptive runs are bitwise deterministic per seed: the same submissions
+/// against the same configuration yield the same controller decisions,
+/// hence the same precision schedule and identical logits bits, run to
+/// run — degradation changes what a draw maps to, never the stream
+/// position.
+#[test]
+fn adaptive_runs_are_bitwise_deterministic_per_seed() {
+    fn run_once() -> Vec<(u64, Option<Precision>, Vec<u32>)> {
+        const N: usize = 32;
+        let ctrl = ControlConfig::default()
+            .with_fill_band(0.5, 0.25)
+            .with_cooldown(1)
+            .with_floor(Class::Interactive, Precision::new(6));
+        let cfg = base_config()
+            .with_queue_capacity(64)
+            .with_control(ctrl)
+            .paused();
+        let server = Server::spawn(cfg, |_| replica()).unwrap();
+        let x = images(N, 42);
+        let mut client = Client::connect(server.addr()).unwrap();
+        for i in 0..N {
+            let class = if i % 4 == 0 {
+                Class::Interactive
+            } else {
+                Class::Normal
+            };
+            client
+                .send(&infer_frame_with(
+                    i as u64,
+                    &x.index_axis0(i),
+                    WirePolicy::Server,
+                    None,
+                    class,
+                ))
+                .unwrap();
+        }
+        let metrics = server.metrics();
+        for _ in 0..1000 {
+            if metrics
+                .queue_depth
+                .load(std::sync::atomic::Ordering::Relaxed)
+                == N as u64
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        server.resume();
+        let mut got: Vec<InferResponse> = (0..N)
+            .map(|_| match client.recv().unwrap() {
+                Frame::Logits(r) => r,
+                other => panic!("expected logits, got {other:?}"),
+            })
+            .collect();
+        got.sort_by_key(|r| r.id);
+        server.shutdown();
+        got.into_iter()
+            .map(|r| {
+                (
+                    r.id,
+                    r.precision,
+                    r.logits.iter().map(|v| v.to_bits()).collect(),
+                )
+            })
+            .collect()
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+/// Arming the controller is free when there is no pressure: at level 0 an
+/// adaptive server's schedule is draw-for-draw the plain-RPS schedule, so
+/// logits stay bitwise identical to an in-process reference engine that
+/// has never heard of the controller.
+#[test]
+fn idle_adaptive_server_matches_the_plain_rps_schedule_bitwise() {
+    const N: usize = 12;
+    let cfg = base_config().with_control(ControlConfig::default());
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    let x = images(N, 43);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..N {
+        client
+            .send(&infer_frame(
+                i as u64,
+                &x.index_axis0(i),
+                WirePolicy::Server,
+            ))
+            .unwrap();
+    }
+    let mut over_tcp: Vec<InferResponse> = (0..N)
+        .map(|_| match client.recv().unwrap() {
+            Frame::Logits(r) => r,
+            other => panic!("expected logits, got {other:?}"),
+        })
+        .collect();
+    over_tcp.sort_by_key(|r| r.id);
+
+    let mut reference = ShardedEngine::with_factory(
+        2,
+        |_| replica(),
+        PrecisionPolicy::Random(PrecisionSet::range(4, 8)),
+        EngineConfig::default().with_max_batch(4).with_seed(7),
+    );
+    let in_process = reference.serve(&x);
+    for (tcp, local) in over_tcp.iter().zip(&in_process) {
+        assert_eq!(
+            tcp.precision, local.precision,
+            "an idle controller must not perturb the schedule"
+        );
+        let tcp_bits: Vec<u32> = tcp.logits.iter().map(|v| v.to_bits()).collect();
+        let local_bits: Vec<u32> = local.logits.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(tcp_bits, local_bits);
+    }
+    server.shutdown();
 }
 
 /// An open-loop run against a paused, tiny-queue server sheds load via
