@@ -6,8 +6,9 @@
 //! throughput from the merged cost ledger), and the `tia-serve` TCP
 //! front-end (loopback closed-loop requests/sec through the full wire
 //! protocol at 1/2 worker shards), and the open-loop deadline-overload
-//! passes (shed-only vs adaptive graceful degradation). Writes a
-//! `BENCH_engine.json` snapshot so later PRs have a perf trajectory.
+//! passes (shed-only vs adaptive graceful degradation, flight recorder
+//! armed). Writes a `BENCH_engine.json` snapshot so later PRs have a perf
+//! trajectory.
 
 use tia_attack::{Attack, Pgd};
 use tia_bench::harness::{bench, black_box, smoke_mode, to_json, BenchResult};
@@ -267,8 +268,12 @@ fn bench_deadline_overload() -> Vec<BenchResult> {
         ("adaptive", Some(5u32), Some(adaptive)),
     ] {
         let is_adaptive = control.is_some();
+        // The flight recorder flies in every overload pass: these p99
+        // entries are the snapshot's proof that tracing on the hot path
+        // stays within noise of the untraced seed numbers.
         let mut cfg = ServerConfig::default()
             .with_workers(1)
+            .with_trace()
             .with_input_shape([3, 16, 16])
             .with_policy(PrecisionPolicy::Random(set.clone()))
             .with_engine(EngineConfig::default().with_max_batch(8).with_seed(7));

@@ -13,7 +13,7 @@
 use crate::peer::{AnswerKind, PeerLog, FNV_SEED};
 use crate::plan::Scenario;
 use std::collections::BTreeMap;
-use tia_serve::{ConservationViolation, MetricsSnapshot};
+use tia_serve::{ConservationViolation, MetricsSnapshot, Span, Stage};
 
 /// One invariant violation found after a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +72,16 @@ pub enum Violation {
         /// The configured floor in bits.
         floor: u8,
     },
+    /// An admitted request's flight-recorder span is broken: it never
+    /// reached exactly one terminal stage (sent / shed / errored), or its
+    /// stage timestamps run backwards.
+    TraceSpanBroken {
+        /// The request's wire id (or its trace id if the frame-decode
+        /// event was lost to ring overwrite).
+        id: u64,
+        /// What broke, in the span checker's words.
+        why: &'static str,
+    },
     /// A `Shutdown` frame was sent but no `ShutdownAck` ever arrived.
     MissingShutdownAck,
     /// Two runs of the same seed produced different answer digests.
@@ -121,6 +131,9 @@ impl std::fmt::Display for Violation {
                 f,
                 "id {id:#x} executed at {bits} bits, below its {floor}-bit class floor"
             ),
+            Violation::TraceSpanBroken { id, why } => {
+                write!(f, "trace span for request {id:#x}: {why}")
+            }
             Violation::MissingShutdownAck => write!(f, "shutdown requested but never acked"),
             Violation::DeterminismDrift { first, second } => write!(
                 f,
@@ -279,6 +292,36 @@ pub fn check_run(
     (violations, digest, counters)
 }
 
+/// Holds every admitted request's flight-recorder span to the lifecycle
+/// contract: exactly one terminal stage — served ([`Stage::Sent`]), shed
+/// ([`Stage::Shed`]) or errored ([`Stage::Errored`]) — and monotonically
+/// non-decreasing stage timestamps. Spans rejected at admission carry no
+/// such contract and are skipped, as are scope events (which form no
+/// spans at all).
+pub fn check_trace(spans: &[Span]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for span in spans {
+        if !span.admitted() {
+            continue;
+        }
+        let terminals = span.events.iter().filter(|e| e.stage.is_terminal()).count();
+        let why = match span.terminal() {
+            None if terminals > 1 => Some("more than one terminal stage event"),
+            None => Some("admitted but never sent, shed or errored"),
+            Some(Stage::Rejected) => Some("admitted yet terminated by an admission reject"),
+            Some(_) if !span.monotonic() => Some("stage timestamps run backwards"),
+            Some(_) => None,
+        };
+        if let Some(why) = why {
+            violations.push(Violation::TraceSpanBroken {
+                id: span.wire_id.unwrap_or(span.trace_id),
+                why,
+            });
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +447,66 @@ mod tests {
                 id: 1,
                 bits: 4,
                 floor: 6
+            }]
+        );
+    }
+
+    #[test]
+    fn trace_checker_accepts_complete_spans_and_flags_broken_ones() {
+        use tia_serve::trace::{spans, wire_id_args, TraceEvent};
+        let ev = |id: u64, stage: Stage, ts_ns: u64| {
+            // Admission-side events carry the wire id; make it the trace
+            // id so the checker's reports name the ids below.
+            let (arg0, arg1) = wire_id_args(id);
+            TraceEvent {
+                ts_ns,
+                id,
+                stage,
+                arg0,
+                arg1,
+                tid: 0,
+            }
+        };
+        // id 1: admitted and served in order; id 2: admitted, shed; id 3:
+        // rejected at admission (no contract); id 4: admitted, never
+        // terminated; id 5: admitted, served, but the clock ran backwards.
+        let events = vec![
+            ev(1, Stage::Admitted, 0),
+            ev(1, Stage::Enqueued, 0),
+            ev(1, Stage::Sent, 10),
+            ev(2, Stage::Admitted, 0),
+            ev(2, Stage::Shed, 5),
+            ev(3, Stage::Rejected, 0),
+            ev(4, Stage::Admitted, 0),
+            ev(4, Stage::Enqueued, 1),
+            ev(5, Stage::Admitted, 9),
+            ev(5, Stage::Sent, 3),
+        ];
+        let v = check_trace(&spans(&events));
+        assert_eq!(
+            v,
+            vec![
+                Violation::TraceSpanBroken {
+                    id: 4,
+                    why: "admitted but never sent, shed or errored"
+                },
+                Violation::TraceSpanBroken {
+                    id: 5,
+                    why: "stage timestamps run backwards"
+                },
+            ]
+        );
+        // A double terminal (e.g. served *and* shed) is its own report.
+        let twice = vec![
+            ev(6, Stage::Admitted, 0),
+            ev(6, Stage::Shed, 1),
+            ev(6, Stage::Sent, 2),
+        ];
+        assert_eq!(
+            check_trace(&spans(&twice)),
+            vec![Violation::TraceSpanBroken {
+                id: 6,
+                why: "more than one terminal stage event"
             }]
         );
     }

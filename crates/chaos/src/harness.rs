@@ -5,7 +5,7 @@
 //! report therefore reproduces from its config alone (see
 //! [`RunReport::repro_command`]).
 
-use crate::check::{check_run, RunCounters, Violation};
+use crate::check::{check_run, check_trace, RunCounters, Violation};
 use crate::peer::run_peer;
 use crate::plan::{Scenario, Schedule, SHAPE};
 use std::panic::AssertUnwindSafe;
@@ -119,8 +119,12 @@ fn server_config(cfg: &ChaosConfig) -> ServerConfig {
     if cfg.sabotage {
         faults = faults.with_double_ack();
     }
+    // Every chaos server flies with the recorder on: the span-completeness
+    // invariant (admit -> exactly one of sent/shed/errored) is checked on
+    // every run, whatever the scenario.
     let base = ServerConfig::default()
         .with_addr("127.0.0.1:0")
+        .with_trace()
         .with_workers(WORKERS)
         .with_input_shape(SHAPE)
         .with_policy(PrecisionPolicy::Random(PrecisionSet::range(4, 8)))
@@ -196,6 +200,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<RunReport, String> {
     let server = Server::spawn(server_config(cfg), |_| replica())
         .map_err(|e| format!("could not spawn chaos server: {e}"))?;
     let metrics = server.metrics_handle();
+    let trace = server.trace_handle();
     let addr = server.addr();
     let strict = cfg.scenario.strict();
 
@@ -226,6 +231,11 @@ pub fn run(cfg: &ChaosConfig) -> Result<RunReport, String> {
         });
     }
     let snapshot = metrics.snapshot();
+    // Post-drain the recorder is quiescent, so the snapshot is exact:
+    // every admitted request's span must be complete and monotonic.
+    if let Some(sink) = &trace {
+        violations.extend(check_trace(&tia_serve::trace::spans(&sink.drain())));
+    }
     let (mut found, digest, counters) = check_run(
         cfg.scenario,
         &logs,

@@ -115,6 +115,9 @@ pub struct ShardedEngine<B: Backend + Send + 'static> {
     pending: Vec<ShardRequest>,
     next_id: RequestId,
     stats: EngineStats,
+    /// Completed non-empty flush cycles; tags the flight recorder's
+    /// per-cycle engine spans.
+    cycles: u64,
     image_shape: Option<Vec<usize>>,
     senders: Vec<Sender<Job>>,
     results_rx: Receiver<ShardReply>,
@@ -159,6 +162,7 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
             pending: Vec::new(),
             next_id: 0,
             stats: EngineStats::default(),
+            cycles: 0,
             image_shape: None,
             senders,
             results_rx,
@@ -220,6 +224,13 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
     /// Number of submitted-but-unserved requests.
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of completed non-empty [`ShardedEngine::flush`] cycles
+    /// (monotonic; survives [`ShardedEngine::reset_stats`]). The serving
+    /// layer's flight recorder uses it to label per-cycle engine spans.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
     }
 
     /// Enqueues one `[C, H, W]` image; returns its request id.
@@ -340,6 +351,7 @@ impl<B: Backend + Send + 'static> ShardedEngine<B> {
         // floating-point accumulation order are both independent of which
         // shard finished first.
         all.sort_by_key(|r| r.id);
+        self.cycles += 1;
         self.stats.requests += total;
         for r in &all {
             self.stats.cost.accumulate(&r.unit_cost);
@@ -603,11 +615,17 @@ mod tests {
     #[test]
     fn stats_merge_across_shards() {
         let mut eng = sharded(4, 6);
+        assert_eq!(eng.cycles(), 0);
+        let _ = eng.flush(); // empty flush: no cycle
+        assert_eq!(eng.cycles(), 0);
         let _ = eng.serve(&images(10, 7));
         let s = eng.stats();
         assert_eq!(s.requests, 10);
         assert!(s.batches >= 1);
         assert_eq!(s.cost.frames, 10);
+        assert_eq!(eng.cycles(), 1);
+        eng.reset_stats();
+        assert_eq!(eng.cycles(), 1, "cycles survive reset_stats");
     }
 
     #[test]

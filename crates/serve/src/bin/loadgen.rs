@@ -7,14 +7,19 @@
 //!             [--deadline-ms N] [--class normal|interactive|batch]
 //!             [--ramp flat|linear:PEAK|square:PEAK:PERIOD] [--retry-rejects]
 //!             [--connect-timeout-secs 30] [--metrics-addr HOST:PORT]
-//!             [--ping] [--shutdown]
+//!             [--trace FILE] [--ping] [--shutdown]
 //! ```
 //!
 //! `--ping` just probes liveness and exits. `--shutdown` asks the server
 //! to drain and exit after the load completes, and waits for the
 //! acknowledgement (the CI loopback smoke test relies on this to assert a
 //! clean shutdown). `--metrics-addr` fetches and prints the server's
-//! Prometheus text at the end of the run. `--deadline-ms` attaches a
+//! Prometheus text at the end of the run — when the server's flight
+//! recorder is on, the run summary also breaks the client-observed
+//! latency down by server-side stage from the scraped stage histograms.
+//! `--trace FILE` (needs `--metrics-addr`) additionally fetches the
+//! server's Chrome trace-event JSON from `/trace` and writes it to
+//! `FILE` for chrome://tracing / Perfetto. `--deadline-ms` attaches a
 //! relative deadline to every request (frame v2): under overload the
 //! server sheds expired requests with `Reject{DeadlineExceeded}`, which
 //! the report counts as deadline-shed rejects, not errors. `--class` sets
@@ -28,7 +33,7 @@
 
 use std::time::Duration;
 use tia_serve::cli::{parse_class, parse_ramp, parse_shape, parse_wire_policy, Args};
-use tia_serve::{fetch_metrics, run_load, Client, LoadConfig};
+use tia_serve::{fetch_metrics, fetch_trace, run_load, Client, LoadConfig, StageBreakdown};
 
 fn main() {
     if let Err(e) = run() {
@@ -54,9 +59,15 @@ fn run() -> Result<(), String> {
             "class",
             "ramp",
             "connect-timeout-secs",
+            "trace",
         ],
         &["ping", "shutdown", "retry-rejects"],
     )?;
+    if args.get("trace").is_some() && args.get("metrics-addr").is_none() {
+        return Err(
+            "--trace needs --metrics-addr (the trace lives on the scrape port)".to_string(),
+        );
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let mode = args.get("mode").unwrap_or("closed");
     let connect_timeout: u64 = args.get_or("connect-timeout-secs", 30)?;
@@ -107,7 +118,19 @@ fn run() -> Result<(), String> {
             "--retry-rejects and --ramp are open-loop options (use --mode open)".to_string(),
         );
     }
-    let report = run_load(&cfg).map_err(|e| format!("load run failed: {e}"))?;
+    let mut report = run_load(&cfg).map_err(|e| format!("load run failed: {e}"))?;
+
+    // Scrape before printing the summary so the server-side stage
+    // breakdown (flight recorder histograms) rides along with the
+    // client-observed latency line.
+    let metrics_text = args.get("metrics-addr").map(|metrics_addr| {
+        let text = fetch_metrics(metrics_addr);
+        if let Ok(text) = &text {
+            report.server_stages = StageBreakdown::from_prometheus(text);
+        }
+        text
+    });
+
     println!(
         "tia-loadgen: {} loop, {} conn(s): {}",
         if cfg.rate.is_some() { "open" } else { "closed" },
@@ -115,11 +138,20 @@ fn run() -> Result<(), String> {
         report.summary()
     );
 
-    if let Some(metrics_addr) = args.get("metrics-addr") {
-        match fetch_metrics(metrics_addr) {
+    if let Some(fetched) = metrics_text {
+        match fetched {
             Ok(text) => println!("--- server metrics ---\n{text}"),
             Err(e) => eprintln!("tia-loadgen: metrics fetch failed: {e}"),
         }
+    }
+
+    if let (Some(file), Some(metrics_addr)) = (args.get("trace"), args.get("metrics-addr")) {
+        let json = fetch_trace(metrics_addr).map_err(|e| format!("trace fetch failed: {e}"))?;
+        std::fs::write(file, &json).map_err(|e| format!("could not write trace to {file}: {e}"))?;
+        println!(
+            "tia-loadgen: wrote {} byte(s) of Chrome trace JSON to {file}",
+            json.len()
+        );
     }
 
     if args.has("shutdown") {

@@ -12,12 +12,18 @@
 //!            [--adaptive] [--floor-interactive N|none]
 //!            [--floor-normal N|none] [--floor-batch N|none]
 //!            [--p99-budget-ms MS] [--cooldown CYCLES]
+//!            [--trace-out FILE]
 //! ```
 //!
 //! `--max-wait-ms` is the deadline-aware scheduler's batch-forming wait:
 //! how long to hold a partial batch for more arrivals (0 = form
 //! immediately). Requests carrying a wire deadline cut the wait short and
 //! are shed with `Reject{DeadlineExceeded}` once expired.
+//!
+//! `--trace-out FILE` arms the flight recorder and, on drain, writes the
+//! accumulated Chrome trace-event JSON to `FILE` (load it in
+//! `chrome://tracing` or Perfetto). While the server runs the same JSON is
+//! live on `http://METRICS_ADDR/trace`.
 //!
 //! `--adaptive` arms the graceful-degradation controller: under overload
 //! the serving RPS mix shifts toward its lower bit-widths (recovering when
@@ -61,9 +67,11 @@ fn run() -> Result<(), String> {
             "floor-batch",
             "p99-budget-ms",
             "cooldown",
+            "trace-out",
         ],
         &["adaptive"],
     )?;
+    let trace_out = args.get("trace-out").map(str::to_string);
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
     let metrics_addr = args.get("metrics-addr").unwrap_or("127.0.0.1:7879");
     let workers = args.get_or(
@@ -136,6 +144,9 @@ fn run() -> Result<(), String> {
     if let Some(ctrl) = control.clone() {
         cfg = cfg.with_control(ctrl);
     }
+    if trace_out.is_some() {
+        cfg = cfg.with_trace();
+    }
 
     let server = Server::spawn(cfg, |_| {
         zoo::preact_resnet18_rps(
@@ -167,14 +178,28 @@ fn run() -> Result<(), String> {
     }
     if let Some(m) = server.metrics_addr() {
         println!("tia-served: Prometheus metrics on http://{m}/metrics");
+        if trace_out.is_some() {
+            println!("tia-served: flight recorder armed; live trace on http://{m}/trace");
+        }
     }
     println!("tia-served: send a Shutdown frame (tia-loadgen --shutdown) to drain and exit");
 
+    let sink = server.trace_handle();
     let engine = server.wait();
     let stats = engine.stats();
     println!(
         "tia-served: drained; served {} request(s) in {} batch(es)",
         stats.requests, stats.batches
     );
+    if let (Some(file), Some(sink)) = (trace_out, sink) {
+        std::fs::write(&file, sink.chrome_trace_json())
+            .map_err(|e| format!("could not write trace to {file}: {e}"))?;
+        println!(
+            "tia-served: wrote {} trace event(s) ({} request id(s), {} overwritten) to {file}",
+            sink.drain().len(),
+            sink.issued_ids(),
+            sink.overwritten()
+        );
+    }
     Ok(())
 }

@@ -177,16 +177,27 @@ fn frame_name(f: &Frame) -> &'static str {
 /// Fetches the Prometheus text exposition from a server's scrape port
 /// (a one-shot HTTP/1.0 GET).
 pub fn fetch_metrics<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
+    http_get(addr, b"GET /metrics HTTP/1.0\r\nHost: tia-serve\r\n\r\n")
+}
+
+/// Fetches the flight recorder's Chrome trace-event JSON from a server's
+/// scrape port (the `/trace` path; 404 when tracing is disabled — surfaced
+/// here as the body-less error).
+pub fn fetch_trace<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
+    http_get(addr, b"GET /trace HTTP/1.0\r\nHost: tia-serve\r\n\r\n")
+}
+
+fn http_get<A: ToSocketAddrs>(addr: A, request: &[u8]) -> io::Result<String> {
     use std::io::{Read, Write};
     let mut stream = TcpStream::connect(addr)?;
-    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: tia-serve\r\n\r\n")?;
+    stream.write_all(request)?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     match raw.split_once("\r\n\r\n") {
         Some((_headers, body)) => Ok(body.to_string()),
         None => Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "malformed HTTP response from metrics endpoint",
+            "malformed HTTP response from scrape endpoint",
         )),
     }
 }

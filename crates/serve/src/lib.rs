@@ -23,6 +23,10 @@
 //! * [`metrics`] — an atomic counter/histogram registry (RPS counters,
 //!   queue depth, per-precision batch mix, p50/p99 latency, controller
 //!   state) exposed in Prometheus text format on a second port.
+//! * [`trace`] — the per-request flight recorder: lock-free per-thread
+//!   rings of clock-seam-stamped stage events, reconstructed into
+//!   per-request spans and exported as stage-latency histograms, a
+//!   [`server::Server::drain_trace`] API, and Chrome trace-event JSON.
 //! * [`client`] / [`load`] — a blocking pipelining client plus open- and
 //!   closed-loop load generation, shared by the `tia-loadgen` binary, the
 //!   benchmarks and the integration tests.
@@ -75,12 +79,14 @@ pub mod control;
 pub mod load;
 pub mod metrics;
 pub mod server;
+pub mod trace;
 pub mod wire;
 
-pub use client::{fetch_metrics, infer_frame, infer_frame_with, Client};
+pub use client::{fetch_metrics, fetch_trace, infer_frame, infer_frame_with, Client};
 pub use clock::Clock;
 pub use control::{ControlConfig, Controller, CycleSample, Decision};
-pub use load::{run as run_load, LoadConfig, LoadReport, Ramp};
+pub use load::{run as run_load, LoadConfig, LoadReport, Ramp, StageBreakdown};
 pub use metrics::{ConservationViolation, Histogram, HistogramBaseline, Metrics, MetricsSnapshot};
 pub use server::{FaultPlan, Server, ServerConfig};
+pub use trace::{Span, SpanEvent, Stage, TraceEvent, TraceSink};
 pub use wire::{Class, Frame, InferRequest, InferResponse, RejectCode, WireError, WirePolicy};

@@ -160,6 +160,71 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// End-to-end (send → response read) latency of successful responses.
     pub latency: Histogram,
+    /// Server-side stage breakdown scraped after the run (`None` when the
+    /// scrape endpoint was not polled or the server's flight recorder is
+    /// off). Filled by the caller — [`run`] itself never scrapes.
+    pub server_stages: Option<StageBreakdown>,
+}
+
+/// Server-side mean latency per pipeline stage, parsed from the
+/// `tia_serve_stage_seconds` family of a Prometheus exposition (the flight
+/// recorder's stage histograms). Printed next to the client-observed
+/// latency, it shows where the time went *inside* the server: queueing,
+/// EDF window wait, engine execution, or response encode/send.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// `(stage, mean_seconds, samples)` in exposition order; the `total`
+    /// stage (the whole admitted-to-sent span) comes last.
+    pub stages: Vec<(String, f64, u64)>,
+}
+
+impl StageBreakdown {
+    /// Extracts the breakdown from a Prometheus text exposition. Returns
+    /// `None` when no stage recorded a sample (tracing off, or nothing
+    /// served yet).
+    pub fn from_prometheus(text: &str) -> Option<Self> {
+        let mut sums: Vec<(String, f64)> = Vec::new();
+        let mut counts: Vec<(String, u64)> = Vec::new();
+        for line in text.lines() {
+            if let Some((stage, v)) = stage_sample(line, "tia_serve_stage_seconds_sum") {
+                sums.push((stage.to_string(), v));
+            } else if let Some((stage, v)) = stage_sample(line, "tia_serve_stage_seconds_count") {
+                counts.push((stage.to_string(), v as u64));
+            }
+        }
+        let stages: Vec<(String, f64, u64)> = sums
+            .into_iter()
+            .filter_map(|(stage, sum)| {
+                let n = counts.iter().find(|(s, _)| *s == stage).map(|(_, n)| *n)?;
+                (n > 0).then_some((stage, sum / n as f64, n))
+            })
+            .collect();
+        if stages.is_empty() {
+            None
+        } else {
+            Some(Self { stages })
+        }
+    }
+}
+
+impl std::fmt::Display for StageBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server stage means:")?;
+        for (i, (stage, mean_s, _)) in self.stages.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            write!(f, "{sep} {stage} {:.2} ms", mean_s * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one `family{stage="..."} value` exposition line.
+fn stage_sample<'a>(line: &'a str, family: &str) -> Option<(&'a str, f64)> {
+    let rest = line.strip_prefix(family)?;
+    let rest = rest.strip_prefix("{stage=\"")?;
+    let (stage, rest) = rest.split_once('"')?;
+    let value = rest.strip_prefix("} ")?;
+    value.trim().parse().ok().map(|v| (stage, v))
 }
 
 impl LoadReport {
@@ -196,6 +261,9 @@ impl LoadReport {
                 self.ticks_skipped,
                 self.max_send_lag.as_secs_f64() * 1e3,
             ));
+        }
+        if let Some(stages) = &self.server_stages {
+            s.push_str(&format!("; {stages}"));
         }
         s
     }
@@ -241,6 +309,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         max_send_lag: Duration::ZERO,
         elapsed: Duration::ZERO,
         latency: Histogram::new(),
+        server_stages: None,
     };
     for h in handles {
         let stats = h
@@ -642,6 +711,36 @@ mod tests {
         assert_eq!(retry_delay(1), Duration::from_millis(4));
         assert_eq!(retry_delay(2), Duration::from_millis(8));
         assert_eq!(retry_delay(100), Duration::from_millis(32));
+    }
+
+    #[test]
+    fn stage_breakdown_parses_means_out_of_an_exposition() {
+        let text = "\
+# HELP tia_serve_stage_seconds per-stage latency\n\
+# TYPE tia_serve_stage_seconds histogram\n\
+tia_serve_stage_seconds_bucket{stage=\"queue_wait\",le=\"0.001\"} 4\n\
+tia_serve_stage_seconds_sum{stage=\"queue_wait\"} 0.004\n\
+tia_serve_stage_seconds_count{stage=\"queue_wait\"} 4\n\
+tia_serve_stage_seconds_sum{stage=\"execute\"} 0.03\n\
+tia_serve_stage_seconds_count{stage=\"execute\"} 4\n\
+tia_serve_stage_seconds_sum{stage=\"total\"} 0\n\
+tia_serve_stage_seconds_count{stage=\"total\"} 0\n";
+        let b = StageBreakdown::from_prometheus(text).unwrap();
+        // Zero-sample stages are dropped; sampled ones keep exposition order.
+        assert_eq!(
+            b.stages,
+            vec![
+                ("queue_wait".to_string(), 0.001, 4),
+                ("execute".to_string(), 0.0075, 4),
+            ]
+        );
+        let line = b.to_string();
+        assert_eq!(
+            line,
+            "server stage means: queue_wait 1.00 ms, execute 7.50 ms"
+        );
+        // No stage family at all (tracing off) parses to None.
+        assert_eq!(StageBreakdown::from_prometheus("up 1\n"), None);
     }
 
     #[test]

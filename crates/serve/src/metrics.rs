@@ -15,11 +15,26 @@
 
 use crate::wire::Class;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use tia_quant::Precision;
 
 /// Number of per-precision counters: index 0 is full precision (fp32),
 /// 1..=16 are quantized bit-widths.
 pub const PRECISION_SLOTS: usize = 17;
+
+/// The per-request pipeline stages the flight recorder derives latency
+/// histograms for, in array order (the `stage` label values of
+/// `tia_serve_stage_seconds`): queue wait (enqueue → EDF window entry),
+/// window residency (window entry → engine submit), execute (submit →
+/// flush), respond (flush → socket write), and the end-to-end total
+/// (enqueue → socket write).
+pub const STAGE_NAMES: [&str; 5] = ["queue_wait", "window", "execute", "respond", "total"];
+
+/// Index of the end-to-end total in [`STAGE_NAMES`]-ordered arrays.
+pub const STAGE_TOTAL: usize = STAGE_NAMES.len() - 1;
+
+/// Slots in the slow-request exemplar table.
+const SLOW_SLOTS: usize = 4;
 
 const BUCKETS: usize = 26;
 
@@ -97,6 +112,18 @@ impl Histogram {
     /// Upper bound (in nanoseconds) of the bucket containing quantile `q`
     /// (e.g. `0.5`, `0.99`). Returns 0 when empty. Resolution is the bucket
     /// width — a factor of two — which is plenty for serving dashboards.
+    ///
+    /// Semantics, pinned by the boundary tests and shared (via the
+    /// private `bucket_index` helper) with the recording path and the Prometheus
+    /// rendering: the reported value is always a whole power-of-two number
+    /// of microseconds, the *inclusive upper* bound `2^i` µs of the
+    /// log₂ bucket `(2^(i-1), 2^i]` that holds the quantile sample — never
+    /// an interpolation. A sample of exactly `2^i` µs therefore reports as
+    /// itself, any other sample rounds *up* to its bucket bound (a 1 ns
+    /// sample reports 1 µs, the bucket-0 floor), and samples past the last
+    /// finite bound (`2^25` µs) report the overflow tail `2^26` µs. The
+    /// same holds for the stage histograms (`tia_serve_stage_seconds`)
+    /// derived from the flight recorder.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -212,6 +239,19 @@ pub struct HistogramBaseline {
     counts: [u64; BUCKETS + 1],
 }
 
+/// One slow-request exemplar: the full stage breakdown of one of the
+/// slowest served requests so far, kept in [`Metrics`]'s fixed table and
+/// rendered at the end of the exposition. A concrete answer to "what did
+/// the p99 outlier actually spend its time on" without storing traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowExemplar {
+    /// The client-chosen wire id of the request.
+    pub wire_id: u64,
+    /// Per-stage nanoseconds, [`STAGE_NAMES`] order (the last slot is the
+    /// end-to-end total the table ranks by).
+    pub stage_ns: [u64; STAGE_NAMES.len()],
+}
+
 /// The serving metrics registry, shared (via `Arc`) by every server thread
 /// and exposed on the Prometheus scrape port.
 #[derive(Debug, Default)]
@@ -274,6 +314,15 @@ pub struct Metrics {
     /// Policy-driven submissions whose class floor actively constrained
     /// the degraded sampling window (the SLO floor did real work).
     pub floor_clamped_total: AtomicU64,
+    /// Per-stage latency histograms derived from the flight recorder's
+    /// request timestamps ([`STAGE_NAMES`] order). Recorded for every
+    /// served request whether or not event tracing is enabled.
+    pub stage: [Histogram; STAGE_NAMES.len()],
+    /// The slow-request exemplar table (see [`SlowExemplar`]). A `Mutex`
+    /// is fine here: the only writer is the single batcher thread and the
+    /// only other taker is a scrape, so the lock is effectively
+    /// uncontended and never on a multi-writer path.
+    slow: Mutex<[SlowExemplar; SLOW_SLOTS]>,
 }
 
 /// A point-in-time copy of the counters that participate in the serving
@@ -417,6 +466,43 @@ impl Metrics {
     pub fn record_latency(&self, class: Class, ns: u64) {
         self.latency.record_ns(ns);
         self.latency_by_class[class.as_u8() as usize].record_ns(ns);
+    }
+
+    /// Records one served request's per-stage latency breakdown
+    /// ([`STAGE_NAMES`] order) into the stage histograms, and offers it to
+    /// the slow-request exemplar table, where it displaces the current
+    /// fastest entry if its end-to-end total is slower.
+    pub fn record_stages(&self, wire_id: u64, stage_ns: [u64; STAGE_NAMES.len()]) {
+        for (h, ns) in self.stage.iter().zip(stage_ns) {
+            h.record_ns(ns);
+        }
+        let total = stage_ns[STAGE_TOTAL];
+        if let Ok(mut slow) = self.slow.lock() {
+            let mut min = 0usize;
+            for (i, e) in slow.iter().enumerate() {
+                if e.stage_ns[STAGE_TOTAL] < slow[min].stage_ns[STAGE_TOTAL] {
+                    min = i;
+                }
+            }
+            if total > slow[min].stage_ns[STAGE_TOTAL] {
+                slow[min] = SlowExemplar { wire_id, stage_ns };
+            }
+        }
+    }
+
+    /// The current slow-request exemplar table, slowest first (empty slots
+    /// omitted).
+    pub fn slow_exemplars(&self) -> Vec<SlowExemplar> {
+        let mut out: Vec<SlowExemplar> = match self.slow.lock() {
+            Ok(slow) => slow
+                .iter()
+                .filter(|e| e.stage_ns[STAGE_TOTAL] > 0)
+                .copied()
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        out.sort_by_key(|e| std::cmp::Reverse(e.stage_ns[STAGE_TOTAL]));
+        out
     }
 
     /// Renders the whole registry in Prometheus text exposition format
@@ -607,6 +693,48 @@ impl Metrics {
                 &format!("class=\"{}\",", class.label()),
                 &mut out,
             );
+        }
+        putln(
+            &mut out,
+            format_args!(
+                "# HELP tia_serve_stage_seconds Server-side per-stage request latency (log2 buckets; quantiles report the bucket's inclusive upper bound)."
+            ),
+        );
+        putln(
+            &mut out,
+            format_args!("# TYPE tia_serve_stage_seconds histogram"),
+        );
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            self.stage[i].render(
+                "tia_serve_stage_seconds",
+                &format!("stage=\"{name}\","),
+                &mut out,
+            );
+        }
+        let exemplars = self.slow_exemplars();
+        if !exemplars.is_empty() {
+            putln(
+                &mut out,
+                format_args!(
+                    "# HELP tia_serve_slow_request_seconds Stage breakdown of the slowest served requests (exemplar table, rank 0 slowest)."
+                ),
+            );
+            putln(
+                &mut out,
+                format_args!("# TYPE tia_serve_slow_request_seconds gauge"),
+            );
+            for (rank, e) in exemplars.iter().enumerate() {
+                for (i, name) in STAGE_NAMES.iter().enumerate() {
+                    putln(
+                        &mut out,
+                        format_args!(
+                            "tia_serve_slow_request_seconds{{rank=\"{rank}\",id=\"{}\",stage=\"{name}\"}} {}",
+                            e.wire_id,
+                            e.stage_ns[i] as f64 / 1e9
+                        ),
+                    );
+                }
+            }
         }
         out
     }
@@ -880,6 +1008,89 @@ mod tests {
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
+    }
+
+    /// Satellite pin: the stage histograms inherit the shared
+    /// `bucket_index` log2 upper-bound semantics — a boundary sample of
+    /// exactly `2^i` µs reports as itself, anything else rounds up to its
+    /// bucket bound, starting at the 1 µs floor.
+    #[test]
+    fn stage_histograms_pin_log2_upper_bound_semantics() {
+        let m = Metrics::new();
+        // queue_wait: 1 ns — the 1 µs bucket-0 floor.
+        // window: exactly 1 µs — its own (inclusive) bound.
+        // execute: 1 µs + 1 ns — rounds up to the 2 µs bound.
+        // respond: exactly 1024 µs — a higher boundary, reports as itself.
+        // total: 1025 µs — rounds up to the 2048 µs bound.
+        m.record_stages(7, [1, 1_000, 1_001, 1_024_000, 1_025_000]);
+        let bounds_us = [1u64, 1, 2, 1024, 2048];
+        for (i, bound) in bounds_us.iter().enumerate() {
+            assert_eq!(
+                m.stage[i].quantile_ns(1.0),
+                bound * 1000,
+                "stage {} must report the log2 bucket upper bound",
+                STAGE_NAMES[i]
+            );
+            // The shared helper agrees with the reported bound.
+            let us = [1u64, 1, 2, 1024, 1025][i];
+            assert_eq!(bucket_upper_us(bucket_index(us)), *bound);
+        }
+        let text = m.render_prometheus();
+        for name in STAGE_NAMES {
+            assert!(
+                text.contains(&format!(
+                    "tia_serve_stage_seconds_count{{stage=\"{name}\"}} 1"
+                )),
+                "missing stage family {name} in:\n{text}"
+            );
+        }
+        // The boundary sample sits in its own `le` bucket, not the one below.
+        assert!(
+            text.contains("tia_serve_stage_seconds_bucket{stage=\"respond\",le=\"0.001024\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tia_serve_stage_seconds_bucket{stage=\"respond\",le=\"0.000512\"} 0"),
+            "{text}"
+        );
+    }
+
+    /// The slow-request exemplar table keeps the slowest requests by
+    /// end-to-end total and renders their full stage breakdown.
+    #[test]
+    fn slow_exemplar_table_keeps_the_slowest_and_renders() {
+        let m = Metrics::new();
+        // Empty table renders nothing.
+        assert!(!m
+            .render_prometheus()
+            .contains("tia_serve_slow_request_seconds"));
+        // Fill beyond capacity; the four slowest must survive.
+        for (id, total) in [(1u64, 10u64), (2, 50), (3, 20), (4, 40), (5, 30), (6, 60)] {
+            m.record_stages(id, [1, 2, 3, 4, total * 1_000_000]);
+        }
+        let slow = m.slow_exemplars();
+        assert_eq!(
+            slow.iter().map(|e| e.wire_id).collect::<Vec<_>>(),
+            vec![6, 2, 4, 5],
+            "slowest-first ranking by total"
+        );
+        let text = m.render_prometheus();
+        assert!(
+            text.contains(
+                "tia_serve_slow_request_seconds{rank=\"0\",id=\"6\",stage=\"total\"} 0.06"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "tia_serve_slow_request_seconds{rank=\"0\",id=\"6\",stage=\"queue_wait\"}"
+            ),
+            "{text}"
+        );
+        // A faster request than everything in the table changes nothing.
+        m.record_stages(9, [1, 1, 1, 1, 1]);
+        assert_eq!(m.slow_exemplars().len(), 4);
+        assert!(!m.slow_exemplars().iter().any(|e| e.wire_id == 9));
     }
 
     #[test]

@@ -73,7 +73,8 @@
 
 use crate::clock::Clock;
 use crate::control::{ControlConfig, Controller, CycleSample, Decision};
-use crate::metrics::{HistogramBaseline, Metrics};
+use crate::metrics::{HistogramBaseline, Metrics, STAGE_NAMES};
+use crate::trace::{self, Ring, Span, Stage, TraceSink};
 use crate::wire::{Class, Frame, InferResponse, RejectCode, WirePolicy};
 use std::collections::HashMap;
 use std::io;
@@ -195,6 +196,15 @@ pub struct ServerConfig {
     /// window to narrow. `None` (the default) leaves the hot path
     /// untouched.
     pub control: Option<ControlConfig>,
+    /// Enables the flight recorder (see [`crate::trace`]): every serving
+    /// thread records per-request stage events into its own lock-free
+    /// ring, exposed via [`Server::drain_trace`], the scrape port's
+    /// `/trace` endpoint (Chrome trace-event JSON), and the slow-request
+    /// exemplars. Off by default; the steady-state recording cost is a few
+    /// relaxed atomic stores per stage and zero heap allocations (the
+    /// stage histograms in the metrics exposition are recorded either
+    /// way).
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -212,6 +222,7 @@ impl Default for ServerConfig {
             clock: Clock::real(),
             faults: FaultPlan::default(),
             control: None,
+            trace: false,
         }
     }
 }
@@ -287,6 +298,12 @@ impl ServerConfig {
     /// [`ServerConfig::control`]).
     pub fn with_control(mut self, control: ControlConfig) -> Self {
         self.control = Some(control);
+        self
+    }
+
+    /// Enables the flight recorder (see [`ServerConfig::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -370,6 +387,10 @@ struct Shared {
     input_shape: [usize; 3],
     conns: Mutex<Vec<Arc<Conn>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// The flight recorder, when [`ServerConfig::trace`] enabled it. Each
+    /// serving thread registers its own ring at thread start; `None` keeps
+    /// the hot path free of even the per-event branch's ring accesses.
+    trace: Option<Arc<TraceSink>>,
 }
 
 /// One admitted inference request, as it travels from its reader into the
@@ -384,6 +405,13 @@ struct IncomingReq {
     /// deadline_ms`); `None` = serve whenever.
     deadline: Option<Instant>,
     class: Class,
+    /// Flight-recorder trace id (0 = untraced; see
+    /// [`crate::trace::TraceSink::next_request_id`]).
+    trace: u64,
+    /// When the batcher pulled the request into the scheduling window
+    /// (initialized to `enqueued`, stamped at intake) — the boundary
+    /// between the queue-wait and window stages in the latency breakdown.
+    window_at: Instant,
 }
 
 impl IncomingReq {
@@ -449,12 +477,20 @@ fn edf_order(a: &PendingReq, b: &PendingReq) -> std::cmp::Ordering {
 /// the next batch boundary instead of waiting out the whole backlog.
 const WINDOW_CYCLES: usize = 4;
 
-/// Where a flushed engine response goes back out.
+/// Where a flushed engine response goes back out, carrying the stage
+/// timestamps accumulated so far so the response path can derive the full
+/// latency breakdown without re-walking the trace.
 struct Route {
     conn: Arc<Conn>,
     wire_id: u64,
     enqueued: Instant,
     class: Class,
+    /// Flight-recorder trace id (0 = untraced).
+    trace: u64,
+    /// Window-entry instant (see [`IncomingReq::window_at`]).
+    window_at: Instant,
+    /// Engine-submit instant (the batch-forming cycle's timestamp).
+    submitted_at: Instant,
 }
 
 /// A running TCP serving front-end; see the [module docs](self) for the
@@ -514,6 +550,9 @@ impl<B: Backend + Send + 'static> Server<B> {
             input_shape: cfg.input_shape,
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
+            trace: cfg
+                .trace
+                .then(|| Arc::new(TraceSink::new(cfg.clock.clone()))),
         });
         let (submit_tx, submit_rx) = sync_channel::<Item>(cfg.queue_capacity.max(1));
 
@@ -586,6 +625,26 @@ impl<B: Backend + Send + 'static> Server<B> {
     /// engine has been returned.
     pub fn metrics_handle(&self) -> Arc<Metrics> {
         Arc::clone(&self.shared.metrics)
+    }
+
+    /// A handle to the flight recorder that outlives the server (mirrors
+    /// [`Server::metrics_handle`]); `None` unless
+    /// [`ServerConfig::with_trace`] enabled tracing. Hold one before
+    /// shutdown to export or inspect the trace after the drain.
+    pub fn trace_handle(&self) -> Option<Arc<TraceSink>> {
+        self.shared.trace.as_ref().map(Arc::clone)
+    }
+
+    /// Reconstructs per-request spans from the flight recorder's current
+    /// contents (see [`crate::trace::spans`]). Non-destructive; empty when
+    /// tracing is disabled. Exact once the server has quiesced (paused and
+    /// settled, or drained); a mid-flight call sees whatever stages have
+    /// been recorded so far.
+    pub fn drain_trace(&self) -> Vec<Span> {
+        match &self.shared.trace {
+            Some(sink) => trace::spans(&sink.drain()),
+            None => Vec::new(),
+        }
     }
 
     /// Unpauses a [`ServerConfig::start_paused`] batcher.
@@ -669,6 +728,11 @@ impl<B: Backend + Send + 'static> Drop for Server<B> {
 
 /// Accepts connections until the server stops; one reader thread each.
 fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item>) {
+    let ring = shared
+        .trace
+        .as_ref()
+        .map(|s| s.register("acceptor", trace::ACCEPTOR_RING_SLOTS));
+    let mut conn_seq = 0u64;
     for stream in listener.incoming() {
         // ordering: SeqCst — stop flag; pairs with the store in finish().
         if shared.stopped.load(Ordering::SeqCst) {
@@ -698,6 +762,10 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item
             .metrics
             .connections_active
             .fetch_add(1, Ordering::Relaxed);
+        conn_seq += 1;
+        if let Some(r) = &ring {
+            r.record(Stage::Accept, conn_seq, 0, 0);
+        }
         let conn = Arc::new(Conn {
             stream: Mutex::new(write_half),
             alive: AtomicBool::new(true),
@@ -708,7 +776,7 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item
         let handle = {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
-            std::thread::spawn(move || reader_loop(stream, conn, shared, tx))
+            std::thread::spawn(move || reader_loop(stream, conn, shared, tx, conn_seq))
         };
         if let Ok(mut g) = shared.readers.lock() {
             // Long-lived servers accept unbounded connections over their
@@ -720,12 +788,31 @@ fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Item
     }
 }
 
+/// Records a flight-recorder [`Stage::Rejected`] terminal for a request
+/// refused at admission (no-op when tracing is off).
+fn trace_reject(ring: Option<&Ring>, trace_id: u64, wire_id: u64) {
+    if let Some(r) = ring {
+        let (hi, lo) = trace::wire_id_args(wire_id);
+        r.record(Stage::Rejected, trace_id, hi, lo);
+    }
+}
+
 /// Decodes frames from one connection; admitted requests go to the queue,
 /// everything else is answered inline. Exits on EOF, socket teardown, or
 /// the first malformed frame (framing can no longer be trusted).
-fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: SyncSender<Item>) {
+fn reader_loop(
+    mut stream: TcpStream,
+    conn: Arc<Conn>,
+    shared: Arc<Shared>,
+    tx: SyncSender<Item>,
+    conn_seq: u64,
+) {
     use crate::wire::WireError;
     let m = &shared.metrics;
+    let ring = shared
+        .trace
+        .as_ref()
+        .map(|s| s.register(&format!("reader-{conn_seq}"), trace::READER_RING_SLOTS));
     // ordering: relaxed — liveness gauge; the join in finish() is the real
     // synchronization edge, the gauge just names what it observed.
     m.readers_live.fetch_add(1, Ordering::Relaxed);
@@ -737,9 +824,18 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
     loop {
         match Frame::read_from(&mut stream) {
             Ok(Frame::Infer(req)) => {
+                let trace_id = match &shared.trace {
+                    Some(sink) => sink.next_request_id(),
+                    None => 0,
+                };
+                if let Some(r) = &ring {
+                    let (hi, lo) = trace::wire_id_args(req.id);
+                    r.record(Stage::FrameDecoded, trace_id, hi, lo);
+                }
                 if req.shape != shared.input_shape {
                     // ordering: relaxed — metrics counter.
                     m.rejected_bad_shape.fetch_add(1, Ordering::Relaxed);
+                    trace_reject(ring.as_deref(), trace_id, req.id);
                     conn.send(&Frame::Reject {
                         id: req.id,
                         code: RejectCode::BadShape,
@@ -759,6 +855,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                     drop(admission);
                     // ordering: relaxed — metrics counter.
                     m.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                    trace_reject(ring.as_deref(), trace_id, req.id);
                     conn.send(&Frame::Reject {
                         id: req.id,
                         code: RejectCode::Draining,
@@ -779,6 +876,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                         m.faults_injected.fetch_add(1, Ordering::Relaxed);
                         // ordering: relaxed — metrics counter.
                         m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                        trace_reject(ring.as_deref(), trace_id, req.id);
                         conn.send(&Frame::Reject {
                             id: req.id,
                             code: RejectCode::QueueFull,
@@ -799,6 +897,8 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                         .deadline_ms
                         .map(|ms| enqueued + Duration::from_millis(u64::from(ms))),
                     class: req.class,
+                    trace: trace_id,
+                    window_at: enqueued,
                 }));
                 // Gauge up *before* the send: the batcher's decrement can
                 // otherwise race ahead of the increment and wrap below 0.
@@ -811,12 +911,21 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                     Ok(()) => {
                         // ordering: relaxed — metrics counter.
                         m.requests_total.fetch_add(1, Ordering::Relaxed);
+                        if let Some(r) = &ring {
+                            // Both stamped at the admission instant the
+                            // deadline was anchored to, so span timestamps
+                            // and deadline math agree exactly.
+                            let (hi, lo) = trace::wire_id_args(req.id);
+                            r.record_at(Stage::Admitted, trace_id, hi, lo, enqueued);
+                            r.record_at(Stage::Enqueued, trace_id, 0, 0, enqueued);
+                        }
                     }
                     Err(TrySendError::Full(_)) => {
                         // ordering: relaxed — gauge rollback + counter.
                         m.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         // ordering: relaxed — metrics counter.
                         m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                        trace_reject(ring.as_deref(), trace_id, req.id);
                         conn.send(&Frame::Reject {
                             id: req.id,
                             code: RejectCode::QueueFull,
@@ -827,6 +936,7 @@ fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, shared: Arc<Shared>, tx: 
                         m.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         // ordering: relaxed — metrics counter.
                         m.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                        trace_reject(ring.as_deref(), trace_id, req.id);
                         conn.send(&Frame::Reject {
                             id: req.id,
                             code: RejectCode::Draining,
@@ -916,6 +1026,11 @@ fn batcher_loop<B: Backend + Send + 'static>(
     mut adaptive: Option<Adaptive>,
 ) -> ShardedEngine<B> {
     use std::sync::mpsc::RecvTimeoutError;
+    let ring = shared
+        .trace
+        .as_ref()
+        .map(|s| s.register("batcher", trace::BATCHER_RING_SLOTS));
+    let ring = ring.as_deref();
     let mut routes: HashMap<RequestId, Route> = HashMap::new();
     let mut book = BatchBook {
         last_stats: engine.stats(),
@@ -941,6 +1056,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
                 Ok(item) => intake(
                     item,
                     &shared,
+                    ring,
                     &mut window,
                     &mut next_seq,
                     &mut stop,
@@ -960,6 +1076,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
                 Ok(item) => intake(
                     item,
                     &shared,
+                    ring,
                     &mut window,
                     &mut next_seq,
                     &mut stop,
@@ -979,7 +1096,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
         }
         // Shed requests that expired while queued, before they cost a batch
         // slot or an engine cycle.
-        let shed_now = shed_expired(&shared, &mut window);
+        let shed_now = shed_expired(&shared, ring, &mut window);
         if let Some(a) = adaptive.as_mut() {
             a.sheds += shed_now;
         }
@@ -999,6 +1116,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
                 Ok(item) => intake(
                     item,
                     &shared,
+                    ring,
                     &mut window,
                     &mut next_seq,
                     &mut stop,
@@ -1015,6 +1133,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
         let (submitted, shed_in) = form_and_run(
             &mut engine,
             &shared,
+            ring,
             &mut req_rng,
             &mut routes,
             &mut window,
@@ -1024,7 +1143,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
         );
         if let Some(a) = adaptive.as_mut() {
             a.sheds += shed_in;
-            step_adaptive(a, &mut engine, &shared, fill, submitted);
+            step_adaptive(a, &mut engine, &shared, ring, fill, submitted);
         }
     }
     // The final sweep and drain, shared by both exits (shutdown marker —
@@ -1036,6 +1155,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
         intake(
             item,
             &shared,
+            ring,
             &mut window,
             &mut next_seq,
             &mut stop,
@@ -1049,6 +1169,7 @@ fn batcher_loop<B: Backend + Send + 'static>(
         let _counts = form_and_run(
             &mut engine,
             &shared,
+            ring,
             &mut req_rng,
             &mut routes,
             &mut window,
@@ -1073,13 +1194,20 @@ fn batcher_loop<B: Backend + Send + 'static>(
 fn intake(
     item: Item,
     shared: &Shared,
+    ring: Option<&Ring>,
     window: &mut Vec<PendingReq>,
     next_seq: &mut u64,
     stop: &mut bool,
     ackers: &mut Vec<Arc<Conn>>,
 ) {
     match item {
-        Item::Infer(req) => {
+        Item::Infer(mut req) => {
+            // Stamp the queue-wait/window boundary for the stage-latency
+            // breakdown (recorded for every request, traced or not).
+            req.window_at = shared.clock.now();
+            if let Some(r) = ring {
+                r.record_at(Stage::WindowEnter, req.trace, 0, 0, req.window_at);
+            }
             let seq = *next_seq;
             *next_seq += 1;
             window.push(PendingReq { seq, req });
@@ -1101,27 +1229,33 @@ fn intake(
 /// [`RejectCode::DeadlineExceeded`] frame, returning how many it shed.
 /// Shed requests never reach the engine, so they consume no draw from the
 /// seeded precision schedule.
-fn shed_expired(shared: &Shared, window: &mut Vec<PendingReq>) -> usize {
+fn shed_expired(shared: &Shared, ring: Option<&Ring>, window: &mut Vec<PendingReq>) -> usize {
     let now = shared.clock.now();
     let before = window.len();
     window.retain(|pending| {
         if !pending.req.expired(now) {
             return true;
         }
-        shed_one(shared, &pending.req);
+        shed_one(shared, ring, &pending.req, now);
         false
     });
     before - window.len()
 }
 
 /// Answers one expired request with a typed reject and updates the shed
-/// accounting.
-fn shed_one(shared: &Shared, req: &IncomingReq) {
+/// accounting. `now` is the expiry-check instant the shed decision was
+/// made at — the [`Stage::Shed`] terminal is stamped with it so the trace
+/// shows when the scheduler gave up, not when the reject frame went out.
+fn shed_one(shared: &Shared, ring: Option<&Ring>, req: &IncomingReq, now: Instant) {
     let m = &shared.metrics;
     // ordering: relaxed — metrics gauge + counter.
     m.queue_depth.fetch_sub(1, Ordering::Relaxed);
     // ordering: relaxed — metrics counter.
     m.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    if let Some(r) = ring {
+        let (hi, lo) = trace::wire_id_args(req.wire_id);
+        r.record_at(Stage::Shed, req.trace, hi, lo, now);
+    }
     req.conn.send(&Frame::Reject {
         id: req.wire_id,
         code: RejectCode::DeadlineExceeded,
@@ -1143,6 +1277,7 @@ struct BatchBook {
 fn form_and_run<B: Backend + Send + 'static>(
     engine: &mut ShardedEngine<B>,
     shared: &Shared,
+    ring: Option<&Ring>,
     req_rng: &mut SeededRng,
     routes: &mut HashMap<RequestId, Route>,
     window: &mut Vec<PendingReq>,
@@ -1165,7 +1300,7 @@ fn form_and_run<B: Backend + Send + 'static>(
     for pending in window.drain(..take) {
         let req = *pending.req;
         if req.expired(now) {
-            shed_one(shared, &req);
+            shed_one(shared, ring, &req, now);
             sheds += 1;
             continue;
         }
@@ -1201,6 +1336,11 @@ fn form_and_run<B: Backend + Send + 'static>(
         };
         match submitted {
             Ok(id) => {
+                if let Some(r) = ring {
+                    // Stamped at the batch-forming instant the EDF sort ran
+                    // at — one clock read covers the whole batch.
+                    r.record_at(Stage::EngineSubmit, req.trace, 0, 0, now);
+                }
                 routes.insert(
                     id,
                     Route {
@@ -1208,6 +1348,9 @@ fn form_and_run<B: Backend + Send + 'static>(
                         wire_id: req.wire_id,
                         enqueued: req.enqueued,
                         class: req.class,
+                        trace: req.trace,
+                        window_at: req.window_at,
+                        submitted_at: now,
                     },
                 );
             }
@@ -1219,6 +1362,10 @@ fn form_and_run<B: Backend + Send + 'static>(
                 // leg of the conservation equation, not the reject leg.
                 // ordering: relaxed — metrics counter.
                 shared.metrics.errored_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(r) = ring {
+                    let (hi, lo) = trace::wire_id_args(req.wire_id);
+                    r.record_at(Stage::Errored, req.trace, hi, lo, now);
+                }
                 req.conn.send(&Frame::Reject {
                     id: req.wire_id,
                     code: RejectCode::BadShape,
@@ -1226,7 +1373,19 @@ fn form_and_run<B: Backend + Send + 'static>(
             }
         }
     }
-    flush_and_respond(engine, shared, routes, &mut book.last_stats);
+    if let Some(r) = ring {
+        // The batch-formed scope event: size, the degrade level it ran
+        // under, and the cycle sequence (the precision mix lands on the
+        // matching engine_cycle event once the flush reveals the draws).
+        r.record_at(
+            Stage::BatchFormed,
+            book.batches_formed,
+            submits as u32,
+            u32::from(engine.degrade_level()),
+            now,
+        );
+    }
+    flush_and_respond(engine, shared, ring, routes, &mut book.last_stats);
     (submits, sheds)
 }
 
@@ -1238,6 +1397,7 @@ fn step_adaptive<B: Backend + Send + 'static>(
     a: &mut Adaptive,
     engine: &mut ShardedEngine<B>,
     shared: &Shared,
+    ring: Option<&Ring>,
     fill: f64,
     submitted: usize,
 ) {
@@ -1256,27 +1416,31 @@ fn step_adaptive<B: Backend + Send + 'static>(
         *p99 = m.latency_by_class[i].quantile_since_ns(&a.baselines[i], 0.99);
         a.baselines[i] = m.latency_by_class[i].baseline();
     }
-    let level = match a.ctrl.step(&CycleSample { fill, miss, p99_ns }) {
+    let (level, direction) = match a.ctrl.step(&CycleSample { fill, miss, p99_ns }) {
         Decision::Hold => return,
         Decision::Degrade(level) => {
             // ordering: relaxed — metrics counter.
             m.degrade_shifts_down.fetch_add(1, Ordering::Relaxed);
-            level
+            (level, 1u32)
         }
         Decision::Recover(level) => {
             // ordering: relaxed — metrics counter.
             m.degrade_shifts_up.fetch_add(1, Ordering::Relaxed);
-            level
+            (level, 2u32)
         }
     };
     engine.set_degrade_level(level);
     // ordering: relaxed — metrics gauge.
     m.degrade_level.store(u64::from(level), Ordering::Relaxed);
+    if let Some(r) = ring {
+        r.record(Stage::ControlDecision, u64::from(level), direction, 0);
+    }
 }
 
 fn flush_and_respond<B: Backend + Send + 'static>(
     engine: &mut ShardedEngine<B>,
     shared: &Shared,
+    ring: Option<&Ring>,
     routes: &mut HashMap<RequestId, Route>,
     last_stats: &mut tia_engine::EngineStats,
 ) {
@@ -1284,18 +1448,34 @@ fn flush_and_respond<B: Backend + Send + 'static>(
         return;
     }
     let responses = engine.flush();
+    let flushed_at = shared.clock.now();
     let m = &shared.metrics;
+    // The cycle's precision mix, revealed by the flush: bit 0 = fp32,
+    // bit `b` = `b`-bit. Carried on the engine_cycle scope event.
+    let mut mix = 0u32;
     for r in responses {
         let Some(route) = routes.remove(&r.id) else {
             continue; // unreachable: every submit recorded a route
         };
+        mix |= 1u32 << r.precision.map_or(0, |p| u32::from(p.bits()));
+        if let Some(rg) = ring {
+            rg.record_at(Stage::Flushed, route.trace, 0, 0, flushed_at);
+        }
         let frame = Frame::Logits(InferResponse {
             id: route.wire_id,
             precision: r.precision,
             top1: r.top1,
             logits: r.logits.into_vec(),
         });
+        let encoded_at = shared.clock.now();
+        if let Some(rg) = ring {
+            rg.record_at(Stage::Encoded, route.trace, 0, 0, encoded_at);
+        }
         route.conn.send(&frame);
+        let sent_at = shared.clock.now();
+        if let Some(rg) = ring {
+            rg.record_at(Stage::Sent, route.trace, 0, 0, sent_at);
+        }
         // ordering: relaxed — metrics counter.
         m.responses_total.fetch_add(1, Ordering::Relaxed);
         if shared.faults.double_ack {
@@ -1308,27 +1488,48 @@ fn flush_and_respond<B: Backend + Send + 'static>(
             m.responses_total.fetch_add(1, Ordering::Relaxed);
         }
         m.count_precision(r.precision);
-        m.record_latency(
-            route.class,
-            shared.clock.since(route.enqueued).as_nanos() as u64,
+        let span = |later: Instant, earlier: Instant| {
+            later.saturating_duration_since(earlier).as_nanos() as u64
+        };
+        let total_ns = span(sent_at, route.enqueued);
+        m.record_latency(route.class, total_ns);
+        debug_assert_eq!(STAGE_NAMES.len(), 5);
+        m.record_stages(
+            route.wire_id,
+            [
+                span(route.window_at, route.enqueued),
+                span(route.submitted_at, route.window_at),
+                span(flushed_at, route.submitted_at),
+                span(sent_at, flushed_at),
+                total_ns,
+            ],
         );
     }
     let stats = engine.stats();
+    let batch_delta = (stats.batches - last_stats.batches) as u64;
     // ordering: relaxed — metrics counter.
-    m.batches_total.fetch_add(
-        (stats.batches - last_stats.batches) as u64,
-        Ordering::Relaxed,
-    );
+    m.batches_total.fetch_add(batch_delta, Ordering::Relaxed);
     // ordering: relaxed — metrics counter.
     m.batch_frames_total.fetch_add(
         (stats.requests - last_stats.requests) as u64,
         Ordering::Relaxed,
     );
+    if let Some(rg) = ring {
+        rg.record_at(
+            Stage::EngineCycle,
+            engine.cycles(),
+            mix,
+            batch_delta as u32,
+            flushed_at,
+        );
+    }
     *last_stats = stats;
 }
 
 /// Minimal HTTP/1.0 exposition endpoint: `GET /metrics` answers the
-/// Prometheus text format, anything else 404. One request per connection.
+/// Prometheus text format, `GET /trace` the flight recorder's Chrome
+/// trace-event JSON (404 when tracing is off), anything else 404. One
+/// request per connection.
 fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
         // ordering: SeqCst — stop flag; pairs with the store in finish().
@@ -1337,11 +1538,11 @@ fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         let Ok(mut stream) = stream else { continue };
         best_effort(stream.set_read_timeout(Some(Duration::from_secs(2))));
-        serve_scrape(&mut stream, &shared.metrics);
+        serve_scrape(&mut stream, &shared);
     }
 }
 
-fn serve_scrape(stream: &mut TcpStream, metrics: &Metrics) {
+fn serve_scrape(stream: &mut TcpStream, shared: &Shared) {
     use std::io::{Read, Write};
     let mut buf = [0u8; 4096];
     let mut got = 0;
@@ -1361,13 +1562,30 @@ fn serve_scrape(stream: &mut TcpStream, metrics: &Metrics) {
     }
     let request = String::from_utf8_lossy(&buf[..got]);
     let path = request.split_whitespace().nth(1).unwrap_or("");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", metrics.render_prometheus())
+    let (status, content_type, body) = if path == "/metrics" || path == "/" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            shared.metrics.render_prometheus(),
+        )
+    } else if path == "/trace" {
+        match &shared.trace {
+            Some(sink) => ("200 OK", "application/json", sink.chrome_trace_json()),
+            None => (
+                "404 Not Found",
+                "text/plain; version=0.0.4",
+                "tracing disabled\n".to_string(),
+            ),
+        }
     } else {
-        ("404 Not Found", "not found\n".to_string())
+        (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            "not found\n".to_string(),
+        )
     };
     let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     best_effort(stream.write_all(response.as_bytes()));

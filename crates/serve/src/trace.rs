@@ -1,0 +1,816 @@
+//! Per-request flight recorder: lock-free per-thread event rings, span
+//! reconstruction, and Chrome trace-event export.
+//!
+//! Aggregate counters ([`crate::metrics`]) say *how much*; the flight
+//! recorder says *where the time went* for each individual request. Every
+//! serving thread (acceptor, readers, batcher) registers its own
+//! fixed-capacity [`Ring`] with the shared [`TraceSink`] and stamps
+//! [`Stage`] events into it as requests move through the pipeline:
+//!
+//! ```text
+//! accept → frame-decoded → admitted/rejected → enqueued → window-enter
+//!        → batch-formed → engine-submit → flushed → encoded → sent/shed
+//! ```
+//!
+//! Design constraints, in order:
+//!
+//! * **Allocation-free in steady state.** A ring is a struct-of-arrays of
+//!   `AtomicU64` slots allocated once at registration; recording an event
+//!   is four relaxed stores plus one release store of the write cursor.
+//!   The alloc-regression test pins this to literally zero heap
+//!   allocations per event.
+//! * **Lock-free, single-writer.** Each ring is written by exactly one
+//!   thread (its registrant) and read by at most one scraper at a time.
+//!   The writer never blocks and never waits on the reader; when the ring
+//!   is full it overwrites the oldest slot (recent history wins — the
+//!   interesting events are the ones near the incident).
+//! * **Deterministic timestamps.** Events are stamped on the injectable
+//!   [`Clock`] seam as nanoseconds since the sink's epoch (the instant the
+//!   sink was created), so under a manual clock the whole trace is
+//!   bit-reproducible and the loopback test can pin exact sequences.
+//!
+//! Reconstruction happens off the hot path: [`TraceSink::drain`] snapshots
+//! every ring into a time-sorted event list, [`spans`] groups the
+//! request-scoped events by trace id into [`Span`]s, and
+//! [`TraceSink::chrome_trace_json`] renders the whole thing as Chrome
+//! trace-event JSON loadable in `chrome://tracing` or Perfetto.
+//!
+//! Snapshots are non-destructive (scraping `/trace` twice is idempotent)
+//! and best-effort under concurrent writes: a writer that laps the reader
+//! mid-snapshot can tear the oldest few slots. Quiescent drains (after
+//! [`crate::server::Server::shutdown`]) are exact.
+
+use crate::clock::Clock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Ring capacity (slots) for the acceptor thread, which records one event
+/// per accepted connection.
+pub const ACCEPTOR_RING_SLOTS: usize = 1 << 10;
+
+/// Ring capacity (slots) for one connection reader thread (a few events
+/// per admitted or rejected request).
+pub const READER_RING_SLOTS: usize = 1 << 12;
+
+/// Ring capacity (slots) for the batcher thread, which records the bulk of
+/// every request's lifecycle (window-enter through sent/shed) plus the
+/// per-cycle scope events.
+pub const BATCHER_RING_SLOTS: usize = 1 << 15;
+
+/// A lifecycle stage, stamped into a ring as one event. Discriminants are
+/// ordered by position in the request lifecycle; [`Span`] events sort by
+/// this rank, so the monotonic-timestamp invariant ("a request never
+/// reaches a later stage at an earlier time") is checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// A connection was accepted (`id` = connection sequence number).
+    Accept = 0,
+    /// An inference frame finished decoding on a reader thread
+    /// (`arg0`/`arg1` = the wire request id, split high/low).
+    FrameDecoded = 1,
+    /// The request passed admission control (`arg0`/`arg1` = wire id).
+    Admitted = 2,
+    /// The request was refused at admission (`arg0`/`arg1` = wire id);
+    /// terminal for a never-admitted request.
+    Rejected = 3,
+    /// The request entered the bounded queue.
+    Enqueued = 4,
+    /// The batcher pulled the request into the EDF window.
+    WindowEnter = 5,
+    /// The batcher formed a batch this cycle (scope event: `id` = cycle,
+    /// `arg0` = submitted requests, `arg1` = live degrade level).
+    BatchFormed = 6,
+    /// The request was submitted to the engine.
+    EngineSubmit = 7,
+    /// The engine's submit/flush cycle completed (scope event: `id` =
+    /// cycle, `arg0` = precision-mix bitmask — bit 0 fp32, bit `b` =
+    /// `b`-bit — `arg1` = micro-batches executed).
+    EngineCycle = 8,
+    /// The adaptive controller shifted the degrade level (scope event:
+    /// `id` = new level, `arg0` = 1 for degrade, 2 for recover).
+    ControlDecision = 9,
+    /// The engine flush returned this request's logits.
+    Flushed = 10,
+    /// The response frame was encoded.
+    Encoded = 11,
+    /// The response was written to the socket; terminal.
+    Sent = 12,
+    /// The request was shed (deadline expiry or shutdown sweep); terminal.
+    Shed = 13,
+    /// The engine refused the submit; terminal.
+    Errored = 14,
+}
+
+impl Stage {
+    /// All stages, in lifecycle (discriminant) order.
+    pub const ALL: [Stage; 15] = [
+        Stage::Accept,
+        Stage::FrameDecoded,
+        Stage::Admitted,
+        Stage::Rejected,
+        Stage::Enqueued,
+        Stage::WindowEnter,
+        Stage::BatchFormed,
+        Stage::EngineSubmit,
+        Stage::EngineCycle,
+        Stage::ControlDecision,
+        Stage::Flushed,
+        Stage::Encoded,
+        Stage::Sent,
+        Stage::Shed,
+        Stage::Errored,
+    ];
+
+    /// Decodes a stage from its wire discriminant.
+    pub fn from_u8(v: u8) -> Option<Stage> {
+        Stage::ALL.get(v as usize).copied()
+    }
+
+    /// Stable snake_case label (event names in the Chrome export).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Accept => "accept",
+            Stage::FrameDecoded => "frame_decoded",
+            Stage::Admitted => "admitted",
+            Stage::Rejected => "rejected",
+            Stage::Enqueued => "enqueued",
+            Stage::WindowEnter => "window_enter",
+            Stage::BatchFormed => "batch_formed",
+            Stage::EngineSubmit => "engine_submit",
+            Stage::EngineCycle => "engine_cycle",
+            Stage::ControlDecision => "control_decision",
+            Stage::Flushed => "flushed",
+            Stage::Encoded => "encoded",
+            Stage::Sent => "sent",
+            Stage::Shed => "shed",
+            Stage::Errored => "errored",
+        }
+    }
+
+    /// Whether this stage belongs to one request's span (its `id` is a
+    /// trace id). The rest are scope events: per-connection or per-cycle.
+    pub fn is_request_stage(self) -> bool {
+        !matches!(
+            self,
+            Stage::Accept | Stage::BatchFormed | Stage::EngineCycle | Stage::ControlDecision
+        )
+    }
+
+    /// Whether this stage ends a request's lifecycle.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            Stage::Rejected | Stage::Sent | Stage::Shed | Stage::Errored
+        )
+    }
+}
+
+/// One recorded event, as read back out of a ring by [`TraceSink::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the sink's epoch, on the injected [`Clock`].
+    pub ts_ns: u64,
+    /// Trace id (request stages) or scope id (connection/cycle/level).
+    pub id: u64,
+    /// The lifecycle stage.
+    pub stage: Stage,
+    /// Stage-specific argument (see [`Stage`] variant docs).
+    pub arg0: u32,
+    /// Stage-specific argument (see [`Stage`] variant docs).
+    pub arg1: u32,
+    /// The recording ring's thread id (registration order).
+    pub tid: u32,
+}
+
+/// Splits a 64-bit wire id into the `(arg0, arg1)` pair carried by
+/// [`Stage::FrameDecoded`] / [`Stage::Admitted`] / [`Stage::Rejected`].
+pub fn wire_id_args(wire_id: u64) -> (u32, u32) {
+    ((wire_id >> 32) as u32, wire_id as u32)
+}
+
+/// Reassembles a wire id from the `(arg0, arg1)` pair (see
+/// [`wire_id_args`]).
+pub fn wire_id_from_args(arg0: u32, arg1: u32) -> u64 {
+    (u64::from(arg0) << 32) | u64::from(arg1)
+}
+
+/// A single-writer, lock-free ring of trace events.
+///
+/// Obtained from [`TraceSink::register`]; the registering thread is the
+/// only writer. Slots are a struct-of-arrays of `AtomicU64` so recording
+/// is plain word stores — no locking, no allocation, no CAS loop. The
+/// write cursor (`head`) counts events ever recorded; slot `i` of event
+/// `n` is `n % capacity`, so once `head` passes the capacity the ring
+/// overwrites its oldest entries (most-recent-history-wins semantics).
+#[derive(Debug)]
+pub struct Ring {
+    name: String,
+    tid: u32,
+    clock: Clock,
+    epoch: Instant,
+    head: AtomicU64,
+    ts: Box<[AtomicU64]>,
+    id: Box<[AtomicU64]>,
+    stage: Box<[AtomicU64]>,
+    args: Box<[AtomicU64]>,
+}
+
+impl Ring {
+    fn new(name: String, tid: u32, clock: Clock, epoch: Instant, capacity: usize) -> Ring {
+        let cap = capacity.max(1);
+        let slots = || -> Box<[AtomicU64]> { (0..cap).map(|_| AtomicU64::new(0)).collect() };
+        Ring {
+            name,
+            tid,
+            clock,
+            epoch,
+            head: AtomicU64::new(0),
+            ts: slots(),
+            id: slots(),
+            stage: slots(),
+            args: slots(),
+        }
+    }
+
+    /// The ring's name (thread label in the Chrome export).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ring's thread id (registration order within its sink).
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Events recorded since registration (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        // ordering: acquire — pairs with the release cursor publish in
+        // `record_at` so a reader that sees the count also sees the slots.
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to ring wrap-around (recorded minus capacity, floored
+    /// at zero).
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.ts.len() as u64)
+    }
+
+    /// Records one event stamped `now` on the ring's clock.
+    ///
+    /// Must only be called from the registering thread (single-writer);
+    /// concurrent writers would race the cursor and corrupt slots, though
+    /// never unsafely.
+    pub fn record(&self, stage: Stage, id: u64, arg0: u32, arg1: u32) {
+        self.record_at(stage, id, arg0, arg1, self.clock.now());
+    }
+
+    /// Records one event stamped at an instant the caller already read
+    /// from the same [`Clock`] seam (lets several events share one clock
+    /// read, and lets an event carry the instant a decision was anchored
+    /// to rather than the instant it was recorded).
+    pub fn record_at(&self, stage: Stage, id: u64, arg0: u32, arg1: u32, at: Instant) {
+        let ts = at.saturating_duration_since(self.epoch).as_nanos() as u64;
+        // tia-lint: hot-path(begin)
+        // ordering: relaxed — single-writer cursor; only this thread advances it.
+        let n = self.head.load(Ordering::Relaxed);
+        let i = (n % self.ts.len() as u64) as usize;
+        // ordering: relaxed — slot words; made visible by the release cursor store below.
+        self.ts[i].store(ts, Ordering::Relaxed);
+        // ordering: relaxed — see above.
+        self.id[i].store(id, Ordering::Relaxed);
+        // ordering: relaxed — see above.
+        self.stage[i].store(stage as u64, Ordering::Relaxed);
+        // ordering: relaxed — see above.
+        self.args[i].store((u64::from(arg0) << 32) | u64::from(arg1), Ordering::Relaxed);
+        // ordering: release — publishes the slot words to snapshot readers.
+        self.head.store(n + 1, Ordering::Release);
+        // tia-lint: hot-path(end)
+    }
+
+    /// Appends the ring's current contents (oldest surviving slot first)
+    /// to `out`. Non-destructive.
+    fn snapshot_into(&self, out: &mut Vec<TraceEvent>) {
+        // ordering: acquire — pairs with the release store in `record_at`;
+        // every slot at index < head is fully written once head is seen.
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.ts.len() as u64;
+        for n in head.saturating_sub(cap)..head {
+            let i = (n % cap) as usize;
+            // ordering: relaxed — slot reads ordered by the acquire above; a
+            // writer lapping us mid-read can tear the oldest slots, which the
+            // module contract documents as best-effort.
+            let stage_raw = self.stage[i].load(Ordering::Relaxed);
+            let Some(stage) = u8::try_from(stage_raw).ok().and_then(Stage::from_u8) else {
+                continue;
+            };
+            // ordering: relaxed — see above.
+            let args = self.args[i].load(Ordering::Relaxed);
+            out.push(TraceEvent {
+                // ordering: relaxed — see above.
+                ts_ns: self.ts[i].load(Ordering::Relaxed),
+                // ordering: relaxed — see above.
+                id: self.id[i].load(Ordering::Relaxed),
+                stage,
+                arg0: (args >> 32) as u32,
+                arg1: args as u32,
+                tid: self.tid,
+            });
+        }
+    }
+}
+
+/// The per-server trace registry: hands out per-thread [`Ring`]s and
+/// per-request trace ids, and merges every ring back into one timeline.
+///
+/// Created once at [`crate::server::Server::spawn`] when tracing is
+/// enabled; the epoch (timestamp zero) is the sink's creation instant on
+/// the server's [`Clock`].
+#[derive(Debug)]
+pub struct TraceSink {
+    clock: Clock,
+    epoch: Instant,
+    next_id: AtomicU64,
+    rings: Mutex<Vec<Arc<Ring>>>,
+}
+
+impl TraceSink {
+    /// Creates a sink whose epoch is `clock`'s current instant.
+    pub fn new(clock: Clock) -> TraceSink {
+        let epoch = clock.now();
+        TraceSink {
+            clock,
+            epoch,
+            next_id: AtomicU64::new(0),
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The instant all event timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Registers a new ring for the calling thread. Called once per thread
+    /// at thread start (allocation happens here, not on the record path).
+    pub fn register(&self, name: &str, capacity: usize) -> Arc<Ring> {
+        match self.rings.lock() {
+            Ok(mut rings) => {
+                let ring = Arc::new(Ring::new(
+                    name.to_string(),
+                    rings.len() as u32,
+                    self.clock.clone(),
+                    self.epoch,
+                    capacity,
+                ));
+                rings.push(Arc::clone(&ring));
+                ring
+            }
+            // A poisoned registry (a panic while registering elsewhere)
+            // still hands out a working ring; it just won't be drained.
+            Err(_) => Arc::new(Ring::new(
+                name.to_string(),
+                u32::MAX,
+                self.clock.clone(),
+                self.epoch,
+                capacity,
+            )),
+        }
+    }
+
+    /// Allocates the next per-request trace id (starts at 1; 0 is never
+    /// issued, so it can serve as an untraced sentinel).
+    pub fn next_request_id(&self) -> u64 {
+        // ordering: relaxed — a pure id counter; uniqueness is all that
+        // matters, no other memory is published through it.
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Trace ids issued so far.
+    pub fn issued_ids(&self) -> u64 {
+        // ordering: relaxed — statistical read of the id counter.
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wrap-around, summed over every ring.
+    pub fn overwritten(&self) -> u64 {
+        match self.rings.lock() {
+            Ok(rings) => rings.iter().map(|r| r.overwritten()).sum(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Snapshots every ring into one event list sorted by timestamp
+    /// (stable: ties keep ring-registration then recording order).
+    /// Non-destructive — draining twice returns the same events.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let rings: Vec<Arc<Ring>> = match self.rings.lock() {
+            Ok(rings) => rings.iter().map(Arc::clone).collect(),
+            Err(_) => Vec::new(),
+        };
+        let mut events = Vec::new();
+        for ring in rings {
+            ring.snapshot_into(&mut events);
+        }
+        events.sort_by_key(|e| e.ts_ns);
+        events
+    }
+
+    /// Renders the current contents of every ring as Chrome trace-event
+    /// JSON (the `chrome://tracing` / Perfetto array form, microsecond
+    /// units).
+    ///
+    /// Layout: pid 1 holds the serving threads (one lane per ring, named
+    /// via `thread_name` metadata) carrying the scope events (accepts,
+    /// batch formations, engine cycles, controller decisions) as instants;
+    /// pid 2 holds one lane per request (tid = trace id) with an
+    /// enveloping `request` slice plus one slice per stage-to-stage
+    /// transition (`queue_wait`, `window`, `execute`, `encode`, `send`).
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.drain();
+        let spans = spans(&events);
+        let mut parts: Vec<String> = Vec::with_capacity(events.len() + 16);
+        if let Ok(rings) = self.rings.lock() {
+            for ring in rings.iter() {
+                parts.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    ring.tid,
+                    ring.name()
+                ));
+            }
+        }
+        for e in events.iter().filter(|e| !e.stage.is_request_stage()) {
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\
+                 \"tid\":{},\"args\":{{{}}}}}",
+                e.stage.as_str(),
+                e.ts_ns as f64 / 1000.0,
+                e.tid,
+                scope_args(e)
+            ));
+        }
+        for span in &spans {
+            let Some(first) = span.events.first() else {
+                continue;
+            };
+            let Some(last) = span.events.last() else {
+                continue;
+            };
+            let terminal = span.terminal().map_or("open", Stage::as_str);
+            let wire = span
+                .wire_id
+                .map_or_else(|| "null".to_string(), |w| w.to_string());
+            parts.push(format!(
+                "{{\"name\":\"request\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":2,\"tid\":{},\"args\":{{\"wire_id\":{},\"terminal\":\"{}\"}}}}",
+                first.ts_ns as f64 / 1000.0,
+                (last.ts_ns.saturating_sub(first.ts_ns)) as f64 / 1000.0,
+                span.trace_id,
+                wire,
+                terminal
+            ));
+            for pair in span.events.windows(2) {
+                parts.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"pid\":2,\"tid\":{}}}",
+                    transition_name(pair[0].stage, pair[1].stage),
+                    pair[0].ts_ns as f64 / 1000.0,
+                    (pair[1].ts_ns.saturating_sub(pair[0].ts_ns)) as f64 / 1000.0,
+                    span.trace_id
+                ));
+            }
+        }
+        let mut out = String::with_capacity(parts.iter().map(|p| p.len() + 1).sum::<usize>() + 2);
+        out.push('[');
+        for (i, p) in parts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(p);
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Renders a scope event's args with semantic keys per stage.
+fn scope_args(e: &TraceEvent) -> String {
+    match e.stage {
+        Stage::Accept => format!("\"conn\":{}", e.id),
+        Stage::BatchFormed => format!(
+            "\"cycle\":{},\"size\":{},\"degrade_level\":{}",
+            e.id, e.arg0, e.arg1
+        ),
+        Stage::EngineCycle => format!(
+            "\"cycle\":{},\"precision_mix\":{},\"batches\":{}",
+            e.id, e.arg0, e.arg1
+        ),
+        Stage::ControlDecision => format!(
+            "\"level\":{},\"direction\":\"{}\"",
+            e.id,
+            if e.arg0 == 1 { "degrade" } else { "recover" }
+        ),
+        _ => format!("\"id\":{},\"arg0\":{},\"arg1\":{}", e.id, e.arg0, e.arg1),
+    }
+}
+
+/// The Chrome-export slice name for a stage-to-stage transition. The
+/// steady-state path gets the canonical stage-latency names (matching the
+/// `tia_serve_stage_seconds` labels); anything else is `from-to`.
+fn transition_name(from: Stage, to: Stage) -> String {
+    match (from, to) {
+        (Stage::Enqueued, Stage::WindowEnter) => "queue_wait".to_string(),
+        (Stage::WindowEnter, Stage::EngineSubmit) => "window".to_string(),
+        (Stage::EngineSubmit, Stage::Flushed) => "execute".to_string(),
+        (Stage::Flushed, Stage::Encoded) => "encode".to_string(),
+        (Stage::Encoded, Stage::Sent) => "send".to_string(),
+        (a, b) => format!("{}-{}", a.as_str(), b.as_str()),
+    }
+}
+
+/// One event inside a reconstructed [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The lifecycle stage.
+    pub stage: Stage,
+    /// Nanoseconds since the sink epoch.
+    pub ts_ns: u64,
+    /// Stage-specific argument.
+    pub arg0: u32,
+    /// Stage-specific argument.
+    pub arg1: u32,
+}
+
+/// One request's reconstructed lifecycle: every request-scoped event that
+/// carried its trace id, sorted by lifecycle rank then timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The per-request trace id ([`TraceSink::next_request_id`]).
+    pub trace_id: u64,
+    /// The client-chosen wire id, when an admission-side event carried it.
+    pub wire_id: Option<u64>,
+    /// The span's events in lifecycle order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Span {
+    /// The stages of the span's events, in order (handy for exact-sequence
+    /// assertions in tests).
+    pub fn stages(&self) -> Vec<Stage> {
+        self.events.iter().map(|e| e.stage).collect()
+    }
+
+    /// Whether the request passed admission.
+    pub fn admitted(&self) -> bool {
+        self.events.iter().any(|e| e.stage == Stage::Admitted)
+    }
+
+    /// The span's single terminal stage, or `None` when it has zero or
+    /// multiple terminals (both of which [`Span::complete`] rejects).
+    pub fn terminal(&self) -> Option<Stage> {
+        let mut found = None;
+        for e in self.events.iter().filter(|e| e.stage.is_terminal()) {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(e.stage);
+        }
+        found
+    }
+
+    /// Whether timestamps never decrease across the lifecycle-ordered
+    /// event list — a request must not reach a later stage at an earlier
+    /// time.
+    pub fn monotonic(&self) -> bool {
+        self.events.windows(2).all(|p| p[0].ts_ns <= p[1].ts_ns)
+    }
+
+    /// The chaos invariant for an admitted request: admitted, exactly one
+    /// terminal among sent/shed/errored, and monotonic timestamps.
+    pub fn complete(&self) -> bool {
+        self.admitted()
+            && matches!(
+                self.terminal(),
+                Some(Stage::Sent | Stage::Shed | Stage::Errored)
+            )
+            && self.monotonic()
+    }
+}
+
+/// Groups a drained event list into per-request [`Span`]s, keyed and
+/// sorted by trace id (issue order). Scope events (accepts, batch
+/// formations, engine cycles, controller decisions) are skipped, as are
+/// request events carrying the untraced sentinel id 0.
+pub fn spans(events: &[TraceEvent]) -> Vec<Span> {
+    let mut by_id: BTreeMap<u64, Span> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.stage.is_request_stage()) {
+        if e.id == 0 {
+            continue;
+        }
+        let span = by_id.entry(e.id).or_insert_with(|| Span {
+            trace_id: e.id,
+            wire_id: None,
+            events: Vec::new(),
+        });
+        if matches!(
+            e.stage,
+            Stage::FrameDecoded | Stage::Admitted | Stage::Rejected
+        ) {
+            span.wire_id = Some(wire_id_from_args(e.arg0, e.arg1));
+        }
+        span.events.push(SpanEvent {
+            stage: e.stage,
+            ts_ns: e.ts_ns,
+            arg0: e.arg0,
+            arg1: e.arg1,
+        });
+    }
+    let mut out: Vec<Span> = by_id.into_values().collect();
+    for span in &mut out {
+        span.events.sort_by_key(|e| (e.stage, e.ts_ns));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn manual_sink() -> (Clock, TraceSink) {
+        let clock = Clock::manual();
+        let sink = TraceSink::new(clock.clone());
+        (clock, sink)
+    }
+
+    #[test]
+    fn record_and_drain_roundtrip() {
+        let (clock, sink) = manual_sink();
+        let ring = sink.register("test", 8);
+        ring.record(Stage::Admitted, 1, 0, 42);
+        clock.advance(Duration::from_micros(5));
+        ring.record(Stage::Sent, 1, 0, 0);
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, Stage::Admitted);
+        assert_eq!(events[0].ts_ns, 0);
+        assert_eq!(events[0].arg1, 42);
+        assert_eq!(events[1].stage, Stage::Sent);
+        assert_eq!(events[1].ts_ns, 5_000);
+        // Non-destructive: a second drain sees the same timeline.
+        assert_eq!(sink.drain(), events);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_losses() {
+        let (clock, sink) = manual_sink();
+        let ring = sink.register("test", 4);
+        for i in 0..10u64 {
+            ring.record(Stage::Enqueued, i, 0, 0);
+            clock.advance(Duration::from_nanos(1));
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.overwritten(), 6);
+        assert_eq!(sink.overwritten(), 6);
+        let events = sink.drain();
+        // The four most recent survive, in order.
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn trace_ids_start_at_one_and_count() {
+        let (_clock, sink) = manual_sink();
+        assert_eq!(sink.issued_ids(), 0);
+        assert_eq!(sink.next_request_id(), 1);
+        assert_eq!(sink.next_request_id(), 2);
+        assert_eq!(sink.issued_ids(), 2);
+    }
+
+    #[test]
+    fn spans_reconstruct_across_rings_in_lifecycle_order() {
+        let (clock, sink) = manual_sink();
+        let reader = sink.register("reader", 16);
+        let batcher = sink.register("batcher", 16);
+        let (hi, lo) = wire_id_args(0xDEAD_BEEF_0000_0007);
+        reader.record(Stage::FrameDecoded, 1, hi, lo);
+        reader.record(Stage::Admitted, 1, hi, lo);
+        reader.record(Stage::Enqueued, 1, 0, 0);
+        clock.advance(Duration::from_millis(2));
+        batcher.record(Stage::WindowEnter, 1, 0, 0);
+        batcher.record(Stage::BatchFormed, 1, 1, 0); // scope event: skipped
+        batcher.record(Stage::EngineSubmit, 1, 0, 0);
+        clock.advance(Duration::from_millis(1));
+        batcher.record(Stage::Flushed, 1, 0, 0);
+        batcher.record(Stage::Encoded, 1, 0, 0);
+        batcher.record(Stage::Sent, 1, 0, 0);
+        let spans = spans(&sink.drain());
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.trace_id, 1);
+        assert_eq!(s.wire_id, Some(0xDEAD_BEEF_0000_0007));
+        assert_eq!(
+            s.stages(),
+            vec![
+                Stage::FrameDecoded,
+                Stage::Admitted,
+                Stage::Enqueued,
+                Stage::WindowEnter,
+                Stage::EngineSubmit,
+                Stage::Flushed,
+                Stage::Encoded,
+                Stage::Sent,
+            ]
+        );
+        assert!(s.admitted());
+        assert_eq!(s.terminal(), Some(Stage::Sent));
+        assert!(s.monotonic());
+        assert!(s.complete());
+    }
+
+    #[test]
+    fn incomplete_spans_are_detected() {
+        let (_clock, sink) = manual_sink();
+        let ring = sink.register("r", 32);
+        // No terminal.
+        ring.record(Stage::Admitted, 1, 0, 1);
+        ring.record(Stage::Enqueued, 1, 0, 0);
+        // Two terminals (a double ack).
+        ring.record(Stage::Admitted, 2, 0, 2);
+        ring.record(Stage::Sent, 2, 0, 0);
+        ring.record(Stage::Sent, 2, 0, 0);
+        // Clean reject: not admitted, so `complete` is not required.
+        ring.record(Stage::FrameDecoded, 3, 0, 3);
+        ring.record(Stage::Rejected, 3, 0, 3);
+        let spans = spans(&sink.drain());
+        assert_eq!(spans.len(), 3);
+        assert!(!spans[0].complete(), "missing terminal");
+        assert_eq!(spans[0].terminal(), None);
+        assert!(!spans[1].complete(), "duplicate terminal");
+        assert!(!spans[2].admitted());
+        assert_eq!(spans[2].terminal(), Some(Stage::Rejected));
+        assert_eq!(spans[2].wire_id, Some(3));
+    }
+
+    #[test]
+    fn non_monotonic_span_fails_completeness() {
+        let (clock, sink) = manual_sink();
+        let ring = sink.register("r", 8);
+        clock.advance(Duration::from_millis(5));
+        ring.record(Stage::Admitted, 1, 0, 1);
+        // A later lifecycle stage stamped at an *earlier* instant.
+        ring.record_at(Stage::Sent, 1, 0, 0, sink.epoch());
+        let spans = spans(&sink.drain());
+        assert!(!spans[0].monotonic());
+        assert!(!spans[0].complete());
+    }
+
+    #[test]
+    fn chrome_export_names_threads_and_emits_request_envelopes() {
+        let (clock, sink) = manual_sink();
+        let reader = sink.register("reader-0", 16);
+        let batcher = sink.register("batcher", 16);
+        reader.record(Stage::Admitted, 1, 0, 9);
+        reader.record(Stage::Enqueued, 1, 0, 0);
+        clock.advance(Duration::from_micros(1500));
+        batcher.record(Stage::WindowEnter, 1, 0, 0);
+        batcher.record(Stage::BatchFormed, 1, 1, 0);
+        batcher.record(Stage::Sent, 1, 0, 0);
+        let json = sink.chrome_trace_json();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"name\":\"thread_name\""), "{json}");
+        assert!(json.contains("\"name\":\"batcher\""), "{json}");
+        assert!(json.contains("\"name\":\"request\""), "{json}");
+        assert!(json.contains("\"terminal\":\"sent\""), "{json}");
+        assert!(json.contains("\"name\":\"queue_wait\""), "{json}");
+        assert!(json.contains("\"name\":\"batch_formed\""), "{json}");
+        // 1500 µs queue wait, rendered in microseconds.
+        assert!(json.contains("\"dur\":1500.000"), "{json}");
+        // Balanced braces — the cheap structural sanity check; CI runs the
+        // real parser (jq) over an exported file.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn untraced_sentinel_and_scope_events_form_no_spans() {
+        let (_clock, sink) = manual_sink();
+        let ring = sink.register("r", 8);
+        ring.record(Stage::Admitted, 0, 0, 0); // sentinel id
+        ring.record(Stage::Accept, 5, 0, 0);
+        ring.record(Stage::EngineCycle, 3, 0b1_0000, 2);
+        assert!(spans(&sink.drain()).is_empty());
+    }
+}

@@ -1141,3 +1141,205 @@ fn open_loop_overload_is_shed_with_rejects() {
     // double-served.
     assert_eq!(engine.stats().requests as u64, report.ok);
 }
+
+/// The flight recorder under the manual [`Clock`]: with time frozen at
+/// admission and advanced 50 virtual milliseconds before the batcher
+/// runs, a 3-request scenario (one deadlined request shed, two served)
+/// produces an exactly pinned event sequence — stages AND timestamps —
+/// with every admitted span complete.
+#[test]
+fn manual_clock_pins_the_exact_trace_of_a_three_request_run() {
+    use tia_serve::trace::{self, Stage};
+    let clock = Clock::manual();
+    let server = Server::spawn(
+        base_config()
+            .paused()
+            .with_clock(clock.clone())
+            .with_trace(),
+        |_| replica(),
+    )
+    .unwrap();
+    let x = images(3, 44);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Wire order on one connection = trace-id issue order: wire 0 carries
+    // a 5 ms deadline (doomed), wires 1 and 2 none.
+    for (wire, deadline) in [(0u64, Some(5u32)), (1, None), (2, None)] {
+        client
+            .send(&infer_frame_with(
+                wire,
+                &x.index_axis0(wire as usize),
+                WirePolicy::Server,
+                deadline,
+                Class::Normal,
+            ))
+            .unwrap();
+    }
+    // Mid-flight, non-destructive: wait (wall time, not virtual — the
+    // reader threads run free) until all three admissions hit the rings,
+    // then pin the admission-side prefix, all stamped at virtual zero.
+    let mut midflight = Vec::new();
+    for _ in 0..1000 {
+        midflight = server.drain_trace();
+        if midflight.len() == 3 && midflight.iter().all(|s| s.events.len() == 3) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(midflight.len(), 3, "three requests admitted");
+    for (i, span) in midflight.iter().enumerate() {
+        assert_eq!(span.trace_id, i as u64 + 1, "trace ids issue from 1");
+        assert_eq!(span.wire_id, Some(i as u64), "wire ids ride along");
+        assert_eq!(
+            span.stages(),
+            vec![Stage::FrameDecoded, Stage::Admitted, Stage::Enqueued]
+        );
+        assert!(span.events.iter().all(|e| e.ts_ns == 0));
+        assert!(!span.complete(), "no terminal stage yet");
+    }
+
+    // 50 virtual milliseconds pass; the batcher wakes, sheds wire 0 and
+    // serves wires 1 and 2.
+    clock.advance(Duration::from_millis(50));
+    server.resume();
+    let (mut shed, mut served) = (Vec::new(), Vec::new());
+    for _ in 0..3 {
+        match client.recv().unwrap() {
+            Frame::Reject { id, code } => {
+                assert_eq!(code, RejectCode::DeadlineExceeded);
+                shed.push(id);
+            }
+            Frame::Logits(r) => served.push(r.id),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(shed, vec![0]);
+    assert_eq!(served, vec![1, 2]);
+
+    let sink = server.trace_handle().expect("tracing armed");
+    server.shutdown(); // quiesce every ring before the final snapshot
+
+    const MS50: u64 = 50_000_000;
+    let spans = trace::spans(&sink.drain());
+    assert_eq!(spans.len(), 3);
+    // Wire 0: admitted at virtual zero, shed when the clock jumped.
+    assert_eq!(
+        spans[0].stages(),
+        vec![
+            Stage::FrameDecoded,
+            Stage::Admitted,
+            Stage::Enqueued,
+            Stage::WindowEnter,
+            Stage::Shed,
+        ]
+    );
+    assert_eq!(
+        spans[0].events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+        vec![0, 0, 0, MS50, MS50]
+    );
+    // Wires 1 and 2: the full served lifecycle, every post-advance stage
+    // at exactly 50 virtual ms (the manual clock never moves in between).
+    for span in &spans[1..] {
+        assert_eq!(
+            span.stages(),
+            vec![
+                Stage::FrameDecoded,
+                Stage::Admitted,
+                Stage::Enqueued,
+                Stage::WindowEnter,
+                Stage::EngineSubmit,
+                Stage::Flushed,
+                Stage::Encoded,
+                Stage::Sent,
+            ]
+        );
+        assert_eq!(
+            span.events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 0, 0, MS50, MS50, MS50, MS50, MS50]
+        );
+    }
+    for span in &spans {
+        assert!(span.complete(), "span {} broken", span.trace_id);
+    }
+    assert_eq!(sink.overwritten(), 0, "nothing lost to ring wrap");
+    // The scope events rode along: one batch formed, one engine cycle.
+    let events = sink.drain();
+    assert!(events.iter().any(|e| e.stage == Stage::BatchFormed));
+    assert!(events.iter().any(|e| e.stage == Stage::EngineCycle));
+}
+
+/// With tracing off (the default) the recorder does not exist: no handle,
+/// no spans, zero events anywhere, and the scrape port 404s `/trace`.
+#[test]
+fn tracing_disabled_records_nothing() {
+    let cfg = base_config().with_metrics_addr("127.0.0.1:0");
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    assert!(server.trace_handle().is_none());
+
+    let x = images(2, 45);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 0..2 {
+        match client.infer(i as u64, &x.index_axis0(i), WirePolicy::Server) {
+            Ok(Frame::Logits(_)) => {}
+            other => panic!("expected logits, got {other:?}"),
+        }
+    }
+    assert!(server.drain_trace().is_empty(), "no trace when disabled");
+
+    let metrics_addr = server.metrics_addr().expect("metrics listener enabled");
+    use std::io::Read;
+    let mut s = TcpStream::connect(metrics_addr).unwrap();
+    s.write_all(b"GET /trace HTTP/1.0\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.0 404"), "{reply}");
+    assert!(reply.contains("tracing disabled"), "{reply}");
+
+    server.shutdown();
+}
+
+/// The `/trace` scrape path serves live Chrome trace-event JSON with one
+/// `request` envelope per request, fetchable through
+/// [`tia_serve::fetch_trace`] — the export the loadgen's `--trace` flag
+/// writes to disk.
+#[test]
+fn trace_endpoint_serves_chrome_trace_json() {
+    const N: usize = 6;
+    let cfg = base_config().with_metrics_addr("127.0.0.1:0").with_trace();
+    let server = Server::spawn(cfg, |_| replica()).unwrap();
+    let metrics_addr = server.metrics_addr().expect("metrics listener enabled");
+
+    let report = tia_serve::run_load(&LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 2,
+        requests: N,
+        inflight: 2,
+        shape: SHAPE,
+        seed: 46,
+        ..LoadConfig::default()
+    })
+    .unwrap();
+    assert_eq!(report.ok, N as u64);
+
+    let json = tia_serve::fetch_trace(metrics_addr).unwrap();
+    assert!(
+        json.starts_with('[') && json.trim_end().ends_with(']'),
+        "{json}"
+    );
+    let envelopes = json.matches("\"name\":\"request\"").count();
+    assert_eq!(envelopes, N, "one request envelope per served request");
+    assert!(
+        json.contains("\"thread_name\""),
+        "thread metadata names the rings: {json}"
+    );
+    // Serving also filled the stage histograms the scrape reports.
+    let text = fetch_metrics(metrics_addr).unwrap();
+    assert!(
+        text.contains("tia_serve_stage_seconds_count{stage=\"total\"} 6"),
+        "{text}"
+    );
+    assert!(
+        text.contains("tia_serve_slow_request_seconds"),
+        "slow-request exemplars render: {text}"
+    );
+    server.shutdown();
+}

@@ -10,7 +10,10 @@
 //! 2. a full `Engine::serve` burst settles to a constant, small,
 //!    response-materialisation-only allocation count — per-request
 //!    `Response` logits must escape to the caller, but nothing else may
-//!    allocate per burst, and the count must not grow burst over burst.
+//!    allocate per burst, and the count must not grow burst over burst;
+//! 3. the flight recorder's enabled record path is allocation-free after
+//!    its ring is registered — thousands of stage events, including full
+//!    ring wrap-around, are pure atomic stores.
 //!
 //! Everything runs inside one `#[test]` so no concurrent test pollutes the
 //! global counter.
@@ -119,4 +122,25 @@ fn steady_state_serving_allocations() {
         requests,
         bound
     );
+
+    // --- Part 3: the enabled trace record path allocates nothing. ---
+    // Registration allocates the ring's slot arrays up front; a first
+    // record warms nothing further. From then on every record — here 4×
+    // the ring's capacity, so the overwrite-oldest wrap path runs too —
+    // must be pure atomic stores on the manual clock seam.
+    let sink = tia_serve::TraceSink::new(tia_serve::Clock::manual());
+    let ring = sink.register("hot-path", 1 << 10);
+    ring.record(tia_serve::Stage::Enqueued, 1, 0, 0);
+    let before = allocs();
+    for i in 0..4096u64 {
+        ring.record(tia_serve::Stage::Enqueued, i + 2, i as u32, 0);
+    }
+    let trace_path = allocs() - before;
+    assert_eq!(
+        trace_path, 0,
+        "warmed trace recording must not allocate (got {trace_path} \
+         allocations across 4096 events)"
+    );
+    assert_eq!(ring.recorded(), 4097);
+    assert_eq!(ring.overwritten(), 4097 - (1 << 10));
 }
