@@ -11,13 +11,16 @@
 //! trajectory.
 
 use tia_attack::{Attack, Pgd};
-use tia_bench::harness::{bench, black_box, smoke_mode, to_json, BenchResult};
+use tia_bench::harness::{bench, black_box, smoke_mode, to_json_with_meta, BenchResult};
 use tia_dataflow::{EvoSearch, SearchMode};
 use tia_engine::{Backend, Engine, EngineConfig, PrecisionPolicy, ShardedEngine, SimBacked};
 use tia_nn::{workload::NetworkSpec, zoo, Conv2d, Layer, Mode};
-use tia_quant::{fake_quant_symmetric, Precision, PrecisionSet};
+use tia_quant::{
+    fake_quant_symmetric, gemm_quant, quantize_affine_levels, Precision, PrecisionSet,
+    QuantizedWeights,
+};
 use tia_sim::Accelerator;
-use tia_tensor::{Conv2dGeometry, SeededRng, Tensor, Workspace};
+use tia_tensor::{gemm_ws, simd, Conv2dGeometry, KernelMode, SeededRng, Tensor, Workspace};
 
 fn bench_quantize() -> BenchResult {
     let mut rng = SeededRng::new(1);
@@ -90,6 +93,123 @@ fn bench_precision_switch() -> BenchResult {
         net.recycle(y);
         probe
     })
+}
+
+/// The dispatched GEMM kernels head-to-head on one `m×k×n` problem:
+/// f32 under the pinned scalar reference vs the native backend, then the
+/// true-integer path at i8 and packed i4 (exact `i32` accumulation via
+/// `dot_u8i8`/`dot_u4i4`). The i8 kernel must beat scalar f32 by ≥ 2× —
+/// the floor the integer serving path is justified by.
+fn bench_gemm_kernels() -> Vec<BenchResult> {
+    const M: usize = 64;
+    const K: usize = 256;
+    const N: usize = 64;
+    let mut rng = SeededRng::new(10);
+    let a = Tensor::rand_uniform(&[M, K], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[K, N], -1.0, 1.0, &mut rng);
+    let mut c = vec![0.0f32; M * N];
+    let mut results = Vec::new();
+    println!(
+        "\ngemm kernels: {}x{}x{}, native backend = {}",
+        M,
+        K,
+        N,
+        simd::detect_name()
+    );
+    for mode in [KernelMode::Scalar, KernelMode::Native] {
+        let mut ws = Workspace::new();
+        ws.set_kernel(mode);
+        results.push(bench(&format!("gemm_f32_{mode}"), || {
+            c.fill(0.0);
+            gemm_ws(M, K, N, black_box(a.data()), b.data(), &mut c, &mut ws);
+            c[0]
+        }));
+    }
+    // Integer path: per-row affine activation levels (quantized once — the
+    // serving path amortizes quantization over all N output channels too),
+    // packed i8 / two-per-byte i4 weight rows, exact i32 dots.
+    let ops = simd::backend(KernelMode::Native);
+    let mut levels = vec![0u8; M * K];
+    let mut scales = vec![0.0f32; M];
+    let mut zps = vec![0i32; M];
+    for (bits, tag) in [(8u8, "gemm_i8"), (4u8, "gemm_i4")] {
+        let p = Precision::new(bits);
+        for i in 0..M {
+            let lp = quantize_affine_levels(
+                &a.data()[i * K..(i + 1) * K],
+                &mut levels[i * K..(i + 1) * K],
+                p,
+            );
+            scales[i] = lp.scale;
+            zps[i] = lp.zero_point;
+        }
+        let w = QuantizedWeights::quantize_rows(b.data(), N, K, bits);
+        results.push(bench(tag, || {
+            gemm_quant(
+                ops,
+                M,
+                K,
+                black_box(&levels),
+                &scales,
+                &zps,
+                &w,
+                None,
+                &mut c,
+            );
+            c[0]
+        }));
+    }
+    if !smoke_mode() {
+        let f32_scalar = results[0].ns_per_iter;
+        let i8_ns = results[2].ns_per_iter;
+        assert!(
+            i8_ns * 2.0 <= f32_scalar,
+            "the i8 integer GEMM must be >= 2x the scalar f32 GEMM: {i8_ns:.0} ns vs {f32_scalar:.0} ns"
+        );
+        println!(
+            "  -> i8 is {:.1}x scalar f32, i4 is {:.1}x, native f32 is {:.2}x",
+            f32_scalar / i8_ns,
+            f32_scalar / results[3].ns_per_iter,
+            f32_scalar / results[1].ns_per_iter
+        );
+    }
+    results
+}
+
+/// End-to-end kernel-mode axis: the same 64-request RPS burst served at
+/// batch 32 under the pinned scalar tier vs native dispatch (SIMD f32
+/// kernels + the true-integer 4–8-bit path). Native must win — this pair
+/// is the PR-over-PR record of what runtime dispatch buys the engine.
+fn bench_kernel_serving() -> Vec<BenchResult> {
+    const REQUESTS: usize = 64;
+    let set = PrecisionSet::range(4, 8);
+    let mut rng = SeededRng::new(11);
+    let mut net = zoo::preact_resnet18_rps(3, 4, 10, set.clone(), &mut rng);
+    let x = Tensor::rand_uniform(&[REQUESTS, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let mut results = Vec::new();
+    for mode in [KernelMode::Scalar, KernelMode::Native] {
+        let cfg = EngineConfig::default()
+            .with_max_batch(32)
+            .with_seed(7)
+            .with_kernel(mode);
+        let mut engine = Engine::new(&mut net, PrecisionPolicy::Random(set.clone()), cfg);
+        let mut r = bench(&format!("engine_serve_b32_kernel_{mode}"), || {
+            engine.serve(black_box(&x)).len()
+        });
+        r.ns_per_iter /= REQUESTS as f64;
+        r.name.push_str("_per_request");
+        println!("  -> {mode}: {:>12.0} requests/s", r.per_sec());
+        results.push(r);
+    }
+    if !smoke_mode() {
+        let (scalar, native) = (results[0].ns_per_iter, results[1].ns_per_iter);
+        assert!(
+            native < scalar,
+            "native dispatch must beat the scalar tier end-to-end: {native:.0} ns vs {scalar:.0} ns per request"
+        );
+        println!("  -> native serves {:.2}x the scalar tier", scalar / native);
+    }
+    results
 }
 
 /// Serving throughput through the engine: one result per (max_batch,
@@ -338,7 +458,9 @@ fn main() {
         bench_precision_switch(),
         bench_pgd_step(),
     ];
+    results.extend(bench_gemm_kernels());
     results.extend(bench_engine_serving());
+    results.extend(bench_kernel_serving());
     results.extend(bench_sharded_serving());
     results.extend(bench_tcp_serving());
     results.extend(bench_deadline_overload());
@@ -348,7 +470,13 @@ fn main() {
         println!("\nsmoke mode: skipping BENCH_engine.json snapshot");
         return;
     }
-    let json = to_json(&results);
+    let json = to_json_with_meta(
+        &results,
+        &[
+            ("kernel_backend", simd::detect_name()),
+            ("kernel_mode", &KernelMode::global_default().to_string()),
+        ],
+    );
     // Snapshot at the workspace root so PR-over-PR perf diffs are one file.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     if let Err(e) = std::fs::write(path, &json) {

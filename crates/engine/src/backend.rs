@@ -3,7 +3,7 @@
 use crate::BatchCost;
 use tia_nn::{cross_entropy, cw_margin_loss, Mode, Network};
 use tia_quant::Precision;
-use tia_tensor::Tensor;
+use tia_tensor::{KernelMode, Tensor};
 
 /// Which scalar loss a gradient query climbs.
 ///
@@ -72,6 +72,14 @@ pub trait Backend {
     /// The currently active precision.
     fn precision(&self) -> Option<Precision>;
 
+    /// Selects the kernel dispatch mode (`Scalar` = pinned bitwise
+    /// reference kernels and f32 fake-quant inference, `Native` = runtime
+    /// SIMD dispatch plus the true-integer serving path). Backends without
+    /// a kernel notion ignore it (the default).
+    fn set_kernel(&mut self, k: KernelMode) {
+        let _ = k;
+    }
+
     /// Hands a logits tensor from [`Backend::infer_batch`] back to the
     /// backend for storage reuse once the caller is done reading it. The
     /// engine calls this after splitting a batch into responses; backends
@@ -113,6 +121,10 @@ impl<B: Backend + ?Sized> Backend for &mut B {
         (**self).precision()
     }
 
+    fn set_kernel(&mut self, k: KernelMode) {
+        (**self).set_kernel(k);
+    }
+
     fn recycle_output(&mut self, logits: Tensor) {
         (**self).recycle_output(logits);
     }
@@ -122,9 +134,11 @@ impl<B: Backend + ?Sized> Backend for &mut B {
 impl Backend for Network {
     fn infer_batch(&mut self, x: &Tensor, precision: Option<Precision>) -> Tensor {
         Network::set_precision(self, precision);
-        // Serving mode: numerically identical to Eval, but layers skip every
-        // backward cache and recycle all intermediates — the zero-allocation
-        // steady state.
+        // Serving mode: layers skip every backward cache and recycle all
+        // intermediates — the zero-allocation steady state. Under the
+        // `scalar` kernel mode this is numerically identical to Eval;
+        // under `native`, quantized layers take the true-integer path
+        // (a different, still per-sample-deterministic numeric).
         self.forward(x, Mode::Infer)
     }
 
@@ -161,6 +175,10 @@ impl Backend for Network {
 
     fn precision(&self) -> Option<Precision> {
         Network::precision(self)
+    }
+
+    fn set_kernel(&mut self, k: KernelMode) {
+        Network::set_kernel(self, k);
     }
 
     fn recycle_output(&mut self, logits: Tensor) {

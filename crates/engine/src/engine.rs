@@ -2,7 +2,7 @@
 
 use crate::{Backend, BatchCost, PrecisionPolicy};
 use tia_quant::Precision;
-use tia_tensor::{argmax_rows, SeededRng, Tensor, Workspace};
+use tia_tensor::{argmax_rows, KernelMode, SeededRng, Tensor, Workspace};
 
 /// Identifier handed back by [`Engine::submit`]; responses carry it so
 /// callers can re-associate out-of-order completions.
@@ -36,6 +36,12 @@ pub struct EngineConfig {
     /// memory, graceful degradation. Defaults to
     /// [`Workspace::DEFAULT_MAX_POOLED`].
     pub workspace_cap: usize,
+    /// Kernel dispatch mode pushed into the backend at engine construction:
+    /// `Scalar` pins the bitwise reference kernels (reproducing historical
+    /// logits exactly), `Native` enables runtime SIMD dispatch and the
+    /// true-integer serving path. Defaults to the process-wide mode from
+    /// the `TIA_KERNEL` environment variable (`native` when unset).
+    pub kernel: KernelMode,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +51,7 @@ impl Default for EngineConfig {
             granularity: PolicyGranularity::PerRequest,
             seed: 0,
             workspace_cap: Workspace::DEFAULT_MAX_POOLED,
+            kernel: KernelMode::global_default(),
         }
     }
 }
@@ -71,6 +78,12 @@ impl EngineConfig {
     /// Sets the per-arena workspace pool cap (clamped to at least 1).
     pub fn with_workspace_cap(mut self, cap: usize) -> Self {
         self.workspace_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the kernel dispatch mode.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -277,9 +290,10 @@ pub struct Engine<B: Backend> {
 
 impl<B: Backend> Engine<B> {
     /// Creates an engine serving `backend` under `policy`.
-    pub fn new(backend: B, policy: PrecisionPolicy, cfg: EngineConfig) -> Self {
+    pub fn new(mut backend: B, policy: PrecisionPolicy, cfg: EngineConfig) -> Self {
         let rng = SeededRng::new(cfg.seed);
         let ws = Workspace::with_max_pooled(cfg.workspace_cap);
+        backend.set_kernel(cfg.kernel);
         Self {
             backend,
             policy,

@@ -416,6 +416,7 @@ fn worker_loop<B: Backend>(
     results: Sender<ShardReply>,
 ) -> B {
     let (max_batch, granularity) = (cfg.max_batch, cfg.granularity);
+    backend.set_kernel(cfg.kernel);
     // Each shard owns its scratch arena: batch assembly reuses the same
     // buffers flush after flush with no cross-thread sharing.
     let mut ws = Workspace::with_max_pooled(cfg.workspace_cap);

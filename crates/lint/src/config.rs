@@ -195,6 +195,8 @@ pub struct Config {
     pub atomic_ordering: Vec<String>,
     /// Scope of the error-hygiene rule.
     pub error_hygiene: Vec<String>,
+    /// Scope of the unsafe-safety justification rule.
+    pub unsafe_safety: Vec<String>,
 }
 
 impl Config {
@@ -222,6 +224,7 @@ impl Config {
             hot_path: t.list("rules.hot-path-alloc", "include"),
             atomic_ordering: t.list("rules.atomic-ordering", "include"),
             error_hygiene: t.list("rules.error-hygiene", "include"),
+            unsafe_safety: t.list("rules.unsafe-safety", "include"),
         }
     }
 
@@ -243,7 +246,8 @@ impl Config {
             map_iter_include: p.clone(),
             hot_path: p.clone(),
             atomic_ordering: p.clone(),
-            error_hygiene: p,
+            error_hygiene: p.clone(),
+            unsafe_safety: p,
         }
     }
 }

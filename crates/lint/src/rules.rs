@@ -1,4 +1,4 @@
-//! The rule engine: five invariant-contract rules plus the suppression and
+//! The rule engine: six invariant-contract rules plus the suppression and
 //! hot-path-region annotation machinery.
 //!
 //! | rule | contract it guards |
@@ -8,6 +8,7 @@
 //! | `hot-path-alloc`  | the zero-allocation steady state: no allocating calls inside `tia-lint: hot-path(begin)`/`hot-path(end)` regions |
 //! | `atomic-ordering` | every `Ordering::` site carries an `// ordering:` justification; `Relaxed` must not be used for cross-thread handoff |
 //! | `error-hygiene`   | no `let _ =` silently discarding results in serve |
+//! | `unsafe-safety`   | every `unsafe` site (block, fn, impl) carries a `// safety:` justification — the SIMD kernel layer's audit trail |
 //!
 //! Rules run on the lexer's masked code channel, skip `cfg(test)` regions,
 //! and honor `// tia-lint: allow(<rule>, <reason>)` on the same line or on
@@ -26,16 +27,19 @@ pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 pub const ATOMIC_ORDERING: &str = "atomic-ordering";
 /// Rule identifier: results must not be silently discarded.
 pub const ERROR_HYGIENE: &str = "error-hygiene";
+/// Rule identifier: `unsafe` sites must be justified.
+pub const UNSAFE_SAFETY: &str = "unsafe-safety";
 /// Pseudo-rule for malformed `tia-lint:` annotations themselves.
 pub const ANNOTATION: &str = "annotation";
 
 /// Every real (suppressible) rule.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     PANIC_FREEDOM,
     DETERMINISM,
     HOT_PATH_ALLOC,
     ATOMIC_ORDERING,
     ERROR_HYGIENE,
+    UNSAFE_SAFETY,
 ];
 
 /// One finding: `file:line: [rule] message`.
@@ -94,6 +98,9 @@ pub fn check_file(rel: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     }
     if in_scope(rel, &cfg.error_hygiene) {
         error_hygiene(rel, &lexed, &ann, &mut diags);
+    }
+    if in_scope(rel, &cfg.unsafe_safety) {
+        unsafe_safety(rel, &lexed, &ann, &mut diags);
     }
 
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -509,7 +516,7 @@ fn atomic_ordering(rel: &str, lexed: &LexedFile, ann: &Annotations, diags: &mut 
         if !has_atomic_ordering(&line.code) {
             continue;
         }
-        match ordering_justification(&lexed.lines, i) {
+        match statement_justification(&lexed.lines, i, "ordering:") {
             None => push(
                 diags,
                 rel,
@@ -554,11 +561,12 @@ fn has_atomic_ordering(code: &str) -> bool {
     false
 }
 
-/// Finds the `// ordering:` comment justifying the `Ordering::` use at line
-/// `i`: on the line itself, on comment-only lines directly above, or on an
-/// earlier line of the same (unterminated) statement.
-fn ordering_justification(lines: &[Line], i: usize) -> Option<String> {
-    let has = |l: &Line| l.comment.to_ascii_lowercase().contains("ordering:");
+/// Finds the comment carrying `marker` that justifies the site at line `i`:
+/// on the line itself, on comment-only lines directly above, or on an
+/// earlier line of the same (unterminated) statement. Shared by the
+/// `atomic-ordering` (`ordering:`) and `unsafe-safety` (`safety:`) rules.
+fn statement_justification(lines: &[Line], i: usize, marker: &str) -> Option<String> {
+    let has = |l: &Line| l.comment.to_ascii_lowercase().contains(marker);
     if has(&lines[i]) {
         return Some(lines[i].comment.clone());
     }
@@ -584,6 +592,50 @@ fn ordering_justification(lines: &[Line], i: usize) -> Option<String> {
         }
     }
     None
+}
+
+fn unsafe_safety(rel: &str, lexed: &LexedFile, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
+    for (i, line) in lexed.lines.iter().enumerate() {
+        if line.in_test || ann.allowed(i, UNSAFE_SAFETY) {
+            continue;
+        }
+        if !has_unsafe_keyword(&line.code) {
+            continue;
+        }
+        if statement_justification(&lexed.lines, i, "safety:").is_none() {
+            push(
+                diags,
+                rel,
+                i,
+                UNSAFE_SAFETY,
+                "`unsafe` without a `// safety:` justification comment — state \
+                 the invariant that makes this sound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Whether the line uses the `unsafe` *keyword* — bounded on both sides, so
+/// identifiers like `unsafe_count` never match ([`has_token`] only checks
+/// the left boundary, which suffices for tokens ending in punctuation).
+fn has_unsafe_keyword(code: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unsafe") {
+        let abs = start + pos;
+        start = abs + "unsafe".len();
+        if !token_at(code, abs) {
+            continue;
+        }
+        let right_bounded = !code[abs + "unsafe".len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c == '_' || c.is_alphanumeric());
+        if right_bounded {
+            return true;
+        }
+    }
+    false
 }
 
 fn error_hygiene(rel: &str, lexed: &LexedFile, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
@@ -730,6 +782,26 @@ mod tests {
         let src =
             "let v = cell\n    .swap(1, Ordering::AcqRel); // ordering: read-modify-write sync\n";
         let d = check(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let d = check("let v = unsafe { load(p) };\n");
+        assert_eq!(rules_fired(&d), vec![UNSAFE_SAFETY]);
+        let d = check("let v = unsafe { load(p) }; // safety: p is in-bounds (asserted above)\n");
+        assert!(d.is_empty(), "{d:?}");
+        let d = check("// safety: caller proved the AVX2 probe passed\nunsafe fn kernel() {}\n");
+        assert!(d.is_empty(), "{d:?}");
+        // A justification earlier in the same multi-line statement counts.
+        let d =
+            check("let v = // safety: slice len checked by the packer\n    unsafe { sum(p) };\n");
+        assert!(d.is_empty(), "{d:?}");
+        // `unsafe` inside an identifier or a string must not fire.
+        let d = check("let unsafe_count = 0;\nlet s = \"unsafe\";\n");
+        assert!(d.is_empty(), "{d:?}");
+        // Suppression works like every other rule.
+        let d = check("unsafe { x() } // tia-lint: allow(unsafe-safety, audited in review)\n");
         assert!(d.is_empty(), "{d:?}");
     }
 

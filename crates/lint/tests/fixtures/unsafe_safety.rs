@@ -1,0 +1,48 @@
+//! Fixture: the unsafe-safety rule. Every `unsafe` site — block, fn or
+//! impl — needs a `// safety:` comment stating the invariant that makes it
+//! sound, on the line, directly above, or earlier in the same statement.
+
+unsafe fn unjustified_fn(p: *const f32) -> f32 { //~ unsafe-safety
+    *p
+}
+
+fn unjustified_block(p: *const f32) -> f32 {
+    unsafe { *p } //~ unsafe-safety
+}
+
+// safety: caller guarantees the AVX2 feature probe passed on this host.
+unsafe fn justified_above(x: &[f32]) -> f32 {
+    x[0]
+}
+
+fn justified_inline(p: *const f32) -> f32 {
+    unsafe { *p } // safety: p points into the caller-pinned panel (len asserted).
+}
+
+fn justified_multiline_statement(p: *const f32, n: usize) -> &'static [f32] {
+    // safety: the packer allocated exactly `n` elements at `p` and leaks them.
+    unsafe {
+        std::slice::from_raw_parts(p, n)
+    }
+}
+
+fn identifier_and_string_are_not_sites() -> usize {
+    let unsafe_count = 1;
+    let s = "unsafe";
+    unsafe_count + s.len()
+}
+
+fn suppressed(p: *const f32) -> f32 {
+    // tia-lint: allow(unsafe-safety, fixture demonstrating the escape hatch)
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_fine() {
+        let v = [1.0f32];
+        let x = unsafe { *v.as_ptr() };
+        assert_eq!(x, 1.0);
+    }
+}

@@ -78,6 +78,11 @@ fn error_hygiene_fixture() {
 }
 
 #[test]
+fn unsafe_safety_fixture() {
+    run_fixture("unsafe_safety.rs");
+}
+
+#[test]
 fn annotations_fixture() {
     run_fixture("annotations.rs");
 }
@@ -106,6 +111,7 @@ fn every_fixture_has_a_test_and_vice_versa() {
             "error_hygiene.rs",
             "hot_path_alloc.rs",
             "panic_freedom.rs",
+            "unsafe_safety.rs",
         ],
         "fixture set changed — add or remove the matching #[test]"
     );

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use tia_quant::{Precision, PrecisionSet};
-use tia_tensor::{Tensor, Workspace};
+use tia_tensor::{simd, AlignedBuf, Tensor, Workspace};
 
 const BN_EPS: f32 = 1e-5;
 const BN_MOMENTUM: f32 = 0.2;
@@ -30,7 +30,7 @@ impl BnCore {
 #[derive(Debug, Clone)]
 struct BnCache {
     xhat: Tensor,
-    inv_std: Vec<f32>,
+    inv_std: AlignedBuf,
     mode: Mode,
     count: usize, // N * H * W per channel
 }
@@ -58,6 +58,10 @@ fn bn_forward(
     // is never coming, so the layer writes the output alone.
     let mut xhat = mode.caches_backward().then(|| ws.tensor_spare(x.shape()));
     let mut inv_stds = ws.take_zeroed(c);
+    // The no-cache (Infer) rows dispatch to the SIMD backend; its `bn_row`
+    // applies the operations in the exact order of the scalar expression
+    // below, so every backend stays in the bitwise determinism tier.
+    let ops = simd::backend(ws.kernel());
     // All loops walk the contiguous per-(image, channel) rows of NCHW
     // directly — same element order (hence bitwise-identical accumulation)
     // as an elementwise traversal, without per-element index arithmetic.
@@ -107,9 +111,7 @@ fn bn_forward(
                 }
                 None => {
                     let orow = &mut out.data_mut()[rs..re];
-                    for (o, &xv) in orow.iter_mut().zip(xrow) {
-                        *o = g * ((xv - mean) * inv_std) + b;
-                    }
+                    ops.bn_row(xrow, orow, mean, inv_std, g, b);
                 }
             }
         }

@@ -1,11 +1,14 @@
 //! Quantization-aware 2-D convolution layer.
 
 use crate::layer::{Layer, Mode, Param};
-use crate::pack_memo::{PackMemo, PackedWeight};
-use tia_quant::{fake_quant_affine_slice, fake_quant_symmetric_into, Precision};
+use crate::pack_memo::{integer_path, PackMemo, PackedWeight};
+use tia_quant::{
+    fake_quant_affine_slice, fake_quant_symmetric_into, gemm_quant, quantize_affine_levels,
+    Precision, QuantizedWeights,
+};
 use tia_tensor::{
-    col2im_add_into, im2col_into, matmul_a_bt_ws, matmul_at_b_ws, Conv2dGeometry, PackedMatrix,
-    SeededRng, Tensor, Workspace,
+    col2im_add_into, im2col_into, im2col_levels_rows, matmul_a_bt_ws, matmul_at_b_ws, simd,
+    Conv2dGeometry, PackedMatrix, SeededRng, Tensor, Workspace,
 };
 
 /// A 2-D convolution with optional fake quantization of weights and input
@@ -111,6 +114,88 @@ impl Conv2d {
             PackedWeight { wq, packed }
         })
     }
+
+    /// The integer memo entry for `p`: the master weights `[K, C·KH·KW]`
+    /// quantized per-row to packed `i8`/`i4` on first use.
+    fn int_weight(&mut self, p: Precision) -> &QuantizedWeights {
+        let k = self.geo.out_channels;
+        let f = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
+        let weight = &self.weight;
+        self.packs.int_entry_or_insert(p, || {
+            QuantizedWeights::quantize_rows(weight.value.data(), k, f, p.bits())
+        })
+    }
+
+    /// The true-integer inference forward: per-image affine levels lowered
+    /// patch-per-row, one integer GEMM against the packed weight rows, then
+    /// a transpose-scatter into NCHW. Never caches (Infer only).
+    fn forward_int(&mut self, x: &Tensor, p: Precision, ws: &mut Workspace) -> Tensor {
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.geo.output_hw(h, w);
+        let k = self.geo.out_channels;
+        let f = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
+        let (ohw, chw) = (oh * ow, self.geo.in_channels * h * w);
+        self.int_weight(p); // populate the memo for the active precision
+        let wq = self.packs.get_int(p).expect("int_weight populated above");
+        let ops = simd::backend(ws.kernel());
+
+        // Per-image affine calibration (same grid as the fake-quant path),
+        // kept per image so batching never changes a sample's grid.
+        let mut img_levels = ws.take_bytes_spare(chw);
+        let mut rows = ws.take_bytes_spare(n * ohw * f);
+        let mut scales = ws.take_spare(n);
+        let mut zps = ws.take_ints_spare(n);
+        for ni in 0..n {
+            let lp =
+                quantize_affine_levels(&x.data()[ni * chw..(ni + 1) * chw], &mut img_levels, p);
+            scales[ni] = lp.scale;
+            zps[ni] = lp.zero_point;
+            im2col_levels_rows(
+                &img_levels,
+                &self.geo,
+                h,
+                w,
+                lp.zero_point as u8,
+                &mut rows[ni * ohw * f..(ni + 1) * ohw * f],
+            );
+        }
+
+        // o[n·oh·ow, k]: each patch row dotted against every weight row.
+        let mut o = ws.take_spare(n * ohw * k);
+        gemm_quant(
+            ops,
+            n * ohw,
+            f,
+            &rows,
+            &scales,
+            &zps,
+            wq,
+            self.bias.as_ref().map(|b| b.value.data()),
+            &mut o,
+        );
+
+        // Transpose-scatter [n·oh·ow, k] into NCHW.
+        let mut out = ws.tensor_spare(&[n, k, oh, ow]);
+        let od = out.data_mut();
+        for ni in 0..n {
+            for s in 0..ohw {
+                let orow = &o[(ni * ohw + s) * k..(ni * ohw + s + 1) * k];
+                for (ki, &v) in orow.iter().enumerate() {
+                    od[(ni * k + ki) * ohw + s] = v;
+                }
+            }
+        }
+        ws.recycle(o);
+        ws.recycle(scales);
+        ws.recycle_ints(zps);
+        ws.recycle_bytes(rows);
+        ws.recycle_bytes(img_levels);
+        if let Some(old) = self.cache.take() {
+            ws.recycle_tensor(old.cols);
+            ws.recycle_tensor(old.wq);
+        }
+        out
+    }
 }
 
 impl Layer for Conv2d {
@@ -120,6 +205,10 @@ impl Layer for Conv2d {
 
     fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 4, "Conv2d expects NCHW input");
+        let depth = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
+        if let Some(p) = integer_path(mode, ws, self.precision, depth) {
+            return self.forward_int(x, p, ws);
+        }
         let (n, _c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.geo.output_hw(h, w);
         let k = self.geo.out_channels;
@@ -189,7 +278,7 @@ impl Layer for Conv2d {
         }
         if mode.caches_backward() {
             self.cache = Some(Cache {
-                cols: Tensor::from_vec(cols, &[f, cols_n]),
+                cols: Tensor::from_buf(cols, &[f, cols_n]),
                 // Snapshot the quantized weight the products actually used,
                 // so backward stays correct even if the master weights (and
                 // hence the memo) change in between.

@@ -1,9 +1,12 @@
 //! Quantization-aware fully-connected layer.
 
 use crate::layer::{Layer, Mode, Param};
-use crate::pack_memo::{PackMemo, PackedWeight};
-use tia_quant::{fake_quant_affine_slice, fake_quant_symmetric_into, Precision};
-use tia_tensor::{gemm_ws, matmul_at_b_ws, PackedMatrix, SeededRng, Tensor, Workspace};
+use crate::pack_memo::{integer_path, PackMemo, PackedWeight};
+use tia_quant::{
+    fake_quant_affine_slice, fake_quant_symmetric_into, gemm_quant, quantize_affine_levels,
+    Precision, QuantizedWeights,
+};
+use tia_tensor::{gemm_ws, matmul_at_b_ws, simd, PackedMatrix, SeededRng, Tensor, Workspace};
 
 /// A fully-connected layer `y = x W^T + b` with optional fake quantization
 /// (same straight-through scheme as [`crate::Conv2d`]).
@@ -89,6 +92,64 @@ impl Linear {
             PackedWeight { wq, packed }
         })
     }
+
+    /// The integer memo entry for `p`: the master weights `[out, in]`
+    /// quantized per-row to packed `i8`/`i4` on first use.
+    fn int_weight(&mut self, p: Precision) -> &QuantizedWeights {
+        let (out_f, in_f) = (self.out_features, self.in_features);
+        let weight = &self.weight;
+        self.packs.int_entry_or_insert(p, || {
+            QuantizedWeights::quantize_rows(weight.value.data(), out_f, in_f, p.bits())
+        })
+    }
+
+    /// The true-integer inference forward: each sample row quantized to its
+    /// own affine level grid, then one integer GEMM against the packed
+    /// weight rows produces `[n, out]` directly. Never caches (Infer only).
+    fn forward_int(&mut self, x: &Tensor, p: Precision, ws: &mut Workspace) -> Tensor {
+        let n = x.shape()[0];
+        let in_f = self.in_features;
+        self.int_weight(p); // populate the memo for the active precision
+        let wq = self.packs.get_int(p).expect("int_weight populated above");
+        let ops = simd::backend(ws.kernel());
+
+        // Per-sample affine calibration (same grid as the fake-quant path):
+        // one scale/zero-point pair per row, so batching never changes the
+        // grid a sample lands on.
+        let mut rows = ws.take_bytes_spare(n * in_f);
+        let mut scales = ws.take_spare(n);
+        let mut zps = ws.take_ints_spare(n);
+        for ni in 0..n {
+            let lp = quantize_affine_levels(
+                &x.data()[ni * in_f..(ni + 1) * in_f],
+                &mut rows[ni * in_f..(ni + 1) * in_f],
+                p,
+            );
+            scales[ni] = lp.scale;
+            zps[ni] = lp.zero_point;
+        }
+
+        let mut out = ws.tensor_spare(&[n, self.out_features]);
+        gemm_quant(
+            ops,
+            n,
+            in_f,
+            &rows,
+            &scales,
+            &zps,
+            wq,
+            self.bias.as_ref().map(|b| b.value.data()),
+            out.data_mut(),
+        );
+        ws.recycle(scales);
+        ws.recycle_ints(zps);
+        ws.recycle_bytes(rows);
+        if let Some(old) = self.cache.take() {
+            ws.recycle_tensor(old.xq);
+            ws.recycle_tensor(old.wq);
+        }
+        out
+    }
 }
 
 impl Layer for Linear {
@@ -99,6 +160,9 @@ impl Layer for Linear {
     fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear expects [N, F]");
         assert_eq!(x.shape()[1], self.in_features, "Linear feature mismatch");
+        if let Some(p) = integer_path(mode, ws, self.precision, self.in_features) {
+            return self.forward_int(x, p, ws);
+        }
         let n = x.shape()[0];
         self.packed_weight(); // populate the memo for the active precision
         let pw = self
@@ -142,7 +206,7 @@ impl Layer for Linear {
         }
         if mode.caches_backward() {
             let xq_t = match xq_buf {
-                Some(buf) => Tensor::from_vec(buf, &[n, self.in_features]),
+                Some(buf) => Tensor::from_buf(buf, &[n, self.in_features]),
                 None => ws.tensor_copy(x, &[n, self.in_features]),
             };
             self.cache = Some(LinearCache {

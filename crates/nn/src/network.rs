@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::loss::{cross_entropy, LossGrad};
 use tia_quant::Precision;
-use tia_tensor::{Tensor, Workspace};
+use tia_tensor::{KernelMode, Tensor, Workspace};
 
 /// A sequential network of layers (blocks are layers too).
 ///
@@ -62,6 +62,19 @@ impl Network {
     /// Currently active execution precision (None = full precision).
     pub fn precision(&self) -> Option<Precision> {
         self.precision
+    }
+
+    /// The kernel dispatch mode of the network's workspace.
+    pub fn kernel(&self) -> KernelMode {
+        self.ws.kernel()
+    }
+
+    /// Sets the kernel dispatch mode threaded to every layer via the
+    /// workspace. `KernelMode::Scalar` pins the bitwise reference kernels
+    /// (and with them the f32 fake-quant inference path); `Native` enables
+    /// the runtime-detected SIMD backend and the true-integer serving path.
+    pub fn set_kernel(&mut self, k: KernelMode) {
+        self.ws.set_kernel(k);
     }
 
     /// Runs the forward pass, returning logits. Intermediate activations

@@ -3,14 +3,17 @@
 //!
 //! The memo is what makes the paper's random precision switch ~free at
 //! serving time: the first forward at a precision quantizes the fp32
-//! master weights and packs them into GEMM panels; every later forward at
-//! that precision is a linear-scan lookup over a handful of entries.
+//! master weights and packs them into GEMM panels (or, on the integer
+//! serving path, into packed `i8`/`i4` rows); every later forward at that
+//! precision is a linear-scan lookup over a handful of entries.
 //! Invalidation is the owner's job: whenever `visit_params` hands out
 //! `&mut Param` the master weights may change, so owners call
 //! [`PackMemo::clear`] there.
 
-use tia_quant::Precision;
-use tia_tensor::{PackedMatrix, Tensor};
+use crate::layer::Mode;
+use tia_quant::{Precision, QuantizedWeights};
+use tia_tensor::simd::KernelMode;
+use tia_tensor::{PackedMatrix, Tensor, Workspace};
 
 /// One memo entry: the fake-quantized weight tensor (backward passes
 /// multiply by it) and the same values prepacked for the forward GEMM.
@@ -25,25 +28,36 @@ pub(crate) struct PackedWeight {
 /// A small per-precision memo (`None` = full precision). Linear scan — the
 /// candidate set is a handful of precisions, and scan beats hashing at
 /// that size while staying allocation-free on hits.
+///
+/// The fake-quant f32 entries and the true-integer entries are memoized
+/// independently: a serving process on the integer path never builds f32
+/// panels, and a training process never packs integers.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PackMemo {
     entries: Vec<(Option<Precision>, PackedWeight)>,
+    ints: Vec<(Precision, QuantizedWeights)>,
 }
 
 impl PackMemo {
-    /// Number of live entries (tests/diagnostics).
+    /// Number of distinct memoized precisions across both memo kinds
+    /// (tests/diagnostics).
     pub fn len(&self) -> usize {
         self.entries.len()
+            + self
+                .ints
+                .iter()
+                .filter(|(p, _)| self.entries.iter().all(|(q, _)| *q != Some(*p)))
+                .count()
     }
 
-    /// The entry for `p`, if present. Borrows only the memo, so owners can
-    /// populate via [`PackMemo::entry_or_insert`] first and then hold this
-    /// shared view alongside mutable borrows of their other fields.
+    /// The f32 entry for `p`, if present. Borrows only the memo, so owners
+    /// can populate via [`PackMemo::entry_or_insert`] first and then hold
+    /// this shared view alongside mutable borrows of their other fields.
     pub fn get(&self, p: Option<Precision>) -> Option<&PackedWeight> {
         self.entries.iter().find(|(q, _)| *q == p).map(|(_, w)| w)
     }
 
-    /// The entry for `p`, built via `build` on first use. The miss path
+    /// The f32 entry for `p`, built via `build` on first use. The miss path
     /// allocates (the artifact is persistent); hits are free.
     pub fn entry_or_insert(
         &mut self,
@@ -57,8 +71,69 @@ impl PackMemo {
         &self.entries.last().expect("just pushed").1
     }
 
+    /// The integer entry for `p`, if present (same borrow discipline as
+    /// [`PackMemo::get`]).
+    pub fn get_int(&self, p: Precision) -> Option<&QuantizedWeights> {
+        self.ints.iter().find(|(q, _)| *q == p).map(|(_, w)| w)
+    }
+
+    /// The integer entry for `p`, built via `build` on first use.
+    pub fn int_entry_or_insert(
+        &mut self,
+        p: Precision,
+        build: impl FnOnce() -> QuantizedWeights,
+    ) -> &QuantizedWeights {
+        if let Some(i) = self.ints.iter().position(|(q, _)| *q == p) {
+            return &self.ints[i].1;
+        }
+        self.ints.push((p, build()));
+        &self.ints.last().expect("just pushed").1
+    }
+
     /// Drops every entry — called when the master weights may have changed.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.ints.clear();
+    }
+}
+
+/// BLIS-style crossover depth for the integer kernels: below this
+/// reduction length the per-dot fixed costs (dispatch, horizontal sum,
+/// tail) outweigh the wider integer arithmetic and the dispatched f32
+/// panels win, so shallow layers stay on the f32 path even under
+/// `native`. Sub-byte dots pay a nibble decode per weight element on
+/// top, so their crossover sits higher.
+const INT_CROSSOVER_K: usize = 48;
+const INT_CROSSOVER_K_SUB_BYTE: usize = 96;
+
+/// Whether a forward call takes the true-integer serving path: inference
+/// mode, `native` kernel dispatch, a precision whose levels fit the
+/// byte-wide kernels, and a reduction depth `k` past the kernel's
+/// crossover. Everything else (training, eval/attack passes, the pinned
+/// `scalar` mode, >8-bit grids, shallow reductions) keeps the f32
+/// fake-quant path — which is also why `TIA_KERNEL=scalar` reproduces
+/// historical logits bit for bit. The choice is a pure function of the
+/// layer shape, never of the batch, so batched ≡ per-sample bitwise
+/// identity survives the selection.
+pub(crate) fn integer_path(
+    mode: Mode,
+    ws: &Workspace,
+    p: Option<Precision>,
+    k: usize,
+) -> Option<Precision> {
+    match p {
+        Some(prec)
+            if mode == Mode::Infer
+                && ws.kernel() == KernelMode::Native
+                && (2..=8).contains(&prec.bits())
+                && k >= if prec.bits() <= 4 {
+                    INT_CROSSOVER_K_SUB_BYTE
+                } else {
+                    INT_CROSSOVER_K
+                } =>
+        {
+            Some(prec)
+        }
+        _ => None,
     }
 }

@@ -32,9 +32,11 @@
 
 #![deny(missing_docs)]
 
+mod packed;
 mod precision;
 mod quantizer;
 
+pub use packed::{gemm_quant, quantize_affine_levels, LevelParams, QuantizedWeights};
 pub use precision::{Precision, PrecisionSet};
 pub use quantizer::{
     fake_quant_affine, fake_quant_affine_slice, fake_quant_symmetric, fake_quant_symmetric_into,

@@ -1,0 +1,478 @@
+//! True integer storage and compute for inference-time quantization.
+//!
+//! The fake-quant path (see [`crate::quantizer`]) rounds values onto the
+//! b-bit grid but keeps them in `f32`, which is what training and the
+//! attack-side gradients need. At serving time under the `native` kernel
+//! mode, quantized layers instead run *genuinely* quantized: weights are
+//! stored as packed `i8`/`i4` integers with per-row scales, activations as
+//! unsigned levels with a per-sample affine grid, and the matmul accumulates
+//! exactly in `i32` through [`tia_tensor::simd`]'s widening dot products.
+//!
+//! The arithmetic identity this rests on: with activations
+//! `x_j = s_a · (q_j − z)` and weight row `w_j = s_w · t_j`,
+//!
+//! ```text
+//! Σ_j x_j · w_j  =  s_a · s_w · (Σ_j q_j t_j  −  z · Σ_j t_j)
+//! ```
+//!
+//! so one integer dot product plus a precomputed weight-row sum replaces the
+//! f32 inner loop. Integer accumulation is exact, making the result
+//! independent of summation order — the dispatched backends are bitwise
+//! identical to scalar by construction, and batched results are trivially
+//! equal to per-sample results (each output element is one dot product).
+
+use crate::Precision;
+use tia_tensor::simd::SimdOps;
+use tia_tensor::AlignedBytes;
+
+/// Affine grid of one quantized activation slice, with the zero point as
+/// the integer *level* it is (contrast [`crate::AffineParams`], which keeps
+/// it in `f32` for the fake-quant path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelParams {
+    /// Grid step.
+    pub scale: f32,
+    /// Level that represents the real value `0.0` (in `0..=levels`).
+    pub zero_point: i32,
+}
+
+/// Quantizes `src` onto the same affine grid as
+/// [`crate::fake_quant_affine_slice`], but emits the integer *levels*
+/// instead of the dequantized values. `(level - zero_point) * scale`
+/// reproduces the fake-quant output exactly.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or `precision` exceeds 8 bits (levels
+/// must fit a byte).
+pub fn quantize_affine_levels(src: &[f32], dst: &mut [u8], precision: Precision) -> LevelParams {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "quantize_affine_levels length mismatch"
+    );
+    let b = precision.bits() as u32;
+    assert!(b <= 8, "activation levels beyond 8 bits do not fit a byte");
+    let levels = ((1u64 << b) - 1) as f32;
+    let lo = src.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
+    let hi = src
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
+        .max(0.0);
+    if hi == lo {
+        // All-zero slice (lo ≤ 0 ≤ hi forces lo = hi = 0): level 0 is 0.0.
+        dst.fill(0);
+        return LevelParams {
+            scale: 1.0,
+            zero_point: 0,
+        };
+    }
+    let scale = (hi - lo) / levels;
+    let zero_point = (-lo / scale).round();
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = (v / scale + zero_point).round().clamp(0.0, levels) as u8;
+    }
+    LevelParams {
+        scale,
+        zero_point: zero_point as i32,
+    }
+}
+
+/// A weight matrix stored as true integers: `rows` rows of `k` symmetric
+/// b-bit values with one scale per row, packed two-per-byte when `b ≤ 4`.
+///
+/// Row layout matches the f32 weight-matrix rows the layer would otherwise
+/// multiply (`[out_features, in_features]` for linear, `[f, c·kh·kw]` for
+/// im2col conv), so each output element is one contiguous dot product.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeights {
+    rows: usize,
+    k: usize,
+    bits: u8,
+    /// Bytes per stored row: `k` (`i8`) or `ceil(k/2)` (packed `i4`).
+    row_stride: usize,
+    /// All rows, concatenated; 64-byte aligned for the SIMD dot kernels.
+    data: AlignedBytes,
+    /// Per-row symmetric grid step (`0.0` for an all-zero row).
+    scales: Vec<f32>,
+    /// Per-row integer sums `Σ_j t_j`, consumed by the zero-point
+    /// correction in [`gemm_quant`].
+    row_sums: Vec<i32>,
+}
+
+impl QuantizedWeights {
+    /// Quantizes a row-major `rows x k` f32 matrix to symmetric `bits`-bit
+    /// integers with per-row scales: `t = round(w / s)` with
+    /// `s = max|row| / (2^{b-1} − 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 8` and `w.len() == rows * k`.
+    pub fn quantize_rows(w: &[f32], rows: usize, k: usize, bits: u8) -> Self {
+        assert!((2..=8).contains(&bits), "integer path covers 2..=8 bits");
+        assert_eq!(w.len(), rows * k, "quantize_rows shape mismatch");
+        let sub_byte = bits <= 4;
+        let row_stride = if sub_byte { k.div_ceil(2) } else { k };
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let mut data = AlignedBytes::zeroed(rows * row_stride);
+        let mut scales = Vec::with_capacity(rows);
+        let mut row_sums = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let src = &w[r * k..(r + 1) * k];
+            let drow = &mut data[r * row_stride..(r + 1) * row_stride];
+            let amax = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if amax == 0.0 {
+                scales.push(0.0);
+                row_sums.push(0);
+                continue;
+            }
+            let s = amax / qmax;
+            let mut sum = 0i32;
+            for (j, &v) in src.iter().enumerate() {
+                let t = (v / s).round().clamp(-qmax, qmax) as i32;
+                sum += t;
+                if sub_byte {
+                    // Element 2i in the low nibble of byte i, 2i+1 in the
+                    // high nibble (the layout `SimdOps::dot_u4i4` decodes).
+                    let nib = (t & 0x0F) as u8;
+                    if j % 2 == 0 {
+                        drow[j / 2] |= nib;
+                    } else {
+                        drow[j / 2] |= nib << 4;
+                    }
+                } else {
+                    drow[j] = (t & 0xFF) as u8;
+                }
+            }
+            scales.push(s);
+            row_sums.push(sum);
+        }
+        Self {
+            rows,
+            k,
+            bits,
+            row_stride,
+            data,
+            scales,
+            row_sums,
+        }
+    }
+
+    /// Number of weight rows (output features).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dot-product depth (input features).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stored precision in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Bytes of packed integer storage (capacity planning / tests).
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Per-row grid steps.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Dequantizes row `r` element `j` (test/debug helper).
+    pub fn dequant_at(&self, r: usize, j: usize) -> f32 {
+        let row = &self.data[r * self.row_stride..(r + 1) * self.row_stride];
+        let t = if self.bits <= 4 {
+            let nib = if j.is_multiple_of(2) {
+                row[j / 2] & 0x0F
+            } else {
+                row[j / 2] >> 4
+            };
+            (nib ^ 8) as i32 - 8
+        } else {
+            (row[j] as i8) as i32
+        };
+        self.scales[r] * t as f32
+    }
+}
+
+/// The one integer GEMM driver: `out[i][j] = s_a(i) · s_w(j) · (acc − z·Σt)
+/// (+ bias[j])` over `m` activation rows of `k` levels against the `n = rows`
+/// quantized weight rows.
+///
+/// `a_scales`/`a_zps` hold one affine grid per *group* of consecutive
+/// activation rows (`m` must be a multiple of their length): linear layers
+/// pass one grid per sample row, conv layers one grid per image covering all
+/// its `oh·ow` patch rows. The dequantization expression lives here and only
+/// here, so every layer and every backend agrees on it bit for bit.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on shape mismatches.
+// tia-lint: hot-path(begin)
+#[allow(clippy::too_many_arguments)] // a GEMM signature is its operand list
+pub fn gemm_quant(
+    ops: &dyn SimdOps,
+    m: usize,
+    k: usize,
+    a_levels: &[u8],
+    a_scales: &[f32],
+    a_zps: &[i32],
+    w: &QuantizedWeights,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let n = w.rows;
+    debug_assert_eq!(k, w.k, "depth mismatch");
+    debug_assert_eq!(a_levels.len(), m * k);
+    debug_assert_eq!(a_scales.len(), a_zps.len());
+    debug_assert!(
+        m == 0 || m.is_multiple_of(a_scales.len()),
+        "rows must group evenly"
+    );
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_group = m / a_scales.len();
+    let sub_byte = w.bits <= 4;
+    let wrow = |j: usize| &w.data[j * w.row_stride..(j + 1) * w.row_stride];
+    for i in 0..m {
+        let g = i / rows_per_group;
+        let (s_a, z) = (a_scales[g], a_zps[g] as i64);
+        let arow = &a_levels[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        // The dequantization expression — defined once, used everywhere.
+        let deq = |acc: i32, j: usize| {
+            let v = (s_a * w.scales[j]) * ((acc as i64 - z * w.row_sums[j] as i64) as f32);
+            match bias {
+                Some(b) => v + b[j],
+                None => v,
+            }
+        };
+        // Quad-row inner loop: one activation widening per four weight
+        // rows. Exact i32 sums make the grouping bitwise-irrelevant.
+        let mut j = 0;
+        while j + 4 <= n {
+            let q = if sub_byte {
+                ops.dot_u4i4_x4(k, arow, wrow(j), wrow(j + 1), wrow(j + 2), wrow(j + 3))
+            } else {
+                ops.dot_u8i8_x4(arow, wrow(j), wrow(j + 1), wrow(j + 2), wrow(j + 3))
+            };
+            for (l, acc) in q.into_iter().enumerate() {
+                orow[j + l] = deq(acc, j + l);
+            }
+            j += 4;
+        }
+        while j < n {
+            let acc = if sub_byte {
+                ops.dot_u4i4(k, arow, wrow(j))
+            } else {
+                ops.dot_u8i8(arow, wrow(j))
+            };
+            orow[j] = deq(acc, j);
+            j += 1;
+        }
+    }
+}
+// tia-lint: hot-path(end)
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fake_quant_affine_slice;
+    use tia_tensor::simd::{self, KernelMode};
+    use tia_tensor::SeededRng;
+
+    #[test]
+    fn levels_reproduce_fake_quant_exactly() {
+        let mut rng = SeededRng::new(21);
+        for bits in [2u8, 4, 5, 8] {
+            let p = Precision::new(bits);
+            let x: Vec<f32> = (0..97).map(|_| rng.normal()).collect();
+            let mut fq = vec![0.0f32; x.len()];
+            fake_quant_affine_slice(&x, &mut fq, p);
+            let mut lv = vec![0u8; x.len()];
+            let params = quantize_affine_levels(&x, &mut lv, p);
+            for (i, (&l, &f)) in lv.iter().zip(&fq).enumerate() {
+                let deq = (l as i32 - params.zero_point) as f32 * params.scale;
+                assert_eq!(deq.to_bits(), f.to_bits(), "bits={} elem {}", bits, i);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_slice_maps_to_level_zero() {
+        let mut lv = vec![9u8; 5];
+        let p = quantize_affine_levels(&[0.0; 5], &mut lv, Precision::new(4));
+        assert_eq!(lv, vec![0; 5]);
+        assert_eq!(p.zero_point, 0);
+    }
+
+    #[test]
+    fn quantized_rows_roundtrip_within_half_step() {
+        let mut rng = SeededRng::new(22);
+        let (rows, k) = (6, 33);
+        let w: Vec<f32> = (0..rows * k).map(|_| rng.normal()).collect();
+        for bits in [2u8, 3, 4, 7, 8] {
+            let q = QuantizedWeights::quantize_rows(&w, rows, k, bits);
+            assert_eq!((q.rows(), q.k(), q.bits()), (rows, k, bits));
+            let expect_stride = if bits <= 4 { k.div_ceil(2) } else { k };
+            assert_eq!(q.packed_len(), rows * expect_stride);
+            for r in 0..rows {
+                let s = q.scales()[r];
+                assert!(s > 0.0);
+                for j in 0..k {
+                    let err = (q.dequant_at(r, j) - w[r * k + j]).abs();
+                    assert!(err <= s / 2.0 + 1e-6, "bits={} ({},{})", bits, r, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_row_has_zero_scale_and_contributes_nothing() {
+        let mut w = vec![0.5f32; 2 * 8];
+        w[8..].fill(0.0);
+        let q = QuantizedWeights::quantize_rows(&w, 2, 8, 8);
+        assert_eq!(q.scales()[1], 0.0);
+        let a = vec![200u8; 8];
+        let mut out = vec![9.0f32; 2];
+        gemm_quant(
+            simd::backend(KernelMode::Scalar),
+            1,
+            8,
+            &a,
+            &[0.01],
+            &[3],
+            &q,
+            None,
+            &mut out,
+        );
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn gemm_quant_matches_dequantized_reference_on_every_backend() {
+        // The integer driver against a plain f32 matmul over the
+        // *dequantized* operands: exact up to f32 rounding of the reference.
+        let mut rng = SeededRng::new(23);
+        for bits in [3u8, 4, 6, 8] {
+            let (m, k, n) = (5, 37, 4);
+            let x: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let w: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+            let bias: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+            let q = QuantizedWeights::quantize_rows(&w, n, k, bits);
+            let p = Precision::new(bits);
+            let mut levels = vec![0u8; m * k];
+            let mut scales = Vec::new();
+            let mut zps = Vec::new();
+            for i in 0..m {
+                let lp = quantize_affine_levels(
+                    &x[i * k..(i + 1) * k],
+                    &mut levels[i * k..(i + 1) * k],
+                    p,
+                );
+                scales.push(lp.scale);
+                zps.push(lp.zero_point);
+            }
+            let mut want = vec![0.0f64; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f64;
+                    for t in 0..k {
+                        let a = (levels[i * k + t] as i32 - zps[i]) as f64 * scales[i] as f64;
+                        acc += a * q.dequant_at(j, t) as f64;
+                    }
+                    want[i * n + j] = acc + bias[j] as f64;
+                }
+            }
+            let scalar = simd::backend(KernelMode::Scalar);
+            let mut out_scalar = vec![0.0f32; m * n];
+            gemm_quant(
+                scalar,
+                m,
+                k,
+                &levels,
+                &scales,
+                &zps,
+                &q,
+                Some(&bias),
+                &mut out_scalar,
+            );
+            for (got, want) in out_scalar.iter().zip(&want) {
+                assert!(
+                    (*got as f64 - want).abs() < 1e-3,
+                    "bits={}: {} vs {}",
+                    bits,
+                    got,
+                    want
+                );
+            }
+            // Dispatched backend must agree with scalar *bitwise*.
+            let native = simd::backend(KernelMode::Native);
+            let mut out_native = vec![0.0f32; m * n];
+            gemm_quant(
+                native,
+                m,
+                k,
+                &levels,
+                &scales,
+                &zps,
+                &q,
+                Some(&bias),
+                &mut out_native,
+            );
+            assert_eq!(
+                out_native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out_scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "bits={}: {} diverged from scalar",
+                bits,
+                native.name()
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_scales_cover_multiple_rows() {
+        // One affine grid covering all rows of an "image" (the conv case)
+        // must equal calling the driver per group.
+        let mut rng = SeededRng::new(24);
+        let (groups, rows_per, k, n) = (2, 3, 16, 2);
+        let m = groups * rows_per;
+        let w: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+        let q = QuantizedWeights::quantize_rows(&w, n, k, 8);
+        let levels: Vec<u8> = (0..m * k).map(|_| rng.below(256) as u8).collect();
+        let scales = [0.02f32, 0.05];
+        let zps = [7i32, 130];
+        let ops = simd::backend(KernelMode::Scalar);
+        let mut all = vec![0.0f32; m * n];
+        gemm_quant(ops, m, k, &levels, &scales, &zps, &q, None, &mut all);
+        for g in 0..groups {
+            let mut part = vec![0.0f32; rows_per * n];
+            gemm_quant(
+                ops,
+                rows_per,
+                k,
+                &levels[g * rows_per * k..(g + 1) * rows_per * k],
+                &scales[g..g + 1],
+                &zps[g..g + 1],
+                &q,
+                None,
+                &mut part,
+            );
+            assert_eq!(
+                part.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                all[g * rows_per * n..(g + 1) * rows_per * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}

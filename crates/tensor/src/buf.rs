@@ -1,0 +1,310 @@
+//! 64-byte-aligned growable buffers backing every pooled/tensor allocation.
+//!
+//! SIMD backends (see [`crate::simd`]) load panel data with full cachelines;
+//! guaranteeing 64-byte base alignment for all tensor, packed-panel and
+//! workspace storage keeps those loads split-free and makes the alignment
+//! contract checkable (the workspace asserts it in tests) instead of UB.
+//!
+//! The implementation stores data as a `Vec` of 64-byte `#[repr(align(64))]`
+//! chunks and exposes an element-typed slice view over the prefix. All
+//! element access goes through safe slices; the only `unsafe` is the
+//! chunk-to-element reinterpret, which is layout-guaranteed by `repr(C)`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+macro_rules! aligned_buf {
+    ($(#[$doc:meta])* $name:ident, $chunk:ident, $elem:ty, $lanes:expr) => {
+        #[derive(Clone, Copy)]
+        #[repr(C, align(64))]
+        struct $chunk([$elem; $lanes]);
+
+        impl $chunk {
+            const ZERO: Self = Self([0 as $elem; $lanes]);
+        }
+
+        $(#[$doc])*
+        #[derive(Clone, Default)]
+        pub struct $name {
+            chunks: Vec<$chunk>,
+            len: usize,
+        }
+
+        impl $name {
+            /// Number of elements per 64-byte chunk.
+            const LANES: usize = $lanes;
+
+            /// Creates an empty buffer.
+            pub fn new() -> Self {
+                Self { chunks: Vec::new(), len: 0 }
+            }
+
+            /// Creates an empty buffer with room for at least `cap` elements.
+            pub fn with_capacity(cap: usize) -> Self {
+                Self {
+                    chunks: Vec::with_capacity(cap.div_ceil(Self::LANES)),
+                    len: 0,
+                }
+            }
+
+            /// Creates a zero-filled buffer of `len` elements.
+            pub fn zeroed(len: usize) -> Self {
+                Self {
+                    chunks: vec![$chunk::ZERO; len.div_ceil(Self::LANES)],
+                    len,
+                }
+            }
+
+            /// Creates a buffer holding a copy of `src`.
+            pub fn from_slice(src: &[$elem]) -> Self {
+                let mut b = Self::zeroed(src.len());
+                b.copy_from_slice(src);
+                b
+            }
+
+            /// Number of live elements.
+            #[allow(clippy::len_without_is_empty)]
+            pub fn len(&self) -> usize {
+                self.len
+            }
+
+            /// `true` when the buffer holds no elements.
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// Element capacity before the chunk vector must reallocate.
+            pub fn capacity(&self) -> usize {
+                self.chunks.capacity() * Self::LANES
+            }
+
+            /// Grows the live region to `n` elements without initialising
+            /// the new tail beyond chunk-granular zeroing of fresh chunks.
+            /// Callers overwrite the exposed tail before reading it.
+            fn grow_to(&mut self, n: usize) {
+                let need = n.div_ceil(Self::LANES);
+                if need > self.chunks.len() {
+                    self.chunks.resize(need, $chunk::ZERO);
+                }
+                self.len = n;
+            }
+
+            /// Appends one element.
+            pub fn push(&mut self, v: $elem) {
+                let i = self.len;
+                self.grow_to(i + 1);
+                self[i] = v;
+            }
+
+            /// Appends a copy of `src`.
+            pub fn extend_from_slice(&mut self, src: &[$elem]) {
+                let i = self.len;
+                self.grow_to(i + src.len());
+                self[i..].copy_from_slice(src);
+            }
+
+            /// Resizes to `n` elements, filling any new tail with `v`.
+            pub fn resize(&mut self, n: usize, v: $elem) {
+                let old = self.len;
+                if n > old {
+                    self.grow_to(n);
+                    self[old..].fill(v);
+                } else {
+                    self.truncate(n);
+                }
+            }
+
+            /// Shortens to `n` elements (no-op if already shorter).
+            pub fn truncate(&mut self, n: usize) {
+                if n < self.len {
+                    self.len = n;
+                    self.chunks.truncate(n.div_ceil(Self::LANES));
+                }
+            }
+
+            /// Empties the buffer, keeping its allocation.
+            pub fn clear(&mut self) {
+                self.len = 0;
+                self.chunks.clear();
+            }
+
+            /// The live elements as a slice.
+            pub fn as_slice(&self) -> &[$elem] {
+                self
+            }
+
+            /// The live elements as a mutable slice.
+            pub fn as_mut_slice(&mut self) -> &mut [$elem] {
+                self
+            }
+
+            /// Copies the live elements into a plain `Vec`.
+            pub fn to_vec(&self) -> Vec<$elem> {
+                self.as_slice().to_vec()
+            }
+        }
+
+        impl Deref for $name {
+            type Target = [$elem];
+
+            fn deref(&self) -> &[$elem] {
+                // safety: `repr(C)` chunks are exactly `LANES` contiguous
+                // elements with no padding, the chunk vector owns
+                // `chunks.len() * LANES >= len` initialised elements, and
+                // the pointer is valid for the lifetime of `&self`.
+                unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast(), self.len) }
+            }
+        }
+
+        impl DerefMut for $name {
+            fn deref_mut(&mut self) -> &mut [$elem] {
+                // safety: same layout argument as `deref`; `&mut self`
+                // guarantees exclusive access to the chunk storage.
+                unsafe {
+                    std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast(), self.len)
+                }
+            }
+        }
+
+        impl From<Vec<$elem>> for $name {
+            fn from(v: Vec<$elem>) -> Self {
+                Self::from_slice(&v)
+            }
+        }
+
+        impl From<&[$elem]> for $name {
+            fn from(v: &[$elem]) -> Self {
+                Self::from_slice(v)
+            }
+        }
+
+        impl<'a> IntoIterator for &'a $name {
+            type Item = &'a $elem;
+            type IntoIter = std::slice::Iter<'a, $elem>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.as_slice().iter()
+            }
+        }
+
+        impl<'a> IntoIterator for &'a mut $name {
+            type Item = &'a mut $elem;
+            type IntoIter = std::slice::IterMut<'a, $elem>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.as_mut_slice().iter_mut()
+            }
+        }
+
+        impl FromIterator<$elem> for $name {
+            fn from_iter<I: IntoIterator<Item = $elem>>(iter: I) -> Self {
+                let iter = iter.into_iter();
+                let mut b = Self::with_capacity(iter.size_hint().0);
+                for v in iter {
+                    b.push(v);
+                }
+                b
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.as_slice() == other.as_slice()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list().entries(self.iter()).finish()
+            }
+        }
+    };
+}
+
+aligned_buf!(
+    /// A growable `f32` buffer whose storage is always 64-byte aligned.
+    AlignedBuf,
+    F32Chunk,
+    f32,
+    16
+);
+
+aligned_buf!(
+    /// A growable `u8` buffer whose storage is always 64-byte aligned —
+    /// backing store for quantized integer panels and level matrices.
+    AlignedBytes,
+    ByteChunk,
+    u8,
+    64
+);
+
+aligned_buf!(
+    /// A growable `i32` buffer whose storage is always 64-byte aligned —
+    /// zero-point and accumulator scratch for the integer serving path.
+    AlignedInts,
+    I32Chunk,
+    i32,
+    16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_pointer_is_64_byte_aligned() {
+        for n in [1usize, 15, 16, 17, 1000] {
+            let b = AlignedBuf::zeroed(n);
+            assert_eq!(b.as_slice().as_ptr() as usize % 64, 0);
+            let y = AlignedBytes::zeroed(n);
+            assert_eq!(y.as_slice().as_ptr() as usize % 64, 0);
+        }
+    }
+
+    #[test]
+    fn push_extend_resize_roundtrip() {
+        let mut b = AlignedBuf::new();
+        assert!(b.is_empty());
+        for i in 0..40 {
+            b.push(i as f32);
+        }
+        assert_eq!(b.len(), 40);
+        assert_eq!(b[17], 17.0);
+        b.extend_from_slice(&[100.0, 101.0]);
+        assert_eq!(b[41], 101.0);
+        b.resize(5, 0.0);
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        b.resize(8, 9.0);
+        assert_eq!(&b[5..], &[9.0, 9.0, 9.0]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn from_and_to_vec_preserve_contents() {
+        let v = vec![1.0f32, -2.5, 3.25];
+        let b = AlignedBuf::from(v.clone());
+        assert_eq!(b.to_vec(), v);
+        let c: AlignedBuf = v.iter().copied().collect();
+        assert_eq!(b, c);
+        assert_eq!(format!("{:?}", AlignedBuf::from_slice(&[1.0])), "[1.0]");
+    }
+
+    #[test]
+    fn truncate_then_grow_stays_consistent() {
+        let mut b = AlignedBuf::from_slice(&(0..33).map(|v| v as f32).collect::<Vec<_>>());
+        b.truncate(10);
+        assert_eq!(b.len(), 10);
+        b.resize(20, -1.0);
+        assert_eq!(b[9], 9.0);
+        assert!(b[10..].iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn byte_buffer_holds_levels() {
+        let mut b = AlignedBytes::with_capacity(3);
+        b.extend_from_slice(&[7, 255, 0]);
+        assert_eq!(b.as_slice(), &[7, 255, 0]);
+        assert!(b.capacity() >= 64);
+    }
+}

@@ -148,6 +148,71 @@ pub fn im2col_into(
 }
 // tia-lint: hot-path(end)
 
+/// Lowers one image of quantized *levels* (flat `[C, H, W]` of `u8`) to the
+/// transposed patch matrix `[OH*OW, C*KH*KW]` — one patch per **row**, so an
+/// integer GEMM can take each row as a contiguous dot-product operand
+/// against a quantized weight row (see `tia-quant`).
+///
+/// Feature order within a row is `(ci * kh + ki) * kw + kj`, matching the
+/// weight-matrix row layout used by [`im2col_into`]'s patch rows. Padded
+/// taps are written as `zero_point` — the level that dequantizes to `0.0`,
+/// exactly what the f32 path's zero-filled padding contributes.
+///
+/// `dst` must hold `oh * ow * c * kh * kw` bytes.
+///
+/// # Panics
+///
+/// Panics if `img` or `dst` disagree with the geometry.
+// tia-lint: hot-path(begin)
+pub fn im2col_levels_rows(
+    img: &[u8],
+    geo: &Conv2dGeometry,
+    h: usize,
+    w: usize,
+    zero_point: u8,
+    dst: &mut [u8],
+) {
+    let c = geo.in_channels;
+    assert_eq!(
+        img.len(),
+        c * h * w,
+        "im2col_levels_rows image size mismatch"
+    );
+    let (kh, kw, stride, pad) = (geo.kernel_h, geo.kernel_w, geo.stride, geo.padding);
+    let (oh, ow) = geo.output_hw(h, w);
+    let f = c * kh * kw;
+    assert_eq!(
+        dst.len(),
+        oh * ow * f,
+        "im2col_levels_rows dst size mismatch"
+    );
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let prow = &mut dst[(oy * ow + ox) * f..(oy * ow + ox + 1) * f];
+            for ci in 0..c {
+                for ki in 0..kh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    let base = (ci * kh + ki) * kw;
+                    if iy < 0 || iy >= h as isize {
+                        prow[base..base + kw].fill(zero_point);
+                        continue;
+                    }
+                    let irow = &img[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for kj in 0..kw {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        prow[base + kj] = if ix < 0 || ix >= w as isize {
+                            zero_point
+                        } else {
+                            irow[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+// tia-lint: hot-path(end)
+
 /// Scatter-adds a patch-matrix gradient `[C*KH*KW, OH*OW]` back to an image
 /// gradient `[C, H, W]` (the adjoint of [`im2col`]).
 ///
@@ -267,6 +332,39 @@ mod tests {
         let back = col2im(&y, &geo, h, w);
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn im2col_levels_rows_is_transposed_im2col() {
+        // With levels equal to the f32 values and zero_point 0, the level
+        // patch matrix must be exactly im2col's transpose.
+        let mut rng = SeededRng::new(9);
+        let geo = Conv2dGeometry::new(2, 1, 3, 2, 1);
+        let (h, w) = (5, 4);
+        let levels: Vec<u8> = (0..2 * h * w).map(|_| rng.below(200) as u8).collect();
+        let x = Tensor::from_vec(levels.iter().map(|&v| v as f32).collect(), &[2, h, w]);
+        let cols = im2col(&x, &geo);
+        let (oh, ow) = geo.output_hw(h, w);
+        let f = 2 * 3 * 3;
+        let mut rows = vec![0u8; oh * ow * f];
+        im2col_levels_rows(&levels, &geo, h, w, 0, &mut rows);
+        for r in 0..f {
+            for col in 0..oh * ow {
+                assert_eq!(
+                    rows[col * f + r] as f32,
+                    cols.data()[r * (oh * ow) + col],
+                    "feature {} patch {}",
+                    r,
+                    col
+                );
+            }
+        }
+        // A nonzero zero_point must land on every padded tap.
+        let mut rows_zp = vec![0u8; oh * ow * f];
+        im2col_levels_rows(&levels, &geo, h, w, 7, &mut rows_zp);
+        for (a, b) in rows.iter().zip(&rows_zp) {
+            assert!(*b == *a || (*a == 0 && *b == 7));
+        }
     }
 
     #[test]

@@ -33,12 +33,10 @@
 //!   eliminating the two `vec![0.0; …]` allocations per GEMM in steady
 //!   state. The non-`_ws` wrappers behave exactly as before.
 
+use crate::buf::AlignedBuf;
+use crate::simd::{self, SimdOps, MR, NR};
 use crate::workspace::Workspace;
 
-/// Rows of the register-held output block (micro-panel height of `A`).
-const MR: usize = 4;
-/// Columns of the register-held output block (micro-panel width of `B`).
-const NR: usize = 8;
 /// Depth (`k`) cache block: one packed `A` strip of `MR x KC` and one packed
 /// `B` strip of `KC x NR` together stay L1-resident.
 const KC: usize = 256;
@@ -79,10 +77,22 @@ impl View<'_> {
 /// strip `r` holds rows `ic + r*MR ..`, stored depth-major so the
 /// micro-kernel reads `MR` consecutive values per `k` step. Rows past `mc`
 /// are zero-padded (they multiply into lanes that are never stored).
-fn pack_a(a: View, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f32]) {
+///
+/// Packing is a pure reshuffle — the panel bytes are identical for every
+/// backend; `ops` only accelerates the contiguous fast path (a transposed
+/// view walks `MR` consecutive source elements per `k` step).
+fn pack_a(ops: &dyn SimdOps, a: View, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f32]) {
     let mut idx = 0;
     for ir in (0..mc).step_by(MR) {
         let mr = MR.min(mc - ir);
+        if mr == MR && a.layout == Layout::Transposed {
+            for p in 0..kc {
+                let src = (pc + p) * a.ld + ic + ir;
+                ops.pack_row_f32(&a.data[src..src + MR], &mut out[idx..idx + MR]);
+                idx += MR;
+            }
+            continue;
+        }
         for p in 0..kc {
             for i in 0..MR {
                 out[idx] = if i < mr {
@@ -97,11 +107,20 @@ fn pack_a(a: View, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut [f32]) 
 }
 
 /// Packs the `kc x nc` block of `b` at `(pc, jc)` into `NR`-column strips,
-/// depth-major, zero-padding columns past `nc`.
-fn pack_b(b: View, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f32]) {
+/// depth-major, zero-padding columns past `nc`. Same bytes on every backend;
+/// the row-major full-strip case copies `NR` contiguous elements per step.
+fn pack_b(ops: &dyn SimdOps, b: View, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f32]) {
     let mut idx = 0;
     for jr in (0..nc).step_by(NR) {
         let nr = NR.min(nc - jr);
+        if nr == NR && b.layout == Layout::RowMajor {
+            for p in 0..kc {
+                let src = (pc + p) * b.ld + jc + jr;
+                ops.pack_row_f32(&b.data[src..src + NR], &mut out[idx..idx + NR]);
+                idx += NR;
+            }
+            continue;
+        }
         for p in 0..kc {
             for j in 0..NR {
                 out[idx] = if j < nr {
@@ -110,23 +129,6 @@ fn pack_b(b: View, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut [f32]) 
                     0.0
                 };
                 idx += 1;
-            }
-        }
-    }
-}
-
-/// The register-blocked inner kernel: `acc[MR][NR] += Ap · Bp` over a packed
-/// depth-`kc` panel. `MR`/`NR` are compile-time constants, so the two inner
-/// loops fully unroll and the accumulators live in registers.
-#[inline(always)]
-fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for p in 0..kc {
-        let arow = &ap[p * MR..p * MR + MR];
-        let brow = &bp[p * NR..p * NR + NR];
-        for i in 0..MR {
-            let ai = arow[i];
-            for j in 0..NR {
-                acc[i][j] += ai * brow[j];
             }
         }
     }
@@ -174,8 +176,9 @@ pub struct PackedMatrix {
     rows: usize,
     /// Logical column count (`k` for an Lhs, `n` for an Rhs).
     cols: usize,
-    /// All panels, concatenated in `(outer block, inner block)` order.
-    data: Vec<f32>,
+    /// All panels, concatenated in `(outer block, inner block)` order,
+    /// 64-byte aligned for split-free SIMD panel loads.
+    data: AlignedBuf,
     /// Panel start offsets plus a trailing total, indexed
     /// `outer_block * inner_blocks + inner_block`.
     offsets: Vec<usize>,
@@ -241,8 +244,11 @@ impl PackedMatrix {
         };
         let inner_blocks = span.div_ceil(inner_step).max(1);
         let outer_blocks = k.div_ceil(KC).max(1);
-        let mut data = Vec::new();
+        let mut data = AlignedBuf::new();
         let mut offsets = Vec::with_capacity(outer_blocks * inner_blocks + 1);
+        // Panels are byte-identical whichever backend packs them; the pinned
+        // scalar reference keeps prepacking off the dispatch surface.
+        let ops: &dyn SimdOps = &simd::SCALAR;
         for pc in (0..k.max(1)).step_by(KC) {
             let kc = KC.min(k - pc.min(k));
             for iv in (0..span.max(1)).step_by(inner_step) {
@@ -252,8 +258,8 @@ impl PackedMatrix {
                 let start = data.len();
                 data.resize(start + panel_len, 0.0);
                 match side {
-                    Side::Lhs => pack_a(view, iv, pc, len_inner, kc, &mut data[start..]),
-                    Side::Rhs => pack_b(view, pc, iv, kc, len_inner, &mut data[start..]),
+                    Side::Lhs => pack_a(ops, view, iv, pc, len_inner, kc, &mut data[start..]),
+                    Side::Rhs => pack_b(ops, view, pc, iv, kc, len_inner, &mut data[start..]),
                 }
             }
         }
@@ -366,6 +372,9 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws:
     if m == 0 || k == 0 || n == 0 {
         return;
     }
+    // One dispatch per GEMM: the workspace carries the kernel mode, so every
+    // micro-kernel and pack call below goes through the same backend.
+    let ops = simd::backend(ws.kernel());
     // Scratch sized to the actual problem (capped at one cache block), so
     // the small GEMMs that dominate per-sample serving don't pay for the
     // full-block allocation. Prepacked operands need no scratch at all.
@@ -385,7 +394,7 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws:
             let bp: &[f32] = match b {
                 Rhs::View(v) => {
                     let buf = bp_buf.as_mut().expect("scratch present for B view");
-                    pack_b(v, pc, jc, kc, nc, buf);
+                    pack_b(ops, v, pc, jc, kc, nc, buf);
                     buf
                 }
                 Rhs::Packed(p) => p.panel(pc_i, jc_i),
@@ -395,7 +404,7 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws:
                 let ap: &[f32] = match a {
                     Lhs::View(v) => {
                         let buf = ap_buf.as_mut().expect("scratch present for A view");
-                        pack_a(v, ic, pc, mc, kc, buf);
+                        pack_a(ops, v, ic, pc, mc, kc, buf);
                         buf
                     }
                     Lhs::Packed(p) => p.panel(pc_i, ic_i),
@@ -407,7 +416,7 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: Lhs, b: Rhs, c: &mut [f32], ws:
                         let mr = MR.min(mc - ir);
                         let as_ = &ap[is * MR * kc..(is + 1) * MR * kc];
                         let mut acc = [[0.0f32; NR]; MR];
-                        micro_kernel(kc, as_, bs, &mut acc);
+                        ops.micro_kernel_f32(kc, as_, bs, &mut acc);
                         for (i, acc_row) in acc.iter().enumerate().take(mr) {
                             let row = (ic + ir + i) * n + jc + jr;
                             let c_row = &mut c[row..row + nr];

@@ -1,26 +1,28 @@
 //! Softmax-family ops and small utilities operating on 2-D batches.
 
+use crate::simd::{self, KernelMode};
 use crate::Tensor;
 
 /// Row-wise softmax of a `[n, c]` tensor.
+///
+/// The max/exp/sum tail dispatches through the process-default
+/// [`KernelMode`] (`TIA_KERNEL`); vectorized backends are ULP-bounded
+/// against scalar here (the one tolerance-tier kernel — see
+/// [`crate::simd`]).
 ///
 /// # Panics
 ///
 /// Panics if `x` is not 2-D.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let ops = simd::backend(KernelMode::global_default());
     assert_eq!(x.shape().len(), 2, "softmax_rows expects 2-D");
     let (n, c) = (x.shape()[0], x.shape()[1]);
     let mut out = Tensor::zeros(&[n, c]);
     for i in 0..n {
         let row = &x.data()[i * c..(i + 1) * c];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0;
+        let m = ops.max_f32(row);
         let orow = &mut out.data_mut()[i * c..(i + 1) * c];
-        for (o, &v) in orow.iter_mut().zip(row) {
-            let e = (v - m).exp();
-            *o = e;
-            denom += e;
-        }
+        let denom = ops.exp_sub_sum(row, m, orow);
         for o in orow.iter_mut() {
             *o /= denom;
         }

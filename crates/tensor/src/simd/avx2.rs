@@ -1,0 +1,428 @@
+//! AVX2 backend (`x86_64`, selected after `is_x86_feature_detected!`).
+//!
+//! Determinism tiers (see the module docs):
+//!
+//! * `micro_kernel_f32` vectorizes across the `NR` output columns — one
+//!   256-bit lane vector per accumulator row — and performs exactly one
+//!   `vmulps` + one `vaddps` per `(i, p)` term, in increasing-`p` order.
+//!   Each output element therefore sees the *identical* rounding sequence
+//!   as the scalar kernel: bitwise tier. FMA is deliberately not used
+//!   (fused rounding would diverge from the reference).
+//! * `bn_row` replays the scalar expression's operation order per lane:
+//!   bitwise tier. `pack_row_f32` is a copy: bitwise trivially.
+//! * `dot_u8i8` / `dot_u4i4` widen to `i16` pairs (`vpmovzxbw`/`vpmovsxbw`)
+//!   and accumulate via `vpmaddwd` into `i32` lanes — exact integer
+//!   arithmetic, so any summation order gives the same value: bitwise
+//!   tier. (`vpmaddubsw` is avoided: it saturates at `255·127·2`.)
+//! * `exp_sub_sum` uses a Cephes-style polynomial `exp` and a reassociated
+//!   lane sum: tolerance tier, ULP-bounded against scalar by the
+//!   differential suite.
+
+#![allow(unsafe_code)]
+
+use super::{SimdOps, MR, NR};
+use std::arch::x86_64::*;
+
+/// The AVX2 implementation. Only constructed by `super::detect` after a
+/// successful runtime feature probe, so every `unsafe` call below has its
+/// target features present.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Avx2Ops;
+
+// safety: callers guarantee AVX2 is available (enforced by construction:
+// `detect` only hands out `Avx2Ops` after `is_x86_feature_detected!`).
+#[target_feature(enable = "avx2")]
+unsafe fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
+    let (ap, bp) = (ap.as_ptr(), bp.as_ptr());
+    for p in 0..kc {
+        let b = _mm256_loadu_ps(bp.add(p * NR));
+        let a = ap.add(p * MR);
+        c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(*a), b));
+        c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(*a.add(1)), b));
+        c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(*a.add(2)), b));
+        c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(*a.add(3)), b));
+    }
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c0);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c1);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c2);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c3);
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn pack_row(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm256_storeu_ps(dp.add(i), _mm256_loadu_ps(sp.add(i)));
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) = *sp.add(i);
+        i += 1;
+    }
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(v: __m256i) -> i32 {
+    let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+    let s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    let s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+    _mm_cvtsi128_si32(s)
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8i8(a: &[u8], w: &[u8]) -> i32 {
+    debug_assert_eq!(a.len(), w.len());
+    let k = a.len();
+    let (ap, wp) = (a.as_ptr(), w.as_ptr());
+    let mut acc = _mm256_setzero_si256();
+    let mut p = 0;
+    while p + 16 <= k {
+        let av = _mm_loadu_si128(ap.add(p).cast());
+        let wv = _mm_loadu_si128(wp.add(p).cast());
+        let a16 = _mm256_cvtepu8_epi16(av);
+        let w16 = _mm256_cvtepi8_epi16(wv);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, w16));
+        p += 16;
+    }
+    let mut sum = hsum_epi32(acc);
+    while p < k {
+        sum += *ap.add(p) as i32 * (*wp.add(p) as i8) as i32;
+        p += 1;
+    }
+    sum
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8i8_x4(a: &[u8], w0: &[u8], w1: &[u8], w2: &[u8], w3: &[u8]) -> [i32; 4] {
+    let k = a.len();
+    debug_assert!(w0.len() == k && w1.len() == k && w2.len() == k && w3.len() == k);
+    let ap = a.as_ptr();
+    let wp = [w0.as_ptr(), w1.as_ptr(), w2.as_ptr(), w3.as_ptr()];
+    let mut acc = [_mm256_setzero_si256(); 4];
+    let mut p = 0;
+    while p + 16 <= k {
+        // One activation widening feeds all four weight rows: 5 shuffle-port
+        // ops per 64 MACs instead of the single dot's 8.
+        let a16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(ap.add(p).cast()));
+        for l in 0..4 {
+            let w16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp[l].add(p).cast()));
+            acc[l] = _mm256_add_epi32(acc[l], _mm256_madd_epi16(a16, w16));
+        }
+        p += 16;
+    }
+    let mut sums = [
+        hsum_epi32(acc[0]),
+        hsum_epi32(acc[1]),
+        hsum_epi32(acc[2]),
+        hsum_epi32(acc[3]),
+    ];
+    while p < k {
+        let av = *ap.add(p) as i32;
+        for l in 0..4 {
+            sums[l] += av * (*wp[l].add(p) as i8) as i32;
+        }
+        p += 1;
+    }
+    sums
+}
+
+// The sub-byte dots exploit exactness: an `i32` sum is order-independent,
+// so instead of decoding nibbles back into element order (two interleave
+// shuffles per 32 elements), they split the dot into an even-element and
+// an odd-element half. `and 0x00FF` / `srli 8` deinterleave the
+// activations with no shuffle at all, and a packed weight byte's lo/hi
+// nibbles *are* the matching even/odd elements by layout.
+//
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u4i4(k: usize, a: &[u8], w_packed: &[u8]) -> i32 {
+    debug_assert!(a.len() >= k && w_packed.len() >= k.div_ceil(2));
+    let (ap, wp) = (a.as_ptr(), w_packed.as_ptr());
+    let byte_mask = _mm256_set1_epi16(0x00FF);
+    let nib_mask = _mm256_set1_epi16(0x000F);
+    let sign = _mm256_set1_epi16(8);
+    let mut acc = _mm256_setzero_si256();
+    let mut p = 0;
+    // 16 packed bytes = 32 weight nibbles per step.
+    while p + 32 <= k {
+        let av = _mm256_loadu_si256(ap.add(p).cast());
+        let a_even = _mm256_and_si256(av, byte_mask); // lanes a[p+2j]
+        let a_odd = _mm256_srli_epi16(av, 8); // lanes a[p+2j+1]
+                                              // Lane j of the widened packed bytes holds elements p+2j (lo
+                                              // nibble) and p+2j+1 (hi); sign-decode is (n ^ 8) - 8 per lane.
+        let wv = _mm256_cvtepu8_epi16(_mm_loadu_si128(wp.add(p / 2).cast()));
+        let w_even = _mm256_sub_epi16(_mm256_xor_si256(_mm256_and_si256(wv, nib_mask), sign), sign);
+        let w_odd = _mm256_sub_epi16(_mm256_xor_si256(_mm256_srli_epi16(wv, 4), sign), sign);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_even, w_even));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_odd, w_odd));
+        p += 32;
+    }
+    // 8 packed bytes = 16 nibbles, same split at 128-bit width.
+    if p + 16 <= k {
+        let av = _mm_loadu_si128(ap.add(p).cast());
+        let a_even = _mm_and_si128(av, _mm256_castsi256_si128(byte_mask));
+        let a_odd = _mm_srli_epi16(av, 8);
+        let wv = _mm_cvtepu8_epi16(_mm_loadl_epi64(wp.add(p / 2).cast()));
+        let nib128 = _mm256_castsi256_si128(nib_mask);
+        let sign128 = _mm256_castsi256_si128(sign);
+        let w_even = _mm_sub_epi16(_mm_xor_si128(_mm_and_si128(wv, nib128), sign128), sign128);
+        let w_odd = _mm_sub_epi16(_mm_xor_si128(_mm_srli_epi16(wv, 4), sign128), sign128);
+        let lo = _mm_add_epi32(_mm_madd_epi16(a_even, w_even), _mm_madd_epi16(a_odd, w_odd));
+        acc = _mm256_add_epi32(acc, _mm256_castsi128_si256(lo));
+        p += 16;
+    }
+    let mut sum = hsum_epi32(acc);
+    while p < k {
+        let byte = *wp.add(p / 2);
+        let nib = if p % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        sum += *ap.add(p) as i32 * ((nib ^ 8) as i32 - 8);
+        p += 1;
+    }
+    sum
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u4i4_x4(k: usize, a: &[u8], w0: &[u8], w1: &[u8], w2: &[u8], w3: &[u8]) -> [i32; 4] {
+    let packed_len = k.div_ceil(2);
+    debug_assert!(
+        a.len() >= k
+            && w0.len() >= packed_len
+            && w1.len() >= packed_len
+            && w2.len() >= packed_len
+            && w3.len() >= packed_len
+    );
+    let ap = a.as_ptr();
+    let wp = [w0.as_ptr(), w1.as_ptr(), w2.as_ptr(), w3.as_ptr()];
+    let byte_mask = _mm256_set1_epi16(0x00FF);
+    let nib_mask = _mm256_set1_epi16(0x000F);
+    let sign = _mm256_set1_epi16(8);
+    let mut acc = [_mm256_setzero_si256(); 4];
+    let mut p = 0;
+    while p + 32 <= k {
+        // One activation deinterleave feeds all four weight rows.
+        let av = _mm256_loadu_si256(ap.add(p).cast());
+        let a_even = _mm256_and_si256(av, byte_mask);
+        let a_odd = _mm256_srli_epi16(av, 8);
+        for l in 0..4 {
+            let wv = _mm256_cvtepu8_epi16(_mm_loadu_si128(wp[l].add(p / 2).cast()));
+            let w_even =
+                _mm256_sub_epi16(_mm256_xor_si256(_mm256_and_si256(wv, nib_mask), sign), sign);
+            let w_odd = _mm256_sub_epi16(_mm256_xor_si256(_mm256_srli_epi16(wv, 4), sign), sign);
+            acc[l] = _mm256_add_epi32(acc[l], _mm256_madd_epi16(a_even, w_even));
+            acc[l] = _mm256_add_epi32(acc[l], _mm256_madd_epi16(a_odd, w_odd));
+        }
+        p += 32;
+    }
+    let mut sums = [
+        hsum_epi32(acc[0]),
+        hsum_epi32(acc[1]),
+        hsum_epi32(acc[2]),
+        hsum_epi32(acc[3]),
+    ];
+    while p < k {
+        let av = *ap.add(p) as i32;
+        for l in 0..4 {
+            let byte = *wp[l].add(p / 2);
+            let nib = if p % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            sums[l] += av * ((nib ^ 8) as i32 - 8);
+        }
+        p += 1;
+    }
+    sums
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn bn_row(x: &[f32], y: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let (vm, vi, vg, vb) = (
+        _mm256_set1_ps(mean),
+        _mm256_set1_ps(inv_std),
+        _mm256_set1_ps(g),
+        _mm256_set1_ps(b),
+    );
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        // Same per-element op order as scalar: sub, mul, mul, add.
+        let t = _mm256_mul_ps(_mm256_sub_ps(xv, vm), vi);
+        _mm256_storeu_ps(yp.add(i), _mm256_add_ps(_mm256_mul_ps(vg, t), vb));
+        i += 8;
+    }
+    while i < n {
+        let xv = *xp.add(i);
+        *yp.add(i) = g * ((xv - mean) * inv_std) + b;
+        i += 1;
+    }
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn max_f32(x: &[f32]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mut m = f32::NEG_INFINITY;
+    let mut i = 0;
+    if n >= 8 {
+        let mut mv = _mm256_loadu_ps(xp);
+        i = 8;
+        while i + 8 <= n {
+            mv = _mm256_max_ps(mv, _mm256_loadu_ps(xp.add(i)));
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), mv);
+        for v in lanes {
+            m = m.max(v);
+        }
+    }
+    while i < n {
+        m = m.max(*xp.add(i));
+        i += 1;
+    }
+    m
+}
+
+// Cephes-style polynomial expf constants (as in the classic avx_mathfun).
+const EXP_HI: f32 = 88.376_26;
+const EXP_LO: f32 = -88.376_26;
+const LOG2EF: f32 = std::f32::consts::LOG2_E;
+const C1: f32 = 0.693_359_4;
+const C2: f32 = -2.121_944_4e-4;
+const P0: f32 = 1.987_569_1e-4;
+const P1: f32 = 1.398_199_9e-3;
+const P2: f32 = 8.333_452e-3;
+const P3: f32 = 4.166_579_6e-2;
+const P4: f32 = 1.666_666_5e-1;
+const P5: f32 = 5.0e-1;
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn exp_ps(x: __m256) -> __m256 {
+    let one = _mm256_set1_ps(1.0);
+    let x = _mm256_min_ps(
+        _mm256_max_ps(x, _mm256_set1_ps(EXP_LO)),
+        _mm256_set1_ps(EXP_HI),
+    );
+    // n = floor(x * log2(e) + 0.5); r = x - n*ln2 (split high/low).
+    let fx = _mm256_floor_ps(_mm256_add_ps(
+        _mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)),
+        _mm256_set1_ps(0.5),
+    ));
+    let r = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(C1)));
+    let r = _mm256_sub_ps(r, _mm256_mul_ps(fx, _mm256_set1_ps(C2)));
+    // Degree-5 polynomial for exp(r) on r ∈ [-ln2/2, ln2/2].
+    let mut y = _mm256_set1_ps(P0);
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P1));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P2));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P3));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P4));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P5));
+    let r2 = _mm256_mul_ps(r, r);
+    y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, r2), r), one);
+    // Scale by 2^n via exponent-field arithmetic.
+    let n = _mm256_add_epi32(_mm256_cvttps_epi32(fx), _mm256_set1_epi32(127));
+    let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(n, 23));
+    _mm256_mul_ps(y, pow2n)
+}
+
+// safety: same AVX2-availability contract as `micro_kernel`.
+#[target_feature(enable = "avx2")]
+unsafe fn exp_sub_sum(x: &[f32], m: f32, out: &mut [f32]) -> f32 {
+    debug_assert_eq!(x.len(), out.len());
+    let n = x.len();
+    let (xp, op) = (x.as_ptr(), out.as_mut_ptr());
+    let vm = _mm256_set1_ps(m);
+    let mut vsum = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let e = exp_ps(_mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), vm));
+        _mm256_storeu_ps(op.add(i), e);
+        vsum = _mm256_add_ps(vsum, e);
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vsum);
+    let mut sum = lanes.iter().sum::<f32>();
+    while i < n {
+        let e = (*xp.add(i) - m).exp();
+        *op.add(i) = e;
+        sum += e;
+        i += 1;
+    }
+    sum
+}
+
+impl SimdOps for Avx2Ops {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn micro_kernel_f32(&self, kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { micro_kernel(kc, ap, bp, acc) }
+    }
+
+    fn pack_row_f32(&self, src: &[f32], dst: &mut [f32]) {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { pack_row(src, dst) }
+    }
+
+    fn dot_u8i8(&self, a: &[u8], w: &[u8]) -> i32 {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { dot_u8i8(a, w) }
+    }
+
+    fn dot_u8i8_x4(&self, a: &[u8], w0: &[u8], w1: &[u8], w2: &[u8], w3: &[u8]) -> [i32; 4] {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { dot_u8i8_x4(a, w0, w1, w2, w3) }
+    }
+
+    fn dot_u4i4(&self, k: usize, a: &[u8], w_packed: &[u8]) -> i32 {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { dot_u4i4(k, a, w_packed) }
+    }
+
+    fn dot_u4i4_x4(
+        &self,
+        k: usize,
+        a: &[u8],
+        w0: &[u8],
+        w1: &[u8],
+        w2: &[u8],
+        w3: &[u8],
+    ) -> [i32; 4] {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { dot_u4i4_x4(k, a, w0, w1, w2, w3) }
+    }
+
+    fn bn_row(&self, x: &[f32], y: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { bn_row(x, y, mean, inv_std, g, b) }
+    }
+
+    fn max_f32(&self, x: &[f32]) -> f32 {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { max_f32(x) }
+    }
+
+    fn exp_sub_sum(&self, x: &[f32], m: f32, out: &mut [f32]) -> f32 {
+        // safety: Avx2Ops exists only on hosts where the AVX2 probe passed.
+        unsafe { exp_sub_sum(x, m, out) }
+    }
+}

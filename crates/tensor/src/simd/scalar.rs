@@ -1,0 +1,130 @@
+//! The pinned scalar reference backend.
+//!
+//! These are the workspace's original portable loops, moved verbatim behind
+//! [`SimdOps`]: every dispatched backend is verified against this one (see
+//! the determinism tiers in the module docs), and `TIA_KERNEL=scalar`
+//! routes all serving through it unchanged.
+
+use super::{SimdOps, MR, NR};
+
+/// The always-available, bitwise-pinned reference implementation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScalarOps;
+
+impl SimdOps for ScalarOps {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    // tia-lint: hot-path(begin)
+    fn micro_kernel_f32(&self, kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        for p in 0..kc {
+            let arow = &ap[p * MR..p * MR + MR];
+            let brow = &bp[p * NR..p * NR + NR];
+            for i in 0..MR {
+                let ai = arow[i];
+                for j in 0..NR {
+                    acc[i][j] += ai * brow[j];
+                }
+            }
+        }
+    }
+
+    fn pack_row_f32(&self, src: &[f32], dst: &mut [f32]) {
+        dst.copy_from_slice(src);
+    }
+
+    fn dot_u8i8(&self, a: &[u8], w: &[u8]) -> i32 {
+        debug_assert_eq!(a.len(), w.len());
+        let mut acc = 0i32;
+        for (&av, &wv) in a.iter().zip(w) {
+            acc += av as i32 * (wv as i8) as i32;
+        }
+        acc
+    }
+
+    fn dot_u4i4(&self, k: usize, a: &[u8], w_packed: &[u8]) -> i32 {
+        debug_assert!(a.len() >= k && w_packed.len() >= k.div_ceil(2));
+        let mut acc = 0i32;
+        for (i, &av) in a.iter().enumerate().take(k) {
+            let nib = if i % 2 == 0 {
+                w_packed[i / 2] & 0x0F
+            } else {
+                w_packed[i / 2] >> 4
+            };
+            // Sign-extend the 4-bit two's-complement nibble to i32.
+            let wv = (nib ^ 8) as i32 - 8;
+            acc += av as i32 * wv;
+        }
+        acc
+    }
+
+    fn bn_row(&self, x: &[f32], y: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+        for (o, &xv) in y.iter_mut().zip(x) {
+            *o = g * ((xv - mean) * inv_std) + b;
+        }
+    }
+
+    fn max_f32(&self, x: &[f32]) -> f32 {
+        x.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    fn exp_sub_sum(&self, x: &[f32], m: f32, out: &mut [f32]) -> f32 {
+        let mut denom = 0.0;
+        for (o, &v) in out.iter_mut().zip(x) {
+            let e = (v - m).exp();
+            *o = e;
+            denom += e;
+        }
+        denom
+    }
+    // tia-lint: hot-path(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_u8i8_matches_manual() {
+        let a = [1u8, 2, 255, 0, 7];
+        let w = [1i8, -1, -128, 5, 3].map(|v| v as u8);
+        assert_eq!(ScalarOps.dot_u8i8(&a, &w), 1 - 2 + 255 * (-128) + 21);
+    }
+
+    #[test]
+    fn dot_u4i4_decodes_nibbles() {
+        // Elements: w = [3, -8, 7, -1, 5] packed two per byte, low first.
+        let packed = [(3u8) | (8 << 4), (7u8) | (15 << 4), 5u8];
+        let a = [1u8, 1, 2, 3, 10];
+        assert_eq!(ScalarOps.dot_u4i4(5, &a, &packed), 3 - 8 + 14 - 3 + 50);
+    }
+
+    #[test]
+    fn zero_nibble_decodes_to_zero_weight() {
+        // The padding nibble of an odd-k row must contribute nothing.
+        let packed = [2u8]; // elements [2, 0]
+        assert_eq!(ScalarOps.dot_u4i4(2, &[5, 9], &packed), 10);
+    }
+
+    #[test]
+    fn bn_row_matches_expression() {
+        let x = [1.0f32, -2.0, 0.5];
+        let mut y = [0.0f32; 3];
+        ScalarOps.bn_row(&x, &mut y, 0.25, 2.0, 1.5, -0.5);
+        for (o, xv) in y.iter().zip(x) {
+            assert_eq!(*o, 1.5 * ((xv - 0.25) * 2.0) + -0.5);
+        }
+    }
+
+    #[test]
+    fn exp_sub_sum_is_softmax_numerator() {
+        let x = [0.0f32, 1.0, -1.0];
+        let mut out = [0.0f32; 3];
+        let denom = ScalarOps.exp_sub_sum(&x, 1.0, &mut out);
+        assert_eq!(out[1], 1.0);
+        assert!((denom - (out[0] + out[1] + out[2])).abs() < 1e-6);
+        assert_eq!(ScalarOps.max_f32(&x), 1.0);
+        assert_eq!(ScalarOps.max_f32(&[]), f32::NEG_INFINITY);
+    }
+}

@@ -1,5 +1,6 @@
 //! The core dense tensor type.
 
+use crate::buf::AlignedBuf;
 use crate::rng::SeededRng;
 
 /// Maximum tensor rank. Everything in the workspace is rank 4 or below
@@ -59,7 +60,8 @@ impl std::fmt::Debug for ShapeVec {
 
 /// A dense, row-major, `f32` n-dimensional tensor.
 ///
-/// The representation is a flat `Vec<f32>` plus a shape; strides are always
+/// The representation is a flat 64-byte-aligned buffer plus a shape;
+/// strides are always
 /// the canonical row-major strides of the shape. This keeps every operation
 /// simple and predictable — ideal for a reproduction codebase where kernels
 /// must be auditable against the paper's equations.
@@ -75,7 +77,7 @@ impl std::fmt::Debug for ShapeVec {
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: ShapeVec,
-    data: Vec<f32>,
+    data: AlignedBuf,
 }
 
 impl std::fmt::Debug for Tensor {
@@ -98,7 +100,7 @@ impl Tensor {
         let n = shape.iter().product();
         Self {
             shape: ShapeVec::from_slice(shape),
-            data: vec![0.0; n],
+            data: AlignedBuf::zeroed(n),
         }
     }
 
@@ -110,9 +112,11 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
+        let mut data = AlignedBuf::zeroed(n);
+        data.fill(value);
         Self {
             shape: ShapeVec::from_slice(shape),
-            data: vec![value; n],
+            data,
         }
     }
 
@@ -131,6 +135,28 @@ impl Tensor {
     ///
     /// Panics if `data.len()` does not equal the product of `shape`.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape product {}",
+            data.len(),
+            n
+        );
+        Self {
+            shape: ShapeVec::from_slice(shape),
+            data: AlignedBuf::from(data),
+        }
+    }
+
+    /// Creates a tensor from a flat aligned buffer and a shape — the
+    /// move-in counterpart of [`Tensor::from_vec`] used by the workspace
+    /// arena (no copy, alignment preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_buf(data: AlignedBuf, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
         assert_eq!(
             data.len(),
@@ -196,8 +222,15 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning the flat data.
+    /// Consumes the tensor, returning the flat data as a plain `Vec`
+    /// (copies out of the aligned storage).
     pub fn into_vec(self) -> Vec<f32> {
+        self.data.to_vec()
+    }
+
+    /// Consumes the tensor, returning its aligned storage (no copy) — the
+    /// recycling counterpart of [`Tensor::from_buf`].
+    pub fn into_buf(self) -> AlignedBuf {
         self.data
     }
 
@@ -407,7 +440,7 @@ impl Tensor {
             "index_axis0 out of bounds"
         );
         let inner: usize = self.shape[1..].iter().product();
-        let data = self.data[n * inner..(n + 1) * inner].to_vec();
+        let data = AlignedBuf::from_slice(&self.data[n * inner..(n + 1) * inner]);
         Tensor {
             shape: ShapeVec::from_slice(&self.shape[1..]),
             data,

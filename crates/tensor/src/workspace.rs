@@ -5,21 +5,31 @@
 //! outputs — a fixed-size request repeated each batch. [`Workspace`] turns
 //! that repetition into reuse: buffers are *taken* from a pool, used, and
 //! *recycled* back, so after a warmup pass the steady state performs no
-//! heap allocation at all (a `Vec` whose capacity already suffices is
+//! heap allocation at all (a buffer whose capacity already suffices is
 //! resized in place).
 //!
-//! The pool is deliberately dumb — a flat list of `Vec<f32>` matched
-//! best-fit by capacity. The take/recycle sequence of a fixed model shape
+//! The pool is deliberately dumb — a flat list of [`AlignedBuf`] matched
+//! best-fit by capacity (plus a twin [`AlignedBytes`] pool for quantized
+//! integer staging). The take/recycle sequence of a fixed model shape
 //! is itself fixed, so the pool converges to one buffer per concurrently
-//! live request after at most a few iterations, and stays there.
+//! live request after at most a few iterations, and stays there. Every
+//! pooled buffer is 64-byte aligned, the contract SIMD panel loads build
+//! on (see [`crate::simd`]).
 //!
 //! Recycling is cooperative, not tracked: a buffer that escapes (a logits
 //! tensor handed to a caller) is simply never returned, and the pool
 //! replaces it on the next take. Nothing breaks — one allocation happens.
+//!
+//! The workspace also carries the session's [`KernelMode`]: every GEMM and
+//! row-pass kernel that receives a workspace resolves its SIMD backend from
+//! it, so one flag threaded through `EngineConfig` switches the whole layer
+//! stack between the pinned scalar reference and native dispatch.
 
+use crate::buf::{AlignedBuf, AlignedBytes, AlignedInts};
+use crate::simd::KernelMode;
 use crate::tensor::Tensor;
 
-/// A pool of reusable `f32` scratch buffers.
+/// A pool of reusable 64-byte-aligned scratch buffers.
 ///
 /// # Example
 ///
@@ -34,8 +44,11 @@ use crate::tensor::Tensor;
 /// ```
 #[derive(Debug)]
 pub struct Workspace {
-    pool: Vec<Vec<f32>>,
+    pool: Vec<AlignedBuf>,
+    byte_pool: Vec<AlignedBytes>,
+    int_pool: Vec<AlignedInts>,
     max_pooled: usize,
+    kernel: KernelMode,
 }
 
 impl Default for Workspace {
@@ -44,13 +57,15 @@ impl Default for Workspace {
     }
 }
 
-/// Cloning a workspace yields an *empty* one with the same pool cap:
-/// scratch contents are meaningless across owners, and a cloned `Network`
-/// replica must not drag another replica's warm buffers (each shard warms
-/// its own).
+/// Cloning a workspace yields an *empty* one with the same pool cap and
+/// kernel mode: scratch contents are meaningless across owners, and a cloned
+/// `Network` replica must not drag another replica's warm buffers (each
+/// shard warms its own).
 impl Clone for Workspace {
     fn clone(&self) -> Self {
-        Self::with_max_pooled(self.max_pooled)
+        let mut ws = Self::with_max_pooled(self.max_pooled);
+        ws.kernel = self.kernel;
+        ws
     }
 }
 
@@ -65,19 +80,23 @@ impl Workspace {
     /// with [`Workspace::with_max_pooled`].
     pub const DEFAULT_MAX_POOLED: usize = 256;
 
-    /// Creates an empty workspace with the default pool cap.
+    /// Creates an empty workspace with the default pool cap and the
+    /// process-wide default kernel mode (`TIA_KERNEL`).
     /// Allocation-free until the first take.
     pub fn new() -> Self {
         Self::with_max_pooled(Self::DEFAULT_MAX_POOLED)
     }
 
     /// Creates an empty workspace that parks at most `max_pooled` recycled
-    /// buffers (clamped to at least 1). Recycles beyond the cap drop their
-    /// buffer instead of pooling it.
+    /// buffers per pool (clamped to at least 1). Recycles beyond the cap
+    /// drop their buffer instead of pooling it.
     pub fn with_max_pooled(max_pooled: usize) -> Self {
         Self {
             pool: Vec::new(),
+            byte_pool: Vec::new(),
+            int_pool: Vec::new(),
             max_pooled: max_pooled.max(1),
+            kernel: KernelMode::global_default(),
         }
     }
 
@@ -86,9 +105,25 @@ impl Workspace {
         self.max_pooled
     }
 
-    /// Number of buffers currently parked in the pool.
+    /// The kernel dispatch mode kernels resolve their SIMD backend from.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Sets the kernel dispatch mode for every kernel that runs over this
+    /// workspace.
+    pub fn set_kernel(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
+    }
+
+    /// Number of `f32` buffers currently parked in the pool.
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Number of byte buffers currently parked in the pool.
+    pub fn pooled_bytes(&self) -> usize {
+        self.byte_pool.len()
     }
 
     /// Total `f32` capacity parked in the pool.
@@ -98,7 +133,7 @@ impl Workspace {
 
     /// Pops the best-fitting pooled buffer (smallest capacity `>= n`), or
     /// allocates a fresh one when nothing fits.
-    fn take_raw(&mut self, n: usize) -> Vec<f32> {
+    fn take_raw(&mut self, n: usize) -> AlignedBuf {
         let mut best: Option<(usize, usize)> = None;
         for (i, b) in self.pool.iter().enumerate() {
             let cap = b.capacity();
@@ -108,57 +143,105 @@ impl Workspace {
         }
         match best {
             Some((i, _)) => self.pool.swap_remove(i),
-            None => Vec::with_capacity(n),
+            None => AlignedBuf::with_capacity(n),
         }
     }
 
     /// Takes a buffer of exactly `n` zeros.
-    pub fn take_zeroed(&mut self, n: usize) -> Vec<f32> {
+    pub fn take_zeroed(&mut self, n: usize) -> AlignedBuf {
         let mut b = self.take_raw(n);
-        b.clear();
         b.resize(n, 0.0);
+        b.fill(0.0);
         b
     }
 
     /// Takes a buffer of length `n` with *unspecified contents* — for
     /// scratch that is fully overwritten before being read (GEMM pack
     /// panels, quantized-activation staging). Skips the zero fill.
-    pub fn take_spare(&mut self, n: usize) -> Vec<f32> {
+    pub fn take_spare(&mut self, n: usize) -> AlignedBuf {
         let mut b = self.take_raw(n);
-        if b.len() < n {
-            b.resize(n, 0.0);
-        } else {
-            b.truncate(n);
-        }
+        b.resize(n, 0.0);
         b
     }
 
     /// Takes a buffer holding a copy of `src`.
-    pub fn take_copy(&mut self, src: &[f32]) -> Vec<f32> {
+    pub fn take_copy(&mut self, src: &[f32]) -> AlignedBuf {
         let mut b = self.take_raw(src.len());
-        b.clear();
-        b.extend_from_slice(src);
+        b.resize(src.len(), 0.0);
+        b.copy_from_slice(src);
         b
     }
 
     /// Returns a buffer to the pool for reuse. Zero-capacity buffers and
     /// buffers beyond the pool cap are dropped instead of parked.
-    pub fn recycle(&mut self, buf: Vec<f32>) {
+    pub fn recycle(&mut self, buf: AlignedBuf) {
         if buf.capacity() > 0 && self.pool.len() < self.max_pooled {
             self.pool.push(buf);
+        }
+    }
+
+    /// Takes a byte buffer of length `n` with unspecified contents — the
+    /// integer twin of [`Self::take_spare`], staging quantized activation
+    /// levels and packed panels.
+    pub fn take_bytes_spare(&mut self, n: usize) -> AlignedBytes {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.byte_pool.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= n && best.is_none_or(|(_, bc)| cap < bc) {
+                best = Some((i, cap));
+            }
+        }
+        let mut b = match best {
+            Some((i, _)) => self.byte_pool.swap_remove(i),
+            None => AlignedBytes::with_capacity(n),
+        };
+        b.resize(n, 0);
+        b
+    }
+
+    /// Returns a byte buffer to the pool for reuse (the twin of
+    /// [`Self::recycle`]).
+    pub fn recycle_bytes(&mut self, buf: AlignedBytes) {
+        if buf.capacity() > 0 && self.byte_pool.len() < self.max_pooled {
+            self.byte_pool.push(buf);
+        }
+    }
+
+    /// Takes an `i32` buffer of length `n` with unspecified contents —
+    /// zero-point staging for the integer serving path.
+    pub fn take_ints_spare(&mut self, n: usize) -> AlignedInts {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.int_pool.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= n && best.is_none_or(|(_, bc)| cap < bc) {
+                best = Some((i, cap));
+            }
+        }
+        let mut b = match best {
+            Some((i, _)) => self.int_pool.swap_remove(i),
+            None => AlignedInts::with_capacity(n),
+        };
+        b.resize(n, 0);
+        b
+    }
+
+    /// Returns an `i32` buffer to the pool for reuse.
+    pub fn recycle_ints(&mut self, buf: AlignedInts) {
+        if buf.capacity() > 0 && self.int_pool.len() < self.max_pooled {
+            self.int_pool.push(buf);
         }
     }
 
     /// Takes a zero-filled tensor whose storage comes from the pool.
     pub fn tensor_zeroed(&mut self, shape: &[usize]) -> Tensor {
         let n = shape.iter().product();
-        Tensor::from_vec(self.take_zeroed(n), shape)
+        Tensor::from_buf(self.take_zeroed(n), shape)
     }
 
     /// Takes a tensor with unspecified contents (see [`Self::take_spare`]).
     pub fn tensor_spare(&mut self, shape: &[usize]) -> Tensor {
         let n = shape.iter().product();
-        Tensor::from_vec(self.take_spare(n), shape)
+        Tensor::from_buf(self.take_spare(n), shape)
     }
 
     /// Takes a tensor holding a copy of `src`'s data under a new shape.
@@ -169,12 +252,12 @@ impl Workspace {
     pub fn tensor_copy(&mut self, src: &Tensor, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
         assert_eq!(src.len(), n, "tensor_copy element count mismatch");
-        Tensor::from_vec(self.take_copy(src.data()), shape)
+        Tensor::from_buf(self.take_copy(src.data()), shape)
     }
 
     /// Recycles a tensor's storage back into the pool.
     pub fn recycle_tensor(&mut self, t: Tensor) {
-        self.recycle(t.into_vec());
+        self.recycle(t.into_buf());
     }
 }
 
@@ -192,6 +275,23 @@ mod tests {
         assert_eq!(b.as_ptr(), ptr, "smaller request must reuse the buffer");
         assert_eq!(b.len(), 50);
         assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn every_pooled_buffer_is_64_byte_aligned() {
+        // The SIMD alignment contract: whatever the request size and however
+        // buffers cycle through the pool, storage stays cacheline-aligned.
+        let mut ws = Workspace::new();
+        for n in [1usize, 7, 64, 100, 1023] {
+            let f = ws.take_spare(n);
+            assert_eq!(f.as_ptr() as usize % 64, 0, "f32 buffer misaligned");
+            let y = ws.take_bytes_spare(n);
+            assert_eq!(y.as_ptr() as usize % 64, 0, "byte buffer misaligned");
+            ws.recycle(f);
+            ws.recycle_bytes(y);
+        }
+        let t = ws.tensor_zeroed(&[3, 5]);
+        assert_eq!(t.data().as_ptr() as usize % 64, 0, "tensor misaligned");
     }
 
     #[test]
@@ -218,6 +318,19 @@ mod tests {
     }
 
     #[test]
+    fn byte_pool_reuses_capacity() {
+        let mut ws = Workspace::new();
+        let a = ws.take_bytes_spare(128);
+        let ptr = a.as_ptr();
+        ws.recycle_bytes(a);
+        let b = ws.take_bytes_spare(64);
+        assert_eq!(b.as_ptr(), ptr, "byte pool must reuse the buffer");
+        assert_eq!(ws.pooled_bytes(), 0);
+        ws.recycle_bytes(b);
+        assert_eq!(ws.pooled_bytes(), 1);
+    }
+
+    #[test]
     fn take_copy_and_tensors() {
         let mut ws = Workspace::new();
         let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
@@ -235,11 +348,13 @@ mod tests {
     }
 
     #[test]
-    fn clone_is_empty() {
+    fn clone_is_empty_but_keeps_kernel() {
         let mut ws = Workspace::new();
-        ws.recycle(vec![0.0; 64]);
+        ws.set_kernel(KernelMode::Scalar);
+        ws.recycle(AlignedBuf::zeroed(64));
         let c = ws.clone();
         assert_eq!(c.pooled(), 0);
+        assert_eq!(c.kernel(), KernelMode::Scalar);
     }
 
     #[test]
@@ -248,9 +363,11 @@ mod tests {
         // tensors every burst) must not grow the pool without bound.
         let mut ws = Workspace::new();
         for _ in 0..2 * Workspace::DEFAULT_MAX_POOLED {
-            ws.recycle(vec![0.0; 8]);
+            ws.recycle(AlignedBuf::zeroed(8));
+            ws.recycle_bytes(AlignedBytes::zeroed(8));
         }
         assert_eq!(ws.pooled(), Workspace::DEFAULT_MAX_POOLED);
+        assert_eq!(ws.pooled_bytes(), Workspace::DEFAULT_MAX_POOLED);
     }
 
     #[test]
@@ -258,7 +375,7 @@ mod tests {
         let mut ws = Workspace::with_max_pooled(3);
         assert_eq!(ws.max_pooled(), 3);
         for _ in 0..10 {
-            ws.recycle(vec![0.0; 8]);
+            ws.recycle(AlignedBuf::zeroed(8));
         }
         assert_eq!(ws.pooled(), 3);
         // The cap survives cloning even though the contents do not.
@@ -276,7 +393,7 @@ mod tests {
         let mut ws = Workspace::new();
         let sizes = [100usize, 30, 470, 30, 12];
         let run = |ws: &mut Workspace| {
-            let bufs: Vec<Vec<f32>> = sizes.iter().map(|&n| ws.take_spare(n)).collect();
+            let bufs: Vec<AlignedBuf> = sizes.iter().map(|&n| ws.take_spare(n)).collect();
             let ptrs: Vec<*const f32> = bufs.iter().map(|b| b.as_ptr()).collect();
             for b in bufs {
                 ws.recycle(b);

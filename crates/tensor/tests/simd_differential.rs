@@ -1,0 +1,305 @@
+//! Differential suite: every dispatched SIMD backend vs the pinned scalar
+//! reference, kernel by kernel, across odd shapes straddling each vector
+//! width and blocking boundary.
+//!
+//! Contract (see `tia_tensor::simd`): integer kernels and the f32
+//! micro-kernel/pack/BN kernels must be **bitwise** equal to scalar on every
+//! backend; only the transcendental tail (`exp_sub_sum`) is tolerance-tier,
+//! bounded in ULPs.
+
+use tia_tensor::simd::{self, KernelMode, SimdOps, MR, NR};
+use tia_tensor::{gemm_ws, softmax_rows, SeededRng, Tensor, Workspace};
+
+/// The backends under test: the pinned reference plus whatever `native`
+/// resolves to on this host (possibly scalar again — still a valid run).
+fn backends() -> Vec<&'static dyn SimdOps> {
+    vec![
+        simd::backend(KernelMode::Scalar),
+        simd::backend(KernelMode::Native),
+    ]
+}
+
+fn ulp_distance(a: f32, b: f32) -> u32 {
+    // Monotone map of finite floats onto a signed integer line.
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        (if bits < 0 { i32::MIN - bits } else { bits }) as i64
+    }
+    (key(a) - key(b)).unsigned_abs() as u32
+}
+
+/// Lengths that straddle the 8/16/32-lane widths and leave ragged tails.
+const LENS: &[usize] = &[
+    1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 257,
+];
+
+#[test]
+fn micro_kernel_is_bitwise_equal_across_backends() {
+    let mut rng = SeededRng::new(101);
+    for &kc in &[1usize, 2, 3, 7, 16, 37, 255, 256] {
+        let ap: Vec<f32> = (0..kc * MR).map(|_| rng.normal()).collect();
+        let bp: Vec<f32> = (0..kc * NR).map(|_| rng.normal()).collect();
+        // Accumulators start non-zero: the kernel must add into them.
+        let mut want = [[0.5f32; NR]; MR];
+        simd::SCALAR.micro_kernel_f32(kc, &ap, &bp, &mut want);
+        for ops in backends() {
+            let mut acc = [[0.5f32; NR]; MR];
+            ops.micro_kernel_f32(kc, &ap, &bp, &mut acc);
+            for i in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(
+                        acc[i][j].to_bits(),
+                        want[i][j].to_bits(),
+                        "{}: micro_kernel kc={} acc[{}][{}]",
+                        ops.name(),
+                        kc,
+                        i,
+                        j
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pack_row_is_bitwise_equal_across_backends() {
+    let mut rng = SeededRng::new(102);
+    for &n in LENS {
+        let src: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mut want = vec![0.0f32; n];
+        simd::SCALAR.pack_row_f32(&src, &mut want);
+        for ops in backends() {
+            let mut dst = vec![-1.0f32; n];
+            ops.pack_row_f32(&src, &mut dst);
+            assert_eq!(
+                dst.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}: pack_row n={}",
+                ops.name(),
+                n
+            );
+        }
+    }
+}
+
+#[test]
+fn integer_dot_products_are_exact_across_backends() {
+    let mut rng = SeededRng::new(103);
+    for &k in LENS {
+        // u8 levels against full-range i8 weights (as raw two's-complement
+        // bytes), including the extremes 255 and -128.
+        let a: Vec<u8> = (0..k).map(|_| rng.below(256) as u8).collect();
+        let w: Vec<u8> = (0..k).map(|_| rng.below(256) as u8).collect();
+        let want8 = simd::SCALAR.dot_u8i8(&a, &w);
+        // 4-bit: levels 0..=15, weights packed two per byte over -8..=7.
+        let a4: Vec<u8> = (0..k).map(|_| rng.below(16) as u8).collect();
+        let wp: Vec<u8> = (0..k.div_ceil(2)).map(|_| rng.below(256) as u8).collect();
+        let want4 = simd::SCALAR.dot_u4i4(k, &a4, &wp);
+        // Quad form: four weight rows sharing the activation row must give
+        // exactly the four single-dot answers on every backend.
+        let ws: Vec<Vec<u8>> = (0..4)
+            .map(|_| (0..k).map(|_| rng.below(256) as u8).collect())
+            .collect();
+        let want_x4: Vec<i32> = ws.iter().map(|wr| simd::SCALAR.dot_u8i8(&a, wr)).collect();
+        let wps: Vec<Vec<u8>> = (0..4)
+            .map(|_| (0..k.div_ceil(2)).map(|_| rng.below(256) as u8).collect())
+            .collect();
+        let want4_x4: Vec<i32> = wps
+            .iter()
+            .map(|wr| simd::SCALAR.dot_u4i4(k, &a4, wr))
+            .collect();
+        for ops in backends() {
+            assert_eq!(
+                ops.dot_u8i8(&a, &w),
+                want8,
+                "{}: dot_u8i8 k={}",
+                ops.name(),
+                k
+            );
+            assert_eq!(
+                ops.dot_u4i4(k, &a4, &wp),
+                want4,
+                "{}: dot_u4i4 k={}",
+                ops.name(),
+                k
+            );
+            assert_eq!(
+                ops.dot_u8i8_x4(&a, &ws[0], &ws[1], &ws[2], &ws[3]).to_vec(),
+                want_x4,
+                "{}: dot_u8i8_x4 k={}",
+                ops.name(),
+                k
+            );
+            assert_eq!(
+                ops.dot_u4i4_x4(k, &a4, &wps[0], &wps[1], &wps[2], &wps[3])
+                    .to_vec(),
+                want4_x4,
+                "{}: dot_u4i4_x4 k={}",
+                ops.name(),
+                k
+            );
+        }
+    }
+}
+
+#[test]
+fn odd_k_i4_padding_nibble_is_inert_on_every_backend() {
+    // For odd k the final packed byte's high nibble is padding; no backend
+    // may read it, whatever its value.
+    for k in [1usize, 7, 17, 31, 33] {
+        let a: Vec<u8> = (0..k).map(|i| (i * 7 % 16) as u8).collect();
+        let mut wp: Vec<u8> = (0..k.div_ceil(2)).map(|i| (i * 13) as u8).collect();
+        wp[k / 2] &= 0x0F; // clean padding nibble
+        let mut dirty = wp.clone();
+        dirty[k / 2] |= 0xF0; // worst-case padding nibble (-1)
+        for ops in backends() {
+            assert_eq!(
+                ops.dot_u4i4(k, &a, &wp),
+                ops.dot_u4i4(k, &a, &dirty),
+                "{}: padding nibble leaked at k={}",
+                ops.name(),
+                k
+            );
+            assert_eq!(
+                ops.dot_u4i4_x4(k, &a, &wp, &dirty, &wp, &dirty),
+                ops.dot_u4i4_x4(k, &a, &wp, &wp, &wp, &wp),
+                "{}: quad padding nibble leaked at k={}",
+                ops.name(),
+                k
+            );
+        }
+    }
+}
+
+#[test]
+fn bn_row_is_bitwise_equal_across_backends() {
+    let mut rng = SeededRng::new(104);
+    for &n in LENS {
+        let x: Vec<f32> = (0..n).map(|_| rng.normal() * 3.0).collect();
+        let (mean, inv_std, g, b) = (
+            rng.normal(),
+            rng.normal().abs() + 0.1,
+            rng.normal(),
+            rng.normal(),
+        );
+        let mut want = vec![0.0f32; n];
+        simd::SCALAR.bn_row(&x, &mut want, mean, inv_std, g, b);
+        for ops in backends() {
+            let mut y = vec![0.0f32; n];
+            ops.bn_row(&x, &mut y, mean, inv_std, g, b);
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}: bn_row n={}",
+                ops.name(),
+                n
+            );
+        }
+    }
+}
+
+#[test]
+fn max_is_exact_and_exp_is_ulp_bounded() {
+    let mut rng = SeededRng::new(105);
+    for &n in LENS {
+        // Post-max softmax inputs: x - m lands in [-80, 0].
+        let x: Vec<f32> = (0..n).map(|_| -(rng.below(8000) as f32) / 100.0).collect();
+        let m = 0.0f32;
+        let mut want = vec![0.0f32; n];
+        let want_denom = simd::SCALAR.exp_sub_sum(&x, m, &mut want);
+        for ops in backends() {
+            assert_eq!(
+                ops.max_f32(&x).to_bits(),
+                simd::SCALAR.max_f32(&x).to_bits(),
+                "{}: max n={}",
+                ops.name(),
+                n
+            );
+            let mut out = vec![0.0f32; n];
+            let denom = ops.exp_sub_sum(&x, m, &mut out);
+            for (i, (got, want)) in out.iter().zip(&want).enumerate() {
+                assert!(
+                    ulp_distance(*got, *want) <= 8,
+                    "{}: exp n={} elem {}: {} vs {} ({} ulp)",
+                    ops.name(),
+                    n,
+                    i,
+                    got,
+                    want,
+                    ulp_distance(*got, *want)
+                );
+            }
+            let rel = (denom - want_denom).abs() / want_denom.max(f32::MIN_POSITIVE);
+            assert!(
+                rel <= 1e-5 * (n as f32).sqrt().max(1.0),
+                "{}: denom n={}: {} vs {}",
+                ops.name(),
+                n,
+                denom,
+                want_denom
+            );
+        }
+    }
+}
+
+#[test]
+fn full_gemm_is_bitwise_equal_native_vs_scalar() {
+    // The end-to-end check the engine's determinism rests on: an entire
+    // blocked GEMM through the native workspace reproduces the scalar
+    // workspace bit for bit, across fringe-heavy shapes.
+    let mut rng = SeededRng::new(106);
+    let mut ws_scalar = Workspace::new();
+    ws_scalar.set_kernel(KernelMode::Scalar);
+    let mut ws_native = Workspace::new();
+    ws_native.set_kernel(KernelMode::Native);
+    for (m, k, n) in [
+        (1usize, 1usize, 1usize),
+        (MR + 1, 3, NR + 1),
+        (5, 257, 13),
+        (17, 300, 33),
+        (130, 259, 258),
+    ] {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut want = vec![0.0f32; m * n];
+        gemm_ws(m, k, n, &a, &b, &mut want, &mut ws_scalar);
+        let mut got = vec![0.0f32; m * n];
+        gemm_ws(m, k, n, &a, &b, &mut got, &mut ws_native);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "native gemm diverged from scalar at {}x{}x{}",
+            m,
+            k,
+            n
+        );
+    }
+}
+
+#[test]
+fn softmax_rows_native_within_tolerance_of_reference() {
+    // softmax_rows dispatches via the process default; rather than fight
+    // env ordering, compare directly against a hand-rolled scalar softmax.
+    let mut rng = SeededRng::new(107);
+    let (n, c) = (5, 37);
+    let x = Tensor::rand_uniform(&[n, c], -10.0, 10.0, &mut rng);
+    let s = softmax_rows(&x);
+    for i in 0..n {
+        let row = &x.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        for (j, e) in exps.iter().enumerate() {
+            let want = e / denom;
+            assert!(
+                (s.at2(i, j) - want).abs() <= 1e-5,
+                "row {} col {}: {} vs {}",
+                i,
+                j,
+                s.at2(i, j),
+                want
+            );
+        }
+    }
+}

@@ -83,5 +83,5 @@ pub mod prelude {
     pub use tia_quant::{Precision, PrecisionSet};
     pub use tia_serve::{Client, Server, ServerConfig, WirePolicy};
     pub use tia_sim::{dnnguard_throughput, Accelerator};
-    pub use tia_tensor::{SeededRng, Tensor};
+    pub use tia_tensor::{KernelMode, SeededRng, Tensor};
 }

@@ -33,11 +33,13 @@ fn micro_batched_logits_bitwise_equal_per_sample_forward() {
         let n = 5 + case;
         let x = Tensor::rand_uniform(&[n, 3, 8, 8], 0.0, 1.0, &mut rng);
         for &p in &precisions {
-            // Reference: one forward per sample.
+            // Reference: one serving-mode forward per sample (Infer is the
+            // path the engine runs — under the native kernel it takes the
+            // true-integer route, so Eval would not be bitwise-comparable).
             let mut reference = Vec::with_capacity(n);
             for i in 0..n {
                 net.set_precision(p);
-                let logits = net.forward(&batch_of_one(&x, i), Mode::Eval);
+                let logits = net.forward(&batch_of_one(&x, i), Mode::Infer);
                 reference.push(logits.index_axis0(0));
             }
             for max_batch in [1usize, 3, 8] {
@@ -132,7 +134,7 @@ fn random_policy_grouping_preserves_bitwise_identity() {
     assert_eq!(responses.len(), 12);
     for (i, r) in responses.iter().enumerate() {
         net.set_precision(r.precision);
-        let want = net.forward(&batch_of_one(&x, i), Mode::Eval);
+        let want = net.forward(&batch_of_one(&x, i), Mode::Infer);
         let got: Vec<u32> = r.logits.data().iter().map(|v| v.to_bits()).collect();
         let want: Vec<u32> = want
             .index_axis0(0)
